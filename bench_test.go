@@ -1,0 +1,161 @@
+// Benchmarks regenerating the paper's evaluation: one testing.B benchmark
+// per table and figure (each iteration runs the experiment in quick mode;
+// use cmd/whalebench for the full-size tables), plus microbenchmarks of the
+// core primitives (serialization, tree construction, dynamic switching).
+//
+//	go test -bench=. -benchmem
+package whale_test
+
+import (
+	"testing"
+
+	"whale/internal/bench"
+	"whale/internal/multicast"
+	"whale/internal/queueing"
+	"whale/internal/tuple"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Run(id, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable2Datasets(b *testing.B)             { benchExperiment(b, "table2") }
+func BenchmarkFig2StormBottleneck(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkFig3RDMCBlocking(b *testing.B)           { benchExperiment(b, "fig3") }
+func BenchmarkFig11MMS(b *testing.B)                   { benchExperiment(b, "fig11") }
+func BenchmarkFig12WTL(b *testing.B)                   { benchExperiment(b, "fig12") }
+func BenchmarkFig13RideThroughput(b *testing.B)        { benchExperiment(b, "fig13") }
+func BenchmarkFig14RideLatency(b *testing.B)           { benchExperiment(b, "fig14") }
+func BenchmarkFig15StockThroughput(b *testing.B)       { benchExperiment(b, "fig15") }
+func BenchmarkFig16StockLatency(b *testing.B)          { benchExperiment(b, "fig16") }
+func BenchmarkFig17TreeThroughput(b *testing.B)        { benchExperiment(b, "fig17") }
+func BenchmarkFig18TreeLatency(b *testing.B)           { benchExperiment(b, "fig18") }
+func BenchmarkFig19TreeThroughputStock(b *testing.B)   { benchExperiment(b, "fig19") }
+func BenchmarkFig20TreeLatencyStock(b *testing.B)      { benchExperiment(b, "fig20") }
+func BenchmarkFig21MulticastLatency(b *testing.B)      { benchExperiment(b, "fig21") }
+func BenchmarkFig22MulticastLatencyStock(b *testing.B) { benchExperiment(b, "fig22") }
+func BenchmarkFig23DynamicThroughput(b *testing.B)     { benchExperiment(b, "fig23") }
+func BenchmarkFig24DynamicLatency(b *testing.B)        { benchExperiment(b, "fig24") }
+func BenchmarkFig25CommTime(b *testing.B)              { benchExperiment(b, "fig25") }
+func BenchmarkFig26SerializationRatio(b *testing.B)    { benchExperiment(b, "fig26") }
+func BenchmarkFig27TrafficRide(b *testing.B)           { benchExperiment(b, "fig27") }
+func BenchmarkFig28TrafficStock(b *testing.B)          { benchExperiment(b, "fig28") }
+func BenchmarkFig29VerbsThroughput(b *testing.B)       { benchExperiment(b, "fig29") }
+func BenchmarkFig30VerbsLatency(b *testing.B)          { benchExperiment(b, "fig30") }
+func BenchmarkFig31DiffVerbsThroughput(b *testing.B)   { benchExperiment(b, "fig31") }
+func BenchmarkFig32DiffVerbsLatency(b *testing.B)      { benchExperiment(b, "fig32") }
+func BenchmarkFig33Racks(b *testing.B)                 { benchExperiment(b, "fig33") }
+func BenchmarkFig34RacksLatency(b *testing.B)          { benchExperiment(b, "fig34") }
+func BenchmarkAblationWaterline(b *testing.B)          { benchExperiment(b, "ablation-waterline") }
+func BenchmarkAblationSmoothing(b *testing.B)          { benchExperiment(b, "ablation-smoothing") }
+func BenchmarkAblationDstar(b *testing.B)              { benchExperiment(b, "ablation-dstar") }
+
+// --- core primitive microbenchmarks ---------------------------------------
+
+func benchTuple() *tuple.Tuple {
+	return &tuple.Tuple{
+		Stream:     "requests",
+		ID:         12345,
+		SrcTask:    3,
+		RootEmitNS: 1,
+		Values:     []tuple.Value{int64(42), "drv-001234", 30.65, 104.06, true},
+	}
+}
+
+func BenchmarkTupleSerialize(b *testing.B) {
+	enc := tuple.NewEncoder()
+	tp := benchTuple()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.EncodeTuple(tp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTupleDeserialize(b *testing.B) {
+	buf, err := tuple.AppendTuple(nil, benchTuple())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tuple.DecodeTuple(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkerMessageEncode(b *testing.B) {
+	payload, _ := tuple.AppendTuple(nil, benchTuple())
+	msg := &tuple.WorkerMessage{Kind: tuple.KindWorkerMessage, DstIDs: []int32{1, 2, 3, 4, 5, 6, 7, 8}, Payload: payload}
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = tuple.AppendWorkerMessage(buf[:0], msg)
+	}
+}
+
+func destIDs(n int) []multicast.NodeID {
+	out := make([]multicast.NodeID, n)
+	for i := range out {
+		out[i] = multicast.NodeID(i + 1)
+	}
+	return out
+}
+
+func BenchmarkBuildNonBlockingTree480(b *testing.B) {
+	dests := destIDs(480)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		multicast.BuildNonBlocking(0, dests, 3)
+	}
+}
+
+func BenchmarkBuildBinomialTree480(b *testing.B) {
+	dests := destIDs(480)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		multicast.BuildBinomial(0, dests)
+	}
+}
+
+func BenchmarkDynamicScaleDown(b *testing.B) {
+	base := multicast.BuildNonBlocking(0, destIDs(480), 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := base.Clone()
+		multicast.ScaleDown(tr, 3)
+	}
+}
+
+func BenchmarkDynamicScaleUp(b *testing.B) {
+	base := multicast.BuildNonBlocking(0, destIDs(480), 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := base.Clone()
+		multicast.ScaleUp(tr, 5)
+	}
+}
+
+func BenchmarkQueueingMaxOutDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		queueing.MaxOutDegree(30000, 6e-6, 1024)
+	}
+}
+
+func BenchmarkCapabilitySequence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		queueing.Capability(480, 3, 481)
+	}
+}

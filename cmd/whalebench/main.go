@@ -1,0 +1,60 @@
+// Command whalebench regenerates the paper's evaluation tables and figures
+// (see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	whalebench list                 # list experiment ids
+//	whalebench fig13                # run one experiment at full size
+//	whalebench -quick fig13 fig14   # run several, small
+//	whalebench all                  # run everything (slow)
+//	whalebench -quick all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whale/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run smaller versions of each experiment")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: whalebench [-quick] <experiment-id>... | all | list\n\nexperiments:\n")
+		for _, id := range bench.IDs() {
+			e, _ := bench.Get(id)
+			fmt.Fprintf(os.Stderr, "  %-20s %s\n", id, e.Title)
+		}
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, id := range bench.IDs() {
+			e, _ := bench.Get(id)
+			fmt.Printf("%-20s %s\n", id, e.Title)
+		}
+		return
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = bench.IDs()
+	}
+	failed := 0
+	for _, id := range ids {
+		rep, err := bench.Run(id, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep.String())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Command whaled runs one of the evaluation applications on the live
+// runtime under a chosen system preset, printing throughput/latency once a
+// second — a quick way to watch the paper's systems behave.
+//
+// Usage:
+//
+//	whaled -app ride  -system whale -matchers 16 -workers 4 -duration 10s
+//	whaled -app stock -system storm -matchers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"whale"
+	"whale/internal/workload"
+)
+
+var systems = map[string]whale.System{
+	"storm":            whale.SystemStorm,
+	"rdma-storm":       whale.SystemRDMAStorm,
+	"whale-woc":        whale.SystemWhaleWOC,
+	"whale-woc-rdma":   whale.SystemWhaleWOCRDMA,
+	"whale-sequential": whale.SystemWhaleSequential,
+	"rdmc":             whale.SystemRDMC,
+	"whale":            whale.SystemWhale,
+}
+
+func main() {
+	app := flag.String("app", "ride", "application: ride | stock")
+	sysName := flag.String("system", "whale", "system: "+strings.Join(keys(), " | "))
+	workers := flag.Int("workers", 4, "worker processes")
+	matchers := flag.Int("matchers", 16, "matching operator parallelism")
+	duration := flag.Duration("duration", 10*time.Second, "run duration")
+	rate := flag.Float64("rate", 0, "broadcast stream rate (tuples/s, 0 = full speed)")
+	flag.Parse()
+
+	sys, ok := systems[*sysName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown system %q (known: %s)\n", *sysName, strings.Join(keys(), ", "))
+		os.Exit(2)
+	}
+
+	var topo *whale.Topology
+	var err error
+	var matched, unmatched, trades atomic.Int64
+	switch *app {
+	case "ride":
+		topo, err = workload.BuildRideTopology(workload.RideTopologyConfig{
+			Gen:          workload.RideConfig{Drivers: 5000},
+			Matchers:     *matchers,
+			LocationRate: 20000,
+			RequestRate:  *rate,
+			Matched:      &matched,
+			Unmatched:    &unmatched,
+		})
+	case "stock":
+		topo, err = workload.BuildStockTopology(workload.StockTopologyConfig{
+			Gen:                 workload.StockConfig{},
+			Matchers:            *matchers,
+			Rate:                *rate,
+			Trades:              &trades,
+			BroadcastToMatchers: true,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cluster, err := whale.Run(topo, sys, whale.Options{Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("running %s on %s with %d matchers over %d workers for %v\n",
+		*app, sys, *matchers, *workers, *duration)
+
+	start := time.Now()
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	var lastCompleted int64
+	for range ticker.C {
+		m := cluster.Metrics()
+		completed := m.TuplesCompleted.Value()
+		lat := m.ProcessingLatency.Snapshot()
+		fmt.Printf("t=%3.0fs  completed/s=%-8d  p50=%-8s p99=%-8s  emitted=%-10d d*=%d\n",
+			time.Since(start).Seconds(), completed-lastCompleted,
+			time.Duration(lat.P50), time.Duration(lat.P99),
+			m.TuplesEmitted.Value(), cluster.ActiveDstar())
+		lastCompleted = completed
+		if time.Since(start) >= *duration {
+			break
+		}
+	}
+	cluster.StopSources()
+	cluster.Drain(5 * time.Second)
+	cluster.Shutdown()
+	switch *app {
+	case "ride":
+		fmt.Printf("requests matched=%d unmatched=%d\n", matched.Load(), unmatched.Load())
+	case "stock":
+		fmt.Printf("trades executed=%d\n", trades.Load())
+	}
+}
+
+func keys() []string {
+	out := make([]string, 0, len(systems))
+	for k := range systems {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+// Command whalegen generates the synthetic datasets standing in for the
+// paper's Didi and NASDAQ traces (DESIGN.md substitutions) and prints
+// Table 2 statistics.
+//
+// Usage:
+//
+//	whalegen stats                          # Table 2
+//	whalegen ride  -n 100000 > ride.csv     # location updates
+//	whalegen rides -n 1000   > reqs.csv     # passenger requests
+//	whalegen stock -n 100000 > stock.csv    # exchange records
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"whale/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "records to generate")
+	drivers := flag.Int("drivers", 10000, "driver population (ride)")
+	symbols := flag.Int("symbols", 6649, "symbol universe (stock)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: whalegen [flags] stats|ride|rides|stock")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch flag.Arg(0) {
+	case "stats":
+		rows := workload.Table2(
+			workload.RideConfig{Drivers: *drivers, Seed: *seed},
+			workload.StockConfig{Symbols: *symbols, Seed: *seed},
+		)
+		fmt.Fprintf(w, "%-40s %15s %12s\n", "dataset", "tuples", "keys")
+		for _, r := range rows {
+			tuples := fmt.Sprint(r.Tuples)
+			if r.Tuples < 0 {
+				tuples = "unbounded"
+			}
+			fmt.Fprintf(w, "%-40s %15s %12d\n", r.Name, tuples, r.Keys)
+		}
+	case "ride":
+		g := workload.NewRideGen(workload.RideConfig{Drivers: *drivers, Seed: *seed})
+		fmt.Fprintln(w, "driver_id,lat,lon")
+		for i := 0; i < *n; i++ {
+			id, lat, lon := g.NextLocation()
+			fmt.Fprintf(w, "%s,%.6f,%.6f\n", id, lat, lon)
+		}
+	case "rides":
+		g := workload.NewRideGen(workload.RideConfig{Drivers: *drivers, Seed: *seed})
+		fmt.Fprintln(w, "request_id,lat,lon")
+		for i := 0; i < *n; i++ {
+			id, lat, lon := g.NextRequest()
+			fmt.Fprintf(w, "%d,%.6f,%.6f\n", id, lat, lon)
+		}
+	case "stock":
+		g := workload.NewStockGen(workload.StockConfig{Symbols: *symbols, Seed: *seed})
+		fmt.Fprintln(w, "symbol,side,price,qty")
+		for i := 0; i < *n; i++ {
+			sym, side, price, qty := g.Next()
+			fmt.Fprintf(w, "%s,%s,%.4f,%d\n", sym, side, price, qty)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,74 @@
+package whale_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"whale"
+)
+
+// tickerSpout emits the integers 0..n-1.
+type tickerSpout struct{ n, i int }
+
+func (s *tickerSpout) Open(*whale.TaskContext) {}
+func (s *tickerSpout) Next(c *whale.Collector) bool {
+	if s.i >= s.n {
+		return false
+	}
+	c.Emit(int64(s.i))
+	s.i++
+	return true
+}
+func (s *tickerSpout) Close() {}
+
+// sumBolt accumulates everything it sees and reports at cleanup.
+type sumBolt struct {
+	ctx    *whale.TaskContext
+	sum    int64
+	report func(task int32, sum int64)
+}
+
+func (b *sumBolt) Prepare(ctx *whale.TaskContext)             { b.ctx = ctx }
+func (b *sumBolt) Execute(t *whale.Tuple, _ *whale.Collector) { b.sum += t.Int(0) }
+func (b *sumBolt) Cleanup()                                   { b.report(b.ctx.TaskID, b.sum) }
+
+// Example runs a one-to-many topology under the full Whale system: four
+// instances each receive the complete broadcast stream.
+func Example() {
+	var mu sync.Mutex
+	sums := map[int32]int64{}
+
+	b := whale.NewTopologyBuilder()
+	b.Spout("numbers", func() whale.Spout { return &tickerSpout{n: 100} }, 1)
+	b.Bolt("sum", func() whale.Bolt {
+		return &sumBolt{report: func(task int32, sum int64) {
+			mu.Lock()
+			sums[task] = sum
+			mu.Unlock()
+		}}
+	}, 4).All("numbers")
+
+	topo, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	cluster, err := whale.Run(topo, whale.SystemWhale, whale.Options{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	cluster.WaitSources()
+	cluster.Drain(10 * time.Second)
+	cluster.Shutdown()
+
+	mu.Lock()
+	defer mu.Unlock()
+	var totals []int64
+	for _, s := range sums {
+		totals = append(totals, s)
+	}
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+	fmt.Println(totals)
+	// Output: [4950 4950 4950 4950]
+}

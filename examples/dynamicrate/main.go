@@ -1,0 +1,110 @@
+// Dynamicrate: the Figs. 23-24 scenario on the live runtime. The broadcast
+// stream's input rate steps up and down while Whale's self-adjusting
+// controller (§3.3) watches the transfer queue and restructures the
+// non-blocking multicast tree (§3.4) — d* and the switch count are printed
+// as the profile plays.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"whale"
+	"whale/internal/workload"
+)
+
+// profile steps the offered rate like the paper's Fig. 23 (scaled to
+// example size): low, double, higher, peak, back off.
+func profile(elapsed time.Duration) float64 {
+	switch sec := elapsed.Seconds(); {
+	case sec < 2:
+		return 3000
+	case sec < 4:
+		return 6000
+	case sec < 6:
+		return 8000
+	case sec < 8:
+		return 10000
+	default:
+		return 8000
+	}
+}
+
+// profiledSpout emits broadcast tuples at the profiled rate.
+type profiledSpout struct {
+	limit *workload.RateLimiter
+	until time.Time
+	i     int64
+}
+
+func (s *profiledSpout) Open(*whale.TaskContext) {
+	s.limit = workload.NewProfileLimiter(profile)
+	s.until = time.Now().Add(10 * time.Second)
+}
+
+func (s *profiledSpout) Next(c *whale.Collector) bool {
+	if time.Now().After(s.until) {
+		return false
+	}
+	s.limit.Wait()
+	s.i++
+	c.Emit(s.i, "payload-abcdefghijklmnopqrstuvwxyz")
+	return true
+}
+
+func (s *profiledSpout) Close() {}
+
+// sinkBolt counts deliveries.
+type sinkBolt struct{ n *atomic.Int64 }
+
+func (b *sinkBolt) Prepare(*whale.TaskContext) {}
+func (b *sinkBolt) Execute(*whale.Tuple, *whale.Collector) {
+	b.n.Add(1)
+}
+func (b *sinkBolt) Cleanup() {}
+
+func main() {
+	var delivered atomic.Int64
+	b := whale.NewTopologyBuilder()
+	b.Spout("stream", func() whale.Spout { return &profiledSpout{} }, 1)
+	b.Bolt("consumers", func() whale.Bolt { return &sinkBolt{n: &delivered} }, 24).All("stream")
+	topo, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := whale.Run(topo, whale.SystemWhale, whale.Options{
+		Workers:         8,
+		InitialDstar:    1, // start as a chain so the controller has room to adapt
+		MonitorInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("offered rate steps 3k -> 6k -> 8k -> 10k -> 8k tuples/s over 10s; 24 consumers on 8 workers")
+	start := time.Now()
+	ticker := time.NewTicker(time.Second)
+	var last int64
+	for range ticker.C {
+		el := time.Since(start)
+		cur := delivered.Load()
+		m := cluster.Metrics()
+		fmt.Printf("t=%2.0fs offered=%6.0f/s delivered=%7d/s d*=%d switches=%d p99=%v\n",
+			el.Seconds(), profile(el), cur-last, cluster.ActiveDstar(),
+			m.Switches.Value(), time.Duration(m.ProcessingLatency.Snapshot().P99).Round(time.Microsecond))
+		last = cur
+		if el > 10*time.Second {
+			break
+		}
+	}
+	ticker.Stop()
+	cluster.StopSources()
+	cluster.Drain(10 * time.Second)
+	cluster.Shutdown()
+	m := cluster.Metrics()
+	fmt.Printf("\ntotal delivered=%d switches=%d mean switch time=%v\n",
+		delivered.Load(), m.Switches.Value(),
+		time.Duration(int64(m.SwitchLatency.Mean())).Round(time.Microsecond))
+}

@@ -1,0 +1,3 @@
+module whale
+
+go 1.22

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// raceEnabled is set by race_test.go under -race.
+var raceEnabled bool
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the evaluation must be registered.
+	want := []string{
+		"table2", "fig2", "fig3", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+		"fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28",
+		"fig29", "fig30", "fig31", "fig32", "fig33", "fig34",
+		"ablation-waterline", "ablation-smoothing", "ablation-dstar", "ext-scale",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %q not registered", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, manifest %d", len(ids), len(want))
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", true); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if _, ok := Get("fig13"); !ok {
+		t.Fatal("Get failed for known id")
+	}
+}
+
+// TestAllExperimentsQuick smoke-runs every experiment in quick mode and
+// sanity-checks the report structure.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != id {
+				t.Fatalf("report id %q", rep.ID)
+			}
+			if len(rep.Columns) < 2 || len(rep.Rows) == 0 {
+				t.Fatalf("degenerate report: %+v", rep)
+			}
+			for _, row := range rep.Rows {
+				if len(row) != len(rep.Columns) {
+					t.Fatalf("row width %d vs %d columns", len(row), len(rep.Columns))
+				}
+			}
+			if !strings.Contains(rep.String(), id) {
+				t.Fatal("String() missing id")
+			}
+		})
+	}
+}
+
+// cell parses a numeric report cell (strips x / % / unit suffixes).
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "x"), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+// TestFig13ReportShape verifies the regenerated table's headline shape:
+// at 480, columns are ordered Storm < RDMA-Storm < WOC < WOC-RDMA <= Whale.
+func TestFig13ReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	rep, err := Run("fig13", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last[0] != "480" {
+		t.Fatalf("last row parallelism %s", last[0])
+	}
+	vals := make([]float64, 0, 5)
+	for _, c := range last[1:] {
+		vals = append(vals, cell(t, c))
+	}
+	for i := 0; i+2 < len(vals); i++ {
+		if !(vals[i] < vals[i+1]) {
+			t.Fatalf("ordering broken in row %v", last)
+		}
+	}
+	if vals[4] < vals[3]*0.95 {
+		t.Fatalf("Whale below WOC-RDMA: %v", last)
+	}
+}
+
+// TestFig11MMSShape: throughput non-decreasing-ish with MMS and latency
+// increasing overall.
+func TestFig11MMSShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive microbenchmark; race detector slowdown distorts pacing")
+	}
+	rep, err := Run("fig11", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLat := cell(t, rep.Rows[0][2])
+	lastLat := cell(t, rep.Rows[len(rep.Rows)-1][2])
+	if !(lastLat > firstLat) {
+		t.Fatalf("latency did not grow with MMS: %v -> %v", firstLat, lastLat)
+	}
+	firstWR := cell(t, rep.Rows[0][4])
+	lastWR := cell(t, rep.Rows[len(rep.Rows)-1][4])
+	if !(lastWR < firstWR) {
+		t.Fatalf("work requests did not fall with MMS: %v -> %v", firstWR, lastWR)
+	}
+}
+
+// TestFig12WTLShape: latency grows with WTL.
+func TestFig12WTLShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive microbenchmark; race detector slowdown distorts pacing")
+	}
+	rep, err := Run("fig12", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLat := cell(t, rep.Rows[0][2])
+	lastLat := cell(t, rep.Rows[len(rep.Rows)-1][2])
+	if !(lastLat > 2*firstLat) {
+		t.Fatalf("latency did not grow with WTL: %v -> %v", firstLat, lastLat)
+	}
+}
+
+// TestFig29VerbsOrdering: one-sided READ sustains at least two-sided's
+// throughput (the paper's headline ordering).
+func TestFig29VerbsOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive microbenchmark; race detector slowdown distorts pacing")
+	}
+	rep, err := Run("fig29", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, row := range rep.Rows {
+		byName[row[0]] = cell(t, row[1])
+	}
+	// The paper's headline: the READ-based ring data path wins.
+	read := byName["one-sided READ"]
+	if read <= byName["two-sided SEND/RECV"] || read <= byName["one-sided WRITE"] {
+		t.Fatalf("READ (%f) not the best: %v", read, byName)
+	}
+}

@@ -1,0 +1,808 @@
+// Package cluster is a discrete-event model of the paper's 30-node testbed
+// (16-core Xeons, 1 GbE and 56 Gbps InfiniBand) running the one-to-many
+// partitioning pipeline: a source instance partitioning a broadcast stream
+// to n matching instances packed 16-per-machine, under each of the paper's
+// system variants. It reproduces, at paper scale and in milliseconds of
+// real time, the CPU/queueing effects the evaluation measures: upstream
+// overload (Fig. 2), transfer-queue blocking (Fig. 3), the throughput and
+// latency sweeps (Figs. 13-22), dynamic-rate adaptation (Figs. 23-24),
+// communication time and traffic accounting (Figs. 25-28), and rack
+// topology (Figs. 33-34).
+//
+// Costs come from internal/netmodel; the multicast structures and the
+// self-adjusting controller are the same internal/multicast and
+// internal/control code the live runtime uses.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"whale/internal/control"
+	"whale/internal/metrics"
+	"whale/internal/multicast"
+	"whale/internal/netmodel"
+	"whale/internal/queueing"
+	"whale/internal/sim"
+)
+
+// Variant names a simulated system.
+type Variant int
+
+const (
+	// Storm: instance-oriented communication over TCP.
+	Storm Variant = iota
+	// RDMAStorm: instance-oriented over basic two-sided verbs.
+	RDMAStorm
+	// WhaleWOC: worker-oriented star over basic verbs.
+	WhaleWOC
+	// WhaleWOCRDMA: worker-oriented star over the optimized data path.
+	WhaleWOCRDMA
+	// RDMC: worker-oriented static binomial tree, optimized data path.
+	RDMC
+	// Whale: worker-oriented self-adjusting non-blocking tree.
+	Whale
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Storm:
+		return "Storm"
+	case RDMAStorm:
+		return "RDMA-Storm"
+	case WhaleWOC:
+		return "Whale-WOC"
+	case WhaleWOCRDMA:
+		return "Whale-WOC-RDMA"
+	case RDMC:
+		return "RDMC"
+	case Whale:
+		return "Whale"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// instanceOriented reports whether the variant serializes per instance.
+func (v Variant) instanceOriented() bool { return v == Storm || v == RDMAStorm }
+
+// tree reports whether the variant relays through a multicast tree.
+func (v Variant) tree() bool { return v == RDMC || v == Whale }
+
+// Config parameterises one simulation run.
+type Config struct {
+	Variant  Variant
+	Machines int // default 30
+	Racks    int // default 1
+	// Parallelism is n, the matching-operator instance count. Instances
+	// pack 16 per machine (the paper's cores-per-machine).
+	Parallelism int
+	Params      netmodel.Params
+
+	// InputRate is the broadcast stream's Poisson rate (tuples/s); zero
+	// selects closed-loop probing of the maximum sustainable rate.
+	InputRate float64
+	// RateProfile overrides InputRate with a time-varying rate when set.
+	RateProfile func(t sim.Time) float64
+	// LocationRate is the key-grouped background stream rate.
+	LocationRate float64
+
+	// MaxTuples bounds the run (default 4000); Warmup tuples are excluded
+	// from statistics (default 10%).
+	MaxTuples int
+	Warmup    int
+	// Duration bounds profile-driven runs.
+	Duration sim.Time
+
+	// Q is the source transfer-queue capacity (default 1024).
+	Q int
+	// Dstar is the non-blocking tree's initial/fixed out-degree cap
+	// (default 3, as fixed in Figs. 21-22).
+	Dstar int
+	// Adaptive enables the §3.3 controller (Whale only).
+	Adaptive bool
+	// MonitorInterval is the controller Δt (default 10 ms).
+	MonitorInterval time.Duration
+	// SwitchMoveCost is the modelled delay per reconnection during a
+	// dynamic switch (default 50 µs).
+	SwitchMoveCost time.Duration
+	// TimelineBucket, when set, records per-bucket throughput/latency
+	// series (Figs. 23-24).
+	TimelineBucket sim.Time
+
+	// TDownOverride and AlphaOverride tune the controller for ablation
+	// benches (zero keeps the defaults).
+	TDownOverride float64
+	AlphaOverride float64
+
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines <= 0 {
+		c.Machines = 30
+	}
+	if c.Racks <= 0 {
+		c.Racks = 1
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 480
+	}
+	if c.Params == (netmodel.Params{}) {
+		c.Params = netmodel.Default30Node()
+	}
+	if c.MaxTuples <= 0 {
+		c.MaxTuples = 4000
+	}
+	if c.Warmup <= 0 {
+		if c.Duration > 0 {
+			// Duration-bounded (profile) runs leave MaxTuples at a sentinel;
+			// a fraction of it would exclude everything from the stats.
+			c.Warmup = 200
+		} else {
+			c.Warmup = c.MaxTuples / 10
+		}
+	}
+	if c.Q <= 0 {
+		c.Q = 1024
+	}
+	if c.Dstar <= 0 {
+		c.Dstar = 3
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = 10 * time.Millisecond
+	}
+	if c.SwitchMoveCost <= 0 {
+		c.SwitchMoveCost = 50 * time.Microsecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// TimelinePoint is one bucket of a profile run.
+type TimelinePoint struct {
+	// T is the bucket end (ns).
+	T sim.Time
+	// Throughput is completed tuples/s in the bucket.
+	Throughput float64
+	// MeanLatencyNS is the bucket's mean processing latency.
+	MeanLatencyNS float64
+	// Dstar is the controller's cap at bucket end.
+	Dstar int
+	// Drops counts source-queue overflows in the bucket.
+	Drops int64
+}
+
+// Result summarises a run.
+type Result struct {
+	Variant     Variant
+	Parallelism int
+
+	Completed  int64
+	Throughput float64 // completed tuples/s
+
+	ProcLatency metrics.Snapshot // emit -> all n instances done
+	McastLat    metrics.Snapshot // emit -> last worker arrival
+
+	SrcUtil        float64 // source instance CPU utilisation
+	MatchUtil      float64 // representative matching instance utilisation
+	DispatcherUtil float64 // busiest dispatcher utilisation
+
+	// CommNSPerTuple is the source's send-side CPU per tuple; SerNSPerTuple
+	// the serialization share of it (Figs. 25-26).
+	CommNSPerTuple float64
+	SerNSPerTuple  float64
+	SerFrac        float64
+
+	// TrafficBytesPer10k is the source machine's egress per 10k tuples
+	// (Figs. 27-28).
+	TrafficBytesPer10k float64
+
+	Drops      int64
+	PeakQueue  int
+	LoadFactor float64 // λ·(source service time), ρ of the source
+	Switches   int
+	FinalDstar int
+
+	Timeline []TimelinePoint
+}
+
+// coresPerMachine is the paper testbed's core count per machine.
+const coresPerMachine = 16
+
+// machinesFor returns the engaged machine count: instances pack 16 per
+// machine (multi-core exploitation), so parallelism 480 fills 30 machines.
+func machinesFor(parallelism, machines int) int {
+	m := (parallelism + coresPerMachine - 1) / coresPerMachine
+	if m > machines {
+		m = machines
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// run state ----------------------------------------------------------------
+
+type tupleState struct {
+	emit          sim.Time
+	workersLeft   int
+	instancesLeft int
+	lastWorker    sim.Time
+	counted       bool // included in stats (post-warmup)
+}
+
+type machine struct {
+	id         int
+	rack       int
+	dispatcher *sim.Server
+	instance   *sim.Server // representative matching instance
+	nic        *sim.Server
+	localInst  int // matching instances hosted
+}
+
+type runner struct {
+	cfg Config
+	p   netmodel.Params
+	eng *sim.Engine
+	rng *sim.RNG
+
+	machines []*machine
+	W        int         // engaged machines
+	src      *sim.Server // source instance (its queue is the transfer queue)
+
+	tree     *multicast.Tree // nil for star/instance variants
+	dstar    int
+	ctrl     *control.Controller
+	switches int
+	arrivals int64 // since last monitor tick
+	paused   bool  // source paused during a dynamic switch
+
+	nextID    int64
+	emitted   int64
+	completed int64
+	drops     int64
+	states    map[int64]*tupleState
+
+	procLat  *metrics.Histogram
+	mcastLat *metrics.Histogram
+
+	statsStart     sim.Time
+	statsStartDone int64
+	srcSerNS       int64
+	srcCommNS      int64
+	srcTraffic     int64
+	countedTuples  int64
+
+	// closed-loop tokens
+	closedLoop  bool
+	outstanding int
+
+	timeline       []TimelinePoint
+	bucketStart    sim.Time
+	bucketDone     int64
+	bucketLatSum   int64
+	bucketLatCount int64
+	bucketDrops    int64
+}
+
+// Run executes one simulation and returns its result.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	r := &runner{
+		cfg:      cfg,
+		p:        cfg.Params,
+		eng:      sim.NewEngine(),
+		rng:      sim.NewRNG(cfg.Seed),
+		states:   map[int64]*tupleState{},
+		procLat:  &metrics.Histogram{},
+		mcastLat: &metrics.Histogram{},
+		dstar:    cfg.Dstar,
+	}
+	r.W = machinesFor(cfg.Parallelism, cfg.Machines)
+	r.buildMachines()
+	r.buildTree()
+	if cfg.Variant == Whale && cfg.Adaptive {
+		ctl := control.Config{QueueCapacity: cfg.Q, Alpha: 0.5,
+			MaxDstar: maxDstarFor(r.W)}
+		if cfg.AlphaOverride > 0 {
+			ctl.Alpha = cfg.AlphaOverride
+		}
+		if cfg.TDownOverride > 0 {
+			ctl.TDown = cfg.TDownOverride
+		}
+		r.ctrl = control.NewController(ctl, r.dstar)
+		r.scheduleMonitor()
+	}
+	r.closedLoop = cfg.InputRate == 0 && cfg.RateProfile == nil
+	if cfg.TimelineBucket > 0 {
+		r.scheduleTimeline()
+	}
+	r.start()
+	r.finishTimeline()
+	return r.result()
+}
+
+func maxDstarFor(W int) int {
+	d := queueing.BinomialSourceDegree(W - 1)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func (r *runner) buildMachines() {
+	n := r.cfg.Parallelism
+	for m := 0; m < r.W; m++ {
+		inst := n / r.W
+		if m < n%r.W {
+			inst++
+		}
+		r.machines = append(r.machines, &machine{
+			id:         m,
+			rack:       m * r.cfg.Racks / r.W,
+			dispatcher: sim.NewServer(r.eng, fmt.Sprintf("disp%d", m), 0),
+			instance:   sim.NewServer(r.eng, fmt.Sprintf("inst%d", m), 0),
+			nic:        sim.NewServer(r.eng, fmt.Sprintf("nic%d", m), 0),
+			localInst:  inst,
+		})
+	}
+	// The source instance lives on machine 0; its server queue is the
+	// transfer queue with capacity Q.
+	r.src = sim.NewServer(r.eng, "source", r.cfg.Q)
+	// Background location stream on every engaged instance.
+	if r.cfg.LocationRate > 0 {
+		perInst := r.cfg.LocationRate / float64(n)
+		horizon := r.horizon()
+		for _, m := range r.machines {
+			m := m
+			sim.Arrivals(r.eng, r.rng, horizon, func(sim.Time) float64 { return perInst }, func() {
+				m.instance.Submit(r.p.LocationCost.Nanoseconds(), nil)
+			})
+		}
+	}
+}
+
+func (r *runner) horizon() sim.Time {
+	if r.cfg.Duration > 0 {
+		return r.cfg.Duration
+	}
+	return sim.Time(1 << 62)
+}
+
+// buildTree constructs the worker-level multicast structure for tree
+// variants. Node ids are machine ids; machine 0 (the source's) is the root.
+func (r *runner) buildTree() {
+	if !r.cfg.Variant.tree() {
+		return
+	}
+	dests := make([]multicast.NodeID, 0, r.W-1)
+	for m := 1; m < r.W; m++ {
+		dests = append(dests, multicast.NodeID(m))
+	}
+	if r.cfg.Variant == RDMC {
+		r.tree = multicast.BuildBinomial(0, dests)
+		return
+	}
+	d := r.dstar
+	if b := maxDstarFor(r.W); d > b {
+		d = b
+	}
+	r.dstar = d
+	r.tree = multicast.BuildNonBlocking(0, dests, d)
+}
+
+// sourceCost returns the source's per-tuple service time and the
+// serialization portion of it, plus the per-message egress plan.
+func (r *runner) sourceCost() (total, ser sim.Time) {
+	p := r.p
+	fixed := p.TEmitFixed.Nanoseconds()
+	switch {
+	case r.cfg.Variant.instanceOriented():
+		remote := r.remoteInstances()
+		per := p.TSerialize.Nanoseconds()
+		tx := p.TKernelMsg.Nanoseconds()
+		if r.cfg.Variant == RDMAStorm {
+			tx = p.TPostBasic.Nanoseconds()
+		}
+		return fixed + int64(remote)*(per+tx), int64(remote) * per
+	case r.cfg.Variant.tree():
+		children := len(r.tree.Children(0))
+		return fixed + p.TSerialize.Nanoseconds() + int64(children)*p.TPostOpt.Nanoseconds(),
+			p.TSerialize.Nanoseconds()
+	default: // worker-oriented star
+		post := p.TPostOpt.Nanoseconds()
+		if r.cfg.Variant == WhaleWOC {
+			post = p.TPostBasic.Nanoseconds()
+		}
+		return fixed + p.TSerialize.Nanoseconds() + int64(r.W-1)*post,
+			p.TSerialize.Nanoseconds()
+	}
+}
+
+func (r *runner) remoteInstances() int {
+	return r.cfg.Parallelism - r.machines[0].localInst
+}
+
+// start drives arrivals and runs the simulation to completion.
+func (r *runner) start() {
+	if r.closedLoop {
+		// Closed loop: keep a fixed number of tuples in flight to probe
+		// the maximum sustainable rate.
+		const tokens = 24
+		r.outstanding = 0
+		for i := 0; i < tokens; i++ {
+			r.emitNext()
+		}
+		r.eng.Run()
+		return
+	}
+	rate := r.cfg.RateProfile
+	if rate == nil {
+		fixed := r.cfg.InputRate
+		rate = func(sim.Time) float64 { return fixed }
+	}
+	if r.cfg.Duration == 0 {
+		// Tuple-bounded run: stop the arrival process once the budget is
+		// spent by returning a zero rate.
+		inner := rate
+		rate = func(t sim.Time) float64 {
+			if r.emitted >= int64(r.cfg.MaxTuples) {
+				return 0
+			}
+			return inner(t)
+		}
+	}
+	horizon := r.horizon()
+	sim.Arrivals(r.eng, r.rng, horizon, rate, func() {
+		if r.emitted < int64(r.cfg.MaxTuples) || r.cfg.Duration > 0 {
+			r.emitTuple()
+		}
+	})
+	if r.cfg.Duration > 0 {
+		r.eng.RunUntil(r.cfg.Duration)
+		// Let in-flight work finish.
+		r.eng.Run()
+	} else {
+		r.eng.Run()
+	}
+}
+
+// emitNext is the closed-loop emitter.
+func (r *runner) emitNext() {
+	if r.emitted >= int64(r.cfg.MaxTuples) {
+		return
+	}
+	r.outstanding++
+	r.emitTuple()
+}
+
+// emitTuple pushes one broadcast tuple into the source.
+func (r *runner) emitTuple() {
+	r.emitted++
+	r.arrivals++
+	id := r.nextID
+	r.nextID++
+	st := &tupleState{
+		emit:          r.eng.Now(),
+		workersLeft:   r.W - 1,
+		instancesLeft: r.cfg.Parallelism,
+		counted:       r.emitted > int64(r.cfg.Warmup),
+	}
+	if st.counted && r.countedTuples == 0 {
+		r.statsStart = r.eng.Now()
+		r.statsStartDone = r.completed
+	}
+	if st.counted {
+		r.countedTuples++
+	}
+	r.states[id] = st
+
+	total, ser := r.sourceCost()
+	ok := r.src.Submit(total, func() {
+		if st.counted {
+			r.srcCommNS += total
+			r.srcSerNS += ser
+		}
+		r.transmit(id, st)
+	})
+	if !ok {
+		// Transfer queue overflow: stream input loss (Definition 4).
+		r.drops++
+		r.bucketDrops++
+		delete(r.states, id)
+		if r.closedLoop {
+			r.outstanding--
+			r.emitNext()
+		}
+	}
+}
+
+// perPost returns the variant's per-message sender post cost.
+func (r *runner) perPost() int64 {
+	switch {
+	case r.cfg.Variant == Storm:
+		return r.p.TKernelMsg.Nanoseconds()
+	case r.cfg.Variant == RDMAStorm || r.cfg.Variant == WhaleWOC:
+		return r.p.TPostBasic.Nanoseconds()
+	default:
+		return r.p.TPostOpt.Nanoseconds()
+	}
+}
+
+// transmit fans the tuple out per the variant. Messages leave the source
+// staggered by the per-message post cost: "the source establishes an RDMA
+// channel to each directly cascading instance and sends a tuple to every
+// cascading instance sequentially" — the timing premise of the paper's
+// tree analysis (§3.2).
+func (r *runner) transmit(id int64, st *tupleState) {
+	// Local instances complete without the network.
+	r.deliverInstances(id, st, r.machines[0])
+	post := r.perPost()
+	j := int64(0)
+	switch {
+	case r.cfg.Variant.instanceOriented():
+		size := r.p.InstanceMsgBytes()
+		for m := 1; m < r.W; m++ {
+			mm := r.machines[m]
+			for i := 0; i < mm.localInst; i++ {
+				last := i == mm.localInst-1
+				j++
+				r.eng.After(j*post, func() { r.sendMsg(id, st, 0, mm, size, 1, last) })
+			}
+		}
+	case r.cfg.Variant.tree():
+		for _, c := range r.tree.Children(0) {
+			mm := r.machines[c]
+			j++
+			r.eng.After(j*post, func() {
+				r.sendMsg(id, st, 0, mm, r.p.WorkerMsgBytes(mm.localInst), mm.localInst, true)
+			})
+		}
+	default:
+		for m := 1; m < r.W; m++ {
+			mm := r.machines[m]
+			j++
+			r.eng.After(j*post, func() {
+				r.sendMsg(id, st, 0, mm, r.p.WorkerMsgBytes(mm.localInst), mm.localInst, true)
+			})
+		}
+	}
+}
+
+// sendMsg moves one message from machine `from` to machine `to`:
+// NIC egress (bandwidth) -> propagation -> {relay fan-out, dispatcher ->
+// instances}. Relaying happens on arrival, before deserialization: Whale's
+// relays forward the raw ring bytes (§4), so the relay path does not pay
+// the dispatcher. kTasks is the local fan-out at the destination;
+// lastForWorker marks the message that completes the worker's delivery.
+func (r *runner) sendMsg(id int64, st *tupleState, from int, to *machine, size, kTasks int, lastForWorker bool) {
+	bw := r.p.InfinibandBps
+	if r.cfg.Variant == Storm {
+		bw = r.p.EthernetBps
+	}
+	src := r.machines[from]
+	if st.counted && from == 0 {
+		r.srcTraffic += int64(size)
+	}
+	wire := netmodel.WireTime(size, bw).Nanoseconds()
+	src.nic.Submit(wire, func() {
+		prop := r.p.Propagation.Nanoseconds()
+		if src.rack != to.rack {
+			prop += r.p.InterRackExtra.Nanoseconds()
+		}
+		r.eng.After(prop, func() {
+			// Tree relay first, staggered per child post.
+			if r.cfg.Variant.tree() {
+				post := r.p.TPostOpt.Nanoseconds()
+				for i, c := range r.tree.Children(multicast.NodeID(to.id)) {
+					cm := r.machines[c]
+					to.dispatcher.Submit(post, nil) // relay CPU accounting
+					r.eng.After(int64(i+1)*post, func() {
+						r.sendMsg(id, st, to.id, cm, size, cm.localInst, true)
+					})
+				}
+			}
+			dispCost := r.p.TDeserialize.Nanoseconds() + int64(kTasks)*r.p.TDispatchPerTask.Nanoseconds()
+			to.dispatcher.Submit(dispCost, func() {
+				if lastForWorker {
+					r.workerArrived(id, st)
+					r.deliverInstances(id, st, to)
+				}
+			})
+		})
+	})
+}
+
+// workerArrived records multicast progress.
+func (r *runner) workerArrived(id int64, st *tupleState) {
+	st.workersLeft--
+	if r.eng.Now() > st.lastWorker {
+		st.lastWorker = r.eng.Now()
+	}
+	if st.workersLeft == 0 && st.counted {
+		r.mcastLat.Observe(st.lastWorker - st.emit)
+	}
+}
+
+// deliverInstances runs the matching work for every instance on the
+// machine (modelled by one representative server, counted localInst times).
+// When a machine hosts more instances than cores (beyond the paper's
+// 16-per-machine packing), the representative's service time stretches by
+// the oversubscription factor — cores are shared.
+func (r *runner) deliverInstances(id int64, st *tupleState, m *machine) {
+	if m.localInst == 0 {
+		r.maybeComplete(id, st, 0)
+		return
+	}
+	cost := r.p.MatchCost(r.cfg.Parallelism).Nanoseconds()
+	if m.localInst > coresPerMachine {
+		cost = cost * int64(m.localInst) / coresPerMachine
+	}
+	k := m.localInst
+	m.instance.Submit(cost, func() {
+		r.maybeComplete(id, st, k)
+	})
+}
+
+func (r *runner) maybeComplete(id int64, st *tupleState, k int) {
+	st.instancesLeft -= k
+	if st.instancesLeft > 0 {
+		return
+	}
+	r.completed++
+	r.bucketDone++
+	lat := r.eng.Now() - st.emit
+	if st.counted {
+		r.procLat.Observe(lat)
+		r.bucketLatSum += lat
+		r.bucketLatCount++
+	}
+	delete(r.states, id)
+	if r.closedLoop {
+		r.outstanding--
+		r.emitNext()
+	}
+}
+
+// finished reports whether a tuple-bounded run has no work left (tickers
+// must stop rescheduling or the event loop never drains).
+func (r *runner) finished() bool {
+	if r.cfg.Duration > 0 {
+		return r.eng.Now() >= r.cfg.Duration
+	}
+	return r.emitted >= int64(r.cfg.MaxTuples) && len(r.states) == 0
+}
+
+// scheduleMonitor runs the §3.3 controller on simulated time.
+func (r *runner) scheduleMonitor() {
+	dt := r.cfg.MonitorInterval.Nanoseconds()
+	var tick func()
+	tick = func() {
+		if r.finished() {
+			return
+		}
+		count := r.arrivals
+		r.arrivals = 0
+		r.ctrl.ObserveRate(float64(count), float64(dt)/1e9)
+		// Observed per-replica time: the true source cost divided by the
+		// current out-degree (what the QueueMonitor would measure).
+		total, _ := r.sourceCost()
+		d := len(r.tree.Children(0))
+		if d < 1 {
+			d = 1
+		}
+		r.ctrl.ObserveTe(float64(total) / float64(d) / 1e9)
+		dec := r.ctrl.Evaluate(r.src.QueueLen())
+		if dec.Action != control.Hold && !r.paused {
+			r.applySwitch(dec.NewDstar)
+		}
+		r.eng.After(dt, tick)
+	}
+	r.eng.After(dt, tick)
+}
+
+// applySwitch restructures the tree and models the switching delay by
+// pausing the source's output (the paper's Theorem 4 analysis window).
+func (r *runner) applySwitch(newDstar int) {
+	next := r.tree.Clone()
+	dir, moves := multicast.Switch(next, r.dstar, newDstar)
+	r.dstar = newDstar
+	if dir == multicast.NoSwitch || len(moves) == 0 {
+		return
+	}
+	r.switches++
+	delay := sim.Time(len(moves))*r.cfg.SwitchMoveCost.Nanoseconds() + 2*r.p.Propagation.Nanoseconds()
+	r.paused = true
+	// The switch occupies the source (output rate drops to zero while the
+	// ControlMessages propagate and ACKs return).
+	r.src.Submit(delay, func() {
+		r.tree = next
+		r.paused = false
+	})
+}
+
+// scheduleTimeline records bucketed series for the dynamic figures.
+func (r *runner) scheduleTimeline() {
+	b := r.cfg.TimelineBucket
+	var tick func()
+	tick = func() {
+		r.flushBucket(r.eng.Now())
+		if r.finished() {
+			return
+		}
+		r.eng.After(b, tick)
+	}
+	r.eng.After(b, tick)
+}
+
+func (r *runner) flushBucket(now sim.Time) {
+	dt := now - r.bucketStart
+	if dt <= 0 {
+		return
+	}
+	pt := TimelinePoint{
+		T:          now,
+		Throughput: float64(r.bucketDone) / (float64(dt) / 1e9),
+		Dstar:      r.dstar,
+		Drops:      r.bucketDrops,
+	}
+	if r.bucketLatCount > 0 {
+		pt.MeanLatencyNS = float64(r.bucketLatSum) / float64(r.bucketLatCount)
+	}
+	r.timeline = append(r.timeline, pt)
+	r.bucketStart = now
+	r.bucketDone, r.bucketLatSum, r.bucketLatCount, r.bucketDrops = 0, 0, 0, 0
+}
+
+func (r *runner) finishTimeline() {
+	if r.cfg.TimelineBucket > 0 && r.bucketDone > 0 {
+		r.flushBucket(r.eng.Now())
+	}
+}
+
+func (r *runner) result() Result {
+	res := Result{
+		Variant:     r.cfg.Variant,
+		Parallelism: r.cfg.Parallelism,
+		Completed:   r.completed,
+		ProcLatency: r.procLat.Snapshot(),
+		McastLat:    r.mcastLat.Snapshot(),
+		Drops:       r.drops,
+		PeakQueue:   r.src.PeakQueue(),
+		Switches:    r.switches,
+		FinalDstar:  r.dstar,
+		Timeline:    r.timeline,
+	}
+	span := r.eng.Now() - r.statsStart
+	if span > 0 {
+		res.Throughput = float64(r.completed-r.statsStartDone) / (float64(span) / 1e9)
+	}
+	res.SrcUtil = r.src.Utilization()
+	res.MatchUtil = r.machines[0].instance.Utilization()
+	for _, m := range r.machines {
+		if u := m.dispatcher.Utilization(); u > res.DispatcherUtil {
+			res.DispatcherUtil = u
+		}
+		if u := m.instance.Utilization(); u > res.MatchUtil {
+			res.MatchUtil = u
+		}
+	}
+	if r.countedTuples > 0 {
+		res.CommNSPerTuple = float64(r.srcCommNS) / float64(r.countedTuples)
+		res.SerNSPerTuple = float64(r.srcSerNS) / float64(r.countedTuples)
+		res.TrafficBytesPer10k = float64(r.srcTraffic) / float64(r.countedTuples) * 10000
+	}
+	if res.CommNSPerTuple > 0 {
+		res.SerFrac = res.SerNSPerTuple / res.CommNSPerTuple
+	}
+	total, _ := r.sourceCost()
+	if r.cfg.InputRate > 0 {
+		res.LoadFactor = r.cfg.InputRate * float64(total) / 1e9
+	} else {
+		res.LoadFactor = res.Throughput * float64(total) / 1e9
+	}
+	return res
+}

@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"whale/internal/netmodel"
+	"whale/internal/sim"
+)
+
+// probe runs a closed-loop simulation for a variant at parallelism n.
+func probe(t *testing.T, v Variant, n int) Result {
+	t.Helper()
+	res := Run(Config{Variant: v, Parallelism: n, MaxTuples: 1500, Seed: 7})
+	if res.Completed == 0 || res.Throughput <= 0 {
+		t.Fatalf("%v/%d: no progress: %+v", v, n, res)
+	}
+	return res
+}
+
+func TestVariantStrings(t *testing.T) {
+	for v, want := range map[Variant]string{
+		Storm: "Storm", RDMAStorm: "RDMA-Storm", WhaleWOC: "Whale-WOC",
+		WhaleWOCRDMA: "Whale-WOC-RDMA", RDMC: "RDMC", Whale: "Whale",
+	} {
+		if v.String() != want {
+			t.Fatalf("%d -> %q", int(v), v)
+		}
+	}
+}
+
+func TestMachinesFor(t *testing.T) {
+	cases := []struct{ n, m, want int }{
+		{480, 30, 30}, {120, 30, 8}, {16, 30, 1}, {17, 30, 2}, {1000, 30, 30}, {1, 30, 1},
+	}
+	for _, c := range cases {
+		if got := machinesFor(c.n, c.m); got != c.want {
+			t.Fatalf("machinesFor(%d,%d)=%d want %d", c.n, c.m, got, c.want)
+		}
+	}
+}
+
+// TestFig13Ordering checks the headline ordering at parallelism 480:
+// Storm < RDMA-Storm < Whale-WOC < Whale-WOC-RDMA <= Whale, with Whale tens
+// of times over Storm.
+func TestFig13Ordering(t *testing.T) {
+	storm := probe(t, Storm, 480)
+	rstorm := probe(t, RDMAStorm, 480)
+	woc := probe(t, WhaleWOC, 480)
+	wocRdma := probe(t, WhaleWOCRDMA, 480)
+	whale := probe(t, Whale, 480)
+
+	seq := []Result{storm, rstorm, woc, wocRdma}
+	for i := 0; i+1 < len(seq); i++ {
+		if !(seq[i].Throughput < seq[i+1].Throughput) {
+			t.Fatalf("ordering broken at %v (%.0f) vs %v (%.0f)",
+				seq[i].Variant, seq[i].Throughput, seq[i+1].Variant, seq[i+1].Throughput)
+		}
+	}
+	if whale.Throughput < wocRdma.Throughput*0.95 {
+		t.Fatalf("Whale (%.0f) below Whale-WOC-RDMA (%.0f)", whale.Throughput, wocRdma.Throughput)
+	}
+	if ratio := whale.Throughput / storm.Throughput; ratio < 20 {
+		t.Fatalf("Whale/Storm = %.1f, want tens", ratio)
+	}
+	if ratio := rstorm.Throughput / storm.Throughput; ratio < 1.3 || ratio > 10 {
+		t.Fatalf("RDMA-Storm/Storm = %.1f, want low single digits", ratio)
+	}
+}
+
+// TestFig13Monotonicity: baselines decline with parallelism, Whale rises.
+func TestFig13Monotonicity(t *testing.T) {
+	for _, v := range []Variant{Storm, RDMAStorm} {
+		lo := probe(t, v, 120)
+		hi := probe(t, v, 480)
+		if !(hi.Throughput < lo.Throughput) {
+			t.Fatalf("%v throughput did not decline: %.0f -> %.0f", v, lo.Throughput, hi.Throughput)
+		}
+	}
+	lo := probe(t, Whale, 120)
+	hi := probe(t, Whale, 480)
+	if !(hi.Throughput > lo.Throughput) {
+		t.Fatalf("Whale throughput did not rise: %.0f -> %.0f", lo.Throughput, hi.Throughput)
+	}
+}
+
+// TestFig14LatencyShape: baselines' latency grows with parallelism; Whale's
+// falls; at 480 Whale cuts latency by >90%.
+func TestFig14LatencyShape(t *testing.T) {
+	stormLo, stormHi := probe(t, Storm, 120), probe(t, Storm, 480)
+	if !(stormHi.ProcLatency.Mean > stormLo.ProcLatency.Mean) {
+		t.Fatalf("Storm latency did not grow: %.0f -> %.0f", stormLo.ProcLatency.Mean, stormHi.ProcLatency.Mean)
+	}
+	whaleLo, whaleHi := probe(t, Whale, 120), probe(t, Whale, 480)
+	if !(whaleHi.ProcLatency.Mean < whaleLo.ProcLatency.Mean) {
+		t.Fatalf("Whale latency did not fall: %.0f -> %.0f", whaleLo.ProcLatency.Mean, whaleHi.ProcLatency.Mean)
+	}
+	if red := 1 - whaleHi.ProcLatency.Mean/stormHi.ProcLatency.Mean; red < 0.9 {
+		t.Fatalf("Whale latency reduction %.2f, want > 0.9", red)
+	}
+}
+
+// TestFig2SourceOverload: in Storm the source saturates while downstream
+// idles as parallelism grows (the paper's motivating observation).
+func TestFig2SourceOverload(t *testing.T) {
+	res := probe(t, Storm, 480)
+	if res.SrcUtil < 0.9 {
+		t.Fatalf("source utilisation %.2f, want ~1", res.SrcUtil)
+	}
+	if res.MatchUtil > 0.5 {
+		t.Fatalf("downstream utilisation %.2f, want low", res.MatchUtil)
+	}
+	// Serialization is a large share of Storm's communication time.
+	if res.SerFrac < 0.2 || res.SerFrac > 0.8 {
+		t.Fatalf("Storm serialization share %.2f", res.SerFrac)
+	}
+}
+
+// TestFig26SerializationShares: RDMA-Storm's communication time is
+// dominated by serialization; Whale's is not.
+func TestFig26SerializationShares(t *testing.T) {
+	rstorm := probe(t, RDMAStorm, 480)
+	whale := probe(t, Whale, 480)
+	if !(rstorm.SerFrac > 0.6) {
+		t.Fatalf("RDMA-Storm serialization share %.2f, want > 0.6", rstorm.SerFrac)
+	}
+	if !(whale.SerFrac < rstorm.SerFrac) {
+		t.Fatalf("Whale share %.2f not below RDMA-Storm %.2f", whale.SerFrac, rstorm.SerFrac)
+	}
+	// Fig. 25: Whale's communication time per tuple is a tiny fraction of
+	// Storm's.
+	storm := probe(t, Storm, 480)
+	if whale.CommNSPerTuple > 0.1*storm.CommNSPerTuple {
+		t.Fatalf("Whale comm time %.0f not <10%% of Storm %.0f", whale.CommNSPerTuple, storm.CommNSPerTuple)
+	}
+}
+
+// TestFig27Traffic: Whale's traffic per 10k tuples is ~90% below Storm's
+// and nearly flat in parallelism.
+func TestFig27Traffic(t *testing.T) {
+	storm := probe(t, Storm, 480)
+	whale := probe(t, Whale, 480)
+	if red := 1 - whale.TrafficBytesPer10k/storm.TrafficBytesPer10k; red < 0.85 {
+		t.Fatalf("traffic reduction %.2f, want ~0.9", red)
+	}
+	whaleLo := probe(t, Whale, 240)
+	growth := whale.TrafficBytesPer10k / whaleLo.TrafficBytesPer10k
+	if growth > 2.2 {
+		t.Fatalf("Whale traffic grew %.1fx from 240 to 480", growth)
+	}
+	stormLo := probe(t, Storm, 240)
+	if sg := storm.TrafficBytesPer10k / stormLo.TrafficBytesPer10k; sg < 1.8 {
+		t.Fatalf("Storm traffic should roughly double (got %.2fx)", sg)
+	}
+}
+
+// TestFig3RDMCBlocking: at rising input rates, RDMC's source queue
+// eventually overflows (load factor > 1 -> drops), while the same rate is
+// fine for Whale's adapted tree.
+func TestFig3RDMCBlocking(t *testing.T) {
+	// Find the breaking rate for RDMC at 480 instances.
+	base := Run(Config{Variant: RDMC, Parallelism: 480, MaxTuples: 1500, Seed: 3})
+	lowRate := base.Throughput * 0.5
+	highRate := base.Throughput * 4
+	low := Run(Config{Variant: RDMC, Parallelism: 480, InputRate: lowRate, MaxTuples: 2000, Seed: 3})
+	if low.Drops > 0 {
+		t.Fatalf("RDMC dropped at half capacity: %d", low.Drops)
+	}
+	high := Run(Config{Variant: RDMC, Parallelism: 480, InputRate: highRate, MaxTuples: 6000, Q: 64, Seed: 3})
+	if high.Drops == 0 {
+		t.Fatalf("RDMC did not overflow at 4x capacity (peak queue %d)", high.PeakQueue)
+	}
+	if high.LoadFactor <= 1 {
+		t.Fatalf("load factor %.2f, want > 1", high.LoadFactor)
+	}
+	// Latency blows up near saturation.
+	if !(high.ProcLatency.Mean > 2*low.ProcLatency.Mean) {
+		t.Fatalf("latency did not spike: %.0f vs %.0f", low.ProcLatency.Mean, high.ProcLatency.Mean)
+	}
+}
+
+// TestFig21MulticastLatencyOrdering: past the star's saturation point (the
+// paper drives the maximum rate the system sustains), the relay trees
+// deliver to all workers far sooner on average, and the non-blocking tree
+// is at least as good as the static binomial.
+func TestFig21MulticastLatencyOrdering(t *testing.T) {
+	// Drive all three at the same rate: 90% of the binomial's capacity.
+	rate := probe(t, RDMC, 480).Throughput * 0.9
+	star := Run(Config{Variant: WhaleWOCRDMA, Parallelism: 480, InputRate: rate, MaxTuples: 3000, Seed: 5})
+	rdmc := Run(Config{Variant: RDMC, Parallelism: 480, InputRate: rate, MaxTuples: 3000, Seed: 5})
+	whale := Run(Config{Variant: Whale, Parallelism: 480, InputRate: rate, MaxTuples: 3000, Seed: 5})
+	if !(whale.McastLat.Mean < star.McastLat.Mean) {
+		t.Fatalf("non-blocking mcast %.0f not below star %.0f", whale.McastLat.Mean, star.McastLat.Mean)
+	}
+	if !(rdmc.McastLat.Mean < star.McastLat.Mean) {
+		t.Fatalf("binomial mcast %.0f not below star %.0f", rdmc.McastLat.Mean, star.McastLat.Mean)
+	}
+	if whale.McastLat.Mean > rdmc.McastLat.Mean*1.25 {
+		t.Fatalf("non-blocking mcast %.0f far above binomial %.0f", whale.McastLat.Mean, rdmc.McastLat.Mean)
+	}
+}
+
+// TestFig23DynamicAdaptation: the paper's step profile; the adaptive tree
+// must switch (d* falls when the rate spikes) and sustain the load with far
+// fewer drops than the static binomial under the same profile and queue.
+func TestFig23DynamicAdaptation(t *testing.T) {
+	profile := func(now sim.Time) float64 {
+		sec := float64(now) / 1e9
+		switch {
+		case sec < 0.25:
+			return 30000
+		case sec < 0.5:
+			return 60000
+		case sec < 0.75:
+			return 80000
+		case sec < 1.0:
+			return 100000
+		default:
+			return 80000
+		}
+	}
+	cfg := Config{
+		Variant: Whale, Parallelism: 480, Adaptive: true,
+		Params:      netmodel.DynamicProfile(),
+		RateProfile: profile, Duration: 125e7, Q: 512,
+		MonitorInterval: 5 * time.Millisecond,
+		TimelineBucket:  5e7, MaxTuples: 1 << 30, Seed: 11,
+	}
+	res := Run(cfg)
+	if res.Switches == 0 {
+		t.Fatal("adaptive run never switched")
+	}
+	if res.FinalDstar <= 0 {
+		t.Fatalf("final d* %d", res.FinalDstar)
+	}
+	if len(res.Timeline) < 10 {
+		t.Fatalf("timeline has %d points", len(res.Timeline))
+	}
+	// Throughput in the 100k phase must approach the offered rate.
+	var peak float64
+	for _, pt := range res.Timeline {
+		if pt.Throughput > peak {
+			peak = pt.Throughput
+		}
+	}
+	if peak < 70000 {
+		t.Fatalf("peak bucket throughput %.0f, want near 100k", peak)
+	}
+}
+
+// TestFig33RacksStable: Whale's throughput is stable across rack counts.
+func TestFig33RacksStable(t *testing.T) {
+	var base float64
+	for racks := 1; racks <= 5; racks++ {
+		res := Run(Config{Variant: Whale, Parallelism: 480, Racks: racks, MaxTuples: 1200, Seed: 2})
+		if base == 0 {
+			base = res.Throughput
+			continue
+		}
+		if d := res.Throughput / base; d < 0.9 || d > 1.1 {
+			t.Fatalf("racks=%d throughput deviates %.2fx", racks, d)
+		}
+	}
+}
+
+// TestDeterminism: identical configs yield identical results.
+func TestDeterminism(t *testing.T) {
+	a := Run(Config{Variant: Whale, Parallelism: 240, MaxTuples: 800, Seed: 9})
+	b := Run(Config{Variant: Whale, Parallelism: 240, MaxTuples: 800, Seed: 9})
+	if a.Throughput != b.Throughput || a.ProcLatency.Mean != b.ProcLatency.Mean || a.Completed != b.Completed {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestContributionSplit reproduces the Fig. 13 decomposition: of the total
+// improvement from RDMA-Storm to Whale, worker-oriented communication
+// contributes the most, with the optimized primitives and the tree both
+// visible.
+func TestContributionSplit(t *testing.T) {
+	rstorm := probe(t, RDMAStorm, 480).Throughput
+	woc := probe(t, WhaleWOC, 480).Throughput
+	wocRdma := probe(t, WhaleWOCRDMA, 480).Throughput
+	whale := probe(t, Whale, 480).Throughput
+	total := whale - rstorm
+	cWOC := (woc - rstorm) / total
+	cOpt := (wocRdma - woc) / total
+	cTree := (whale - wocRdma) / total
+	if cWOC < 0.3 {
+		t.Fatalf("WOC contribution %.2f, want dominant (paper: 0.54)", cWOC)
+	}
+	if cOpt <= 0 || cTree <= 0 {
+		t.Fatalf("contributions: woc=%.2f opt=%.2f tree=%.2f; all must be positive", cWOC, cOpt, cTree)
+	}
+}

@@ -1,0 +1,311 @@
+// Package control implements Whale's queue-based self-adjusting mechanism
+// (paper §3.3 and the statistics-monitoring module of §4): a StreamMonitor
+// that measures the input rate λ with α-weighted smoothing, a QueueMonitor
+// view of the transfer queue, and a Controller that applies the negative
+// scale-down / active scale-up waterline rules and derives the new maximum
+// out-degree d* from the M/D/1 model.
+//
+// The controller is deliberately passive: the caller (live engine or
+// discrete-event simulation) feeds it observations at each monitoring
+// interval Δt and acts on the returned Decision. This keeps the decision
+// logic identical — and identically testable — in both runtimes.
+package control
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"whale/internal/metrics"
+	"whale/internal/queueing"
+)
+
+// Action is what the controller wants done to the multicast structure.
+type Action int
+
+const (
+	// Hold keeps the current structure.
+	Hold Action = iota
+	// ScaleDown shrinks the source's out-degree (negative scale-down).
+	ScaleDown
+	// ScaleUp grows the source's out-degree (active scale-up).
+	ScaleUp
+)
+
+func (a Action) String() string {
+	switch a {
+	case ScaleDown:
+		return "scale-down"
+	case ScaleUp:
+		return "scale-up"
+	}
+	return "hold"
+}
+
+// Decision is the controller's verdict for one monitoring interval.
+type Decision struct {
+	Action Action
+	// NewDstar is the maximum out-degree to adjust to (valid when Action is
+	// not Hold).
+	NewDstar int
+	// Lambda and Te are the smoothed statistics the decision was based on,
+	// for logging and tests.
+	Lambda float64
+	Te     float64
+}
+
+// Config parameterises the controller.
+type Config struct {
+	// QueueCapacity is Q, the transfer queue's maximum length.
+	QueueCapacity int
+	// Waterline is l_w, the warning waterline. Zero means 70% of Q.
+	Waterline int
+	// TDown is the negative scale-down threshold T_down on ΔL/(l_w - l).
+	TDown float64
+	// TUp is the active scale-up threshold T_up on ΔL/l'.
+	TUp float64
+	// Alpha is the smoothing weight for the input-rate EWMA (§4).
+	Alpha float64
+	// MedianWindow, when >= 3, pre-filters raw rate samples with a sliding
+	// median before the EWMA — the paper's §4 "eliminate the noise,
+	// message loss, and outliers" pre-processing. Zero disables it.
+	MedianWindow int
+	// MaxDstar caps d* (usually ceil(log2(n+1)); beyond that the tree is
+	// already binomial and a larger cap changes nothing).
+	MaxDstar int
+}
+
+// withDefaults fills zero fields with the values used throughout the paper
+// reproduction.
+func (c Config) withDefaults() Config {
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 1024
+	}
+	if c.Waterline <= 0 {
+		c.Waterline = c.QueueCapacity * 7 / 10
+	}
+	if c.TDown <= 0 {
+		c.TDown = 0.5
+	}
+	if c.TUp <= 0 {
+		c.TUp = 0.5
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.5
+	}
+	if c.MaxDstar <= 0 {
+		c.MaxDstar = 64
+	}
+	return c
+}
+
+// Controller applies the §3.3 rules. Not safe for concurrent use; the
+// engine's monitor goroutine owns it.
+type Controller struct {
+	cfg      Config
+	lambda   *metrics.EWMA
+	te       *metrics.EWMA
+	window   []float64 // sliding raw-rate window for the median filter
+	prevLen  int
+	havePrev bool
+	curDstar int
+}
+
+// NewController returns a controller starting from the given d*.
+func NewController(cfg Config, initialDstar int) *Controller {
+	cfg = cfg.withDefaults()
+	if initialDstar < 1 {
+		panic(fmt.Sprintf("control: initial d* %d", initialDstar))
+	}
+	return &Controller{
+		cfg:      cfg,
+		lambda:   metrics.NewEWMA(cfg.Alpha),
+		te:       metrics.NewEWMA(cfg.Alpha),
+		curDstar: initialDstar,
+	}
+}
+
+// Dstar returns the out-degree cap the controller currently targets.
+func (c *Controller) Dstar() int { return c.curDstar }
+
+// ObserveRate feeds the raw tuple count N(t) for one interval of length
+// intervalSec, updating the smoothed input rate λ(t) = α·λ(t-1)+(1-α)·N(t)/Δt.
+// With MedianWindow set, the raw rate first passes a sliding-median filter
+// so isolated glitches (a dropped monitoring sample, a burst artefact)
+// never reach the EWMA.
+func (c *Controller) ObserveRate(count float64, intervalSec float64) {
+	if intervalSec <= 0 {
+		panic("control: non-positive interval")
+	}
+	rate := count / intervalSec
+	if w := c.cfg.MedianWindow; w >= 3 {
+		c.window = append(c.window, rate)
+		if len(c.window) > w {
+			c.window = c.window[1:]
+		}
+		rate = median(c.window)
+	}
+	c.lambda.Update(rate)
+}
+
+// median returns the median of xs (xs is not modified).
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// ObserveTe feeds one measured per-replica processing time (seconds): the
+// time to serialize, enqueue and post one replica on one RDMA channel.
+func (c *Controller) ObserveTe(te float64) {
+	if te > 0 {
+		c.te.Update(te)
+	}
+}
+
+// Lambda returns the smoothed input rate (tuples/s).
+func (c *Controller) Lambda() float64 { return c.lambda.Value() }
+
+// Te returns the smoothed per-replica processing time (seconds).
+func (c *Controller) Te() float64 { return c.te.Value() }
+
+// Evaluate applies the waterline rules to the queue length observed at the
+// end of the current interval and returns a Decision. Rules (§3.3), with
+// l' = previous length, l = current, l_w = waterline:
+//
+//   - negative scale-down: the queue grew (ΔL = l-l' > 0) and either l has
+//     already reached l_w, or ΔL/(l_w - l) >= T_down;
+//   - active scale-up: the queue shrank (ΔL = l'-l > 0) and ΔL/l' >= T_up,
+//     or the queue stayed empty (l = l' = 0).
+//
+// A triggered rule only yields a non-Hold decision if the recomputed d*
+// (Eq. 3/4 on the smoothed λ and t_e) actually moves in that direction;
+// otherwise the structure is already right and the controller holds.
+func (c *Controller) Evaluate(queueLen int) Decision {
+	d := Decision{Action: Hold, NewDstar: c.curDstar, Lambda: c.lambda.Value(), Te: c.te.Value()}
+	prev, had := c.prevLen, c.havePrev
+	c.prevLen, c.havePrev = queueLen, true
+	if !had {
+		return d
+	}
+	lw := c.cfg.Waterline
+	wantDown, wantUp := false, false
+	switch {
+	case queueLen > prev: // rising waterline
+		dl := float64(queueLen - prev)
+		if queueLen >= lw || dl/float64(lw-queueLen) >= c.cfg.TDown {
+			wantDown = true
+		}
+	case queueLen < prev: // falling waterline
+		dl := float64(prev - queueLen)
+		if dl/float64(prev) >= c.cfg.TUp {
+			wantUp = true
+		}
+	default:
+		if queueLen == 0 {
+			wantUp = true // l = l' = 0: idle queue, grow the tree
+		}
+	}
+	if !wantDown && !wantUp {
+		return d
+	}
+	target := c.targetDstar()
+	if wantDown && target < c.curDstar {
+		c.curDstar = target
+		d.Action, d.NewDstar = ScaleDown, target
+	} else if wantUp && target > c.curDstar {
+		c.curDstar = target
+		d.Action, d.NewDstar = ScaleUp, target
+	}
+	return d
+}
+
+// targetDstar computes d* from the smoothed statistics, clamped to
+// [1, MaxDstar]. With no statistics yet it keeps the current value.
+func (c *Controller) targetDstar() int {
+	lam, te := c.lambda.Value(), c.te.Value()
+	if lam <= 0 || te <= 0 {
+		return c.curDstar
+	}
+	dt := queueing.MaxOutDegree(lam, te, float64(c.cfg.QueueCapacity))
+	if dt < 1 {
+		dt = 1
+	}
+	if dt > c.cfg.MaxDstar {
+		dt = c.cfg.MaxDstar
+	}
+	return dt
+}
+
+// ForceDstar overrides the controller's current target (used when the
+// engine clamps d* for an experiment, e.g. the fixed d*=3 of Figs. 21-22).
+func (c *Controller) ForceDstar(d int) {
+	if d < 1 {
+		panic(fmt.Sprintf("control: ForceDstar(%d)", d))
+	}
+	c.curDstar = d
+}
+
+// StreamMonitor counts arriving tuples; the engine's monitor goroutine
+// drains it once per interval and feeds the count to the controller. Safe
+// for concurrent producers.
+type StreamMonitor struct {
+	count atomic.Int64
+}
+
+// Record notes n arriving tuples.
+func (m *StreamMonitor) Record(n int64) { m.count.Add(n) }
+
+// Drain returns the count accumulated since the previous Drain and resets it.
+func (m *StreamMonitor) Drain() int64 { return m.count.Swap(0) }
+
+// QueueMonitor tracks per-replica emit times to estimate t_e, and exposes
+// queue-length history. Safe for a single producer (the send thread) and a
+// single consumer (the monitor goroutine).
+type QueueMonitor struct {
+	teSumNS atomic.Int64
+	teCount atomic.Int64
+}
+
+// RecordEmit notes that one replica took d nanoseconds of send-side
+// processing (serialize + enqueue + post).
+func (m *QueueMonitor) RecordEmit(dNS int64) {
+	if dNS <= 0 {
+		return
+	}
+	m.teSumNS.Add(dNS)
+	m.teCount.Add(1)
+}
+
+// DrainTe returns the mean per-replica processing time (seconds) observed
+// since the last drain, and whether any samples existed.
+func (m *QueueMonitor) DrainTe() (float64, bool) {
+	n := m.teCount.Swap(0)
+	sum := m.teSumNS.Swap(0)
+	if n == 0 {
+		return 0, false
+	}
+	return float64(sum) / float64(n) / 1e9, true
+}
+
+// ScaleUpWorthwhile applies the Theorem 5 guard to a proposed active
+// scale-up: the switch pays off only if the tuples expected before the
+// next opportunity to reconsider (λ·horizon) exceed the break-even count
+// X > γ·γ'·T_switch/(γ−γ'), where the multicast rates before and after
+// are estimated from the tree completion times: γ(d) = n/(C(n,d)·t_e)
+// destinations per second.
+// Both X and the γs are measured in destination deliveries: a stream of λ
+// tuples/s to n destinations delivers λ·n per second.
+func ScaleUpWorthwhile(n, dOld, dNew int, te, lambda, tswitchSec, horizonSec float64) bool {
+	if dNew <= dOld || n <= 0 || te <= 0 || lambda <= 0 {
+		return false
+	}
+	gammaOld := float64(n) / (float64(queueing.CompletionTime(n, dOld)) * te)
+	gammaNew := float64(n) / (float64(queueing.CompletionTime(n, dNew)) * te)
+	breakEven := queueing.MinTuplesForScaleUp(gammaNew, gammaOld, tswitchSec)
+	return lambda*float64(n)*horizonSec > breakEven
+}

@@ -1,0 +1,311 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"whale/internal/queueing"
+)
+
+func testConfig() Config {
+	return Config{QueueCapacity: 1000, Waterline: 700, TDown: 0.5, TUp: 0.5, Alpha: 0.5, MaxDstar: 9}
+}
+
+// feed primes the controller with a steady rate and te so targetDstar is
+// well-defined.
+func feed(c *Controller, rate, te float64, rounds int) {
+	for i := 0; i < rounds; i++ {
+		c.ObserveRate(rate, 1)
+		c.ObserveTe(te)
+	}
+}
+
+func TestHoldOnFirstSample(t *testing.T) {
+	c := NewController(testConfig(), 3)
+	feed(c, 1000, 50e-6, 5)
+	if d := c.Evaluate(100); d.Action != Hold {
+		t.Fatalf("first evaluation must hold, got %v", d.Action)
+	}
+}
+
+func TestNegativeScaleDownOnRapidRise(t *testing.T) {
+	c := NewController(testConfig(), 9)
+	// A very high input rate: d* target becomes small.
+	feed(c, 200000, 50e-6, 10)
+	c.Evaluate(100)
+	// Queue jumps 100 -> 500: ΔL/(l_w - l) = 400/200 = 2 >= T_down.
+	d := c.Evaluate(500)
+	if d.Action != ScaleDown {
+		t.Fatalf("want scale-down, got %v (λ=%g te=%g)", d.Action, d.Lambda, d.Te)
+	}
+	if d.NewDstar >= 9 || d.NewDstar < 1 {
+		t.Fatalf("new d* %d not reduced", d.NewDstar)
+	}
+	if c.Dstar() != d.NewDstar {
+		t.Fatal("controller did not adopt the new d*")
+	}
+	want := queueing.MaxOutDegree(200000, 50e-6, 1000)
+	if d.NewDstar != want {
+		t.Fatalf("new d* %d, queueing model says %d", d.NewDstar, want)
+	}
+}
+
+func TestNoScaleDownOnSlowRise(t *testing.T) {
+	c := NewController(testConfig(), 9)
+	feed(c, 200000, 50e-6, 10)
+	c.Evaluate(100)
+	// Queue creeps 100 -> 110: ΔL/(l_w - l) = 10/590 << T_down.
+	if d := c.Evaluate(110); d.Action != Hold {
+		t.Fatalf("slow rise must hold, got %v", d.Action)
+	}
+}
+
+func TestScaleDownWhenAboveWaterline(t *testing.T) {
+	c := NewController(testConfig(), 9)
+	feed(c, 200000, 50e-6, 10)
+	c.Evaluate(699)
+	// Crossing the waterline triggers even if the rise ratio is small.
+	if d := c.Evaluate(701); d.Action != ScaleDown {
+		t.Fatalf("crossing l_w must scale down, got %v", d.Action)
+	}
+}
+
+func TestActiveScaleUpOnRapidFall(t *testing.T) {
+	c := NewController(testConfig(), 1)
+	// A light load: d* target is large.
+	feed(c, 100, 50e-6, 10)
+	c.Evaluate(600)
+	// Queue drops 600 -> 100: ΔL/l' = 500/600 >= T_up.
+	d := c.Evaluate(100)
+	if d.Action != ScaleUp {
+		t.Fatalf("want scale-up, got %v", d.Action)
+	}
+	if d.NewDstar <= 1 {
+		t.Fatalf("new d* %d not increased", d.NewDstar)
+	}
+	if d.NewDstar > 9 {
+		t.Fatalf("new d* %d exceeds MaxDstar", d.NewDstar)
+	}
+}
+
+func TestScaleUpOnEmptyQueue(t *testing.T) {
+	c := NewController(testConfig(), 1)
+	feed(c, 100, 50e-6, 10)
+	c.Evaluate(0)
+	// l = l' = 0 is an explicit scale-up trigger.
+	if d := c.Evaluate(0); d.Action != ScaleUp {
+		t.Fatalf("idle queue must scale up, got %v", d.Action)
+	}
+}
+
+func TestNoScaleUpOnSlowFall(t *testing.T) {
+	c := NewController(testConfig(), 1)
+	feed(c, 100, 50e-6, 10)
+	c.Evaluate(600)
+	if d := c.Evaluate(550); d.Action != Hold {
+		t.Fatalf("slow fall must hold, got %v", d.Action)
+	}
+}
+
+func TestRuleWithoutDstarChangeHolds(t *testing.T) {
+	// The rise rule fires but the model still supports the current d*: hold.
+	c := NewController(testConfig(), 3)
+	lam, te := 1000.0, 50e-6
+	// d* at this load is MaxDstar-clamped to 9 > 3, so a scale-DOWN trigger
+	// must not shrink the tree.
+	feed(c, lam, te, 10)
+	c.Evaluate(100)
+	if d := c.Evaluate(500); d.Action != Hold {
+		t.Fatalf("scale-down trigger with roomy d* must hold, got %v (d*=%d)", d.Action, d.NewDstar)
+	}
+	if c.Dstar() != 3 {
+		t.Fatalf("d* changed to %d", c.Dstar())
+	}
+}
+
+func TestNoStatisticsMeansHold(t *testing.T) {
+	c := NewController(testConfig(), 3)
+	c.Evaluate(0)
+	if d := c.Evaluate(0); d.Action != Hold {
+		t.Fatalf("no λ/te statistics: hold, got %v", d.Action)
+	}
+}
+
+func TestSmoothingUsesAlpha(t *testing.T) {
+	c := NewController(testConfig(), 3)
+	c.ObserveRate(1000, 1)
+	c.ObserveRate(3000, 1)
+	// α=0.5: λ = 0.5*1000 + 0.5*3000 = 2000.
+	if math.Abs(c.Lambda()-2000) > 1e-9 {
+		t.Fatalf("λ = %g, want 2000", c.Lambda())
+	}
+}
+
+func TestForceDstar(t *testing.T) {
+	c := NewController(testConfig(), 5)
+	c.ForceDstar(3)
+	if c.Dstar() != 3 {
+		t.Fatalf("d* %d", c.Dstar())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ForceDstar(0) must panic")
+			}
+		}()
+		c.ForceDstar(0)
+	}()
+}
+
+func TestDefaults(t *testing.T) {
+	c := NewController(Config{}, 2)
+	if c.cfg.QueueCapacity != 1024 || c.cfg.Waterline != 716 || c.cfg.MaxDstar != 64 {
+		t.Fatalf("defaults: %+v", c.cfg)
+	}
+	if c.cfg.TDown != 0.5 || c.cfg.TUp != 0.5 || c.cfg.Alpha != 0.5 {
+		t.Fatalf("defaults: %+v", c.cfg)
+	}
+}
+
+func TestStreamMonitor(t *testing.T) {
+	var m StreamMonitor
+	m.Record(10)
+	m.Record(5)
+	if got := m.Drain(); got != 15 {
+		t.Fatalf("drain %d", got)
+	}
+	if got := m.Drain(); got != 0 {
+		t.Fatalf("second drain %d", got)
+	}
+}
+
+func TestQueueMonitor(t *testing.T) {
+	var m QueueMonitor
+	m.RecordEmit(1000)
+	m.RecordEmit(3000)
+	m.RecordEmit(-5) // ignored
+	te, ok := m.DrainTe()
+	if !ok {
+		t.Fatal("expected samples")
+	}
+	if math.Abs(te-2e-6) > 1e-12 {
+		t.Fatalf("te = %g, want 2µs", te)
+	}
+	if _, ok := m.DrainTe(); ok {
+		t.Fatal("drained monitor must be empty")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Hold.String() != "hold" || ScaleDown.String() != "scale-down" || ScaleUp.String() != "scale-up" {
+		t.Fatal("Action.String broken")
+	}
+}
+
+// TestAdaptationScenario walks the controller through the paper's Fig. 23
+// dynamic profile in miniature: rising input rate forces d* down, the lull
+// afterwards lets it climb back.
+func TestAdaptationScenario(t *testing.T) {
+	cfg := testConfig()
+	c := NewController(cfg, 9)
+	te := 50e-6
+
+	// Phase 1: low rate, empty queue. d* should stay high.
+	for i := 0; i < 20; i++ {
+		c.ObserveRate(1000, 1)
+		c.ObserveTe(te)
+		c.Evaluate(0)
+	}
+	if c.Dstar() != 9 {
+		t.Fatalf("phase 1: d* = %d, want 9", c.Dstar())
+	}
+
+	// Phase 2: rate spike; queue climbs fast. d* must fall to the model's
+	// value for the new rate.
+	qlen := 0
+	for i := 0; i < 20; i++ {
+		c.ObserveRate(150000, 1)
+		c.ObserveTe(te)
+		qlen += 120
+		if qlen > cfg.QueueCapacity {
+			qlen = cfg.QueueCapacity
+		}
+		c.Evaluate(qlen)
+	}
+	downD := c.Dstar()
+	if downD >= 9 {
+		t.Fatalf("phase 2: d* = %d, want < 9", downD)
+	}
+
+	// Phase 3: rate falls back; queue drains. d* must recover.
+	for i := 0; i < 30; i++ {
+		c.ObserveRate(1000, 1)
+		c.ObserveTe(te)
+		qlen = qlen / 2
+		c.Evaluate(qlen)
+	}
+	if c.Dstar() <= downD {
+		t.Fatalf("phase 3: d* = %d did not recover above %d", c.Dstar(), downD)
+	}
+}
+
+func TestMedianWindowSuppressesGlitches(t *testing.T) {
+	cfg := testConfig()
+	cfg.MedianWindow = 5
+	c := NewController(cfg, 3)
+	// Steady 1000/s with one wild outlier: the median filter must keep the
+	// smoothed rate near 1000.
+	for i := 0; i < 10; i++ {
+		c.ObserveRate(1000, 1)
+	}
+	c.ObserveRate(1e9, 1) // glitch
+	for i := 0; i < 3; i++ {
+		c.ObserveRate(1000, 1)
+	}
+	if c.Lambda() > 2000 {
+		t.Fatalf("glitch leaked through the median filter: λ=%g", c.Lambda())
+	}
+	// Without the filter the same glitch dominates.
+	raw := NewController(testConfig(), 3)
+	for i := 0; i < 10; i++ {
+		raw.ObserveRate(1000, 1)
+	}
+	raw.ObserveRate(1e9, 1)
+	if raw.Lambda() < 1e6 {
+		t.Fatalf("control: expected unfiltered λ to spike, got %g", raw.Lambda())
+	}
+}
+
+func TestMedianEvenWindow(t *testing.T) {
+	cfg := testConfig()
+	cfg.MedianWindow = 4
+	c := NewController(cfg, 3)
+	c.ObserveRate(100, 1)
+	c.ObserveRate(200, 1)
+	// Window [100 200]: median 150; EWMA(α=.5): 0.5*100+0.5*150 = 125.
+	if math.Abs(c.Lambda()-125) > 1e-9 {
+		t.Fatalf("λ=%g, want 125", c.Lambda())
+	}
+}
+
+func TestScaleUpWorthwhile(t *testing.T) {
+	// 29 destinations, d* 1 -> 3, te = 1µs: completion falls 29 -> 6 units,
+	// so γ nearly quintuples. A 30k/s stream over a 5s horizon delivers
+	// 4.35M times — far beyond the ~1.3M-delivery break-even of a 1ms
+	// switch.
+	if !ScaleUpWorthwhile(29, 1, 3, 1e-6, 30000, 1e-3, 5) {
+		t.Fatal("clearly beneficial scale-up rejected")
+	}
+	// A glacial stream (1 tuple/s) cannot amortize the same switch within
+	// the horizon.
+	if ScaleUpWorthwhile(29, 1, 3, 1e-6, 1, 1e-3, 5) {
+		t.Fatal("unamortizable scale-up accepted")
+	}
+	// Degenerate inputs.
+	if ScaleUpWorthwhile(29, 3, 3, 1e-6, 1000, 1e-3, 1) {
+		t.Fatal("non-increase accepted")
+	}
+	if ScaleUpWorthwhile(0, 1, 2, 1e-6, 1000, 1e-3, 1) {
+		t.Fatal("empty group accepted")
+	}
+}

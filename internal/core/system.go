@@ -1,0 +1,245 @@
+// Package core composes the engine, transports and multicast structures
+// into the named systems the paper builds and evaluates (§5.1):
+//
+//	Storm            — instance-oriented communication over TCP
+//	RDMAStorm        — instance-oriented over basic (two-sided) RDMA verbs
+//	WhaleWOC         — + worker-oriented communication (paper §3.5)
+//	WhaleWOCRDMA     — + optimized RDMA primitives: one-sided READ data
+//	                   path, ring memory region, MMS/WTL slicing (paper §4)
+//	WhaleSequential  — WhaleWOCRDMA with sequential (star) multicast, the
+//	                   "sequential multicast" arm of Figs. 17-20
+//	RDMC             — WhaleWOCRDMA with a static binomial multicast tree
+//	Whale            — the full system: + self-adjusting non-blocking
+//	                   multicast tree (paper §3.2-3.4)
+//
+// Every system is a (transport, engine-config) pair; benchmarks and the
+// public API build clusters from these presets so ablations differ in
+// exactly one mechanism at a time.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"whale/internal/control"
+	"whale/internal/dsps"
+	"whale/internal/rdma"
+	"whale/internal/transport"
+)
+
+// System names one of the paper's evaluated systems.
+type System int
+
+const (
+	// Storm is the stock Apache Storm baseline.
+	Storm System = iota
+	// RDMAStorm is Yang et al.'s RDMA-based Storm.
+	RDMAStorm
+	// WhaleWOC adds worker-oriented communication to RDMAStorm.
+	WhaleWOC
+	// WhaleWOCRDMA adds the optimized RDMA primitives to WhaleWOC.
+	WhaleWOCRDMA
+	// WhaleSequential is WhaleWOCRDMA with explicit star multicast (the
+	// same data path; named for the Figs. 17-20 comparison).
+	WhaleSequential
+	// RDMC uses a static binomial multicast tree on WhaleWOCRDMA.
+	RDMC
+	// Whale is the full system with the self-adjusting non-blocking tree.
+	Whale
+)
+
+// Systems lists all presets in evaluation order.
+var Systems = []System{Storm, RDMAStorm, WhaleWOC, WhaleWOCRDMA, WhaleSequential, RDMC, Whale}
+
+func (s System) String() string {
+	switch s {
+	case Storm:
+		return "Storm"
+	case RDMAStorm:
+		return "RDMA-Storm"
+	case WhaleWOC:
+		return "Whale-WOC"
+	case WhaleWOCRDMA:
+		return "Whale-WOC-RDMA"
+	case WhaleSequential:
+		return "Whale-Sequential"
+	case RDMC:
+		return "RDMC"
+	case Whale:
+		return "Whale"
+	}
+	return fmt.Sprintf("system(%d)", int(s))
+}
+
+// TransportKind selects the wire.
+type TransportKind int
+
+const (
+	// TransportAuto picks the system's canonical wire (TCP for Storm,
+	// emulated RDMA for the rest).
+	TransportAuto TransportKind = iota
+	// TransportInproc uses Go channels (fast tests and examples).
+	TransportInproc
+	// TransportTCP uses real loopback TCP.
+	TransportTCP
+	// TransportRDMA uses the emulated RDMA fabric.
+	TransportRDMA
+)
+
+// Options tunes a cluster independent of the chosen System.
+type Options struct {
+	// Workers is the worker-process count (default 4).
+	Workers int
+	// Transport overrides the system's canonical wire.
+	Transport TransportKind
+	// MMS and WTL tune Whale's stream slicing (defaults 256 KiB / 1 ms —
+	// the operating point the paper selects in Figs. 11-12).
+	MMS int
+	WTL time.Duration
+	// RingSize sizes the ring memory region (default 4 MiB).
+	RingSize int
+	// TransferQueueCap is Q (default 1024).
+	TransferQueueCap int
+	// InitialDstar seeds the non-blocking tree (default 3).
+	InitialDstar int
+	// FixedDstar pins d*, disabling the §3.3 controller.
+	FixedDstar bool
+	// MonitorInterval is the controller Δt (default 10 ms).
+	MonitorInterval time.Duration
+	// Control tunes the self-adjusting controller thresholds.
+	Control control.Config
+	// Cost adds synthetic latency/bandwidth to the emulated RDMA fabric.
+	Cost rdma.CostModel
+
+	// AckEnabled turns on the Storm-style reliability plane (tracked
+	// spout emissions, acker tasks, at-least-once sources).
+	AckEnabled bool
+	// Ackers is the acker parallelism (default 1).
+	Ackers int
+	// AckTimeout fails incomplete reliability trees (default 5s).
+	AckTimeout time.Duration
+	// MaxSpoutPending caps in-flight reliability trees per spout task.
+	MaxSpoutPending int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.MMS <= 0 {
+		o.MMS = 256 << 10
+	}
+	if o.WTL <= 0 {
+		o.WTL = time.Millisecond
+	}
+	if o.RingSize <= 0 {
+		o.RingSize = 4 << 20
+	}
+	if o.TransferQueueCap <= 0 {
+		o.TransferQueueCap = 1024
+	}
+	if o.InitialDstar <= 0 {
+		o.InitialDstar = 3
+	}
+	if o.MonitorInterval <= 0 {
+		o.MonitorInterval = 10 * time.Millisecond
+	}
+	return o
+}
+
+// basicRDMAConfig is the unoptimized verbs setup RDMA-Storm and Whale-WOC
+// use: two-sided SEND/RECV, no meaningful batching (tiny MMS, short WTL).
+func basicRDMAConfig(o Options) rdma.ChannelConfig {
+	return rdma.ChannelConfig{
+		Mode:     rdma.ModeTwoSided,
+		MMS:      1 << 10,
+		WTL:      200 * time.Microsecond,
+		RingSize: o.RingSize,
+	}
+}
+
+// optimizedRDMAConfig is Whale's tuned data path: one-sided READ with the
+// ring region and MMS/WTL slicing (§4).
+func optimizedRDMAConfig(o Options) rdma.ChannelConfig {
+	return rdma.ChannelConfig{
+		Mode:     rdma.ModeOneSidedRead,
+		MMS:      o.MMS,
+		WTL:      o.WTL,
+		RingSize: o.RingSize,
+	}
+}
+
+// network builds the system's wire.
+func (s System) network(o Options) (transport.Network, error) {
+	kind := o.Transport
+	if kind == TransportAuto {
+		if s == Storm {
+			kind = TransportTCP
+		} else {
+			kind = TransportRDMA
+		}
+	}
+	switch kind {
+	case TransportInproc:
+		return transport.NewInprocNetwork(0), nil
+	case TransportTCP:
+		return transport.NewTCPNetwork(), nil
+	case TransportRDMA:
+		cfg := optimizedRDMAConfig(o)
+		if s == RDMAStorm || s == WhaleWOC {
+			cfg = basicRDMAConfig(o)
+		}
+		return transport.NewRDMANetwork(o.Cost, cfg), nil
+	default:
+		return nil, fmt.Errorf("core: unknown transport kind %d", kind)
+	}
+}
+
+// EngineConfig assembles the dsps configuration (including the network) for
+// the system.
+func (s System) EngineConfig(o Options) (dsps.Config, error) {
+	o = o.withDefaults()
+	net, err := s.network(o)
+	if err != nil {
+		return dsps.Config{}, err
+	}
+	cfg := dsps.Config{
+		Workers:          o.Workers,
+		Network:          net,
+		TransferQueueCap: o.TransferQueueCap,
+		Control:          o.Control,
+		MonitorInterval:  o.MonitorInterval,
+		InitialDstar:     o.InitialDstar,
+		FixedDstar:       o.FixedDstar,
+		AckEnabled:       o.AckEnabled,
+		Ackers:           o.Ackers,
+		AckTimeout:       o.AckTimeout,
+		MaxSpoutPending:  o.MaxSpoutPending,
+	}
+	switch s {
+	case Storm, RDMAStorm:
+		cfg.Comm = dsps.InstanceOriented
+		cfg.Multicast = dsps.MulticastStar
+	case WhaleWOC, WhaleWOCRDMA, WhaleSequential:
+		cfg.Comm = dsps.WorkerOriented
+		cfg.Multicast = dsps.MulticastStar
+	case RDMC:
+		cfg.Comm = dsps.WorkerOriented
+		cfg.Multicast = dsps.MulticastBinomial
+	case Whale:
+		cfg.Comm = dsps.WorkerOriented
+		cfg.Multicast = dsps.MulticastNonBlocking
+	default:
+		return dsps.Config{}, fmt.Errorf("core: unknown system %d", s)
+	}
+	return cfg, nil
+}
+
+// Launch starts a topology under the system's configuration.
+func (s System) Launch(topo *dsps.Topology, o Options) (*dsps.Engine, error) {
+	cfg, err := s.EngineConfig(o)
+	if err != nil {
+		return nil, err
+	}
+	return dsps.Start(topo, cfg)
+}

@@ -1,0 +1,238 @@
+package dsps
+
+import (
+	"math/rand"
+	"time"
+
+	"whale/internal/tuple"
+)
+
+// Reliability (acking) layer: the Storm-style XOR ack tracking the paper's
+// base system provides. Every reliably-emitted spout tuple opens a
+// reliability tree identified by a random RootID; each tuple in the tree
+// carries a random AckVal. Executors report, per processed input, the XOR
+// of the input's AckVal and the AckVals of all tuples emitted while
+// processing it. The acker task XORs everything per root: the register
+// reaches zero exactly when every tuple in the tree has been processed,
+// at which point the spout's Ack callback fires. A timeout fails the root.
+
+// Internal operator and stream names of the acking plane.
+const (
+	ackerOperatorID = "__acker"
+	streamAckInit   = "__ack_init" // [rootID, ackVal, spoutTask]
+	streamAck       = "__ack"      // [rootID, xor]
+	streamAckFail   = "__ack_fail" // [rootID]
+	streamAckEvent  = "__ack_ev"   // acker -> spout: [rootID, ok]
+	streamAckTick   = "__ack_tick" // engine -> acker timeout sweep
+)
+
+// ReliableSpout is a Spout that wants completion callbacks for tuples
+// emitted with Collector.EmitReliable. Ack and Fail run on the spout's
+// executor goroutine, between Next calls.
+type ReliableSpout interface {
+	Spout
+	// Ack reports that the tuple emitted with msgID was fully processed.
+	Ack(msgID int64)
+	// Fail reports that the tuple's reliability tree timed out or was
+	// explicitly failed by a bolt.
+	Fail(msgID int64)
+}
+
+// ackEntry tracks one reliability tree at the acker.
+type ackEntry struct {
+	xor       int64
+	spoutTask int32
+	hasInit   bool
+	deadline  int64 // engine-clock ns
+	emitNS    int64
+}
+
+// ackerBolt is the internal acker operator.
+type ackerBolt struct {
+	eng     *Engine
+	timeout time.Duration
+	pending map[int64]*ackEntry
+}
+
+// Prepare implements Bolt.
+func (a *ackerBolt) Prepare(*TaskContext) { a.pending = map[int64]*ackEntry{} }
+
+// Execute implements Bolt.
+func (a *ackerBolt) Execute(tp *tuple.Tuple, c *Collector) {
+	switch tp.Stream {
+	case streamAckInit:
+		root := tp.Int(0)
+		e := a.entry(root)
+		e.xor ^= tp.Int(1)
+		e.spoutTask = int32(tp.Int(2))
+		e.hasInit = true
+		e.emitNS = tp.RootEmitNS
+		e.deadline = time.Now().UnixNano() + a.timeout.Nanoseconds()
+		a.settle(root, e, c)
+	case streamAck:
+		root := tp.Int(0)
+		e := a.entry(root)
+		e.xor ^= tp.Int(1)
+		a.settle(root, e, c)
+	case streamAckFail:
+		root := tp.Int(0)
+		if e, ok := a.pending[root]; ok && e.hasInit {
+			a.finish(root, e, false, c)
+		} else {
+			delete(a.pending, root)
+		}
+	case streamAckTick:
+		now := time.Now().UnixNano()
+		for root, e := range a.pending {
+			if e.deadline > 0 && now > e.deadline {
+				if e.hasInit {
+					a.finish(root, e, false, c)
+				} else {
+					delete(a.pending, root)
+				}
+			} else if e.deadline == 0 {
+				// An ack arrived before its init (reordering across
+				// workers): expire it on the next sweep if the init never
+				// shows up.
+				e.deadline = now + a.timeout.Nanoseconds()
+			}
+		}
+	}
+}
+
+func (a *ackerBolt) entry(root int64) *ackEntry {
+	e, ok := a.pending[root]
+	if !ok {
+		e = &ackEntry{}
+		a.pending[root] = e
+	}
+	return e
+}
+
+func (a *ackerBolt) settle(root int64, e *ackEntry, c *Collector) {
+	if e.hasInit && e.xor == 0 {
+		a.finish(root, e, true, c)
+	}
+}
+
+// finish notifies the owning spout task and drops the entry.
+func (a *ackerBolt) finish(root int64, e *ackEntry, ok bool, c *Collector) {
+	delete(a.pending, root)
+	if ok {
+		a.eng.metrics.TuplesAcked.Inc()
+		if e.emitNS > 0 {
+			a.eng.metrics.CompleteLatency.Observe(time.Now().UnixNano() - e.emitNS)
+		}
+	} else {
+		a.eng.metrics.TuplesFailed.Inc()
+	}
+	okVal := int64(0)
+	if ok {
+		okVal = 1
+	}
+	c.ex.sendDirect(e.spoutTask, &tuple.Tuple{
+		Stream: streamAckEvent,
+		Values: []tuple.Value{root, okVal},
+	})
+}
+
+// Cleanup implements Bolt.
+func (a *ackerBolt) Cleanup() {}
+
+// withAcking returns a copy of the topology with the acker operator wired
+// to every user operator's ack streams.
+func withAcking(t *Topology, eng *Engine, ackers int, timeout time.Duration) *Topology {
+	spec := &OperatorSpec{
+		ID:          ackerOperatorID,
+		Parallelism: ackers,
+		BoltFn:      func() Bolt { return &ackerBolt{eng: eng, timeout: timeout} },
+	}
+	for _, id := range t.Order {
+		op := t.Operators[id]
+		if op.IsSpout {
+			spec.Subs = append(spec.Subs, Subscription{SrcOperator: id, Stream: streamAckInit, Type: FieldsGrouping})
+		}
+		spec.Subs = append(spec.Subs,
+			Subscription{SrcOperator: id, Stream: streamAck, Type: FieldsGrouping},
+			Subscription{SrcOperator: id, Stream: streamAckFail, Type: FieldsGrouping},
+		)
+	}
+	ops := make(map[string]*OperatorSpec, len(t.Operators)+1)
+	for k, v := range t.Operators {
+		ops[k] = v
+	}
+	ops[ackerOperatorID] = spec
+	return &Topology{
+		Operators: ops,
+		Order:     append(append([]string(nil), t.Order...), ackerOperatorID),
+	}
+}
+
+// ack-plane helpers on the executor ----------------------------------------
+
+// sendDirect routes a tuple to one explicit task, bypassing groupings
+// (used by the acker to reach the owning spout task).
+func (ex *executor) sendDirect(dst int32, tp *tuple.Tuple) {
+	dw := ex.w.eng.assign.WorkerOf[dst]
+	if dw == ex.w.id {
+		ex.w.enqueueLocal(dst, tp)
+		return
+	}
+	ex.w.enqueueSend(sendJob{kind: jobPointToPoint, tp: tp, dstTask: dst, dstWorker: dw})
+}
+
+// nonzeroRand draws a non-zero random int64 (zero is the "untracked"
+// sentinel for RootID and the identity for XOR).
+func nonzeroRand(r *rand.Rand) int64 {
+	for {
+		if v := r.Int63(); v != 0 {
+			return v
+		}
+	}
+}
+
+// drainSpoutEvents processes queued ack events without blocking; when
+// block is set it waits for at least one event (or engine shutdown).
+func (ex *executor) drainSpoutEvents(block bool) {
+	for {
+		if block {
+			select {
+			case at := <-ex.in:
+				ex.handleSpoutEvent(at.Data)
+				block = false
+				continue
+			case <-ex.w.eng.stopSpouts:
+				return
+			case <-ex.w.done:
+				return
+			}
+		}
+		select {
+		case at := <-ex.in:
+			ex.handleSpoutEvent(at.Data)
+		default:
+			return
+		}
+	}
+}
+
+func (ex *executor) handleSpoutEvent(tp *tuple.Tuple) {
+	if tp.Stream != streamAckEvent {
+		return
+	}
+	root := tp.Int(0)
+	msgID, ok := ex.pendingRoots[root]
+	if !ok {
+		return
+	}
+	delete(ex.pendingRoots, root)
+	rs, isReliable := ex.spout.(ReliableSpout)
+	if !isReliable {
+		return
+	}
+	if tp.Int(1) == 1 {
+		rs.Ack(msgID)
+	} else {
+		rs.Fail(msgID)
+	}
+}

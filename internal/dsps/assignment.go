@@ -1,0 +1,213 @@
+package dsps
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"whale/internal/tuple"
+)
+
+// Assignment maps the topology's tasks onto workers. Task ids are dense and
+// deterministic: operators in declaration order, tasks within an operator
+// in index order.
+type Assignment struct {
+	// Tasks holds every task's context, indexed by task id.
+	Tasks []TaskContext
+	// TasksOf lists an operator's task ids in index order.
+	TasksOf map[string][]int32
+	// WorkerOf gives the hosting worker per task id.
+	WorkerOf []int32
+	// Workers is the worker count.
+	Workers int
+}
+
+// Assign places tasks round-robin across workers, mirroring Storm's default
+// even spreading: task k of the global dense ordering goes to worker
+// k mod workers. With parallelism >= workers this co-locates multiple
+// instances of an operator on each worker — the situation one-to-many
+// partitioning exploits.
+func Assign(t *Topology, workers int) (*Assignment, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("dsps: %d workers", workers)
+	}
+	a := &Assignment{TasksOf: map[string][]int32{}, Workers: workers}
+	next := int32(0)
+	for _, id := range t.Order {
+		op := t.Operators[id]
+		for i := 0; i < op.Parallelism; i++ {
+			tid := next
+			next++
+			w := int32(int(tid) % workers)
+			a.Tasks = append(a.Tasks, TaskContext{
+				TaskID:      tid,
+				OperatorID:  id,
+				TaskIndex:   i,
+				Parallelism: op.Parallelism,
+				Worker:      w,
+			})
+			a.TasksOf[id] = append(a.TasksOf[id], tid)
+			a.WorkerOf = append(a.WorkerOf, w)
+		}
+	}
+	return a, nil
+}
+
+// LocalTasks returns the task ids hosted on worker w, ascending.
+func (a *Assignment) LocalTasks(w int32) []int32 {
+	var out []int32
+	for tid, wk := range a.WorkerOf {
+		if wk == w {
+			out = append(out, int32(tid))
+		}
+	}
+	return out
+}
+
+// TasksOnWorker returns op's task ids hosted on worker w.
+func (a *Assignment) TasksOnWorker(op string, w int32) []int32 {
+	var out []int32
+	for _, tid := range a.TasksOf[op] {
+		if a.WorkerOf[tid] == w {
+			out = append(out, tid)
+		}
+	}
+	return out
+}
+
+// WorkersOf returns the sorted distinct workers hosting op's tasks.
+func (a *Assignment) WorkersOf(op string) []int32 {
+	seen := map[int32]bool{}
+	for _, tid := range a.TasksOf[op] {
+		seen[a.WorkerOf[tid]] = true
+	}
+	out := make([]int32, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// route is one precomputed outgoing edge from an operator's stream.
+type route struct {
+	sub      Subscription
+	dstOp    string
+	dstTasks []int32 // all destination task ids, index order
+	// localTasks are dstOp's tasks hosted on the emitting worker (for
+	// local-or-shuffle grouping).
+	localTasks []int32
+}
+
+// router decides destination tasks for each emitted tuple. One router is
+// built per executor (it carries the executor's shuffle counter).
+type router struct {
+	routes  map[string][]route // stream -> outgoing edges
+	shuffle map[string]int     // per dstOp round-robin cursor
+}
+
+func newRouter(t *Topology, a *Assignment, srcOp string, localWorker int32) *router {
+	r := &router{routes: map[string][]route{}, shuffle: map[string]int{}}
+	streams := map[string]bool{srcOp: true}
+	// Named streams appear via subscriptions; collect every stream any
+	// subscriber listens to on this operator.
+	for _, id := range t.Order {
+		for _, s := range t.Operators[id].Subs {
+			if s.SrcOperator == srcOp {
+				streams[s.Stream] = true
+			}
+		}
+	}
+	for stream := range streams {
+		for _, sub := range t.Subscribers(srcOp, stream) {
+			r.routes[stream] = append(r.routes[stream], route{
+				sub:        sub.Sub,
+				dstOp:      sub.Op.ID,
+				dstTasks:   a.TasksOf[sub.Op.ID],
+				localTasks: a.TasksOnWorker(sub.Op.ID, localWorker),
+			})
+		}
+	}
+	return r
+}
+
+// destination is the routing verdict for one edge.
+type destination struct {
+	dstOp string
+	// all is true for all-grouping: every task of dstOp receives the tuple.
+	all bool
+	// tasks holds the selected task ids when all is false.
+	tasks []int32
+}
+
+// destinations computes, for one emitted tuple on stream, every edge's
+// destinations.
+func (r *router) destinations(stream string, tp *tuple.Tuple) ([]destination, error) {
+	routes := r.routes[stream]
+	out := make([]destination, 0, len(routes))
+	for _, rt := range routes {
+		switch rt.sub.Type {
+		case ShuffleGrouping:
+			i := r.shuffle[rt.dstOp] % len(rt.dstTasks)
+			r.shuffle[rt.dstOp]++
+			out = append(out, destination{dstOp: rt.dstOp, tasks: rt.dstTasks[i : i+1]})
+		case FieldsGrouping:
+			if rt.sub.FieldIdx >= len(tp.Values) {
+				return nil, fmt.Errorf("dsps: fields grouping on field %d of %d-field tuple", rt.sub.FieldIdx, len(tp.Values))
+			}
+			i := int(hashValue(tp.Values[rt.sub.FieldIdx]) % uint64(len(rt.dstTasks)))
+			out = append(out, destination{dstOp: rt.dstOp, tasks: rt.dstTasks[i : i+1]})
+		case AllGrouping:
+			out = append(out, destination{dstOp: rt.dstOp, all: true, tasks: rt.dstTasks})
+		case GlobalGrouping:
+			out = append(out, destination{dstOp: rt.dstOp, tasks: rt.dstTasks[:1]})
+		case LocalOrShuffleGrouping:
+			pool := rt.localTasks
+			if len(pool) == 0 {
+				pool = rt.dstTasks
+			}
+			i := r.shuffle[rt.dstOp] % len(pool)
+			r.shuffle[rt.dstOp]++
+			out = append(out, destination{dstOp: rt.dstOp, tasks: pool[i : i+1]})
+		default:
+			return nil, fmt.Errorf("dsps: unknown grouping %v", rt.sub.Type)
+		}
+	}
+	return out, nil
+}
+
+// hasSubscribers reports whether the stream has any outgoing edge (a tuple
+// emitted on a sink operator's stream goes nowhere).
+func (r *router) hasSubscribers(stream string) bool { return len(r.routes[stream]) > 0 }
+
+// hashValue hashes one field value for key grouping.
+func hashValue(v tuple.Value) uint64 {
+	h := fnv.New64a()
+	switch x := v.(type) {
+	case int64:
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(x >> (8 * i))
+		}
+		h.Write(b[:])
+	case float64:
+		bits := math.Float64bits(x)
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	case string:
+		h.Write([]byte(x))
+	case []byte:
+		h.Write(x)
+	case bool:
+		if x {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return h.Sum64()
+}

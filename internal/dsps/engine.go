@@ -1,0 +1,808 @@
+package dsps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"whale/internal/control"
+	"whale/internal/metrics"
+	"whale/internal/multicast"
+	"whale/internal/queueing"
+	"whale/internal/transport"
+	"whale/internal/tuple"
+)
+
+// CommMode selects the communication mechanism.
+type CommMode int
+
+const (
+	// InstanceOriented is the stock Storm baseline: one serialization and
+	// one message per destination instance (paper Fig. 9a).
+	InstanceOriented CommMode = iota
+	// WorkerOriented is Whale's mechanism: one serialization per tuple, one
+	// message per destination worker (paper §3.5, Fig. 9b).
+	WorkerOriented
+)
+
+func (m CommMode) String() string {
+	if m == WorkerOriented {
+		return "worker-oriented"
+	}
+	return "instance-oriented"
+}
+
+// MulticastMode selects how worker-oriented all-grouping fans out across
+// workers.
+type MulticastMode int
+
+const (
+	// MulticastStar sends directly from the source worker to every
+	// destination worker (sequential multicast at worker granularity).
+	MulticastStar MulticastMode = iota
+	// MulticastBinomial relays along a static binomial tree (RDMC).
+	MulticastBinomial
+	// MulticastNonBlocking relays along Whale's self-adjusting non-blocking
+	// tree (d* capped, adapted by the §3.3 controller unless FixedDstar).
+	MulticastNonBlocking
+)
+
+func (m MulticastMode) String() string {
+	switch m {
+	case MulticastBinomial:
+		return "binomial"
+	case MulticastNonBlocking:
+		return "non-blocking"
+	}
+	return "star"
+}
+
+// Config parameterises an engine run.
+type Config struct {
+	// Workers is the worker (process) count; tasks spread round-robin.
+	Workers int
+	// Network provides worker transports. Required.
+	Network transport.Network
+	// Comm selects instance- vs worker-oriented communication.
+	Comm CommMode
+	// Multicast selects the all-grouping fan-out (worker-oriented only).
+	Multicast MulticastMode
+	// TransferQueueCap is Q, the transfer queue capacity (default 1024).
+	TransferQueueCap int
+	// ExecutorQueueCap bounds executor inbound queues (default 4096).
+	ExecutorQueueCap int
+	// Control configures the self-adjusting controller.
+	Control control.Config
+	// MonitorInterval is the controller's Δt (default 10 ms).
+	MonitorInterval time.Duration
+	// InitialDstar seeds the non-blocking tree's out-degree cap (default 3,
+	// the value the paper fixes in Figs. 21-22).
+	InitialDstar int
+	// FixedDstar disables adaptation, pinning d* at InitialDstar.
+	FixedDstar bool
+
+	// AckEnabled turns on the Storm-style reliability plane: tuples emitted
+	// with Collector.EmitReliable are tracked end to end by acker tasks.
+	AckEnabled bool
+	// Ackers is the acker operator's parallelism (default 1).
+	Ackers int
+	// AckTimeout fails reliability trees that do not complete in time
+	// (default 5s).
+	AckTimeout time.Duration
+	// MaxSpoutPending caps in-flight reliability trees per spout task
+	// (0 = unlimited). Requires AckEnabled.
+	MaxSpoutPending int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.TransferQueueCap <= 0 {
+		c.TransferQueueCap = 1024
+	}
+	if c.ExecutorQueueCap <= 0 {
+		c.ExecutorQueueCap = 4096
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = 10 * time.Millisecond
+	}
+	if c.InitialDstar <= 0 {
+		c.InitialDstar = 3
+	}
+	if c.Control.QueueCapacity <= 0 {
+		c.Control.QueueCapacity = c.TransferQueueCap
+	}
+	if c.Ackers <= 0 {
+		c.Ackers = 1
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Metrics aggregates engine-wide instrumentation.
+type Metrics struct {
+	TuplesEmitted   metrics.Counter
+	TuplesExecuted  metrics.Counter
+	TuplesCompleted metrics.Counter // tuples reaching a sink
+	TuplesAcked     metrics.Counter // reliability trees completed
+	TuplesFailed    metrics.Counter // reliability trees failed/timed out
+	RouteErrors     metrics.Counter
+	SendErrors      metrics.Counter
+	DecodeErrors    metrics.Counter
+	Serializations  metrics.Counter
+	SerializationNS metrics.Counter
+	Switches        metrics.Counter
+	SkippedSwitches metrics.Counter // scale-ups rejected by the Theorem 5 guard
+
+	ProcessingLatency metrics.Histogram // spout -> sink, ns
+	MulticastLatency  metrics.Histogram // emit -> worker arrival, ns
+	SwitchLatency     metrics.Histogram // switch trigger -> all ACKs, ns
+	CompleteLatency   metrics.Histogram // reliable emit -> tree complete, ns
+}
+
+// opMetrics is the per-operator instrumentation.
+type opMetrics struct {
+	executed metrics.Counter
+	emitted  metrics.Counter
+	execNS   metrics.Histogram
+}
+
+// OperatorStats is a reporting snapshot for one operator.
+type OperatorStats struct {
+	// Executed counts tuples processed by the operator's instances.
+	Executed int64
+	// Emitted counts tuples the operator emitted (per subscribed edge).
+	Emitted int64
+	// ExecLatency summarises per-tuple Execute durations.
+	ExecLatency metrics.Snapshot
+}
+
+// groupKey identifies a multicast group statically.
+type groupKey struct {
+	op     string
+	stream string
+	worker int32
+}
+
+// groupDesc is the static description of a multicast group.
+type groupDesc struct {
+	id         int32
+	key        groupKey
+	members    []int32           // destination workers (tree leaves/relays)
+	localTasks map[int32][]int32 // worker -> locally subscribed tasks
+}
+
+// Engine runs one topology.
+type Engine struct {
+	topo   *Topology
+	assign *Assignment
+	cfg    Config
+
+	workers    []*worker
+	metrics    *Metrics
+	groupDescs []*groupDesc
+	groupIDs   map[groupKey]int32
+	managers   map[int32]*mcManager
+	taskMgr    map[int32]*mcManager
+	opStats    map[string]*opMetrics
+	remoteBy   map[string]map[int32]map[int32][]int32 // op -> srcWorker -> dstWorker -> tasks
+
+	stopSpoutsOnce sync.Once
+	stopSpouts     chan struct{}
+	spoutWG        sync.WaitGroup
+	stopTick       chan struct{}
+	stopped        bool
+	mu             sync.Mutex
+}
+
+// Start builds and launches the topology on the configured network.
+func Start(topo *Topology, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("dsps: Config.Network is required")
+	}
+	if cfg.Comm == InstanceOriented && cfg.Multicast != MulticastStar {
+		return nil, fmt.Errorf("dsps: tree multicast requires worker-oriented communication")
+	}
+	if cfg.MaxSpoutPending > 0 && !cfg.AckEnabled {
+		return nil, fmt.Errorf("dsps: MaxSpoutPending requires AckEnabled")
+	}
+	if _, taken := topo.Operators[ackerOperatorID]; taken {
+		return nil, fmt.Errorf("dsps: operator id %q is reserved", ackerOperatorID)
+	}
+	eng := &Engine{
+		cfg:        cfg,
+		metrics:    &Metrics{},
+		groupIDs:   map[groupKey]int32{},
+		managers:   map[int32]*mcManager{},
+		taskMgr:    map[int32]*mcManager{},
+		remoteBy:   map[string]map[int32]map[int32][]int32{},
+		opStats:    map[string]*opMetrics{},
+		stopSpouts: make(chan struct{}),
+		stopTick:   make(chan struct{}),
+	}
+	if cfg.AckEnabled {
+		topo = withAcking(topo, eng, cfg.Ackers, cfg.AckTimeout)
+	}
+	assign, err := Assign(topo, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	eng.topo, eng.assign = topo, assign
+	for _, id := range topo.Order {
+		eng.opStats[id] = &opMetrics{}
+	}
+	eng.buildRemoteIndex()
+
+	// Workers and transports.
+	for wid := 0; wid < cfg.Workers; wid++ {
+		w := newWorker(eng, int32(wid))
+		eng.workers = append(eng.workers, w)
+	}
+	for _, w := range eng.workers {
+		w := w
+		tr, err := cfg.Network.Register(w.id, func(from transport.WorkerID, payload []byte) {
+			w.dispatch(from, payload)
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.tr = tr
+	}
+
+	// Sink detection: an operator is a sink if nothing subscribes to it.
+	// The ack plane is invisible here: the acker's subscriptions do not
+	// keep user operators from being sinks, and the acker itself never
+	// records completions.
+	isSink := map[string]bool{}
+	for _, id := range topo.Order {
+		isSink[id] = true
+	}
+	for _, id := range topo.Order {
+		if id == ackerOperatorID {
+			continue
+		}
+		for _, s := range topo.Operators[id].Subs {
+			isSink[s.SrcOperator] = false
+		}
+	}
+	isSink[ackerOperatorID] = false
+
+	// Executors.
+	for _, tc := range assign.Tasks {
+		spec := topo.Operators[tc.OperatorID]
+		w := eng.workers[tc.Worker]
+		rt := newRouter(topo, assign, tc.OperatorID, tc.Worker)
+		ex := newExecutor(w, tc, spec, rt, isSink[tc.OperatorID], cfg.ExecutorQueueCap)
+		w.executors[tc.TaskID] = ex
+	}
+
+	// Multicast groups (tree modes only).
+	if cfg.Comm == WorkerOriented && cfg.Multicast != MulticastStar {
+		if err := eng.buildGroups(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Launch: bolts, send threads, managers, then spouts.
+	for _, w := range eng.workers {
+		for _, ex := range w.executors {
+			if ex.bolt != nil {
+				w.wg.Add(1)
+				go ex.runBolt()
+			}
+		}
+		w.sendWG.Add(1)
+		go w.sendLoop()
+	}
+	for _, mgr := range eng.managers {
+		go mgr.run()
+	}
+	if cfg.AckEnabled {
+		go eng.ackTicker()
+	}
+	for _, id := range topo.Order {
+		if iv := topo.Operators[id].TickInterval; iv > 0 && !topo.Operators[id].IsSpout {
+			go eng.userTicker(id, iv)
+		}
+	}
+	for _, w := range eng.workers {
+		for _, ex := range w.executors {
+			if ex.spout != nil {
+				w.wg.Add(1)
+				eng.spoutWG.Add(1)
+				ex := ex
+				go func() {
+					defer eng.spoutWG.Done()
+					ex.runSpout()
+				}()
+			}
+		}
+	}
+	return eng, nil
+}
+
+// buildRemoteIndex precomputes, for every operator and source worker, the
+// destination tasks grouped by remote worker (the worker-oriented batch
+// map).
+func (e *Engine) buildRemoteIndex() {
+	for _, id := range e.topo.Order {
+		perSrc := map[int32]map[int32][]int32{}
+		for src := int32(0); src < int32(e.cfg.Workers); src++ {
+			byWorker := map[int32][]int32{}
+			for _, tid := range e.assign.TasksOf[id] {
+				dw := e.assign.WorkerOf[tid]
+				if dw != src {
+					byWorker[dw] = append(byWorker[dw], tid)
+				}
+			}
+			perSrc[src] = byWorker
+		}
+		e.remoteBy[id] = perSrc
+	}
+}
+
+// remoteTasksByWorker returns dstOp's tasks grouped by worker, excluding
+// the source worker. The returned map is shared and read-only.
+func (e *Engine) remoteTasksByWorker(dstOp string, src int32) map[int32][]int32 {
+	return e.remoteBy[dstOp][src]
+}
+
+// buildGroups enumerates multicast groups — one per (source operator,
+// stream, source worker) with at least one all-grouping subscriber — and
+// installs version-1 trees everywhere (standing in for initial topology
+// deployment).
+func (e *Engine) buildGroups() error {
+	type edge struct {
+		op, stream string
+	}
+	subscribed := map[edge][]string{} // edge -> subscribed ops (All only)
+	for _, id := range e.topo.Order {
+		for _, s := range e.topo.Operators[id].Subs {
+			if s.Type == AllGrouping {
+				k := edge{s.SrcOperator, s.Stream}
+				subscribed[k] = append(subscribed[k], id)
+			}
+		}
+	}
+	edges := make([]edge, 0, len(subscribed))
+	for k := range subscribed {
+		edges = append(edges, k)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].op != edges[j].op {
+			return edges[i].op < edges[j].op
+		}
+		return edges[i].stream < edges[j].stream
+	})
+
+	for _, k := range edges {
+		dstOps := subscribed[k]
+		// Local subscribed tasks per worker.
+		localTasks := map[int32][]int32{}
+		memberSet := map[int32]bool{}
+		for _, op := range dstOps {
+			for _, tid := range e.assign.TasksOf[op] {
+				w := e.assign.WorkerOf[tid]
+				localTasks[w] = append(localTasks[w], tid)
+				memberSet[w] = true
+			}
+		}
+		for _, srcWorker := range e.assign.WorkersOf(k.op) {
+			members := make([]int32, 0, len(memberSet))
+			for w := range memberSet {
+				if w != srcWorker {
+					members = append(members, w)
+				}
+			}
+			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+			if len(members) == 0 {
+				continue // purely local group; the fast path covers it
+			}
+			gid := int32(len(e.groupDescs))
+			desc := &groupDesc{
+				id:         gid,
+				key:        groupKey{op: k.op, stream: k.stream, worker: srcWorker},
+				members:    members,
+				localTasks: localTasks,
+			}
+			e.groupDescs = append(e.groupDescs, desc)
+			e.groupIDs[desc.key] = gid
+
+			// Build and install the initial tree.
+			dstar := e.initialDstar(len(members))
+			var tr *multicast.Tree
+			if e.cfg.Multicast == MulticastBinomial {
+				tr = multicast.BuildBinomial(srcWorker, members)
+			} else {
+				tr = multicast.BuildNonBlocking(srcWorker, members, dstar)
+			}
+			for _, w := range append([]int32{srcWorker}, members...) {
+				gs := &groupState{trees: map[int32]*multicast.Tree{1: tr}, active: 1}
+				e.workers[w].groups[gid] = gs
+			}
+
+			// Adaptive controller for the non-blocking tree.
+			if e.cfg.Multicast == MulticastNonBlocking && !e.cfg.FixedDstar {
+				ctl := e.cfg.Control
+				ctl.MaxDstar = queueing.BinomialSourceDegree(len(members))
+				if ctl.MaxDstar < 1 {
+					ctl.MaxDstar = 1
+				}
+				mgr := &mcManager{
+					eng:         e,
+					desc:        desc,
+					w:           e.workers[srcWorker],
+					ctrl:        control.NewController(ctl, dstar),
+					nextVersion: 2,
+					curDstar:    dstar,
+					done:        make(chan struct{}),
+				}
+				e.managers[gid] = mgr
+				for _, tid := range e.assign.TasksOnWorker(k.op, srcWorker) {
+					if _, taken := e.taskMgr[tid]; !taken {
+						e.taskMgr[tid] = mgr
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) initialDstar(n int) int {
+	d := e.cfg.InitialDstar
+	if b := queueing.BinomialSourceDegree(n); d > b && b >= 1 {
+		d = b
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// groupOf resolves the multicast group for an emit.
+func (e *Engine) groupOf(op, stream string, worker int32) (int32, bool) {
+	gid, ok := e.groupIDs[groupKey{op: op, stream: stream, worker: worker}]
+	return gid, ok
+}
+
+// groupLocalTasks returns the subscribed tasks of group gid on worker w.
+func (e *Engine) groupLocalTasks(gid int32, w int32) []int32 {
+	if int(gid) >= len(e.groupDescs) {
+		return nil
+	}
+	return e.groupDescs[gid].localTasks[w]
+}
+
+// managerForTask returns the adaptive manager fed by the given source task.
+func (e *Engine) managerForTask(tid int32) *mcManager { return e.taskMgr[tid] }
+
+// Metrics returns the engine's aggregated metrics.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// OperatorStats snapshots per-operator counters (user operators only; the
+// internal acker is excluded).
+func (e *Engine) OperatorStats() map[string]OperatorStats {
+	out := make(map[string]OperatorStats, len(e.opStats))
+	for id, m := range e.opStats {
+		if id == ackerOperatorID {
+			continue
+		}
+		out[id] = OperatorStats{
+			Executed:    m.executed.Value(),
+			Emitted:     m.emitted.Value(),
+			ExecLatency: m.execNS.Snapshot(),
+		}
+	}
+	return out
+}
+
+// TransportSnapshot sums transport counters across workers.
+func (e *Engine) TransportSnapshot() transport.Snapshot {
+	var agg transport.Snapshot
+	for _, w := range e.workers {
+		s := w.tr.Stats().Load()
+		agg.MsgsSent += s.MsgsSent
+		agg.BytesSent += s.BytesSent
+		agg.MsgsRecv += s.MsgsRecv
+		agg.BytesRecv += s.BytesRecv
+		agg.SendNS += s.SendNS
+	}
+	return agg
+}
+
+// TransferQueueLen returns the current transfer-queue length of worker w
+// (the paper's monitored queue).
+func (e *Engine) TransferQueueLen(w int32) int { return len(e.workers[w].transfer) }
+
+// ActiveDstar reports the current out-degree cap of the first adaptive
+// multicast group, or 0 if none exists.
+func (e *Engine) ActiveDstar() int {
+	for _, mgr := range e.managers {
+		return mgr.ctrl.Dstar()
+	}
+	return 0
+}
+
+// StopSpouts signals every spout loop to finish and waits for them.
+func (e *Engine) StopSpouts() {
+	e.stopSpoutsOnce.Do(func() { close(e.stopSpouts) })
+	e.spoutWG.Wait()
+}
+
+// WaitSpouts blocks until every spout has finished of its own accord
+// (returned false from Next). Use with finite sources.
+func (e *Engine) WaitSpouts() { e.spoutWG.Wait() }
+
+// Drain waits (bounded by timeout) until the engine is quiescent: all
+// transfer and executor queues empty and tuple counters stable. It returns
+// true on quiescence.
+func (e *Engine) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	var prevEmitted, prevExecuted int64 = -1, -1
+	stable := 0
+	for time.Now().Before(deadline) {
+		for _, w := range e.workers {
+			w.tr.Flush()
+		}
+		empty := true
+		for _, w := range e.workers {
+			if len(w.transfer) > 0 {
+				empty = false
+				break
+			}
+			for _, ex := range w.executors {
+				if len(ex.in) > 0 {
+					empty = false
+					break
+				}
+			}
+		}
+		em, ex := e.metrics.TuplesEmitted.Value(), e.metrics.TuplesExecuted.Value()
+		if empty && em == prevEmitted && ex == prevExecuted {
+			stable++
+			if stable >= 3 {
+				return true
+			}
+		} else {
+			stable = 0
+		}
+		prevEmitted, prevExecuted = em, ex
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// Stop shuts the engine down: spouts first, then a drain, then bolts,
+// managers and the network.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	e.mu.Unlock()
+
+	e.StopSpouts()
+	e.Drain(2 * time.Second)
+	close(e.stopTick)
+	for _, mgr := range e.managers {
+		close(mgr.done)
+	}
+	for _, w := range e.workers {
+		close(w.done)
+	}
+	for _, w := range e.workers {
+		w.wg.Wait()
+		w.sendWG.Wait()
+	}
+	e.cfg.Network.Close()
+}
+
+// StreamTick is the stream name of engine-generated tick tuples (see
+// BoltDeclarer.TickEvery). Bolts receive them in Execute like any input.
+const StreamTick = "__tick"
+
+// userTicker delivers tick tuples to one operator's executors at its
+// configured period until the engine stops.
+func (e *Engine) userTicker(op string, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopTick:
+			return
+		case <-ticker.C:
+			now := time.Now().UnixNano()
+			for _, tid := range e.assign.TasksOf[op] {
+				w := e.workers[e.assign.WorkerOf[tid]]
+				ex, ok := w.executors[tid]
+				if !ok {
+					continue
+				}
+				tick := tuple.AddressedTuple{TaskID: tid,
+					Data: &tuple.Tuple{Stream: StreamTick, RootEmitNS: now}}
+				select {
+				case ex.in <- tick:
+				case <-e.stopTick:
+					return
+				}
+			}
+		}
+	}
+}
+
+// ackTicker periodically injects timeout-sweep ticks into every acker task.
+func (e *Engine) ackTicker() {
+	interval := e.cfg.AckTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopTick:
+			return
+		case <-ticker.C:
+			for _, tid := range e.assign.TasksOf[ackerOperatorID] {
+				w := e.workers[e.assign.WorkerOf[tid]]
+				ex, ok := w.executors[tid]
+				if !ok {
+					continue
+				}
+				tick := tuple.AddressedTuple{TaskID: tid, Data: &tuple.Tuple{Stream: streamAckTick}}
+				select {
+				case ex.in <- tick:
+				case <-e.stopTick:
+					return
+				}
+			}
+		}
+	}
+}
+
+// mcManager runs the self-adjusting control loop for one multicast group
+// (paper §3.3-3.4): monitor the transfer queue and input rate, decide, and
+// distribute new tree versions, activating each only after every member
+// ACKs.
+type mcManager struct {
+	eng  *Engine
+	desc *groupDesc
+	w    *worker
+	ctrl *control.Controller
+	sm   control.StreamMonitor
+	qm   control.QueueMonitor
+
+	mu             sync.Mutex
+	pendingVersion int32
+	pendingAcks    map[int32]bool
+	switchStart    time.Time
+	nextVersion    int32
+	curDstar       int
+	pendingTree    *multicast.Tree
+
+	done chan struct{}
+}
+
+func (m *mcManager) run() {
+	ticker := time.NewTicker(m.eng.cfg.MonitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ticker.C:
+			m.tick()
+		}
+	}
+}
+
+func (m *mcManager) tick() {
+	interval := m.eng.cfg.MonitorInterval.Seconds()
+	count := m.sm.Drain()
+	m.ctrl.ObserveRate(float64(count), interval)
+	if te, ok := m.qm.DrainTe(); ok {
+		m.ctrl.ObserveTe(te)
+	}
+	m.mu.Lock()
+	switching := m.pendingVersion != 0
+	m.mu.Unlock()
+	if switching {
+		return // one switch in flight at a time
+	}
+	dec := m.ctrl.Evaluate(len(m.w.transfer))
+	if dec.Action == control.Hold || dec.NewDstar == m.curDstar {
+		return
+	}
+	// Theorem 5 guard: an active scale-up only pays off if the stream
+	// expected over the structure's likely lifetime amortizes the switch
+	// pause. Scale-downs are never deferred (they protect the queue).
+	if dec.Action == control.ScaleUp {
+		tswitch := float64(m.eng.metrics.SwitchLatency.Mean()) / 1e9
+		if tswitch <= 0 {
+			tswitch = float64(len(m.desc.members)) * 100e-6 // first-switch estimate
+		}
+		horizon := float64(100*m.eng.cfg.MonitorInterval) / float64(time.Second)
+		if !control.ScaleUpWorthwhile(len(m.desc.members), m.curDstar, dec.NewDstar,
+			dec.Te, dec.Lambda, tswitch, horizon) {
+			m.eng.metrics.SkippedSwitches.Inc()
+			m.ctrl.ForceDstar(m.curDstar) // keep the controller honest
+			return
+		}
+	}
+	gs := m.w.groups[m.desc.id]
+	cur, ok := gs.tree(gs.activeVersion())
+	if !ok {
+		return
+	}
+	next := cur.Clone()
+	dir, moves := multicast.Switch(next, m.curDstar, dec.NewDstar)
+	m.curDstar = dec.NewDstar
+	if dir == multicast.NoSwitch || len(moves) == 0 {
+		return
+	}
+	m.eng.metrics.Switches.Inc()
+	version := m.nextVersion
+	m.nextVersion++
+	m.mu.Lock()
+	m.pendingVersion = version
+	m.pendingTree = next
+	m.pendingAcks = map[int32]bool{}
+	for _, w := range m.desc.members {
+		m.pendingAcks[w] = false
+	}
+	m.switchStart = time.Now()
+	m.mu.Unlock()
+
+	// Distribute the new structure. The CtrlTree message carries the full
+	// adjacency (each relay "stores the structure of the multicast tree").
+	nodes, parents := next.Flatten()
+	direction := tuple.SwitchScaleUp
+	if dir == multicast.ScaleDownSwitch {
+		direction = tuple.SwitchScaleDown
+	}
+	cm := tuple.ControlMessage{
+		Type: tuple.CtrlTree, Direction: direction,
+		Group: m.desc.id, Version: version,
+		Nodes: nodes, Parents: parents,
+	}
+	raw := tuple.AppendWorkerMessage(nil, &tuple.WorkerMessage{
+		Kind:    tuple.KindControl,
+		Payload: tuple.AppendControlMessage(nil, &cm),
+	})
+	for _, dst := range m.desc.members {
+		m.w.enqueueSend(sendJob{kind: jobControl, dstWorker: dst, raw: raw})
+	}
+}
+
+// handleAck records one member's acknowledgement; when the last arrives the
+// new version activates at the source.
+func (m *mcManager) handleAck(version int32, node int32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if version != m.pendingVersion {
+		return
+	}
+	if done, ok := m.pendingAcks[node]; !ok || done {
+		return
+	}
+	m.pendingAcks[node] = true
+	for _, acked := range m.pendingAcks {
+		if !acked {
+			return
+		}
+	}
+	gs := m.w.groups[m.desc.id]
+	gs.install(version, m.pendingTree)
+	gs.activate(version)
+	m.eng.metrics.SwitchLatency.Observe(time.Since(m.switchStart).Nanoseconds())
+	m.pendingVersion = 0
+	m.pendingTree = nil
+}

@@ -1,0 +1,522 @@
+package dsps
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"whale/internal/control"
+	"whale/internal/metrics"
+	"whale/internal/rdma"
+	"whale/internal/transport"
+	"whale/internal/tuple"
+)
+
+// countSpout emits n tuples {seq int64, key string} then stops.
+type countSpout struct {
+	n    int
+	keys int
+	i    int
+}
+
+func (s *countSpout) Open(*TaskContext) {}
+func (s *countSpout) Next(c *Collector) bool {
+	if s.i >= s.n {
+		return false
+	}
+	c.Emit(int64(s.i), fmt.Sprintf("key-%d", s.i%s.keys))
+	s.i++
+	return true
+}
+func (s *countSpout) Close() {}
+
+// capture records every tuple each task receives.
+type capture struct {
+	mu     sync.Mutex
+	byTask map[int32][]int64 // task -> received seqs
+}
+
+func newCapture() *capture { return &capture{byTask: map[int32][]int64{}} }
+
+func (c *capture) record(task int32, seq int64) {
+	c.mu.Lock()
+	c.byTask[task] = append(c.byTask[task], seq)
+	c.mu.Unlock()
+}
+
+func (c *capture) counts() map[int32]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[int32]int{}
+	for k, v := range c.byTask {
+		out[k] = len(v)
+	}
+	return out
+}
+
+func (c *capture) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.byTask {
+		n += len(v)
+	}
+	return n
+}
+
+// exactlyOnce verifies each task saw each seq 0..n-1 exactly once.
+func (c *capture) exactlyOnce(t *testing.T, tasks []int32, n int) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, task := range tasks {
+		got := c.byTask[task]
+		if len(got) != n {
+			t.Fatalf("task %d received %d of %d tuples", task, len(got), n)
+		}
+		seen := map[int64]bool{}
+		for _, s := range got {
+			if seen[s] {
+				t.Fatalf("task %d received seq %d twice", task, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// captureBolt records (task, seq) into a shared capture.
+type captureBolt struct {
+	cap *capture
+	ctx *TaskContext
+}
+
+func (b *captureBolt) Prepare(ctx *TaskContext) { b.ctx = ctx }
+func (b *captureBolt) Execute(tp *tuple.Tuple, _ *Collector) {
+	b.cap.record(b.ctx.TaskID, tp.Int(0))
+}
+func (b *captureBolt) Cleanup() {}
+
+// forwardBolt re-emits everything.
+type forwardBolt struct{}
+
+func (forwardBolt) Prepare(*TaskContext) {}
+func (forwardBolt) Execute(tp *tuple.Tuple, c *Collector) {
+	c.Emit(tp.Values...)
+}
+func (forwardBolt) Cleanup() {}
+
+// runUntilDrained starts the topology, waits for spout exhaustion, drains
+// and stops.
+func runUntilDrained(t *testing.T, topo *Topology, cfg Config) *Engine {
+	t.Helper()
+	eng, err := Start(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.WaitSpouts()
+	if !eng.Drain(15 * time.Second) {
+		eng.Stop()
+		t.Fatal("engine did not drain")
+	}
+	eng.Stop()
+	return eng
+}
+
+func allGroupingConfigs() map[string]Config {
+	return map[string]Config{
+		"instance-oriented": {Comm: InstanceOriented},
+		"woc-star":          {Comm: WorkerOriented, Multicast: MulticastStar},
+		"woc-binomial":      {Comm: WorkerOriented, Multicast: MulticastBinomial},
+		"woc-nonblocking":   {Comm: WorkerOriented, Multicast: MulticastNonBlocking, FixedDstar: true, InitialDstar: 2},
+		"woc-adaptive":      {Comm: WorkerOriented, Multicast: MulticastNonBlocking, MonitorInterval: 5 * time.Millisecond},
+	}
+}
+
+func TestAllGroupingExactlyOnce(t *testing.T) {
+	const n, parallelism, workers = 500, 12, 4
+	for name, cfg := range allGroupingConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cap := newCapture()
+			b := NewTopologyBuilder()
+			b.Spout("src", func() Spout { return &countSpout{n: n, keys: 10} }, 1)
+			b.Bolt("match", func() Bolt { return &captureBolt{cap: cap} }, parallelism).All("src")
+			topo, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Workers = workers
+			cfg.Network = transport.NewInprocNetwork(0)
+			eng := runUntilDrained(t, topo, cfg)
+			cap.exactlyOnce(t, eng.assign.TasksOf["match"], n)
+			if got := eng.Metrics().TuplesExecuted.Value(); got != int64(n*parallelism) {
+				t.Fatalf("executed %d, want %d", got, n*parallelism)
+			}
+			if eng.Metrics().TuplesCompleted.Value() != int64(n*parallelism) {
+				t.Fatal("sink completions missing")
+			}
+			if eng.Metrics().ProcessingLatency.Count() == 0 {
+				t.Fatal("no latency samples")
+			}
+		})
+	}
+}
+
+func TestAllGroupingOverRDMA(t *testing.T) {
+	// The full Whale stack: worker-oriented + non-blocking tree over the
+	// emulated RDMA transport (one-sided READ channels).
+	const n, parallelism, workers = 300, 8, 4
+	cap := newCapture()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: n, keys: 10} }, 1)
+	b.Bolt("match", func() Bolt { return &captureBolt{cap: cap} }, parallelism).All("src")
+	topo, _ := b.Build()
+	cfg := Config{
+		Workers:    workers,
+		Network:    transport.NewRDMANetwork(rdmaCost(), rdmaCfg()),
+		Comm:       WorkerOriented,
+		Multicast:  MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+	}
+	eng := runUntilDrained(t, topo, cfg)
+	cap.exactlyOnce(t, eng.assign.TasksOf["match"], n)
+	if eng.Metrics().MulticastLatency.Count() == 0 {
+		t.Fatal("no multicast latency samples")
+	}
+}
+
+func TestFieldsGroupingRoutesByKey(t *testing.T) {
+	const n = 400
+	cap := newCapture()
+	keyByTask := struct {
+		mu sync.Mutex
+		m  map[string]int32
+		ok bool
+	}{m: map[string]int32{}, ok: true}
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: n, keys: 16} }, 1)
+	b.Bolt("agg", func() Bolt {
+		return &funcBolt{exec: func(ctx *TaskContext, tp *tuple.Tuple, _ *Collector) {
+			cap.record(ctx.TaskID, tp.Int(0))
+			key := tp.StringAt(1)
+			keyByTask.mu.Lock()
+			if prev, seen := keyByTask.m[key]; seen && prev != ctx.TaskID {
+				keyByTask.ok = false
+			}
+			keyByTask.m[key] = ctx.TaskID
+			keyByTask.mu.Unlock()
+		}}
+	}, 8).Fields("src", 1)
+	topo, _ := b.Build()
+	runUntilDrained(t, topo, Config{Workers: 4, Network: transport.NewInprocNetwork(0), Comm: WorkerOriented})
+	if cap.total() != n {
+		t.Fatalf("delivered %d of %d", cap.total(), n)
+	}
+	if !keyByTask.ok {
+		t.Fatal("a key visited two different tasks")
+	}
+}
+
+// funcBolt adapts a closure to the Bolt interface.
+type funcBolt struct {
+	exec func(*TaskContext, *tuple.Tuple, *Collector)
+	ctx  *TaskContext
+}
+
+func (b *funcBolt) Prepare(ctx *TaskContext)              { b.ctx = ctx }
+func (b *funcBolt) Execute(tp *tuple.Tuple, c *Collector) { b.exec(b.ctx, tp, c) }
+func (b *funcBolt) Cleanup()                              {}
+
+// rdmaCost and rdmaCfg configure the emulated RDMA network for engine
+// integration tests: fast, small batches so tests drain quickly.
+func rdmaCost() rdma.CostModel { return rdma.CostModel{} }
+func rdmaCfg() rdma.ChannelConfig {
+	return rdma.ChannelConfig{MMS: 8 << 10, WTL: 500 * time.Microsecond}
+}
+
+func TestShuffleGroupingBalances(t *testing.T) {
+	const n = 800
+	cap := newCapture()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: n, keys: 4} }, 1)
+	b.Bolt("work", func() Bolt { return &captureBolt{cap: cap} }, 8).Shuffle("src")
+	topo, _ := b.Build()
+	runUntilDrained(t, topo, Config{Workers: 4, Network: transport.NewInprocNetwork(0)})
+	counts := cap.counts()
+	if cap.total() != n {
+		t.Fatalf("delivered %d of %d", cap.total(), n)
+	}
+	for task, c := range counts {
+		if c != n/8 {
+			t.Fatalf("task %d received %d; strict round-robin expects %d", task, c, n/8)
+		}
+	}
+}
+
+func TestGlobalGrouping(t *testing.T) {
+	const n = 100
+	cap := newCapture()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: n, keys: 4} }, 1)
+	b.Bolt("g", func() Bolt { return &captureBolt{cap: cap} }, 6).Global("src")
+	topo, _ := b.Build()
+	eng := runUntilDrained(t, topo, Config{Workers: 3, Network: transport.NewInprocNetwork(0)})
+	first := eng.assign.TasksOf["g"][0]
+	if got := cap.counts(); got[first] != n || cap.total() != n {
+		t.Fatalf("global counts %v", got)
+	}
+}
+
+func TestPipelineLatencyPropagation(t *testing.T) {
+	const n = 200
+	cap := newCapture()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: n, keys: 4} }, 1)
+	b.Bolt("mid", func() Bolt { return forwardBolt{} }, 3).Shuffle("src")
+	b.Bolt("sink", func() Bolt { return &captureBolt{cap: cap} }, 2).FieldsStream("mid", "mid", 1)
+	topo, _ := b.Build()
+	eng := runUntilDrained(t, topo, Config{Workers: 2, Network: transport.NewInprocNetwork(0), Comm: WorkerOriented})
+	if cap.total() != n {
+		t.Fatalf("sink saw %d of %d", cap.total(), n)
+	}
+	m := eng.Metrics()
+	if m.TuplesCompleted.Value() != n {
+		t.Fatalf("completed %d", m.TuplesCompleted.Value())
+	}
+	if m.ProcessingLatency.Count() != n || m.ProcessingLatency.Mean() <= 0 {
+		t.Fatalf("latency histogram %v", m.ProcessingLatency.Snapshot())
+	}
+}
+
+// namedStreamSpout splits output across two named streams.
+type namedStreamSpout struct{ i int }
+
+func (s *namedStreamSpout) Open(*TaskContext) {}
+func (s *namedStreamSpout) Next(c *Collector) bool {
+	if s.i >= 100 {
+		return false
+	}
+	if s.i%2 == 0 {
+		c.EmitTo("even", int64(s.i), "k")
+	} else {
+		c.EmitTo("odd", int64(s.i), "k")
+	}
+	s.i++
+	return true
+}
+func (s *namedStreamSpout) Close() {}
+
+func TestNamedStreams(t *testing.T) {
+	evens, odds := newCapture(), newCapture()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &namedStreamSpout{} }, 1)
+	b.Bolt("e", func() Bolt { return &captureBolt{cap: evens} }, 2).AllStream("src", "even")
+	b.Bolt("o", func() Bolt { return &captureBolt{cap: odds} }, 2).ShuffleStream("src", "odd")
+	topo, _ := b.Build()
+	runUntilDrained(t, topo, Config{Workers: 2, Network: transport.NewInprocNetwork(0), Comm: WorkerOriented})
+	if evens.total() != 100 { // 50 evens × 2 tasks (all grouping)
+		t.Fatalf("evens %d", evens.total())
+	}
+	if odds.total() != 50 {
+		t.Fatalf("odds %d", odds.total())
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	b := NewTopologyBuilder()
+	b.Spout("s", mkSpout, 1)
+	topo, _ := b.Build()
+	if _, err := Start(topo, Config{}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := Start(topo, Config{Network: transport.NewInprocNetwork(0), Comm: InstanceOriented, Multicast: MulticastBinomial}); err == nil {
+		t.Fatal("instance-oriented tree multicast accepted")
+	}
+}
+
+func TestStopIsIdempotent(t *testing.T) {
+	b := NewTopologyBuilder()
+	b.Spout("s", func() Spout { return &countSpout{n: 10, keys: 2} }, 1)
+	b.Bolt("x", func() Bolt { return &captureBolt{cap: newCapture()} }, 2).All("s")
+	topo, _ := b.Build()
+	eng, err := Start(topo, Config{Workers: 2, Network: transport.NewInprocNetwork(0), Comm: WorkerOriented})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Stop()
+	eng.Stop() // second stop must not panic or hang
+}
+
+// rateSpout emits continuously until stopped, at full speed.
+type rateSpout struct{ i int }
+
+func (s *rateSpout) Open(*TaskContext) {}
+func (s *rateSpout) Next(c *Collector) bool {
+	c.Emit(int64(s.i), "k")
+	s.i++
+	time.Sleep(50 * time.Microsecond)
+	return true
+}
+func (s *rateSpout) Close() {}
+
+func TestAdaptiveScaleUpSwitch(t *testing.T) {
+	// Start with d*=1 (a chain). With a live stream, microsecond te and an
+	// empty queue, the controller must scale up toward the binomial bound,
+	// exercising the full CtrlTree/ACK protocol, with zero tuple loss
+	// across the switch.
+	cap := newCapture()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &rateSpout{} }, 1)
+	b.Bolt("match", func() Bolt { return &captureBolt{cap: cap} }, 14).All("src")
+	topo, _ := b.Build()
+	cfg := Config{
+		Workers:         7,
+		Network:         transport.NewInprocNetwork(0),
+		Comm:            WorkerOriented,
+		Multicast:       MulticastNonBlocking,
+		InitialDstar:    1,
+		MonitorInterval: 3 * time.Millisecond,
+		Control:         control.Config{QueueCapacity: 1024, Alpha: 0.3},
+	}
+	eng, err := Start(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && eng.Metrics().Switches.Value() == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if eng.Metrics().Switches.Value() == 0 {
+		eng.Stop()
+		t.Fatal("controller never switched")
+	}
+	// Let traffic flow across the new structure, then stop and verify.
+	time.Sleep(50 * time.Millisecond)
+	eng.StopSpouts()
+	if !eng.Drain(15 * time.Second) {
+		eng.Stop()
+		t.Fatal("drain failed")
+	}
+	eng.Stop()
+	if d := eng.ActiveDstar(); d <= 1 {
+		t.Fatalf("d* = %d after scale-up", d)
+	}
+	if eng.Metrics().SwitchLatency.Count() == 0 {
+		t.Fatal("switch latency not recorded")
+	}
+	// Exactly-once across the structure change.
+	n := 0
+	for _, c := range cap.counts() {
+		if n == 0 {
+			n = c
+		}
+	}
+	cap.exactlyOnce(t, eng.assign.TasksOf["match"], n)
+}
+
+func TestOperatorStats(t *testing.T) {
+	const n = 100
+	cap := newCapture()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: n, keys: 4} }, 1)
+	b.Bolt("mid", func() Bolt { return forwardBolt{} }, 2).Shuffle("src")
+	b.Bolt("sink", func() Bolt { return &captureBolt{cap: cap} }, 2).FieldsStream("mid", "mid", 1)
+	topo, _ := b.Build()
+	eng := runUntilDrained(t, topo, Config{Workers: 2, Network: transport.NewInprocNetwork(0)})
+	stats := eng.OperatorStats()
+	if len(stats) != 3 {
+		t.Fatalf("stats for %d operators", len(stats))
+	}
+	if stats["src"].Emitted != n || stats["src"].Executed != 0 {
+		t.Fatalf("src stats %+v", stats["src"])
+	}
+	if stats["mid"].Executed != n || stats["mid"].Emitted != n {
+		t.Fatalf("mid stats %+v", stats["mid"])
+	}
+	if stats["sink"].Executed != n || stats["sink"].Emitted != 0 {
+		t.Fatalf("sink stats %+v", stats["sink"])
+	}
+	if stats["sink"].ExecLatency.Count != n {
+		t.Fatalf("sink exec latency %+v", stats["sink"].ExecLatency)
+	}
+}
+
+func TestMultiSourceMulticastGroups(t *testing.T) {
+	// Two spout tasks on different workers: each gets its own multicast
+	// group and tree rooted at its worker; every destination instance must
+	// still see every tuple from BOTH sources exactly once.
+	const nPerSpout, parallelism, workers = 150, 9, 3
+	cap := newCapture()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: nPerSpout, keys: 5} }, 2)
+	b.Bolt("sink", func() Bolt { return &captureBolt{cap: cap} }, parallelism).All("src")
+	topo, _ := b.Build()
+	eng := runUntilDrained(t, topo, Config{
+		Workers: workers, Network: transport.NewInprocNetwork(0),
+		Comm: WorkerOriented, Multicast: MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+	})
+	// One group per source worker hosting a spout task.
+	srcWorkers := map[int32]bool{}
+	for _, tid := range eng.assign.TasksOf["src"] {
+		srcWorkers[eng.assign.WorkerOf[tid]] = true
+	}
+	if len(eng.groupDescs) != len(srcWorkers) {
+		t.Fatalf("%d groups for %d source workers", len(eng.groupDescs), len(srcWorkers))
+	}
+	// Each sink task saw 2*nPerSpout tuples: nPerSpout seqs, each twice
+	// (once per spout task).
+	for _, task := range eng.assign.TasksOf["sink"] {
+		got := cap.counts()[task]
+		if got != 2*nPerSpout {
+			t.Fatalf("task %d received %d, want %d", task, got, 2*nPerSpout)
+		}
+	}
+}
+
+// tickCountBolt counts tick and data tuples separately.
+type tickCountBolt struct {
+	ticks, data *metrics.Counter
+}
+
+func (b *tickCountBolt) Prepare(*TaskContext) {}
+func (b *tickCountBolt) Execute(tp *tuple.Tuple, _ *Collector) {
+	if tp.Stream == StreamTick {
+		b.ticks.Inc()
+	} else {
+		b.data.Inc()
+	}
+}
+func (b *tickCountBolt) Cleanup() {}
+
+func TestTickTuples(t *testing.T) {
+	var ticks, data metrics.Counter
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: 10, keys: 2} }, 1)
+	b.Bolt("win", func() Bolt { return &tickCountBolt{ticks: &ticks, data: &data} }, 2).
+		Shuffle("src").TickEvery(20 * time.Millisecond)
+	topo, _ := b.Build()
+	eng, err := Start(topo, Config{Workers: 2, Network: transport.NewInprocNetwork(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.WaitSpouts()
+	if !eng.Drain(10 * time.Second) {
+		eng.Stop()
+		t.Fatal("drain failed")
+	}
+	completedBefore := eng.Metrics().TuplesCompleted.Value()
+	time.Sleep(150 * time.Millisecond) // several tick periods with no data
+	eng.Stop()
+	if data.Value() != 10 {
+		t.Fatalf("data tuples %d", data.Value())
+	}
+	// ~7 periods x 2 instances; allow slack for scheduling.
+	if ticks.Value() < 6 {
+		t.Fatalf("only %d ticks delivered", ticks.Value())
+	}
+	// Ticks never count as completed data tuples.
+	if got := eng.Metrics().TuplesCompleted.Value(); got != completedBefore {
+		t.Fatalf("ticks polluted completions: %d -> %d", completedBefore, got)
+	}
+}

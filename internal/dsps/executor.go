@@ -1,0 +1,329 @@
+package dsps
+
+import (
+	"math/rand"
+	"time"
+
+	"whale/internal/tuple"
+)
+
+// Collector is handed to spouts and bolts to emit tuples. It is bound to
+// one executor and must only be used from that executor's goroutine (or,
+// for spouts, the spout loop).
+type Collector struct {
+	ex   *executor
+	test func(stream string, values []tuple.Value)
+}
+
+// NewTestCollector returns a detached collector that hands every emission
+// to fn instead of routing it through an engine — for unit-testing Spout
+// and Bolt implementations in isolation.
+func NewTestCollector(fn func(stream string, values []tuple.Value)) *Collector {
+	return &Collector{test: fn}
+}
+
+// Emit sends a tuple on the operator's default stream (named after the
+// operator).
+func (c *Collector) Emit(values ...tuple.Value) {
+	if c.test != nil {
+		c.test("", values)
+		return
+	}
+	c.EmitTo(c.ex.ctx.OperatorID, values...)
+}
+
+// EmitTo sends a tuple on a named stream.
+func (c *Collector) EmitTo(stream string, values ...tuple.Value) {
+	if c.test != nil {
+		c.test(stream, values)
+		return
+	}
+	c.ex.emit(stream, values)
+}
+
+// EmitReliable sends a tuple on the default stream with reliability
+// tracking: when every downstream descendant has been processed the
+// spout's Ack(msgID) fires; on timeout or explicit failure, Fail(msgID).
+// Only valid in spouts, with Config.AckEnabled.
+func (c *Collector) EmitReliable(msgID int64, values ...tuple.Value) {
+	c.EmitReliableTo(c.ex.ctx.OperatorID, msgID, values...)
+}
+
+// EmitReliableTo is EmitReliable on a named stream.
+func (c *Collector) EmitReliableTo(stream string, msgID int64, values ...tuple.Value) {
+	if c.test != nil {
+		c.test(stream, values)
+		return
+	}
+	c.ex.emitReliable(stream, msgID, values)
+}
+
+// Fail marks the bolt's current input tuple as failed: its reliability
+// tree fails immediately at the acker instead of completing. Implies NoAck.
+func (c *Collector) Fail() {
+	if c.test != nil {
+		return
+	}
+	c.ex.failCurrent = true
+}
+
+// NoAck suppresses the automatic acknowledgement of the bolt's current
+// input tuple. The tuple's tree will neither complete nor fail until the
+// ack timeout expires — use for at-most-once handoffs or to simulate loss.
+func (c *Collector) NoAck() {
+	if c.test != nil {
+		return
+	}
+	c.ex.suppressAck = true
+}
+
+// executor runs one task instance: a goroutine consuming the inbound queue
+// (bolts) or driving the spout loop (spouts).
+type executor struct {
+	ctx     TaskContext
+	w       *worker
+	rt      *router
+	isSink  bool
+	spout   Spout
+	bolt    Bolt
+	in      chan tuple.AddressedTuple
+	col     *Collector
+	nextID  int64
+	curRoot int64 // root-emit timestamp inherited from the tuple being executed
+
+	ops *opMetrics
+
+	// Reliability state.
+	rng          *rand.Rand
+	pendingRoots map[int64]int64 // rootID -> spout msgID
+	curRootID    int64
+	curInAck     int64
+	xorAcc       int64
+	suppressAck  bool
+	failCurrent  bool
+}
+
+func newExecutor(w *worker, ctx TaskContext, spec *OperatorSpec, rt *router, isSink bool, queueDepth int) *executor {
+	ex := &executor{
+		ctx:    ctx,
+		w:      w,
+		rt:     rt,
+		isSink: isSink,
+		in:     make(chan tuple.AddressedTuple, queueDepth),
+		ops:    w.eng.opStats[ctx.OperatorID],
+		rng:    rand.New(rand.NewSource(int64(ctx.TaskID)*7919 + 1)),
+	}
+	ex.col = &Collector{ex: ex}
+	if spec.IsSpout {
+		ex.spout = spec.SpoutFn()
+		ex.pendingRoots = map[int64]int64{}
+	} else {
+		ex.bolt = spec.BoltFn()
+	}
+	return ex
+}
+
+// emit routes one tuple to all subscribers. It is the hot path: local
+// destinations are enqueued directly (Storm's local fast path, no
+// serialization); remote destinations become jobs on the worker's transfer
+// queue, where the send thread pays the serialization cost per the
+// configured communication mechanism.
+func (ex *executor) emit(stream string, values []tuple.Value) {
+	ex.nextID++
+	tp := &tuple.Tuple{
+		Stream:     stream,
+		Values:     values,
+		ID:         ex.nextID,
+		SrcTask:    ex.ctx.TaskID,
+		RootEmitNS: ex.curRoot,
+	}
+	if tp.RootEmitNS == 0 {
+		tp.RootEmitNS = time.Now().UnixNano()
+	}
+	// Anchor to the current input's reliability tree (bolts only; the ack
+	// plane's own streams stay untracked to avoid infinite regress).
+	if ex.curRootID != 0 && !isAckStream(stream) {
+		tp.RootID = ex.curRootID
+		tp.AckVal = nonzeroRand(ex.rng)
+		ex.xorAcc ^= tp.AckVal
+	}
+	ex.route(tp)
+}
+
+// emitReliable starts a reliability tree for a spout emission.
+func (ex *executor) emitReliable(stream string, msgID int64, values []tuple.Value) {
+	if ex.spout == nil || !ex.w.eng.cfg.AckEnabled {
+		// Without the ack plane this degrades to a plain emit.
+		ex.emit(stream, values)
+		return
+	}
+	ex.nextID++
+	root := nonzeroRand(ex.rng)
+	tp := &tuple.Tuple{
+		Stream:     stream,
+		Values:     values,
+		ID:         ex.nextID,
+		SrcTask:    ex.ctx.TaskID,
+		RootEmitNS: time.Now().UnixNano(),
+		RootID:     root,
+		AckVal:     nonzeroRand(ex.rng),
+	}
+	ex.pendingRoots[root] = msgID
+	// Register the tree at the acker before the data fans out.
+	ex.curRoot = tp.RootEmitNS
+	ex.emitUnanchored(streamAckInit, []tuple.Value{root, tp.AckVal, int64(ex.ctx.TaskID)}, tp.RootEmitNS)
+	ex.route(tp)
+}
+
+// emitUnanchored emits a tuple outside any reliability tree.
+func (ex *executor) emitUnanchored(stream string, values []tuple.Value, emitNS int64) {
+	ex.nextID++
+	tp := &tuple.Tuple{
+		Stream:     stream,
+		Values:     values,
+		ID:         ex.nextID,
+		SrcTask:    ex.ctx.TaskID,
+		RootEmitNS: emitNS,
+	}
+	ex.route(tp)
+}
+
+// route delivers a constructed tuple to all subscribed destinations.
+func (ex *executor) route(tp *tuple.Tuple) {
+	dests, err := ex.rt.destinations(tp.Stream, tp)
+	if err != nil {
+		ex.w.eng.metrics.RouteErrors.Inc()
+		return
+	}
+	for _, d := range dests {
+		ex.w.eng.metrics.TuplesEmitted.Inc()
+		if ex.ops != nil {
+			ex.ops.emitted.Inc()
+		}
+		if d.all {
+			ex.w.emitAll(ex, tp, d)
+			continue
+		}
+		// Point-to-point edges: local fast path or per-destination job.
+		for _, dst := range d.tasks {
+			dw := ex.w.eng.assign.WorkerOf[dst]
+			if dw == ex.w.id {
+				ex.w.enqueueLocal(dst, tp)
+			} else {
+				ex.w.enqueueSend(sendJob{kind: jobPointToPoint, tp: tp, dstTask: dst, dstWorker: dw})
+			}
+		}
+	}
+}
+
+// isAckStream reports whether the stream belongs to the ack plane.
+func isAckStream(stream string) bool {
+	switch stream {
+	case streamAckInit, streamAck, streamAckFail, streamAckEvent, streamAckTick:
+		return true
+	}
+	return false
+}
+
+// runSpout is the spout executor loop.
+func (ex *executor) runSpout() {
+	defer ex.w.wg.Done()
+	ex.spout.Open(&ex.ctx)
+	defer ex.spout.Close()
+	maxPending := ex.w.eng.cfg.MaxSpoutPending
+	for {
+		select {
+		case <-ex.w.eng.stopSpouts:
+			return
+		default:
+		}
+		ex.drainSpoutEvents(false)
+		// Backpressure: with acking on, cap in-flight reliability trees.
+		for maxPending > 0 && len(ex.pendingRoots) >= maxPending {
+			ex.drainSpoutEvents(true)
+			select {
+			case <-ex.w.eng.stopSpouts:
+				return
+			default:
+			}
+		}
+		ex.curRoot = 0 // each spout tuple starts a new latency root
+		if !ex.spout.Next(ex.col) {
+			ex.awaitOutstanding()
+			return // exhausted
+		}
+	}
+}
+
+// awaitOutstanding lets an exhausted reliable spout collect its remaining
+// ack/fail callbacks (bounded by the ack timeout plus slack).
+func (ex *executor) awaitOutstanding() {
+	if len(ex.pendingRoots) == 0 {
+		return
+	}
+	deadline := time.Now().Add(ex.w.eng.cfg.AckTimeout + 2*time.Second)
+	for len(ex.pendingRoots) > 0 && time.Now().Before(deadline) {
+		select {
+		case at := <-ex.in:
+			ex.handleSpoutEvent(at.Data)
+		case <-ex.w.done:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// runBolt is the bolt executor loop.
+func (ex *executor) runBolt() {
+	defer ex.w.wg.Done()
+	ex.bolt.Prepare(&ex.ctx)
+	defer ex.bolt.Cleanup()
+	for {
+		select {
+		case at := <-ex.in:
+			ex.execute(at)
+		case <-ex.w.done:
+			// Drain remaining input before exiting.
+			for {
+				select {
+				case at := <-ex.in:
+					ex.execute(at)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (ex *executor) execute(at tuple.AddressedTuple) {
+	ex.curRoot = at.Data.RootEmitNS
+	ex.curRootID = at.Data.RootID
+	ex.curInAck = at.Data.AckVal
+	ex.xorAcc = 0
+	ex.suppressAck = false
+	ex.failCurrent = false
+	t0 := time.Now()
+	ex.bolt.Execute(at.Data, ex.col)
+	ex.w.eng.metrics.TuplesExecuted.Inc()
+	if ex.ops != nil {
+		ex.ops.executed.Inc()
+		ex.ops.execNS.Observe(time.Since(t0).Nanoseconds())
+	}
+	if ex.isSink && at.Data.RootEmitNS > 0 && at.Data.Stream != StreamTick {
+		ex.w.eng.metrics.ProcessingLatency.Observe(time.Now().UnixNano() - at.Data.RootEmitNS)
+		ex.w.eng.metrics.TuplesCompleted.Inc()
+	}
+	// Close out the input's reliability bookkeeping.
+	if ex.w.eng.cfg.AckEnabled && ex.curRootID != 0 && !isAckStream(at.Data.Stream) {
+		switch {
+		case ex.failCurrent:
+			ex.emitUnanchored(streamAckFail, []tuple.Value{ex.curRootID}, ex.curRoot)
+		case ex.suppressAck:
+			// The tree stays open until the ack timeout.
+		default:
+			ex.emitUnanchored(streamAck, []tuple.Value{ex.curRootID, ex.xorAcc ^ ex.curInAck}, ex.curRoot)
+		}
+	}
+	ex.curRootID = 0
+}

@@ -1,0 +1,134 @@
+package dsps
+
+import (
+	"testing"
+	"time"
+
+	"whale/internal/transport"
+	"whale/internal/tuple"
+)
+
+// TestDispatcherSurvivesGarbage injects corrupt payloads into a running
+// worker: the dispatcher must count decode errors and keep processing real
+// traffic, never panic.
+func TestDispatcherSurvivesGarbage(t *testing.T) {
+	net := transport.NewInprocNetwork(0)
+	cap := newCapture()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: 200, keys: 4} }, 1)
+	b.Bolt("sink", func() Bolt { return &captureBolt{cap: cap} }, 4).All("src")
+	topo, _ := b.Build()
+	eng, err := Start(topo, Config{Workers: 2, Network: net, Comm: WorkerOriented})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rogue peer floods both workers with garbage frames.
+	rogue, err := net.Register(99, func(transport.WorkerID, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := [][]byte{
+		{},
+		{0xff},
+		{0xff, 0x01, 0x02, 0x03},
+		tuple.AppendWorkerMessage(nil, &tuple.WorkerMessage{Kind: tuple.KindWorkerMessage, DstIDs: []int32{0}, Payload: []byte{9, 9, 9}}),
+		tuple.AppendWorkerMessage(nil, &tuple.WorkerMessage{Kind: tuple.KindMulticastMessage, Group: 77, Payload: []byte{}}),
+		tuple.AppendWorkerMessage(nil, &tuple.WorkerMessage{Kind: tuple.KindControl, Payload: []byte{0xde, 0xad}}),
+	}
+	for i := 0; i < 20; i++ {
+		for _, g := range garbage {
+			rogue.Send(0, g)
+			rogue.Send(1, g)
+		}
+	}
+	eng.WaitSpouts()
+	if !eng.Drain(15 * time.Second) {
+		eng.Stop()
+		t.Fatal("drain failed")
+	}
+	eng.Stop()
+	cap.exactlyOnce(t, eng.assign.TasksOf["sink"], 200)
+	if eng.Metrics().DecodeErrors.Value() == 0 {
+		t.Fatal("garbage was not counted as decode errors")
+	}
+}
+
+// slowBolt simulates an overloaded downstream instance.
+type slowBolt struct {
+	cap   *capture
+	ctx   *TaskContext
+	delay time.Duration
+}
+
+func (b *slowBolt) Prepare(ctx *TaskContext) { b.ctx = ctx }
+func (b *slowBolt) Execute(tp *tuple.Tuple, _ *Collector) {
+	time.Sleep(b.delay)
+	b.cap.record(b.ctx.TaskID, tp.Int(0))
+}
+func (b *slowBolt) Cleanup() {}
+
+// TestBackpressureWithSlowConsumer: a slow instance throttles the pipeline
+// through bounded queues; every tuple still arrives exactly once.
+func TestBackpressureWithSlowConsumer(t *testing.T) {
+	const n = 120
+	cap := newCapture()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: n, keys: 4} }, 1)
+	b.Bolt("slow", func() Bolt { return &slowBolt{cap: cap, delay: time.Millisecond} }, 4).All("src")
+	topo, _ := b.Build()
+	eng, err := Start(topo, Config{
+		Workers: 2, Network: transport.NewInprocNetwork(4),
+		Comm: WorkerOriented, Multicast: MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 1,
+		TransferQueueCap: 8, ExecutorQueueCap: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.WaitSpouts()
+	if !eng.Drain(30 * time.Second) {
+		eng.Stop()
+		t.Fatal("drain failed under backpressure")
+	}
+	eng.Stop()
+	cap.exactlyOnce(t, eng.assign.TasksOf["slow"], n)
+}
+
+// TestControlMessageGarbageDoesNotCorruptTrees: a corrupt CtrlTree is
+// rejected and the group keeps routing with its previous structure.
+func TestControlMessageGarbageDoesNotCorruptTrees(t *testing.T) {
+	net := transport.NewInprocNetwork(0)
+	cap := newCapture()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: 300, keys: 4} }, 1)
+	b.Bolt("sink", func() Bolt { return &captureBolt{cap: cap} }, 6).All("src")
+	topo, _ := b.Build()
+	eng, err := Start(topo, Config{
+		Workers: 3, Network: net,
+		Comm: WorkerOriented, Multicast: MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rogue CtrlTree with an invalid adjacency (cycle / unknown parent).
+	bad := tuple.ControlMessage{
+		Type: tuple.CtrlTree, Group: 0, Version: 9,
+		Nodes: []int32{0, 1, 2}, Parents: []int32{-1, 2, 99},
+	}
+	raw := tuple.AppendWorkerMessage(nil, &tuple.WorkerMessage{
+		Kind:    tuple.KindControl,
+		Payload: tuple.AppendControlMessage(nil, &bad),
+	})
+	rogue, _ := net.Register(98, func(transport.WorkerID, []byte) {})
+	for w := int32(0); w < 3; w++ {
+		rogue.Send(w, raw)
+	}
+	eng.WaitSpouts()
+	if !eng.Drain(15 * time.Second) {
+		eng.Stop()
+		t.Fatal("drain failed")
+	}
+	eng.Stop()
+	cap.exactlyOnce(t, eng.assign.TasksOf["sink"], 300)
+}

@@ -1,0 +1,311 @@
+// Package dsps is a from-scratch Storm-like distributed stream processing
+// engine: topologies of spouts and bolts with configurable parallelism,
+// executors (task goroutines) hosted by workers, and the stream partitioning
+// strategies of the paper — shuffle grouping, fields (key) grouping and all
+// grouping (one-to-many).
+//
+// Two communication mechanisms are implemented side by side:
+//
+//   - the instance-oriented baseline of stock Storm (paper Fig. 9a): each
+//     destination instance gets its own serialization and its own message;
+//   - Whale's worker-oriented mechanism (paper §3.5, Fig. 9b): one
+//     serialization per tuple, one message per destination worker, local
+//     fan-out by the worker's dispatcher.
+//
+// On top of worker-oriented communication the engine can run all-grouped
+// streams through a relay multicast tree (sequential, static binomial, or
+// Whale's self-adjusting non-blocking tree — paper §3.2-3.4).
+package dsps
+
+import (
+	"fmt"
+	"time"
+
+	"whale/internal/tuple"
+)
+
+// GroupingType is a stream partitioning strategy.
+type GroupingType int
+
+const (
+	// ShuffleGrouping round-robins tuples across destination tasks.
+	ShuffleGrouping GroupingType = iota
+	// FieldsGrouping routes by hash of one tuple field (key grouping).
+	FieldsGrouping
+	// AllGrouping sends every tuple to every destination task (the
+	// one-to-many strategy this whole system is about).
+	AllGrouping
+	// GlobalGrouping routes everything to the lowest-id destination task.
+	GlobalGrouping
+	// LocalOrShuffleGrouping prefers destination tasks on the emitting
+	// worker (no serialization, no network) and falls back to shuffle
+	// across all tasks when the worker hosts none.
+	LocalOrShuffleGrouping
+)
+
+func (g GroupingType) String() string {
+	switch g {
+	case ShuffleGrouping:
+		return "shuffle"
+	case FieldsGrouping:
+		return "fields"
+	case AllGrouping:
+		return "all"
+	case GlobalGrouping:
+		return "global"
+	case LocalOrShuffleGrouping:
+		return "local-or-shuffle"
+	}
+	return fmt.Sprintf("grouping(%d)", int(g))
+}
+
+// Subscription declares that a bolt consumes a stream with a grouping.
+type Subscription struct {
+	// SrcOperator is the producing operator's id.
+	SrcOperator string
+	// Stream is the stream name (operators emit to a stream named after
+	// themselves by default).
+	Stream string
+	// Type is the partitioning strategy.
+	Type GroupingType
+	// FieldIdx is the key field for FieldsGrouping.
+	FieldIdx int
+}
+
+// OperatorSpec describes one vertex of the topology DAG.
+type OperatorSpec struct {
+	ID          string
+	Parallelism int
+	IsSpout     bool
+	SpoutFn     func() Spout
+	BoltFn      func() Bolt
+	Subs        []Subscription
+	// TickInterval, when positive, delivers a tick tuple (stream
+	// StreamTick) to every instance of the operator at that period —
+	// Storm's tick-tuple mechanism, used by windowed operators to fire on
+	// time even without traffic.
+	TickInterval time.Duration
+}
+
+// Topology is a validated application DAG.
+type Topology struct {
+	Operators map[string]*OperatorSpec
+	// Order is a deterministic operator ordering (insertion order).
+	Order []string
+}
+
+// TopologyBuilder assembles a Topology.
+type TopologyBuilder struct {
+	ops   map[string]*OperatorSpec
+	order []string
+	errs  []error
+}
+
+// NewTopologyBuilder returns an empty builder.
+func NewTopologyBuilder() *TopologyBuilder {
+	return &TopologyBuilder{ops: map[string]*OperatorSpec{}}
+}
+
+func (b *TopologyBuilder) addOp(spec *OperatorSpec) {
+	if spec.ID == "" {
+		b.errs = append(b.errs, fmt.Errorf("dsps: empty operator id"))
+		return
+	}
+	if _, dup := b.ops[spec.ID]; dup {
+		b.errs = append(b.errs, fmt.Errorf("dsps: duplicate operator %q", spec.ID))
+		return
+	}
+	if spec.Parallelism < 1 {
+		b.errs = append(b.errs, fmt.Errorf("dsps: operator %q parallelism %d", spec.ID, spec.Parallelism))
+		return
+	}
+	b.ops[spec.ID] = spec
+	b.order = append(b.order, spec.ID)
+}
+
+// Spout declares a source operator.
+func (b *TopologyBuilder) Spout(id string, factory func() Spout, parallelism int) {
+	b.addOp(&OperatorSpec{ID: id, Parallelism: parallelism, IsSpout: true, SpoutFn: factory})
+}
+
+// Bolt declares a processing operator and returns a declarer for its input
+// subscriptions.
+func (b *TopologyBuilder) Bolt(id string, factory func() Bolt, parallelism int) *BoltDeclarer {
+	spec := &OperatorSpec{ID: id, Parallelism: parallelism, BoltFn: factory}
+	b.addOp(spec)
+	return &BoltDeclarer{b: b, spec: spec}
+}
+
+// BoltDeclarer attaches groupings to a bolt.
+type BoltDeclarer struct {
+	b    *TopologyBuilder
+	spec *OperatorSpec
+}
+
+func (d *BoltDeclarer) sub(src, stream string, typ GroupingType, field int) *BoltDeclarer {
+	d.spec.Subs = append(d.spec.Subs, Subscription{SrcOperator: src, Stream: stream, Type: typ, FieldIdx: field})
+	return d
+}
+
+// Shuffle subscribes to src's default stream with shuffle grouping.
+func (d *BoltDeclarer) Shuffle(src string) *BoltDeclarer {
+	return d.sub(src, src, ShuffleGrouping, 0)
+}
+
+// Fields subscribes with key grouping on field index.
+func (d *BoltDeclarer) Fields(src string, field int) *BoltDeclarer {
+	return d.sub(src, src, FieldsGrouping, field)
+}
+
+// All subscribes with all grouping (one-to-many).
+func (d *BoltDeclarer) All(src string) *BoltDeclarer {
+	return d.sub(src, src, AllGrouping, 0)
+}
+
+// Global subscribes with global grouping.
+func (d *BoltDeclarer) Global(src string) *BoltDeclarer {
+	return d.sub(src, src, GlobalGrouping, 0)
+}
+
+// LocalOrShuffle subscribes with local-or-shuffle grouping: tuples go to a
+// destination task on the emitting worker when one exists.
+func (d *BoltDeclarer) LocalOrShuffle(src string) *BoltDeclarer {
+	return d.sub(src, src, LocalOrShuffleGrouping, 0)
+}
+
+// TickEvery asks the engine to deliver a tick tuple (stream StreamTick)
+// to every instance of this bolt at the given period.
+func (d *BoltDeclarer) TickEvery(interval time.Duration) *BoltDeclarer {
+	d.spec.TickInterval = interval
+	return d
+}
+
+// ShuffleStream subscribes to a named stream of src with shuffle grouping.
+func (d *BoltDeclarer) ShuffleStream(src, stream string) *BoltDeclarer {
+	return d.sub(src, stream, ShuffleGrouping, 0)
+}
+
+// FieldsStream subscribes to a named stream with key grouping.
+func (d *BoltDeclarer) FieldsStream(src, stream string, field int) *BoltDeclarer {
+	return d.sub(src, stream, FieldsGrouping, field)
+}
+
+// AllStream subscribes to a named stream with all grouping.
+func (d *BoltDeclarer) AllStream(src, stream string) *BoltDeclarer {
+	return d.sub(src, stream, AllGrouping, 0)
+}
+
+// Build validates and returns the topology: all subscriptions must
+// reference declared operators, spouts take no inputs, every bolt has at
+// least one input, and the DAG is acyclic.
+func (b *TopologyBuilder) Build() (*Topology, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, id := range b.order {
+		op := b.ops[id]
+		if op.IsSpout {
+			continue
+		}
+		if len(op.Subs) == 0 {
+			return nil, fmt.Errorf("dsps: bolt %q has no inputs", id)
+		}
+		for _, s := range op.Subs {
+			if _, ok := b.ops[s.SrcOperator]; !ok {
+				return nil, fmt.Errorf("dsps: bolt %q subscribes to unknown operator %q", id, s.SrcOperator)
+			}
+		}
+	}
+	// Cycle check by DFS over operator edges.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) error
+	visit = func(id string) error {
+		color[id] = grey
+		for _, other := range b.order {
+			for _, s := range b.ops[other].Subs {
+				if s.SrcOperator != id {
+					continue
+				}
+				switch color[other] {
+				case grey:
+					return fmt.Errorf("dsps: cycle through %q and %q", id, other)
+				case white:
+					if err := visit(other); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		color[id] = black
+		return nil
+	}
+	for _, id := range b.order {
+		if color[id] == white {
+			if err := visit(id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Topology{Operators: b.ops, Order: b.order}, nil
+}
+
+// Subscribers returns, in deterministic order, the operators subscribed to
+// the given operator+stream, with their subscriptions.
+func (t *Topology) Subscribers(srcOp, stream string) []struct {
+	Op  *OperatorSpec
+	Sub Subscription
+} {
+	var out []struct {
+		Op  *OperatorSpec
+		Sub Subscription
+	}
+	for _, id := range t.Order {
+		op := t.Operators[id]
+		for _, s := range op.Subs {
+			if s.SrcOperator == srcOp && s.Stream == stream {
+				out = append(out, struct {
+					Op  *OperatorSpec
+					Sub Subscription
+				}{op, s})
+			}
+		}
+	}
+	return out
+}
+
+// Spout produces tuples. Open is called once on the executor goroutine
+// before the first Next; Next may emit any number of tuples via the
+// collector and returns false when the source is exhausted (the engine then
+// stops calling it); Close is called on shutdown.
+type Spout interface {
+	Open(ctx *TaskContext)
+	Next(c *Collector) bool
+	Close()
+}
+
+// Bolt processes tuples. Prepare runs once before the first Execute;
+// Execute handles one input tuple and may emit; Cleanup runs on shutdown.
+type Bolt interface {
+	Prepare(ctx *TaskContext)
+	Execute(t *tuple.Tuple, c *Collector)
+	Cleanup()
+}
+
+// TaskContext describes the executing task instance.
+type TaskContext struct {
+	// TaskID is the engine-wide unique task id.
+	TaskID int32
+	// OperatorID names the operator this task instantiates.
+	OperatorID string
+	// TaskIndex is this task's index within the operator (0-based).
+	TaskIndex int
+	// Parallelism is the operator's task count.
+	Parallelism int
+	// Worker hosts this task.
+	Worker int32
+}

@@ -1,0 +1,391 @@
+package dsps
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"whale/internal/multicast"
+	"whale/internal/transport"
+	"whale/internal/tuple"
+)
+
+// jobKind discriminates transfer-queue jobs.
+type jobKind int
+
+const (
+	// jobPointToPoint serializes and ships one tuple to one remote task
+	// (the instance-oriented mechanism, and point-to-point edges generally).
+	jobPointToPoint jobKind = iota
+	// jobWorkerBatch serializes a tuple once and ships one WorkerMessage
+	// per destination worker (worker-oriented communication, star fan-out).
+	jobWorkerBatch
+	// jobMulticast serializes once and ships to this worker's children in
+	// the group's active multicast tree.
+	jobMulticast
+	// jobRelay forwards pre-encoded multicast bytes to child workers.
+	jobRelay
+	// jobControl ships a pre-encoded control message to one worker.
+	jobControl
+)
+
+// sendJob is one unit of work on a worker's transfer queue.
+type sendJob struct {
+	kind          jobKind
+	tp            *tuple.Tuple
+	dstTask       int32
+	dstWorker     int32
+	group         int32
+	tasksByWorker map[int32][]int32
+	dstWorkers    []int32
+	raw           []byte
+}
+
+// groupState is one worker's view of a multicast group: the versioned trees
+// installed by control messages and the currently active version.
+type groupState struct {
+	mu     sync.RWMutex
+	trees  map[int32]*multicast.Tree
+	active int32
+}
+
+func (g *groupState) install(version int32, tr *multicast.Tree) {
+	g.mu.Lock()
+	g.trees[version] = tr
+	// Prune versions older than two behind the newest to bound memory.
+	newest := version
+	for v := range g.trees {
+		if v > newest {
+			newest = v
+		}
+	}
+	for v := range g.trees {
+		if v < newest-2 {
+			delete(g.trees, v)
+		}
+	}
+	g.mu.Unlock()
+}
+
+func (g *groupState) tree(version int32) (*multicast.Tree, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	t, ok := g.trees[version]
+	return t, ok
+}
+
+func (g *groupState) activeVersion() int32 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.active
+}
+
+func (g *groupState) activate(version int32) {
+	g.mu.Lock()
+	if version > g.active {
+		g.active = version
+	}
+	g.mu.Unlock()
+}
+
+// worker hosts a set of executors, one transfer queue with a send thread,
+// and the dispatcher fed by the transport.
+type worker struct {
+	id        int32
+	eng       *Engine
+	tr        transport.Transport
+	executors map[int32]*executor
+	transfer  chan sendJob
+	groups    map[int32]*groupState
+	enc       *tuple.Encoder
+	done      chan struct{}
+	wg        sync.WaitGroup
+	sendWG    sync.WaitGroup
+}
+
+func newWorker(eng *Engine, id int32) *worker {
+	return &worker{
+		id:        id,
+		eng:       eng,
+		executors: map[int32]*executor{},
+		transfer:  make(chan sendJob, eng.cfg.TransferQueueCap),
+		groups:    map[int32]*groupState{},
+		enc:       tuple.NewEncoder(),
+		done:      make(chan struct{}),
+	}
+}
+
+// enqueueLocal delivers a tuple to a local executor (Storm's local fast
+// path — no serialization).
+func (w *worker) enqueueLocal(dst int32, tp *tuple.Tuple) {
+	ex, ok := w.executors[dst]
+	if !ok {
+		w.eng.metrics.RouteErrors.Inc()
+		return
+	}
+	select {
+	case ex.in <- tuple.AddressedTuple{TaskID: dst, Data: tp}:
+	case <-w.done:
+	}
+}
+
+// enqueueSend pushes a job onto the transfer queue, blocking when the queue
+// is at capacity Q (the blocking the paper's controller watches for).
+func (w *worker) enqueueSend(j sendJob) {
+	select {
+	case w.transfer <- j:
+	case <-w.done:
+	}
+}
+
+// emitAll implements the one-to-many edge per the engine's configuration.
+func (w *worker) emitAll(ex *executor, tp *tuple.Tuple, d destination) {
+	// Local destinations always take the fast path.
+	for _, dst := range d.tasks {
+		if w.eng.assign.WorkerOf[dst] == w.id {
+			w.enqueueLocal(dst, tp)
+		}
+	}
+	switch {
+	case w.eng.cfg.Comm == InstanceOriented:
+		for _, dst := range d.tasks {
+			if dw := w.eng.assign.WorkerOf[dst]; dw != w.id {
+				w.enqueueSend(sendJob{kind: jobPointToPoint, tp: tp, dstTask: dst, dstWorker: dw})
+			}
+		}
+	case w.eng.cfg.Multicast == MulticastStar:
+		byWorker := w.eng.remoteTasksByWorker(d.dstOp, w.id)
+		if len(byWorker) > 0 {
+			w.enqueueSend(sendJob{kind: jobWorkerBatch, tp: tp, tasksByWorker: byWorker})
+		}
+	default: // tree multicast
+		gid, ok := w.eng.groupOf(ex.ctx.OperatorID, tp.Stream, w.id)
+		if !ok {
+			// No remote members: everything was delivered locally.
+			return
+		}
+		if mgr := w.eng.managers[gid]; mgr != nil {
+			mgr.sm.Record(1)
+		}
+		w.enqueueSend(sendJob{kind: jobMulticast, tp: tp, group: gid})
+	}
+}
+
+// sendLoop is the worker's send thread: it drains the transfer queue,
+// paying serialization and transmission costs per job.
+func (w *worker) sendLoop() {
+	defer w.sendWG.Done()
+	for {
+		select {
+		case j := <-w.transfer:
+			w.process(j)
+		case <-w.done:
+			for {
+				select {
+				case j := <-w.transfer:
+					w.process(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// encodeTuple serializes a tuple, accounting the cost.
+func (w *worker) encodeTuple(tp *tuple.Tuple) ([]byte, error) {
+	t0 := time.Now()
+	payload, err := w.enc.EncodeTuple(tp)
+	w.eng.metrics.SerializationNS.Add(time.Since(t0).Nanoseconds())
+	w.eng.metrics.Serializations.Inc()
+	return payload, err
+}
+
+func (w *worker) process(j sendJob) {
+	m := w.eng.metrics
+	switch j.kind {
+	case jobPointToPoint:
+		t0 := time.Now()
+		payload, err := w.encodeTuple(j.tp)
+		if err != nil {
+			m.RouteErrors.Inc()
+			return
+		}
+		msg := tuple.WorkerMessage{Kind: tuple.KindInstanceMessage, DstIDs: []int32{j.dstTask}, Payload: payload}
+		if err := w.tr.Send(j.dstWorker, tuple.AppendWorkerMessage(nil, &msg)); err != nil {
+			m.SendErrors.Inc()
+			return
+		}
+		w.recordTe(j.tp.SrcTask, time.Since(t0))
+
+	case jobWorkerBatch:
+		payload, err := w.encodeTuple(j.tp)
+		if err != nil {
+			m.RouteErrors.Inc()
+			return
+		}
+		workers := make([]int32, 0, len(j.tasksByWorker))
+		for dw := range j.tasksByWorker {
+			workers = append(workers, dw)
+		}
+		sort.Slice(workers, func(i, k int) bool { return workers[i] < workers[k] })
+		for _, dw := range workers {
+			t0 := time.Now()
+			msg := tuple.WorkerMessage{Kind: tuple.KindWorkerMessage, DstIDs: j.tasksByWorker[dw], Payload: payload}
+			if err := w.tr.Send(dw, tuple.AppendWorkerMessage(nil, &msg)); err != nil {
+				m.SendErrors.Inc()
+				continue
+			}
+			w.recordTe(j.tp.SrcTask, time.Since(t0))
+		}
+
+	case jobMulticast:
+		gs, ok := w.groups[j.group]
+		if !ok {
+			m.RouteErrors.Inc()
+			return
+		}
+		version := gs.activeVersion()
+		tr, ok := gs.tree(version)
+		if !ok {
+			m.RouteErrors.Inc()
+			return
+		}
+		payload, err := w.encodeTuple(j.tp)
+		if err != nil {
+			m.RouteErrors.Inc()
+			return
+		}
+		msg := tuple.WorkerMessage{
+			Kind: tuple.KindMulticastMessage, Payload: payload,
+			Group: j.group, TreeVersion: version, SrcWorker: w.id,
+		}
+		raw := tuple.AppendWorkerMessage(nil, &msg)
+		for _, child := range tr.Children(w.id) {
+			t0 := time.Now()
+			if err := w.tr.Send(child, raw); err != nil {
+				m.SendErrors.Inc()
+				continue
+			}
+			w.recordTe(j.tp.SrcTask, time.Since(t0))
+		}
+
+	case jobRelay:
+		for _, dw := range j.dstWorkers {
+			if err := w.tr.Send(dw, j.raw); err != nil {
+				m.SendErrors.Inc()
+			}
+		}
+
+	case jobControl:
+		if err := w.tr.Send(j.dstWorker, j.raw); err != nil {
+			m.SendErrors.Inc()
+		}
+	}
+}
+
+// recordTe feeds the per-replica processing time to the source task's group
+// monitor if one exists (only multicast sources adapt).
+func (w *worker) recordTe(srcTask int32, d time.Duration) {
+	if mgr := w.eng.managerForTask(srcTask); mgr != nil {
+		mgr.qm.RecordEmit(d.Nanoseconds())
+	}
+}
+
+// dispatch is the transport inbound handler: Whale's dispatcher component.
+func (w *worker) dispatch(from transport.WorkerID, payload []byte) {
+	msg, _, err := tuple.DecodeWorkerMessage(payload)
+	if err != nil {
+		w.eng.metrics.DecodeErrors.Inc()
+		return
+	}
+	switch msg.Kind {
+	case tuple.KindInstanceMessage, tuple.KindWorkerMessage:
+		tp, _, err := tuple.DecodeTuple(msg.Payload)
+		if err != nil {
+			w.eng.metrics.DecodeErrors.Inc()
+			return
+		}
+		if msg.Kind == tuple.KindWorkerMessage && tp.RootEmitNS > 0 {
+			w.eng.metrics.MulticastLatency.Observe(time.Now().UnixNano() - tp.RootEmitNS)
+		}
+		for _, dst := range msg.DstIDs {
+			w.enqueueLocal(dst, tp)
+		}
+
+	case tuple.KindMulticastMessage:
+		gs, ok := w.groups[msg.Group]
+		if !ok {
+			w.eng.metrics.DecodeErrors.Inc()
+			return
+		}
+		// Forward first: relaying before local processing keeps the
+		// pipeline moving down the tree.
+		if tr, ok := gs.tree(msg.TreeVersion); ok {
+			if children := tr.Children(w.id); len(children) > 0 {
+				raw := make([]byte, len(payload))
+				copy(raw, payload)
+				w.enqueueSend(sendJob{kind: jobRelay, raw: raw, dstWorkers: children})
+			}
+		} else {
+			w.eng.metrics.RouteErrors.Inc()
+		}
+		tp, _, err := tuple.DecodeTuple(msg.Payload)
+		if err != nil {
+			w.eng.metrics.DecodeErrors.Inc()
+			return
+		}
+		if tp.RootEmitNS > 0 {
+			w.eng.metrics.MulticastLatency.Observe(time.Now().UnixNano() - tp.RootEmitNS)
+		}
+		for _, dst := range w.eng.groupLocalTasks(msg.Group, w.id) {
+			w.enqueueLocal(dst, tp)
+		}
+
+	case tuple.KindControl:
+		cm, _, err := tuple.DecodeControlMessage(msg.Payload)
+		if err != nil {
+			w.eng.metrics.DecodeErrors.Inc()
+			return
+		}
+		w.handleControl(from, cm)
+
+	default:
+		w.eng.metrics.DecodeErrors.Inc()
+	}
+}
+
+// handleControl processes the dynamic-switching control plane (§3.4).
+func (w *worker) handleControl(from transport.WorkerID, cm *tuple.ControlMessage) {
+	switch cm.Type {
+	case tuple.CtrlTree:
+		gs, ok := w.groups[cm.Group]
+		if !ok {
+			w.eng.metrics.DecodeErrors.Inc()
+			return
+		}
+		tr, err := multicast.FromFlat(cm.Nodes, cm.Parents)
+		if err != nil {
+			w.eng.metrics.DecodeErrors.Inc()
+			return
+		}
+		gs.install(cm.Version, tr)
+		gs.activate(cm.Version)
+		// ACK back to the source worker.
+		ack := tuple.ControlMessage{Type: tuple.CtrlAck, Group: cm.Group, Version: cm.Version, Node: w.id}
+		raw := tuple.AppendWorkerMessage(nil, &tuple.WorkerMessage{
+			Kind:    tuple.KindControl,
+			Payload: tuple.AppendControlMessage(nil, &ack),
+		})
+		w.enqueueSend(sendJob{kind: jobControl, dstWorker: from, raw: raw})
+
+	case tuple.CtrlAck:
+		if mgr := w.eng.managers[cm.Group]; mgr != nil {
+			mgr.handleAck(cm.Version, cm.Node)
+		}
+
+	default:
+		// CtrlStatus and CtrlReconnect are informational in this
+		// implementation (CtrlTree carries the full structure).
+	}
+}

@@ -1,0 +1,152 @@
+package kafkalite
+
+import (
+	"fmt"
+	"time"
+
+	"whale/internal/dsps"
+	"whale/internal/tuple"
+)
+
+// Spout is a dsps source reading one topic through a consumer group: each
+// spout task joins the group and consumes its assigned partitions. In
+// reliable mode (engine AckEnabled) records are emitted with
+// EmitReliable and their offsets committed only once acked, giving the
+// at-least-once delivery a Kafka-backed Storm topology has.
+type Spout struct {
+	// Broker, Topic and Group select the source.
+	Broker *Broker
+	Topic  string
+	Group  string
+	// Decode turns a record into tuple fields. Required.
+	Decode func(rec Record) []tuple.Value
+	// Stream overrides the output stream (default: the operator id).
+	Stream string
+	// Reliable emits with acking; offsets commit on ack.
+	Reliable bool
+	// MaxPoll bounds records fetched per partition poll (default 64).
+	MaxPoll int
+	// ExitAtEnd stops the spout once every assigned partition is consumed
+	// to its current end (for bounded runs and tests).
+	ExitAtEnd bool
+
+	ctx      *dsps.TaskContext
+	memberID string
+	assigned []int
+	gen      int64
+	cursor   map[int]int64
+	buffered []pending
+	inflight map[int64]pending // msgID -> record position
+	nextMsg  int64
+}
+
+// pending is a fetched record awaiting emission or ack.
+type pending struct {
+	part   int
+	rec    Record
+	stream string
+}
+
+// Open implements dsps.Spout.
+func (s *Spout) Open(ctx *dsps.TaskContext) {
+	s.ctx = ctx
+	s.memberID = fmt.Sprintf("task-%d", ctx.TaskID)
+	s.cursor = map[int]int64{}
+	s.inflight = map[int64]pending{}
+	if s.MaxPoll <= 0 {
+		s.MaxPoll = 64
+	}
+	if s.Stream == "" {
+		s.Stream = ctx.OperatorID
+	}
+	assigned, gen, err := s.Broker.JoinGroup(s.Group, s.memberID, s.Topic)
+	if err != nil {
+		return
+	}
+	s.adoptAssignment(assigned, gen)
+}
+
+// adoptAssignment installs a (re)assignment, resuming each partition from
+// the group's committed offset.
+func (s *Spout) adoptAssignment(assigned []int, gen int64) {
+	s.assigned, s.gen = assigned, gen
+	s.cursor = map[int]int64{}
+	for _, p := range assigned {
+		s.cursor[p] = s.Broker.CommittedOffset(s.Group, s.Topic, p)
+	}
+}
+
+// Next implements dsps.Spout: it emits one record per call, polling the
+// broker when its local buffer is empty.
+func (s *Spout) Next(c *dsps.Collector) bool {
+	if len(s.buffered) == 0 {
+		if !s.poll() {
+			if s.ExitAtEnd {
+				return false
+			}
+			time.Sleep(500 * time.Microsecond)
+			return true // stay alive; more records may arrive
+		}
+	}
+	p := s.buffered[0]
+	s.buffered = s.buffered[1:]
+	vals := s.Decode(p.rec)
+	if s.Reliable {
+		s.nextMsg++
+		s.inflight[s.nextMsg] = p
+		c.EmitReliableTo(p.stream, s.nextMsg, vals...)
+	} else {
+		c.EmitTo(p.stream, vals...)
+		// Without acking, commit eagerly (at-most-once).
+		s.Broker.CommitOffset(s.Group, s.Topic, p.part, p.rec.Offset+1)
+	}
+	return true
+}
+
+// poll fetches the next batch from assigned partitions; it reports whether
+// anything was buffered. A group rebalance (another member joined or left)
+// is detected by generation change and adopted before fetching.
+func (s *Spout) poll() bool {
+	if assigned, gen, err := s.Broker.Assignment(s.Group, s.memberID, s.Topic); err == nil && gen != s.gen {
+		s.adoptAssignment(assigned, gen)
+	}
+	for _, part := range s.assigned {
+		recs, next, err := s.Broker.Fetch(s.Topic, part, s.cursor[part], s.MaxPoll)
+		if err != nil {
+			continue
+		}
+		s.cursor[part] = next
+		for _, r := range recs {
+			s.buffered = append(s.buffered, pending{part: part, rec: r, stream: s.Stream})
+		}
+	}
+	return len(s.buffered) > 0
+}
+
+// Ack implements dsps.ReliableSpout: commit the record's offset.
+func (s *Spout) Ack(msgID int64) {
+	p, ok := s.inflight[msgID]
+	if !ok {
+		return
+	}
+	delete(s.inflight, msgID)
+	s.Broker.CommitOffset(s.Group, s.Topic, p.part, p.rec.Offset+1)
+}
+
+// Fail implements dsps.ReliableSpout: requeue the record for redelivery
+// (at-least-once).
+func (s *Spout) Fail(msgID int64) {
+	p, ok := s.inflight[msgID]
+	if !ok {
+		return
+	}
+	delete(s.inflight, msgID)
+	s.buffered = append(s.buffered, p)
+}
+
+// Close implements dsps.Spout.
+func (s *Spout) Close() {
+	if s.Broker != nil && s.memberID != "" {
+		s.Broker.LeaveGroup(s.Group, s.memberID)
+	}
+}

@@ -1,0 +1,238 @@
+// Package metrics provides the lightweight instrumentation used across the
+// engine and the benchmark harness: atomic counters, log-bucketed latency
+// histograms, windowed rate meters, per-category CPU-time breakdowns, and
+// the α-weighted input-rate smoother from the paper's statistics monitoring
+// module (§4: λ(t) = α·λ(t-1) + (1-α)·N(t)).
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically updated instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records int64 observations (typically nanoseconds) in
+// logarithmic buckets: 64 powers-of-two, each split into 8 linear
+// sub-buckets, giving ~12% relative resolution across the full range.
+// All methods are safe for concurrent use.
+type Histogram struct {
+	buckets [64 * 8]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < 16 {
+		return int(v) // 16 exact buckets for small values
+	}
+	hi := bits.Len64(uint64(v)) - 1 // highest set bit, >= 4 here
+	sub := (v >> uint(hi-3)) & 7    // 3 bits below the top bit
+	return 16 + (hi-4)*8 + int(sub)
+}
+
+// bucketLow returns the lower bound of bucket i (inverse of bucketIndex).
+func bucketLow(i int) int64 {
+	if i < 16 {
+		return int64(i)
+	}
+	hi := (i-16)/8 + 4
+	sub := int64((i - 16) % 8)
+	return (8 + sub) << uint(hi-3)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the average observation, or 0 with no data.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1), or 0
+// with no data. The result is the lower bound of the bucket containing the
+// quantile, so it is within one bucket width (~12%) of the true value.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n-1))
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return bucketLow(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Snapshot summarises the histogram.
+type Snapshot struct {
+	Count         int64
+	Mean          float64
+	P50, P95, P99 int64
+	Max           int64
+}
+
+// Snapshot returns a consistent-enough summary for reporting.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%.0f p50=%d p95=%d p99=%d max=%d", s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// EWMA implements the paper's α-weighted input-rate smoother:
+// λ(t) = α·λ(t-1) + (1-α)·N(t), where N(t) is the raw per-interval count.
+// Not safe for concurrent use; each monitor owns one.
+type EWMA struct {
+	alpha   float64
+	value   float64
+	started bool
+}
+
+// NewEWMA returns a smoother with the given α in [0, 1). A larger α weights
+// history more, suppressing noise and outliers at the cost of lag.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha < 0 || alpha >= 1 {
+		panic(fmt.Sprintf("metrics: EWMA alpha %g out of [0,1)", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update feeds one raw sample and returns the smoothed value. The first
+// sample initialises the series.
+func (e *EWMA) Update(sample float64) float64 {
+	if !e.started {
+		e.value, e.started = sample, true
+	} else {
+		e.value = e.alpha*e.value + (1-e.alpha)*sample
+	}
+	return e.value
+}
+
+// Value returns the current smoothed value.
+func (e *EWMA) Value() float64 { return e.value }
+
+// CPUBreakdown accumulates busy time per category, mirroring the paper's
+// Fig. 2d CPU-time breakdown (serialization vs packet processing vs other).
+type CPUBreakdown struct {
+	mu   sync.Mutex
+	cats map[string]int64 // nanoseconds
+}
+
+// NewCPUBreakdown returns an empty breakdown.
+func NewCPUBreakdown() *CPUBreakdown {
+	return &CPUBreakdown{cats: map[string]int64{}}
+}
+
+// Add accrues d nanoseconds to the category.
+func (b *CPUBreakdown) Add(category string, d int64) {
+	b.mu.Lock()
+	b.cats[category] += d
+	b.mu.Unlock()
+}
+
+// Get returns the accumulated nanoseconds for the category.
+func (b *CPUBreakdown) Get(category string) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cats[category]
+}
+
+// Total returns the sum over all categories.
+func (b *CPUBreakdown) Total() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var t int64
+	for _, v := range b.cats {
+		t += v
+	}
+	return t
+}
+
+// Fractions returns each category's share of the total, sorted by name.
+func (b *CPUBreakdown) Fractions() []CategoryShare {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var total int64
+	for _, v := range b.cats {
+		total += v
+	}
+	out := make([]CategoryShare, 0, len(b.cats))
+	for k, v := range b.cats {
+		share := 0.0
+		if total > 0 {
+			share = float64(v) / float64(total)
+		}
+		out = append(out, CategoryShare{Name: k, NS: v, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CategoryShare is one row of a CPU breakdown report.
+type CategoryShare struct {
+	Name  string
+	NS    int64
+	Share float64
+}

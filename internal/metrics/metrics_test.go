@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// bucketLow(bucketIndex(v)) <= v, with relative error < 12.5%.
+	for _, v := range []int64{0, 1, 7, 8, 15, 16, 17, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxInt64 / 2} {
+		i := bucketIndex(v)
+		low := bucketLow(i)
+		if low > v {
+			t.Fatalf("v=%d: bucketLow(%d)=%d > v", v, i, low)
+		}
+		if v >= 16 && float64(v-low) > 0.125*float64(v)+1 {
+			t.Fatalf("v=%d: bucket lower bound %d too far", v, low)
+		}
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 4096; v++ {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d)=%d < previous %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestQuickBucketInverse(t *testing.T) {
+	f := func(raw int64) bool {
+		v := raw
+		if v < 0 {
+			v = -v
+		}
+		i := bucketIndex(v)
+		if i < 0 || i >= 64*8 {
+			return false
+		}
+		low := bucketLow(i)
+		// v must land in [low, nextLow).
+		if low > v {
+			return false
+		}
+		// v must fall before the next bucket's lower bound. Index 487 is the
+		// last bucket reachable from a non-negative int64; bucket 488's
+		// lower bound would overflow, so skip the upper check there.
+		if i < 487 {
+			return bucketLow(i+1) > v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got, want := h.Mean(), 50500.0; math.Abs(got-want) > 1 {
+		t.Fatalf("mean %f, want %f", got, want)
+	}
+	if h.Max() != 100000 {
+		t.Fatalf("max %d", h.Max())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 40000 || p50 > 60000 {
+		t.Fatalf("p50 %d out of range", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 85000 || p99 > 100000 {
+		t.Fatalf("p99 %d out of range", p99)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Fatal("quantiles not monotone")
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.String() == "" {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := &Histogram{}
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(-5)
+	if h.Count() != 1 || h.Quantile(0.5) != 0 {
+		t.Fatal("negative observation must clamp to 0")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 10000; i++ {
+				h.Observe(int64(r.Intn(1 << 20)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("count %d, want 80000", h.Count())
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d", c.Value())
+	}
+	var g Gauge
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("gauge %d", g.Value())
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if got := e.Update(100); got != 100 {
+		t.Fatalf("first sample %f", got)
+	}
+	if got := e.Update(200); got != 150 {
+		t.Fatalf("second sample %f", got)
+	}
+	if got := e.Value(); got != 150 {
+		t.Fatalf("value %f", got)
+	}
+	// Convergence: constant input converges to that input.
+	for i := 0; i < 60; i++ {
+		e.Update(1000)
+	}
+	if math.Abs(e.Value()-1000) > 1e-6 {
+		t.Fatalf("did not converge: %f", e.Value())
+	}
+}
+
+func TestEWMASuppressesOutliers(t *testing.T) {
+	e := NewEWMA(0.9)
+	for i := 0; i < 50; i++ {
+		e.Update(1000)
+	}
+	e.Update(100000) // a single spike
+	if e.Value() > 11000 {
+		t.Fatalf("outlier leaked through: %f", e.Value())
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{-0.1, 1.0, 2.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha %g: expected panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestCPUBreakdown(t *testing.T) {
+	b := NewCPUBreakdown()
+	b.Add("serialization", 450)
+	b.Add("network", 540)
+	b.Add("other", 10)
+	if b.Total() != 1000 {
+		t.Fatalf("total %d", b.Total())
+	}
+	if b.Get("serialization") != 450 {
+		t.Fatalf("serialization %d", b.Get("serialization"))
+	}
+	fr := b.Fractions()
+	if len(fr) != 3 {
+		t.Fatalf("fractions %v", fr)
+	}
+	var sum float64
+	for _, f := range fr {
+		sum += f.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %f", sum)
+	}
+	// Sorted by name.
+	if fr[0].Name != "network" || fr[1].Name != "other" || fr[2].Name != "serialization" {
+		t.Fatalf("order %v", fr)
+	}
+}
+
+func TestCPUBreakdownEmpty(t *testing.T) {
+	b := NewCPUBreakdown()
+	if b.Total() != 0 || len(b.Fractions()) != 0 {
+		t.Fatal("empty breakdown must be zero")
+	}
+}

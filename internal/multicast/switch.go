@@ -1,0 +1,162 @@
+package multicast
+
+import "fmt"
+
+// Move records one reconnection performed by a dynamic switch: Node
+// disconnects from OldParent and reconnects to NewParent. A Move maps 1:1 to
+// a CtrlReconnect control message.
+type Move struct {
+	Node      NodeID
+	OldParent NodeID
+	NewParent NodeID
+}
+
+// Direction of a dynamic switch.
+type Direction int
+
+const (
+	// NoSwitch means the tree already satisfies the new d*.
+	NoSwitch Direction = iota
+	// ScaleDownSwitch is the negative scale-down of §3.3/§3.4 (d* shrank).
+	ScaleDownSwitch
+	// ScaleUpSwitch is the active scale-up of §3.3/§3.4 (d* grew).
+	ScaleUpSwitch
+)
+
+func (d Direction) String() string {
+	switch d {
+	case ScaleDownSwitch:
+		return "scale-down"
+	case ScaleUpSwitch:
+		return "scale-up"
+	}
+	return "none"
+}
+
+// ScaleDown restructures t in place so no out-degree exceeds newDstar,
+// following the negative scale-down algorithm of §3.4: traverse from the
+// source layer by layer; for every node whose out-degree exceeds d*, detach
+// the subtrees that lead it to exceed d* (its latest-connected children),
+// then re-insert each marked subtree under the first node in BFS order with
+// spare out-degree. The returned moves are the reconnections performed, in
+// order. It panics if newDstar < 1.
+func ScaleDown(t *Tree, newDstar int) []Move {
+	if newDstar < 1 {
+		panic(fmt.Sprintf("multicast: ScaleDown to d*=%d", newDstar))
+	}
+	var moves []Move
+	for {
+		// Find the first violating node in BFS order.
+		var victim NodeID = None
+		for _, n := range t.bfsOrder() {
+			if len(t.children[n]) > newDstar {
+				victim = n
+				break
+			}
+		}
+		if victim == None {
+			break
+		}
+		// Mark the subtree that leads victim to exceed d*: its last child.
+		cs := t.children[victim]
+		marked := cs[len(cs)-1]
+		sub := t.subtreeNodes(marked)
+		// Search from S for a suitable insertion position outside the
+		// marked subtree.
+		var pos NodeID = None
+		for _, n := range t.bfsOrder() {
+			if !sub[n] && len(t.children[n]) < newDstar {
+				pos = n
+				break
+			}
+		}
+		if pos == None {
+			// Cannot happen for newDstar >= 1: the tree always has a node
+			// with spare capacity outside any proper subtree (see tests).
+			panic("multicast: ScaleDown found no insertion position")
+		}
+		t.detach(marked)
+		t.reattach(marked, pos)
+		moves = append(moves, Move{Node: marked, OldParent: victim, NewParent: pos})
+	}
+	return moves
+}
+
+// ScaleUp restructures t in place to exploit a larger newDstar, following
+// the active scale-up algorithm of §3.4: repeatedly take the node that
+// receives tuples last (the deepest position, traversing "from the last
+// destination instance to S") and move it under the first BFS-order node
+// with out-degree below d* — provided that actually delivers the tuple
+// earlier. The procedure ends when the rescheduled instance's original and
+// new positions fall on the same logical layer (no further improvement).
+func ScaleUp(t *Tree, newDstar int) []Move {
+	if newDstar < 1 {
+		panic(fmt.Sprintf("multicast: ScaleUp to d*=%d", newDstar))
+	}
+	var moves []Move
+	for {
+		rt := t.ReceiveTimes()
+		// The deepest node; break receive-time ties toward the
+		// latest-attached destination, matching the paper's traversal from
+		// the last destination instance.
+		var deepest NodeID = None
+		deepestTime := -1
+		for i := len(t.attached) - 1; i >= 0; i-- {
+			n := t.attached[i]
+			if rt[n] > deepestTime {
+				deepest, deepestTime = n, rt[n]
+			}
+		}
+		if deepest == None {
+			break
+		}
+		sub := t.subtreeNodes(deepest)
+		// Search from S for the insertion position that delivers earliest;
+		// attaching as n's next child delivers at rt[n]+outdeg(n)+1. Ties go
+		// to the earliest node in BFS order (closest to S, as in Fig. 8b).
+		var pos NodeID = None
+		bestTime := deepestTime
+		for _, n := range t.bfsOrder() {
+			if sub[n] || len(t.children[n]) >= newDstar {
+				continue
+			}
+			candTime := rt[n] + len(t.children[n]) + 1
+			if candTime < bestTime {
+				pos, bestTime = n, candTime
+			}
+		}
+		if pos == None {
+			// The deepest destination cannot be delivered any earlier: its
+			// original and best new position are on the same logical layer,
+			// so the procedure ends (§3.4).
+			break
+		}
+		old := t.parent[deepest]
+		t.detach(deepest)
+		t.reattach(deepest, pos)
+		moves = append(moves, Move{Node: deepest, OldParent: old, NewParent: pos})
+	}
+	return moves
+}
+
+// Switch adjusts t for a new maximum out-degree, dispatching to ScaleDown
+// or ScaleUp, and reports which direction was taken along with the moves.
+// curDstar is the cap the tree was last adjusted for.
+func Switch(t *Tree, curDstar, newDstar int) (Direction, []Move) {
+	switch {
+	case newDstar < curDstar:
+		moves := ScaleDown(t, newDstar)
+		if len(moves) == 0 {
+			return NoSwitch, nil
+		}
+		return ScaleDownSwitch, moves
+	case newDstar > curDstar:
+		moves := ScaleUp(t, newDstar)
+		if len(moves) == 0 {
+			return NoSwitch, nil
+		}
+		return ScaleUpSwitch, moves
+	default:
+		return NoSwitch, nil
+	}
+}

@@ -1,0 +1,229 @@
+package multicast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// destSet returns the set of destinations for comparison across switches.
+func destSet(t *Tree) map[NodeID]bool {
+	out := map[NodeID]bool{}
+	for _, d := range t.Destinations() {
+		out[d] = true
+	}
+	return out
+}
+
+func TestScaleDownFig8a(t *testing.T) {
+	// Paper Fig. 8a: d* changes from 3 to 2. Every node must end with
+	// out-degree <= 2 and the destination set must be preserved.
+	tr := BuildNonBlocking(0, seq(9), 3)
+	before := destSet(tr)
+	moves := ScaleDown(tr, 2)
+	if len(moves) == 0 {
+		t.Fatal("expected at least one reconnection")
+	}
+	if err := tr.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	after := destSet(tr)
+	if len(after) != len(before) {
+		t.Fatalf("destinations changed: %d -> %d", len(before), len(after))
+	}
+	for d := range before {
+		if !after[d] {
+			t.Fatalf("destination %d lost", d)
+		}
+	}
+	for _, m := range moves {
+		if m.OldParent == m.NewParent {
+			t.Fatalf("useless move %+v", m)
+		}
+	}
+}
+
+func TestScaleDownIdempotentWhenSatisfied(t *testing.T) {
+	tr := BuildNonBlocking(0, seq(20), 2)
+	if moves := ScaleDown(tr, 2); len(moves) != 0 {
+		t.Fatalf("tree already satisfies d*=2, got %d moves", len(moves))
+	}
+	if moves := ScaleDown(tr, 3); len(moves) != 0 {
+		t.Fatalf("looser cap must not trigger moves, got %d", len(moves))
+	}
+}
+
+func TestScaleDownToChain(t *testing.T) {
+	// d*=1 forces a chain; every node has at most one child.
+	tr := BuildBinomial(0, seq(15))
+	ScaleDown(tr, 1)
+	if err := tr.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 15 {
+		t.Fatalf("chain depth %d, want 15", tr.Depth())
+	}
+}
+
+func TestScaleUpFig8b(t *testing.T) {
+	// Paper Fig. 8b: d* changes from 2 to 3 on the Fig. 6 tree (|T|=7); the
+	// deepest instance (T4-1) moves up to S, shrinking completion 4 -> 3.
+	tr := BuildNonBlocking(0, seq(7), 2)
+	depthBefore := tr.Depth()
+	moves := ScaleUp(tr, 3)
+	if len(moves) == 0 {
+		t.Fatal("expected at least one move")
+	}
+	if err := tr.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() >= depthBefore {
+		t.Fatalf("depth %d did not improve from %d", tr.Depth(), depthBefore)
+	}
+}
+
+func TestScaleUpReachesBinomialDepth(t *testing.T) {
+	// Scaling a chain up to an unbounded cap must converge to the binomial
+	// completion time (the optimum).
+	for _, n := range []int{7, 15, 31, 64} {
+		tr := BuildNonBlocking(0, seq(n), 1)
+		ScaleUp(tr, n+1)
+		if err := tr.Validate(n + 1); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// The greedy per-node move reaches the binomial bound.
+		want := BuildBinomial(0, seq(n)).Depth()
+		if tr.Depth() > want {
+			t.Fatalf("n=%d: scale-up depth %d, binomial %d", n, tr.Depth(), want)
+		}
+	}
+}
+
+func TestScaleUpNoChangeWhenNoBenefit(t *testing.T) {
+	// A binomial tree is already optimal; a larger cap changes nothing.
+	tr := BuildBinomial(0, seq(31))
+	if moves := ScaleUp(tr, 31); len(moves) != 0 {
+		t.Fatalf("expected no moves on optimal tree, got %v", moves)
+	}
+}
+
+func TestSwitchDispatch(t *testing.T) {
+	tr := BuildNonBlocking(0, seq(30), 3)
+	dir, moves := Switch(tr, 3, 2)
+	if dir != ScaleDownSwitch || len(moves) == 0 {
+		t.Fatalf("down switch: dir=%v moves=%d", dir, len(moves))
+	}
+	if err := tr.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	dir, moves = Switch(tr, 2, 5)
+	if dir != ScaleUpSwitch || len(moves) == 0 {
+		t.Fatalf("up switch: dir=%v moves=%d", dir, len(moves))
+	}
+	if err := tr.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	dir, moves = Switch(tr, 5, 5)
+	if dir != NoSwitch || moves != nil {
+		t.Fatalf("same cap: dir=%v moves=%v", dir, moves)
+	}
+	if ScaleDownSwitch.String() != "scale-down" || ScaleUpSwitch.String() != "scale-up" || NoSwitch.String() != "none" {
+		t.Fatal("Direction.String broken")
+	}
+}
+
+func TestSwitchPreservesReachabilityUnderChurn(t *testing.T) {
+	// Stress: random walk over d* values; after every switch the tree must
+	// stay valid and keep all destinations.
+	r := rand.New(rand.NewSource(11))
+	n := 120
+	cur := 3
+	tr := BuildNonBlocking(0, seq(n), cur)
+	for i := 0; i < 60; i++ {
+		next := 1 + r.Intn(9)
+		Switch(tr, cur, next)
+		cur = next
+		if err := tr.Validate(cur); err != nil {
+			t.Fatalf("step %d (d*=%d): %v", i, cur, err)
+		}
+		if tr.Size() != n {
+			t.Fatalf("step %d: size %d, want %d", i, tr.Size(), n)
+		}
+	}
+}
+
+func TestQuickScaleDownInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		r.Seed(seed)
+		n := 1 + r.Intn(300)
+		oldD := 2 + r.Intn(8)
+		newD := 1 + r.Intn(oldD)
+		tr := BuildNonBlocking(0, seq(n), oldD)
+		moves := ScaleDown(tr, newD)
+		if err := tr.Validate(newD); err != nil {
+			t.Logf("n=%d %d->%d: %v", n, oldD, newD, err)
+			return false
+		}
+		if tr.Size() != n {
+			return false
+		}
+		// Every move must reference nodes actually in the tree.
+		for _, m := range moves {
+			if !tr.Contains(m.Node) || !tr.Contains(m.NewParent) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickScaleUpImprovesOrKeepsDepth(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		r.Seed(seed)
+		n := 1 + r.Intn(300)
+		oldD := 1 + r.Intn(5)
+		newD := oldD + 1 + r.Intn(5)
+		tr := BuildNonBlocking(0, seq(n), oldD)
+		before := tr.Depth()
+		ScaleUp(tr, newD)
+		if err := tr.Validate(newD); err != nil {
+			t.Logf("n=%d %d->%d: %v", n, oldD, newD, err)
+			return false
+		}
+		return tr.Depth() <= before && tr.Size() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchMovesAreIncremental(t *testing.T) {
+	// The dynamic switch must NOT rebuild the whole tree: the number of
+	// reconnections should be far below n ("without significant change",
+	// §3.4). For a 480-node tree moving d* 4->3, well under half the nodes
+	// may move.
+	tr := BuildNonBlocking(0, seq(480), 4)
+	moves := ScaleDown(tr, 3)
+	if len(moves) > 240 {
+		t.Fatalf("scale-down moved %d/480 nodes; not incremental", len(moves))
+	}
+	tr2 := BuildNonBlocking(0, seq(480), 3)
+	moves2 := ScaleUp(tr2, 4)
+	if len(moves2) > 240 {
+		t.Fatalf("scale-up moved %d/480 nodes; not incremental", len(moves2))
+	}
+}
+
+func TestScaleDownPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ScaleDown(BuildBinomial(0, seq(3)), 0)
+}

@@ -1,0 +1,387 @@
+// Package multicast implements Whale's relay-based stream multicast
+// structures (paper §3.2): the self-adjusting non-blocking multicast tree
+// built by Algorithm 1, the static binomial tree used by RDMC, and the
+// sequential (star) structure used by stock Storm, together with the dynamic
+// switching algorithms of §3.4 (negative scale-down and active scale-up).
+//
+// Nodes are opaque int32 ids; in Whale's worker-oriented mode they are
+// worker ids, in instance-oriented mode they are task ids. The tree's edges
+// are RDMA channels: a node relays every tuple it receives to its children,
+// one child per "time unit" (the per-hop replica processing time t_e), which
+// is why a child's position among its siblings determines when it receives
+// a tuple (ReceiveTimes).
+package multicast
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a participant (worker or task) in a multicast group.
+type NodeID = int32
+
+// None is the nil NodeID (the source's parent).
+const None NodeID = -1
+
+// Tree is a rooted multicast relay tree. The order of a node's children is
+// significant: it is the order in which the node forwards each tuple, so it
+// fixes the pipelined delivery schedule.
+type Tree struct {
+	source   NodeID
+	parent   map[NodeID]NodeID
+	children map[NodeID][]NodeID
+	attached []NodeID // destinations in attachment (BFS) order
+}
+
+// NewTree returns a tree containing only the source.
+func NewTree(source NodeID) *Tree {
+	return &Tree{
+		source:   source,
+		parent:   map[NodeID]NodeID{source: None},
+		children: map[NodeID][]NodeID{},
+	}
+}
+
+// BuildNonBlocking constructs the non-blocking multicast tree of Algorithm 1:
+// a binomial tree whose out-degree is capped at dstar. Destinations are
+// attached in the given order. It panics if dstar < 1 or dests contains the
+// source or duplicates (programming errors at this layer; the engine
+// validates user input earlier).
+func BuildNonBlocking(source NodeID, dests []NodeID, dstar int) *Tree {
+	if dstar < 1 {
+		panic(fmt.Sprintf("multicast: BuildNonBlocking with d*=%d", dstar))
+	}
+	t := NewTree(source)
+	next := 0
+	// list is the attachment-order node list of Algorithm 1; in each round
+	// every listed node with out-degree < d* connects one new destination.
+	list := []NodeID{source}
+	for next < len(dests) {
+		size := len(list)
+		progressed := false
+		for i := 0; i < size && next < len(dests); i++ {
+			n := list[i]
+			if len(t.children[n]) < dstar {
+				d := dests[next]
+				next++
+				t.attach(d, n)
+				list = append(list, d)
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Cannot happen for dstar >= 1 (the newest leaf always has
+			// out-degree 0), but guard against an infinite loop.
+			panic("multicast: Algorithm 1 made no progress")
+		}
+	}
+	return t
+}
+
+// BuildBinomial constructs the unrestricted binomial multicast tree used by
+// RDMC: Algorithm 1 with no out-degree cap.
+func BuildBinomial(source NodeID, dests []NodeID) *Tree {
+	return BuildNonBlocking(source, dests, len(dests)+1)
+}
+
+// BuildSequential constructs the star structure of stock Storm's sequential
+// transmission: every destination is a direct child of the source, so the
+// i-th destination receives each tuple at time unit i.
+func BuildSequential(source NodeID, dests []NodeID) *Tree {
+	t := NewTree(source)
+	for _, d := range dests {
+		t.attach(d, source)
+	}
+	return t
+}
+
+func (t *Tree) attach(n, parent NodeID) {
+	if _, dup := t.parent[n]; dup {
+		panic(fmt.Sprintf("multicast: node %d attached twice", n))
+	}
+	t.parent[n] = parent
+	t.children[parent] = append(t.children[parent], n)
+	t.attached = append(t.attached, n)
+}
+
+// Source returns the tree's root.
+func (t *Tree) Source() NodeID { return t.source }
+
+// Size returns the number of destinations (excluding the source).
+func (t *Tree) Size() int { return len(t.parent) - 1 }
+
+// Contains reports whether n is in the tree (source included).
+func (t *Tree) Contains(n NodeID) bool {
+	_, ok := t.parent[n]
+	return ok
+}
+
+// Parent returns n's parent, or None for the source. It panics if n is not
+// in the tree.
+func (t *Tree) Parent(n NodeID) NodeID {
+	p, ok := t.parent[n]
+	if !ok {
+		panic(fmt.Sprintf("multicast: node %d not in tree", n))
+	}
+	return p
+}
+
+// Children returns n's children in forwarding order. The returned slice is
+// owned by the tree; callers must not mutate it.
+func (t *Tree) Children(n NodeID) []NodeID { return t.children[n] }
+
+// OutDegree returns the number of children of n.
+func (t *Tree) OutDegree(n NodeID) int { return len(t.children[n]) }
+
+// MaxOutDegree returns the largest out-degree in the tree.
+func (t *Tree) MaxOutDegree() int {
+	max := 0
+	for _, c := range t.children {
+		if len(c) > max {
+			max = len(c)
+		}
+	}
+	return max
+}
+
+// Destinations returns the destination nodes in attachment order. The
+// returned slice is owned by the tree.
+func (t *Tree) Destinations() []NodeID { return t.attached }
+
+// Nodes returns all nodes (source first, then destinations in attachment
+// order) as a fresh slice.
+func (t *Tree) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(t.parent))
+	out = append(out, t.source)
+	out = append(out, t.attached...)
+	return out
+}
+
+// ReceiveTimes returns, for every node, the time unit at which it receives a
+// tuple under the pipelined relay schedule: the source holds the tuple at 0,
+// and the i-th child (1-based) of a node that received at time r receives at
+// r+i (each node forwards to one child per time unit, in child order).
+func (t *Tree) ReceiveTimes() map[NodeID]int {
+	rt := make(map[NodeID]int, len(t.parent))
+	rt[t.source] = 0
+	// BFS in attachment order guarantees parents are computed before
+	// children only if parents attach earlier — true for Algorithm 1 trees,
+	// but switching can reorder, so walk top-down explicitly.
+	var walk func(n NodeID)
+	walk = func(n NodeID) {
+		base := rt[n]
+		for i, c := range t.children[n] {
+			rt[c] = base + i + 1
+			walk(c)
+		}
+	}
+	walk(t.source)
+	return rt
+}
+
+// Depth returns the completion time of one tuple's multicast: the maximum
+// receive time over all destinations (0 for an empty tree).
+func (t *Tree) Depth() int {
+	max := 0
+	for _, r := range t.ReceiveTimes() {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// MeanReceiveTime returns the average receive time over destinations, i.e.
+// the average multicast latency in time units (0 for an empty tree).
+func (t *Tree) MeanReceiveTime() float64 {
+	if t.Size() == 0 {
+		return 0
+	}
+	sum := 0
+	for n, r := range t.ReceiveTimes() {
+		if n != t.source {
+			sum += r
+		}
+	}
+	return float64(sum) / float64(t.Size())
+}
+
+// Validate checks structural invariants: every node except the source has
+// exactly one parent that lists it as a child, the tree is acyclic and fully
+// reachable from the source, and no out-degree exceeds dstar (pass a
+// non-positive dstar to skip the degree check).
+func (t *Tree) Validate(dstar int) error {
+	if t.parent[t.source] != None {
+		return fmt.Errorf("multicast: source %d has parent %d", t.source, t.parent[t.source])
+	}
+	seen := map[NodeID]bool{}
+	var walk func(n NodeID) error
+	walk = func(n NodeID) error {
+		if seen[n] {
+			return fmt.Errorf("multicast: node %d reached twice (cycle or double link)", n)
+		}
+		seen[n] = true
+		if dstar > 0 && len(t.children[n]) > dstar {
+			return fmt.Errorf("multicast: node %d has out-degree %d > d*=%d", n, len(t.children[n]), dstar)
+		}
+		for _, c := range t.children[n] {
+			if t.parent[c] != n {
+				return fmt.Errorf("multicast: node %d is child of %d but parent[%d]=%d", c, n, c, t.parent[c])
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.source); err != nil {
+		return err
+	}
+	if len(seen) != len(t.parent) {
+		return fmt.Errorf("multicast: %d nodes reachable of %d", len(seen), len(t.parent))
+	}
+	if len(t.attached) != len(t.parent)-1 {
+		return fmt.Errorf("multicast: attachment list has %d entries for %d destinations", len(t.attached), len(t.parent)-1)
+	}
+	for _, d := range t.attached {
+		if !seen[d] {
+			return fmt.Errorf("multicast: attached node %d unreachable", d)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		source:   t.source,
+		parent:   make(map[NodeID]NodeID, len(t.parent)),
+		children: make(map[NodeID][]NodeID, len(t.children)),
+		attached: append([]NodeID(nil), t.attached...),
+	}
+	for k, v := range t.parent {
+		c.parent[k] = v
+	}
+	for k, v := range t.children {
+		c.children[k] = append([]NodeID(nil), v...)
+	}
+	return c
+}
+
+// Flatten serializes the tree into parallel node/parent arrays (source
+// first, parent None) for transport in a CtrlTree control message.
+func (t *Tree) Flatten() (nodes, parents []int32) {
+	nodes = make([]int32, 0, len(t.parent))
+	parents = make([]int32, 0, len(t.parent))
+	nodes = append(nodes, t.source)
+	parents = append(parents, None)
+	// Emit in top-down order so FromFlat can attach children after parents,
+	// preserving sibling order.
+	var walk func(n NodeID)
+	walk = func(n NodeID) {
+		for _, c := range t.children[n] {
+			nodes = append(nodes, c)
+			parents = append(parents, n)
+			walk(c)
+		}
+	}
+	walk(t.source)
+	return nodes, parents
+}
+
+// FromFlat reconstructs a tree from Flatten output. Unlike the builders it
+// returns an error rather than panicking, because flat arrays arrive over
+// the network.
+func FromFlat(nodes, parents []int32) (*Tree, error) {
+	if len(nodes) != len(parents) {
+		return nil, fmt.Errorf("multicast: FromFlat length mismatch %d vs %d", len(nodes), len(parents))
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("multicast: FromFlat with no nodes")
+	}
+	if parents[0] != None {
+		return nil, fmt.Errorf("multicast: first node %d must be the source (parent None, got %d)", nodes[0], parents[0])
+	}
+	t := NewTree(nodes[0])
+	for i := 1; i < len(nodes); i++ {
+		if _, dup := t.parent[nodes[i]]; dup {
+			return nil, fmt.Errorf("multicast: duplicate node %d", nodes[i])
+		}
+		if _, ok := t.parent[parents[i]]; !ok {
+			return nil, fmt.Errorf("multicast: node %d has unknown parent %d", nodes[i], parents[i])
+		}
+		t.attach(nodes[i], parents[i])
+	}
+	if err := t.Validate(0); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// subtreeNodes returns n and all its descendants.
+func (t *Tree) subtreeNodes(n NodeID) map[NodeID]bool {
+	out := map[NodeID]bool{}
+	var walk func(NodeID)
+	walk = func(x NodeID) {
+		out[x] = true
+		for _, c := range t.children[x] {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// detach removes n (and implicitly its subtree) from its parent's child
+// list. n keeps its subtree links.
+func (t *Tree) detach(n NodeID) {
+	p := t.parent[n]
+	cs := t.children[p]
+	for i, c := range cs {
+		if c == n {
+			t.children[p] = append(cs[:i:i], cs[i+1:]...)
+			break
+		}
+	}
+	t.parent[n] = None
+}
+
+// reattach links a detached node n under newParent, as its last child.
+func (t *Tree) reattach(n, newParent NodeID) {
+	t.parent[n] = newParent
+	t.children[newParent] = append(t.children[newParent], n)
+}
+
+// bfsOrder returns nodes in breadth-first order (source first), children in
+// forwarding order — the "from S to the maximum layer" traversal of §3.4.
+func (t *Tree) bfsOrder() []NodeID {
+	out := make([]NodeID, 0, len(t.parent))
+	queue := []NodeID{t.source}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		queue = append(queue, t.children[n]...)
+	}
+	return out
+}
+
+// String renders the tree level by level for debugging.
+func (t *Tree) String() string {
+	rt := t.ReceiveTimes()
+	byTime := map[int][]NodeID{}
+	maxT := 0
+	for n, r := range rt {
+		byTime[r] = append(byTime[r], n)
+		if r > maxT {
+			maxT = r
+		}
+	}
+	s := fmt.Sprintf("Tree{source=%d, n=%d", t.source, t.Size())
+	for r := 0; r <= maxT; r++ {
+		ns := byTime[r]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		s += fmt.Sprintf("; t%d=%v", r, ns)
+	}
+	return s + "}"
+}

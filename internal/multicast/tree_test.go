@@ -1,0 +1,266 @@
+package multicast
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"whale/internal/queueing"
+)
+
+func seq(n int) []NodeID {
+	out := make([]NodeID, n)
+	for i := range out {
+		out[i] = NodeID(i + 1)
+	}
+	return out
+}
+
+func TestBuildNonBlockingFig6(t *testing.T) {
+	// Paper Fig. 6: |T| = 7, d* = 2. Expected receive schedule:
+	// t1: 1 node, t2: 2 nodes, t3: 3 nodes, t4: 1 node.
+	tr := BuildNonBlocking(0, seq(7), 2)
+	if err := tr.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	rt := tr.ReceiveTimes()
+	byTime := map[int]int{}
+	for n, r := range rt {
+		if n != 0 {
+			byTime[r]++
+		}
+	}
+	want := map[int]int{1: 1, 2: 2, 3: 3, 4: 1}
+	if !reflect.DeepEqual(byTime, want) {
+		t.Fatalf("schedule %v, want %v (tree %v)", byTime, want, tr)
+	}
+	// The source's out-degree is capped at 2.
+	if tr.OutDegree(0) != 2 {
+		t.Fatalf("source out-degree %d, want 2", tr.OutDegree(0))
+	}
+	if tr.Depth() != 4 {
+		t.Fatalf("depth %d, want 4", tr.Depth())
+	}
+}
+
+func TestBuildBinomialDepth(t *testing.T) {
+	// A binomial tree over n destinations completes at ceil(log2(n+1)).
+	for _, n := range []int{1, 2, 3, 7, 15, 31, 100, 480} {
+		tr := BuildBinomial(0, seq(n))
+		if err := tr.Validate(0); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := queueing.BinomialSourceDegree(n)
+		if tr.Depth() != want {
+			t.Fatalf("n=%d: depth %d, want %d", n, tr.Depth(), want)
+		}
+		if tr.OutDegree(0) != want {
+			t.Fatalf("n=%d: source degree %d, want %d", n, tr.OutDegree(0), want)
+		}
+	}
+}
+
+func TestBuildSequentialSchedule(t *testing.T) {
+	tr := BuildSequential(0, seq(5))
+	if err := tr.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	rt := tr.ReceiveTimes()
+	for i := 1; i <= 5; i++ {
+		if rt[NodeID(i)] != i {
+			t.Fatalf("dest %d receives at %d, want %d", i, rt[NodeID(i)], i)
+		}
+	}
+	if tr.Depth() != 5 {
+		t.Fatalf("depth %d, want 5", tr.Depth())
+	}
+	if tr.OutDegree(0) != 5 {
+		t.Fatalf("source degree %d, want 5", tr.OutDegree(0))
+	}
+}
+
+func TestSourceDegreeMatchesQueueingModel(t *testing.T) {
+	// §3.2.2: d0 = min{d*, ceil(log2(n+1))}.
+	for _, n := range []int{1, 7, 30, 120, 480} {
+		for dstar := 1; dstar <= 12; dstar++ {
+			tr := BuildNonBlocking(0, seq(n), dstar)
+			if got, want := tr.OutDegree(0), queueing.SourceDegree(n, dstar); got != want {
+				t.Fatalf("n=%d d*=%d: source degree %d, want %d", n, dstar, got, want)
+			}
+		}
+	}
+}
+
+func TestDepthMatchesCapabilityModel(t *testing.T) {
+	// The constructed tree's completion time must equal the analytic
+	// CompletionTime from the L(t) recurrence (Theorem 2).
+	for _, n := range []int{1, 3, 7, 16, 100, 480} {
+		for dstar := 1; dstar <= 10; dstar++ {
+			tr := BuildNonBlocking(0, seq(n), dstar)
+			if got, want := tr.Depth(), queueing.CompletionTime(n, dstar); got != want {
+				t.Fatalf("n=%d d*=%d: tree depth %d, capability model %d", n, dstar, got, want)
+			}
+		}
+	}
+}
+
+func TestCoverageMatchesCapabilitySequence(t *testing.T) {
+	// The number of nodes holding the tuple by time t in the built tree
+	// must equal L(t) from Eqs. 6-7.
+	const n, dstar = 100, 3
+	tr := BuildNonBlocking(0, seq(n), dstar)
+	rt := tr.ReceiveTimes()
+	l := queueing.Capability(n, dstar, n+1)
+	for tt := 0; tt < len(l); tt++ {
+		cnt := int64(0)
+		for _, r := range rt {
+			if r <= tt {
+				cnt++
+			}
+		}
+		if cnt != l[tt] {
+			t.Fatalf("t=%d: tree covers %d, L(t)=%d", tt, cnt, l[tt])
+		}
+	}
+}
+
+func TestMeanReceiveTimeOrdering(t *testing.T) {
+	// Non-blocking with a reasonable d* beats sequential; binomial beats
+	// both on mean receive time (it is the uncapped optimum).
+	n := 480
+	seqTr := BuildSequential(0, seq(n))
+	nb := BuildNonBlocking(0, seq(n), 3)
+	bin := BuildBinomial(0, seq(n))
+	if !(bin.MeanReceiveTime() <= nb.MeanReceiveTime()) {
+		t.Fatalf("binomial mean %f > nonblocking %f", bin.MeanReceiveTime(), nb.MeanReceiveTime())
+	}
+	if !(nb.MeanReceiveTime() < seqTr.MeanReceiveTime()) {
+		t.Fatalf("nonblocking mean %f >= sequential %f", nb.MeanReceiveTime(), seqTr.MeanReceiveTime())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := BuildNonBlocking(0, seq(7), 2)
+	// Degree violation.
+	if err := tr.Validate(1); err == nil {
+		t.Fatal("Validate(1) passed a tree with out-degree 2")
+	}
+	// Broken parent pointer.
+	c := tr.Clone()
+	c.parent[3] = 99
+	if err := c.Validate(0); err == nil {
+		t.Fatal("Validate missed broken parent pointer")
+	}
+	// Orphan node.
+	c2 := tr.Clone()
+	c2.parent[99] = 98
+	if err := c2.Validate(0); err == nil {
+		t.Fatal("Validate missed unreachable node")
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	for _, build := range []func() *Tree{
+		func() *Tree { return BuildNonBlocking(10, []NodeID{20, 30, 40, 50, 60}, 2) },
+		func() *Tree { return BuildBinomial(0, seq(31)) },
+		func() *Tree { return BuildSequential(5, seq(4)) },
+		func() *Tree { return NewTree(3) },
+	} {
+		in := build()
+		nodes, parents := in.Flatten()
+		out, err := FromFlat(nodes, parents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Validate(0); err != nil {
+			t.Fatal(err)
+		}
+		if out.Size() != in.Size() || out.Source() != in.Source() {
+			t.Fatalf("round trip mismatch: %v vs %v", in, out)
+		}
+		// Child order (the forwarding schedule) must survive.
+		inRT, outRT := in.ReceiveTimes(), out.ReceiveTimes()
+		for n, r := range inRT {
+			if outRT[n] != r {
+				t.Fatalf("node %d receive time %d -> %d after round trip", n, r, outRT[n])
+			}
+		}
+	}
+}
+
+func TestFromFlatRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		nodes, parents []int32
+	}{
+		{[]int32{0, 1}, []int32{-1}},          // length mismatch
+		{nil, nil},                            // empty
+		{[]int32{0, 1}, []int32{5, 0}},        // source with a parent
+		{[]int32{0, 1, 1}, []int32{-1, 0, 0}}, // duplicate node
+		{[]int32{0, 1}, []int32{-1, 7}},       // unknown parent
+	}
+	for i, c := range cases {
+		if _, err := FromFlat(c.nodes, c.parents); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := BuildNonBlocking(0, seq(7), 2)
+	c := tr.Clone()
+	ScaleDown(c, 1)
+	if err := tr.Validate(2); err != nil {
+		t.Fatalf("mutating clone corrupted original: %v", err)
+	}
+	if tr.MaxOutDegree() != 2 {
+		t.Fatalf("original max degree changed to %d", tr.MaxOutDegree())
+	}
+}
+
+func TestQuickBuildInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r.Seed(seed)
+		n := r.Intn(600)
+		dstar := 1 + r.Intn(10)
+		tr := BuildNonBlocking(0, seq(n), dstar)
+		if err := tr.Validate(dstar); err != nil {
+			t.Logf("n=%d d*=%d: %v", n, dstar, err)
+			return false
+		}
+		return tr.Size() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildersPanicOnBadInput(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("BuildNonBlocking(d*=0) did not panic")
+			}
+		}()
+		BuildNonBlocking(0, seq(3), 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate destination did not panic")
+			}
+		}()
+		BuildNonBlocking(0, []NodeID{1, 1}, 2)
+	}()
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := NewTree(0)
+	if err := tr.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 0 || tr.MeanReceiveTime() != 0 || tr.Size() != 0 {
+		t.Fatal("empty tree has nonzero metrics")
+	}
+}

@@ -1,0 +1,93 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefault30NodeInvariants(t *testing.T) {
+	p := Default30Node()
+	// Calibration anchors (see package doc): serialization and kernel
+	// per-message costs are the same order of magnitude (Fig. 2d / Fig. 26),
+	// and the optimized post is far below both.
+	if p.TSerialize != p.TKernelMsg {
+		t.Fatalf("ts=%v tk=%v: anchor requires ~equal (Storm ser share ~50%%)", p.TSerialize, p.TKernelMsg)
+	}
+	if !(p.TPostOpt < p.TPostBasic && p.TPostBasic < p.TKernelMsg) {
+		t.Fatalf("post-cost ordering broken: opt=%v basic=%v kernel=%v", p.TPostOpt, p.TPostBasic, p.TKernelMsg)
+	}
+	if p.InfinibandBps <= p.EthernetBps {
+		t.Fatal("IB slower than Ethernet")
+	}
+	if p.TupleBytes <= 0 || p.MsgHeaderBytes <= 0 || p.IDBytes <= 0 {
+		t.Fatalf("sizes: %+v", p)
+	}
+}
+
+func TestMatchCostShrinksWithParallelism(t *testing.T) {
+	p := Default30Node()
+	prev := time.Duration(1 << 62)
+	for _, n := range []int{30, 120, 240, 480} {
+		c := p.MatchCost(n)
+		if c >= prev {
+			t.Fatalf("MatchCost(%d)=%v did not shrink from %v", n, c, prev)
+		}
+		if c <= p.MatchBase {
+			t.Fatalf("MatchCost(%d)=%v below base %v", n, c, p.MatchBase)
+		}
+		prev = c
+	}
+	// Degenerate parallelism clamps.
+	if p.MatchCost(0) != p.MatchCost(1) {
+		t.Fatal("MatchCost(0) should clamp to n=1")
+	}
+}
+
+func TestWireTime(t *testing.T) {
+	// 1250 bytes at 1 Gbps = 10µs.
+	if got := WireTime(1250, 1e9); got != 10*time.Microsecond {
+		t.Fatalf("WireTime = %v", got)
+	}
+	// 56 Gbps is 56x faster.
+	if got := WireTime(1250, 56e9); got != 10*time.Microsecond/56 {
+		t.Fatalf("WireTime IB = %v", got)
+	}
+}
+
+func TestMessageSizes(t *testing.T) {
+	p := Default30Node()
+	inst := p.InstanceMsgBytes()
+	if inst != p.MsgHeaderBytes+p.IDBytes+p.TupleBytes {
+		t.Fatalf("instance message %d", inst)
+	}
+	// A worker message for k instances carries k ids but ONE data item —
+	// the whole point of worker-oriented communication.
+	w16 := p.WorkerMsgBytes(16)
+	if w16 >= 16*inst {
+		t.Fatalf("worker message %d not far below 16 instance messages %d", w16, 16*inst)
+	}
+	if w16-p.WorkerMsgBytes(1) != 15*p.IDBytes {
+		t.Fatal("per-id increment wrong")
+	}
+}
+
+func TestVariantParamSets(t *testing.T) {
+	stock := StockExchange()
+	if stock.TupleBytes >= Default30Node().TupleBytes {
+		t.Fatal("stock records should be smaller than ride records")
+	}
+	if stock.MatchCost(480) >= Default30Node().MatchCost(480) {
+		t.Fatal("stock matching should be lighter")
+	}
+	dyn := DynamicProfile()
+	// The dynamic profile must let the source sustain 100k tuples/s at a
+	// small out-degree: fixed + serialize + 1 post < 10µs.
+	perTuple := dyn.TEmitFixed + dyn.TSerialize + dyn.TPostOpt
+	if perTuple >= 10*time.Microsecond {
+		t.Fatalf("dynamic-profile source cost %v cannot sustain 100k/s", perTuple)
+	}
+	// And the matching operator must absorb >100k/s at 480.
+	if cap := time.Second / dyn.MatchCost(480); cap < 100_000 {
+		t.Fatalf("dynamic-profile match capacity %d/s", cap)
+	}
+}

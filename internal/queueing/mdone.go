@@ -1,0 +1,199 @@
+// Package queueing implements the M/D/1 analysis the Whale paper uses to
+// size the non-blocking multicast tree (paper §3.2.1, Eqs. 1-5):
+//
+//   - the processing rate of a source with out-degree d (Eq. 1),
+//   - the mean queue length of an M/D/1 queue (Eq. 2),
+//   - the maximum out-degree d* that keeps the mean queue length within the
+//     transfer-queue capacity Q (Eq. 3),
+//   - the maximum affordable input rate M for a given out-degree (Eq. 5,
+//     Theorem 1),
+//
+// plus the multicast-capability recurrences of Theorem 2 (Eqs. 6-7) and the
+// worker-oriented rate correction from §4 (μ = 1/(d·t_d + t_s)).
+//
+// Rates are tuples per second; times are seconds.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProcessingRate returns μ = 1/(d0·te), the service rate of a source
+// instance that must emit d0 replicas, each costing te seconds (Eq. 1).
+// It panics if d0 < 1 or te <= 0; callers validate inputs at the boundary.
+func ProcessingRate(d0 int, te float64) float64 {
+	if d0 < 1 || te <= 0 {
+		panic(fmt.Sprintf("queueing: invalid ProcessingRate(d0=%d, te=%g)", d0, te))
+	}
+	return 1 / (float64(d0) * te)
+}
+
+// ProcessingRateWOC returns the worker-oriented processing rate
+// μ = 1/(d·t_d + t_s) from §4, where the tuple is serialized once (t_s) and
+// then scheduled onto d channels at t_d each.
+func ProcessingRateWOC(d int, td, ts float64) float64 {
+	if d < 0 || td < 0 || ts <= 0 {
+		panic(fmt.Sprintf("queueing: invalid ProcessingRateWOC(d=%d, td=%g, ts=%g)", d, td, ts))
+	}
+	return 1 / (float64(d)*td + ts)
+}
+
+// MeanQueueLength returns E(L) = λ²/(2μ(μ-λ)) + λ/μ, the mean number of
+// tuples in an M/D/1 system (Eq. 2). It returns +Inf when the queue is
+// unstable (λ >= μ).
+func MeanQueueLength(lambda, mu float64) float64 {
+	if lambda < 0 || mu <= 0 {
+		panic(fmt.Sprintf("queueing: invalid MeanQueueLength(λ=%g, μ=%g)", lambda, mu))
+	}
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	return lambda*lambda/(2*mu*(mu-lambda)) + lambda/mu
+}
+
+// Utilization returns ρ = λ/μ.
+func Utilization(lambda, mu float64) float64 { return lambda / mu }
+
+// qFactor returns Q+1-sqrt(Q²+1), the term Eq. 3 and Eq. 5 share. It is in
+// (0, 1] for Q >= 0 and approaches 1 as Q grows.
+func qFactor(Q float64) float64 {
+	return Q + 1 - math.Sqrt(Q*Q+1)
+}
+
+// MaxOutDegree returns d*, the largest out-degree for which the mean queue
+// length stays within the transfer-queue capacity Q:
+//
+//	d0 <= (Q+1-sqrt(Q²+1)) / (λ·te)
+//
+// Erratum note: the paper's printed Eq. 3 reads 2Q/(λ·te·(Q+1-sqrt(Q²+1))),
+// which equals (Q+1+sqrt(Q²+1))/(λ·te) — the larger root of the quadratic in
+// ρ obtained from E(L) <= Q, which violates the stability requirement ρ < 1
+// and contradicts the paper's own Eq. 4, Eq. 5 and Theorem 1. Solving
+// E(L) <= Q with E(L) from Eq. 2 yields ρ = λ·d0·te <= Q+1-sqrt(Q²+1)
+// (the smaller root), which is exactly Eq. 4 rearranged; we implement that
+// consistent form, so MaxAffordableRate(MaxOutDegree(λ,..), ..) >= λ holds.
+//
+// The result is at least 1: a source must always be able to forward to one
+// cascading instance, even if the queue model says the stream is already
+// unaffordable (the controller will then be shedding via backpressure).
+func MaxOutDegree(lambda, te, Q float64) int {
+	if lambda <= 0 || te <= 0 || Q <= 0 {
+		panic(fmt.Sprintf("queueing: invalid MaxOutDegree(λ=%g, te=%g, Q=%g)", lambda, te, Q))
+	}
+	d := qFactor(Q) / (lambda * te)
+	if d < 1 {
+		return 1
+	}
+	if d >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(d)
+}
+
+// MaxAffordableRate returns M = (Q+1-sqrt(Q²+1)) / (d0·te), the largest
+// input rate for which E(L) <= Q with out-degree d0 (Eq. 5, Theorem 1).
+func MaxAffordableRate(d0 int, te, Q float64) float64 {
+	if d0 < 1 || te <= 0 || Q <= 0 {
+		panic(fmt.Sprintf("queueing: invalid MaxAffordableRate(d0=%d, te=%g, Q=%g)", d0, te, Q))
+	}
+	return qFactor(Q) / (float64(d0) * te)
+}
+
+// BinomialSourceDegree returns ceil(log2(n+1)), the out-degree of the source
+// in an unrestricted binomial multicast tree over n destinations (§3.2.2).
+func BinomialSourceDegree(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n + 1))))
+}
+
+// SourceDegree returns the out-degree the source ends up with in a
+// non-blocking multicast tree: min{d*, ceil(log2(n+1))} (§3.2.2).
+func SourceDegree(n, dstar int) int {
+	b := BinomialSourceDegree(n)
+	if dstar < b {
+		return dstar
+	}
+	return b
+}
+
+// Capability returns the cumulative multicast capability sequence
+// L(1..tmax) for a non-blocking tree with n destinations and out-degree cap
+// dstar, following Theorem 2:
+//
+//	L(t) = 2·L(t-1)                    t <= d*   (binomial growth, Eq. 6)
+//	L(t) = 2·L(t-1) - L(t-d*-1)        t >  d*   (capped growth, Eq. 7)
+//
+// with L(0) = 1 (only the source holds the tuple). Values are clamped at
+// n+1 (source plus all destinations); the sequence stops early once every
+// destination is covered.
+func Capability(n, dstar, tmax int) []int64 {
+	if n < 0 || dstar < 1 || tmax < 0 {
+		panic(fmt.Sprintf("queueing: invalid Capability(n=%d, d*=%d, tmax=%d)", n, dstar, tmax))
+	}
+	full := int64(n) + 1
+	l := make([]int64, tmax+1)
+	l[0] = 1
+	for t := 1; t <= tmax; t++ {
+		var v int64
+		if t <= dstar {
+			v = 2 * l[t-1]
+		} else {
+			v = 2*l[t-1] - l[t-dstar-1]
+		}
+		if v > full {
+			v = full
+		}
+		l[t] = v
+		if v == full {
+			return l[:t+1]
+		}
+	}
+	return l
+}
+
+// CompletionTime returns the number of time units a non-blocking tree with
+// out-degree cap dstar needs until all n destinations hold the tuple.
+func CompletionTime(n, dstar int) int {
+	if n == 0 {
+		return 0
+	}
+	// The capped recurrence grows at least linearly (one new destination per
+	// unit once saturated), so n+1 units always suffice... except for
+	// dstar=1 chains, which also finish in exactly n units.
+	l := Capability(n, dstar, n+1)
+	return len(l) - 1
+}
+
+// SafeSwitchDelay returns the largest dynamic-switching delay that avoids
+// tuple loss during a negative scale-down (Theorem 4):
+//
+//	T_switch < (Q - q(t*)) / v_in(t*)
+//
+// where q is the queue length when the switch triggers and vin the input
+// rate. It returns 0 if the queue is already at or beyond capacity.
+func SafeSwitchDelay(Q, q, vin float64) float64 {
+	if vin <= 0 {
+		return math.Inf(1)
+	}
+	if q >= Q {
+		return 0
+	}
+	return (Q - q) / vin
+}
+
+// MinTuplesForScaleUp returns the minimum number of multicast tuples X for
+// which an active scale-up pays off (Theorem 5):
+//
+//	X > γ·γ'·T_switch / (γ - γ')
+//
+// where γ' and γ are the multicast rates before and after the switch. It
+// returns +Inf when the switch does not increase the rate (γ <= γ').
+func MinTuplesForScaleUp(gammaAfter, gammaBefore, tswitch float64) float64 {
+	if gammaAfter <= gammaBefore {
+		return math.Inf(1)
+	}
+	return gammaAfter * gammaBefore * tswitch / (gammaAfter - gammaBefore)
+}

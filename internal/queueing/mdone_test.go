@@ -1,0 +1,261 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessingRate(t *testing.T) {
+	// One replica at 1ms each: 1000 tuples/s.
+	if got := ProcessingRate(1, 0.001); got != 1000 {
+		t.Fatalf("ProcessingRate(1, 1ms) = %g", got)
+	}
+	// Doubling the out-degree halves the rate.
+	if got := ProcessingRate(2, 0.001); got != 500 {
+		t.Fatalf("ProcessingRate(2, 1ms) = %g", got)
+	}
+}
+
+func TestProcessingRateWOC(t *testing.T) {
+	// Serialization dominates: with ts=100µs, td=2µs and d=30 workers the
+	// worker-oriented rate is 1/(30*2µs + 100µs) = 6250 tuples/s, far above
+	// the instance-oriented rate at the same fan-out.
+	woc := ProcessingRateWOC(30, 2e-6, 100e-6)
+	inst := ProcessingRate(30, 102e-6)
+	if woc <= inst {
+		t.Fatalf("WOC rate %g not better than instance-oriented %g", woc, inst)
+	}
+	if math.Abs(woc-6250) > 1 {
+		t.Fatalf("woc = %g, want ~6250", woc)
+	}
+}
+
+func TestMeanQueueLength(t *testing.T) {
+	// Light load: E(L) ~ λ/μ.
+	el := MeanQueueLength(1, 1000)
+	if el < 0.001 || el > 0.0011 {
+		t.Fatalf("E(L) at ρ=0.001: %g", el)
+	}
+	// Unstable: infinite.
+	if !math.IsInf(MeanQueueLength(1000, 1000), 1) {
+		t.Fatal("E(L) at λ=μ should be +Inf")
+	}
+	if !math.IsInf(MeanQueueLength(2000, 1000), 1) {
+		t.Fatal("E(L) at λ>μ should be +Inf")
+	}
+	// Monotone in λ.
+	prev := 0.0
+	for _, lam := range []float64{100, 300, 500, 700, 900, 990} {
+		el := MeanQueueLength(lam, 1000)
+		if el <= prev {
+			t.Fatalf("E(L) not increasing at λ=%g: %g <= %g", lam, el, prev)
+		}
+		prev = el
+	}
+}
+
+func TestMaxOutDegreeConsistentWithMaxAffordableRate(t *testing.T) {
+	// d* from Eq. 3 must be the largest degree whose affordable rate (Eq. 5)
+	// still covers λ.
+	const te, Q = 50e-6, 100.0
+	for _, lambda := range []float64{100, 1000, 5000, 20000, 100000} {
+		d := MaxOutDegree(lambda, te, Q)
+		if MaxAffordableRate(1, te, Q) < lambda {
+			// Unaffordable even at out-degree 1: d* clamps to the floor.
+			if d != 1 {
+				t.Fatalf("λ=%g unaffordable: d*=%d, want clamp to 1", lambda, d)
+			}
+			continue
+		}
+		if M := MaxAffordableRate(d, te, Q); M < lambda*(1-1e-9) {
+			t.Fatalf("λ=%g: d*=%d but M(d*)=%g < λ", lambda, d, M)
+		}
+		if d > 1 {
+			if M := MaxAffordableRate(d+1, te, Q); M >= lambda {
+				t.Fatalf("λ=%g: d*=%d not maximal, M(d*+1)=%g >= λ", lambda, d, M)
+			}
+		}
+	}
+}
+
+func TestMaxOutDegreeFloor(t *testing.T) {
+	// Even an unaffordable stream yields d* = 1, never 0.
+	if d := MaxOutDegree(1e9, 1e-3, 10); d != 1 {
+		t.Fatalf("d* = %d, want 1", d)
+	}
+}
+
+func TestTheorem1InverseProportionality(t *testing.T) {
+	// M ∝ 1/d0: M(d)·d is constant.
+	const te, Q = 20e-6, 50.0
+	base := MaxAffordableRate(1, te, Q)
+	for d := 2; d <= 64; d *= 2 {
+		m := MaxAffordableRate(d, te, Q)
+		if math.Abs(m*float64(d)-base) > 1e-6*base {
+			t.Fatalf("M(%d)·%d = %g, want %g", d, d, m*float64(d), base)
+		}
+	}
+}
+
+func TestMeanQueueLengthAtMaxAffordableRate(t *testing.T) {
+	// At λ = M the mean queue length equals Q (that is how Eq. 3 and Eq. 5
+	// are derived from E(L) <= Q).
+	const te = 10e-6
+	for _, Q := range []float64{1, 10, 100, 1000} {
+		for _, d := range []int{1, 3, 8} {
+			m := MaxAffordableRate(d, te, Q)
+			mu := ProcessingRate(d, te)
+			el := MeanQueueLength(m, mu)
+			if math.Abs(el-Q) > 1e-6*Q {
+				t.Fatalf("Q=%g d=%d: E(L) at M = %g, want %g", Q, d, el, Q)
+			}
+		}
+	}
+}
+
+func TestBinomialSourceDegree(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {15, 4}, {480, 9},
+	}
+	for _, c := range cases {
+		if got := BinomialSourceDegree(c.n); got != c.want {
+			t.Fatalf("BinomialSourceDegree(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSourceDegree(t *testing.T) {
+	if got := SourceDegree(480, 3); got != 3 {
+		t.Fatalf("SourceDegree(480, 3) = %d", got)
+	}
+	if got := SourceDegree(7, 10); got != 3 {
+		t.Fatalf("SourceDegree(7, 10) = %d", got)
+	}
+}
+
+func TestCapabilityBinomialGrowth(t *testing.T) {
+	// Unrestricted (d* >= log2(n+1)): doubles each unit (Eq. 6).
+	l := Capability(1000, 30, 20)
+	for i := 1; i < len(l); i++ {
+		want := int64(1) << i
+		if want > 1001 {
+			want = 1001
+		}
+		if l[i] != want {
+			t.Fatalf("L(%d) = %d, want %d", i, l[i], want)
+		}
+	}
+}
+
+func TestCapabilityCappedGrowth(t *testing.T) {
+	// d*=2, n=7 reproduces the paper's Fig. 6 schedule: layers complete at
+	// t=1(1 new), t=2(2), t=3(3), t=4(1) → cumulative 2,4,7,8.
+	l := Capability(7, 2, 10)
+	want := []int64{1, 2, 4, 7, 8}
+	if len(l) != len(want) {
+		t.Fatalf("sequence %v, want %v", l, want)
+	}
+	for i := range want {
+		if l[i] != want[i] {
+			t.Fatalf("L = %v, want %v", l, want)
+		}
+	}
+}
+
+func TestTheorem2Monotonicity(t *testing.T) {
+	// Larger d* (up to the binomial bound) never covers fewer destinations
+	// at any time t.
+	const n = 480
+	for d1 := 1; d1 < 9; d1++ {
+		l1 := Capability(n, d1, 600)
+		l2 := Capability(n, d1+1, 600)
+		for i := 0; i < len(l1) && i < len(l2); i++ {
+			if l2[i] < l1[i] {
+				t.Fatalf("L_{d*=%d}(%d)=%d < L_{d*=%d}(%d)=%d", d1+1, i, l2[i], d1, i, l1[i])
+			}
+		}
+		if len(l2) > len(l1) {
+			t.Fatalf("higher d* (%d) finished later (%d) than d*=%d (%d)", d1+1, len(l2)-1, d1, len(l1)-1)
+		}
+	}
+}
+
+func TestCompletionTime(t *testing.T) {
+	if got := CompletionTime(7, 2); got != 4 {
+		t.Fatalf("CompletionTime(7,2) = %d, want 4 (paper Fig. 6)", got)
+	}
+	if got := CompletionTime(7, 3); got != 3 {
+		t.Fatalf("CompletionTime(7,3) = %d, want 3 (pure binomial)", got)
+	}
+	// A chain (d*=1) needs n units.
+	if got := CompletionTime(5, 1); got != 5 {
+		t.Fatalf("CompletionTime(5,1) = %d, want 5", got)
+	}
+	if got := CompletionTime(0, 3); got != 0 {
+		t.Fatalf("CompletionTime(0,3) = %d, want 0", got)
+	}
+}
+
+func TestQuickCompletionCoversAll(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r.Seed(seed)
+		n := 1 + r.Intn(2000)
+		dstar := 1 + r.Intn(12)
+		l := Capability(n, dstar, n+1)
+		return l[len(l)-1] == int64(n)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSafeSwitchDelay(t *testing.T) {
+	// Q=1000, q=400, vin=30000/s: 600/30000 = 20ms.
+	if got := SafeSwitchDelay(1000, 400, 30000); math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("SafeSwitchDelay = %g, want 0.02", got)
+	}
+	if got := SafeSwitchDelay(1000, 1000, 30000); got != 0 {
+		t.Fatalf("full queue: %g, want 0", got)
+	}
+	if !math.IsInf(SafeSwitchDelay(1000, 0, 0), 1) {
+		t.Fatal("zero input rate: want +Inf")
+	}
+}
+
+func TestMinTuplesForScaleUp(t *testing.T) {
+	// γ'=1000, γ=2000, T=0.1s: X > 2000*1000*0.1/1000 = 200 tuples.
+	if got := MinTuplesForScaleUp(2000, 1000, 0.1); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("MinTuplesForScaleUp = %g, want 200", got)
+	}
+	if !math.IsInf(MinTuplesForScaleUp(1000, 1000, 0.1), 1) {
+		t.Fatal("no rate gain: want +Inf")
+	}
+}
+
+func TestPanicsOnInvalidInput(t *testing.T) {
+	cases := []func(){
+		func() { ProcessingRate(0, 1) },
+		func() { ProcessingRate(1, 0) },
+		func() { ProcessingRateWOC(1, -1, 1) },
+		func() { ProcessingRateWOC(1, 1, 0) },
+		func() { MeanQueueLength(-1, 1) },
+		func() { MeanQueueLength(1, 0) },
+		func() { MaxOutDegree(0, 1, 1) },
+		func() { MaxAffordableRate(0, 1, 1) },
+		func() { Capability(-1, 1, 1) },
+		func() { Capability(1, 0, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

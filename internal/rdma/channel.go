@@ -1,0 +1,566 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// rnrWait bounds internal completion waits.
+const rnrWait = 10 * time.Second
+
+// Mode selects the verbs used for a channel's data path. The paper (§4,
+// Figs. 29-32) finds one-sided READ best for the multicast data path and
+// uses two-sided SEND/RECV for control messages; all three are implemented
+// so the Whale_DiffVerbs experiments can compare them.
+type Mode int
+
+const (
+	// ModeOneSidedRead: the sender appends to its own ring region; the
+	// receiver pulls with one-sided READ and pushes tail feedback with
+	// one-sided WRITE. The sender's CPU never touches the transfer.
+	ModeOneSidedRead Mode = iota
+	// ModeTwoSided: classic SEND/RECV with pre-posted receive buffers.
+	ModeTwoSided
+	// ModeOneSidedWrite: the sender pushes into the receiver's ring region
+	// with one-sided WRITE; the receiver consumes locally.
+	ModeOneSidedWrite
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOneSidedRead:
+		return "one-sided-read"
+	case ModeTwoSided:
+		return "two-sided"
+	case ModeOneSidedWrite:
+		return "one-sided-write"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ChannelConfig parameterises a Channel.
+type ChannelConfig struct {
+	// Mode selects the data-path verbs (default one-sided READ).
+	Mode Mode
+	// MMS is the Max Memory Size: a flush is triggered once the pending
+	// batch reaches this size (paper §4; default 256 KiB, the paper's
+	// chosen operating point from Fig. 11).
+	MMS int
+	// WTL is the Wait Time Limit: the oldest pending message waits at most
+	// this long before the batch is flushed anyway (default 1 ms, the
+	// paper's choice from Fig. 12).
+	WTL time.Duration
+	// RingSize is the ring region size (default 4 MiB).
+	RingSize int
+	// QPDepth bounds in-flight work requests (default 128).
+	QPDepth int
+	// PollInterval is the receiver's idle poll period (default 20 µs).
+	PollInterval time.Duration
+	// BlockTimeout bounds how long Send blocks on a full ring before
+	// failing (default 10 s).
+	BlockTimeout time.Duration
+}
+
+func (c ChannelConfig) withDefaults() ChannelConfig {
+	if c.MMS <= 0 {
+		c.MMS = 256 << 10
+	}
+	if c.WTL <= 0 {
+		c.WTL = time.Millisecond
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 4 << 20
+	}
+	if c.QPDepth <= 0 {
+		c.QPDepth = 128
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 20 * time.Microsecond
+	}
+	if c.BlockTimeout <= 0 {
+		c.BlockTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// ChannelStats counts a channel's activity (all fields atomic).
+type ChannelStats struct {
+	MsgsSent     atomic.Int64
+	BytesSent    atomic.Int64
+	WorkRequests atomic.Int64 // flushes that became ring appends / sends / writes
+	SizeFlushes  atomic.Int64 // flushes triggered by MMS
+	TimerFlushes atomic.Int64 // flushes triggered by WTL
+	MsgsRecv     atomic.Int64
+	BytesRecv    atomic.Int64
+	BlockedNS    atomic.Int64 // time Send spent blocked on a full ring
+}
+
+// StatsSnapshot is a point-in-time copy of ChannelStats.
+type StatsSnapshot struct {
+	MsgsSent, BytesSent, WorkRequests int64
+	SizeFlushes, TimerFlushes         int64
+	MsgsRecv, BytesRecv, BlockedNS    int64
+}
+
+// Channel is a unidirectional, reliable, ordered message channel between
+// two devices, with Whale's stream slicing (MMS) and wait-time-limit (WTL)
+// batching. The dialing side sends; the accepting side receives.
+type Channel struct {
+	cfg    ChannelConfig
+	local  string
+	remote string
+	stats  ChannelStats
+
+	// Sender state.
+	mu         sync.Mutex
+	pending    []byte
+	batchOpen  time.Time
+	timer      *time.Timer
+	sendErr    error
+	closed     bool
+	ring       *Ring // one-sided-read: local; one-sided-write: nil
+	sqp        *QP   // sender QP (two-sided and one-sided-write)
+	scq        *CQ
+	inflight   chan struct{} // two-sided flow control
+	remoteRing remoteWriterState
+
+	// Receiver state.
+	handler   atomic.Pointer[func(msg []byte)]
+	rqp       *QP
+	rcq       *CQ // receiver-owned CQ (send CQ for READ mode, recv CQ for two-sided)
+	rring     *RemoteRing
+	localRing *Ring // one-sided-write mode: receiver-owned ring
+	slots     *MR   // two-sided receive slots
+	slotSize  int
+	nslots    int
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// remoteWriterState is the sender-side bookkeeping for one-sided-write
+// mode: a cursor into the receiver's ring region.
+type remoteWriterState struct {
+	rkey     uint32
+	dataSize int
+	head     uint64
+	tail     uint64 // cached; refreshed via one-sided READ when full
+	stage    *MR    // 8-byte staging buffer for tail reads
+}
+
+// Stats returns a snapshot of the channel's counters.
+func (c *Channel) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		MsgsSent:     c.stats.MsgsSent.Load(),
+		BytesSent:    c.stats.BytesSent.Load(),
+		WorkRequests: c.stats.WorkRequests.Load(),
+		SizeFlushes:  c.stats.SizeFlushes.Load(),
+		TimerFlushes: c.stats.TimerFlushes.Load(),
+		MsgsRecv:     c.stats.MsgsRecv.Load(),
+		BytesRecv:    c.stats.BytesRecv.Load(),
+		BlockedNS:    c.stats.BlockedNS.Load(),
+	}
+}
+
+// SetHandler installs the receive callback. It must be set (by the accept
+// hook) before the sender starts sending; messages arriving with no handler
+// are dropped.
+func (c *Channel) SetHandler(fn func(msg []byte)) { c.handler.Store(&fn) }
+
+func (c *Channel) deliver(msg []byte) {
+	c.stats.MsgsRecv.Add(1)
+	c.stats.BytesRecv.Add(int64(len(msg)))
+	if fn := c.handler.Load(); fn != nil {
+		(*fn)(msg)
+	}
+}
+
+// Send enqueues one message. The message is copied into the pending batch;
+// the batch is flushed when it reaches MMS or when the WTL timer fires.
+// Send blocks only when the ring (or send queue) is full — backpressure.
+func (c *Channel) Send(msg []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("rdma: channel %s->%s closed", c.local, c.remote)
+	}
+	if c.sendErr != nil {
+		return c.sendErr
+	}
+	if len(c.pending) == 0 {
+		c.batchOpen = time.Now()
+		c.armTimer()
+	}
+	var lb [4]byte
+	binary.LittleEndian.PutUint32(lb[:], uint32(len(msg)))
+	c.pending = append(c.pending, lb[:]...)
+	c.pending = append(c.pending, msg...)
+	c.stats.MsgsSent.Add(1)
+	c.stats.BytesSent.Add(int64(len(msg)))
+	if len(c.pending) >= c.cfg.MMS {
+		c.stats.SizeFlushes.Add(1)
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// Flush forces the pending batch out.
+func (c *Channel) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pending) == 0 {
+		return c.sendErr
+	}
+	return c.flushLocked()
+}
+
+func (c *Channel) armTimer() {
+	if c.timer != nil {
+		c.timer.Reset(c.cfg.WTL)
+		return
+	}
+	c.timer = time.AfterFunc(c.cfg.WTL, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.closed || len(c.pending) == 0 {
+			return
+		}
+		c.stats.TimerFlushes.Add(1)
+		if err := c.flushLocked(); err != nil && c.sendErr == nil {
+			c.sendErr = err
+		}
+	})
+}
+
+// flushLocked ships the pending batch as one work request. Callers hold mu.
+func (c *Channel) flushLocked() error {
+	batch := c.pending
+	c.pending = nil
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	c.stats.WorkRequests.Add(1)
+	var err error
+	switch c.cfg.Mode {
+	case ModeOneSidedRead:
+		err = c.flushRing(batch)
+	case ModeTwoSided:
+		err = c.flushTwoSided(batch)
+	case ModeOneSidedWrite:
+		err = c.flushRemoteWrite(batch)
+	}
+	if err != nil && c.sendErr == nil {
+		c.sendErr = err
+	}
+	return err
+}
+
+// flushRing appends the batch to the local ring, blocking (bounded) on a
+// full ring.
+func (c *Channel) flushRing(batch []byte) error {
+	deadline := time.Now().Add(c.cfg.BlockTimeout)
+	for {
+		err := c.ring.Append(batch)
+		if err == nil {
+			return nil
+		}
+		if err != ErrRingFull {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("rdma: channel %s->%s blocked on full ring for %v", c.local, c.remote, c.cfg.BlockTimeout)
+		}
+		t0 := time.Now()
+		time.Sleep(c.cfg.PollInterval)
+		c.stats.BlockedNS.Add(time.Since(t0).Nanoseconds())
+	}
+}
+
+// flushTwoSided posts the batch as one SEND, bounded by the in-flight
+// window; completions are reaped by the sender's reaper goroutine.
+func (c *Channel) flushTwoSided(batch []byte) error {
+	deadline := time.Now().Add(c.cfg.BlockTimeout)
+	for {
+		select {
+		case c.inflight <- struct{}{}:
+		case <-time.After(time.Until(deadline)):
+			return fmt.Errorf("rdma: channel %s->%s send window exhausted", c.local, c.remote)
+		}
+		err := c.sqp.PostSend(WR{Op: OpSend, Inline: batch})
+		if err == nil {
+			return nil
+		}
+		<-c.inflight
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(c.cfg.PollInterval)
+	}
+}
+
+// flushRemoteWrite pushes the batch into the receiver's ring with one-sided
+// WRITEs: data, then the head counter.
+func (c *Channel) flushRemoteWrite(batch []byte) error {
+	st := &c.remoteRing
+	need := 4 + len(batch)
+	if need > st.dataSize {
+		return fmt.Errorf("rdma: batch of %d bytes exceeds remote ring size %d", len(batch), st.dataSize)
+	}
+	deadline := time.Now().Add(c.cfg.BlockTimeout)
+	for st.dataSize-int(st.head-st.tail) < need {
+		// Refresh the cached tail with a one-sided READ.
+		if err := c.syncOp(WR{Op: OpRead, Local: SGE{MR: st.stage, Offset: 0, Length: 8},
+			Remote: RemoteAddr{RKey: st.rkey, Offset: ringTailOff}}); err != nil {
+			return err
+		}
+		var tb [8]byte
+		if err := st.stage.ReadAt(tb[:], 0); err != nil {
+			return err
+		}
+		st.tail = binary.LittleEndian.Uint64(tb[:])
+		if st.dataSize-int(st.head-st.tail) >= need {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("rdma: remote ring full for %v", c.cfg.BlockTimeout)
+		}
+		t0 := time.Now()
+		time.Sleep(c.cfg.PollInterval)
+		c.stats.BlockedNS.Add(time.Since(t0).Nanoseconds())
+	}
+	frame := make([]byte, need)
+	binary.LittleEndian.PutUint32(frame, uint32(len(batch)))
+	copy(frame[4:], batch)
+	// Pipeline the data WRITE(s) and the head publish: RC executes work
+	// requests in order, so the head can never be visible before the data.
+	// Only the final completion is awaited.
+	var wrs []WR
+	off := int(st.head % uint64(st.dataSize))
+	if off+need <= st.dataSize {
+		wrs = append(wrs, WR{Op: OpWrite, Inline: frame,
+			Remote: RemoteAddr{RKey: st.rkey, Offset: ringDataOff + off}})
+	} else {
+		first := st.dataSize - off
+		wrs = append(wrs,
+			WR{Op: OpWrite, Inline: frame[:first],
+				Remote: RemoteAddr{RKey: st.rkey, Offset: ringDataOff + off}},
+			WR{Op: OpWrite, Inline: frame[first:],
+				Remote: RemoteAddr{RKey: st.rkey, Offset: ringDataOff}})
+	}
+	st.head += uint64(need)
+	var hb [8]byte
+	binary.LittleEndian.PutUint64(hb[:], st.head)
+	wrs = append(wrs, WR{Op: OpWrite, Inline: hb[:],
+		Remote: RemoteAddr{RKey: st.rkey, Offset: ringHeadOff}})
+	return c.pipelineOps(wrs)
+}
+
+// pipelineOps posts a sequence of work requests back to back and reaps all
+// their completions, failing on the first error.
+func (c *Channel) pipelineOps(wrs []WR) error {
+	posted := 0
+	for _, wr := range wrs {
+		if err := c.sqp.PostSend(wr); err != nil {
+			// Reap what was posted before reporting.
+			for i := 0; i < posted; i++ {
+				c.scq.Wait(rnrWait)
+			}
+			return err
+		}
+		posted++
+	}
+	var firstErr error
+	for i := 0; i < posted; i++ {
+		wc, ok := c.scq.Wait(rnrWait)
+		if !ok && firstErr == nil {
+			firstErr = fmt.Errorf("rdma: WRITE completion timed out")
+			continue
+		}
+		if ok && wc.Status != StatusOK && firstErr == nil {
+			firstErr = fmt.Errorf("rdma: WRITE failed: %v (%v)", wc.Status, wc.Err)
+		}
+	}
+	return firstErr
+}
+
+// syncOp posts one work request on the sender QP and waits for completion.
+func (c *Channel) syncOp(wr WR) error {
+	if err := c.sqp.PostSend(wr); err != nil {
+		return err
+	}
+	wc, ok := c.scq.Wait(rnrWait)
+	if !ok {
+		return fmt.Errorf("rdma: %v completion timed out", wr.Op)
+	}
+	if wc.Status != StatusOK {
+		return fmt.Errorf("rdma: %v failed: %v (%v)", wr.Op, wc.Status, wc.Err)
+	}
+	return nil
+}
+
+// Close flushes pending data and stops the channel's goroutines.
+func (c *Channel) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		if len(c.pending) > 0 {
+			err = c.flushLocked()
+		}
+		c.closed = true
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+		c.mu.Unlock()
+		// Let the receiver drain what was just flushed.
+		time.Sleep(2 * c.cfg.PollInterval)
+		close(c.done)
+		c.wg.Wait()
+		if c.sqp != nil {
+			c.sqp.Close()
+		}
+		if c.rqp != nil {
+			c.rqp.Close()
+		}
+	})
+	return err
+}
+
+// parseBatch splits a batch into messages and delivers each.
+func (c *Channel) parseBatch(batch []byte) error {
+	off := 0
+	for off < len(batch) {
+		if off+4 > len(batch) {
+			return fmt.Errorf("rdma: truncated batch header")
+		}
+		n := int(binary.LittleEndian.Uint32(batch[off:]))
+		off += 4
+		if off+n > len(batch) {
+			return fmt.Errorf("rdma: truncated batch payload (%d > %d)", n, len(batch)-off)
+		}
+		msg := make([]byte, n)
+		copy(msg, batch[off:off+n])
+		off += n
+		c.deliver(msg)
+	}
+	return nil
+}
+
+// recvLoopRead is the receiver goroutine for one-sided READ mode.
+func (c *Channel) recvLoopRead() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		var parseErr error
+		n, err := c.rring.Poll(c.rcq, func(frame []byte) {
+			if e := c.parseBatch(frame); e != nil && parseErr == nil {
+				parseErr = e
+			}
+		})
+		if err == nil {
+			err = parseErr
+		}
+		if err != nil {
+			select {
+			case <-c.done:
+				return
+			default:
+				// Transport-level failure: nothing to deliver to; stop.
+				return
+			}
+		}
+		if n == 0 {
+			time.Sleep(c.cfg.PollInterval)
+		}
+	}
+}
+
+// recvLoopTwoSided reaps receive completions and reposts slots.
+func (c *Channel) recvLoopTwoSided() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		wc, ok := c.rcq.Wait(50 * time.Millisecond)
+		if !ok {
+			continue
+		}
+		if wc.Status != StatusOK {
+			continue // flush on teardown
+		}
+		slot := int(wc.WRID)
+		buf := make([]byte, wc.Bytes)
+		if err := c.slots.ReadAt(buf, slot*c.slotSize); err != nil {
+			return
+		}
+		// Repost the slot before parsing so the window never starves.
+		if err := c.rqp.PostRecv(WR{WRID: uint64(slot), Op: OpRecv,
+			Local: SGE{MR: c.slots, Offset: slot * c.slotSize, Length: c.slotSize}}); err != nil {
+			return
+		}
+		if err := c.parseBatch(buf); err != nil {
+			return
+		}
+	}
+}
+
+// recvLoopLocalRing consumes the receiver-owned ring (one-sided WRITE mode).
+func (c *Channel) recvLoopLocalRing() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		var parseErr error
+		n, err := c.localRing.LocalConsume(func(frame []byte) {
+			if e := c.parseBatch(frame); e != nil && parseErr == nil {
+				parseErr = e
+			}
+		})
+		if err == nil {
+			err = parseErr
+		}
+		if err != nil {
+			return
+		}
+		if n == 0 {
+			time.Sleep(c.cfg.PollInterval)
+		}
+	}
+}
+
+// senderReaper drains the sender's CQ in two-sided mode, releasing the
+// in-flight window and latching errors.
+func (c *Channel) senderReaper() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		wc, ok := c.scq.Wait(50 * time.Millisecond)
+		if !ok {
+			continue
+		}
+		<-c.inflight
+		if wc.Status != StatusOK && wc.Status != StatusFlush {
+			c.mu.Lock()
+			if c.sendErr == nil {
+				c.sendErr = fmt.Errorf("rdma: send failed: %v (%v)", wc.Status, wc.Err)
+			}
+			c.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Endpoint is the connection manager for one device: it accepts and dials
+// channels, performing the queue-pair and rkey exchange that a real
+// deployment would do over a TCP side channel.
+type Endpoint struct {
+	fabric *Fabric
+	dev    *Device
+	pd     *PD
+	cfg    ChannelConfig
+
+	mu       sync.Mutex
+	acceptFn func(remote string, ch *Channel)
+	channels []*Channel
+	closed   bool
+}
+
+// endpoint registry lives on the fabric.
+var endpointRegistry sync.Map // map[*Fabric]map[string]*Endpoint
+
+func registerEndpoint(f *Fabric, name string, e *Endpoint) error {
+	v, _ := endpointRegistry.LoadOrStore(f, &sync.Map{})
+	m := v.(*sync.Map)
+	if _, dup := m.LoadOrStore(name, e); dup {
+		return fmt.Errorf("rdma: endpoint %q already registered", name)
+	}
+	return nil
+}
+
+func lookupEndpoint(f *Fabric, name string) (*Endpoint, bool) {
+	v, ok := endpointRegistry.Load(f)
+	if !ok {
+		return nil, false
+	}
+	e, ok := v.(*sync.Map).Load(name)
+	if !ok {
+		return nil, false
+	}
+	return e.(*Endpoint), true
+}
+
+// NewEndpoint creates a device named name on the fabric and an endpoint
+// managing channels for it.
+func NewEndpoint(f *Fabric, name string, cfg ChannelConfig) (*Endpoint, error) {
+	dev, err := f.NewDevice(name)
+	if err != nil {
+		return nil, err
+	}
+	e := &Endpoint{fabric: f, dev: dev, pd: dev.AllocPD(), cfg: cfg.withDefaults()}
+	if err := registerEndpoint(f, name, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Name returns the endpoint's device name.
+func (e *Endpoint) Name() string { return e.dev.name }
+
+// Device returns the endpoint's device (for direct verbs use in tests and
+// microbenchmarks).
+func (e *Endpoint) Device() *Device { return e.dev }
+
+// OnAccept installs the hook invoked (synchronously, before any data flows)
+// for every inbound channel. The hook must call SetHandler on the channel.
+func (e *Endpoint) OnAccept(fn func(remote string, ch *Channel)) {
+	e.mu.Lock()
+	e.acceptFn = fn
+	e.mu.Unlock()
+}
+
+// Dial establishes a unidirectional channel to the named remote endpoint
+// using the endpoint's configured mode, returning the send side. The remote
+// endpoint's accept hook receives the receive side.
+func (e *Endpoint) Dial(remote string) (*Channel, error) {
+	re, ok := lookupEndpoint(e.fabric, remote)
+	if !ok {
+		return nil, fmt.Errorf("rdma: no endpoint %q on fabric", remote)
+	}
+	re.mu.Lock()
+	acceptFn := re.acceptFn
+	re.mu.Unlock()
+	if acceptFn == nil {
+		return nil, fmt.Errorf("rdma: endpoint %q is not accepting", remote)
+	}
+
+	cfg := e.cfg
+	send := &Channel{cfg: cfg, local: e.Name(), remote: remote, done: make(chan struct{})}
+	recv := &Channel{cfg: cfg, local: remote, remote: e.Name(), done: make(chan struct{})}
+
+	switch cfg.Mode {
+	case ModeOneSidedRead:
+		// Sender owns the ring; the receiver's QP drives READ/WRITE.
+		ringMR, err := RegisterMemory(e.pd, cfg.RingSize, AccessRemoteRead|AccessRemoteWrite)
+		if err != nil {
+			return nil, err
+		}
+		ring, err := NewRing(ringMR)
+		if err != nil {
+			return nil, err
+		}
+		send.ring = ring
+		stage, err := RegisterMemory(re.pd, cfg.RingSize, AccessLocalWrite)
+		if err != nil {
+			return nil, err
+		}
+		rcq := NewCQ(cfg.QPDepth)
+		rqp := CreateQP(re.pd, rcq, NewCQ(1), QPCap{SendDepth: cfg.QPDepth})
+		sqp := CreateQP(e.pd, NewCQ(1), NewCQ(1), QPCap{})
+		if err := ConnectPair(sqp, rqp); err != nil {
+			return nil, err
+		}
+		send.sqp = sqp
+		rr, err := NewRemoteRing(rqp, stage, ringMR.RKey(), ring.DataSize())
+		if err != nil {
+			return nil, err
+		}
+		recv.rqp, recv.rcq, recv.rring = rqp, rcq, rr
+		acceptFn(e.Name(), recv)
+		recv.wg.Add(1)
+		go recv.recvLoopRead()
+
+	case ModeTwoSided:
+		scq := NewCQ(cfg.QPDepth)
+		sqp := CreateQP(e.pd, scq, NewCQ(1), QPCap{SendDepth: cfg.QPDepth})
+		rcq := NewCQ(cfg.QPDepth)
+		// Receive slots sized for a full batch: MMS plus one max message
+		// overshoot margin.
+		slotSize := cfg.MMS * 2
+		nslots := cfg.QPDepth
+		slots, err := RegisterMemory(re.pd, slotSize*nslots, AccessLocalWrite)
+		if err != nil {
+			return nil, err
+		}
+		rqp := CreateQP(re.pd, NewCQ(1), rcq, QPCap{RecvDepth: nslots})
+		if err := ConnectPair(sqp, rqp); err != nil {
+			return nil, err
+		}
+		for i := 0; i < nslots; i++ {
+			if err := rqp.PostRecv(WR{WRID: uint64(i), Op: OpRecv,
+				Local: SGE{MR: slots, Offset: i * slotSize, Length: slotSize}}); err != nil {
+				return nil, err
+			}
+		}
+		send.sqp, send.scq = sqp, scq
+		send.inflight = make(chan struct{}, cfg.QPDepth)
+		recv.rqp, recv.rcq = rqp, rcq
+		recv.slots, recv.slotSize, recv.nslots = slots, slotSize, nslots
+		acceptFn(e.Name(), recv)
+		send.wg.Add(1)
+		go send.senderReaper()
+		recv.wg.Add(1)
+		go recv.recvLoopTwoSided()
+
+	case ModeOneSidedWrite:
+		// Receiver owns the ring; the sender's QP drives WRITE/READ.
+		ringMR, err := RegisterMemory(re.pd, cfg.RingSize, AccessRemoteRead|AccessRemoteWrite)
+		if err != nil {
+			return nil, err
+		}
+		ring, err := NewRing(ringMR)
+		if err != nil {
+			return nil, err
+		}
+		stage, err := RegisterMemory(e.pd, 8, AccessLocalWrite)
+		if err != nil {
+			return nil, err
+		}
+		scq := NewCQ(cfg.QPDepth)
+		sqp := CreateQP(e.pd, scq, NewCQ(1), QPCap{SendDepth: cfg.QPDepth})
+		rqp := CreateQP(re.pd, NewCQ(1), NewCQ(1), QPCap{})
+		if err := ConnectPair(sqp, rqp); err != nil {
+			return nil, err
+		}
+		send.sqp, send.scq = sqp, scq
+		send.remoteRing = remoteWriterState{
+			rkey: ringMR.RKey(), dataSize: ring.DataSize(), stage: stage,
+		}
+		recv.rqp = rqp
+		recv.localRing = ring
+		acceptFn(e.Name(), recv)
+		recv.wg.Add(1)
+		go recv.recvLoopLocalRing()
+
+	default:
+		return nil, fmt.Errorf("rdma: unknown channel mode %v", cfg.Mode)
+	}
+
+	e.mu.Lock()
+	e.channels = append(e.channels, send)
+	e.mu.Unlock()
+	re.mu.Lock()
+	re.channels = append(re.channels, recv)
+	re.mu.Unlock()
+	return send, nil
+}
+
+// Close closes every channel the endpoint dialed or accepted.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	chans := e.channels
+	e.channels = nil
+	e.closed = true
+	e.mu.Unlock()
+	for _, c := range chans {
+		c.Close()
+	}
+}

@@ -1,0 +1,116 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Access flags for memory registration.
+type Access uint32
+
+const (
+	// AccessLocalWrite permits local writes (always implied for recv).
+	AccessLocalWrite Access = 1 << iota
+	// AccessRemoteRead permits remote one-sided READ.
+	AccessRemoteRead
+	// AccessRemoteWrite permits remote one-sided WRITE.
+	AccessRemoteWrite
+)
+
+// MR is a registered memory region. Because this is an in-process emulation
+// and Go forbids racy slice access, all access to the region's bytes goes
+// through ReadAt/WriteAt, which lock the region. This serialises "DMA" with
+// application access — a stricter memory model than hardware, never a
+// weaker one, so protocols that are correct here are correct on hardware.
+type MR struct {
+	pd     *PD
+	lkey   uint32
+	rkey   uint32
+	access Access
+
+	mu  sync.Mutex
+	buf []byte
+}
+
+// RegisterMemory registers length bytes under the protection domain and
+// returns the MR. It corresponds to ibv_reg_mr; Whale registers one large
+// region per connection and multiplexes it as a ring (paper §4) precisely
+// to avoid calling this in the hot path.
+func RegisterMemory(pd *PD, length int, access Access) (*MR, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("rdma: RegisterMemory length %d", length)
+	}
+	d := pd.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("rdma: device %s closed", d.name)
+	}
+	d.nextKey++
+	mr := &MR{
+		pd:     pd,
+		lkey:   d.nextKey,
+		rkey:   d.nextKey,
+		access: access,
+		buf:    make([]byte, length),
+	}
+	d.mrs[mr.rkey] = mr
+	return mr, nil
+}
+
+// Deregister removes the region from the device. Outstanding operations
+// that already resolved the MR still complete.
+func (m *MR) Deregister() {
+	d := m.pd.dev
+	d.mu.Lock()
+	delete(d.mrs, m.rkey)
+	d.mu.Unlock()
+}
+
+// LKey returns the local key.
+func (m *MR) LKey() uint32 { return m.lkey }
+
+// RKey returns the remote key to hand to peers.
+func (m *MR) RKey() uint32 { return m.rkey }
+
+// Len returns the region's size in bytes.
+func (m *MR) Len() int { return len(m.buf) }
+
+// ReadAt copies from the region into p, returning an error on out-of-bounds
+// access (the emulated equivalent of a local protection fault).
+func (m *MR) ReadAt(p []byte, off int) error {
+	if off < 0 || off+len(p) > len(m.buf) {
+		return fmt.Errorf("rdma: MR read [%d,%d) out of bounds (len %d)", off, off+len(p), len(m.buf))
+	}
+	m.mu.Lock()
+	copy(p, m.buf[off:])
+	m.mu.Unlock()
+	return nil
+}
+
+// WriteAt copies p into the region at off.
+func (m *MR) WriteAt(p []byte, off int) error {
+	if off < 0 || off+len(p) > len(m.buf) {
+		return fmt.Errorf("rdma: MR write [%d,%d) out of bounds (len %d)", off, off+len(p), len(m.buf))
+	}
+	m.mu.Lock()
+	copy(m.buf[off:], p)
+	m.mu.Unlock()
+	return nil
+}
+
+// remoteRead serves a one-sided READ against this region.
+func (m *MR) remoteRead(p []byte, off int) error {
+	if m.access&AccessRemoteRead == 0 {
+		return fmt.Errorf("rdma: MR rkey %d not registered for remote read", m.rkey)
+	}
+	return m.ReadAt(p, off)
+}
+
+// remoteWrite serves a one-sided WRITE against this region.
+func (m *MR) remoteWrite(p []byte, off int) error {
+	if m.access&AccessRemoteWrite == 0 {
+		return fmt.Errorf("rdma: MR rkey %d not registered for remote write", m.rkey)
+	}
+	return m.WriteAt(p, off)
+}

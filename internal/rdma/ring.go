@@ -1,0 +1,299 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Ring layout constants: the first 16 bytes of the region are control words
+// (head and tail cumulative byte counters), the rest is the data area.
+const (
+	ringHeadOff = 0
+	ringTailOff = 8
+	ringDataOff = 16
+)
+
+// ErrRingFull is returned when a frame does not fit in the ring's free
+// space. The caller's transfer queue is expected to hold the tuple and
+// retry — this is precisely the "transfer queue blocking" condition the
+// paper's non-blocking tree is designed to avoid.
+var ErrRingFull = fmt.Errorf("rdma: ring full")
+
+// Ring is the producer-side view of Whale's ring memory region (paper §4):
+// a single registered region reused for every message, so the RNIC's memory
+// is registered once and multiplexed instead of per-message. The head
+// counter (written by the producer) and tail counter (written by the
+// consumer, possibly via one-sided WRITE from the remote side) live in the
+// first 16 bytes of the same MR so a remote peer can READ/WRITE them.
+type Ring struct {
+	mr   *MR
+	size int // data area size
+	head uint64
+	tail uint64 // producer's cached view; authoritative value is in the MR
+}
+
+// NewRing wraps an MR as a ring. The MR must be at least 64 bytes.
+func NewRing(mr *MR) (*Ring, error) {
+	if mr.Len() < 64 {
+		return nil, fmt.Errorf("rdma: MR too small for a ring (%d bytes)", mr.Len())
+	}
+	r := &Ring{mr: mr, size: mr.Len() - ringDataOff}
+	// Zero the control words.
+	var zero [16]byte
+	if err := mr.WriteAt(zero[:], 0); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// MR returns the underlying region (to export its rkey).
+func (r *Ring) MR() *MR { return r.mr }
+
+// DataSize returns the usable data-area size.
+func (r *Ring) DataSize() int { return r.size }
+
+// refreshTail re-reads the tail counter, which the consumer advances.
+func (r *Ring) refreshTail() error {
+	var b [8]byte
+	if err := r.mr.ReadAt(b[:], ringTailOff); err != nil {
+		return err
+	}
+	r.tail = binary.LittleEndian.Uint64(b[:])
+	return nil
+}
+
+// Free returns the bytes currently available for appending.
+func (r *Ring) Free() (int, error) {
+	if err := r.refreshTail(); err != nil {
+		return 0, err
+	}
+	return r.size - int(r.head-r.tail), nil
+}
+
+// Append writes one length-prefixed frame into the ring and publishes it by
+// advancing the head counter. It returns ErrRingFull when the frame does
+// not fit. Publishing after the data write means a concurrent reader never
+// observes a partial frame.
+func (r *Ring) Append(frame []byte) error {
+	need := 4 + len(frame)
+	if need > r.size {
+		return fmt.Errorf("rdma: frame of %d bytes exceeds ring data size %d", len(frame), r.size)
+	}
+	free, err := r.Free()
+	if err != nil {
+		return err
+	}
+	if need > free {
+		return ErrRingFull
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if err := r.writeWrapped(r.head, hdr[:]); err != nil {
+		return err
+	}
+	if err := r.writeWrapped(r.head+4, frame); err != nil {
+		return err
+	}
+	r.head += uint64(need)
+	var hb [8]byte
+	binary.LittleEndian.PutUint64(hb[:], r.head)
+	return r.mr.WriteAt(hb[:], ringHeadOff)
+}
+
+// writeWrapped writes p at the cumulative position pos, wrapping around the
+// data area.
+func (r *Ring) writeWrapped(pos uint64, p []byte) error {
+	off := int(pos % uint64(r.size))
+	n := len(p)
+	if off+n <= r.size {
+		return r.mr.WriteAt(p, ringDataOff+off)
+	}
+	first := r.size - off
+	if err := r.mr.WriteAt(p[:first], ringDataOff+off); err != nil {
+		return err
+	}
+	return r.mr.WriteAt(p[first:], ringDataOff)
+}
+
+// LocalConsume reads all complete frames currently published (for the
+// one-sided WRITE mode, where the consumer owns the ring and reads it with
+// plain local access), advances the tail, and invokes fn per frame.
+func (r *Ring) LocalConsume(fn func(frame []byte)) (int, error) {
+	var hb [8]byte
+	if err := r.mr.ReadAt(hb[:], ringHeadOff); err != nil {
+		return 0, err
+	}
+	head := binary.LittleEndian.Uint64(hb[:])
+	count := 0
+	for r.tail < head {
+		var lb [4]byte
+		if err := r.readWrapped(r.tail, lb[:]); err != nil {
+			return count, err
+		}
+		n := binary.LittleEndian.Uint32(lb[:])
+		frame := make([]byte, n)
+		if err := r.readWrapped(r.tail+4, frame); err != nil {
+			return count, err
+		}
+		r.tail += uint64(4 + n)
+		fn(frame)
+		count++
+	}
+	var tb [8]byte
+	binary.LittleEndian.PutUint64(tb[:], r.tail)
+	if err := r.mr.WriteAt(tb[:], ringTailOff); err != nil {
+		return count, err
+	}
+	return count, nil
+}
+
+// readWrapped reads into p from cumulative position pos.
+func (r *Ring) readWrapped(pos uint64, p []byte) error {
+	off := int(pos % uint64(r.size))
+	n := len(p)
+	if off+n <= r.size {
+		return r.mr.ReadAt(p, ringDataOff+off)
+	}
+	first := r.size - off
+	if err := r.mr.ReadAt(p[:first], ringDataOff+off); err != nil {
+		return err
+	}
+	return r.mr.ReadAt(p[first:], ringDataOff)
+}
+
+// RemoteRing is the consumer-side view of a peer's ring region, accessed
+// purely with one-sided READ (data and head) and WRITE (tail feedback), so
+// the producer's CPU is never involved in the transfer — the property the
+// paper exploits for the multicast data path.
+type RemoteRing struct {
+	qp       *QP
+	stage    *MR // local staging buffer for READ results
+	rkey     uint32
+	dataSize int
+	tail     uint64
+	wrid     uint64
+}
+
+// NewRemoteRing prepares a consumer for the remote ring behind rkey with
+// the given data-area size. stage must be a local MR at least as large as
+// the remote data area.
+func NewRemoteRing(qp *QP, stage *MR, rkey uint32, dataSize int) (*RemoteRing, error) {
+	if stage.Len() < dataSize {
+		return nil, fmt.Errorf("rdma: staging MR %d bytes < remote data area %d", stage.Len(), dataSize)
+	}
+	return &RemoteRing{qp: qp, stage: stage, rkey: rkey, dataSize: dataSize}, nil
+}
+
+// readRemote issues a one-sided READ of [off, off+n) in the remote MR into
+// the staging MR at stageOff and waits for its completion on the QP's send
+// CQ. The channel owns the CQ, so no other requests race with it.
+func (rr *RemoteRing) readRemote(stageOff, off, n int, cq *CQ) error {
+	rr.wrid++
+	err := rr.qp.PostSend(WR{
+		WRID:   rr.wrid,
+		Op:     OpRead,
+		Local:  SGE{MR: rr.stage, Offset: stageOff, Length: n},
+		Remote: RemoteAddr{RKey: rr.rkey, Offset: off},
+	})
+	if err != nil {
+		return err
+	}
+	wc, ok := cq.Wait(rnrWait)
+	if !ok {
+		return fmt.Errorf("rdma: READ completion timed out")
+	}
+	if wc.Status != StatusOK {
+		return fmt.Errorf("rdma: READ failed: %v (%v)", wc.Status, wc.Err)
+	}
+	return nil
+}
+
+// Poll fetches any newly published frames from the remote ring, invoking fn
+// for each, and writes the tail feedback back to the producer. It returns
+// the number of frames consumed. cq is the consumer-owned send CQ.
+func (rr *RemoteRing) Poll(cq *CQ, fn func(frame []byte)) (int, error) {
+	// Read the remote head counter.
+	if err := rr.readRemote(0, ringHeadOff, 8, cq); err != nil {
+		return 0, err
+	}
+	var hb [8]byte
+	if err := rr.stage.ReadAt(hb[:], 0); err != nil {
+		return 0, err
+	}
+	head := binary.LittleEndian.Uint64(hb[:])
+	if head == rr.tail {
+		return 0, nil
+	}
+	if head < rr.tail || head-rr.tail > uint64(rr.dataSize) {
+		return 0, fmt.Errorf("rdma: remote ring corrupt (head=%d tail=%d)", head, rr.tail)
+	}
+	// Read the newly published byte range (up to two segments on wrap) into
+	// the staging MR at offset 16 (mirroring the remote layout keeps offset
+	// arithmetic identical).
+	newBytes := int(head - rr.tail)
+	start := int(rr.tail % uint64(rr.dataSize))
+	if start+newBytes <= rr.dataSize {
+		if err := rr.readRemote(ringDataOff+start, ringDataOff+start, newBytes, cq); err != nil {
+			return 0, err
+		}
+	} else {
+		first := rr.dataSize - start
+		if err := rr.readRemote(ringDataOff+start, ringDataOff+start, first, cq); err != nil {
+			return 0, err
+		}
+		if err := rr.readRemote(ringDataOff, ringDataOff, newBytes-first, cq); err != nil {
+			return 0, err
+		}
+	}
+	// Parse frames out of the staged bytes.
+	count := 0
+	pos := rr.tail
+	for pos < head {
+		var lb [4]byte
+		if err := rr.stageRead(pos, lb[:]); err != nil {
+			return count, err
+		}
+		n := binary.LittleEndian.Uint32(lb[:])
+		if uint64(4+n) > head-pos {
+			return count, fmt.Errorf("rdma: frame of %d bytes overruns published range", n)
+		}
+		frame := make([]byte, n)
+		if err := rr.stageRead(pos+4, frame); err != nil {
+			return count, err
+		}
+		pos += uint64(4 + n)
+		fn(frame)
+		count++
+	}
+	rr.tail = head
+	// One-sided WRITE of the tail feedback into the producer's ring.
+	var tb [8]byte
+	binary.LittleEndian.PutUint64(tb[:], rr.tail)
+	rr.wrid++
+	if err := rr.qp.PostSend(WR{
+		WRID:   rr.wrid,
+		Op:     OpWrite,
+		Inline: tb[:],
+		Remote: RemoteAddr{RKey: rr.rkey, Offset: ringTailOff},
+	}); err != nil {
+		return count, err
+	}
+	wc, ok := cq.Wait(rnrWait)
+	if !ok || wc.Status != StatusOK {
+		return count, fmt.Errorf("rdma: tail WRITE failed: %+v", wc)
+	}
+	return count, nil
+}
+
+// stageRead reads from the staging MR using ring-wrapped addressing.
+func (rr *RemoteRing) stageRead(pos uint64, p []byte) error {
+	off := int(pos % uint64(rr.dataSize))
+	if off+len(p) <= rr.dataSize {
+		return rr.stage.ReadAt(p, ringDataOff+off)
+	}
+	first := rr.dataSize - off
+	if err := rr.stage.ReadAt(p[:first], ringDataOff+off); err != nil {
+		return err
+	}
+	return rr.stage.ReadAt(p[first:], ringDataOff)
+}

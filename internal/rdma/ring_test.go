@@ -1,0 +1,277 @@
+package rdma
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func ringPair(t *testing.T, ringSize int) (prod *Ring, cons *RemoteRing, cq *CQ) {
+	t.Helper()
+	f := NewFabric(CostModel{})
+	da, _ := f.NewDevice("prod")
+	db, _ := f.NewDevice("cons")
+	pdA, pdB := da.AllocPD(), db.AllocPD()
+	mr, err := RegisterMemory(pdA, ringSize, AccessRemoteRead|AccessRemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err = NewRing(mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage, _ := RegisterMemory(pdB, ringSize, AccessLocalWrite)
+	cq = NewCQ(64)
+	qpB := CreateQP(pdB, cq, NewCQ(1), QPCap{})
+	qpA := CreateQP(pdA, NewCQ(1), NewCQ(1), QPCap{})
+	if err := ConnectPair(qpA, qpB); err != nil {
+		t.Fatal(err)
+	}
+	cons, err = NewRemoteRing(qpB, stage, mr.RKey(), prod.DataSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prod, cons, cq
+}
+
+func TestRingAppendPollRoundTrip(t *testing.T) {
+	prod, cons, cq := ringPair(t, 4096)
+	msgs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma-gamma")}
+	for _, m := range msgs {
+		if err := prod.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got [][]byte
+	n, err := cons.Poll(cq, func(f []byte) { got = append(got, append([]byte(nil), f...)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("polled %d frames", n)
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Fatalf("frame %d: %q != %q", i, got[i], msgs[i])
+		}
+	}
+	// Idle poll returns zero.
+	if n, err := cons.Poll(cq, func([]byte) {}); err != nil || n != 0 {
+		t.Fatalf("idle poll: %d, %v", n, err)
+	}
+}
+
+func TestRingTailFeedbackFreesSpace(t *testing.T) {
+	prod, cons, cq := ringPair(t, 16+128) // tiny 128-byte data area
+	frame := make([]byte, 50)
+	if err := prod.Append(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.Append(frame); err != nil {
+		t.Fatal(err)
+	}
+	// 2*(50+4)=108 used, 20 free: third append must fail.
+	if err := prod.Append(frame); err != ErrRingFull {
+		t.Fatalf("expected ErrRingFull, got %v", err)
+	}
+	// Consuming frees space (the consumer WRITEs the tail back).
+	if _, err := cons.Poll(cq, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.Append(frame); err != nil {
+		t.Fatalf("append after consume: %v", err)
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	prod, cons, cq := ringPair(t, 16+256)
+	r := rand.New(rand.NewSource(5))
+	var sent, recv [][]byte
+	for round := 0; round < 200; round++ {
+		frame := make([]byte, 1+r.Intn(60))
+		r.Read(frame)
+		if err := prod.Append(frame); err == ErrRingFull {
+			if _, err := cons.Poll(cq, func(f []byte) { recv = append(recv, append([]byte(nil), f...)) }); err != nil {
+				t.Fatal(err)
+			}
+			if err := prod.Append(frame); err != nil {
+				t.Fatal(err)
+			}
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		sent = append(sent, frame)
+	}
+	if _, err := cons.Poll(cq, func(f []byte) { recv = append(recv, append([]byte(nil), f...)) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(recv) != len(sent) {
+		t.Fatalf("received %d of %d frames", len(recv), len(sent))
+	}
+	for i := range sent {
+		if !bytes.Equal(sent[i], recv[i]) {
+			t.Fatalf("frame %d corrupted across wrap", i)
+		}
+	}
+}
+
+func TestRingOversizeFrame(t *testing.T) {
+	prod, _, _ := ringPair(t, 16+64)
+	if err := prod.Append(make([]byte, 100)); err == nil || err == ErrRingFull {
+		t.Fatalf("oversize frame: %v", err)
+	}
+}
+
+func TestRingTooSmallMR(t *testing.T) {
+	f := NewFabric(CostModel{})
+	d, _ := f.NewDevice("x")
+	mr, _ := RegisterMemory(d.AllocPD(), 32, 0)
+	if _, err := NewRing(mr); err == nil {
+		t.Fatal("32-byte MR accepted as ring")
+	}
+}
+
+func TestRingLocalConsume(t *testing.T) {
+	f := NewFabric(CostModel{})
+	d, _ := f.NewDevice("x")
+	mr, _ := RegisterMemory(d.AllocPD(), 4096, 0)
+	ring, err := NewRing(mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ring.Append([]byte(fmt.Sprintf("m%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	n, err := ring.LocalConsume(func(f []byte) { got = append(got, string(f)) })
+	if err != nil || n != 10 {
+		t.Fatalf("consume: %d, %v", n, err)
+	}
+	for i, s := range got {
+		if s != fmt.Sprintf("m%02d", i) {
+			t.Fatalf("frame %d = %q", i, s)
+		}
+	}
+	// Free space is reclaimed.
+	free, err := ring.Free()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free != ring.DataSize() {
+		t.Fatalf("free %d after full consume, want %d", free, ring.DataSize())
+	}
+}
+
+func TestRemoteRingStageTooSmall(t *testing.T) {
+	f := NewFabric(CostModel{})
+	da, _ := f.NewDevice("a")
+	db, _ := f.NewDevice("b")
+	stage, _ := RegisterMemory(db.AllocPD(), 64, AccessLocalWrite)
+	qp := CreateQP(db.AllocPD(), NewCQ(1), NewCQ(1), QPCap{})
+	_ = da
+	if _, err := NewRemoteRing(qp, stage, 1, 4096); err == nil {
+		t.Fatal("undersized staging MR accepted")
+	}
+}
+
+func TestRingConcurrentProducerConsumer(t *testing.T) {
+	prod, cons, cq := ringPair(t, 16+1024)
+	const total = 500
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			frame := []byte(fmt.Sprintf("msg-%04d", i))
+			for {
+				err := prod.Append(frame)
+				if err == nil {
+					break
+				}
+				if err != ErrRingFull {
+					errc <- err
+					return
+				}
+				time.Sleep(10 * time.Microsecond)
+			}
+		}
+		errc <- nil
+	}()
+	var got int
+	deadline := time.Now().Add(10 * time.Second)
+	for got < total && time.Now().Before(deadline) {
+		n, err := cons.Poll(cq, func(f []byte) {
+			want := fmt.Sprintf("msg-%04d", got)
+			if string(f) != want {
+				t.Errorf("frame %d = %q, want %q", got, f, want)
+			}
+			got++
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if got != total {
+		t.Fatalf("consumed %d of %d", got, total)
+	}
+}
+
+// TestQuickRingRandomInterleavings: arbitrary interleavings of appends and
+// polls with random frame sizes never corrupt, reorder, or drop frames.
+func TestQuickRingRandomInterleavings(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	run := func(seed int64) bool {
+		r.Seed(seed)
+		ringSize := 16 + 128 + r.Intn(512)
+		prod, cons, cq := ringPair(t, ringSize)
+		next := byte(0)   // next frame id to produce
+		expect := byte(0) // next frame id the consumer must see
+		ok := true
+		for step := 0; step < 120 && ok; step++ {
+			if r.Intn(2) == 0 {
+				frame := make([]byte, 1+r.Intn((ringSize-16)/2-4))
+				frame[0] = next
+				if err := prod.Append(frame); err == nil {
+					next++
+				} else if err != ErrRingFull {
+					return false
+				}
+			} else {
+				_, err := cons.Poll(cq, func(f []byte) {
+					if len(f) < 1 || f[0] != expect {
+						ok = false
+						return
+					}
+					expect++
+				})
+				if err != nil {
+					return false
+				}
+			}
+		}
+		// Drain the rest.
+		if _, err := cons.Poll(cq, func(f []byte) {
+			if len(f) < 1 || f[0] != expect {
+				ok = false
+				return
+			}
+			expect++
+		}); err != nil {
+			return false
+		}
+		return ok && expect == next
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		if !run(seed) {
+			t.Fatalf("seed %d: ring violated FIFO/integrity", seed)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// inprocMsg is one in-flight message.
+type inprocMsg struct {
+	from    WorkerID
+	payload []byte
+}
+
+// InprocNetwork connects workers through Go channels. It is the fastest
+// transport and the reference implementation for the Transport contract.
+type InprocNetwork struct {
+	mu      sync.Mutex
+	workers map[WorkerID]*inprocTransport
+	depth   int
+	closed  bool
+}
+
+// NewInprocNetwork creates an in-process network; depth is each worker's
+// inbound queue depth (default 1024).
+func NewInprocNetwork(depth int) *InprocNetwork {
+	if depth <= 0 {
+		depth = 1024
+	}
+	return &InprocNetwork{workers: map[WorkerID]*inprocTransport{}, depth: depth}
+}
+
+// Register implements Network.
+func (n *InprocNetwork) Register(id WorkerID, h Handler) (Transport, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("transport: network closed")
+	}
+	if _, dup := n.workers[id]; dup {
+		return nil, fmt.Errorf("transport: worker %d already registered", id)
+	}
+	t := &inprocTransport{
+		net:  n,
+		id:   id,
+		in:   make(chan inprocMsg, n.depth),
+		done: make(chan struct{}),
+	}
+	n.workers[id] = t
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			select {
+			case m := <-t.in:
+				t.stats.MsgsRecv.Add(1)
+				t.stats.BytesRecv.Add(int64(len(m.payload)))
+				h(m.from, m.payload)
+			case <-t.done:
+				// Drain what is already queued, then stop.
+				for {
+					select {
+					case m := <-t.in:
+						t.stats.MsgsRecv.Add(1)
+						t.stats.BytesRecv.Add(int64(len(m.payload)))
+						h(m.from, m.payload)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	return t, nil
+}
+
+// Close implements Network.
+func (n *InprocNetwork) Close() error {
+	n.mu.Lock()
+	ws := make([]*inprocTransport, 0, len(n.workers))
+	for _, w := range n.workers {
+		ws = append(ws, w)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, w := range ws {
+		w.Close()
+	}
+	return nil
+}
+
+func (n *InprocNetwork) lookup(id WorkerID) (*inprocTransport, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	w, ok := n.workers[id]
+	return w, ok
+}
+
+type inprocTransport struct {
+	net       *InprocNetwork
+	id        WorkerID
+	in        chan inprocMsg
+	stats     Stats
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Send implements Transport: it copies the payload and enqueues it on the
+// destination worker's inbound channel, blocking when the queue is full.
+func (t *inprocTransport) Send(to WorkerID, payload []byte) error {
+	dst, ok := t.net.lookup(to)
+	if !ok {
+		return errUnknownWorker(to)
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	return timedSend(&t.stats, len(payload), func() error {
+		select {
+		case dst.in <- inprocMsg{from: t.id, payload: cp}:
+			return nil
+		case <-dst.done:
+			return fmt.Errorf("transport: worker %d closed", to)
+		}
+	})
+}
+
+// Flush implements Transport (no batching in-process).
+func (t *inprocTransport) Flush() error { return nil }
+
+// Stats implements Transport.
+func (t *inprocTransport) Stats() *Stats { return &t.stats }
+
+// Close implements Transport.
+func (t *inprocTransport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		t.wg.Wait()
+	})
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package transport provides the worker-to-worker byte transport beneath
+// the stream processing engine, with three interchangeable implementations:
+//
+//   - in-process channels (fast, for unit tests and examples),
+//   - real TCP over loopback (the kernel network stack the paper's Storm
+//     baseline pays for),
+//   - the emulated RDMA verbs channel of internal/rdma (kernel-bypass, ring
+//     memory region, MMS/WTL batching — the Whale data path).
+//
+// A Network wires up one Transport per worker; a Transport sends opaque
+// payloads to peer workers and delivers inbound payloads to the handler
+// registered at creation. Per-link ordering is guaranteed by every
+// implementation; cross-link ordering is not.
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerID identifies a worker process on the network.
+type WorkerID = int32
+
+// Handler consumes one inbound payload. Implementations invoke it from the
+// transport's receive goroutine; handlers must not block indefinitely.
+type Handler func(from WorkerID, payload []byte)
+
+// Stats counts a transport's traffic. All fields are atomic.
+type Stats struct {
+	MsgsSent  atomic.Int64
+	BytesSent atomic.Int64
+	MsgsRecv  atomic.Int64
+	BytesRecv atomic.Int64
+	// SendNS accumulates wall time spent inside Send — the sender-side CPU
+	// cost the paper's Fig. 25 "communication time" measures.
+	SendNS atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of Stats.
+type Snapshot struct {
+	MsgsSent, BytesSent, MsgsRecv, BytesRecv, SendNS int64
+}
+
+// Load snapshots the counters.
+func (s *Stats) Load() Snapshot {
+	return Snapshot{
+		MsgsSent:  s.MsgsSent.Load(),
+		BytesSent: s.BytesSent.Load(),
+		MsgsRecv:  s.MsgsRecv.Load(),
+		BytesRecv: s.BytesRecv.Load(),
+		SendNS:    s.SendNS.Load(),
+	}
+}
+
+// Transport is one worker's connection to the network.
+type Transport interface {
+	// Send delivers payload to the worker with id to. Safe for concurrent
+	// use. The payload is copied before Send returns.
+	Send(to WorkerID, payload []byte) error
+	// Flush pushes out any batched data (a no-op for unbatched transports).
+	Flush() error
+	// Stats exposes the transport's counters.
+	Stats() *Stats
+	// Close releases the transport's resources.
+	Close() error
+}
+
+// Network creates and connects Transports.
+type Network interface {
+	// Register attaches worker id with the given inbound handler and
+	// returns its transport. Every worker must be registered before any
+	// Send targets it.
+	Register(id WorkerID, h Handler) (Transport, error)
+	// Close shuts down all registered transports.
+	Close() error
+}
+
+// timedSend wraps the body of a Send with stats accounting.
+func timedSend(st *Stats, bytes int, fn func() error) error {
+	t0 := time.Now()
+	err := fn()
+	st.SendNS.Add(time.Since(t0).Nanoseconds())
+	if err == nil {
+		st.MsgsSent.Add(1)
+		st.BytesSent.Add(int64(bytes))
+	}
+	return err
+}
+
+// ErrUnknownWorker is returned for sends to unregistered ids.
+func errUnknownWorker(id WorkerID) error {
+	return fmt.Errorf("transport: unknown worker %d", id)
+}

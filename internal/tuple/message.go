@@ -1,0 +1,244 @@
+package tuple
+
+import (
+	"fmt"
+)
+
+// Message kinds on the worker-to-worker wire.
+const (
+	// KindWorkerMessage carries one serialized data item plus the ids of the
+	// destination instances hosted on the receiving worker (Whale's
+	// worker-oriented format, paper Fig. 9b).
+	KindWorkerMessage byte = iota + 1
+	// KindInstanceMessage carries one serialized data item addressed to a
+	// single destination instance (the instance-oriented baseline format,
+	// paper Fig. 9a).
+	KindInstanceMessage
+	// KindMulticastMessage is a WorkerMessage that additionally participates
+	// in tree relay: it carries the multicast group, tree version and the
+	// source worker so receiving workers can forward it to their children.
+	KindMulticastMessage
+	// KindControl carries a control-plane message (tree switching).
+	KindControl
+)
+
+// WorkerMessage is the unit Whale ships between workers: a header of
+// destination task ids plus the once-serialized data item. For multicast
+// messages the relay header fields are populated as well.
+type WorkerMessage struct {
+	Kind    byte
+	DstIDs  []int32
+	Payload []byte // serialized Tuple
+
+	// Relay header, used only when Kind == KindMulticastMessage.
+	Group       int32 // multicast group id (one per source task)
+	TreeVersion int32 // version of the multicast tree this was routed with
+	SrcWorker   int32 // worker hosting the multicast source
+}
+
+// AppendWorkerMessage appends the wire encoding of m to dst.
+//
+// Layout:
+//
+//	u8 kind | u16 ndst | ndst * i32 | [group i32 | version i32 | srcWorker i32]
+//	u32 len(payload) | payload
+func AppendWorkerMessage(dst []byte, m *WorkerMessage) []byte {
+	dst = append(dst, m.Kind)
+	dst = appendU16(dst, uint16(len(m.DstIDs)))
+	for _, id := range m.DstIDs {
+		dst = appendU32(dst, uint32(id))
+	}
+	if m.Kind == KindMulticastMessage {
+		dst = appendU32(dst, uint32(m.Group))
+		dst = appendU32(dst, uint32(m.TreeVersion))
+		dst = appendU32(dst, uint32(m.SrcWorker))
+	}
+	dst = appendU32(dst, uint32(len(m.Payload)))
+	dst = append(dst, m.Payload...)
+	return dst
+}
+
+// DecodeWorkerMessage parses one WorkerMessage from buf, returning the
+// message and bytes consumed. The returned Payload aliases buf.
+func DecodeWorkerMessage(buf []byte) (*WorkerMessage, int, error) {
+	if len(buf) < 1 {
+		return nil, 0, ErrTruncated
+	}
+	m := &WorkerMessage{Kind: buf[0]}
+	off := 1
+	ndst, off, err := readU16(buf, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	m.DstIDs = make([]int32, ndst)
+	for i := range m.DstIDs {
+		var u uint32
+		u, off, err = readU32(buf, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		m.DstIDs[i] = int32(u)
+	}
+	if m.Kind == KindMulticastMessage {
+		var u uint32
+		u, off, err = readU32(buf, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		m.Group = int32(u)
+		u, off, err = readU32(buf, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		m.TreeVersion = int32(u)
+		u, off, err = readU32(buf, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		m.SrcWorker = int32(u)
+	}
+	plen, off, err := readU32(buf, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	if off+int(plen) > len(buf) {
+		return nil, 0, ErrTruncated
+	}
+	m.Payload = buf[off : off+int(plen)]
+	return m, off + int(plen), nil
+}
+
+// EncodedWorkerMessageSize returns the wire size of a worker message with
+// ndst destination ids, a payload of payloadLen bytes and the given kind.
+func EncodedWorkerMessageSize(kind byte, ndst, payloadLen int) int {
+	n := 1 + 2 + 4*ndst + 4 + payloadLen
+	if kind == KindMulticastMessage {
+		n += 12
+	}
+	return n
+}
+
+// Control-plane message types for the dynamic switching protocol (§3.4).
+const (
+	// CtrlStatus announces that a switch (scale-up or scale-down) is about
+	// to happen; it precedes the ControlMessages carrying the new structure.
+	CtrlStatus byte = iota + 1
+	// CtrlReconnect instructs one instance/worker to disconnect from its
+	// current parent and reconnect to a new one.
+	CtrlReconnect
+	// CtrlTree distributes the full new tree (adjacency) so relay nodes can
+	// route; the paper's relay instances "store the structure of the
+	// multicast tree with ControlMessage".
+	CtrlTree
+	// CtrlAck acknowledges completion of a reconnect.
+	CtrlAck
+)
+
+// Switch directions carried by CtrlStatus.
+const (
+	SwitchScaleDown byte = 1
+	SwitchScaleUp   byte = 2
+)
+
+// ControlMessage is the control-plane unit for dynamic switching.
+type ControlMessage struct {
+	Type      byte
+	Direction byte  // for CtrlStatus
+	Group     int32 // multicast group
+	Version   int32 // tree version this message installs/acks
+
+	// For CtrlReconnect: the node being moved and its new parent.
+	Node      int32
+	OldParent int32
+	NewParent int32
+
+	// For CtrlTree: flattened adjacency; Parents[i] is the parent of node
+	// Nodes[i]. The source has parent -1.
+	Nodes   []int32
+	Parents []int32
+}
+
+// AppendControlMessage appends the wire encoding of c to dst.
+func AppendControlMessage(dst []byte, c *ControlMessage) []byte {
+	dst = append(dst, c.Type, c.Direction)
+	dst = appendU32(dst, uint32(c.Group))
+	dst = appendU32(dst, uint32(c.Version))
+	dst = appendU32(dst, uint32(c.Node))
+	dst = appendU32(dst, uint32(c.OldParent))
+	dst = appendU32(dst, uint32(c.NewParent))
+	dst = appendU32(dst, uint32(len(c.Nodes)))
+	for i := range c.Nodes {
+		dst = appendU32(dst, uint32(c.Nodes[i]))
+		dst = appendU32(dst, uint32(c.Parents[i]))
+	}
+	return dst
+}
+
+// DecodeControlMessage parses a ControlMessage from buf.
+func DecodeControlMessage(buf []byte) (*ControlMessage, int, error) {
+	if len(buf) < 2 {
+		return nil, 0, ErrTruncated
+	}
+	c := &ControlMessage{Type: buf[0], Direction: buf[1]}
+	off := 2
+	var u uint32
+	var err error
+	if u, off, err = readU32(buf, off); err != nil {
+		return nil, 0, err
+	}
+	c.Group = int32(u)
+	if u, off, err = readU32(buf, off); err != nil {
+		return nil, 0, err
+	}
+	c.Version = int32(u)
+	if u, off, err = readU32(buf, off); err != nil {
+		return nil, 0, err
+	}
+	c.Node = int32(u)
+	if u, off, err = readU32(buf, off); err != nil {
+		return nil, 0, err
+	}
+	c.OldParent = int32(u)
+	if u, off, err = readU32(buf, off); err != nil {
+		return nil, 0, err
+	}
+	c.NewParent = int32(u)
+	var n uint32
+	if n, off, err = readU32(buf, off); err != nil {
+		return nil, 0, err
+	}
+	if int(n) > (len(buf)-off)/8 {
+		return nil, 0, ErrTruncated
+	}
+	c.Nodes = make([]int32, n)
+	c.Parents = make([]int32, n)
+	for i := 0; i < int(n); i++ {
+		if u, off, err = readU32(buf, off); err != nil {
+			return nil, 0, err
+		}
+		c.Nodes[i] = int32(u)
+		if u, off, err = readU32(buf, off); err != nil {
+			return nil, 0, err
+		}
+		c.Parents[i] = int32(u)
+	}
+	return c, off, nil
+}
+
+func (c *ControlMessage) String() string {
+	switch c.Type {
+	case CtrlStatus:
+		dir := "scale-up"
+		if c.Direction == SwitchScaleDown {
+			dir = "scale-down"
+		}
+		return fmt.Sprintf("Status{%s group=%d v=%d}", dir, c.Group, c.Version)
+	case CtrlReconnect:
+		return fmt.Sprintf("Reconnect{group=%d v=%d node=%d %d->%d}", c.Group, c.Version, c.Node, c.OldParent, c.NewParent)
+	case CtrlTree:
+		return fmt.Sprintf("Tree{group=%d v=%d n=%d}", c.Group, c.Version, len(c.Nodes))
+	case CtrlAck:
+		return fmt.Sprintf("Ack{group=%d v=%d node=%d}", c.Group, c.Version, c.Node)
+	}
+	return fmt.Sprintf("Control{type=%d}", c.Type)
+}

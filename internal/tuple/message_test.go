@@ -1,0 +1,157 @@
+package tuple
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkerMessageRoundTrip(t *testing.T) {
+	payload, err := AppendTuple(nil, sampleTuple())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []byte{KindWorkerMessage, KindInstanceMessage, KindMulticastMessage} {
+		m := &WorkerMessage{
+			Kind:    kind,
+			DstIDs:  []int32{3, 17, 255},
+			Payload: payload,
+		}
+		if kind == KindMulticastMessage {
+			m.Group, m.TreeVersion, m.SrcWorker = 2, 9, 4
+		}
+		buf := AppendWorkerMessage(nil, m)
+		if got, want := len(buf), EncodedWorkerMessageSize(kind, len(m.DstIDs), len(payload)); got != want {
+			t.Fatalf("kind %d: size %d, EncodedWorkerMessageSize says %d", kind, got, want)
+		}
+		out, n, err := DecodeWorkerMessage(buf)
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("kind %d: consumed %d of %d", kind, n, len(buf))
+		}
+		if !reflect.DeepEqual(m.DstIDs, out.DstIDs) || !bytes.Equal(m.Payload, out.Payload) {
+			t.Fatalf("kind %d: round trip mismatch", kind)
+		}
+		if kind == KindMulticastMessage {
+			if out.Group != 2 || out.TreeVersion != 9 || out.SrcWorker != 4 {
+				t.Fatalf("relay header mismatch: %+v", out)
+			}
+		}
+	}
+}
+
+func TestWorkerMessageTruncated(t *testing.T) {
+	m := &WorkerMessage{Kind: KindMulticastMessage, DstIDs: []int32{1, 2}, Payload: []byte("abcdef"), Group: 1}
+	buf := AppendWorkerMessage(nil, m)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeWorkerMessage(buf[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(buf))
+		}
+	}
+}
+
+func TestBatchTupleExpand(t *testing.T) {
+	b := &BatchTuple{DstIDs: []int32{5, 6, 7}, Data: sampleTuple()}
+	ats := b.Expand()
+	if len(ats) != 3 {
+		t.Fatalf("expanded to %d", len(ats))
+	}
+	for i, at := range ats {
+		if at.TaskID != b.DstIDs[i] {
+			t.Fatalf("dst %d: got task %d", i, at.TaskID)
+		}
+		if at.Data != b.Data {
+			t.Fatal("Expand must share the data item, not copy it")
+		}
+	}
+}
+
+func TestControlMessageRoundTrip(t *testing.T) {
+	msgs := []*ControlMessage{
+		{Type: CtrlStatus, Direction: SwitchScaleDown, Group: 1, Version: 2},
+		{Type: CtrlStatus, Direction: SwitchScaleUp, Group: 1, Version: 3},
+		{Type: CtrlReconnect, Group: 4, Version: 5, Node: 10, OldParent: 2, NewParent: 3},
+		{Type: CtrlAck, Group: 4, Version: 5, Node: 10},
+		{Type: CtrlTree, Group: 0, Version: 7,
+			Nodes: []int32{0, 1, 2, 3}, Parents: []int32{-1, 0, 0, 1}},
+	}
+	for _, in := range msgs {
+		buf := AppendControlMessage(nil, in)
+		out, n, err := DecodeControlMessage(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%v: consumed %d of %d", in, n, len(buf))
+		}
+		if in.Nodes == nil {
+			in.Nodes, in.Parents = []int32{}, []int32{}
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+		}
+		if out.String() == "" {
+			t.Fatal("empty String()")
+		}
+	}
+}
+
+func TestControlMessageTruncated(t *testing.T) {
+	in := &ControlMessage{Type: CtrlTree, Version: 1, Nodes: []int32{0, 1}, Parents: []int32{-1, 0}}
+	buf := AppendControlMessage(nil, in)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeControlMessage(buf[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(buf))
+		}
+	}
+}
+
+func TestControlMessageBogusCount(t *testing.T) {
+	// A corrupted node count must not cause a huge allocation or panic.
+	in := &ControlMessage{Type: CtrlTree}
+	buf := AppendControlMessage(nil, in)
+	buf[len(buf)-4] = 0xff
+	buf[len(buf)-3] = 0xff
+	buf[len(buf)-2] = 0xff
+	buf[len(buf)-1] = 0x7f
+	if _, _, err := DecodeControlMessage(buf); err == nil {
+		t.Fatal("expected error for bogus count")
+	}
+}
+
+func TestQuickWorkerMessageRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r.Seed(seed)
+		payload := make([]byte, r.Intn(256))
+		r.Read(payload)
+		ids := make([]int32, r.Intn(20))
+		for i := range ids {
+			ids[i] = int32(r.Intn(1 << 16))
+		}
+		kinds := []byte{KindWorkerMessage, KindInstanceMessage, KindMulticastMessage}
+		m := &WorkerMessage{Kind: kinds[r.Intn(3)], DstIDs: ids, Payload: payload,
+			Group: int32(r.Intn(100)), TreeVersion: int32(r.Intn(100)), SrcWorker: int32(r.Intn(100))}
+		buf := AppendWorkerMessage(nil, m)
+		out, n, err := DecodeWorkerMessage(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		if len(out.DstIDs) != len(ids) || !bytes.Equal(out.Payload, payload) {
+			return false
+		}
+		for i := range ids {
+			if out.DstIDs[i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

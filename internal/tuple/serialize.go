@@ -1,0 +1,241 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Field type tags used by the binary encoding.
+const (
+	tagInt64 byte = iota + 1
+	tagFloat64
+	tagString
+	tagBytes
+	tagBool
+)
+
+// ErrTruncated is returned when a buffer ends before a complete value.
+var ErrTruncated = fmt.Errorf("tuple: truncated buffer")
+
+// Encoder serializes tuples into a reusable buffer. It is not safe for
+// concurrent use; each executor owns one.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with an initial buffer capacity.
+func NewEncoder() *Encoder { return &Encoder{buf: make([]byte, 0, 256)} }
+
+// EncodeTuple serializes t and returns the encoded bytes. The returned slice
+// aliases the encoder's internal buffer and is only valid until the next
+// call; callers that need to keep it must copy.
+func (e *Encoder) EncodeTuple(t *Tuple) ([]byte, error) {
+	e.buf = e.buf[:0]
+	var err error
+	e.buf, err = AppendTuple(e.buf, t)
+	return e.buf, err
+}
+
+// AppendTuple appends the binary encoding of t to dst and returns the
+// extended slice.
+//
+// Layout (all integers little-endian):
+//
+//	u16 len(stream) | stream bytes
+//	i64 id | i32 srcTask | i64 rootEmitNS | i64 rootID | i64 ackVal
+//	u16 nfields | nfields * (tag u8, value)
+func AppendTuple(dst []byte, t *Tuple) ([]byte, error) {
+	dst = appendU16(dst, uint16(len(t.Stream)))
+	dst = append(dst, t.Stream...)
+	dst = appendU64(dst, uint64(t.ID))
+	dst = appendU32(dst, uint32(t.SrcTask))
+	dst = appendU64(dst, uint64(t.RootEmitNS))
+	dst = appendU64(dst, uint64(t.RootID))
+	dst = appendU64(dst, uint64(t.AckVal))
+	dst = appendU16(dst, uint16(len(t.Values)))
+	for _, v := range t.Values {
+		var err error
+		dst, err = appendValue(dst, v)
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+func appendValue(dst []byte, v Value) ([]byte, error) {
+	switch x := v.(type) {
+	case int64:
+		dst = append(dst, tagInt64)
+		dst = appendU64(dst, uint64(x))
+	case float64:
+		dst = append(dst, tagFloat64)
+		dst = appendU64(dst, math.Float64bits(x))
+	case string:
+		dst = append(dst, tagString)
+		dst = appendU32(dst, uint32(len(x)))
+		dst = append(dst, x...)
+	case []byte:
+		dst = append(dst, tagBytes)
+		dst = appendU32(dst, uint32(len(x)))
+		dst = append(dst, x...)
+	case bool:
+		dst = append(dst, tagBool)
+		if x {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	default:
+		return dst, fmt.Errorf("tuple: unsupported field type %T", v)
+	}
+	return dst, nil
+}
+
+// DecodeTuple parses one tuple from buf, returning the tuple and the number
+// of bytes consumed.
+func DecodeTuple(buf []byte) (*Tuple, int, error) {
+	off := 0
+	slen, off, err := readU16(buf, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	if off+int(slen) > len(buf) {
+		return nil, 0, ErrTruncated
+	}
+	t := &Tuple{Stream: string(buf[off : off+int(slen)])}
+	off += int(slen)
+	id, off, err := readU64(buf, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.ID = int64(id)
+	src, off, err := readU32(buf, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.SrcTask = int32(src)
+	emit, off, err := readU64(buf, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.RootEmitNS = int64(emit)
+	root, off, err := readU64(buf, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.RootID = int64(root)
+	av, off, err := readU64(buf, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.AckVal = int64(av)
+	nf, off, err := readU16(buf, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.Values = make([]Value, nf)
+	for i := 0; i < int(nf); i++ {
+		t.Values[i], off, err = readValue(buf, off)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return t, off, nil
+}
+
+func readValue(buf []byte, off int) (Value, int, error) {
+	if off >= len(buf) {
+		return nil, off, ErrTruncated
+	}
+	tag := buf[off]
+	off++
+	switch tag {
+	case tagInt64:
+		u, off, err := readU64(buf, off)
+		return int64(u), off, err
+	case tagFloat64:
+		u, off, err := readU64(buf, off)
+		return math.Float64frombits(u), off, err
+	case tagString:
+		n, off, err := readU32(buf, off)
+		if err != nil {
+			return nil, off, err
+		}
+		if off+int(n) > len(buf) {
+			return nil, off, ErrTruncated
+		}
+		return string(buf[off : off+int(n)]), off + int(n), nil
+	case tagBytes:
+		n, off, err := readU32(buf, off)
+		if err != nil {
+			return nil, off, err
+		}
+		if off+int(n) > len(buf) {
+			return nil, off, ErrTruncated
+		}
+		out := make([]byte, n)
+		copy(out, buf[off:off+int(n)])
+		return out, off + int(n), nil
+	case tagBool:
+		if off >= len(buf) {
+			return nil, off, ErrTruncated
+		}
+		return buf[off] == 1, off + 1, nil
+	default:
+		return nil, off, fmt.Errorf("tuple: unknown field tag %d", tag)
+	}
+}
+
+// EncodedSize returns the exact number of bytes AppendTuple would produce,
+// without encoding. The simulated cluster uses it to derive message sizes.
+func EncodedSize(t *Tuple) int {
+	n := 2 + len(t.Stream) + 8 + 4 + 8 + 8 + 8 + 2
+	for _, v := range t.Values {
+		switch x := v.(type) {
+		case int64, float64:
+			n += 1 + 8
+		case string:
+			n += 1 + 4 + len(x)
+		case []byte:
+			n += 1 + 4 + len(x)
+		case bool:
+			n += 1 + 1
+		}
+	}
+	return n
+}
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v), byte(v>>8))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+func readU16(buf []byte, off int) (uint16, int, error) {
+	if off+2 > len(buf) {
+		return 0, off, ErrTruncated
+	}
+	return binary.LittleEndian.Uint16(buf[off:]), off + 2, nil
+}
+
+func readU32(buf []byte, off int) (uint32, int, error) {
+	if off+4 > len(buf) {
+		return 0, off, ErrTruncated
+	}
+	return binary.LittleEndian.Uint32(buf[off:]), off + 4, nil
+}
+
+func readU64(buf []byte, off int) (uint64, int, error) {
+	if off+8 > len(buf) {
+		return 0, off, ErrTruncated
+	}
+	return binary.LittleEndian.Uint64(buf[off:]), off + 8, nil
+}

@@ -1,0 +1,108 @@
+// Package tuple defines the data model of the stream processing engine: the
+// Tuple carried between operator instances, the BatchTuple / WorkerMessage
+// formats introduced by Whale's worker-oriented communication (paper §3.5,
+// Figs. 9-10), and the control-plane messages used by the dynamic switching
+// mechanism (paper §3.4).
+//
+// A Tuple is a small, flat record: a list of typed field values plus routing
+// metadata. The binary encoding implemented in serialize.go is the unit whose
+// cost the paper calls "serialization time" (t_s); it is deliberately a real
+// encoder (not a stub) so the live runtime pays a realistic, measurable CPU
+// cost per encode.
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is one field of a tuple. Supported dynamic types are:
+// int64, float64, string, []byte, and bool.
+type Value = any
+
+// Tuple is the unit of data flowing through a topology.
+type Tuple struct {
+	// Stream is the logical stream the tuple belongs to (usually the id of
+	// the operator that emitted it).
+	Stream string
+	// Values holds the tuple's fields.
+	Values []Value
+	// ID is a source-assigned sequence number, unique per producing task.
+	ID int64
+	// SrcTask is the task id of the producing instance.
+	SrcTask int32
+	// RootEmitNS is the timestamp (engine clock, nanoseconds) at which the
+	// tuple's root ancestor left its spout. It is propagated through the
+	// topology so sinks can compute the full processing latency.
+	RootEmitNS int64
+	// RootID identifies the reliability tree this tuple belongs to (the
+	// Storm "anchor"); zero means the tuple is untracked.
+	RootID int64
+	// AckVal is this tuple's random contribution to the ack XOR register.
+	AckVal int64
+}
+
+// Clone returns a shallow copy of t with its own Values slice. Field values
+// themselves are immutable by convention ([]byte fields must not be mutated
+// by receivers), so sharing them is safe.
+func (t *Tuple) Clone() *Tuple {
+	cp := *t
+	cp.Values = append([]Value(nil), t.Values...)
+	return &cp
+}
+
+// Int returns field i as an int64. It panics if the field has another type;
+// operator code is expected to know its schema.
+func (t *Tuple) Int(i int) int64 { return t.Values[i].(int64) }
+
+// Float returns field i as a float64.
+func (t *Tuple) Float(i int) float64 { return t.Values[i].(float64) }
+
+// String returns field i as a string.
+func (t *Tuple) StringAt(i int) string { return t.Values[i].(string) }
+
+// Bytes returns field i as a []byte.
+func (t *Tuple) Bytes(i int) []byte { return t.Values[i].([]byte) }
+
+// Bool returns field i as a bool.
+func (t *Tuple) Bool(i int) bool { return t.Values[i].(bool) }
+
+// String renders the tuple for debugging.
+func (t *Tuple) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tuple{stream=%s id=%d src=%d fields=[", t.Stream, t.ID, t.SrcTask)
+	for i, v := range t.Values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%v", v)
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// BatchTuple is Whale's worker-oriented unit (paper Fig. 9b): one data item
+// plus the ids of every destination instance hosted on the same worker.
+// The data item is serialized exactly once regardless of len(DstIDs).
+type BatchTuple struct {
+	DstIDs []int32
+	Data   *Tuple
+}
+
+// AddressedTuple is the unit a worker-side dispatcher hands to a local
+// executor after unpacking a WorkerMessage: destination task id + data item.
+type AddressedTuple struct {
+	TaskID int32
+	Data   *Tuple
+}
+
+// Expand fans a BatchTuple out into one AddressedTuple per destination id.
+// The data item is shared, not copied: this is the whole point of the
+// worker-oriented design.
+func (b *BatchTuple) Expand() []AddressedTuple {
+	out := make([]AddressedTuple, len(b.DstIDs))
+	for i, id := range b.DstIDs {
+		out[i] = AddressedTuple{TaskID: id, Data: b.Data}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+// Package window implements the time- and count-based windowing substrate
+// a stream join runs on: tumbling and sliding event-time windows with
+// watermark-driven firing, and count windows. The paper's evaluation
+// applications are stream joins (§5.1 — order matching over driver
+// locations, buy/sell matching); real deployments of those joins bound
+// their state with exactly these windows.
+package window
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Assigner maps an element's event time to the starts of every window that
+// must contain it.
+type Assigner interface {
+	// Windows returns the start timestamps (ns) of the element's windows.
+	Windows(ts int64) []int64
+	// Size returns the window length (ns).
+	Size() int64
+}
+
+// Tumbling assigns each element to exactly one fixed, non-overlapping
+// window: [k·size, (k+1)·size).
+type Tumbling struct {
+	// Width is the window length.
+	Width time.Duration
+}
+
+// Windows implements Assigner.
+func (t Tumbling) Windows(ts int64) []int64 {
+	size := t.Width.Nanoseconds()
+	start := ts - mod(ts, size)
+	return []int64{start}
+}
+
+// Size implements Assigner.
+func (t Tumbling) Size() int64 { return t.Width.Nanoseconds() }
+
+// Sliding assigns each element to size/slide overlapping windows.
+type Sliding struct {
+	// Width is the window length; Slide the hop between window starts.
+	Width, Slide time.Duration
+}
+
+// Windows implements Assigner.
+func (s Sliding) Windows(ts int64) []int64 {
+	size, slide := s.Width.Nanoseconds(), s.Slide.Nanoseconds()
+	if slide <= 0 || size < slide {
+		panic(fmt.Sprintf("window: invalid sliding window size=%d slide=%d", size, slide))
+	}
+	last := ts - mod(ts, slide) // latest window start containing ts
+	var out []int64
+	for start := last; start > ts-size; start -= slide {
+		out = append(out, start)
+	}
+	// Ascending order reads naturally in tests and output.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Size implements Assigner.
+func (s Sliding) Size() int64 { return s.Width.Nanoseconds() }
+
+// mod is a floored modulo, correct for negative timestamps.
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// Fired is one completed window.
+type Fired[T any] struct {
+	// Start and End delimit the window: [Start, End).
+	Start, End int64
+	// Items holds the window's elements in insertion order.
+	Items []T
+}
+
+// Buffer accumulates elements into event-time windows and fires windows
+// whose end has passed the watermark. Not safe for concurrent use; each
+// operator instance owns one.
+type Buffer[T any] struct {
+	assigner Assigner
+	// Lateness keeps a fired window's state around so late elements within
+	// the allowance still land; beyond it they are dropped and counted.
+	lateness int64
+	windows  map[int64][]T
+	fired    map[int64]bool
+	// DroppedLate counts elements older than watermark - lateness.
+	DroppedLate int64
+}
+
+// NewBuffer creates a window buffer with the given allowed lateness.
+func NewBuffer[T any](a Assigner, allowedLateness time.Duration) *Buffer[T] {
+	return &Buffer[T]{
+		assigner: a,
+		lateness: allowedLateness.Nanoseconds(),
+		windows:  map[int64][]T{},
+		fired:    map[int64]bool{},
+	}
+}
+
+// Add places v (with event time ts) into its windows. Elements whose every
+// window already fired past the lateness allowance are dropped.
+func (b *Buffer[T]) Add(ts int64, v T) {
+	landed := false
+	for _, start := range b.assigner.Windows(ts) {
+		if b.fired[start] {
+			continue
+		}
+		b.windows[start] = append(b.windows[start], v)
+		landed = true
+	}
+	if !landed {
+		b.DroppedLate++
+	}
+}
+
+// Advance moves the watermark and returns every window whose end is at or
+// before it, in start order. Fired windows older than the lateness
+// allowance are forgotten.
+func (b *Buffer[T]) Advance(watermark int64) []Fired[T] {
+	size := b.assigner.Size()
+	var ready []int64
+	for start := range b.windows {
+		if start+size <= watermark {
+			ready = append(ready, start)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	out := make([]Fired[T], 0, len(ready))
+	for _, start := range ready {
+		out = append(out, Fired[T]{Start: start, End: start + size, Items: b.windows[start]})
+		delete(b.windows, start)
+		b.fired[start] = true
+	}
+	// Garbage-collect the fired set beyond the lateness horizon.
+	for start := range b.fired {
+		if start+size+b.lateness < watermark {
+			delete(b.fired, start)
+		}
+	}
+	return out
+}
+
+// Pending returns the number of open (unfired) windows.
+func (b *Buffer[T]) Pending() int { return len(b.windows) }
+
+// CountBuffer fires a window after every n elements (tumbling by count).
+type CountBuffer[T any] struct {
+	n     int
+	items []T
+}
+
+// NewCountBuffer creates a count window of n elements; n must be positive.
+func NewCountBuffer[T any](n int) *CountBuffer[T] {
+	if n < 1 {
+		panic(fmt.Sprintf("window: count window of %d", n))
+	}
+	return &CountBuffer[T]{n: n}
+}
+
+// Add appends v; when the window is full it returns the batch (and resets),
+// otherwise nil.
+func (b *CountBuffer[T]) Add(v T) []T {
+	b.items = append(b.items, v)
+	if len(b.items) < b.n {
+		return nil
+	}
+	out := b.items
+	b.items = make([]T, 0, b.n)
+	return out
+}
+
+// Len returns the current fill.
+func (b *CountBuffer[T]) Len() int { return len(b.items) }
+
+// Watermark tracks event-time progress with bounded disorder: the
+// watermark trails the maximum seen timestamp by the allowed skew.
+type Watermark struct {
+	skew int64
+	max  int64
+}
+
+// NewWatermark allows elements to arrive up to skew out of order.
+func NewWatermark(skew time.Duration) *Watermark {
+	return &Watermark{skew: skew.Nanoseconds()}
+}
+
+// Observe feeds one event timestamp and returns the current watermark.
+func (w *Watermark) Observe(ts int64) int64 {
+	if ts > w.max {
+		w.max = ts
+	}
+	return w.Current()
+}
+
+// Current returns max-seen minus the allowed skew.
+func (w *Watermark) Current() int64 {
+	if w.max == 0 {
+		return 0
+	}
+	return w.max - w.skew
+}

@@ -1,0 +1,230 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTumblingAssignment(t *testing.T) {
+	w := Tumbling{Width: 10 * time.Nanosecond}
+	cases := []struct{ ts, want int64 }{
+		{0, 0}, {9, 0}, {10, 10}, {25, 20}, {-1, -10}, {-10, -10},
+	}
+	for _, c := range cases {
+		got := w.Windows(c.ts)
+		if len(got) != 1 || got[0] != c.want {
+			t.Fatalf("Windows(%d) = %v, want [%d]", c.ts, got, c.want)
+		}
+	}
+	if w.Size() != 10 {
+		t.Fatalf("size %d", w.Size())
+	}
+}
+
+func TestSlidingAssignment(t *testing.T) {
+	w := Sliding{Width: 30 * time.Nanosecond, Slide: 10 * time.Nanosecond}
+	got := w.Windows(25)
+	want := []int64{0, 10, 20}
+	if len(got) != 3 {
+		t.Fatalf("Windows(25) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Windows(25) = %v, want %v", got, want)
+		}
+	}
+	// Each element belongs to width/slide windows.
+	if n := len(w.Windows(100)); n != 3 {
+		t.Fatalf("element in %d windows, want 3", n)
+	}
+}
+
+func TestSlidingInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Sliding{Width: 10, Slide: 20}.Windows(0)
+}
+
+func TestBufferTumblingFiring(t *testing.T) {
+	b := NewBuffer[int](Tumbling{Width: 10}, 0)
+	b.Add(1, 100)
+	b.Add(5, 101)
+	b.Add(12, 102)
+	// Watermark at 9: nothing complete.
+	if fired := b.Advance(9); len(fired) != 0 {
+		t.Fatalf("early fire: %v", fired)
+	}
+	// Watermark at 10: window [0,10) fires with two items.
+	fired := b.Advance(10)
+	if len(fired) != 1 || fired[0].Start != 0 || fired[0].End != 10 {
+		t.Fatalf("fired %v", fired)
+	}
+	if len(fired[0].Items) != 2 || fired[0].Items[0] != 100 || fired[0].Items[1] != 101 {
+		t.Fatalf("items %v", fired[0].Items)
+	}
+	// The second window fires later.
+	fired = b.Advance(30)
+	if len(fired) != 1 || fired[0].Start != 10 || fired[0].Items[0] != 102 {
+		t.Fatalf("second fire %v", fired)
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("pending %d", b.Pending())
+	}
+}
+
+func TestBufferLateElements(t *testing.T) {
+	b := NewBuffer[int](Tumbling{Width: 10}, 0)
+	b.Add(5, 1)
+	b.Advance(10) // [0,10) fired
+	// A late element for the fired window is dropped and counted.
+	b.Add(7, 2)
+	if b.DroppedLate != 1 {
+		t.Fatalf("dropped %d", b.DroppedLate)
+	}
+	// An element for an open window still lands.
+	b.Add(15, 3)
+	if b.DroppedLate != 1 || b.Pending() != 1 {
+		t.Fatalf("dropped=%d pending=%d", b.DroppedLate, b.Pending())
+	}
+}
+
+func TestBufferFiredSetGC(t *testing.T) {
+	b := NewBuffer[int](Tumbling{Width: 10}, 20*time.Nanosecond)
+	for ts := int64(0); ts < 200; ts += 10 {
+		b.Add(ts, int(ts))
+		b.Advance(ts + 10)
+	}
+	if len(b.fired) > 5 {
+		t.Fatalf("fired set leaked: %d entries", len(b.fired))
+	}
+}
+
+func TestBufferSlidingCoverage(t *testing.T) {
+	// Every element must appear in exactly width/slide fired windows.
+	b := NewBuffer[int64](Sliding{Width: 30, Slide: 10}, 0)
+	const n = 50
+	for i := int64(0); i < n; i++ {
+		b.Add(i*7, i)
+	}
+	appearances := map[int64]int{}
+	for _, f := range b.Advance(1 << 40) {
+		for _, v := range f.Items {
+			appearances[v]++
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		if appearances[i] != 3 {
+			t.Fatalf("element %d in %d windows, want 3", i, appearances[i])
+		}
+	}
+}
+
+func TestQuickTumblingPartition(t *testing.T) {
+	// Tumbling windows partition the timeline: every ts is in exactly one
+	// window, and that window contains it.
+	f := func(raw int64, width uint16) bool {
+		w := Tumbling{Width: time.Duration(int64(width%1000) + 1)}
+		ws := w.Windows(raw)
+		if len(ws) != 1 {
+			return false
+		}
+		start := ws[0]
+		return start <= raw && raw < start+w.Size() && mod(start, w.Size()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSlidingContainment(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		slide := int64(1 + r.Intn(100))
+		k := int64(1 + r.Intn(5))
+		w := Sliding{Width: time.Duration(slide * k), Slide: time.Duration(slide)}
+		ts := r.Int63n(1 << 40)
+		ws := w.Windows(ts)
+		if int64(len(ws)) != k {
+			t.Fatalf("ts in %d windows, want %d", len(ws), k)
+		}
+		for _, start := range ws {
+			if !(start <= ts && ts < start+w.Size()) {
+				t.Fatalf("window [%d,%d) does not contain %d", start, start+w.Size(), ts)
+			}
+		}
+	}
+}
+
+func TestCountBuffer(t *testing.T) {
+	b := NewCountBuffer[string](3)
+	if out := b.Add("a"); out != nil {
+		t.Fatal("fired early")
+	}
+	b.Add("b")
+	out := b.Add("c")
+	if len(out) != 3 || out[0] != "a" || out[2] != "c" {
+		t.Fatalf("batch %v", out)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("len %d after fire", b.Len())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewCountBuffer[int](0)
+	}()
+}
+
+func TestWatermarkSkew(t *testing.T) {
+	w := NewWatermark(5 * time.Nanosecond)
+	if w.Current() != 0 {
+		t.Fatal("fresh watermark nonzero")
+	}
+	if got := w.Observe(100); got != 95 {
+		t.Fatalf("watermark %d", got)
+	}
+	// Out-of-order observation does not regress.
+	if got := w.Observe(90); got != 95 {
+		t.Fatalf("watermark regressed to %d", got)
+	}
+	if got := w.Observe(200); got != 195 {
+		t.Fatalf("watermark %d", got)
+	}
+}
+
+// TestWindowedJoinScenario exercises the substrate end to end the way the
+// ride-hailing join would: locations buffered in sliding windows, requests
+// matched against the window contents at their timestamp.
+func TestWindowedJoinScenario(t *testing.T) {
+	type loc struct {
+		driver string
+		ts     int64
+	}
+	locs := NewBuffer[loc](Sliding{Width: 100, Slide: 25}, 0)
+	// Driver A updates at t=10 (windows -75..0), driver B at t=90
+	// (windows 0..75): they overlap only in window [0,100).
+	locs.Add(10, loc{"A", 10})
+	locs.Add(90, loc{"B", 90})
+	fired := locs.Advance(300)
+	byStart := map[int64][]loc{}
+	for _, f := range fired {
+		byStart[f.Start] = f.Items
+	}
+	if got := byStart[0]; len(got) != 2 {
+		t.Fatalf("window 0: %v", got)
+	}
+	if got := byStart[-25]; len(got) != 1 || got[0].driver != "A" {
+		t.Fatalf("window -25: %v", got)
+	}
+	if got := byStart[75]; len(got) != 1 || got[0].driver != "B" {
+		t.Fatalf("window 75: %v", got)
+	}
+}

@@ -1,0 +1,226 @@
+// Package workload provides the synthetic stand-ins for the paper's two
+// datasets (Table 2) and the two evaluation applications (§5.1):
+//
+//   - a ride-hailing workload shaped like the Didi Gaia trace: driver
+//     location updates (random walks over a city bounding box, Zipf-skewed
+//     driver activity) and passenger requests;
+//   - a stock-exchange workload shaped like the NASDAQ trace: buy/sell
+//     records over 6,649 symbols with per-symbol price walks.
+//
+// The real traces are proprietary/paywalled; the generators reproduce the
+// properties the evaluation actually depends on — tuple sizes, key
+// cardinalities and arrival processes (see DESIGN.md substitutions).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// City bounding box for the ride-hailing workload (roughly Chengdu, the
+// Didi Gaia coverage area).
+const (
+	LatMin, LatMax = 30.4, 30.9
+	LonMin, LonMax = 103.8, 104.3
+)
+
+// RideConfig parameterises the ride-hailing generator.
+type RideConfig struct {
+	// Drivers is the driver population (the full trace has 6M; scale to
+	// taste).
+	Drivers int
+	// ZipfS skews driver activity (s > 1; default 1.2).
+	ZipfS float64
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+func (c RideConfig) withDefaults() RideConfig {
+	if c.Drivers <= 0 {
+		c.Drivers = 10000
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RideGen generates driver locations and passenger requests.
+type RideGen struct {
+	cfg  RideConfig
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	lat  []float64
+	lon  []float64
+	reqs int64
+	locs int64
+}
+
+// NewRideGen seeds a generator with every driver at a random position.
+func NewRideGen(cfg RideConfig) *RideGen {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &RideGen{
+		cfg:  cfg,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Drivers-1)),
+		lat:  make([]float64, cfg.Drivers),
+		lon:  make([]float64, cfg.Drivers),
+	}
+	for i := range g.lat {
+		g.lat[i] = LatMin + rng.Float64()*(LatMax-LatMin)
+		g.lon[i] = LonMin + rng.Float64()*(LonMax-LonMin)
+	}
+	return g
+}
+
+// DriverID formats driver i's key.
+func DriverID(i int) string { return fmt.Sprintf("drv-%06d", i) }
+
+// NextLocation returns one location update: (driverID, lat, lon). The
+// driver is Zipf-picked (hot drivers update often) and random-walks ~100m.
+func (g *RideGen) NextLocation() (driverID string, lat, lon float64) {
+	i := int(g.zipf.Uint64())
+	g.lat[i] = clamp(g.lat[i]+g.rng.NormFloat64()*0.001, LatMin, LatMax)
+	g.lon[i] = clamp(g.lon[i]+g.rng.NormFloat64()*0.001, LonMin, LonMax)
+	g.locs++
+	return DriverID(i), g.lat[i], g.lon[i]
+}
+
+// NextRequest returns one passenger request: (requestID, lat, lon).
+func (g *RideGen) NextRequest() (requestID int64, lat, lon float64) {
+	g.reqs++
+	return g.reqs, LatMin + g.rng.Float64()*(LatMax-LatMin), LonMin + g.rng.Float64()*(LonMax-LonMin)
+}
+
+// Counts returns generated (locations, requests).
+func (g *RideGen) Counts() (locations, requests int64) { return g.locs, g.reqs }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Haversine returns the great-circle distance in kilometres.
+func Haversine(lat1, lon1, lat2, lon2 float64) float64 {
+	const r = 6371.0
+	toRad := func(d float64) float64 { return d * math.Pi / 180 }
+	dLat := toRad(lat2 - lat1)
+	dLon := toRad(lon2 - lon1)
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(toRad(lat1))*math.Cos(toRad(lat2))*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * r * math.Asin(math.Sqrt(a))
+}
+
+// StockConfig parameterises the stock-exchange generator.
+type StockConfig struct {
+	// Symbols is the symbol universe (the NASDAQ trace has 6,649).
+	Symbols int
+	// Seed makes the stream deterministic.
+	Seed int64
+	// InvalidFrac injects records violating trading rules (filtered by the
+	// split operator); default 2%.
+	InvalidFrac float64
+}
+
+func (c StockConfig) withDefaults() StockConfig {
+	if c.Symbols <= 0 {
+		c.Symbols = 6649
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.InvalidFrac == 0 {
+		c.InvalidFrac = 0.02
+	}
+	return c
+}
+
+// Sides of a stock record.
+const (
+	SideBuy  = "B"
+	SideSell = "S"
+)
+
+// StockGen generates exchange records with per-symbol price walks.
+type StockGen struct {
+	cfg    StockConfig
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	prices []float64
+	count  int64
+}
+
+// NewStockGen seeds a generator with prices in [10, 510).
+func NewStockGen(cfg StockConfig) *StockGen {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &StockGen{
+		cfg:    cfg,
+		rng:    rng,
+		zipf:   rand.NewZipf(rng, 1.1, 1, uint64(cfg.Symbols-1)),
+		prices: make([]float64, cfg.Symbols),
+	}
+	for i := range g.prices {
+		g.prices[i] = 10 + rng.Float64()*500
+	}
+	return g
+}
+
+// Symbol formats symbol i's ticker.
+func Symbol(i int) string { return fmt.Sprintf("SYM%04d", i) }
+
+// Next returns one exchange record: (symbol, side, price, qty). Roughly
+// InvalidFrac of records violate trading rules (non-positive price or
+// quantity) and must be filtered by the split operator.
+func (g *StockGen) Next() (symbol, side string, price float64, qty int64) {
+	g.count++
+	i := int(g.zipf.Uint64())
+	g.prices[i] = math.Max(1, g.prices[i]*(1+g.rng.NormFloat64()*0.001))
+	side = SideBuy
+	if g.rng.Intn(2) == 1 {
+		side = SideSell
+	}
+	price = g.prices[i]
+	qty = int64(1 + g.rng.Intn(500))
+	if g.rng.Float64() < g.cfg.InvalidFrac {
+		if g.rng.Intn(2) == 0 {
+			price = 0
+		} else {
+			qty = -qty
+		}
+	}
+	return Symbol(i), side, price, qty
+}
+
+// Count returns the number of generated records.
+func (g *StockGen) Count() int64 { return g.count }
+
+// DatasetStats is one Table 2 row.
+type DatasetStats struct {
+	Name   string
+	Tuples int64
+	Keys   int64
+}
+
+// Table2 reports the paper's dataset statistics alongside what the
+// generators are configured to produce.
+func Table2(ride RideConfig, stock StockConfig) []DatasetStats {
+	ride = ride.withDefaults()
+	stock = stock.withDefaults()
+	return []DatasetStats{
+		{Name: "Didi Orders (paper)", Tuples: 13_000_000_000, Keys: 6_000_000},
+		{Name: "Nasdaq Stock (paper)", Tuples: 274_000_000, Keys: 6_649},
+		{Name: "Synthetic ride-hailing (this repo)", Tuples: -1, Keys: int64(ride.Drivers)},
+		{Name: "Synthetic stock (this repo)", Tuples: -1, Keys: int64(stock.Symbols)},
+	}
+}

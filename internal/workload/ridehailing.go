@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"whale/internal/dsps"
+	"whale/internal/tuple"
+)
+
+// Stream names in the ride-hailing topology.
+const (
+	StreamLocations = "locations"
+	StreamRequests  = "requests"
+	StreamMatches   = "matches"
+)
+
+// LocationSpout emits driver location updates on StreamLocations.
+type LocationSpout struct {
+	gen   *RideGen
+	limit *RateLimiter
+	max   int64
+	sent  int64
+}
+
+// NewLocationSpoutFactory returns a spout factory. rate <= 0 means
+// unthrottled; max <= 0 means unbounded.
+func NewLocationSpoutFactory(cfg RideConfig, rate float64, max int64) func() dsps.Spout {
+	return func() dsps.Spout {
+		return &LocationSpout{gen: NewRideGen(cfg), limit: NewRateLimiter(rate), max: max}
+	}
+}
+
+// Open implements dsps.Spout.
+func (s *LocationSpout) Open(*dsps.TaskContext) {}
+
+// Next implements dsps.Spout.
+func (s *LocationSpout) Next(c *dsps.Collector) bool {
+	if s.max > 0 && s.sent >= s.max {
+		return false
+	}
+	s.limit.Wait()
+	id, lat, lon := s.gen.NextLocation()
+	c.EmitTo(StreamLocations, id, lat, lon)
+	s.sent++
+	return true
+}
+
+// Close implements dsps.Spout.
+func (s *LocationSpout) Close() {}
+
+// RequestSpout emits passenger requests on StreamRequests (the broadcast
+// stream whose one-to-many partitioning the paper studies).
+type RequestSpout struct {
+	gen   *RideGen
+	limit *RateLimiter
+	max   int64
+	sent  int64
+}
+
+// NewRequestSpoutFactory returns a spout factory.
+func NewRequestSpoutFactory(cfg RideConfig, rate float64, max int64) func() dsps.Spout {
+	return func() dsps.Spout {
+		return &RequestSpout{gen: NewRideGen(cfg), limit: NewRateLimiter(rate), max: max}
+	}
+}
+
+// Open implements dsps.Spout.
+func (s *RequestSpout) Open(*dsps.TaskContext) {}
+
+// Next implements dsps.Spout.
+func (s *RequestSpout) Next(c *dsps.Collector) bool {
+	if s.max > 0 && s.sent >= s.max {
+		return false
+	}
+	s.limit.Wait()
+	id, lat, lon := s.gen.NextRequest()
+	c.EmitTo(StreamRequests, id, lat, lon)
+	s.sent++
+	return true
+}
+
+// Close implements dsps.Spout.
+func (s *RequestSpout) Close() {}
+
+// MatcherBolt is the matching operator: it stores the key-grouped driver
+// locations it owns and, for every broadcast request, reports its best
+// local candidate on StreamMatches (requestID, driverID, distanceKM). A
+// request with no local candidate still emits a marker so the aggregator
+// can finalize (driverID "", distance +Inf).
+type MatcherBolt struct {
+	// RadiusKM bounds the match search (default 5 km).
+	RadiusKM float64
+	drivers  map[string][2]float64
+	executed atomic.Int64
+}
+
+// Prepare implements dsps.Bolt.
+func (m *MatcherBolt) Prepare(*dsps.TaskContext) {
+	m.drivers = map[string][2]float64{}
+	if m.RadiusKM <= 0 {
+		m.RadiusKM = 5
+	}
+}
+
+// Execute implements dsps.Bolt.
+func (m *MatcherBolt) Execute(tp *tuple.Tuple, c *dsps.Collector) {
+	m.executed.Add(1)
+	switch tp.Stream {
+	case StreamLocations:
+		m.drivers[tp.StringAt(0)] = [2]float64{tp.Float(1), tp.Float(2)}
+	case StreamRequests:
+		reqID, lat, lon := tp.Int(0), tp.Float(1), tp.Float(2)
+		bestID, bestDist := "", math.Inf(1)
+		for id, pos := range m.drivers {
+			d := Haversine(lat, lon, pos[0], pos[1])
+			if d <= m.RadiusKM && d < bestDist {
+				bestID, bestDist = id, d
+			}
+		}
+		c.EmitTo(StreamMatches, reqID, bestID, bestDist)
+	}
+}
+
+// Cleanup implements dsps.Bolt.
+func (m *MatcherBolt) Cleanup() {}
+
+// AggregatorBolt collects per-request candidates from all matchers and
+// selects the closest driver once every matcher has reported.
+type AggregatorBolt struct {
+	matchers int
+	best     map[int64]matchState
+	// Matched counts requests that found a driver; Unmatched those that
+	// did not. Exposed through pointers shared by the factory so tests and
+	// examples can read totals after shutdown.
+	Matched   *atomic.Int64
+	Unmatched *atomic.Int64
+}
+
+type matchState struct {
+	reports int
+	driver  string
+	dist    float64
+}
+
+// NewAggregatorFactory returns a factory for aggregators expecting reports
+// from `matchers` instances per request.
+func NewAggregatorFactory(matchers int, matched, unmatched *atomic.Int64) func() dsps.Bolt {
+	return func() dsps.Bolt {
+		return &AggregatorBolt{matchers: matchers, Matched: matched, Unmatched: unmatched}
+	}
+}
+
+// Prepare implements dsps.Bolt.
+func (a *AggregatorBolt) Prepare(*dsps.TaskContext) { a.best = map[int64]matchState{} }
+
+// Execute implements dsps.Bolt.
+func (a *AggregatorBolt) Execute(tp *tuple.Tuple, _ *dsps.Collector) {
+	reqID := tp.Int(0)
+	st := a.best[reqID]
+	st.reports++
+	if id, dist := tp.StringAt(1), tp.Float(2); id != "" && (st.driver == "" || dist < st.dist) {
+		st.driver, st.dist = id, dist
+	}
+	if st.reports >= a.matchers {
+		if st.driver != "" {
+			if a.Matched != nil {
+				a.Matched.Add(1)
+			}
+		} else if a.Unmatched != nil {
+			a.Unmatched.Add(1)
+		}
+		delete(a.best, reqID)
+	} else {
+		a.best[reqID] = st
+	}
+}
+
+// Cleanup implements dsps.Bolt.
+func (a *AggregatorBolt) Cleanup() {}
+
+// RideTopologyConfig assembles the §5.1 ride-hailing application.
+type RideTopologyConfig struct {
+	Gen RideConfig
+	// Matchers is the matching operator's parallelism (the paper's swept
+	// variable).
+	Matchers int
+	// Aggregators is the aggregation parallelism (default 2).
+	Aggregators int
+	// LocationRate / RequestRate throttle the spouts (tuples/s, 0 = full
+	// speed); MaxLocations / MaxRequests bound them (0 = unbounded).
+	LocationRate, RequestRate float64
+	MaxLocations, MaxRequests int64
+	// Matched/Unmatched receive final counts when non-nil.
+	Matched, Unmatched *atomic.Int64
+}
+
+// BuildRideTopology builds the ride-hailing DAG: a location spout
+// (key-grouped to matchers), a request spout (all-grouped to matchers —
+// the one-to-many edge), matchers, and aggregators keyed by request id.
+func BuildRideTopology(cfg RideTopologyConfig) (*dsps.Topology, error) {
+	if cfg.Matchers <= 0 {
+		cfg.Matchers = 4
+	}
+	if cfg.Aggregators <= 0 {
+		cfg.Aggregators = 2
+	}
+	b := dsps.NewTopologyBuilder()
+	b.Spout("locations-src", NewLocationSpoutFactory(cfg.Gen, cfg.LocationRate, cfg.MaxLocations), 1)
+	b.Spout("requests-src", NewRequestSpoutFactory(cfg.Gen, cfg.RequestRate, cfg.MaxRequests), 1)
+	b.Bolt("matcher", func() dsps.Bolt { return &MatcherBolt{} }, cfg.Matchers).
+		FieldsStream("locations-src", StreamLocations, 0).
+		AllStream("requests-src", StreamRequests)
+	b.Bolt("aggregator", NewAggregatorFactory(cfg.Matchers, cfg.Matched, cfg.Unmatched), cfg.Aggregators).
+		FieldsStream("matcher", StreamMatches, 0)
+	return b.Build()
+}
+
+// RateLimiter paces emissions to a fixed rate, or a time-varying profile.
+// The profile clock (born) is fixed at the first Wait and never adjusted;
+// pacing advances a separate cursor (next), so rate changes neither burst
+// nor distort the profile's notion of elapsed time.
+type RateLimiter struct {
+	born time.Time
+	next time.Time
+	rate func(elapsed time.Duration) float64
+}
+
+// NewRateLimiter returns a fixed-rate limiter; rate <= 0 disables pacing.
+func NewRateLimiter(rate float64) *RateLimiter {
+	if rate <= 0 {
+		return &RateLimiter{}
+	}
+	return &RateLimiter{rate: func(time.Duration) float64 { return rate }}
+}
+
+// NewProfileLimiter paces to a time-varying rate profile.
+func NewProfileLimiter(profile func(elapsed time.Duration) float64) *RateLimiter {
+	return &RateLimiter{rate: profile}
+}
+
+// Wait blocks until the next emission is due.
+func (l *RateLimiter) Wait() {
+	if l.rate == nil {
+		return
+	}
+	now := time.Now()
+	if l.born.IsZero() {
+		l.born, l.next = now, now
+	}
+	r := l.rate(now.Sub(l.born))
+	if r <= 0 {
+		time.Sleep(time.Millisecond)
+		return
+	}
+	// If the caller stalled (backpressure) the cursor may be far in the
+	// past; resume from now instead of bursting the backlog.
+	if l.next.Before(now.Add(-100 * time.Millisecond)) {
+		l.next = now
+	}
+	if d := l.next.Sub(now); d > 0 {
+		time.Sleep(d)
+	}
+	l.next = l.next.Add(time.Duration(float64(time.Second) / r))
+}

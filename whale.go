@@ -1,0 +1,146 @@
+// Package whale is a Go reproduction of "Whale: Efficient One-to-Many Data
+// Partitioning in RDMA-Assisted Distributed Stream Processing Systems"
+// (SC '21): a Storm-like stream processing engine whose one-to-many (all
+// grouping) data partitioning runs over worker-oriented communication, an
+// emulated RDMA verbs transport with ring memory regions and MMS/WTL
+// stream slicing, and a self-adjusting non-blocking multicast tree.
+//
+// The public API mirrors the Storm programming model: build a Topology of
+// Spouts and Bolts with groupings, then Run it under one of the paper's
+// System presets (Storm, RDMAStorm, WhaleWOC, WhaleWOCRDMA,
+// WhaleSequential, RDMC, Whale).
+//
+//	builder := whale.NewTopologyBuilder()
+//	builder.Spout("src", newSource, 1)
+//	builder.Bolt("match", newMatcher, 16).All("src")
+//	topo, _ := builder.Build()
+//	cluster, _ := whale.Run(topo, whale.SystemWhale, whale.Options{Workers: 4})
+//	defer cluster.Shutdown()
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-reproduction results.
+package whale
+
+import (
+	"time"
+
+	"whale/internal/core"
+	"whale/internal/dsps"
+	"whale/internal/tuple"
+)
+
+// Data model re-exports.
+type (
+	// Tuple is the unit of data flowing through a topology.
+	Tuple = tuple.Tuple
+	// Value is one tuple field (int64, float64, string, []byte, or bool).
+	Value = tuple.Value
+)
+
+// Programming model re-exports.
+type (
+	// Spout produces tuples (see dsps.Spout).
+	Spout = dsps.Spout
+	// Bolt processes tuples (see dsps.Bolt).
+	Bolt = dsps.Bolt
+	// Collector emits tuples from operator code.
+	Collector = dsps.Collector
+	// TaskContext describes the executing instance.
+	TaskContext = dsps.TaskContext
+	// TopologyBuilder assembles an application DAG.
+	TopologyBuilder = dsps.TopologyBuilder
+	// Topology is a validated application DAG.
+	Topology = dsps.Topology
+	// Metrics aggregates engine instrumentation.
+	Metrics = dsps.Metrics
+)
+
+// StreamTick is the stream of engine-generated tick tuples delivered to
+// bolts declared with TickEvery (used by windowed operators to fire on
+// time without traffic).
+const StreamTick = dsps.StreamTick
+
+// NewTopologyBuilder returns an empty topology builder.
+func NewTopologyBuilder() *TopologyBuilder { return dsps.NewTopologyBuilder() }
+
+// NewTestCollector returns a detached collector for unit-testing operators.
+func NewTestCollector(fn func(stream string, values []Value)) *Collector {
+	return dsps.NewTestCollector(fn)
+}
+
+// System selects one of the paper's evaluated system configurations.
+type System = core.System
+
+// The paper's systems (§5.1).
+const (
+	// SystemStorm is stock Apache Storm: instance-oriented over TCP.
+	SystemStorm = core.Storm
+	// SystemRDMAStorm replaces TCP with basic two-sided verbs.
+	SystemRDMAStorm = core.RDMAStorm
+	// SystemWhaleWOC adds worker-oriented communication.
+	SystemWhaleWOC = core.WhaleWOC
+	// SystemWhaleWOCRDMA adds the optimized RDMA primitives (one-sided
+	// READ, ring memory region, MMS/WTL).
+	SystemWhaleWOCRDMA = core.WhaleWOCRDMA
+	// SystemWhaleSequential is WhaleWOCRDMA under star multicast.
+	SystemWhaleSequential = core.WhaleSequential
+	// SystemRDMC uses a static binomial multicast tree.
+	SystemRDMC = core.RDMC
+	// SystemWhale is the full system with the self-adjusting non-blocking
+	// multicast tree.
+	SystemWhale = core.Whale
+)
+
+// Options tunes a cluster (see core.Options).
+type Options = core.Options
+
+// Transport kinds for Options.Transport.
+const (
+	// TransportAuto picks the system's canonical wire.
+	TransportAuto = core.TransportAuto
+	// TransportInproc uses Go channels.
+	TransportInproc = core.TransportInproc
+	// TransportTCP uses loopback TCP.
+	TransportTCP = core.TransportTCP
+	// TransportRDMA uses the emulated RDMA fabric.
+	TransportRDMA = core.TransportRDMA
+)
+
+// Cluster is a running topology.
+type Cluster struct {
+	eng *dsps.Engine
+}
+
+// Run launches the topology under the given system preset.
+func Run(topo *Topology, sys System, opts Options) (*Cluster, error) {
+	eng, err := sys.Launch(topo, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{eng: eng}, nil
+}
+
+// Metrics returns live engine metrics.
+func (c *Cluster) Metrics() *Metrics { return c.eng.Metrics() }
+
+// OperatorStats snapshots per-operator executed/emitted counters and
+// execute-latency histograms.
+func (c *Cluster) OperatorStats() map[string]dsps.OperatorStats {
+	return c.eng.OperatorStats()
+}
+
+// WaitSources blocks until every spout finishes of its own accord.
+func (c *Cluster) WaitSources() { c.eng.WaitSpouts() }
+
+// StopSources signals spouts to finish and waits for them.
+func (c *Cluster) StopSources() { c.eng.StopSpouts() }
+
+// Drain waits (bounded) for in-flight tuples to finish; true on quiescence.
+func (c *Cluster) Drain(timeout time.Duration) bool { return c.eng.Drain(timeout) }
+
+// ActiveDstar reports the adaptive multicast tree's current out-degree cap
+// (0 when no adaptive group exists).
+func (c *Cluster) ActiveDstar() int { return c.eng.ActiveDstar() }
+
+// Shutdown stops the cluster and releases the network.
+func (c *Cluster) Shutdown() { c.eng.Stop() }
