@@ -1,0 +1,27 @@
+# Standard checks for the Whale reproduction. `make check` is what CI (and
+# reviewers) run: vet, build, the full test suite, and a race pass over the
+# concurrency-heavy observability and metrics packages.
+
+GO ?= go
+
+.PHONY: check vet build test race fmt bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/obs/... ./internal/metrics/...
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -37,6 +37,8 @@ func main() {
 	matchers := flag.Int("matchers", 16, "matching operator parallelism")
 	duration := flag.Duration("duration", 10*time.Second, "run duration")
 	rate := flag.Float64("rate", 0, "broadcast stream rate (tuples/s, 0 = full speed)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics and /debug endpoints on this address (e.g. :9090)")
+	traceEvery := flag.Int64("trace-sample-every", 0, "trace every Nth spout tuple through the pipeline (0 = off)")
 	flag.Parse()
 
 	sys, ok := systems[*sysName]
@@ -75,26 +77,35 @@ func main() {
 		os.Exit(1)
 	}
 
-	cluster, err := whale.Run(topo, sys, whale.Options{Workers: *workers})
+	cluster, err := whale.Run(topo, sys, whale.Options{
+		Workers:          *workers,
+		ObsAddr:          *obsAddr,
+		TraceSampleEvery: *traceEvery,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("running %s on %s with %d matchers over %d workers for %v\n",
 		*app, sys, *matchers, *workers, *duration)
+	if addr := cluster.ObsAddr(); addr != "" {
+		fmt.Printf("observability: http://%s/metrics  http://%s/debug/whale\n", addr, addr)
+	}
 
 	start := time.Now()
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
 	var lastCompleted int64
 	for range ticker.C {
-		m := cluster.Metrics()
-		completed := m.TuplesCompleted.Value()
-		lat := m.ProcessingLatency.Snapshot()
+		// The once-a-second printout reads the same registry snapshot the
+		// /metrics and /debug/whale endpoints serve.
+		s := cluster.Obs().Reg.Snapshot()
+		completed := s.Counters["dsps.tuples_completed"]
+		lat := s.Histograms["dsps.processing_latency_ns"]
 		fmt.Printf("t=%3.0fs  completed/s=%-8d  p50=%-8s p99=%-8s  emitted=%-10d d*=%d\n",
 			time.Since(start).Seconds(), completed-lastCompleted,
 			time.Duration(lat.P50), time.Duration(lat.P99),
-			m.TuplesEmitted.Value(), cluster.ActiveDstar())
+			s.Counters["dsps.tuples_emitted"], s.Gauges["multicast.active_dstar"])
 		lastCompleted = completed
 		if time.Since(start) >= *duration {
 			break

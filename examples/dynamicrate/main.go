@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sync/atomic"
@@ -66,6 +67,8 @@ func (b *sinkBolt) Execute(*whale.Tuple, *whale.Collector) {
 func (b *sinkBolt) Cleanup() {}
 
 func main() {
+	obsAddr := flag.String("obs-addr", "", "serve /metrics and /debug endpoints on this address (e.g. :9090)")
+	flag.Parse()
 	var delivered atomic.Int64
 	b := whale.NewTopologyBuilder()
 	b.Spout("stream", func() whale.Spout { return &profiledSpout{} }, 1)
@@ -78,12 +81,16 @@ func main() {
 		Workers:         8,
 		InitialDstar:    1, // start as a chain so the controller has room to adapt
 		MonitorInterval: 20 * time.Millisecond,
+		ObsAddr:         *obsAddr,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("offered rate steps 3k -> 6k -> 8k -> 10k -> 8k tuples/s over 10s; 24 consumers on 8 workers")
+	if addr := cluster.ObsAddr(); addr != "" {
+		fmt.Printf("scale events live at http://%s/debug/events\n", addr)
+	}
 	start := time.Now()
 	ticker := time.NewTicker(time.Second)
 	var last int64

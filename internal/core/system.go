@@ -19,10 +19,12 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"whale/internal/control"
 	"whale/internal/dsps"
+	"whale/internal/obs"
 	"whale/internal/rdma"
 	"whale/internal/transport"
 )
@@ -120,6 +122,19 @@ type Options struct {
 	AckTimeout time.Duration
 	// MaxSpoutPending caps in-flight reliability trees per spout task.
 	MaxSpoutPending int
+
+	// ObsAddr, when non-empty, serves the observability endpoints
+	// (/metrics, /debug/whale, /debug/events, /debug/pprof) on that
+	// address (e.g. "127.0.0.1:9090"; ":0" picks a free port).
+	ObsAddr string
+	// TraceSampleEvery enables tuple-path tracing: every Nth spout root
+	// tuple carries a trace ID and records per-stage span timings
+	// (0 disables tracing).
+	TraceSampleEvery int64
+	// TraceKeep bounds retained full span timelines (default 64).
+	TraceKeep int
+	// EventCap bounds the reconfiguration event ring (default 1024).
+	EventCap int
 }
 
 func (o Options) withDefaults() Options {
@@ -169,8 +184,41 @@ func optimizedRDMAConfig(o Options) rdma.ChannelConfig {
 	}
 }
 
-// network builds the system's wire.
-func (s System) network(o Options) (transport.Network, error) {
+// flushHook counts every RDMA batch flush in the scope's registry by
+// reason (rdma.flushes_mms / _wtl / _explicit, plus rdma.flush_bytes) and
+// logs an event whenever the dominant flush reason changes — the MMS↔WTL
+// transitions that show which side of the slicing trade-off the run is on.
+// The returned func runs under the channel's send lock: counter bumps and
+// an occasional ring append only.
+func flushHook(scope *obs.Scope) func(rdma.FlushReason, int) {
+	mms := scope.Reg.Counter("rdma.flushes_mms")
+	wtl := scope.Reg.Counter("rdma.flushes_wtl")
+	explicit := scope.Reg.Counter("rdma.flushes_explicit")
+	bytes := scope.Reg.Counter("rdma.flush_bytes")
+	var last atomic.Int32
+	last.Store(-1)
+	return func(reason rdma.FlushReason, batchBytes int) {
+		switch reason {
+		case rdma.FlushMMS:
+			mms.Inc()
+		case rdma.FlushWTL:
+			wtl.Inc()
+		default:
+			explicit.Inc()
+		}
+		bytes.Add(int64(batchBytes))
+		if prev := last.Swap(int32(reason)); prev != int32(reason) && prev != -1 {
+			scope.Events.Append(obs.Event{
+				Kind:   obs.EventFlushReason,
+				Detail: fmt.Sprintf("flush reason %s -> %s", rdma.FlushReason(prev), reason),
+			})
+		}
+	}
+}
+
+// network builds the system's wire, wiring RDMA flush observability into
+// the scope.
+func (s System) network(o Options, scope *obs.Scope) (transport.Network, error) {
 	kind := o.Transport
 	if kind == TransportAuto {
 		if s == Storm {
@@ -189,17 +237,23 @@ func (s System) network(o Options) (transport.Network, error) {
 		if s == RDMAStorm || s == WhaleWOC {
 			cfg = basicRDMAConfig(o)
 		}
+		cfg.OnFlush = flushHook(scope)
 		return transport.NewRDMANetwork(o.Cost, cfg), nil
 	default:
 		return nil, fmt.Errorf("core: unknown transport kind %d", kind)
 	}
 }
 
-// EngineConfig assembles the dsps configuration (including the network) for
-// the system.
+// EngineConfig assembles the dsps configuration (including the network and
+// observability scope) for the system.
 func (s System) EngineConfig(o Options) (dsps.Config, error) {
 	o = o.withDefaults()
-	net, err := s.network(o)
+	scope := obs.NewScope(obs.Config{
+		TraceSampleEvery: int(o.TraceSampleEvery),
+		TraceKeep:        o.TraceKeep,
+		EventCap:         o.EventCap,
+	})
+	net, err := s.network(o, scope)
 	if err != nil {
 		return dsps.Config{}, err
 	}
@@ -215,6 +269,7 @@ func (s System) EngineConfig(o Options) (dsps.Config, error) {
 		Ackers:           o.Ackers,
 		AckTimeout:       o.AckTimeout,
 		MaxSpoutPending:  o.MaxSpoutPending,
+		Obs:              scope,
 	}
 	switch s {
 	case Storm, RDMAStorm:

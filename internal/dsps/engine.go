@@ -9,7 +9,9 @@ import (
 	"whale/internal/control"
 	"whale/internal/metrics"
 	"whale/internal/multicast"
+	"whale/internal/obs"
 	"whale/internal/queueing"
+	"whale/internal/rdma"
 	"whale/internal/transport"
 	"whale/internal/tuple"
 )
@@ -93,6 +95,11 @@ type Config struct {
 	// MaxSpoutPending caps in-flight reliability trees per spout task
 	// (0 = unlimited). Requires AckEnabled.
 	MaxSpoutPending int
+
+	// Obs is the observability scope every subsystem registers into. When
+	// nil the engine creates a private scope with tracing disabled, so
+	// instrumentation call sites never need nil checks.
+	Obs *obs.Scope
 }
 
 func (c Config) withDefaults() Config {
@@ -144,7 +151,9 @@ type Metrics struct {
 	CompleteLatency   metrics.Histogram // reliable emit -> tree complete, ns
 }
 
-// opMetrics is the per-operator instrumentation.
+// opMetrics is one executor's share of an operator's instrumentation.
+// Each executor owns its own instance so the execute hot path never
+// contends across workers; reporting merges them (Histogram.Merge).
 type opMetrics struct {
 	executed metrics.Counter
 	emitted  metrics.Counter
@@ -184,11 +193,12 @@ type Engine struct {
 
 	workers    []*worker
 	metrics    *Metrics
+	obs        *obs.Scope
 	groupDescs []*groupDesc
 	groupIDs   map[groupKey]int32
 	managers   map[int32]*mcManager
 	taskMgr    map[int32]*mcManager
-	opStats    map[string]*opMetrics
+	opStats    map[string][]*opMetrics                // per-executor shares, merged on read
 	remoteBy   map[string]map[int32]map[int32][]int32 // op -> srcWorker -> dstWorker -> tasks
 
 	stopSpoutsOnce sync.Once
@@ -214,14 +224,19 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 	if _, taken := topo.Operators[ackerOperatorID]; taken {
 		return nil, fmt.Errorf("dsps: operator id %q is reserved", ackerOperatorID)
 	}
+	scope := cfg.Obs
+	if scope == nil {
+		scope = obs.NewScope(obs.Config{}) // private, tracing disabled
+	}
 	eng := &Engine{
 		cfg:        cfg,
 		metrics:    &Metrics{},
+		obs:        scope,
 		groupIDs:   map[groupKey]int32{},
 		managers:   map[int32]*mcManager{},
 		taskMgr:    map[int32]*mcManager{},
 		remoteBy:   map[string]map[int32]map[int32][]int32{},
-		opStats:    map[string]*opMetrics{},
+		opStats:    map[string][]*opMetrics{},
 		stopSpouts: make(chan struct{}),
 		stopTick:   make(chan struct{}),
 	}
@@ -233,9 +248,6 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	eng.topo, eng.assign = topo, assign
-	for _, id := range topo.Order {
-		eng.opStats[id] = &opMetrics{}
-	}
 	eng.buildRemoteIndex()
 
 	// Workers and transports.
@@ -287,6 +299,7 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	eng.registerObs()
 
 	// Launch: bolts, send threads, managers, then spouts.
 	for _, w := range eng.workers {
@@ -425,6 +438,11 @@ func (e *Engine) buildGroups() error {
 				gs := &groupState{trees: map[int32]*multicast.Tree{1: tr}, active: 1}
 				e.workers[w].groups[gid] = gs
 			}
+			e.obs.Events.Append(obs.Event{
+				Kind: obs.EventTreeRebuild, Group: gid, Worker: srcWorker,
+				Version: 1, NewDstar: dstar,
+				Detail: fmt.Sprintf("initial %s tree over %d members", e.cfg.Multicast, len(members)),
+			})
 
 			// Adaptive controller for the non-blocking tree.
 			if e.cfg.Multicast == MulticastNonBlocking && !e.cfg.FixedDstar {
@@ -485,21 +503,115 @@ func (e *Engine) managerForTask(tid int32) *mcManager { return e.taskMgr[tid] }
 // Metrics returns the engine's aggregated metrics.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
 
+// Obs returns the engine's observability scope.
+func (e *Engine) Obs() *obs.Scope { return e.obs }
+
+// mergedOpStats folds one operator's per-executor shares into a snapshot.
+func mergedOpStats(shares []*opMetrics) OperatorStats {
+	var out OperatorStats
+	var merged metrics.Histogram
+	for _, m := range shares {
+		out.Executed += m.executed.Value()
+		out.Emitted += m.emitted.Value()
+		merged.Merge(&m.execNS)
+	}
+	out.ExecLatency = merged.Snapshot()
+	return out
+}
+
 // OperatorStats snapshots per-operator counters (user operators only; the
-// internal acker is excluded).
+// internal acker is excluded). Each executor keeps its own share; the
+// snapshot merges them.
 func (e *Engine) OperatorStats() map[string]OperatorStats {
 	out := make(map[string]OperatorStats, len(e.opStats))
-	for id, m := range e.opStats {
+	for id, shares := range e.opStats {
 		if id == ackerOperatorID {
 			continue
 		}
-		out[id] = OperatorStats{
-			Executed:    m.executed.Value(),
-			Emitted:     m.emitted.Value(),
-			ExecLatency: m.execNS.Snapshot(),
-		}
+		out[id] = mergedOpStats(shares)
 	}
 	return out
+}
+
+// registerObs publishes every engine-level series into the observability
+// registry under hierarchical names: dsps.* (tuple counters and end-to-end
+// latencies), multicast.* (tree and switch state), op.<id>.* (per-operator,
+// merged across executors) and worker.<n>.* (queue depth plus the RDMA
+// channel counters when the transport exposes them).
+func (e *Engine) registerObs() {
+	r := e.obs.Reg
+	m := e.metrics
+	for name, c := range map[string]*metrics.Counter{
+		"dsps.tuples_emitted":        &m.TuplesEmitted,
+		"dsps.tuples_executed":       &m.TuplesExecuted,
+		"dsps.tuples_completed":      &m.TuplesCompleted,
+		"dsps.tuples_acked":          &m.TuplesAcked,
+		"dsps.tuples_failed":         &m.TuplesFailed,
+		"dsps.route_errors":          &m.RouteErrors,
+		"dsps.send_errors":           &m.SendErrors,
+		"dsps.decode_errors":         &m.DecodeErrors,
+		"dsps.serializations":        &m.Serializations,
+		"dsps.serialization_ns":      &m.SerializationNS,
+		"multicast.switches":         &m.Switches,
+		"multicast.switches_skipped": &m.SkippedSwitches,
+	} {
+		r.CounterFunc(name, c.Value)
+	}
+	for name, h := range map[string]*metrics.Histogram{
+		"dsps.processing_latency_ns":  &m.ProcessingLatency,
+		"dsps.complete_latency_ns":    &m.CompleteLatency,
+		"multicast.latency_ns":        &m.MulticastLatency,
+		"multicast.switch_latency_ns": &m.SwitchLatency,
+	} {
+		r.HistogramFunc(name, h.Snapshot)
+	}
+	r.GaugeFunc("multicast.groups", func() int64 { return int64(len(e.groupDescs)) })
+	r.GaugeFunc("multicast.active_dstar", func() int64 { return int64(e.ActiveDstar()) })
+
+	for id, shares := range e.opStats {
+		if id == ackerOperatorID {
+			continue
+		}
+		shares := shares
+		r.CounterFunc(fmt.Sprintf("op.%s.executed", id), func() int64 {
+			var n int64
+			for _, s := range shares {
+				n += s.executed.Value()
+			}
+			return n
+		})
+		r.CounterFunc(fmt.Sprintf("op.%s.emitted", id), func() int64 {
+			var n int64
+			for _, s := range shares {
+				n += s.emitted.Value()
+			}
+			return n
+		})
+		r.HistogramFunc(fmt.Sprintf("op.%s.exec_latency_ns", id), func() metrics.Snapshot {
+			return mergedOpStats(shares).ExecLatency
+		})
+	}
+
+	for _, w := range e.workers {
+		w := w
+		prefix := fmt.Sprintf("worker.%d", w.id)
+		r.GaugeFunc(prefix+".transfer_queue_len", func() int64 { return int64(len(w.transfer)) })
+		if occ, ok := w.tr.(interface{ RingOccupancy() int }); ok {
+			r.GaugeFunc(prefix+".rdma.ring_occupancy", func() int64 { return int64(occ.RingOccupancy()) })
+		}
+		if cs, ok := w.tr.(interface{ ChannelStats() rdma.StatsSnapshot }); ok {
+			for name, get := range map[string]func(rdma.StatsSnapshot) int64{
+				".rdma.msgs_sent":     func(s rdma.StatsSnapshot) int64 { return s.MsgsSent },
+				".rdma.bytes_sent":    func(s rdma.StatsSnapshot) int64 { return s.BytesSent },
+				".rdma.work_requests": func(s rdma.StatsSnapshot) int64 { return s.WorkRequests },
+				".rdma.size_flushes":  func(s rdma.StatsSnapshot) int64 { return s.SizeFlushes },
+				".rdma.timer_flushes": func(s rdma.StatsSnapshot) int64 { return s.TimerFlushes },
+			} {
+				get := get
+				r.CounterFunc(prefix+name, func() int64 { return get(cs.ChannelStats()) })
+			}
+		}
+	}
 }
 
 // TransportSnapshot sums transport counters across workers.
@@ -717,10 +829,17 @@ func (m *mcManager) tick() {
 	if switching {
 		return // one switch in flight at a time
 	}
-	dec := m.ctrl.Evaluate(len(m.w.transfer))
+	m.maybeSwitch(m.ctrl.Evaluate(len(m.w.transfer)), len(m.w.transfer))
+}
+
+// maybeSwitch acts on one controller decision: it applies the Theorem 5
+// guard, rebuilds the tree, and distributes the new version. Factored out of
+// tick so tests can drive decisions deterministically.
+func (m *mcManager) maybeSwitch(dec control.Decision, queueLen int) {
 	if dec.Action == control.Hold || dec.NewDstar == m.curDstar {
 		return
 	}
+	oldDstar := m.curDstar
 	// Theorem 5 guard: an active scale-up only pays off if the stream
 	// expected over the structure's likely lifetime amortizes the switch
 	// pause. Scale-downs are never deferred (they protect the queue).
@@ -734,6 +853,12 @@ func (m *mcManager) tick() {
 			dec.Te, dec.Lambda, tswitch, horizon) {
 			m.eng.metrics.SkippedSwitches.Inc()
 			m.ctrl.ForceDstar(m.curDstar) // keep the controller honest
+			m.eng.obs.Events.Append(obs.Event{
+				Kind: obs.EventSwitchSkipped, Group: m.desc.id, Worker: m.w.id,
+				OldDstar: oldDstar, NewDstar: dec.NewDstar,
+				Lambda: dec.Lambda, Te: dec.Te, QueueLen: queueLen,
+				Detail: "Theorem 5 guard: expected stream does not amortize the switch",
+			})
 			return
 		}
 	}
@@ -751,6 +876,21 @@ func (m *mcManager) tick() {
 	m.eng.metrics.Switches.Inc()
 	version := m.nextVersion
 	m.nextVersion++
+	kind := obs.EventScaleUp
+	if dec.Action == control.ScaleDown {
+		kind = obs.EventScaleDown
+	}
+	m.eng.obs.Events.Append(obs.Event{
+		Kind: kind, Group: m.desc.id, Worker: m.w.id, Version: version,
+		OldDstar: oldDstar, NewDstar: dec.NewDstar,
+		Lambda: dec.Lambda, Te: dec.Te, QueueLen: queueLen,
+		Detail: fmt.Sprintf("%d subtree moves", len(moves)),
+	})
+	m.eng.obs.Events.Append(obs.Event{
+		Kind: obs.EventTreeRebuild, Group: m.desc.id, Worker: m.w.id,
+		Version: version, OldDstar: oldDstar, NewDstar: dec.NewDstar,
+		Detail: fmt.Sprintf("switch to version %d distributed to %d members", version, len(m.desc.members)),
+	})
 	m.mu.Lock()
 	m.pendingVersion = version
 	m.pendingTree = next
@@ -803,6 +943,11 @@ func (m *mcManager) handleAck(version int32, node int32) {
 	gs.install(version, m.pendingTree)
 	gs.activate(version)
 	m.eng.metrics.SwitchLatency.Observe(time.Since(m.switchStart).Nanoseconds())
+	m.eng.obs.Events.Append(obs.Event{
+		Kind: obs.EventSwitchComplete, Group: m.desc.id, Worker: m.w.id,
+		Version: version, NewDstar: m.curDstar,
+		Detail: fmt.Sprintf("all %d members acked; version %d active", len(m.pendingAcks), version),
+	})
 	m.pendingVersion = 0
 	m.pendingTree = nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"whale/internal/control"
 	"whale/internal/metrics"
+	"whale/internal/obs"
 	"whale/internal/rdma"
 	"whale/internal/transport"
 	"whale/internal/tuple"
@@ -518,5 +519,107 @@ func TestTickTuples(t *testing.T) {
 	// Ticks never count as completed data tuples.
 	if got := eng.Metrics().TuplesCompleted.Value(); got != completedBefore {
 		t.Fatalf("ticks polluted completions: %d -> %d", completedBefore, got)
+	}
+}
+
+func TestReconfigurationEventOrdering(t *testing.T) {
+	// Drive the multicast manager's switch logic directly (the hour-long
+	// monitor interval keeps the ticker out of the way): a scale-down
+	// followed by a scale-up must land in the event log in order, with the
+	// d* transitions and tree versions the controller decided on.
+	scope := obs.NewScope(obs.Config{})
+	cap := newCapture()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: 0, keys: 1} }, 1)
+	b.Bolt("dst", func() Bolt { return &captureBolt{cap: cap} }, 6).All("src")
+	topo, _ := b.Build()
+	eng, err := Start(topo, Config{
+		Workers:         7,
+		Network:         transport.NewInprocNetwork(0),
+		Comm:            WorkerOriented,
+		Multicast:       MulticastNonBlocking,
+		InitialDstar:    3,
+		MonitorInterval: time.Hour,
+		Obs:             scope,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	if len(eng.managers) != 1 {
+		t.Fatalf("managers: %d", len(eng.managers))
+	}
+	var mgr *mcManager
+	for _, m := range eng.managers {
+		mgr = m
+	}
+
+	waitComplete := func(version int32) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			for _, ev := range scope.Events.Recent(0) {
+				if ev.Kind == obs.EventSwitchComplete && ev.Version == version {
+					return
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("switch to version %d never completed", version)
+	}
+
+	mgr.maybeSwitch(control.Decision{Action: control.ScaleDown, NewDstar: 1,
+		Lambda: 1e5, Te: 1e-6}, 900)
+	waitComplete(2)
+	mgr.maybeSwitch(control.Decision{Action: control.ScaleUp, NewDstar: 2,
+		Lambda: 1e6, Te: 1e-6}, 0)
+	waitComplete(3)
+
+	var got []obs.Event
+	for _, ev := range scope.Events.Recent(0) {
+		switch ev.Kind {
+		case obs.EventScaleDown, obs.EventScaleUp, obs.EventSwitchComplete:
+			got = append(got, ev)
+		}
+	}
+	want := []struct {
+		kind     string
+		version  int32
+		oldDstar int
+		newDstar int
+	}{
+		{obs.EventScaleDown, 2, 3, 1},
+		{obs.EventSwitchComplete, 2, 0, 1},
+		{obs.EventScaleUp, 3, 1, 2},
+		{obs.EventSwitchComplete, 3, 0, 2},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d reconfiguration events: %+v", len(got), got)
+	}
+	for i, w := range want {
+		ev := got[i]
+		if ev.Kind != w.kind || ev.Version != w.version || ev.NewDstar != w.newDstar {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, w)
+		}
+		if w.oldDstar != 0 && ev.OldDstar != w.oldDstar {
+			t.Fatalf("event %d OldDstar = %d, want %d", i, ev.OldDstar, w.oldDstar)
+		}
+		if i > 0 && ev.Seq <= got[i-1].Seq {
+			t.Fatalf("events out of order: %+v", got)
+		}
+	}
+	// Scale-ups and scale-downs each carry their M/D/1 inputs.
+	if got[0].Lambda != 1e5 || got[0].Te != 1e-6 || got[0].QueueLen != 900 {
+		t.Fatalf("scale-down M/D/1 inputs missing: %+v", got[0])
+	}
+	// The initial deployment logged a tree rebuild, and each switch another.
+	rebuilds := 0
+	for _, ev := range scope.Events.Recent(0) {
+		if ev.Kind == obs.EventTreeRebuild {
+			rebuilds++
+		}
+	}
+	if rebuilds != 3 {
+		t.Fatalf("tree rebuild events = %d, want 3", rebuilds)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"whale/internal/obs"
 	"whale/internal/tuple"
 )
 
@@ -80,16 +81,17 @@ func (c *Collector) NoAck() {
 // executor runs one task instance: a goroutine consuming the inbound queue
 // (bolts) or driving the spout loop (spouts).
 type executor struct {
-	ctx     TaskContext
-	w       *worker
-	rt      *router
-	isSink  bool
-	spout   Spout
-	bolt    Bolt
-	in      chan tuple.AddressedTuple
-	col     *Collector
-	nextID  int64
-	curRoot int64 // root-emit timestamp inherited from the tuple being executed
+	ctx      TaskContext
+	w        *worker
+	rt       *router
+	isSink   bool
+	spout    Spout
+	bolt     Bolt
+	in       chan tuple.AddressedTuple
+	col      *Collector
+	nextID   int64
+	curRoot  int64 // root-emit timestamp inherited from the tuple being executed
+	curTrace int64 // trace ID inherited from the tuple being executed
 
 	ops *opMetrics
 
@@ -104,13 +106,15 @@ type executor struct {
 }
 
 func newExecutor(w *worker, ctx TaskContext, spec *OperatorSpec, rt *router, isSink bool, queueDepth int) *executor {
+	ops := &opMetrics{} // this executor's private share, merged on read
+	w.eng.opStats[ctx.OperatorID] = append(w.eng.opStats[ctx.OperatorID], ops)
 	ex := &executor{
 		ctx:    ctx,
 		w:      w,
 		rt:     rt,
 		isSink: isSink,
 		in:     make(chan tuple.AddressedTuple, queueDepth),
-		ops:    w.eng.opStats[ctx.OperatorID],
+		ops:    ops,
 		rng:    rand.New(rand.NewSource(int64(ctx.TaskID)*7919 + 1)),
 	}
 	ex.col = &Collector{ex: ex}
@@ -140,6 +144,12 @@ func (ex *executor) emit(stream string, values []tuple.Value) {
 	if tp.RootEmitNS == 0 {
 		tp.RootEmitNS = time.Now().UnixNano()
 	}
+	// Trace propagation: descendants inherit the input's trace ID; fresh
+	// spout roots ask the sampler.
+	if ex.curTrace == 0 && ex.spout != nil && !isAckStream(stream) {
+		ex.curTrace = ex.w.eng.obs.Tracer.Sample()
+	}
+	tp.TraceID = ex.curTrace
 	// Anchor to the current input's reliability tree (bolts only; the ack
 	// plane's own streams stay untracked to avoid infinite regress).
 	if ex.curRootID != 0 && !isAckStream(stream) {
@@ -167,7 +177,9 @@ func (ex *executor) emitReliable(stream string, msgID int64, values []tuple.Valu
 		RootEmitNS: time.Now().UnixNano(),
 		RootID:     root,
 		AckVal:     nonzeroRand(ex.rng),
+		TraceID:    ex.w.eng.obs.Tracer.Sample(),
 	}
+	ex.curTrace = tp.TraceID
 	ex.pendingRoots[root] = msgID
 	// Register the tree at the acker before the data fans out.
 	ex.curRoot = tp.RootEmitNS
@@ -247,7 +259,8 @@ func (ex *executor) runSpout() {
 			default:
 			}
 		}
-		ex.curRoot = 0 // each spout tuple starts a new latency root
+		ex.curRoot = 0  // each spout tuple starts a new latency root
+		ex.curTrace = 0 // and gets its own sampling decision
 		if !ex.spout.Next(ex.col) {
 			ex.awaitOutstanding()
 			return // exhausted
@@ -299,16 +312,19 @@ func (ex *executor) runBolt() {
 func (ex *executor) execute(at tuple.AddressedTuple) {
 	ex.curRoot = at.Data.RootEmitNS
 	ex.curRootID = at.Data.RootID
+	ex.curTrace = at.Data.TraceID
 	ex.curInAck = at.Data.AckVal
 	ex.xorAcc = 0
 	ex.suppressAck = false
 	ex.failCurrent = false
 	t0 := time.Now()
 	ex.bolt.Execute(at.Data, ex.col)
+	dur := time.Since(t0)
+	ex.w.eng.obs.Tracer.Record(at.Data.TraceID, obs.StageExecute, ex.w.id, t0, dur)
 	ex.w.eng.metrics.TuplesExecuted.Inc()
 	if ex.ops != nil {
 		ex.ops.executed.Inc()
-		ex.ops.execNS.Observe(time.Since(t0).Nanoseconds())
+		ex.ops.execNS.Observe(dur.Nanoseconds())
 	}
 	if ex.isSink && at.Data.RootEmitNS > 0 && at.Data.Stream != StreamTick {
 		ex.w.eng.metrics.ProcessingLatency.Observe(time.Now().UnixNano() - at.Data.RootEmitNS)

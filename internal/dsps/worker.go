@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"whale/internal/multicast"
+	"whale/internal/obs"
 	"whale/internal/transport"
 	"whale/internal/tuple"
 )
@@ -196,8 +197,10 @@ func (w *worker) sendLoop() {
 func (w *worker) encodeTuple(tp *tuple.Tuple) ([]byte, error) {
 	t0 := time.Now()
 	payload, err := w.enc.EncodeTuple(tp)
-	w.eng.metrics.SerializationNS.Add(time.Since(t0).Nanoseconds())
+	d := time.Since(t0)
+	w.eng.metrics.SerializationNS.Add(d.Nanoseconds())
 	w.eng.metrics.Serializations.Inc()
+	w.eng.obs.Tracer.Record(tp.TraceID, obs.StageSerialize, w.id, t0, d)
 	return payload, err
 }
 
@@ -212,10 +215,12 @@ func (w *worker) process(j sendJob) {
 			return
 		}
 		msg := tuple.WorkerMessage{Kind: tuple.KindInstanceMessage, DstIDs: []int32{j.dstTask}, Payload: payload}
+		t1 := time.Now()
 		if err := w.tr.Send(j.dstWorker, tuple.AppendWorkerMessage(nil, &msg)); err != nil {
 			m.SendErrors.Inc()
 			return
 		}
+		w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t1, time.Since(t1))
 		w.recordTe(j.tp.SrcTask, time.Since(t0))
 
 	case jobWorkerBatch:
@@ -236,6 +241,7 @@ func (w *worker) process(j sendJob) {
 				m.SendErrors.Inc()
 				continue
 			}
+			w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t0, time.Since(t0))
 			w.recordTe(j.tp.SrcTask, time.Since(t0))
 		}
 
@@ -267,6 +273,7 @@ func (w *worker) process(j sendJob) {
 				m.SendErrors.Inc()
 				continue
 			}
+			w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t0, time.Since(t0))
 			w.recordTe(j.tp.SrcTask, time.Since(t0))
 		}
 
@@ -301,6 +308,7 @@ func (w *worker) dispatch(from transport.WorkerID, payload []byte) {
 	}
 	switch msg.Kind {
 	case tuple.KindInstanceMessage, tuple.KindWorkerMessage:
+		t0 := time.Now()
 		tp, _, err := tuple.DecodeTuple(msg.Payload)
 		if err != nil {
 			w.eng.metrics.DecodeErrors.Inc()
@@ -312,6 +320,7 @@ func (w *worker) dispatch(from transport.WorkerID, payload []byte) {
 		for _, dst := range msg.DstIDs {
 			w.enqueueLocal(dst, tp)
 		}
+		w.eng.obs.Tracer.Record(tp.TraceID, obs.StageDispatch, w.id, t0, time.Since(t0))
 
 	case tuple.KindMulticastMessage:
 		gs, ok := w.groups[msg.Group]
@@ -321,11 +330,14 @@ func (w *worker) dispatch(from transport.WorkerID, payload []byte) {
 		}
 		// Forward first: relaying before local processing keeps the
 		// pipeline moving down the tree.
+		t0 := time.Now()
+		relayed := false
 		if tr, ok := gs.tree(msg.TreeVersion); ok {
 			if children := tr.Children(w.id); len(children) > 0 {
 				raw := make([]byte, len(payload))
 				copy(raw, payload)
 				w.enqueueSend(sendJob{kind: jobRelay, raw: raw, dstWorkers: children})
+				relayed = true
 			}
 		} else {
 			w.eng.metrics.RouteErrors.Inc()
@@ -335,12 +347,19 @@ func (w *worker) dispatch(from transport.WorkerID, payload []byte) {
 			w.eng.metrics.DecodeErrors.Inc()
 			return
 		}
+		if relayed {
+			// The trace ID is only known after decode; the hop covers the
+			// relay copy + enqueue that preceded it.
+			w.eng.obs.Tracer.Record(tp.TraceID, obs.StageTreeHop, w.id, t0, time.Since(t0))
+		}
 		if tp.RootEmitNS > 0 {
 			w.eng.metrics.MulticastLatency.Observe(time.Now().UnixNano() - tp.RootEmitNS)
 		}
+		t1 := time.Now()
 		for _, dst := range w.eng.groupLocalTasks(msg.Group, w.id) {
 			w.enqueueLocal(dst, tp)
 		}
+		w.eng.obs.Tracer.Record(tp.TraceID, obs.StageDispatch, w.id, t1, time.Since(t1))
 
 	case tuple.KindControl:
 		cm, _, err := tuple.DecodeControlMessage(msg.Payload)

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"whale/internal/metrics"
 )
 
 // Record is one log entry.
@@ -85,12 +87,18 @@ type Broker struct {
 	topics  map[string]*topic
 	groups  map[string]*group
 	nextGen int64
+	fam     *metrics.Family
 }
 
 // NewBroker returns an empty broker.
 func NewBroker() *Broker {
-	return &Broker{topics: map[string]*topic{}, groups: map[string]*group{}}
+	return &Broker{topics: map[string]*topic{}, groups: map[string]*group{}, fam: metrics.NewFamily()}
 }
+
+// MetricsFamily exposes the broker's counters (records_appended,
+// records_fetched, offsets_committed) for attachment to an observability
+// registry (obs.Registry.Attach with a "kafkalite" prefix).
+func (b *Broker) MetricsFamily() *metrics.Family { return b.fam }
 
 // CreateTopic declares a topic with the given partition count. retain
 // bounds each partition's in-memory record count (0 = unbounded).
@@ -143,6 +151,7 @@ func (b *Broker) Produce(topicName string, key, value []byte) (partitionIdx int,
 		idx += len(t.parts)
 	}
 	off := t.parts[idx].append(key, value, t.retain)
+	b.fam.Counter("records_appended").Inc()
 	return idx, off, nil
 }
 
@@ -155,7 +164,9 @@ func (b *Broker) ProduceTo(topicName string, partitionIdx int, key, value []byte
 	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
 		return 0, fmt.Errorf("kafkalite: partition %d of %q out of range", partitionIdx, topicName)
 	}
-	return t.parts[partitionIdx].append(key, value, t.retain), nil
+	off := t.parts[partitionIdx].append(key, value, t.retain)
+	b.fam.Counter("records_appended").Inc()
+	return off, nil
 }
 
 // Fetch reads up to max records from (topic, partition) starting at offset.
@@ -168,7 +179,11 @@ func (b *Broker) Fetch(topicName string, partitionIdx int, offset int64, max int
 	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
 		return nil, 0, fmt.Errorf("kafkalite: partition %d of %q out of range", partitionIdx, topicName)
 	}
-	return t.parts[partitionIdx].fetch(offset, max)
+	recs, next, err := t.parts[partitionIdx].fetch(offset, max)
+	if err == nil {
+		b.fam.Counter("records_fetched").Add(int64(len(recs)))
+	}
+	return recs, next, err
 }
 
 // EndOffset returns the next offset that would be written.
@@ -258,6 +273,7 @@ func (b *Broker) CommitOffset(groupID, topicName string, partitionIdx int, offse
 	if offset > tc[partitionIdx] {
 		tc[partitionIdx] = offset
 	}
+	b.fam.Counter("offsets_committed").Inc()
 	return nil
 }
 

@@ -83,8 +83,36 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// Merge folds every observation recorded in o into h. Both histograms use
+// the same fixed bucket layout, so merging is a bucket-wise add and the
+// merged quantiles are exactly what a single histogram fed both streams
+// would report. Safe for concurrent use on both sides, though a merge
+// racing Observe on o may miss the in-flight observation.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		m := h.max.Load()
+		if om <= m || h.max.CompareAndSwap(m, om) {
+			break
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
 // Mean returns the average observation, or 0 with no data.
 func (h *Histogram) Mean() float64 {
@@ -120,16 +148,27 @@ func (h *Histogram) Quantile(q float64) int64 {
 // Snapshot summarises the histogram.
 type Snapshot struct {
 	Count         int64
+	Sum           int64
 	Mean          float64
 	P50, P95, P99 int64
 	Max           int64
 }
 
-// Snapshot returns a consistent-enough summary for reporting.
+// Snapshot returns a consistent-enough summary for reporting. Count and sum
+// are loaded once and the mean is derived from that same pair, so the
+// reported mean can never be torn by a concurrent Observe landing between
+// the two loads.
 func (h *Histogram) Snapshot() Snapshot {
+	n := h.count.Load()
+	sum := h.sum.Load()
+	mean := 0.0
+	if n > 0 {
+		mean = float64(sum) / float64(n)
+	}
 	return Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
+		Count: n,
+		Sum:   sum,
+		Mean:  mean,
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
@@ -235,4 +274,144 @@ type CategoryShare struct {
 	Name  string
 	NS    int64
 	Share float64
+}
+
+// Family is a name-keyed collection of metric primitives: the registration
+// layer beneath the engine's observability registry. Names are hierarchical
+// dot-separated paths ("worker.3.rdma.ring_occupancy"). Get-or-create
+// accessors are safe for concurrent use and idempotent, so independent
+// subsystems can register the same name and share the underlying metric.
+// A name is bound to the first kind that registered it; registering it
+// again as a different kind panics (a programming error worth failing
+// loudly on).
+type Family struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	kinds    map[string]string
+}
+
+// NewFamily returns an empty family.
+func NewFamily() *Family {
+	return &Family{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		kinds:    map[string]string{},
+	}
+}
+
+func (f *Family) claim(name, kind string) {
+	if prev, taken := f.kinds[name]; taken && prev != kind {
+		panic(fmt.Sprintf("metrics: %q already registered as a %s, not a %s", name, prev, kind))
+	}
+	f.kinds[name] = kind
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (f *Family) Counter(name string) *Counter {
+	f.mu.RLock()
+	c, ok := f.counters[name]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.counters[name]; ok {
+		return c
+	}
+	f.claim(name, "counter")
+	c = &Counter{}
+	f.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (f *Family) Gauge(name string) *Gauge {
+	f.mu.RLock()
+	g, ok := f.gauges[name]
+	f.mu.RUnlock()
+	if ok {
+		return g
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g, ok := f.gauges[name]; ok {
+		return g
+	}
+	f.claim(name, "gauge")
+	g = &Gauge{}
+	f.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (f *Family) Histogram(name string) *Histogram {
+	f.mu.RLock()
+	h, ok := f.hists[name]
+	f.mu.RUnlock()
+	if ok {
+		return h
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h, ok := f.hists[name]; ok {
+		return h
+	}
+	f.claim(name, "histogram")
+	h = &Histogram{}
+	f.hists[name] = h
+	return h
+}
+
+// EachCounter calls fn for every registered counter, in sorted name order.
+func (f *Family) EachCounter(fn func(name string, c *Counter)) {
+	f.mu.RLock()
+	names := sortedKeys(f.counters)
+	f.mu.RUnlock()
+	for _, n := range names {
+		f.mu.RLock()
+		c := f.counters[n]
+		f.mu.RUnlock()
+		fn(n, c)
+	}
+}
+
+// EachGauge calls fn for every registered gauge, in sorted name order.
+func (f *Family) EachGauge(fn func(name string, g *Gauge)) {
+	f.mu.RLock()
+	names := sortedKeys(f.gauges)
+	f.mu.RUnlock()
+	for _, n := range names {
+		f.mu.RLock()
+		g := f.gauges[n]
+		f.mu.RUnlock()
+		fn(n, g)
+	}
+}
+
+// EachHistogram calls fn for every registered histogram, in sorted name
+// order.
+func (f *Family) EachHistogram(fn func(name string, h *Histogram)) {
+	f.mu.RLock()
+	names := sortedKeys(f.hists)
+	f.mu.RUnlock()
+	for _, n := range names {
+		f.mu.RLock()
+		h := f.hists[n]
+		f.mu.RUnlock()
+		fn(n, h)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -216,5 +217,125 @@ func TestCPUBreakdownEmpty(t *testing.T) {
 	b := NewCPUBreakdown()
 	if b.Total() != 0 || len(b.Fractions()) != 0 {
 		t.Fatal("empty breakdown must be zero")
+	}
+}
+
+func TestHistogramMergeBucketAlignment(t *testing.T) {
+	// Two histograms fed disjoint streams must merge into exactly the
+	// histogram a single instance fed both streams would be: bucket-wise
+	// identical, so counts, sums and every quantile line up.
+	var a, b, ref Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1 << 20))
+		a.Observe(v)
+		ref.Observe(v)
+	}
+	for i := 0; i < 3000; i++ {
+		v := int64(rng.Intn(1 << 30))
+		b.Observe(v)
+		ref.Observe(v)
+	}
+	a.Merge(&b)
+	if a.Count() != ref.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), ref.Count())
+	}
+	if a.Sum() != ref.Sum() {
+		t.Fatalf("merged sum %d, want %d", a.Sum(), ref.Sum())
+	}
+	if a.Max() != ref.Max() {
+		t.Fatalf("merged max %d, want %d", a.Max(), ref.Max())
+	}
+	for i := range a.buckets {
+		if got, want := a.buckets[i].Load(), ref.buckets[i].Load(); got != want {
+			t.Fatalf("bucket %d: merged %d, want %d", i, got, want)
+		}
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+		if got, want := a.Quantile(q), ref.Quantile(q); got != want {
+			t.Fatalf("q=%g: merged %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	var a, empty Histogram
+	a.Observe(10)
+	a.Merge(&empty)
+	a.Merge(nil)
+	if a.Count() != 1 || a.Sum() != 10 || a.Max() != 10 {
+		t.Fatalf("merge with empty changed data: %+v", a.Snapshot())
+	}
+	empty.Merge(&a)
+	if empty.Count() != 1 || empty.Quantile(0.5) != a.Quantile(0.5) {
+		t.Fatalf("merge into empty lost data: %+v", empty.Snapshot())
+	}
+}
+
+func TestSnapshotMeanFromSamePair(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 5050 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	if want := float64(s.Sum) / float64(s.Count); s.Mean != want {
+		t.Fatalf("mean %f not derived from count/sum pair (want %f)", s.Mean, want)
+	}
+}
+
+func TestFamilyRegistration(t *testing.T) {
+	f := NewFamily()
+	c := f.Counter("dsps.tuples_emitted")
+	c.Add(3)
+	if f.Counter("dsps.tuples_emitted") != c {
+		t.Fatal("Counter not idempotent")
+	}
+	g := f.Gauge("worker.0.queue_len")
+	g.Set(7)
+	h := f.Histogram("trace.stage.serialize_ns")
+	h.Observe(100)
+
+	var names []string
+	f.EachCounter(func(n string, c *Counter) { names = append(names, "c:"+n) })
+	f.EachGauge(func(n string, g *Gauge) { names = append(names, "g:"+n) })
+	f.EachHistogram(func(n string, h *Histogram) { names = append(names, "h:"+n) })
+	want := []string{"c:dsps.tuples_emitted", "g:worker.0.queue_len", "h:trace.stage.serialize_ns"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("names %v, want %v", names, want)
+	}
+	if f.Counter("dsps.tuples_emitted").Value() != 3 {
+		t.Fatal("counter value lost")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-kind registration must panic")
+		}
+	}()
+	f.Gauge("dsps.tuples_emitted")
+}
+
+func TestFamilyConcurrent(t *testing.T) {
+	f := NewFamily()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				f.Counter("shared").Inc()
+				f.Histogram("hist").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Counter("shared").Value() != 8000 {
+		t.Fatalf("shared counter %d", f.Counter("shared").Value())
+	}
+	if f.Histogram("hist").Count() != 8000 {
+		t.Fatalf("hist count %d", f.Histogram("hist").Count())
 	}
 }

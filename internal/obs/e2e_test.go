@@ -1,0 +1,169 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"whale"
+	"whale/internal/obs"
+)
+
+// e2eSpout emits n small broadcast tuples then stops.
+type e2eSpout struct{ n, i int }
+
+func (s *e2eSpout) Open(*whale.TaskContext) {}
+func (s *e2eSpout) Next(c *whale.Collector) bool {
+	if s.i >= s.n {
+		return false
+	}
+	s.i++
+	c.Emit(int64(s.i), "payload-abcdefghijklmnopqrstuvwxyz")
+	return true
+}
+func (s *e2eSpout) Close() {}
+
+type e2eSink struct{}
+
+func (e2eSink) Prepare(*whale.TaskContext) {}
+func (e2eSink) Execute(*whale.Tuple, *whale.Collector) {
+	time.Sleep(10 * time.Microsecond) // measurable execute stage
+}
+func (e2eSink) Cleanup() {}
+
+// TestEndToEndObservability runs a small all-grouping topology on the full
+// Whale preset (emulated RDMA transport, non-blocking tree pinned to a
+// d*=1 chain so relays happen) with tracing at 1/1, then scrapes the live
+// endpoints: /metrics must expose a broad series inventory spanning the
+// dsps, multicast and rdma namespaces; /debug/whale must hold at least one
+// traced tuple span covering every pipeline stage; /debug/events must show
+// the tree deployment.
+func TestEndToEndObservability(t *testing.T) {
+	b := whale.NewTopologyBuilder()
+	b.Spout("src", func() whale.Spout { return &e2eSpout{n: 200} }, 1)
+	b.Bolt("sink", func() whale.Bolt { return e2eSink{} }, 8).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := whale.Run(topo, whale.SystemWhale, whale.Options{
+		Workers:          4,
+		InitialDstar:     1,
+		FixedDstar:       true,
+		ObsAddr:          "127.0.0.1:0",
+		TraceSampleEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+	cluster.WaitSources()
+	if !cluster.Drain(15 * time.Second) {
+		t.Fatal("cluster did not drain")
+	}
+
+	addr := cluster.ObsAddr()
+	if addr == "" {
+		t.Fatal("ObsAddr empty with Options.ObsAddr set")
+	}
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	// /metrics: a broad inventory of distinct series across namespaces.
+	expo := string(get("/metrics"))
+	series := map[string]bool{}
+	for _, line := range strings.Split(expo, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		series[name] = true
+	}
+	if len(series) < 20 {
+		t.Fatalf("/metrics exposes %d distinct series, want >= 20:\n%s", len(series), expo)
+	}
+	for _, want := range []string{
+		"whale_dsps_tuples_emitted_total",
+		"whale_dsps_tuples_completed_total",
+		"whale_dsps_processing_latency_ns_count",
+		"whale_multicast_latency_ns_count",
+		"whale_multicast_active_dstar",
+		"whale_op_sink_executed_total",
+		"whale_worker_0_transfer_queue_len",
+		"whale_worker_0_rdma_ring_occupancy",
+		"whale_worker_0_rdma_work_requests_total",
+		"whale_rdma_flushes_mms_total",
+		"whale_trace_stage_execute_ns_count",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, expo)
+		}
+	}
+
+	// /debug/whale: at least one traced span covering every stage.
+	var dbg struct {
+		Metrics obs.Snapshot     `json:"metrics"`
+		Traces  []obs.TraceSpans `json:"traces"`
+	}
+	if err := json.Unmarshal(get("/debug/whale"), &dbg); err != nil {
+		t.Fatalf("/debug/whale: %v", err)
+	}
+	if dbg.Metrics.Counters["dsps.tuples_completed"] == 0 {
+		t.Fatal("/debug/whale snapshot has no completed tuples")
+	}
+	full := false
+	for _, span := range dbg.Traces {
+		seen := map[obs.Stage]bool{}
+		for _, ev := range span.Events {
+			seen[ev.Stage] = true
+		}
+		all := true
+		for _, st := range obs.Stages {
+			if !seen[st] {
+				all = false
+				break
+			}
+		}
+		if all {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Fatalf("no traced span covers all stages %v; got %d spans: %+v",
+			obs.Stages, len(dbg.Traces), dbg.Traces)
+	}
+
+	// /debug/events: the initial tree deployment is on record.
+	var evs []obs.Event
+	if err := json.Unmarshal(get("/debug/events"), &evs); err != nil {
+		t.Fatalf("/debug/events: %v", err)
+	}
+	found := false
+	for _, ev := range evs {
+		if ev.Kind == obs.EventTreeRebuild && ev.Version == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/debug/events missing the initial tree-rebuild event: %+v", evs)
+	}
+}

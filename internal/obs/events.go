@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event kinds. Tree events carry the multicast group, tree version and the
+// M/D/1 inputs (λ, t_e, queue length) that drove the decision, so a
+// reconfiguration can be replayed from the log alone.
+const (
+	// EventTreeRebuild: a multicast tree structure was built or activated.
+	EventTreeRebuild = "tree-rebuild"
+	// EventScaleUp: the controller initiated an active scale-up (§3.3).
+	EventScaleUp = "scale-up"
+	// EventScaleDown: the controller initiated a negative scale-down.
+	EventScaleDown = "scale-down"
+	// EventSwitchSkipped: a scale-up was rejected by the Theorem 5 guard.
+	EventSwitchSkipped = "switch-skipped"
+	// EventSwitchComplete: every member ACKed and the new tree activated.
+	EventSwitchComplete = "switch-complete"
+	// EventFlushReason: an RDMA channel's flush trigger transitioned
+	// between MMS (size) and WTL (timer).
+	EventFlushReason = "flush-reason"
+)
+
+// Event is one structured entry in the reconfiguration event log.
+type Event struct {
+	Seq      int64   `json:"seq"`
+	TimeNS   int64   `json:"time_ns"`
+	Kind     string  `json:"kind"`
+	Group    int32   `json:"group,omitempty"`
+	Worker   int32   `json:"worker,omitempty"`
+	Version  int32   `json:"version,omitempty"`
+	OldDstar int     `json:"old_dstar,omitempty"`
+	NewDstar int     `json:"new_dstar,omitempty"`
+	Lambda   float64 `json:"lambda,omitempty"`
+	Te       float64 `json:"te,omitempty"`
+	QueueLen int     `json:"queue_len,omitempty"`
+	Detail   string  `json:"detail,omitempty"`
+}
+
+// EventLog is a bounded ring of structured events with a subscriber API.
+// Append assigns sequence numbers and timestamps; when the ring is full the
+// oldest events are dropped. Safe for concurrent use.
+type EventLog struct {
+	mu      sync.Mutex
+	cap     int
+	buf     []Event // ring, ordered oldest..newest via head
+	head    int     // index of the oldest event when len(buf) == cap
+	nextSeq int64
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// NewEventLog returns a log retaining up to capacity events (default 1024).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &EventLog{cap: capacity, subs: map[int]chan Event{}}
+}
+
+// Append stamps ev with the next sequence number and the current time and
+// stores it, fanning it out to subscribers (non-blocking: a slow
+// subscriber's channel drops events rather than stalling the engine).
+// The stamped event is returned.
+func (l *EventLog) Append(ev Event) Event {
+	l.mu.Lock()
+	ev.Seq = l.nextSeq
+	l.nextSeq++
+	if ev.TimeNS == 0 {
+		ev.TimeNS = time.Now().UnixNano()
+	}
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, ev)
+	} else {
+		l.buf[l.head] = ev
+		l.head = (l.head + 1) % l.cap
+	}
+	subs := make([]chan Event, 0, len(l.subs))
+	for _, ch := range l.subs {
+		subs = append(subs, ch)
+	}
+	l.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	return ev
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Recent returns up to n retained events, oldest first (all of them when
+// n <= 0).
+func (l *EventLog) Recent(n int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := len(l.buf)
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]Event, 0, n)
+	for i := total - n; i < total; i++ {
+		out = append(out, l.buf[(l.head+i)%len(l.buf)])
+	}
+	return out
+}
+
+// Subscribe returns a channel receiving every event appended from now on,
+// buffered to buf entries, and a cancel function that must be called to
+// release the subscription. Events are dropped, not blocked on, when the
+// buffer is full.
+func (l *EventLog) Subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan Event, buf)
+	l.mu.Lock()
+	id := l.nextSub
+	l.nextSub++
+	l.subs[id] = ch
+	l.mu.Unlock()
+	cancel := func() {
+		l.mu.Lock()
+		delete(l.subs, id)
+		l.mu.Unlock()
+	}
+	return ch, cancel
+}

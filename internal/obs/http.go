@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Server exposes a Scope over HTTP:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/debug/whale    JSON snapshot: metrics, retained trace spans, event count
+//	/debug/events   JSON array of recent events (?n= bounds the count)
+//	/debug/pprof/*  the standard net/http/pprof handlers
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	scope *Scope
+}
+
+// debugSnapshot is the /debug/whale response body.
+type debugSnapshot struct {
+	TimeNS  int64        `json:"time_ns"`
+	Metrics Snapshot     `json:"metrics"`
+	Traces  []TraceSpans `json:"traces"`
+	Events  int          `json:"events_retained"`
+}
+
+// Serve starts an HTTP server for scope on addr (e.g. "127.0.0.1:9090";
+// port 0 picks a free port, readable from Addr). The server runs until
+// Close.
+func Serve(addr string, scope *Scope) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, scope: scope}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/whale", s.handleDebug)
+	mux.HandleFunc("/debug/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.scope.Reg.WritePrometheus(w)
+}
+
+func (s *Server) handleDebug(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(debugSnapshot{
+		TimeNS:  time.Now().UnixNano(),
+		Metrics: s.scope.Reg.Snapshot(),
+		Traces:  s.scope.Tracer.Spans(),
+		Events:  s.scope.Events.Len(),
+	})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil {
+			n = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.scope.Events.Recent(n))
+}

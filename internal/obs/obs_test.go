@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"whale/internal/metrics"
+)
+
+func TestRegistrySnapshotAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dsps.tuples_emitted").Add(5)
+	r.Gauge("worker.0.transfer_queue_len").Set(3)
+	r.Histogram("dsps.processing_latency_ns").Observe(1000)
+	r.CounterFunc("dsps.serializations", func() int64 { return 42 })
+	r.GaugeFunc("multicast.active_dstar", func() int64 { return 3 })
+	r.HistogramFunc("op.sink.exec_latency_ns", func() metrics.Snapshot {
+		var h metrics.Histogram
+		h.Observe(7)
+		return h.Snapshot()
+	})
+	fam := metrics.NewFamily()
+	fam.Counter("records_appended").Add(9)
+	r.Attach("kafkalite", fam)
+
+	s := r.Snapshot()
+	if s.Counters["dsps.tuples_emitted"] != 5 {
+		t.Fatalf("counter: %+v", s.Counters)
+	}
+	if s.Counters["dsps.serializations"] != 42 {
+		t.Fatalf("counter func: %+v", s.Counters)
+	}
+	if s.Counters["kafkalite.records_appended"] != 9 {
+		t.Fatalf("attached family: %+v", s.Counters)
+	}
+	if s.Gauges["worker.0.transfer_queue_len"] != 3 || s.Gauges["multicast.active_dstar"] != 3 {
+		t.Fatalf("gauges: %+v", s.Gauges)
+	}
+	if s.Histograms["dsps.processing_latency_ns"].Count != 1 {
+		t.Fatalf("histogram: %+v", s.Histograms)
+	}
+	if s.Histograms["op.sink.exec_latency_ns"].Count != 1 {
+		t.Fatalf("histogram func: %+v", s.Histograms)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dsps.tuples_emitted").Add(5)
+	r.Gauge("multicast.active_dstar").Set(3)
+	h := r.Histogram("rdma.poll_ns")
+	h.Observe(100)
+	h.Observe(200)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE whale_dsps_tuples_emitted_total counter",
+		"whale_dsps_tuples_emitted_total 5",
+		"# TYPE whale_multicast_active_dstar gauge",
+		"whale_multicast_active_dstar 3",
+		"# TYPE whale_rdma_poll_ns summary",
+		`whale_rdma_poll_ns{quantile="0.5"}`,
+		"whale_rdma_poll_ns_count 2",
+		"whale_rdma_poll_ns_sum 300",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerSamplingAndSpans(t *testing.T) {
+	reg := NewRegistry()
+	tr := newTracer(reg, 4, 2)
+	var ids []int64
+	for i := 0; i < 12; i++ {
+		if id := tr.Sample(); id != 0 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) != 3 {
+		t.Fatalf("sampled %d of 12 at 1/4, want 3", len(ids))
+	}
+	base := time.Now()
+	tr.Record(ids[2], StageExecute, 1, base.Add(time.Millisecond), 5*time.Microsecond)
+	tr.Record(ids[2], StageSerialize, 0, base, 2*time.Microsecond)
+	tr.Record(0, StageSerialize, 0, base, time.Microsecond) // no-op
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("kept %d traces, want 2 (keep bound)", len(spans))
+	}
+	last := spans[len(spans)-1]
+	if last.TraceID != ids[2] || len(last.Events) != 2 {
+		t.Fatalf("last trace: %+v", last)
+	}
+	if last.Events[0].Stage != StageSerialize || last.Events[1].Stage != StageExecute {
+		t.Fatalf("events not time-ordered: %+v", last.Events)
+	}
+	// Stage histograms are registered and fed; the traceID=0 call must
+	// not have contributed.
+	s := reg.Snapshot()
+	if s.Histograms["trace.stage.serialize_ns"].Count != 1 {
+		t.Fatalf("serialize stage hist: %+v", s.Histograms["trace.stage.serialize_ns"])
+	}
+}
+
+func TestTracerDisabled(t *testing.T) {
+	tr := newTracer(NewRegistry(), 0, 0)
+	if tr.Enabled() {
+		t.Fatal("tracer with sampleEvery=0 must be disabled")
+	}
+	for i := 0; i < 100; i++ {
+		if tr.Sample() != 0 {
+			t.Fatal("disabled tracer sampled")
+		}
+	}
+}
+
+func TestEventLogRingAndOrder(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 6; i++ {
+		l.Append(Event{Kind: EventScaleUp, NewDstar: i})
+	}
+	evs := l.Recent(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.NewDstar != i+2 {
+			t.Fatalf("event %d: %+v (oldest-first order broken)", i, evs)
+		}
+		if i > 0 && evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-monotonic seq: %+v", evs)
+		}
+	}
+	if got := l.Recent(2); len(got) != 2 || got[1].NewDstar != 5 {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+}
+
+func TestEventLogSubscribe(t *testing.T) {
+	l := NewEventLog(16)
+	ch, cancel := l.Subscribe(4)
+	defer cancel()
+	l.Append(Event{Kind: EventTreeRebuild, Group: 7})
+	select {
+	case ev := <-ch:
+		if ev.Kind != EventTreeRebuild || ev.Group != 7 {
+			t.Fatalf("got %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("subscriber never received the event")
+	}
+	cancel()
+	l.Append(Event{Kind: EventScaleDown})
+	select {
+	case ev, ok := <-ch:
+		if ok {
+			t.Fatalf("received %+v after cancel", ev)
+		}
+	default:
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	scope := NewScope(Config{TraceSampleEvery: 1})
+	scope.Reg.Counter("dsps.tuples_emitted").Add(1)
+	id := scope.Tracer.Sample()
+	scope.Tracer.Record(id, StageExecute, 0, time.Now(), time.Microsecond)
+	scope.Events.Append(Event{Kind: EventTreeRebuild, Group: 1, Version: 1})
+
+	srv, err := Serve("127.0.0.1:0", scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	if !strings.Contains(string(get("/metrics")), "whale_dsps_tuples_emitted_total 1") {
+		t.Fatal("/metrics missing counter")
+	}
+	var dbg debugSnapshot
+	if err := json.Unmarshal(get("/debug/whale"), &dbg); err != nil {
+		t.Fatalf("/debug/whale: %v", err)
+	}
+	if dbg.Metrics.Counters["dsps.tuples_emitted"] != 1 || len(dbg.Traces) != 1 {
+		t.Fatalf("/debug/whale: %+v", dbg)
+	}
+	var evs []Event
+	if err := json.Unmarshal(get("/debug/events"), &evs); err != nil {
+		t.Fatalf("/debug/events: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Kind != EventTreeRebuild {
+		t.Fatalf("/debug/events: %+v", evs)
+	}
+	if !strings.Contains(string(get("/debug/pprof/")), "pprof") {
+		t.Fatal("/debug/pprof/ not served")
+	}
+}

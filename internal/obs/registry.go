@@ -1,0 +1,210 @@
+// Package obs is the engine's unified observability layer: one registry
+// every subsystem (engine, workers, executors, acking, multicast tree,
+// RDMA channel/ring, kafkalite) feeds, a sampled tuple-path tracer, a
+// structured reconfiguration event log, and an HTTP server exposing all of
+// it live (/metrics, /debug/whale, /debug/events, /debug/pprof).
+//
+// It reproduces the role of the paper's statistics-monitoring module (§4)
+// as a system-wide facility: the same per-hop, per-event visibility the
+// self-adjusting controller consumes internally is exported so a running
+// topology can be watched and diagnosed from outside.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"whale/internal/metrics"
+)
+
+// Registry is a concurrency-safe collection of named metrics with
+// hierarchical dot-separated names ("worker.3.rdma.ring_occupancy").
+// Storage-backed metrics (Counter/Gauge/Histogram) are owned by the
+// registry's metrics.Family; callers that already own a primitive or want
+// a computed readout register functions instead (CounterFunc/GaugeFunc/
+// HistogramFunc). Externally owned families attach under a prefix.
+type Registry struct {
+	fam *metrics.Family
+
+	mu         sync.RWMutex
+	counterFns map[string]func() int64
+	gaugeFns   map[string]func() int64
+	histFns    map[string]func() metrics.Snapshot
+	attached   map[string]*metrics.Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		fam:        metrics.NewFamily(),
+		counterFns: map[string]func() int64{},
+		gaugeFns:   map[string]func() int64{},
+		histFns:    map[string]func() metrics.Snapshot{},
+		attached:   map[string]*metrics.Family{},
+	}
+}
+
+// Counter returns the registry-owned counter under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *metrics.Counter { return r.fam.Counter(name) }
+
+// Gauge returns the registry-owned gauge under name, creating it if needed.
+func (r *Registry) Gauge(name string) *metrics.Gauge { return r.fam.Gauge(name) }
+
+// Histogram returns the registry-owned histogram under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *metrics.Histogram { return r.fam.Histogram(name) }
+
+// CounterFunc registers a computed counter readout (e.g. a subsystem's
+// existing atomic counter). The function must be safe for concurrent use.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	r.counterFns[name] = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a computed gauge readout (e.g. a live queue length).
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	r.gaugeFns[name] = fn
+	r.mu.Unlock()
+}
+
+// HistogramFunc registers a computed histogram readout, typically a
+// cross-worker Histogram.Merge aggregation snapshotted on demand.
+func (r *Registry) HistogramFunc(name string, fn func() metrics.Snapshot) {
+	r.mu.Lock()
+	r.histFns[name] = fn
+	r.mu.Unlock()
+}
+
+// Attach includes an externally owned family in snapshots and exports,
+// with every name prefixed by prefix + ".".
+func (r *Registry) Attach(prefix string, fam *metrics.Family) {
+	r.mu.Lock()
+	r.attached[prefix] = fam
+	r.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of every registered series.
+type Snapshot struct {
+	Counters   map[string]int64            `json:"counters"`
+	Gauges     map[string]int64            `json:"gauges"`
+	Histograms map[string]metrics.Snapshot `json:"histograms"`
+}
+
+// Snapshot collects every counter, gauge and histogram (registry-owned,
+// function-backed, and attached) into one structure.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]metrics.Snapshot{},
+	}
+	collect := func(prefix string, fam *metrics.Family) {
+		fam.EachCounter(func(n string, c *metrics.Counter) { s.Counters[prefix+n] = c.Value() })
+		fam.EachGauge(func(n string, g *metrics.Gauge) { s.Gauges[prefix+n] = g.Value() })
+		fam.EachHistogram(func(n string, h *metrics.Histogram) { s.Histograms[prefix+n] = h.Snapshot() })
+	}
+	collect("", r.fam)
+	r.mu.RLock()
+	attached := make(map[string]*metrics.Family, len(r.attached))
+	for p, f := range r.attached {
+		attached[p] = f
+	}
+	counterFns := make(map[string]func() int64, len(r.counterFns))
+	for n, fn := range r.counterFns {
+		counterFns[n] = fn
+	}
+	gaugeFns := make(map[string]func() int64, len(r.gaugeFns))
+	for n, fn := range r.gaugeFns {
+		gaugeFns[n] = fn
+	}
+	histFns := make(map[string]func() metrics.Snapshot, len(r.histFns))
+	for n, fn := range r.histFns {
+		histFns[n] = fn
+	}
+	r.mu.RUnlock()
+	for p, f := range attached {
+		collect(p+".", f)
+	}
+	for n, fn := range counterFns {
+		s.Counters[n] = fn()
+	}
+	for n, fn := range gaugeFns {
+		s.Gauges[n] = fn()
+	}
+	for n, fn := range histFns {
+		s.Histograms[n] = fn()
+	}
+	return s
+}
+
+// promName sanitises a hierarchical metric name into a Prometheus metric
+// name: dots and any other non-identifier characters become underscores,
+// and everything is prefixed "whale_".
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 6)
+	b.WriteString("whale_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format: counters as "<name>_total", gauges as plain series, histograms
+// as summaries (quantile series plus _count/_sum/_max). Series are sorted
+// by name so scrapes are diff-friendly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var err error
+	write := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, n := range sortedNames(s.Counters) {
+		pn := promName(n) + "_total"
+		write("# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+	}
+	for _, n := range sortedNames(s.Gauges) {
+		pn := promName(n)
+		write("# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[n])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := s.Histograms[n]
+		pn := promName(n)
+		write("# TYPE %s summary\n", pn)
+		write("%s{quantile=\"0.5\"} %d\n", pn, h.P50)
+		write("%s{quantile=\"0.95\"} %d\n", pn, h.P95)
+		write("%s{quantile=\"0.99\"} %d\n", pn, h.P99)
+		write("%s_count %d\n", pn, h.Count)
+		write("%s_sum %d\n", pn, h.Sum)
+		write("%s_max %d\n", pn, h.Max)
+	}
+	return err
+}
+
+func sortedNames(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,34 @@
+package obs
+
+// Config parameterises a Scope.
+type Config struct {
+	// TraceSampleEvery samples one of every N root tuples for full-path
+	// tracing; 0 disables tracing (the per-stage histograms then stay
+	// empty and trace checks are single atomic no-ops).
+	TraceSampleEvery int
+	// TraceKeep bounds retained span timelines (default 64).
+	TraceKeep int
+	// EventCap bounds the event ring (default 1024).
+	EventCap int
+}
+
+// Scope bundles the three observability facilities one engine instance
+// shares across its subsystems. Every engine owns exactly one Scope
+// (creating a default, tracing-disabled one when the caller provides
+// none), so registration sites never need nil checks on the scope itself.
+type Scope struct {
+	Reg    *Registry
+	Tracer *Tracer
+	Events *EventLog
+}
+
+// NewScope builds a scope: a fresh registry, a tracer registered into it,
+// and an event log.
+func NewScope(cfg Config) *Scope {
+	reg := NewRegistry()
+	return &Scope{
+		Reg:    reg,
+		Tracer: newTracer(reg, cfg.TraceSampleEvery, cfg.TraceKeep),
+		Events: NewEventLog(cfg.EventCap),
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whale/internal/metrics"
+)
+
+// Stage names one hop of a tuple's path through the system. A full trace
+// for a multicast tuple crosses all five: the source worker's send thread
+// serializes it once and posts one RDMA slice per child, each relay worker
+// forwards it down the tree and dispatches it to local executors, and every
+// subscribed executor runs it.
+type Stage string
+
+const (
+	// StageSerialize is the send thread's one-per-tuple encode (t_s).
+	StageSerialize Stage = "serialize"
+	// StageTreeHop is a relay worker forwarding the tuple to its children
+	// in the active multicast tree.
+	StageTreeHop Stage = "tree_hop"
+	// StageRDMASlice is one transport send: the tuple entering a channel's
+	// pending batch (MMS/WTL slicing) toward one destination worker.
+	StageRDMASlice Stage = "rdma_slice"
+	// StageDispatch is the receiving worker's dispatcher decoding the
+	// message and enqueueing it to local executors.
+	StageDispatch Stage = "dispatch"
+	// StageExecute is one executor running the tuple through operator code.
+	StageExecute Stage = "execute"
+)
+
+// Stages lists all stages in path order.
+var Stages = []Stage{StageSerialize, StageRDMASlice, StageDispatch, StageTreeHop, StageExecute}
+
+// SpanEvent is one recorded stage occurrence within a trace.
+type SpanEvent struct {
+	Stage   Stage `json:"stage"`
+	Worker  int32 `json:"worker"`
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+}
+
+// TraceSpans is the full recorded timeline of one sampled tuple.
+type TraceSpans struct {
+	TraceID int64       `json:"trace_id"`
+	Events  []SpanEvent `json:"events"`
+}
+
+// Tracer implements sampled tuple-path tracing: every Nth root tuple
+// leaving a spout is assigned a trace ID that rides the tuple's wire
+// format; instrumented stages feed per-stage latency histograms (always)
+// and a bounded set of full span timelines (most recent traces kept).
+// All methods are safe for concurrent use; with sampling disabled every
+// call is a cheap no-op.
+type Tracer struct {
+	sampleEvery int64
+	keep        int
+	reg         *Registry
+
+	seen   atomic.Int64
+	nextID atomic.Int64
+
+	mu    sync.Mutex
+	spans map[int64]*TraceSpans
+	order []int64 // trace ids in admission order, oldest first
+	hists map[Stage]*metrics.Histogram
+}
+
+func newTracer(reg *Registry, sampleEvery, keep int) *Tracer {
+	if keep <= 0 {
+		keep = 64
+	}
+	t := &Tracer{
+		sampleEvery: int64(sampleEvery),
+		keep:        keep,
+		reg:         reg,
+		spans:       map[int64]*TraceSpans{},
+		hists:       map[Stage]*metrics.Histogram{},
+	}
+	for _, st := range Stages {
+		t.hists[st] = reg.Histogram("trace.stage." + string(st) + "_ns")
+	}
+	return t
+}
+
+// Enabled reports whether sampling is configured.
+func (t *Tracer) Enabled() bool { return t != nil && t.sampleEvery > 0 }
+
+// Sample decides whether the next root tuple is traced, returning its
+// nonzero trace ID if so and 0 otherwise.
+func (t *Tracer) Sample() int64 {
+	if !t.Enabled() {
+		return 0
+	}
+	if t.seen.Add(1)%t.sampleEvery != 0 {
+		return 0
+	}
+	id := t.nextID.Add(1)
+	t.mu.Lock()
+	t.spans[id] = &TraceSpans{TraceID: id}
+	t.order = append(t.order, id)
+	if len(t.order) > t.keep {
+		evict := t.order[0]
+		t.order = t.order[1:]
+		delete(t.spans, evict)
+	}
+	t.mu.Unlock()
+	return id
+}
+
+// Record notes one stage occurrence for the traced tuple. traceID 0 (an
+// untraced tuple) is a no-op, so call sites can record unconditionally.
+func (t *Tracer) Record(traceID int64, stage Stage, worker int32, start time.Time, dur time.Duration) {
+	if t == nil || traceID == 0 {
+		return
+	}
+	if h, ok := t.hists[stage]; ok {
+		h.Observe(dur.Nanoseconds())
+	}
+	t.mu.Lock()
+	if sp, ok := t.spans[traceID]; ok {
+		sp.Events = append(sp.Events, SpanEvent{
+			Stage:   stage,
+			Worker:  worker,
+			StartNS: start.UnixNano(),
+			DurNS:   dur.Nanoseconds(),
+		})
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of every retained trace timeline, oldest first,
+// with each timeline's events sorted by start time.
+func (t *Tracer) Spans() []TraceSpans {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TraceSpans, 0, len(t.order))
+	for _, id := range t.order {
+		sp := t.spans[id]
+		cp := TraceSpans{TraceID: sp.TraceID, Events: append([]SpanEvent(nil), sp.Events...)}
+		out = append(out, cp)
+	}
+	t.mu.Unlock()
+	for i := range out {
+		evs := out[i].Events
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].StartNS < evs[b].StartNS })
+	}
+	return out
+}

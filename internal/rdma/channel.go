@@ -41,6 +41,30 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
+// FlushReason labels what triggered a batch flush.
+type FlushReason int
+
+const (
+	// FlushMMS: the pending batch reached the Max Memory Size.
+	FlushMMS FlushReason = iota
+	// FlushWTL: the Wait Time Limit timer fired first.
+	FlushWTL
+	// FlushExplicit: Flush or Close forced the batch out.
+	FlushExplicit
+)
+
+func (r FlushReason) String() string {
+	switch r {
+	case FlushMMS:
+		return "mms"
+	case FlushWTL:
+		return "wtl"
+	case FlushExplicit:
+		return "explicit"
+	}
+	return fmt.Sprintf("flush(%d)", int(r))
+}
+
 // ChannelConfig parameterises a Channel.
 type ChannelConfig struct {
 	// Mode selects the data-path verbs (default one-sided READ).
@@ -62,6 +86,12 @@ type ChannelConfig struct {
 	// BlockTimeout bounds how long Send blocks on a full ring before
 	// failing (default 10 s).
 	BlockTimeout time.Duration
+	// OnFlush, if set, is invoked (with the channel's send lock held, so it
+	// must be fast and must not call back into the channel) after every
+	// batch flush with the trigger and the batch size in bytes. The
+	// observability layer uses it to count MMS vs WTL flushes and log
+	// flush-reason transitions.
+	OnFlush func(reason FlushReason, batchBytes int)
 }
 
 func (c ChannelConfig) withDefaults() ChannelConfig {
@@ -165,6 +195,22 @@ func (c *Channel) Stats() StatsSnapshot {
 	}
 }
 
+// RingOccupancy returns the bytes sitting in the channel's ring region
+// (published by the sender, not yet consumed by the receiver), plus the
+// pending unflushed batch. Zero for the two-sided mode, which has no ring.
+func (c *Channel) RingOccupancy() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	occ := len(c.pending)
+	switch {
+	case c.ring != nil:
+		occ += c.ring.Occupancy()
+	case c.cfg.Mode == ModeOneSidedWrite:
+		occ += int(c.remoteRing.head - c.remoteRing.tail)
+	}
+	return occ
+}
+
 // SetHandler installs the receive callback. It must be set (by the accept
 // hook) before the sender starts sending; messages arriving with no handler
 // are dropped.
@@ -202,7 +248,7 @@ func (c *Channel) Send(msg []byte) error {
 	c.stats.BytesSent.Add(int64(len(msg)))
 	if len(c.pending) >= c.cfg.MMS {
 		c.stats.SizeFlushes.Add(1)
-		return c.flushLocked()
+		return c.flushLocked(FlushMMS)
 	}
 	return nil
 }
@@ -214,7 +260,7 @@ func (c *Channel) Flush() error {
 	if len(c.pending) == 0 {
 		return c.sendErr
 	}
-	return c.flushLocked()
+	return c.flushLocked(FlushExplicit)
 }
 
 func (c *Channel) armTimer() {
@@ -229,20 +275,23 @@ func (c *Channel) armTimer() {
 			return
 		}
 		c.stats.TimerFlushes.Add(1)
-		if err := c.flushLocked(); err != nil && c.sendErr == nil {
+		if err := c.flushLocked(FlushWTL); err != nil && c.sendErr == nil {
 			c.sendErr = err
 		}
 	})
 }
 
 // flushLocked ships the pending batch as one work request. Callers hold mu.
-func (c *Channel) flushLocked() error {
+func (c *Channel) flushLocked(reason FlushReason) error {
 	batch := c.pending
 	c.pending = nil
 	if c.timer != nil {
 		c.timer.Stop()
 	}
 	c.stats.WorkRequests.Add(1)
+	if c.cfg.OnFlush != nil {
+		c.cfg.OnFlush(reason, len(batch))
+	}
 	var err error
 	switch c.cfg.Mode {
 	case ModeOneSidedRead:
@@ -407,7 +456,7 @@ func (c *Channel) Close() error {
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		if len(c.pending) > 0 {
-			err = c.flushLocked()
+			err = c.flushLocked(FlushExplicit)
 		}
 		c.closed = true
 		if c.timer != nil {

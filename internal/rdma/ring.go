@@ -62,6 +62,15 @@ func (r *Ring) refreshTail() error {
 	return nil
 }
 
+// Occupancy returns the bytes currently published but not yet known to be
+// consumed, from the producer's cached view of the tail (an upper bound:
+// the consumer may have advanced further). Callers must serialise with the
+// producer (the owning channel holds its send lock).
+func (r *Ring) Occupancy() int {
+	r.refreshTail()
+	return int(r.head - r.tail)
+}
+
 // Free returns the bytes currently available for appending.
 func (r *Ring) Free() (int, error) {
 	if err := r.refreshTail(); err != nil {

@@ -167,6 +167,24 @@ func (t *rdmaTransport) ChannelStats() rdma.StatsSnapshot {
 	return agg
 }
 
+// RingOccupancy sums the bytes currently occupying this worker's outbound
+// ring regions (published-but-unconsumed plus pending batches) across all
+// dialed channels. The engine's observability layer polls it as the
+// per-worker "rdma.ring_occupancy" gauge.
+func (t *rdmaTransport) RingOccupancy() int {
+	t.mu.Lock()
+	chans := make([]*rdma.Channel, 0, len(t.chans))
+	for _, ch := range t.chans {
+		chans = append(chans, ch)
+	}
+	t.mu.Unlock()
+	occ := 0
+	for _, ch := range chans {
+		occ += ch.RingOccupancy()
+	}
+	return occ
+}
+
 // Close implements Transport.
 func (t *rdmaTransport) Close() error {
 	t.closeOnce.Do(func() {

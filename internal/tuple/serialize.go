@@ -43,7 +43,7 @@ func (e *Encoder) EncodeTuple(t *Tuple) ([]byte, error) {
 // Layout (all integers little-endian):
 //
 //	u16 len(stream) | stream bytes
-//	i64 id | i32 srcTask | i64 rootEmitNS | i64 rootID | i64 ackVal
+//	i64 id | i32 srcTask | i64 rootEmitNS | i64 rootID | i64 ackVal | i64 traceID
 //	u16 nfields | nfields * (tag u8, value)
 func AppendTuple(dst []byte, t *Tuple) ([]byte, error) {
 	dst = appendU16(dst, uint16(len(t.Stream)))
@@ -53,6 +53,7 @@ func AppendTuple(dst []byte, t *Tuple) ([]byte, error) {
 	dst = appendU64(dst, uint64(t.RootEmitNS))
 	dst = appendU64(dst, uint64(t.RootID))
 	dst = appendU64(dst, uint64(t.AckVal))
+	dst = appendU64(dst, uint64(t.TraceID))
 	dst = appendU16(dst, uint16(len(t.Values)))
 	for _, v := range t.Values {
 		var err error
@@ -131,6 +132,11 @@ func DecodeTuple(buf []byte) (*Tuple, int, error) {
 		return nil, 0, err
 	}
 	t.AckVal = int64(av)
+	tid, off, err := readU64(buf, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.TraceID = int64(tid)
 	nf, off, err := readU16(buf, off)
 	if err != nil {
 		return nil, 0, err
@@ -191,7 +197,7 @@ func readValue(buf []byte, off int) (Value, int, error) {
 // EncodedSize returns the exact number of bytes AppendTuple would produce,
 // without encoding. The simulated cluster uses it to derive message sizes.
 func EncodedSize(t *Tuple) int {
-	n := 2 + len(t.Stream) + 8 + 4 + 8 + 8 + 8 + 2
+	n := 2 + len(t.Stream) + 8 + 4 + 8 + 8 + 8 + 8 + 2
 	for _, v := range t.Values {
 		switch x := v.(type) {
 		case int64, float64:

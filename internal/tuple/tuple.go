@@ -40,6 +40,12 @@ type Tuple struct {
 	RootID int64
 	// AckVal is this tuple's random contribution to the ack XOR register.
 	AckVal int64
+	// TraceID identifies the sampled tuple-path trace this tuple belongs
+	// to; zero means the tuple is untraced. It is assigned at the spout by
+	// the observability layer's sampler and inherited by every descendant,
+	// so one trace spans serialize, tree hops, RDMA slices, dispatch and
+	// execute across workers.
+	TraceID int64
 }
 
 // Clone returns a shallow copy of t with its own Values slice. Field values

@@ -26,6 +26,7 @@ import (
 
 	"whale/internal/core"
 	"whale/internal/dsps"
+	"whale/internal/obs"
 	"whale/internal/tuple"
 )
 
@@ -109,19 +110,45 @@ const (
 // Cluster is a running topology.
 type Cluster struct {
 	eng *dsps.Engine
+	srv *obs.Server
 }
 
-// Run launches the topology under the given system preset.
+// Run launches the topology under the given system preset. With
+// Options.ObsAddr set, the observability endpoints (/metrics,
+// /debug/whale, /debug/events, /debug/pprof) are served on that address
+// for the cluster's lifetime.
 func Run(topo *Topology, sys System, opts Options) (*Cluster, error) {
 	eng, err := sys.Launch(topo, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{eng: eng}, nil
+	c := &Cluster{eng: eng}
+	if opts.ObsAddr != "" {
+		srv, err := obs.Serve(opts.ObsAddr, eng.Obs())
+		if err != nil {
+			eng.Stop()
+			return nil, err
+		}
+		c.srv = srv
+	}
+	return c, nil
 }
 
 // Metrics returns live engine metrics.
 func (c *Cluster) Metrics() *Metrics { return c.eng.Metrics() }
+
+// Obs returns the cluster's observability scope: the metric registry,
+// tuple-path tracer, and reconfiguration event log.
+func (c *Cluster) Obs() *obs.Scope { return c.eng.Obs() }
+
+// ObsAddr returns the address the observability server is listening on, or
+// "" when Options.ObsAddr was unset.
+func (c *Cluster) ObsAddr() string {
+	if c.srv == nil {
+		return ""
+	}
+	return c.srv.Addr()
+}
 
 // OperatorStats snapshots per-operator executed/emitted counters and
 // execute-latency histograms.
@@ -142,5 +169,11 @@ func (c *Cluster) Drain(timeout time.Duration) bool { return c.eng.Drain(timeout
 // (0 when no adaptive group exists).
 func (c *Cluster) ActiveDstar() int { return c.eng.ActiveDstar() }
 
-// Shutdown stops the cluster and releases the network.
-func (c *Cluster) Shutdown() { c.eng.Stop() }
+// Shutdown stops the cluster and releases the network and the
+// observability server.
+func (c *Cluster) Shutdown() {
+	c.eng.Stop()
+	if c.srv != nil {
+		c.srv.Close()
+	}
+}
