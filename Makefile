@@ -1,15 +1,19 @@
 # Standard checks for the Whale reproduction. `make check` is what CI (and
-# reviewers) run: vet, build, the full test suite, and a race pass over the
-# concurrency-heavy observability and metrics packages.
+# reviewers) run: vet, whalevet (the project-specific analyzers), build, the
+# full test suite, and a full-repo race pass (slow simulation tests skip
+# under -short, keeping the race gate to a few minutes).
 
 GO ?= go
 
-.PHONY: check vet build test race fmt bench
+.PHONY: check vet whalevet build test race fmt bench
 
-check: vet build test race
+check: vet whalevet build test race
 
 vet:
 	$(GO) vet ./...
+
+whalevet:
+	$(GO) run ./cmd/whalevet ./...
 
 build:
 	$(GO) build ./...
@@ -18,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/metrics/...
+	$(GO) test -race -short ./...
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,74 @@
+// Command whalevet runs Whale's project-specific static analyzers over the
+// repository. It is wired into `make check`; run it standalone with:
+//
+//	go run ./cmd/whalevet ./...
+//	go run ./cmd/whalevet -run lockheld,verberr ./internal/rdma/...
+//	go run ./cmd/whalevet -list
+//
+// Findings print as path:line:col: analyzer: message and make the command
+// exit nonzero. Suppress an individual finding with a //lint:ignore
+// directive (see package whale/internal/analyzers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whale/internal/analyzers"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		list = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: whalevet [-run a,b] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	as := analyzers.All()
+	if *run != "" {
+		var err error
+		as, err = analyzers.ByName(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whalevet:", err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whalevet:", err)
+		os.Exit(2)
+	}
+	loader := analyzers.NewLoader(wd)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whalevet:", err)
+		os.Exit(2)
+	}
+
+	diags := analyzers.RunAnalyzers(pkgs, as)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "whalevet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

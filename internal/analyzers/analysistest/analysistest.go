@@ -1,0 +1,105 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its findings against `// want "regexp"` comments, mirroring the
+// golang.org/x/tools analysistest contract on the standard library alone.
+//
+// A want comment sits on the line it expects a finding for:
+//
+//	c.mu.Lock()
+//	time.Sleep(time.Millisecond) // want `time.Sleep while mutex c\.mu is held`
+//
+// Every finding must match a want on its line, and every want must be
+// matched by a finding; either mismatch fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"whale/internal/analyzers"
+)
+
+// wantRe matches `// want "regexp"` or `// want \x60regexp\x60` comments.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+type expectation struct {
+	line    int
+	pattern *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the single package in dir with the analyzer's suppression
+// handling active and diffs findings against want comments.
+func Run(t *testing.T, dir string, a *analyzers.Analyzer) {
+	t.Helper()
+	loader := analyzers.NewLoader(dir)
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	diags := analyzers.RunAnalyzers([]*analyzers.Package{pkg}, []*analyzers.Analyzer{a})
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no finding matched want %s at %s", w.raw, key)
+			}
+		}
+	}
+}
+
+// collectWants parses want comments from every file in the package.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				raw := m[1]
+				var text string
+				if strings.HasPrefix(raw, "`") {
+					text = strings.Trim(raw, "`")
+				} else {
+					var err error
+					text, err = strconv.Unquote(raw)
+					if err != nil {
+						t.Fatalf("bad want literal %s: %v", raw, err)
+					}
+				}
+				re, err := regexp.Compile(text)
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", text, err)
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], &expectation{line: pos.Line, pattern: re, raw: raw})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,278 @@
+// Package analyzers implements whalevet, Whale's project-specific static
+// analysis suite. Each analyzer machine-checks one concurrency or
+// performance invariant the compiler cannot see:
+//
+//	lockheld   — no blocking operation (channel op, time.Sleep, Wait,
+//	             RDMA verb post) while a sync.Mutex/RWMutex is held
+//	gospawn    — no bare `go` statement in library packages unless the
+//	             goroutine is tracked by a sync.WaitGroup
+//	metricname — obs/metrics registrations use literal, lowercase,
+//	             dot-hierarchical names (the PR 1 registry convention)
+//	verberr    — no silently discarded error from internal/rdma verbs or
+//	             internal/transport calls
+//	hotalloc   — no fmt.Sprintf / time.Now / map allocation inside
+//	             functions annotated `//whale:hotpath`
+//
+// Findings are suppressed per-site with an explanatory directive:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the flagged line (trailing) or the line directly above, or for
+// a whole file with `//lint:file-ignore <analyzer> <reason>`. A directive
+// without a reason is ignored, so every suppression documents itself.
+//
+// The suite is self-contained on the standard library (go/ast, go/types,
+// and export data resolved through `go list -export`), mirroring the shape
+// of the golang.org/x/tools go/analysis API without depending on it.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single package through its
+// Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in output and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzed package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// IsMain reports whether the analyzed package is a command (package main).
+// Some analyzers (gospawn) only apply to library packages.
+func (p *Pass) IsMain() bool { return p.Pkg.Name() == "main" }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full whalevet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{LockHeld, GoSpawn, MetricName, VerbErr, HotAlloc}
+}
+
+// ByName resolves a comma-separated analyzer list ("lockheld,verberr").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}
+
+// RunAnalyzers applies every analyzer to every package, filters findings
+// through the packages' //lint: directives, and returns them sorted by
+// position.
+func RunAnalyzers(pkgs []*Package, as []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		sups := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range as {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			a.Run(pass)
+			for _, d := range diags {
+				if !sups.suppresses(d) {
+					all = append(all, d)
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// --- shared type/AST helpers -----------------------------------------------
+
+// callee resolves the *types.Func a call statically invokes: a package
+// function, a qualified pkg.Func, or a method through a selection. Calls
+// through function values return nil.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring f ("" for
+// builtins/universe).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isNamed reports whether t (after pointer deref) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		if ptr, ok := t.(*types.Pointer); ok {
+			n, ok = ptr.Elem().(*types.Named)
+			if !ok {
+				return false
+			}
+		} else {
+			return false
+		}
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// derefNamed unwraps pointers and returns the named type, or nil.
+func derefNamed(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// recvPkgPath returns the import path of the package declaring the type a
+// method call's receiver belongs to, or "" when call is not a method call.
+func recvPkgPath(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	n := derefNamed(s.Recv())
+	if n == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path()
+}
+
+// lastResultIsError reports whether f's final result is the error type.
+func lastResultIsError(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// selectorName renders the call target for messages ("c.mu.Lock",
+// "time.Sleep"), degrading gracefully for complex expressions.
+func selectorName(call *ast.CallExpr) string {
+	return exprText(call.Fun)
+}
+
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "()"
+	}
+	return "<expr>"
+}

@@ -1,0 +1,39 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"whale/internal/analyzers"
+)
+
+// testdata returns the absolute path of one testdata source package.
+func testdata(t *testing.T, name string) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestByName(t *testing.T) {
+	as, err := analyzers.ByName("lockheld,verberr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "lockheld" || as[1].Name != "verberr" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := analyzers.ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+func TestAllHaveDocs(t *testing.T) {
+	for _, a := range analyzers.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+	}
+}

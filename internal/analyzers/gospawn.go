@@ -1,0 +1,101 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// GoSpawn forbids bare `go` statements in library packages. A goroutine
+// nobody joins is a goroutine nobody can drain during reconfiguration — the
+// engine's Stop path must be able to wait for every worker before tearing
+// down rings and queue pairs. A spawn passes if it is visibly tracked:
+//
+//   - the statement immediately before it in the same block calls Add on a
+//     sync.WaitGroup (the `wg.Add(1); go fn()` idiom), or
+//   - the spawned function literal contains `defer wg.Done()` for a
+//     sync.WaitGroup (the tracking is inside the goroutine itself).
+//
+// Commands (package main) are exempt: a main that spawns and exits owns its
+// own lifetime.
+var GoSpawn = &Analyzer{
+	Name: "gospawn",
+	Doc:  "forbids untracked `go` statements in library packages (require a sync.WaitGroup)",
+	Run:  runGoSpawn,
+}
+
+func runGoSpawn(pass *Pass) {
+	if pass.IsMain() {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				gs, ok := stmt.(*ast.GoStmt)
+				if !ok {
+					continue
+				}
+				if i > 0 && isWaitGroupAdd(pass, block.List[i-1]) {
+					continue
+				}
+				if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok && litDefersDone(pass, lit) {
+					continue
+				}
+				pass.Reportf(gs.Pos(), "untracked goroutine: precede with wg.Add(1) on a sync.WaitGroup or defer wg.Done() inside the goroutine")
+			}
+			return true
+		})
+	}
+}
+
+// isWaitGroupAdd reports whether stmt is an expression statement calling
+// Add on a sync.WaitGroup.
+func isWaitGroupAdd(pass *Pass, stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isWaitGroupMethod(pass, call, "Add")
+}
+
+// litDefersDone reports whether the function literal contains a
+// `defer wg.Done()` at any depth (excluding nested function literals).
+func litDefersDone(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if isWaitGroupMethod(pass, x.Call, "Done") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupMethod reports whether call invokes the named method on a
+// sync.WaitGroup receiver.
+func isWaitGroupMethod(pass *Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	return isNamed(s.Recv(), "sync", "WaitGroup")
+}

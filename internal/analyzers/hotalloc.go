@@ -1,0 +1,76 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// HotAlloc guards functions annotated `//whale:hotpath` (a line in the
+// function's doc comment) against per-tuple costs that do not belong on
+// the partitioning fast path: fmt.Sprintf (allocates and reflects),
+// time.Now (a vDSO call per tuple adds up at millions of tuples/s), and
+// map allocation (make(map...) or a map composite literal). Error paths
+// are exempt by construction — fmt.Errorf is deliberately not flagged,
+// since an error exits the hot path anyway.
+//
+// Nested function literals inherit the annotation: a closure built inside
+// a hotpath function runs on the same path.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags fmt.Sprintf, time.Now, and map allocation inside //whale:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+// hotpathDirective marks a function as hot-path in its doc comment.
+const hotpathDirective = "//whale:hotpath"
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotBody(pass, fd.Name.Name, fd.Body)
+		}
+	}
+}
+
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, fname string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if fn := callee(pass.Info, x); fn != nil {
+				switch {
+				case funcPkgPath(fn) == "fmt" && fn.Name() == "Sprintf":
+					pass.Reportf(x.Pos(), "fmt.Sprintf in hot path %s: preformat or use strconv", fname)
+				case funcPkgPath(fn) == "time" && fn.Name() == "Now":
+					pass.Reportf(x.Pos(), "time.Now in hot path %s: hoist the timestamp out of the per-tuple path", fname)
+				}
+			}
+			// make(map[K]V): make is a builtin, so callee is nil.
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+				if _, isMap := x.Args[0].(*ast.MapType); isMap {
+					pass.Reportf(x.Pos(), "map allocation in hot path %s: preallocate or use a slice", fname)
+				}
+			}
+		case *ast.CompositeLit:
+			if _, isMap := x.Type.(*ast.MapType); isMap {
+				pass.Reportf(x.Pos(), "map literal in hot path %s: preallocate or use a slice", fname)
+			}
+		}
+		return true
+	})
+}

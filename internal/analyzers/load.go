@@ -1,0 +1,215 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader loads packages from source and type-checks them against compiled
+// export data resolved through `go list -export`. It is self-contained on
+// the standard library: the gc importer reads the build cache's export
+// files directly, so no third-party package-loading dependency is needed.
+type Loader struct {
+	// Dir is the directory `go list` runs in (anywhere inside the module).
+	Dir  string
+	fset *token.FileSet
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// NewLoader creates a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookupExport)
+	return l
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+}
+
+// goList runs `go list` with the given extra args and decodes the JSON
+// package stream.
+func (l *Loader) goList(args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// lookupExport resolves an import path to its export data, consulting the
+// cache filled by Load and falling back to an individual `go list -export`
+// invocation (used by LoadDir, whose import sets are not pre-listed).
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		pkgs, err := l.goList("-export", "-deps", "-json=ImportPath,Export", path)
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		for _, p := range pkgs {
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+		file = l.exports[path]
+		l.mu.Unlock()
+	}
+	if file == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	b, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(b)), nil
+}
+
+// Load loads and type-checks the packages matching the patterns (e.g.
+// "./..."), excluding test files. Dependencies resolve through compiled
+// export data, so only the matched packages are parsed from source.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One -deps listing fills the export cache for every dependency.
+	deps, err := l.goList(append([]string{"-export", "-deps", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	for _, p := range deps {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.mu.Unlock()
+
+	targets, err := l.goList(append([]string{"-json=ImportPath,Name,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := l.check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir loads the single package rooted at dir (used for analysistest
+// testdata packages, which `go list` ignores). Test files are skipped.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.check(dir, dir, files)
+}
+
+// check parses the files and type-checks them as one package.
+func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Name:       tpkg.Name(),
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,406 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld flags blocking operations executed while a sync.Mutex or
+// sync.RWMutex is held: channel sends/receives, selects without a default,
+// time.Sleep, Wait calls, and RDMA verb posts (internal/rdma PostSend /
+// PostRecv / Poll). These are exactly the shapes that turn the ring-flush
+// and engine-reconfiguration paths into convoy points — every other caller
+// of the lock stalls behind the sleeper.
+//
+// The analysis is intra-procedural with bounded local expansion: when a
+// lock is held and the function calls another function or method declared
+// in the same package, the callee's body is searched too (three levels
+// deep), so `mu.Lock(); c.flush()` is caught even though the sleep lives
+// in flush. Goroutine bodies launched with `go` are excluded — they do not
+// run under the caller's lock.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "flags blocking operations (channel ops, time.Sleep, Wait, RDMA verb posts) while a mutex is held",
+	Run:  runLockHeld,
+}
+
+// lockExpansionDepth bounds how many same-package call levels are searched
+// below a lock-holding function.
+const lockExpansionDepth = 3
+
+type lockHeldState struct {
+	pass      *Pass
+	funcDecls map[*types.Func]*ast.FuncDecl
+}
+
+func runLockHeld(pass *Pass) {
+	st := &lockHeldState{pass: pass, funcDecls: map[*types.Func]*ast.FuncDecl{}}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				st.funcDecls[obj] = fd
+			}
+		}
+	}
+	// Analyze every function body — declared functions and function
+	// literals — as an independent scope with no lock held on entry.
+	// scanBlock never descends into a nested FuncLit, so continuing the
+	// walk gives each literal exactly one independent scan.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					st.scanBlock(x.Body, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				st.scanBlock(x.Body, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+// isMutexMethod classifies a call as Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex receiver, returning the receiver expression's
+// textual key.
+func (st *lockHeldState) isMutexMethod(call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	s, found := st.pass.Info.Selections[sel]
+	if !found {
+		return "", "", false
+	}
+	recv := s.Recv()
+	if !isNamed(recv, "sync", "Mutex") && !isNamed(recv, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return exprText(sel.X), sel.Sel.Name, true
+}
+
+// scanBlock walks stmts in order, tracking the set of held mutexes (keyed
+// by receiver expression text) and reporting blocking operations while the
+// set is non-empty. Nested blocks get a copy of the held set: an unlock on
+// a branch that returns does not clear the lock on the fall-through path.
+func (st *lockHeldState) scanBlock(block *ast.BlockStmt, held map[string]token.Pos) {
+	for _, stmt := range block.List {
+		st.scanStmt(stmt, held)
+	}
+}
+
+func (st *lockHeldState) scanStmt(stmt ast.Stmt, held map[string]token.Pos) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, method, ok := st.isMutexMethod(call); ok {
+				switch method {
+				case "Lock", "RLock":
+					held[key] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return
+			}
+		}
+		st.checkExpr(s.X, held)
+
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end — nothing
+		// to update. Other deferred calls run after the scanned region, so
+		// they are not checked against the current held set.
+		return
+
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's lock. The
+		// argument expressions do evaluate here, though.
+		for _, arg := range s.Call.Args {
+			st.checkExpr(arg, held)
+		}
+
+	case *ast.BlockStmt:
+		st.scanBlock(s, copyHeld(held))
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st.scanStmt(s.Init, held)
+		}
+		st.checkExpr(s.Cond, held)
+		st.scanBlock(s.Body, copyHeld(held))
+		if s.Else != nil {
+			st.scanStmt(s.Else, copyHeld(held))
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st.scanStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			st.checkExpr(s.Cond, held)
+		}
+		st.scanBlock(s.Body, copyHeld(held))
+
+	case *ast.RangeStmt:
+		st.checkExpr(s.X, held)
+		st.scanBlock(s.Body, copyHeld(held))
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st.scanStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			st.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				for _, b := range cc.Body {
+					st.scanStmt(b, inner)
+				}
+			}
+		}
+
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				for _, b := range cc.Body {
+					st.scanStmt(b, inner)
+				}
+			}
+		}
+
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			st.report(s.Pos(), "blocking select", held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := copyHeld(held)
+				for _, b := range cc.Body {
+					st.scanStmt(b, inner)
+				}
+			}
+		}
+
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			st.report(s.Arrow, "channel send", held)
+		}
+		st.checkExpr(s.Value, held)
+
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			st.checkExpr(rhs, held)
+		}
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st.checkExpr(r, held)
+		}
+
+	case *ast.LabeledStmt:
+		st.scanStmt(s.Stmt, held)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkExpr searches one expression for blocking operations while held is
+// non-empty, descending into subexpressions but not function literals.
+func (st *lockHeldState) checkExpr(e ast.Expr, held map[string]token.Pos) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later, not under this lock (checked separately)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				st.report(x.OpPos, "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if kind, ok := st.blockingCall(x); ok {
+				st.report(x.Pos(), kind, held)
+				return false
+			}
+			// Local expansion: does a same-package callee block?
+			if kind, depthPos, ok := st.calleeBlocks(x, lockExpansionDepth, map[*types.Func]bool{}); ok {
+				st.reportVia(x.Pos(), kind, depthPos, held)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies a call expression as directly blocking.
+func (st *lockHeldState) blockingCall(call *ast.CallExpr) (string, bool) {
+	f := callee(st.pass.Info, call)
+	if f == nil {
+		return "", false
+	}
+	pkg := funcPkgPath(f)
+	switch {
+	case pkg == "time" && f.Name() == "Sleep":
+		return "time.Sleep", true
+	case f.Name() == "Wait" && st.isMethodCall(call):
+		return selectorName(call) + " (completion/WaitGroup wait)", true
+	case pkg == "whale/internal/rdma":
+		switch f.Name() {
+		case "PostSend", "PostRecv", "Poll", "LocalConsume":
+			return selectorName(call) + " (RDMA verb)", true
+		}
+	}
+	return "", false
+}
+
+func (st *lockHeldState) isMethodCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	_, ok = st.pass.Info.Selections[sel]
+	return ok
+}
+
+// calleeBlocks reports whether a statically resolved same-package callee
+// (or a callee it calls, up to depth levels) performs a blocking operation,
+// returning the kind and the position of the underlying operation.
+func (st *lockHeldState) calleeBlocks(call *ast.CallExpr, depth int, seen map[*types.Func]bool) (string, token.Pos, bool) {
+	if depth == 0 {
+		return "", token.NoPos, false
+	}
+	f := callee(st.pass.Info, call)
+	if f == nil || seen[f] {
+		return "", token.NoPos, false
+	}
+	fd, ok := st.funcDecls[f]
+	if !ok || fd.Body == nil {
+		return "", token.NoPos, false
+	}
+	seen[f] = true
+	var kind string
+	var pos token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			kind, pos = "channel send", x.Arrow
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				kind, pos = "channel receive", x.OpPos
+				return false
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				kind, pos = "blocking select", x.Pos()
+				return false
+			}
+		case *ast.CallExpr:
+			if k, ok := st.blockingCall(x); ok {
+				kind, pos = k, x.Pos()
+				return false
+			}
+			if k, p, ok := st.calleeBlocks(x, depth-1, seen); ok {
+				kind, pos = k, p
+				return false
+			}
+		}
+		return true
+	})
+	return kind, pos, kind != ""
+}
+
+func (st *lockHeldState) report(pos token.Pos, kind string, held map[string]token.Pos) {
+	st.pass.Reportf(pos, "%s while %s is held", kind, heldNames(held))
+}
+
+func (st *lockHeldState) reportVia(callPos token.Pos, kind string, opPos token.Pos, held map[string]token.Pos) {
+	op := st.pass.Fset.Position(opPos)
+	st.pass.Reportf(callPos, "call reaches %s (%s:%d) while %s is held",
+		kind, filebase(op.Filename), op.Line, heldNames(held))
+}
+
+func heldNames(held map[string]token.Pos) string {
+	if len(held) == 1 {
+		for k := range held {
+			return "mutex " + k
+		}
+	}
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sortStrings(names)
+	out := "mutexes "
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func filebase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

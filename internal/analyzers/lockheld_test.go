@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"whale/internal/analyzers"
+	"whale/internal/analyzers/analysistest"
+)
+
+func TestLockHeld(t *testing.T) {
+	analysistest.Run(t, testdata(t, "lockheld"), analyzers.LockHeld)
+}

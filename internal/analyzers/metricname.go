@@ -1,0 +1,143 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricName enforces the PR 1 registry convention: metric names passed to
+// obs.Registry / metrics.Family registration calls are literal, lowercase,
+// dot-hierarchical identifiers ("rdma.msgs_sent", "engine.acks"). Literal
+// names make metrics greppable — a dashboard query can be traced to the
+// registration site — and the lowercase dot hierarchy keeps the /metrics
+// endpoint's Prometheus translation deterministic.
+//
+// The name argument may be built from concatenation (prefix + ".rate") or a
+// fmt.Sprintf with a literal format, but at least one fragment must be a
+// string literal matching ^[a-z0-9_.]+$, and a fully literal name must be a
+// well-formed dot path ([a-z0-9_]+(\.[a-z0-9_]+)*).
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric registration names must be literal, lowercase, dot-hierarchical",
+	Run:  runMetricName,
+}
+
+// metricRegistrars maps method name -> true for registration methods whose
+// first argument is the metric name.
+var metricRegistrars = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterFunc": true, "GaugeFunc": true, "HistogramFunc": true,
+	"Attach": true,
+}
+
+var (
+	fragmentRe  = regexp.MustCompile(`^[a-z0-9_.]+$`)
+	fullNameRe  = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)*$`)
+	sprintfVerb = regexp.MustCompile(`%[a-z]`)
+)
+
+func runMetricName(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isMetricRegistration(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			checkMetricNameArg(pass, call.Args[0])
+			return true
+		})
+	}
+}
+
+// isMetricRegistration reports whether call is a registration method on
+// whale/internal/obs.Registry or whale/internal/metrics.Family.
+func isMetricRegistration(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !metricRegistrars[sel.Sel.Name] {
+		return false
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	return isNamed(recv, "whale/internal/obs", "Registry") ||
+		isNamed(recv, "whale/internal/metrics", "Family")
+}
+
+// checkMetricNameArg validates the name expression. Fully constant names
+// must match the dot-path grammar; composed names need at least one literal
+// fragment that is lowercase dot/underscore text.
+func checkMetricNameArg(pass *Pass, arg ast.Expr) {
+	// Constant-folded name (literal, const, or literal concatenation):
+	// validate the final value directly.
+	if tv, ok := pass.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		name := constant.StringVal(tv.Value)
+		if !fullNameRe.MatchString(name) {
+			pass.Reportf(arg.Pos(), "metric name %q is not lowercase dot-hierarchical (want e.g. \"rdma.msgs_sent\")", name)
+		}
+		return
+	}
+	frags := literalFragments(pass, arg)
+	if len(frags) == 0 {
+		pass.Reportf(arg.Pos(), "metric name has no literal fragment: register with a literal, lowercase, dot-hierarchical name")
+		return
+	}
+	for _, fr := range frags {
+		text := sprintfVerb.ReplaceAllString(fr.text, "")
+		text = strings.Trim(text, ".")
+		if text == "" {
+			continue
+		}
+		if !fragmentRe.MatchString(text) {
+			pass.Reportf(fr.pos, "metric name fragment %q is not lowercase [a-z0-9_.]", fr.text)
+		}
+	}
+}
+
+type literalFragment struct {
+	text string
+	pos  token.Pos
+}
+
+// literalFragments collects string literal pieces of a name expression:
+// concatenation operands and fmt.Sprintf format strings.
+func literalFragments(pass *Pass, e ast.Expr) []literalFragment {
+	var out []literalFragment
+	var walk func(ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.BasicLit:
+			if x.Kind == token.STRING {
+				if s, err := strconv.Unquote(x.Value); err == nil {
+					out = append(out, literalFragment{text: s, pos: x.Pos()})
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				walk(x.X)
+				walk(x.Y)
+			}
+		case *ast.CallExpr:
+			f := callee(pass.Info, x)
+			if f != nil && funcPkgPath(f) == "fmt" && f.Name() == "Sprintf" && len(x.Args) > 0 {
+				walk(x.Args[0])
+			}
+		case *ast.Ident:
+			// A named constant still folds; if it didn't (a var), it is
+			// not a literal fragment.
+			if tv, ok := pass.Info.Types[x]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				out = append(out, literalFragment{text: constant.StringVal(tv.Value), pos: x.Pos()})
+			}
+		}
+	}
+	walk(e)
+	return out
+}

@@ -1,0 +1,73 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppression is one parsed //lint: directive.
+type suppression struct {
+	file     string
+	line     int    // directive's own line (0 for file-wide)
+	analyzer string // analyzer name the directive targets
+	fileWide bool
+}
+
+type suppressionSet []suppression
+
+// collectSuppressions scans every comment for //lint:ignore and
+// //lint:file-ignore directives. A directive must name an analyzer and give
+// a non-empty reason; malformed directives are ignored (so they never
+// silently suppress anything).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
+	var out suppressionSet
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				var fileWide bool
+				switch {
+				case strings.HasPrefix(text, "lint:ignore "):
+					text = strings.TrimPrefix(text, "lint:ignore ")
+				case strings.HasPrefix(text, "lint:file-ignore "):
+					text = strings.TrimPrefix(text, "lint:file-ignore ")
+					fileWide = true
+				default:
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // no reason given: not a valid suppression
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, suppression{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					fileWide: fileWide,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether d is covered by a directive: a file-wide
+// directive for its analyzer, or a line directive on the same line
+// (trailing comment) or the line directly above.
+func (s suppressionSet) suppresses(d Diagnostic) bool {
+	for _, sup := range s {
+		if sup.file != d.Pos.Filename || sup.analyzer != d.Analyzer {
+			continue
+		}
+		if sup.fileWide {
+			return true
+		}
+		if sup.line == d.Pos.Line || sup.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+// Package gospawn exercises the gospawn analyzer: goroutines in library
+// packages must be tracked by a sync.WaitGroup.
+package gospawn
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func bad() {
+	go work() // want `untracked goroutine`
+}
+
+func badClosure(n int) {
+	go func() { // want `untracked goroutine`
+		work()
+	}()
+}
+
+func okAddBefore(p *pool) {
+	p.wg.Add(1)
+	go work()
+}
+
+func okDeferDone(p *pool) {
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+func badAddNotAdjacent(p *pool) {
+	p.wg.Add(1)
+	work()
+	go work() // want `untracked goroutine`
+}
+
+func suppressed() {
+	//lint:ignore gospawn fire-and-forget by design in this fixture
+	go work()
+}
+
+func work() {}

@@ -1,0 +1,48 @@
+// Package hotalloc exercises the hotalloc analyzer: no per-tuple allocation
+// or timestamping inside //whale:hotpath functions.
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+//whale:hotpath
+func hot(name string, n int) string {
+	m := make(map[string]int) // want `map allocation in hot path hot`
+	m[name] = n
+	_ = map[int]string{}             // want `map literal in hot path hot`
+	_ = time.Now()                   // want `time\.Now in hot path hot`
+	return fmt.Sprintf("x-%s", name) // want `fmt\.Sprintf in hot path hot`
+}
+
+// hotClosure: function literals inside a hotpath function run on the same
+// path and inherit the annotation.
+//
+//whale:hotpath
+func hotClosure() func() int64 {
+	return func() int64 {
+		return time.Now().UnixNano() // want `time\.Now in hot path hotClosure`
+	}
+}
+
+//whale:hotpath
+func hotErrPath(v int) (string, error) {
+	if v < 0 {
+		return "", fmt.Errorf("bad value %d", v) // error path: fmt.Errorf is exempt
+	}
+	return strconv.Itoa(v), nil
+}
+
+// cold has no annotation; nothing is flagged.
+func cold(name string) string {
+	_ = time.Now()
+	return fmt.Sprintf("x-%s", name)
+}
+
+//whale:hotpath
+func suppressedHot() int64 {
+	//lint:ignore hotalloc batch-open accounting needs one timestamp
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,99 @@
+// Package lockheld exercises the lockheld analyzer: blocking operations
+// while a sync.Mutex or RWMutex is held.
+package lockheld
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu  sync.Mutex
+	rmu sync.RWMutex
+	ch  chan int
+}
+
+func (s *S) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while mutex s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *S) badSend() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `channel send while mutex s\.mu is held`
+}
+
+func (s *S) badRecv() {
+	s.rmu.RLock()
+	<-s.ch // want `channel receive while mutex s\.rmu is held`
+	s.rmu.RUnlock()
+}
+
+func (s *S) badWait(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `wg\.Wait \(completion/WaitGroup wait\) while mutex s\.mu is held`
+}
+
+func (s *S) badSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while mutex s\.mu is held`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// sleepy is a same-package callee the analyzer expands into.
+func (s *S) sleepy() {
+	time.Sleep(time.Millisecond)
+}
+
+func (s *S) badTransitive() {
+	s.mu.Lock()
+	s.sleepy() // want `call reaches time\.Sleep \(lockheld\.go:\d+\) while mutex s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *S) badInGoroutine() {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		time.Sleep(time.Millisecond) // want `time\.Sleep while mutex s\.mu is held`
+	}()
+}
+
+func (s *S) okAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func (s *S) okSelectDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// okGoroutine: the spawned goroutine does not run under the caller's lock.
+func (s *S) okGoroutine(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+func (s *S) suppressed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockheld the sleep is bounded and serialising here is the point of this test
+	time.Sleep(time.Microsecond)
+}

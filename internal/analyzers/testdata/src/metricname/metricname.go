@@ -1,0 +1,30 @@
+// Package metricname exercises the metricname analyzer: registration names
+// must be literal, lowercase, dot-hierarchical.
+package metricname
+
+import (
+	"fmt"
+
+	"whale/internal/metrics"
+	"whale/internal/obs"
+)
+
+const goodName = "engine.tuples_total"
+
+func register(r *obs.Registry, fam *metrics.Family, name string, id int) {
+	r.CounterFunc("engine.acks", func() int64 { return 0 })
+	r.GaugeFunc("queue.depth", func() int64 { return 0 })
+	r.CounterFunc(goodName, func() int64 { return 0 })
+	r.CounterFunc(fmt.Sprintf("op.%s.executed", name), func() int64 { return 0 })
+	r.GaugeFunc(name+".rate", func() int64 { return 0 })
+	fam.Counter("rdma.msgs_sent")
+
+	r.CounterFunc("Engine.Tuples", func() int64 { return 0 })                    // want `metric name "Engine\.Tuples" is not lowercase dot-hierarchical`
+	r.GaugeFunc(name, func() int64 { return 0 })                                 // want `metric name has no literal fragment`
+	r.CounterFunc("worker-"+name, func() int64 { return 0 })                     // want `metric name fragment "worker-" is not lowercase`
+	fam.Gauge("dsps..queue")                                                     // want `metric name "dsps\.\.queue" is not lowercase dot-hierarchical`
+	r.HistogramFunc(name, func() metrics.Snapshot { return metrics.Snapshot{} }) // want `metric name has no literal fragment`
+
+	//lint:ignore metricname fixture: a computed name justified by a reason
+	r.GaugeFunc(name, func() int64 { return 0 })
+}

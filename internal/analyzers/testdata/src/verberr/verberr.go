@@ -1,0 +1,33 @@
+// Package verberr exercises the verberr analyzer: error returns from
+// internal/rdma and internal/transport calls must be consumed.
+package verberr
+
+import (
+	"whale/internal/rdma"
+	"whale/internal/transport"
+)
+
+func bad(c *rdma.Channel) {
+	c.Flush() // want `c\.Flush returns an error that is discarded`
+}
+
+func badTransport(tr transport.Transport, to transport.WorkerID) {
+	tr.Send(to, nil) // want `tr\.Send returns an error that is discarded`
+}
+
+func okChecked(c *rdma.Channel) error {
+	return c.Flush()
+}
+
+func okExplicitDiscard(c *rdma.Channel) {
+	_ = c.Flush()
+}
+
+func okDynamic(f func() error) {
+	f() // a call through a function value is outside the guarded packages
+}
+
+func suppressed(c *rdma.Channel) {
+	//lint:ignore verberr the close path re-reports flush errors in this fixture
+	c.Flush()
+}

@@ -1,0 +1,50 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// VerbErr flags calls into whale/internal/rdma or whale/internal/transport
+// whose final error result is silently discarded as a bare expression
+// statement. A dropped verb error is a dropped tuple: PostSend on a full
+// ring, Flush against a closed channel, and Send after peer teardown all
+// report failure only through that return value. Deliberate discards must
+// be spelled `_ = call()` — visible in review — or suppressed with a
+// //lint:ignore verberr directive explaining why losing the error is safe.
+var VerbErr = &Analyzer{
+	Name: "verberr",
+	Doc:  "flags discarded error returns from internal/rdma verbs and internal/transport calls",
+	Run:  runVerbErr,
+}
+
+// verbErrPackages are the packages whose error returns must be consumed.
+var verbErrPackages = map[string]bool{
+	"whale/internal/rdma":      true,
+	"whale/internal/transport": true,
+}
+
+func runVerbErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.Info, call)
+			if fn == nil || !lastResultIsError(fn) {
+				return true
+			}
+			// The call must be declared in (or be a method on a type of) a
+			// guarded package.
+			if !verbErrPackages[funcPkgPath(fn)] && !verbErrPackages[recvPkgPath(pass.Info, call)] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s returns an error that is discarded; handle it or assign to _ explicitly", selectorName(call))
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"whale/internal/analyzers"
+	"whale/internal/analyzers/analysistest"
+)
+
+func TestVerbErr(t *testing.T) {
+	analysistest.Run(t, testdata(t, "verberr"), analyzers.VerbErr)
+}

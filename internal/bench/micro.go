@@ -55,8 +55,9 @@ func runChannelMicroCost(cfg rdma.ChannelConfig, cost rdma.CostModel, msgs, msgS
 		return microResult{}, err
 	}
 	defer func() {
-		src.Close()
-		dst.Close()
+		// Benchmark teardown; close errors have no bearing on the result.
+		_ = src.Close()
+		_ = dst.Close()
 	}()
 
 	payload := make([]byte, msgSize)

@@ -44,6 +44,9 @@ func TestMachinesFor(t *testing.T) {
 // Storm < RDMA-Storm < Whale-WOC < Whale-WOC-RDMA <= Whale, with Whale tens
 // of times over Storm.
 func TestFig13Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated-cluster run is too slow for -short")
+	}
 	storm := probe(t, Storm, 480)
 	rstorm := probe(t, RDMAStorm, 480)
 	woc := probe(t, WhaleWOC, 480)
@@ -70,6 +73,9 @@ func TestFig13Ordering(t *testing.T) {
 
 // TestFig13Monotonicity: baselines decline with parallelism, Whale rises.
 func TestFig13Monotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated-cluster run is too slow for -short")
+	}
 	for _, v := range []Variant{Storm, RDMAStorm} {
 		lo := probe(t, v, 120)
 		hi := probe(t, v, 480)
@@ -87,6 +93,9 @@ func TestFig13Monotonicity(t *testing.T) {
 // TestFig14LatencyShape: baselines' latency grows with parallelism; Whale's
 // falls; at 480 Whale cuts latency by >90%.
 func TestFig14LatencyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated-cluster run is too slow for -short")
+	}
 	stormLo, stormHi := probe(t, Storm, 120), probe(t, Storm, 480)
 	if !(stormHi.ProcLatency.Mean > stormLo.ProcLatency.Mean) {
 		t.Fatalf("Storm latency did not grow: %.0f -> %.0f", stormLo.ProcLatency.Mean, stormHi.ProcLatency.Mean)
@@ -103,6 +112,9 @@ func TestFig14LatencyShape(t *testing.T) {
 // TestFig2SourceOverload: in Storm the source saturates while downstream
 // idles as parallelism grows (the paper's motivating observation).
 func TestFig2SourceOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated-cluster run is too slow for -short")
+	}
 	res := probe(t, Storm, 480)
 	if res.SrcUtil < 0.9 {
 		t.Fatalf("source utilisation %.2f, want ~1", res.SrcUtil)
@@ -119,6 +131,9 @@ func TestFig2SourceOverload(t *testing.T) {
 // TestFig26SerializationShares: RDMA-Storm's communication time is
 // dominated by serialization; Whale's is not.
 func TestFig26SerializationShares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated-cluster run is too slow for -short")
+	}
 	rstorm := probe(t, RDMAStorm, 480)
 	whale := probe(t, Whale, 480)
 	if !(rstorm.SerFrac > 0.6) {
@@ -138,6 +153,9 @@ func TestFig26SerializationShares(t *testing.T) {
 // TestFig27Traffic: Whale's traffic per 10k tuples is ~90% below Storm's
 // and nearly flat in parallelism.
 func TestFig27Traffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated-cluster run is too slow for -short")
+	}
 	storm := probe(t, Storm, 480)
 	whale := probe(t, Whale, 480)
 	if red := 1 - whale.TrafficBytesPer10k/storm.TrafficBytesPer10k; red < 0.85 {
@@ -158,6 +176,9 @@ func TestFig27Traffic(t *testing.T) {
 // eventually overflows (load factor > 1 -> drops), while the same rate is
 // fine for Whale's adapted tree.
 func TestFig3RDMCBlocking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated-cluster run is too slow for -short")
+	}
 	// Find the breaking rate for RDMC at 480 instances.
 	base := Run(Config{Variant: RDMC, Parallelism: 480, MaxTuples: 1500, Seed: 3})
 	lowRate := base.Throughput * 0.5
@@ -184,6 +205,9 @@ func TestFig3RDMCBlocking(t *testing.T) {
 // deliver to all workers far sooner on average, and the non-blocking tree
 // is at least as good as the static binomial.
 func TestFig21MulticastLatencyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated-cluster run is too slow for -short")
+	}
 	// Drive all three at the same rate: 90% of the binomial's capacity.
 	rate := probe(t, RDMC, 480).Throughput * 0.9
 	star := Run(Config{Variant: WhaleWOCRDMA, Parallelism: 480, InputRate: rate, MaxTuples: 3000, Seed: 5})
@@ -204,6 +228,9 @@ func TestFig21MulticastLatencyOrdering(t *testing.T) {
 // must switch (d* falls when the rate spikes) and sustain the load with far
 // fewer drops than the static binomial under the same profile and queue.
 func TestFig23DynamicAdaptation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated-cluster run is too slow for -short")
+	}
 	profile := func(now sim.Time) float64 {
 		sec := float64(now) / 1e9
 		switch {
@@ -250,6 +277,9 @@ func TestFig23DynamicAdaptation(t *testing.T) {
 
 // TestFig33RacksStable: Whale's throughput is stable across rack counts.
 func TestFig33RacksStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated-cluster run is too slow for -short")
+	}
 	var base float64
 	for racks := 1; racks <= 5; racks++ {
 		res := Run(Config{Variant: Whale, Parallelism: 480, Racks: racks, MaxTuples: 1200, Seed: 2})
@@ -277,6 +307,9 @@ func TestDeterminism(t *testing.T) {
 // contributes the most, with the optimized primitives and the tree both
 // visible.
 func TestContributionSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated-cluster run is too slow for -short")
+	}
 	rstorm := probe(t, RDMAStorm, 480).Throughput
 	woc := probe(t, WhaleWOC, 480).Throughput
 	wocRdma := probe(t, WhaleWOCRDMA, 480).Throughput

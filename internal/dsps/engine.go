@@ -205,6 +205,7 @@ type Engine struct {
 	stopSpouts     chan struct{}
 	spoutWG        sync.WaitGroup
 	stopTick       chan struct{}
+	auxWG          sync.WaitGroup // managers, ack ticker, user tickers
 	stopped        bool
 	mu             sync.Mutex
 }
@@ -313,13 +314,16 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 		go w.sendLoop()
 	}
 	for _, mgr := range eng.managers {
+		eng.auxWG.Add(1)
 		go mgr.run()
 	}
 	if cfg.AckEnabled {
+		eng.auxWG.Add(1)
 		go eng.ackTicker()
 	}
 	for _, id := range topo.Order {
 		if iv := topo.Operators[id].TickInterval; iv > 0 && !topo.Operators[id].IsSpout {
+			eng.auxWG.Add(1)
 			go eng.userTicker(id, iv)
 		}
 	}
@@ -541,30 +545,22 @@ func (e *Engine) OperatorStats() map[string]OperatorStats {
 func (e *Engine) registerObs() {
 	r := e.obs.Reg
 	m := e.metrics
-	for name, c := range map[string]*metrics.Counter{
-		"dsps.tuples_emitted":        &m.TuplesEmitted,
-		"dsps.tuples_executed":       &m.TuplesExecuted,
-		"dsps.tuples_completed":      &m.TuplesCompleted,
-		"dsps.tuples_acked":          &m.TuplesAcked,
-		"dsps.tuples_failed":         &m.TuplesFailed,
-		"dsps.route_errors":          &m.RouteErrors,
-		"dsps.send_errors":           &m.SendErrors,
-		"dsps.decode_errors":         &m.DecodeErrors,
-		"dsps.serializations":        &m.Serializations,
-		"dsps.serialization_ns":      &m.SerializationNS,
-		"multicast.switches":         &m.Switches,
-		"multicast.switches_skipped": &m.SkippedSwitches,
-	} {
-		r.CounterFunc(name, c.Value)
-	}
-	for name, h := range map[string]*metrics.Histogram{
-		"dsps.processing_latency_ns":  &m.ProcessingLatency,
-		"dsps.complete_latency_ns":    &m.CompleteLatency,
-		"multicast.latency_ns":        &m.MulticastLatency,
-		"multicast.switch_latency_ns": &m.SwitchLatency,
-	} {
-		r.HistogramFunc(name, h.Snapshot)
-	}
+	r.CounterFunc("dsps.tuples_emitted", m.TuplesEmitted.Value)
+	r.CounterFunc("dsps.tuples_executed", m.TuplesExecuted.Value)
+	r.CounterFunc("dsps.tuples_completed", m.TuplesCompleted.Value)
+	r.CounterFunc("dsps.tuples_acked", m.TuplesAcked.Value)
+	r.CounterFunc("dsps.tuples_failed", m.TuplesFailed.Value)
+	r.CounterFunc("dsps.route_errors", m.RouteErrors.Value)
+	r.CounterFunc("dsps.send_errors", m.SendErrors.Value)
+	r.CounterFunc("dsps.decode_errors", m.DecodeErrors.Value)
+	r.CounterFunc("dsps.serializations", m.Serializations.Value)
+	r.CounterFunc("dsps.serialization_ns", m.SerializationNS.Value)
+	r.CounterFunc("multicast.switches", m.Switches.Value)
+	r.CounterFunc("multicast.switches_skipped", m.SkippedSwitches.Value)
+	r.HistogramFunc("dsps.processing_latency_ns", m.ProcessingLatency.Snapshot)
+	r.HistogramFunc("dsps.complete_latency_ns", m.CompleteLatency.Snapshot)
+	r.HistogramFunc("multicast.latency_ns", m.MulticastLatency.Snapshot)
+	r.HistogramFunc("multicast.switch_latency_ns", m.SwitchLatency.Snapshot)
 	r.GaugeFunc("multicast.groups", func() int64 { return int64(len(e.groupDescs)) })
 	r.GaugeFunc("multicast.active_dstar", func() int64 { return int64(e.ActiveDstar()) })
 
@@ -600,16 +596,11 @@ func (e *Engine) registerObs() {
 			r.GaugeFunc(prefix+".rdma.ring_occupancy", func() int64 { return int64(occ.RingOccupancy()) })
 		}
 		if cs, ok := w.tr.(interface{ ChannelStats() rdma.StatsSnapshot }); ok {
-			for name, get := range map[string]func(rdma.StatsSnapshot) int64{
-				".rdma.msgs_sent":     func(s rdma.StatsSnapshot) int64 { return s.MsgsSent },
-				".rdma.bytes_sent":    func(s rdma.StatsSnapshot) int64 { return s.BytesSent },
-				".rdma.work_requests": func(s rdma.StatsSnapshot) int64 { return s.WorkRequests },
-				".rdma.size_flushes":  func(s rdma.StatsSnapshot) int64 { return s.SizeFlushes },
-				".rdma.timer_flushes": func(s rdma.StatsSnapshot) int64 { return s.TimerFlushes },
-			} {
-				get := get
-				r.CounterFunc(prefix+name, func() int64 { return get(cs.ChannelStats()) })
-			}
+			r.CounterFunc(prefix+".rdma.msgs_sent", func() int64 { return cs.ChannelStats().MsgsSent })
+			r.CounterFunc(prefix+".rdma.bytes_sent", func() int64 { return cs.ChannelStats().BytesSent })
+			r.CounterFunc(prefix+".rdma.work_requests", func() int64 { return cs.ChannelStats().WorkRequests })
+			r.CounterFunc(prefix+".rdma.size_flushes", func() int64 { return cs.ChannelStats().SizeFlushes })
+			r.CounterFunc(prefix+".rdma.timer_flushes", func() int64 { return cs.ChannelStats().TimerFlushes })
 		}
 	}
 }
@@ -660,7 +651,9 @@ func (e *Engine) Drain(timeout time.Duration) bool {
 	stable := 0
 	for time.Now().Before(deadline) {
 		for _, w := range e.workers {
-			w.tr.Flush()
+			if err := w.tr.Flush(); err != nil {
+				e.metrics.SendErrors.Inc()
+			}
 		}
 		empty := true
 		for _, w := range e.workers {
@@ -707,6 +700,7 @@ func (e *Engine) Stop() {
 	for _, mgr := range e.managers {
 		close(mgr.done)
 	}
+	e.auxWG.Wait()
 	for _, w := range e.workers {
 		close(w.done)
 	}
@@ -714,7 +708,9 @@ func (e *Engine) Stop() {
 		w.wg.Wait()
 		w.sendWG.Wait()
 	}
-	e.cfg.Network.Close()
+	// Best-effort teardown: workers are already joined, so a close error
+	// here has no one left to act on it.
+	_ = e.cfg.Network.Close()
 }
 
 // StreamTick is the stream name of engine-generated tick tuples (see
@@ -724,6 +720,7 @@ const StreamTick = "__tick"
 // userTicker delivers tick tuples to one operator's executors at its
 // configured period until the engine stops.
 func (e *Engine) userTicker(op string, interval time.Duration) {
+	defer e.auxWG.Done()
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
@@ -752,6 +749,7 @@ func (e *Engine) userTicker(op string, interval time.Duration) {
 
 // ackTicker periodically injects timeout-sweep ticks into every acker task.
 func (e *Engine) ackTicker() {
+	defer e.auxWG.Done()
 	interval := e.cfg.AckTimeout / 4
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
@@ -804,6 +802,7 @@ type mcManager struct {
 }
 
 func (m *mcManager) run() {
+	defer m.eng.auxWG.Done()
 	ticker := time.NewTicker(m.eng.cfg.MonitorInterval)
 	defer ticker.Stop()
 	for {

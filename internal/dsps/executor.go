@@ -201,6 +201,8 @@ func (ex *executor) emitUnanchored(stream string, values []tuple.Value, emitNS i
 }
 
 // route delivers a constructed tuple to all subscribed destinations.
+//
+//whale:hotpath
 func (ex *executor) route(tp *tuple.Tuple) {
 	dests, err := ex.rt.destinations(tp.Stream, tp)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -19,6 +20,7 @@ type Server struct {
 	ln    net.Listener
 	srv   *http.Server
 	scope *Scope
+	wg    sync.WaitGroup
 }
 
 // debugSnapshot is the /debug/whale response body.
@@ -48,15 +50,24 @@ func Serve(addr string, scope *Scope) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go s.srv.Serve(ln)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// Serve returns http.ErrServerClosed after Close; nothing to do.
+		_ = s.srv.Serve(ln)
+	}()
 	return s, nil
 }
 
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
+}
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -227,6 +227,8 @@ func (c *Channel) deliver(msg []byte) {
 // Send enqueues one message. The message is copied into the pending batch;
 // the batch is flushed when it reaches MMS or when the WTL timer fires.
 // Send blocks only when the ring (or send queue) is full — backpressure.
+//
+//whale:hotpath
 func (c *Channel) Send(msg []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -237,6 +239,9 @@ func (c *Channel) Send(msg []byte) error {
 		return c.sendErr
 	}
 	if len(c.pending) == 0 {
+		// WTL accounting needs the batch-open timestamp; taken once per
+		// batch, not per message.
+		//lint:ignore hotalloc one time.Now per batch, required by WTL batching
 		c.batchOpen = time.Now()
 		c.armTimer()
 	}
@@ -248,6 +253,7 @@ func (c *Channel) Send(msg []byte) error {
 	c.stats.BytesSent.Add(int64(len(msg)))
 	if len(c.pending) >= c.cfg.MMS {
 		c.stats.SizeFlushes.Add(1)
+		//lint:ignore lockheld the send path intentionally serialises the flush under mu; blocking is backpressure, bounded by BlockTimeout
 		return c.flushLocked(FlushMMS)
 	}
 	return nil
@@ -260,6 +266,7 @@ func (c *Channel) Flush() error {
 	if len(c.pending) == 0 {
 		return c.sendErr
 	}
+	//lint:ignore lockheld explicit flush serialises with senders by design; blocking is backpressure, bounded by BlockTimeout
 	return c.flushLocked(FlushExplicit)
 }
 
@@ -275,6 +282,7 @@ func (c *Channel) armTimer() {
 			return
 		}
 		c.stats.TimerFlushes.Add(1)
+		//lint:ignore lockheld the WTL timer flush serialises with senders by design; blocking is backpressure, bounded by BlockTimeout
 		if err := c.flushLocked(FlushWTL); err != nil && c.sendErr == nil {
 			c.sendErr = err
 		}
@@ -456,6 +464,7 @@ func (c *Channel) Close() error {
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		if len(c.pending) > 0 {
+			//lint:ignore lockheld final flush on close; no senders can race once closed is set below
 			err = c.flushLocked(FlushExplicit)
 		}
 		c.closed = true

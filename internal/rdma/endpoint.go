@@ -199,14 +199,19 @@ func (e *Endpoint) Dial(remote string) (*Channel, error) {
 	return send, nil
 }
 
-// Close closes every channel the endpoint dialed or accepted.
-func (e *Endpoint) Close() {
+// Close closes every channel the endpoint dialed or accepted and returns
+// the first close error.
+func (e *Endpoint) Close() error {
 	e.mu.Lock()
 	chans := e.channels
 	e.channels = nil
 	e.closed = true
 	e.mu.Unlock()
+	var first error
 	for _, c := range chans {
-		c.Close()
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }

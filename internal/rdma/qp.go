@@ -227,6 +227,7 @@ func (q *QP) start() {
 		return
 	}
 	q.started = true
+	//lint:ignore gospawn engine exits when done closes; joining it here could deadlock against an undrained CQ
 	go q.engine()
 }
 

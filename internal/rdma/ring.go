@@ -67,7 +67,9 @@ func (r *Ring) refreshTail() error {
 // the consumer may have advanced further). Callers must serialise with the
 // producer (the owning channel holds its send lock).
 func (r *Ring) Occupancy() int {
-	r.refreshTail()
+	// A failed refresh leaves the cached tail, which is still a valid
+	// upper bound on occupancy.
+	_ = r.refreshTail()
 	return int(r.head - r.tail)
 }
 
@@ -83,6 +85,8 @@ func (r *Ring) Free() (int, error) {
 // advancing the head counter. It returns ErrRingFull when the frame does
 // not fit. Publishing after the data write means a concurrent reader never
 // observes a partial frame.
+//
+//whale:hotpath
 func (r *Ring) Append(frame []byte) error {
 	need := 4 + len(frame)
 	if need > r.size {

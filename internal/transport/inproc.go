@@ -82,10 +82,13 @@ func (n *InprocNetwork) Close() error {
 	}
 	n.closed = true
 	n.mu.Unlock()
+	var first error
 	for _, w := range ws {
-		w.Close()
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return nil
+	return first
 }
 
 func (n *InprocNetwork) lookup(id WorkerID) (*inprocTransport, bool) {

@@ -69,10 +69,13 @@ func (n *RDMANetwork) Close() error {
 	}
 	n.closed = true
 	n.mu.Unlock()
+	var first error
 	for _, w := range ws {
-		w.Close()
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return nil
+	return first
 }
 
 func workerDevName(id WorkerID) string { return fmt.Sprintf("worker-%d", id) }
@@ -187,8 +190,9 @@ func (t *rdmaTransport) RingOccupancy() int {
 
 // Close implements Transport.
 func (t *rdmaTransport) Close() error {
+	var err error
 	t.closeOnce.Do(func() {
-		t.ep.Close()
+		err = t.ep.Close()
 	})
-	return nil
+	return err
 }

@@ -63,10 +63,13 @@ func (n *TCPNetwork) Close() error {
 	}
 	n.closed = true
 	n.mu.Unlock()
+	var first error
 	for _, w := range ws {
-		w.Close()
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return nil
+	return first
 }
 
 func (n *TCPNetwork) addrOf(id WorkerID) (string, bool) {

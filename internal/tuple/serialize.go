@@ -45,6 +45,8 @@ func (e *Encoder) EncodeTuple(t *Tuple) ([]byte, error) {
 //	u16 len(stream) | stream bytes
 //	i64 id | i32 srcTask | i64 rootEmitNS | i64 rootID | i64 ackVal | i64 traceID
 //	u16 nfields | nfields * (tag u8, value)
+//
+//whale:hotpath
 func AppendTuple(dst []byte, t *Tuple) ([]byte, error) {
 	dst = appendU16(dst, uint16(len(t.Stream)))
 	dst = append(dst, t.Stream...)
@@ -65,6 +67,7 @@ func AppendTuple(dst []byte, t *Tuple) ([]byte, error) {
 	return dst, nil
 }
 
+//whale:hotpath
 func appendValue(dst []byte, v Value) ([]byte, error) {
 	switch x := v.(type) {
 	case int64:
@@ -96,6 +99,8 @@ func appendValue(dst []byte, v Value) ([]byte, error) {
 
 // DecodeTuple parses one tuple from buf, returning the tuple and the number
 // of bytes consumed.
+//
+//whale:hotpath
 func DecodeTuple(buf []byte) (*Tuple, int, error) {
 	off := 0
 	slen, off, err := readU16(buf, off)
@@ -151,6 +156,7 @@ func DecodeTuple(buf []byte) (*Tuple, int, error) {
 	return t, off, nil
 }
 
+//whale:hotpath
 func readValue(buf []byte, off int) (Value, int, error) {
 	if off >= len(buf) {
 		return nil, off, ErrTruncated
@@ -196,6 +202,8 @@ func readValue(buf []byte, off int) (Value, int, error) {
 
 // EncodedSize returns the exact number of bytes AppendTuple would produce,
 // without encoding. The simulated cluster uses it to derive message sizes.
+//
+//whale:hotpath
 func EncodedSize(t *Tuple) int {
 	n := 2 + len(t.Stream) + 8 + 4 + 8 + 8 + 8 + 8 + 2
 	for _, v := range t.Values {
