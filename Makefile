@@ -1,13 +1,13 @@
 # Standard checks for the Whale reproduction. `make check` is what CI (and
 # reviewers) run: vet, whalevet (the project-specific analyzers), build, the
-# full test suite, and a full-repo race pass (slow simulation tests skip
-# under -short, keeping the race gate to a few minutes).
+# full test suite, a full-repo race pass (slow simulation tests skip under
+# -short, keeping the race gate to a few minutes), and the seeded chaos soak.
 
 GO ?= go
 
-.PHONY: check vet whalevet build test race fmt bench
+.PHONY: check vet whalevet build test race chaos fmt bench
 
-check: vet whalevet build test race
+check: vet whalevet build test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,12 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+# Seeded fault-injection soak: drop/delay/duplication noise, a transient
+# partition, and an interior-relay crash over all-grouping traffic, run
+# twice under the same seed to check the outcome is deterministic.
+chaos:
+	$(GO) test -race -short -count=1 ./internal/chaos/...
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,243 @@
+package chaos_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"whale/internal/chaos"
+	"whale/internal/transport"
+)
+
+// recorder collects inbound payloads per worker.
+type recorder struct {
+	mu   sync.Mutex
+	msgs map[transport.WorkerID][]string
+}
+
+func newRecorder() *recorder {
+	return &recorder{msgs: map[transport.WorkerID][]string{}}
+}
+
+func (r *recorder) handler(self transport.WorkerID) transport.Handler {
+	return func(from transport.WorkerID, payload []byte) {
+		r.mu.Lock()
+		r.msgs[self] = append(r.msgs[self], string(payload))
+		r.mu.Unlock()
+	}
+}
+
+// counts returns how many times each distinct payload reached worker id.
+func (r *recorder) counts(id transport.WorkerID) map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]int{}
+	for _, m := range r.msgs[id] {
+		out[m]++
+	}
+	return out
+}
+
+// startPair wires two workers over a chaos-wrapped inproc network.
+func startPair(t *testing.T, cfg chaos.Config) (*chaos.Net, []transport.Transport, *recorder) {
+	t.Helper()
+	net := chaos.Wrap(transport.NewInprocNetwork(0), cfg)
+	rec := newRecorder()
+	trs := make([]transport.Transport, 3)
+	for id := transport.WorkerID(0); id < 3; id++ {
+		tr, err := net.Register(id, rec.handler(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[id] = tr
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	return net, trs, rec
+}
+
+// run sends n distinct messages 0->1 and waits out any injected delay.
+func run(t *testing.T, trs []transport.Transport, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := trs[0].Send(1, []byte(fmt.Sprintf("m%04d", i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // > DelayMax: all delayed deliveries fired
+}
+
+func TestSameSeedSameFaultPattern(t *testing.T) {
+	cfg := chaos.Config{
+		Seed: 42, Drop: 0.3, Dup: 0.2, Delay: 0.3,
+		DelayMin: 100 * time.Microsecond, DelayMax: 2 * time.Millisecond,
+	}
+	const n = 400
+	_, trs1, rec1 := startPair(t, cfg)
+	run(t, trs1, n)
+	_, trs2, rec2 := startPair(t, cfg)
+	run(t, trs2, n)
+
+	c1, c2 := rec1.counts(1), rec2.counts(1)
+	if len(c1) == 0 || len(c1) == n {
+		t.Fatalf("fault pattern degenerate: %d of %d delivered", len(c1), n)
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("same seed, different delivered sets: %d vs %d", len(c1), len(c2))
+	}
+	for m, k := range c1 {
+		if c2[m] != k {
+			t.Fatalf("same seed, message %q delivered %d vs %d times", m, k, c2[m])
+		}
+	}
+}
+
+func TestDifferentSeedDifferentFaultPattern(t *testing.T) {
+	const n = 400
+	mk := func(seed int64) map[string]int {
+		_, trs, rec := startPair(t, chaos.Config{
+			Seed: seed, Drop: 0.3,
+			DelayMin: 100 * time.Microsecond, DelayMax: time.Millisecond,
+		})
+		run(t, trs, n)
+		return rec.counts(1)
+	}
+	a, b := mk(1), mk(2)
+	same := true
+	for i := 0; i < n; i++ {
+		m := fmt.Sprintf("m%04d", i)
+		if (a[m] == 0) != (b[m] == 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 dropped the exact same messages")
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	net, trs, rec := startPair(t, chaos.Config{Drop: 1})
+	run(t, trs, 50)
+	if got := len(rec.counts(1)); got != 0 {
+		t.Fatalf("Drop=1 delivered %d messages", got)
+	}
+	if d := net.Stats().Dropped.Load(); d != 50 {
+		t.Fatalf("Dropped=%d, want 50", d)
+	}
+}
+
+func TestDupAll(t *testing.T) {
+	net, trs, rec := startPair(t, chaos.Config{Dup: 1})
+	run(t, trs, 50)
+	for m, k := range rec.counts(1) {
+		if k != 2 {
+			t.Fatalf("Dup=1: message %q delivered %d times, want 2", m, k)
+		}
+	}
+	if d := net.Stats().Duplicated.Load(); d != 50 {
+		t.Fatalf("Duplicated=%d, want 50", d)
+	}
+}
+
+func TestDelayStillDelivers(t *testing.T) {
+	net, trs, rec := startPair(t, chaos.Config{
+		Delay: 1, DelayMin: 100 * time.Microsecond, DelayMax: 2 * time.Millisecond,
+	})
+	run(t, trs, 50)
+	if got := len(rec.counts(1)); got != 50 {
+		t.Fatalf("Delay=1 delivered %d of 50", got)
+	}
+	if d := net.Stats().Delayed.Load(); d != 50 {
+		t.Fatalf("Delayed=%d, want 50", d)
+	}
+}
+
+func TestCrashSeversBothDirections(t *testing.T) {
+	net, trs, _ := startPair(t, chaos.Config{})
+	net.Crash(1)
+	errTo := trs[0].Send(1, []byte("x"))
+	errFrom := trs[1].Send(0, []byte("y"))
+	for _, err := range []error{errTo, errFrom} {
+		if !errors.Is(err, transport.ErrUnreachable) {
+			t.Fatalf("crashed link error = %v, want ErrUnreachable", err)
+		}
+		if !transport.IsTransient(err) {
+			t.Fatalf("ErrUnreachable not classified transient: %v", err)
+		}
+	}
+	if u := net.Stats().Unreachable.Load(); u != 2 {
+		t.Fatalf("Unreachable=%d, want 2", u)
+	}
+	// Unrelated links stay up.
+	if err := trs[0].Send(2, []byte("z")); err != nil {
+		t.Fatalf("unrelated link failed: %v", err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	net, trs, rec := startPair(t, chaos.Config{})
+	net.Partition(0, 1)
+	if err := trs[0].Send(1, []byte("cut")); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("partitioned send = %v, want ErrUnreachable", err)
+	}
+	if err := trs[1].Send(0, []byte("cut")); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("reverse partitioned send = %v, want ErrUnreachable", err)
+	}
+	// The third worker is unaffected by the pairwise cut.
+	if err := trs[0].Send(2, []byte("ok")); err != nil {
+		t.Fatalf("0->2 during partition: %v", err)
+	}
+	net.Heal(0, 1)
+	if err := trs[0].Send(1, []byte("healed")); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if rec.counts(1)["healed"] != 1 {
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+func TestSetProbsTakesEffect(t *testing.T) {
+	net, trs, rec := startPair(t, chaos.Config{Drop: 1})
+	run(t, trs, 20)
+	if got := len(rec.counts(1)); got != 0 {
+		t.Fatalf("pre-SetProbs delivered %d", got)
+	}
+	net.SetProbs(0, 0, 0)
+	for i := 0; i < 20; i++ {
+		if err := trs[0].Send(1, []byte(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := len(rec.counts(1)) - 0; got != 20 {
+		t.Fatalf("post-SetProbs delivered %d of 20", got)
+	}
+}
+
+func TestCloseAbortsDelayedAndIsIdempotent(t *testing.T) {
+	net, trs, _ := startPair(t, chaos.Config{
+		Delay: 1, DelayMin: time.Second, DelayMax: 2 * time.Second,
+	})
+	for i := 0; i < 10; i++ {
+		if err := trs[0].Send(1, []byte("late")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = net.Close()
+		_ = net.Close()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on in-flight delayed deliveries")
+	}
+	if err := trs[0].Send(1, []byte("x")); !errors.Is(err, transport.ErrPeerClosed) {
+		t.Fatalf("send after close = %v, want ErrPeerClosed", err)
+	}
+}

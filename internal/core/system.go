@@ -123,6 +123,21 @@ type Options struct {
 	// MaxSpoutPending caps in-flight reliability trees per spout task.
 	MaxSpoutPending int
 
+	// HeartbeatInterval enables the failure detector: workers beacon
+	// liveness to worker 0 at this period (0 disables detection).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the silence before a worker is suspected
+	// (default 5×HeartbeatInterval).
+	SuspectAfter time.Duration
+	// ConfirmAfter is the silence before a suspected worker is confirmed
+	// dead and multicast trees repair around it (default 3×SuspectAfter).
+	ConfirmAfter time.Duration
+	// SendRetries bounds per-send retries on transient transport errors
+	// (default 3; negative disables retrying).
+	SendRetries int
+	// SendRetryBase is the first retry backoff (default 200µs).
+	SendRetryBase time.Duration
+
 	// ObsAddr, when non-empty, serves the observability endpoints
 	// (/metrics, /debug/whale, /debug/events, /debug/pprof) on that
 	// address (e.g. "127.0.0.1:9090"; ":0" picks a free port).
@@ -258,18 +273,23 @@ func (s System) EngineConfig(o Options) (dsps.Config, error) {
 		return dsps.Config{}, err
 	}
 	cfg := dsps.Config{
-		Workers:          o.Workers,
-		Network:          net,
-		TransferQueueCap: o.TransferQueueCap,
-		Control:          o.Control,
-		MonitorInterval:  o.MonitorInterval,
-		InitialDstar:     o.InitialDstar,
-		FixedDstar:       o.FixedDstar,
-		AckEnabled:       o.AckEnabled,
-		Ackers:           o.Ackers,
-		AckTimeout:       o.AckTimeout,
-		MaxSpoutPending:  o.MaxSpoutPending,
-		Obs:              scope,
+		Workers:           o.Workers,
+		Network:           net,
+		TransferQueueCap:  o.TransferQueueCap,
+		Control:           o.Control,
+		MonitorInterval:   o.MonitorInterval,
+		InitialDstar:      o.InitialDstar,
+		FixedDstar:        o.FixedDstar,
+		AckEnabled:        o.AckEnabled,
+		Ackers:            o.Ackers,
+		AckTimeout:        o.AckTimeout,
+		MaxSpoutPending:   o.MaxSpoutPending,
+		HeartbeatInterval: o.HeartbeatInterval,
+		SuspectAfter:      o.SuspectAfter,
+		ConfirmAfter:      o.ConfirmAfter,
+		SendRetries:       o.SendRetries,
+		SendRetryBase:     o.SendRetryBase,
+		Obs:               scope,
 	}
 	switch s {
 	case Storm, RDMAStorm:

@@ -181,6 +181,27 @@ func (ex *executor) sendDirect(dst int32, tp *tuple.Tuple) {
 	ex.w.enqueueSend(sendJob{kind: jobPointToPoint, tp: tp, dstTask: dst, dstWorker: dw})
 }
 
+// ackContrib mixes an edge's AckVal with one destination task id into that
+// destination's ack contribution (splitmix64 finalizer). Sender and
+// receiver compute it independently: the sender XORs one contribution per
+// destination into the tree's register, the receiver cancels its own when
+// it processes the tuple. Mixing the task id in makes one-to-many edges
+// sound — N receivers of the same AckVal contribute N distinct values
+// instead of cancelling pairwise. Never returns 0 (the XOR identity).
+// Called from the route hot path: pure arithmetic, no allocation.
+func ackContrib(ackVal int64, task int32) int64 {
+	x := uint64(ackVal) ^ (uint64(uint32(task))*0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return int64(x)
+}
+
 // nonzeroRand draws a non-zero random int64 (zero is the "untracked"
 // sentinel for RootID and the identity for XOR).
 func nonzeroRand(r *rand.Rand) int64 {

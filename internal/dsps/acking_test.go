@@ -223,6 +223,124 @@ func TestEmitReliableWithoutAckingDegrades(t *testing.T) {
 	}
 }
 
+// replayingSpout re-queues failed ids until every id has been acked —
+// the spout half of the timeout → Fail → replay at-least-once loop.
+type replayingSpout struct {
+	total    int
+	next     int64
+	replay   []int64
+	deadline time.Time
+	mu       sync.Mutex
+	acked    map[int64]bool
+	failed   map[int64]int
+}
+
+func (s *replayingSpout) Open(*TaskContext) {
+	s.acked = map[int64]bool{}
+	s.failed = map[int64]int{}
+	s.deadline = time.Now().Add(30 * time.Second)
+}
+
+func (s *replayingSpout) Next(c *Collector) bool {
+	if time.Now().After(s.deadline) {
+		return false
+	}
+	s.mu.Lock()
+	done := len(s.acked) >= s.total
+	s.mu.Unlock()
+	if done {
+		return false
+	}
+	if len(s.replay) > 0 {
+		id := s.replay[0]
+		s.replay = s.replay[1:]
+		c.EmitReliable(id, id)
+		return true
+	}
+	if s.next < int64(s.total) {
+		id := s.next
+		s.next++
+		c.EmitReliable(id, id)
+		return true
+	}
+	time.Sleep(time.Millisecond)
+	return true
+}
+
+func (s *replayingSpout) Close() {}
+
+func (s *replayingSpout) Ack(msgID int64) {
+	s.mu.Lock()
+	s.acked[msgID] = true
+	s.mu.Unlock()
+}
+
+func (s *replayingSpout) Fail(msgID int64) {
+	s.mu.Lock()
+	s.failed[msgID]++
+	done := s.acked[msgID]
+	s.mu.Unlock()
+	if !done {
+		s.replay = append(s.replay, msgID)
+	}
+}
+
+// onceDropBolt swallows the first sighting of each id without acking, so
+// every id's first reliability tree must time out.
+type onceDropBolt struct{ seen map[int64]bool }
+
+func (b *onceDropBolt) Prepare(*TaskContext) { b.seen = map[int64]bool{} }
+func (b *onceDropBolt) Execute(tp *tuple.Tuple, c *Collector) {
+	id := tp.Int(0)
+	if !b.seen[id] {
+		b.seen[id] = true
+		c.NoAck()
+	}
+}
+func (b *onceDropBolt) Cleanup() {}
+
+func TestAckingTimeoutReplay(t *testing.T) {
+	// Every id is dropped by every task on first delivery: round one times
+	// out, the spout replays, round two completes. The loop closes
+	// at-least-once delivery without any transport fault.
+	const n = 30
+	spout := &replayingSpout{total: n}
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return spout }, 1)
+	b.Bolt("fan", func() Bolt { return &onceDropBolt{} }, 4).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Start(topo, Config{
+		Workers: 3, Network: transport.NewInprocNetwork(0),
+		Comm: WorkerOriented, Multicast: MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+		AckEnabled: true, AckTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.WaitSpouts()
+	eng.Stop()
+
+	spout.mu.Lock()
+	acked, failedIDs := len(spout.acked), len(spout.failed)
+	spout.mu.Unlock()
+	if acked != n {
+		t.Fatalf("acked %d of %d after replay", acked, n)
+	}
+	if failedIDs != n {
+		t.Fatalf("%d ids timed out, want all %d (first round swallowed)", failedIDs, n)
+	}
+	if got := eng.Metrics().TuplesFailed.Value(); got < n {
+		t.Fatalf("TuplesFailed=%d, want >= %d", got, n)
+	}
+	if got := eng.Metrics().TuplesAcked.Value(); got != n {
+		t.Fatalf("TuplesAcked=%d, want %d", got, n)
+	}
+}
+
 func TestAckingWithAllGroupingMulticast(t *testing.T) {
 	// Reliability across the one-to-many edge: every instance's processing
 	// contributes to the tree; all must complete.

@@ -1,0 +1,149 @@
+package dsps
+
+import (
+	"testing"
+	"time"
+
+	"whale/internal/chaos"
+	"whale/internal/obs"
+	"whale/internal/transport"
+)
+
+// Unit tests for the heartbeat failure detector and the tree-repair path,
+// driven through the chaos fault injector. The end-to-end story (noise +
+// partition + crash in one run) lives in internal/chaos's soak test.
+
+// steadySpout emits forever at a gentle pace, keeping the data plane busy
+// until the engine stops it.
+type steadySpout struct{ i int64 }
+
+func (s *steadySpout) Open(*TaskContext) {}
+func (s *steadySpout) Next(c *Collector) bool {
+	c.Emit(s.i, "tick")
+	s.i++
+	time.Sleep(100 * time.Microsecond)
+	return true
+}
+func (s *steadySpout) Close() {}
+
+// startDetectorTopology runs an all-grouping topology over a chaos-wrapped
+// inproc network with the failure detector enabled.
+func startDetectorTopology(t *testing.T, workers int) (*Engine, *chaos.Net) {
+	t.Helper()
+	net := chaos.Wrap(transport.NewInprocNetwork(0), chaos.Config{Seed: 1})
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &steadySpout{} }, 1)
+	b.Bolt("fan", func() Bolt { return sinkAckBolt{} }, workers-1).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Start(topo, Config{
+		Workers: workers, Network: net,
+		Comm: WorkerOriented, Multicast: MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectAfter:      60 * time.Millisecond,
+		ConfirmAfter:      200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, net
+}
+
+func waitForEvent(t *testing.T, eng *Engine, kind string, worker int32, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		for _, ev := range eng.Obs().Events.Recent(0) {
+			if ev.Kind == kind && ev.Worker == worker {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("event %s(worker %d) not observed within %v", kind, worker, within)
+}
+
+func TestDetectorSuspectThenRecover(t *testing.T) {
+	eng, net := startDetectorTopology(t, 4)
+	defer eng.Stop()
+
+	// Cut worker 3 off from the monitor only: it goes quiet at worker 0
+	// but must come back before the confirmation timeout.
+	net.Partition(0, 3)
+	waitForEvent(t, eng, obs.EventWorkerSuspect, 3, 5*time.Second)
+	net.Heal(0, 3)
+	waitForEvent(t, eng, obs.EventWorkerRecover, 3, 5*time.Second)
+
+	if dead := eng.DeadWorkers(); len(dead) != 0 {
+		t.Fatalf("transient partition confirmed workers dead: %v", dead)
+	}
+	if n := eng.Metrics().WorkerFailures.Value(); n != 0 {
+		t.Fatalf("WorkerFailures=%d after a healed partition", n)
+	}
+}
+
+func TestDetectorConfirmRepairsTreeAndFencesSends(t *testing.T) {
+	eng, net := startDetectorTopology(t, 4)
+	defer eng.Stop()
+
+	// The d*=2 tree over members {1,2,3} is 0:[1,2], 1:[3]; killing
+	// interior node 1 orphans the {3} subtree.
+	net.Crash(1)
+	waitForEvent(t, eng, obs.EventWorkerDead, 1, 10*time.Second)
+	waitForEvent(t, eng, obs.EventSwitchComplete, 0, 10*time.Second)
+
+	if dead := eng.DeadWorkers(); len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("DeadWorkers=%v, want [1]", dead)
+	}
+	if n := eng.Metrics().WorkerFailures.Value(); n != 1 {
+		t.Fatalf("WorkerFailures=%d, want 1", n)
+	}
+	tr, version, ok := eng.ActiveTree(0)
+	if !ok {
+		t.Fatal("no active tree after repair")
+	}
+	if version != 2 {
+		t.Fatalf("active version=%d, want 2", version)
+	}
+	if tr.Contains(1) {
+		nodes, parents := tr.Flatten()
+		t.Fatalf("repaired tree still contains dead worker 1: %v %v", nodes, parents)
+	}
+	if err := tr.Validate(2); err != nil {
+		t.Fatalf("repaired tree invalid: %v", err)
+	}
+
+	// Post-confirmation traffic to the dead worker is suppressed, not
+	// retried: the fence holds while the spout keeps emitting.
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Metrics().SendsSuppressed.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if eng.Metrics().SendsSuppressed.Value() == 0 {
+		t.Fatal("no sends suppressed after worker 1 was confirmed dead")
+	}
+}
+
+func TestDetectorDisabledByDefault(t *testing.T) {
+	b := NewTopologyBuilder()
+	b.Spout("src", mkSpout, 1)
+	b.Bolt("sink", func() Bolt { return sinkAckBolt{} }, 2).Shuffle("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Start(topo, Config{Workers: 2, Network: transport.NewInprocNetwork(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	if eng.detector != nil {
+		t.Fatal("detector running without HeartbeatInterval")
+	}
+	if dead := eng.DeadWorkers(); dead != nil {
+		t.Fatalf("DeadWorkers=%v without a detector", dead)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"whale/internal/control"
@@ -96,6 +97,25 @@ type Config struct {
 	// (0 = unlimited). Requires AckEnabled.
 	MaxSpoutPending int
 
+	// HeartbeatInterval enables the failure detector: every worker beacons
+	// a CtrlHeartbeat to the monitor (worker 0) at this period, and the
+	// monitor sweeps for silence. 0 disables failure detection.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the silence after which a worker is suspected
+	// (default 5×HeartbeatInterval).
+	SuspectAfter time.Duration
+	// ConfirmAfter is the silence after which a suspected worker is
+	// confirmed dead and tree repair starts (default 3×SuspectAfter).
+	// Confirmation is terminal: a falsely-confirmed worker stays fenced.
+	ConfirmAfter time.Duration
+
+	// SendRetries bounds per-send retries on transient transport errors
+	// (default 3; negative disables retrying).
+	SendRetries int
+	// SendRetryBase is the first retry backoff, doubled per attempt with
+	// jitter (default 200µs).
+	SendRetryBase time.Duration
+
 	// Obs is the observability scope every subsystem registers into. When
 	// nil the engine creates a private scope with tracing disabled, so
 	// instrumentation call sites never need nil checks.
@@ -127,6 +147,23 @@ func (c Config) withDefaults() Config {
 	if c.AckTimeout <= 0 {
 		c.AckTimeout = 5 * time.Second
 	}
+	if c.HeartbeatInterval > 0 {
+		if c.SuspectAfter <= 0 {
+			c.SuspectAfter = 5 * c.HeartbeatInterval
+		}
+		if c.ConfirmAfter <= 0 {
+			c.ConfirmAfter = 3 * c.SuspectAfter
+		}
+	}
+	switch {
+	case c.SendRetries == 0:
+		c.SendRetries = 3
+	case c.SendRetries < 0:
+		c.SendRetries = 0
+	}
+	if c.SendRetryBase <= 0 {
+		c.SendRetryBase = 200 * time.Microsecond
+	}
 	return c
 }
 
@@ -139,6 +176,9 @@ type Metrics struct {
 	TuplesFailed    metrics.Counter // reliability trees failed/timed out
 	RouteErrors     metrics.Counter
 	SendErrors      metrics.Counter
+	SendRetries     metrics.Counter // transient-error send retries
+	SendsSuppressed metrics.Counter // sends dropped because the peer is confirmed dead
+	WorkerFailures  metrics.Counter // workers confirmed dead by the detector
 	DecodeErrors    metrics.Counter
 	Serializations  metrics.Counter
 	SerializationNS metrics.Counter
@@ -201,6 +241,9 @@ type Engine struct {
 	opStats    map[string][]*opMetrics                // per-executor shares, merged on read
 	remoteBy   map[string]map[int32]map[int32][]int32 // op -> srcWorker -> dstWorker -> tasks
 
+	detector *failureDetector // nil unless HeartbeatInterval > 0
+	dead     []atomic.Bool    // confirmed-dead flags, read on the route/send hot paths
+
 	stopSpoutsOnce sync.Once
 	stopSpouts     chan struct{}
 	spoutWG        sync.WaitGroup
@@ -240,6 +283,10 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 		opStats:    map[string][]*opMetrics{},
 		stopSpouts: make(chan struct{}),
 		stopTick:   make(chan struct{}),
+		dead:       make([]atomic.Bool, cfg.Workers),
+	}
+	if cfg.HeartbeatInterval > 0 && cfg.Workers > 1 {
+		eng.detector = newFailureDetector(eng)
 	}
 	if cfg.AckEnabled {
 		topo = withAcking(topo, eng, cfg.Ackers, cfg.AckTimeout)
@@ -314,8 +361,22 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 		go w.sendLoop()
 	}
 	for _, mgr := range eng.managers {
+		if !mgr.adaptive {
+			continue // repair-only manager; no control loop
+		}
 		eng.auxWG.Add(1)
 		go mgr.run()
+	}
+	if eng.detector != nil {
+		for _, w := range eng.workers {
+			if w.id == eng.detector.monitor {
+				continue // the monitor observes; it does not beacon to itself
+			}
+			eng.auxWG.Add(1)
+			go eng.heartbeatLoop(w)
+		}
+		eng.auxWG.Add(1)
+		go eng.detectorLoop()
 	}
 	if cfg.AckEnabled {
 		eng.auxWG.Add(1)
@@ -448,29 +509,35 @@ func (e *Engine) buildGroups() error {
 				Detail: fmt.Sprintf("initial %s tree over %d members", e.cfg.Multicast, len(members)),
 			})
 
-			// Adaptive controller for the non-blocking tree.
-			if e.cfg.Multicast == MulticastNonBlocking && !e.cfg.FixedDstar {
+			// Every tree group gets a manager: it owns the membership and
+			// version sequence, and repairs the tree after a confirmed
+			// worker failure. The adaptive §3.3 controller (monitor loop)
+			// runs only for non-fixed non-blocking trees.
+			adaptive := e.cfg.Multicast == MulticastNonBlocking && !e.cfg.FixedDstar
+			mgr := &mcManager{
+				eng:         e,
+				desc:        desc,
+				w:           e.workers[srcWorker],
+				adaptive:    adaptive,
+				members:     append([]int32(nil), members...),
+				nextVersion: 2,
+				curDstar:    dstar,
+				done:        make(chan struct{}),
+			}
+			if adaptive {
 				ctl := e.cfg.Control
 				ctl.MaxDstar = queueing.BinomialSourceDegree(len(members))
 				if ctl.MaxDstar < 1 {
 					ctl.MaxDstar = 1
 				}
-				mgr := &mcManager{
-					eng:         e,
-					desc:        desc,
-					w:           e.workers[srcWorker],
-					ctrl:        control.NewController(ctl, dstar),
-					nextVersion: 2,
-					curDstar:    dstar,
-					done:        make(chan struct{}),
-				}
-				e.managers[gid] = mgr
+				mgr.ctrl = control.NewController(ctl, dstar)
 				for _, tid := range e.assign.TasksOnWorker(k.op, srcWorker) {
 					if _, taken := e.taskMgr[tid]; !taken {
 						e.taskMgr[tid] = mgr
 					}
 				}
 			}
+			e.managers[gid] = mgr
 		}
 	}
 	return nil
@@ -552,6 +619,9 @@ func (e *Engine) registerObs() {
 	r.CounterFunc("dsps.tuples_failed", m.TuplesFailed.Value)
 	r.CounterFunc("dsps.route_errors", m.RouteErrors.Value)
 	r.CounterFunc("dsps.send_errors", m.SendErrors.Value)
+	r.CounterFunc("dsps.send_retries", m.SendRetries.Value)
+	r.CounterFunc("dsps.sends_suppressed", m.SendsSuppressed.Value)
+	r.CounterFunc("dsps.worker_failures", m.WorkerFailures.Value)
 	r.CounterFunc("dsps.decode_errors", m.DecodeErrors.Value)
 	r.CounterFunc("dsps.serializations", m.Serializations.Value)
 	r.CounterFunc("dsps.serialization_ns", m.SerializationNS.Value)
@@ -592,6 +662,7 @@ func (e *Engine) registerObs() {
 		w := w
 		prefix := fmt.Sprintf("worker.%d", w.id)
 		r.GaugeFunc(prefix+".transfer_queue_len", func() int64 { return int64(len(w.transfer)) })
+		r.CounterFunc(prefix+".transport.send_errs", func() int64 { return w.tr.Stats().SendErrs.Load() })
 		if occ, ok := w.tr.(interface{ RingOccupancy() int }); ok {
 			r.GaugeFunc(prefix+".rdma.ring_occupancy", func() int64 { return int64(occ.RingOccupancy()) })
 		}
@@ -615,6 +686,7 @@ func (e *Engine) TransportSnapshot() transport.Snapshot {
 		agg.MsgsRecv += s.MsgsRecv
 		agg.BytesRecv += s.BytesRecv
 		agg.SendNS += s.SendNS
+		agg.SendErrs += s.SendErrs
 	}
 	return agg
 }
@@ -627,7 +699,9 @@ func (e *Engine) TransferQueueLen(w int32) int { return len(e.workers[w].transfe
 // multicast group, or 0 if none exists.
 func (e *Engine) ActiveDstar() int {
 	for _, mgr := range e.managers {
-		return mgr.ctrl.Dstar()
+		if mgr.adaptive {
+			return mgr.ctrl.Dstar()
+		}
 	}
 	return 0
 }
@@ -783,14 +857,18 @@ func (e *Engine) ackTicker() {
 // distribute new tree versions, activating each only after every member
 // ACKs.
 type mcManager struct {
-	eng  *Engine
-	desc *groupDesc
-	w    *worker
-	ctrl *control.Controller
-	sm   control.StreamMonitor
-	qm   control.QueueMonitor
+	eng      *Engine
+	desc     *groupDesc
+	w        *worker
+	adaptive bool // §3.3 control loop enabled (ctrl is nil otherwise)
+	ctrl     *control.Controller
+	sm       control.StreamMonitor
+	qm       control.QueueMonitor
 
+	// mu guards the mutable switch/membership state; the repair path
+	// (failure-detector goroutine) runs concurrently with the control loop.
 	mu             sync.Mutex
+	members        []int32 // live membership; starts as desc.members, shrinks on failure
 	pendingVersion int32
 	pendingAcks    map[int32]bool
 	switchStart    time.Time
@@ -835,23 +913,26 @@ func (m *mcManager) tick() {
 // guard, rebuilds the tree, and distributes the new version. Factored out of
 // tick so tests can drive decisions deterministically.
 func (m *mcManager) maybeSwitch(dec control.Decision, queueLen int) {
-	if dec.Action == control.Hold || dec.NewDstar == m.curDstar {
+	m.mu.Lock()
+	oldDstar := m.curDstar
+	members := append([]int32(nil), m.members...)
+	m.mu.Unlock()
+	if dec.Action == control.Hold || dec.NewDstar == oldDstar {
 		return
 	}
-	oldDstar := m.curDstar
 	// Theorem 5 guard: an active scale-up only pays off if the stream
 	// expected over the structure's likely lifetime amortizes the switch
 	// pause. Scale-downs are never deferred (they protect the queue).
 	if dec.Action == control.ScaleUp {
 		tswitch := float64(m.eng.metrics.SwitchLatency.Mean()) / 1e9
 		if tswitch <= 0 {
-			tswitch = float64(len(m.desc.members)) * 100e-6 // first-switch estimate
+			tswitch = float64(len(members)) * 100e-6 // first-switch estimate
 		}
 		horizon := float64(100*m.eng.cfg.MonitorInterval) / float64(time.Second)
-		if !control.ScaleUpWorthwhile(len(m.desc.members), m.curDstar, dec.NewDstar,
+		if !control.ScaleUpWorthwhile(len(members), oldDstar, dec.NewDstar,
 			dec.Te, dec.Lambda, tswitch, horizon) {
 			m.eng.metrics.SkippedSwitches.Inc()
-			m.ctrl.ForceDstar(m.curDstar) // keep the controller honest
+			m.ctrl.ForceDstar(oldDstar) // keep the controller honest
 			m.eng.obs.Events.Append(obs.Event{
 				Kind: obs.EventSwitchSkipped, Group: m.desc.id, Worker: m.w.id,
 				OldDstar: oldDstar, NewDstar: dec.NewDstar,
@@ -867,14 +948,25 @@ func (m *mcManager) maybeSwitch(dec control.Decision, queueLen int) {
 		return
 	}
 	next := cur.Clone()
-	dir, moves := multicast.Switch(next, m.curDstar, dec.NewDstar)
+	dir, moves := multicast.Switch(next, oldDstar, dec.NewDstar)
+	m.mu.Lock()
 	m.curDstar = dec.NewDstar
+	m.mu.Unlock()
 	if dir == multicast.NoSwitch || len(moves) == 0 {
 		return
 	}
 	m.eng.metrics.Switches.Inc()
+	m.mu.Lock()
 	version := m.nextVersion
 	m.nextVersion++
+	m.pendingVersion = version
+	m.pendingTree = next
+	m.pendingAcks = map[int32]bool{}
+	for _, w := range members {
+		m.pendingAcks[w] = false
+	}
+	m.switchStart = time.Now()
+	m.mu.Unlock()
 	kind := obs.EventScaleUp
 	if dec.Action == control.ScaleDown {
 		kind = obs.EventScaleDown
@@ -888,17 +980,8 @@ func (m *mcManager) maybeSwitch(dec control.Decision, queueLen int) {
 	m.eng.obs.Events.Append(obs.Event{
 		Kind: obs.EventTreeRebuild, Group: m.desc.id, Worker: m.w.id,
 		Version: version, OldDstar: oldDstar, NewDstar: dec.NewDstar,
-		Detail: fmt.Sprintf("switch to version %d distributed to %d members", version, len(m.desc.members)),
+		Detail: fmt.Sprintf("switch to version %d distributed to %d members", version, len(members)),
 	})
-	m.mu.Lock()
-	m.pendingVersion = version
-	m.pendingTree = next
-	m.pendingAcks = map[int32]bool{}
-	for _, w := range m.desc.members {
-		m.pendingAcks[w] = false
-	}
-	m.switchStart = time.Now()
-	m.mu.Unlock()
 
 	// Distribute the new structure. The CtrlTree message carries the full
 	// adjacency (each relay "stores the structure of the multicast tree").
@@ -916,7 +999,7 @@ func (m *mcManager) maybeSwitch(dec control.Decision, queueLen int) {
 		Kind:    tuple.KindControl,
 		Payload: tuple.AppendControlMessage(nil, &cm),
 	})
-	for _, dst := range m.desc.members {
+	for _, dst := range members {
 		m.w.enqueueSend(sendJob{kind: jobControl, dstWorker: dst, raw: raw})
 	}
 }

@@ -155,9 +155,10 @@ func (ex *executor) emit(stream string, values []tuple.Value) {
 	if ex.curRootID != 0 && !isAckStream(stream) {
 		tp.RootID = ex.curRootID
 		tp.AckVal = nonzeroRand(ex.rng)
-		ex.xorAcc ^= tp.AckVal
 	}
-	ex.route(tp)
+	// route returns the XOR of per-destination ack contributions (0 for
+	// untracked tuples), which the sender owes the acker for this input.
+	ex.xorAcc ^= ex.route(tp)
 }
 
 // emitReliable starts a reliability tree for a spout emission.
@@ -181,10 +182,13 @@ func (ex *executor) emitReliable(stream string, msgID int64, values []tuple.Valu
 	}
 	ex.curTrace = tp.TraceID
 	ex.pendingRoots[root] = msgID
-	// Register the tree at the acker before the data fans out.
 	ex.curRoot = tp.RootEmitNS
-	ex.emitUnanchored(streamAckInit, []tuple.Value{root, tp.AckVal, int64(ex.ctx.TaskID)}, tp.RootEmitNS)
-	ex.route(tp)
+	// Route the data first: the init must carry the XOR of the actual
+	// per-destination contributions, which route computes as it fans out.
+	// The acker tolerates acks arriving before the init (it parks the
+	// entry until the init or the timeout sweep).
+	contrib := ex.route(tp)
+	ex.emitUnanchored(streamAckInit, []tuple.Value{root, contrib, int64(ex.ctx.TaskID)}, tp.RootEmitNS)
 }
 
 // emitUnanchored emits a tuple outside any reliability tree.
@@ -200,27 +204,50 @@ func (ex *executor) emitUnanchored(stream string, values []tuple.Value, emitNS i
 	ex.route(tp)
 }
 
-// route delivers a constructed tuple to all subscribed destinations.
+// route delivers a constructed tuple to all subscribed destinations and
+// returns the XOR of the per-destination ack contributions for tracked
+// tuples (0 otherwise). Each destination task contributes
+// ackContrib(tp.AckVal, task), the same value the receiving executor folds
+// into its ack, so the acker's register balances only when every
+// destination has processed the tuple. Destinations on confirmed-dead
+// workers are fenced out of both the sends and the contribution, so trees
+// opened after a failure can complete without the dead worker.
 //
 //whale:hotpath
-func (ex *executor) route(tp *tuple.Tuple) {
+func (ex *executor) route(tp *tuple.Tuple) int64 {
+	eng := ex.w.eng
 	dests, err := ex.rt.destinations(tp.Stream, tp)
 	if err != nil {
-		ex.w.eng.metrics.RouteErrors.Inc()
-		return
+		eng.metrics.RouteErrors.Inc()
+		return 0
 	}
+	tracked := tp.RootID != 0 && tp.AckVal != 0
+	var contrib int64
 	for _, d := range dests {
-		ex.w.eng.metrics.TuplesEmitted.Inc()
+		eng.metrics.TuplesEmitted.Inc()
 		if ex.ops != nil {
 			ex.ops.emitted.Inc()
 		}
 		if d.all {
+			if tracked {
+				for _, dst := range d.tasks {
+					if !eng.workerDead(eng.assign.WorkerOf[dst]) {
+						contrib ^= ackContrib(tp.AckVal, dst)
+					}
+				}
+			}
 			ex.w.emitAll(ex, tp, d)
 			continue
 		}
 		// Point-to-point edges: local fast path or per-destination job.
 		for _, dst := range d.tasks {
-			dw := ex.w.eng.assign.WorkerOf[dst]
+			dw := eng.assign.WorkerOf[dst]
+			if eng.workerDead(dw) {
+				continue
+			}
+			if tracked {
+				contrib ^= ackContrib(tp.AckVal, dst)
+			}
 			if dw == ex.w.id {
 				ex.w.enqueueLocal(dst, tp)
 			} else {
@@ -228,6 +255,7 @@ func (ex *executor) route(tp *tuple.Tuple) {
 			}
 		}
 	}
+	return contrib
 }
 
 // isAckStream reports whether the stream belongs to the ack plane.
@@ -340,7 +368,13 @@ func (ex *executor) execute(at tuple.AddressedTuple) {
 		case ex.suppressAck:
 			// The tree stays open until the ack timeout.
 		default:
-			ex.emitUnanchored(streamAck, []tuple.Value{ex.curRootID, ex.xorAcc ^ ex.curInAck}, ex.curRoot)
+			// Cancel this task's own contribution and add those of the
+			// tuples emitted while processing (accumulated in xorAcc).
+			ackXor := ex.xorAcc
+			if ex.curInAck != 0 {
+				ackXor ^= ackContrib(ex.curInAck, ex.ctx.TaskID)
+			}
+			ex.emitUnanchored(streamAck, []tuple.Value{ex.curRootID, ackXor}, ex.curRoot)
 		}
 	}
 	ex.curRootID = 0

@@ -1,0 +1,281 @@
+package dsps
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"whale/internal/multicast"
+	"whale/internal/obs"
+	"whale/internal/tuple"
+)
+
+// Failure detection and self-healing recovery. A crashed worker inside a
+// multicast relay tree silently orphans its whole subtree (every interior
+// node is a relay point), so the engine runs a lightweight heartbeat-based
+// detector and repairs affected trees through the same versioned CtrlTree
+// distribution the §3.4 dynamic-switching path uses.
+//
+// Protocol: every worker beacons a CtrlHeartbeat to the monitor (worker 0)
+// each HeartbeatInterval; any inbound message doubles as liveness evidence.
+// The monitor sweeps at the same period and drives a per-worker
+// alive → suspect → dead state machine on observed silence (SuspectAfter,
+// ConfirmAfter). Suspicion is reversible (worker-recover); confirmation is
+// terminal — the worker is fenced out of sends and ack accounting, and
+// every multicast group re-parents the orphaned subtree around it.
+
+// Worker liveness states.
+const (
+	wsAlive int32 = iota
+	wsSuspect
+	wsDead
+)
+
+// failureDetector is the monitor-side liveness state. lastSeen is written
+// from the monitor worker's dispatch path (any message counts), the state
+// machine only advances on the sweep goroutine.
+type failureDetector struct {
+	eng      *Engine
+	monitor  int32
+	lastSeen []atomic.Int64
+	state    []atomic.Int32
+}
+
+func newFailureDetector(e *Engine) *failureDetector {
+	fd := &failureDetector{
+		eng:      e,
+		monitor:  0,
+		lastSeen: make([]atomic.Int64, e.cfg.Workers),
+		state:    make([]atomic.Int32, e.cfg.Workers),
+	}
+	now := time.Now().UnixNano()
+	for i := range fd.lastSeen {
+		fd.lastSeen[i].Store(now)
+	}
+	return fd
+}
+
+// observe records liveness evidence from a worker. Called from the monitor
+// worker's dispatch path for every inbound message.
+func (fd *failureDetector) observe(from int32) {
+	if from < 0 || int(from) >= len(fd.lastSeen) {
+		return
+	}
+	fd.lastSeen[from].Store(time.Now().UnixNano())
+}
+
+// sweep advances the alive → suspect → dead state machine once.
+func (fd *failureDetector) sweep(now time.Time) {
+	nowNS := now.UnixNano()
+	suspectNS := fd.eng.cfg.SuspectAfter.Nanoseconds()
+	confirmNS := fd.eng.cfg.ConfirmAfter.Nanoseconds()
+	for w := range fd.state {
+		if int32(w) == fd.monitor {
+			continue
+		}
+		silence := nowNS - fd.lastSeen[w].Load()
+		switch fd.state[w].Load() {
+		case wsAlive:
+			if silence > suspectNS {
+				fd.state[w].Store(wsSuspect)
+				fd.eng.obs.Events.Append(obs.Event{
+					Kind: obs.EventWorkerSuspect, Worker: int32(w),
+					Detail: fmt.Sprintf("silent for %v", time.Duration(silence)),
+				})
+			}
+		case wsSuspect:
+			switch {
+			case silence <= suspectNS:
+				fd.state[w].Store(wsAlive)
+				fd.eng.obs.Events.Append(obs.Event{
+					Kind: obs.EventWorkerRecover, Worker: int32(w),
+					Detail: "traffic resumed before confirmation",
+				})
+			case silence > confirmNS:
+				fd.state[w].Store(wsDead)
+				fd.eng.obs.Events.Append(obs.Event{
+					Kind: obs.EventWorkerDead, Worker: int32(w),
+					Detail: fmt.Sprintf("silent for %v; repairing trees", time.Duration(silence)),
+				})
+				fd.eng.onWorkerDead(int32(w))
+			}
+		}
+	}
+}
+
+// heartbeatLoop beacons one worker's liveness to the monitor. Heartbeats
+// are fire-and-forget and bypass the transfer queue: a blocked send thread
+// must not look like a dead worker.
+func (e *Engine) heartbeatLoop(w *worker) {
+	defer e.auxWG.Done()
+	ticker := time.NewTicker(e.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	var seq int32
+	for {
+		select {
+		case <-e.stopTick:
+			return
+		case <-ticker.C:
+			seq++
+			cm := tuple.ControlMessage{Type: tuple.CtrlHeartbeat, Node: w.id, Version: seq}
+			raw := tuple.AppendWorkerMessage(nil, &tuple.WorkerMessage{
+				Kind:    tuple.KindControl,
+				Payload: tuple.AppendControlMessage(nil, &cm),
+			})
+			// A failed heartbeat send is itself the failure signal.
+			_ = w.tr.Send(e.detector.monitor, raw)
+		}
+	}
+}
+
+// detectorLoop runs the monitor's periodic silence sweep.
+func (e *Engine) detectorLoop() {
+	defer e.auxWG.Done()
+	ticker := time.NewTicker(e.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopTick:
+			return
+		case <-ticker.C:
+			e.detector.sweep(time.Now())
+		}
+	}
+}
+
+// onWorkerDead fences a confirmed-dead worker and repairs every multicast
+// group it belonged to. Runs on the detector goroutine.
+func (e *Engine) onWorkerDead(dead int32) {
+	e.dead[dead].Store(true)
+	e.metrics.WorkerFailures.Inc()
+	// Repair groups in id order so multi-group recovery is deterministic.
+	gids := make([]int32, 0, len(e.managers))
+	for gid := range e.managers {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		e.managers[gid].handleWorkerFailure(dead)
+	}
+}
+
+// workerDead reports whether w has been confirmed dead. Hot path: one
+// atomic load.
+func (e *Engine) workerDead(w int32) bool {
+	return e.dead[w].Load()
+}
+
+// DeadWorkers returns the ids of workers confirmed dead by the failure
+// detector, in ascending order.
+func (e *Engine) DeadWorkers() []int32 {
+	var out []int32
+	for w := range e.dead {
+		if e.dead[w].Load() {
+			out = append(out, int32(w))
+		}
+	}
+	return out
+}
+
+// ActiveTree returns a copy of group gid's currently active tree, as seen
+// by the group's source worker, together with its version.
+func (e *Engine) ActiveTree(gid int32) (*multicast.Tree, int32, bool) {
+	if gid < 0 || int(gid) >= len(e.groupDescs) {
+		return nil, 0, false
+	}
+	gs, ok := e.workers[e.groupDescs[gid].key.worker].groups[gid]
+	if !ok {
+		return nil, 0, false
+	}
+	v := gs.activeVersion()
+	tr, ok := gs.tree(v)
+	if !ok {
+		return nil, 0, false
+	}
+	return tr.Clone(), v, true
+}
+
+// TasksOf returns operator op's task ids.
+func (e *Engine) TasksOf(op string) []int32 {
+	return append([]int32(nil), e.assign.TasksOf[op]...)
+}
+
+// WorkerOfTask returns the worker hosting task tid.
+func (e *Engine) WorkerOfTask(tid int32) int32 { return e.assign.WorkerOf[tid] }
+
+// handleWorkerFailure repairs this group's tree after a confirmed worker
+// failure: the dead worker leaves the membership, any in-flight switch is
+// cancelled (a dead member can never ack it), and a repaired tree —
+// RemoveNode re-parents the orphaned subtree under surviving nodes with
+// spare out-degree — is distributed to the survivors as a new version
+// through the ordinary CtrlTree/ack activation path.
+func (m *mcManager) handleWorkerFailure(dead int32) {
+	m.mu.Lock()
+	found := false
+	for i, w := range m.members {
+		if w == dead {
+			m.members = append(m.members[:i:i], m.members[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		m.mu.Unlock()
+		return
+	}
+	m.pendingVersion = 0
+	m.pendingTree = nil
+	dstar := m.curDstar
+	survivors := append([]int32(nil), m.members...)
+	m.mu.Unlock()
+
+	gs := m.w.groups[m.desc.id]
+	cur, ok := gs.tree(gs.activeVersion())
+	if !ok || !cur.Contains(dead) {
+		return
+	}
+	next := cur.Clone()
+	if err := next.RemoveNode(dead, dstar); err != nil {
+		return // removing the source: the group died with its worker
+	}
+
+	m.mu.Lock()
+	version := m.nextVersion
+	m.nextVersion++
+	if len(survivors) > 0 {
+		m.pendingVersion = version
+		m.pendingTree = next
+		m.pendingAcks = make(map[int32]bool, len(survivors))
+		for _, w := range survivors {
+			m.pendingAcks[w] = false
+		}
+		m.switchStart = time.Now()
+	}
+	m.mu.Unlock()
+
+	m.eng.obs.Events.Append(obs.Event{
+		Kind: obs.EventTreeRebuild, Group: m.desc.id, Worker: m.w.id,
+		Version: version, NewDstar: dstar,
+		Detail: fmt.Sprintf("repair: worker %d removed, version %d to %d survivors", dead, version, len(survivors)),
+	})
+	if len(survivors) == 0 {
+		// Nothing left to coordinate with: activate locally.
+		gs.install(version, next)
+		gs.activate(version)
+		return
+	}
+	nodes, parents := next.Flatten()
+	cm := tuple.ControlMessage{
+		Type: tuple.CtrlTree, Direction: tuple.SwitchScaleDown,
+		Group: m.desc.id, Version: version,
+		Nodes: nodes, Parents: parents,
+	}
+	raw := tuple.AppendWorkerMessage(nil, &tuple.WorkerMessage{
+		Kind:    tuple.KindControl,
+		Payload: tuple.AppendControlMessage(nil, &cm),
+	})
+	for _, dst := range survivors {
+		m.w.enqueueSend(sendJob{kind: jobControl, dstWorker: dst, raw: raw})
+	}
+}

@@ -1,6 +1,7 @@
 package dsps
 
 import (
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -99,6 +100,7 @@ type worker struct {
 	transfer  chan sendJob
 	groups    map[int32]*groupState
 	enc       *tuple.Encoder
+	rng       *rand.Rand // retry jitter; only touched from the send thread
 	done      chan struct{}
 	wg        sync.WaitGroup
 	sendWG    sync.WaitGroup
@@ -112,6 +114,7 @@ func newWorker(eng *Engine, id int32) *worker {
 		transfer:  make(chan sendJob, eng.cfg.TransferQueueCap),
 		groups:    map[int32]*groupState{},
 		enc:       tuple.NewEncoder(),
+		rng:       rand.New(rand.NewSource(int64(id)*104729 + 7)),
 		done:      make(chan struct{}),
 	}
 }
@@ -165,7 +168,7 @@ func (w *worker) emitAll(ex *executor, tp *tuple.Tuple, d destination) {
 			// No remote members: everything was delivered locally.
 			return
 		}
-		if mgr := w.eng.managers[gid]; mgr != nil {
+		if mgr := w.eng.managers[gid]; mgr != nil && mgr.adaptive {
 			mgr.sm.Record(1)
 		}
 		w.enqueueSend(sendJob{kind: jobMulticast, tp: tp, group: gid})
@@ -216,8 +219,7 @@ func (w *worker) process(j sendJob) {
 		}
 		msg := tuple.WorkerMessage{Kind: tuple.KindInstanceMessage, DstIDs: []int32{j.dstTask}, Payload: payload}
 		t1 := time.Now()
-		if err := w.tr.Send(j.dstWorker, tuple.AppendWorkerMessage(nil, &msg)); err != nil {
-			m.SendErrors.Inc()
+		if !w.send(j.dstWorker, tuple.AppendWorkerMessage(nil, &msg)) {
 			return
 		}
 		w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t1, time.Since(t1))
@@ -237,8 +239,7 @@ func (w *worker) process(j sendJob) {
 		for _, dw := range workers {
 			t0 := time.Now()
 			msg := tuple.WorkerMessage{Kind: tuple.KindWorkerMessage, DstIDs: j.tasksByWorker[dw], Payload: payload}
-			if err := w.tr.Send(dw, tuple.AppendWorkerMessage(nil, &msg)); err != nil {
-				m.SendErrors.Inc()
+			if !w.send(dw, tuple.AppendWorkerMessage(nil, &msg)) {
 				continue
 			}
 			w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t0, time.Since(t0))
@@ -269,8 +270,7 @@ func (w *worker) process(j sendJob) {
 		raw := tuple.AppendWorkerMessage(nil, &msg)
 		for _, child := range tr.Children(w.id) {
 			t0 := time.Now()
-			if err := w.tr.Send(child, raw); err != nil {
-				m.SendErrors.Inc()
+			if !w.send(child, raw) {
 				continue
 			}
 			w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t0, time.Since(t0))
@@ -279,16 +279,52 @@ func (w *worker) process(j sendJob) {
 
 	case jobRelay:
 		for _, dw := range j.dstWorkers {
-			if err := w.tr.Send(dw, j.raw); err != nil {
-				m.SendErrors.Inc()
-			}
+			w.send(dw, j.raw)
 		}
 
 	case jobControl:
-		if err := w.tr.Send(j.dstWorker, j.raw); err != nil {
-			m.SendErrors.Inc()
-		}
+		w.send(j.dstWorker, j.raw)
 	}
+}
+
+// send delivers raw to worker dst from the send thread, with bounded
+// exponential backoff plus jitter on transient transport errors (dropped
+// links, partitions, full RDMA send queues). Sends to confirmed-dead
+// workers are suppressed outright. It reports whether the payload was
+// handed to the transport; permanent errors and exhausted retries count in
+// dsps.send_errors.
+func (w *worker) send(dst int32, raw []byte) bool {
+	if w.eng.workerDead(dst) {
+		w.eng.metrics.SendsSuppressed.Inc()
+		return false
+	}
+	err := w.tr.Send(dst, raw)
+	if err == nil {
+		return true
+	}
+	backoff := w.eng.cfg.SendRetryBase
+	for attempt := 0; attempt < w.eng.cfg.SendRetries && transport.IsTransient(err); attempt++ {
+		// Jitter in [backoff/2, 3*backoff/2) decorrelates retry storms
+		// across workers; the rng is only touched from this goroutine.
+		d := backoff/2 + time.Duration(w.rng.Int63n(int64(backoff)))
+		select {
+		case <-time.After(d):
+		case <-w.done:
+			w.eng.metrics.SendErrors.Inc()
+			return false
+		}
+		if w.eng.workerDead(dst) {
+			w.eng.metrics.SendsSuppressed.Inc()
+			return false
+		}
+		w.eng.metrics.SendRetries.Inc()
+		if err = w.tr.Send(dst, raw); err == nil {
+			return true
+		}
+		backoff *= 2
+	}
+	w.eng.metrics.SendErrors.Inc()
+	return false
 }
 
 // recordTe feeds the per-replica processing time to the source task's group
@@ -301,6 +337,11 @@ func (w *worker) recordTe(srcTask int32, d time.Duration) {
 
 // dispatch is the transport inbound handler: Whale's dispatcher component.
 func (w *worker) dispatch(from transport.WorkerID, payload []byte) {
+	// Any inbound message is liveness evidence; explicit heartbeats only
+	// matter on otherwise-idle links.
+	if fd := w.eng.detector; fd != nil && w.id == fd.monitor {
+		fd.observe(from)
+	}
 	msg, _, err := tuple.DecodeWorkerMessage(payload)
 	if err != nil {
 		w.eng.metrics.DecodeErrors.Inc()
@@ -402,6 +443,9 @@ func (w *worker) handleControl(from transport.WorkerID, cm *tuple.ControlMessage
 		if mgr := w.eng.managers[cm.Group]; mgr != nil {
 			mgr.handleAck(cm.Version, cm.Node)
 		}
+
+	case tuple.CtrlHeartbeat:
+		// Liveness was recorded in dispatch; the beacon carries no payload.
 
 	default:
 		// CtrlStatus and CtrlReconnect are informational in this

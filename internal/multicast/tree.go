@@ -318,6 +318,50 @@ func FromFlat(nodes, parents []int32) (*Tree, error) {
 	return t, nil
 }
 
+// RemoveNode deletes a failed destination from the tree in place and
+// re-parents its orphaned children (each keeping its own subtree) onto
+// surviving nodes. Orphans are attached breadth-first-shallowest: each goes
+// under the first BFS-order node with out-degree < dstar, so the repaired
+// tree keeps the non-blocking d* cap and grows as little in depth as
+// possible — the same placement rule as Algorithm 1's attachment scan. A
+// node with spare capacity always exists (a tree has leaves), so repair
+// cannot fail for dstar >= 1. The source cannot be removed.
+func (t *Tree) RemoveNode(n NodeID, dstar int) error {
+	if n == t.source {
+		return fmt.Errorf("multicast: cannot remove source %d", n)
+	}
+	if _, ok := t.parent[n]; !ok {
+		return fmt.Errorf("multicast: node %d not in tree", n)
+	}
+	orphans := append([]NodeID(nil), t.children[n]...)
+	t.detach(n)
+	delete(t.parent, n)
+	delete(t.children, n)
+	for i, d := range t.attached {
+		if d == n {
+			t.attached = append(t.attached[:i:i], t.attached[i+1:]...)
+			break
+		}
+	}
+	// Each reattached orphan subtree immediately joins the BFS scan, adding
+	// its own spare capacity for the next orphan.
+	for _, o := range orphans {
+		t.reattach(o, t.findSpare(dstar))
+	}
+	return nil
+}
+
+// findSpare returns the first node in BFS order with out-degree < dstar
+// (any node when dstar <= 0).
+func (t *Tree) findSpare(dstar int) NodeID {
+	for _, c := range t.bfsOrder() {
+		if dstar <= 0 || len(t.children[c]) < dstar {
+			return c
+		}
+	}
+	return t.source
+}
+
 // subtreeNodes returns n and all its descendants.
 func (t *Tree) subtreeNodes(n NodeID) map[NodeID]bool {
 	out := map[NodeID]bool{}

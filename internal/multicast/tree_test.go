@@ -264,3 +264,90 @@ func TestEmptyTree(t *testing.T) {
 		t.Fatal("empty tree has nonzero metrics")
 	}
 }
+
+func TestRemoveNodeLeaf(t *testing.T) {
+	tr := BuildNonBlocking(0, seq(7), 2)
+	leaf := NodeID(0)
+	for _, n := range tr.Nodes() {
+		if n != 0 && tr.OutDegree(n) == 0 {
+			leaf = n
+			break
+		}
+	}
+	if leaf == 0 {
+		t.Fatal("no leaf found")
+	}
+	if err := tr.RemoveNode(leaf, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Contains(leaf) {
+		t.Fatalf("removed leaf %d still present", leaf)
+	}
+	if tr.Size() != 6 {
+		t.Fatalf("size %d, want 6", tr.Size())
+	}
+	if err := tr.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveNodeReparentsOrphanedSubtree(t *testing.T) {
+	// d* = 2 over 4 destinations: 0:[1,2], 1:[3,4]. Removing interior node
+	// 1 orphans {3,4}; BFS-shallowest placement puts 3 under the source's
+	// spare slot and 4 under node 2.
+	tr := BuildNonBlocking(0, seq(4), 2)
+	if err := tr.RemoveNode(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Contains(1) {
+		t.Fatal("removed node 1 still present")
+	}
+	if got := tr.Children(0); !reflect.DeepEqual(got, []NodeID{2, 3}) {
+		t.Fatalf("source children %v, want [2 3]", got)
+	}
+	if got := tr.Children(2); !reflect.DeepEqual(got, []NodeID{4}) {
+		t.Fatalf("children of 2 = %v, want [4]", got)
+	}
+}
+
+func TestRemoveNodeErrors(t *testing.T) {
+	tr := BuildNonBlocking(0, seq(3), 2)
+	if err := tr.RemoveNode(0, 2); err == nil {
+		t.Fatal("removing the source accepted")
+	}
+	if err := tr.RemoveNode(99, 2); err == nil {
+		t.Fatal("removing an absent node accepted")
+	}
+	if err := tr.Validate(2); err != nil {
+		t.Fatalf("failed removals mutated the tree: %v", err)
+	}
+}
+
+func TestRemoveNodeQuick(t *testing.T) {
+	// Removing any destination from any tree keeps every survivor, the d*
+	// cap, and all structural invariants.
+	f := func(nRaw, dRaw uint8, pick uint8) bool {
+		n := int(nRaw%30) + 2
+		dstar := int(dRaw%4) + 1
+		victim := NodeID(int(pick)%n + 1)
+		tr := BuildNonBlocking(0, seq(n), dstar)
+		if err := tr.RemoveNode(victim, dstar); err != nil {
+			return false
+		}
+		if tr.Contains(victim) || tr.Size() != n-1 {
+			return false
+		}
+		for i := 1; i <= n; i++ {
+			if NodeID(i) != victim && !tr.Contains(NodeID(i)) {
+				return false
+			}
+		}
+		return tr.Validate(dstar) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

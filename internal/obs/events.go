@@ -22,6 +22,15 @@ const (
 	// EventFlushReason: an RDMA channel's flush trigger transitioned
 	// between MMS (size) and WTL (timer).
 	EventFlushReason = "flush-reason"
+	// EventWorkerSuspect: the failure detector saw no traffic from a worker
+	// for the suspicion timeout. Worker carries the suspect's id.
+	EventWorkerSuspect = "worker-suspect"
+	// EventWorkerRecover: a suspected worker produced traffic again before
+	// confirmation.
+	EventWorkerRecover = "worker-recover"
+	// EventWorkerDead: a suspected worker stayed silent past the
+	// confirmation timeout and was declared failed; tree repair follows.
+	EventWorkerDead = "worker-dead"
 )
 
 // Event is one structured entry in the reconfiguration event log.

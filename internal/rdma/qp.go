@@ -1,9 +1,29 @@
 package rdma
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
+)
+
+// Typed sentinels for the verb posting paths, so callers (send retry
+// loops in particular) can tell transient backpressure from fatal
+// teardown with errors.Is. Each sentinel's text is the tail of the
+// wrapped message, keeping the full error strings identical to the
+// historical fmt.Errorf ones.
+var (
+	// ErrQPClosed: the queue pair was closed; posting can never succeed
+	// again. Fatal.
+	ErrQPClosed = errors.New("closed")
+	// ErrSQFull: the send queue is at capacity. Transient backpressure —
+	// retry after the RNIC drains.
+	ErrSQFull = errors.New("send queue full")
+	// ErrRQFull: the receive queue is at capacity. Transient.
+	ErrRQFull = errors.New("receive queue full")
+	// ErrNotConnected: the queue pair was never connected. Fatal until
+	// ConnectPair runs.
+	ErrNotConnected = errors.New("not connected")
 )
 
 // Opcode identifies the operation a work request performs.
@@ -238,11 +258,11 @@ func (q *QP) PostSend(wr WR) error {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return fmt.Errorf("rdma: QP %d closed", q.num)
+		return fmt.Errorf("rdma: QP %d %w", q.num, ErrQPClosed)
 	}
 	if q.remote == nil {
 		q.mu.Unlock()
-		return fmt.Errorf("rdma: QP %d not connected", q.num)
+		return fmt.Errorf("rdma: QP %d %w", q.num, ErrNotConnected)
 	}
 	q.mu.Unlock()
 	if wr.Inline == nil && wr.Local.MR != nil && wr.Local.MR.pd != q.pd {
@@ -252,7 +272,7 @@ func (q *QP) PostSend(wr WR) error {
 	case q.sq <- wr:
 		return nil
 	default:
-		return fmt.Errorf("rdma: QP %d send queue full", q.num)
+		return fmt.Errorf("rdma: QP %d %w", q.num, ErrSQFull)
 	}
 }
 
@@ -261,7 +281,7 @@ func (q *QP) PostRecv(wr WR) error {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return fmt.Errorf("rdma: QP %d closed", q.num)
+		return fmt.Errorf("rdma: QP %d %w", q.num, ErrQPClosed)
 	}
 	q.mu.Unlock()
 	if wr.Local.MR != nil && wr.Local.MR.pd != q.pd {
@@ -271,7 +291,7 @@ func (q *QP) PostRecv(wr WR) error {
 	case q.rq <- recvSlot{wr: wr}:
 		return nil
 	default:
-		return fmt.Errorf("rdma: QP %d receive queue full", q.num)
+		return fmt.Errorf("rdma: QP %d %w", q.num, ErrRQFull)
 	}
 }
 

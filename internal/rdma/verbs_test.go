@@ -2,6 +2,8 @@ package rdma
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -337,5 +339,65 @@ func TestCQPoll(t *testing.T) {
 	}
 	if _, ok := cq.Wait(10 * time.Millisecond); ok {
 		t.Fatal("empty CQ wait succeeded")
+	}
+}
+
+func TestPostErrorSentinels(t *testing.T) {
+	// Typed sentinels under unchanged message text: retry logic classifies
+	// with errors.Is while logs keep the exact pre-sentinel wording.
+	f := NewFabric(CostModel{})
+	d, _ := f.NewDevice("sentinel")
+	pd := d.AllocPD()
+
+	unconnected := CreateQP(pd, NewCQ(1), NewCQ(1), QPCap{})
+	err := unconnected.PostSend(WR{Op: OpSend, Inline: []byte("x")})
+	if !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("unconnected PostSend = %v, want ErrNotConnected", err)
+	}
+	if want := fmt.Sprintf("rdma: QP %d not connected", unconnected.Num()); err.Error() != want {
+		t.Fatalf("message changed: %q, want %q", err.Error(), want)
+	}
+
+	// SendDepth 1 and no receive buffer at the peer: the engine stalls in
+	// RNR wait, so repeated posts must overflow the send queue.
+	f2 := NewFabric(CostModel{RNRTimeout: 5 * time.Second})
+	da, _ := f2.NewDevice("a")
+	db, _ := f2.NewDevice("b")
+	qpA := CreateQP(da.AllocPD(), NewCQ(8), NewCQ(8), QPCap{SendDepth: 1})
+	qpB := CreateQP(db.AllocPD(), NewCQ(8), NewCQ(8), QPCap{RecvDepth: 1})
+	if err := ConnectPair(qpA, qpB); err != nil {
+		t.Fatal(err)
+	}
+	var sqErr error
+	for i := 0; i < 10 && sqErr == nil; i++ {
+		sqErr = qpA.PostSend(WR{WRID: uint64(i), Op: OpSend, Inline: []byte("x")})
+	}
+	if !errors.Is(sqErr, ErrSQFull) {
+		t.Fatalf("overflowing posts = %v, want ErrSQFull", sqErr)
+	}
+	if want := fmt.Sprintf("rdma: QP %d send queue full", qpA.Num()); sqErr.Error() != want {
+		t.Fatalf("message changed: %q, want %q", sqErr.Error(), want)
+	}
+
+	// RecvDepth 1: a second posted buffer overflows the receive queue.
+	rqMR, _ := RegisterMemory(qpB.pd, 64, AccessLocalWrite)
+	var rqErr error
+	for i := 0; i < 10 && rqErr == nil; i++ {
+		rqErr = qpB.PostRecv(WR{WRID: uint64(i), Op: OpRecv, Local: SGE{MR: rqMR, Length: 64}})
+	}
+	if !errors.Is(rqErr, ErrRQFull) {
+		t.Fatalf("overflowing recvs = %v, want ErrRQFull", rqErr)
+	}
+
+	qpA.Close()
+	err = qpA.PostSend(WR{Op: OpSend, Inline: []byte("x")})
+	if !errors.Is(err, ErrQPClosed) {
+		t.Fatalf("closed PostSend = %v, want ErrQPClosed", err)
+	}
+	if want := fmt.Sprintf("rdma: QP %d closed", qpA.Num()); err.Error() != want {
+		t.Fatalf("message changed: %q, want %q", err.Error(), want)
+	}
+	if err := qpA.PostRecv(WR{Op: OpRecv}); !errors.Is(err, ErrQPClosed) {
+		t.Fatalf("closed PostRecv = %v, want ErrQPClosed", err)
 	}
 }

@@ -118,11 +118,19 @@ func (t *inprocTransport) Send(to WorkerID, payload []byte) error {
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
 	return timedSend(&t.stats, len(payload), func() error {
+		// Check done first: with buffer space free AND done closed, a bare
+		// two-case select would pick at random, sometimes enqueueing onto a
+		// peer that already shut down.
+		select {
+		case <-dst.done:
+			return fmt.Errorf("%w: worker %d", ErrPeerClosed, to)
+		default:
+		}
 		select {
 		case dst.in <- inprocMsg{from: t.id, payload: cp}:
 			return nil
 		case <-dst.done:
-			return fmt.Errorf("transport: worker %d closed", to)
+			return fmt.Errorf("%w: worker %d", ErrPeerClosed, to)
 		}
 	})
 }

@@ -14,9 +14,12 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"whale/internal/rdma"
 )
 
 // WorkerID identifies a worker process on the network.
@@ -35,11 +38,15 @@ type Stats struct {
 	// SendNS accumulates wall time spent inside Send — the sender-side CPU
 	// cost the paper's Fig. 25 "communication time" measures.
 	SendNS atomic.Int64
+	// SendErrs counts Send calls that returned an error (the message was
+	// not handed to the wire). Failed sends contribute to SendNS but not
+	// to MsgsSent/BytesSent.
+	SendErrs atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of Stats.
 type Snapshot struct {
-	MsgsSent, BytesSent, MsgsRecv, BytesRecv, SendNS int64
+	MsgsSent, BytesSent, MsgsRecv, BytesRecv, SendNS, SendErrs int64
 }
 
 // Load snapshots the counters.
@@ -50,6 +57,7 @@ func (s *Stats) Load() Snapshot {
 		MsgsRecv:  s.MsgsRecv.Load(),
 		BytesRecv: s.BytesRecv.Load(),
 		SendNS:    s.SendNS.Load(),
+		SendErrs:  s.SendErrs.Load(),
 	}
 }
 
@@ -84,8 +92,30 @@ func timedSend(st *Stats, bytes int, fn func() error) error {
 	if err == nil {
 		st.MsgsSent.Add(1)
 		st.BytesSent.Add(int64(bytes))
+	} else {
+		st.SendErrs.Add(1)
 	}
 	return err
+}
+
+// Typed send-failure sentinels, wrapped by the implementations so retry
+// logic can classify failures with errors.Is.
+var (
+	// ErrUnreachable marks a destination that cannot currently be reached
+	// (dropped link, partition, crashed-but-unconfirmed peer). Transient
+	// from the sender's point of view: a bounded retry may succeed.
+	ErrUnreachable = errors.New("transport: unreachable")
+	// ErrPeerClosed marks a destination that has shut down its transport.
+	// Fatal: retrying cannot succeed until the peer re-registers.
+	ErrPeerClosed = errors.New("transport: peer closed")
+)
+
+// IsTransient reports whether a Send error is worth a bounded retry —
+// either explicit unreachability (fault injection, partitions) or
+// backpressure from a full RDMA send queue. Unknown errors are treated as
+// permanent so misconfigurations fail fast.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrUnreachable) || errors.Is(err, rdma.ErrSQFull) || errors.Is(err, rdma.ErrRQFull)
 }
 
 // ErrUnknownWorker is returned for sends to unregistered ids.

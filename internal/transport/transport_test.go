@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -235,5 +236,62 @@ func TestRDMAChannelStatsAggregation(t *testing.T) {
 	}
 	if cs.WorkRequests >= 100 {
 		t.Fatalf("no batching: %d WRs", cs.WorkRequests)
+	}
+}
+
+func TestSendErrsCounted(t *testing.T) {
+	net := NewInprocNetwork(0)
+	defer net.Close()
+	a, err := net.Register(0, func(WorkerID, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Register(1, func(WorkerID, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, []byte("lost")); !errors.Is(err, ErrPeerClosed) {
+		t.Fatalf("send to closed peer = %v, want ErrPeerClosed", err)
+	}
+	st := a.Stats().Load()
+	if st.SendErrs != 1 {
+		t.Fatalf("SendErrs=%d, want 1", st.SendErrs)
+	}
+	// Failed sends never count as sent traffic.
+	if st.MsgsSent != 1 || st.BytesSent != 2 {
+		t.Fatalf("sent %d msgs / %d bytes, want 1/2", st.MsgsSent, st.BytesSent)
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	transient := []error{
+		ErrUnreachable,
+		fmt.Errorf("wrapped: %w", ErrUnreachable),
+		fmt.Errorf("rdma: QP 7 %w", rdma.ErrSQFull),
+		fmt.Errorf("rdma: QP 7 %w", rdma.ErrRQFull),
+	}
+	for _, err := range transient {
+		if !IsTransient(err) {
+			t.Fatalf("%v not classified transient", err)
+		}
+	}
+	permanent := []error{
+		nil,
+		ErrPeerClosed,
+		fmt.Errorf("wrapped: %w", ErrPeerClosed),
+		errUnknownWorker(9),
+		fmt.Errorf("rdma: QP 7 %w", rdma.ErrQPClosed),
+		fmt.Errorf("rdma: QP 7 %w", rdma.ErrNotConnected),
+	}
+	for _, err := range permanent {
+		if IsTransient(err) {
+			t.Fatalf("%v classified transient", err)
+		}
 	}
 }

@@ -132,6 +132,12 @@ const (
 	CtrlTree
 	// CtrlAck acknowledges completion of a reconnect.
 	CtrlAck
+	// CtrlHeartbeat is a liveness beacon piggybacked on the control plane:
+	// Node carries the sender's worker id, Version a monotonically
+	// increasing sequence number. The failure detector treats any control
+	// or data message as implicit liveness, so heartbeats only matter on
+	// otherwise-idle links.
+	CtrlHeartbeat
 )
 
 // Switch directions carried by CtrlStatus.
@@ -239,6 +245,8 @@ func (c *ControlMessage) String() string {
 		return fmt.Sprintf("Tree{group=%d v=%d n=%d}", c.Group, c.Version, len(c.Nodes))
 	case CtrlAck:
 		return fmt.Sprintf("Ack{group=%d v=%d node=%d}", c.Group, c.Version, c.Node)
+	case CtrlHeartbeat:
+		return fmt.Sprintf("Heartbeat{worker=%d seq=%d}", c.Node, c.Version)
 	}
 	return fmt.Sprintf("Control{type=%d}", c.Type)
 }

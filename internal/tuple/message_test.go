@@ -76,6 +76,7 @@ func TestControlMessageRoundTrip(t *testing.T) {
 		{Type: CtrlStatus, Direction: SwitchScaleUp, Group: 1, Version: 3},
 		{Type: CtrlReconnect, Group: 4, Version: 5, Node: 10, OldParent: 2, NewParent: 3},
 		{Type: CtrlAck, Group: 4, Version: 5, Node: 10},
+		{Type: CtrlHeartbeat, Node: 3, Version: 41},
 		{Type: CtrlTree, Group: 0, Version: 7,
 			Nodes: []int32{0, 1, 2, 3}, Parents: []int32{-1, 0, 0, 1}},
 	}
