@@ -59,6 +59,7 @@ type Stats struct {
 	Duplicated  atomic.Int64 // messages delivered twice
 	Delayed     atomic.Int64 // messages held back
 	Unreachable atomic.Int64 // sends refused by a crash or partition
+	Slowed      atomic.Int64 // inbound messages throttled by SetSlow
 }
 
 // link is one directed link's fault state.
@@ -76,6 +77,7 @@ type Net struct {
 	links   map[uint64]*link
 	crashed map[transport.WorkerID]bool
 	cut     map[uint64]bool // partitioned unordered pairs
+	slow    map[transport.WorkerID]*atomic.Int64
 	closed  bool
 
 	done  chan struct{}
@@ -93,18 +95,51 @@ func Wrap(inner transport.Network, cfg Config) *Net {
 		links:   map[uint64]*link{},
 		crashed: map[transport.WorkerID]bool{},
 		cut:     map[uint64]bool{},
+		slow:    map[transport.WorkerID]*atomic.Int64{},
 		done:    make(chan struct{}),
 	}
 }
 
-// Register implements transport.Network. Inbound delivery is untouched;
-// faults are injected on the send side only.
+// Register implements transport.Network. Faults are injected on the send
+// side, except SetSlow, which throttles the worker's inbound handler.
 func (n *Net) Register(id transport.WorkerID, h transport.Handler) (transport.Transport, error) {
-	tr, err := n.inner.Register(id, h)
+	n.mu.Lock()
+	delay, ok := n.slow[id]
+	if !ok {
+		delay = &atomic.Int64{}
+		n.slow[id] = delay
+	}
+	n.mu.Unlock()
+	slowed := func(from transport.WorkerID, payload []byte) {
+		if d := delay.Load(); d > 0 {
+			n.stats.Slowed.Add(1)
+			select {
+			case <-time.After(time.Duration(d)):
+			case <-n.done:
+			}
+		}
+		h(from, payload)
+	}
+	tr, err := n.inner.Register(id, slowed)
 	if err != nil {
 		return nil, err
 	}
 	return &faultTransport{net: n, id: id, inner: tr}, nil
+}
+
+// SetSlow makes worker id a slow consumer: every inbound message is held
+// for delay inside the receive path before reaching the worker's handler,
+// so the worker's inbound queue really fills and backpressure engages.
+// A delay of 0 restores full speed.
+func (n *Net) SetSlow(id transport.WorkerID, delay time.Duration) {
+	n.mu.Lock()
+	d, ok := n.slow[id]
+	if !ok {
+		d = &atomic.Int64{}
+		n.slow[id] = d
+	}
+	n.mu.Unlock()
+	d.Store(int64(delay))
 }
 
 // Close implements transport.Network: it aborts pending delayed
@@ -265,6 +300,9 @@ func (t *faultTransport) Send(to transport.WorkerID, payload []byte) error {
 
 // Flush implements transport.Transport.
 func (t *faultTransport) Flush() error { return t.inner.Flush() }
+
+// Pressure implements transport.Transport, delegating to the inner link.
+func (t *faultTransport) Pressure(to transport.WorkerID) int { return t.inner.Pressure(to) }
 
 // Stats implements transport.Transport.
 func (t *faultTransport) Stats() *transport.Stats { return t.inner.Stats() }

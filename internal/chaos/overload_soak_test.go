@@ -1,0 +1,293 @@
+package chaos_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"whale/internal/chaos"
+	"whale/internal/dsps"
+	"whale/internal/obs"
+	"whale/internal/transport"
+)
+
+// The overload soak (`make chaos`): one slow subscriber under sustained
+// all-grouping multicast load. It asserts the backpressure story end to end:
+//
+//   - the slow subscriber's link pauses and the worker is reported degraded
+//     through the failure detector (advisory, never fenced),
+//   - siblings on healthy links keep full throughput — the slow peer is
+//     isolated behind its own link queue,
+//   - best-effort overflow is shed and counted, never silently lost,
+//   - memory stays bounded: link queues never exceed their configured cap,
+//   - once the consumer speeds up the link reopens, the degraded mark
+//     clears, and delivery to the recovered subscriber resumes,
+//   - acked flows under the same pressure lose nothing and shed nothing,
+//   - two identical runs produce the same overload event sequence.
+
+// pacedSpout emits ids 0..n-1 best-effort at a fixed interval, so healthy
+// links see a rate they can absorb while the slowed link falls behind.
+type pacedSpout struct {
+	n        int
+	interval time.Duration
+	i        int64
+}
+
+func (s *pacedSpout) Open(*dsps.TaskContext) {}
+func (s *pacedSpout) Next(c *dsps.Collector) bool {
+	if s.i >= int64(s.n) {
+		return false
+	}
+	c.Emit(s.i)
+	s.i++
+	time.Sleep(s.interval)
+	return true
+}
+func (s *pacedSpout) Close() {}
+
+// overloadOutcome is what a shed-policy overload run must reproduce across
+// two identical invocations.
+type overloadOutcome struct {
+	Events   []string // overload event sequence for the slow peer, in order
+	Siblings []int32  // healthy fan tasks that met the throughput floor
+	SlowOK   bool     // recovered subscriber saw the post-recovery tail
+	ShedSome bool
+}
+
+const (
+	overloadWorkers = 4
+	overloadTuples  = 800
+	slowWorker      = 3
+)
+
+// startOverload builds the 4-worker all-grouping topology: spout task 0 on
+// worker 0, fan tasks 1..3 on workers 1..3, d*=2 tree 0 -> {1,2}, 1 -> {3}.
+// The slow subscriber therefore sits behind interior relay worker 1.
+func startOverload(t *testing.T, net transport.Network, spout dsps.Spout, rec *deliveryRecord, cfg dsps.Config) *dsps.Engine {
+	t.Helper()
+	b := dsps.NewTopologyBuilder()
+	b.Spout("src", func() dsps.Spout { return spout }, 1)
+	b.Bolt("fan", func() dsps.Bolt { return &fanBolt{rec: rec} }, overloadWorkers-1).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = overloadWorkers
+	cfg.Network = net
+	cfg.Comm = dsps.WorkerOriented
+	cfg.Multicast = dsps.MulticastNonBlocking
+	cfg.FixedDstar = true
+	cfg.InitialDstar = 2
+	eng, err := dsps.Start(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tid := range eng.TasksOf("fan") {
+		if w := eng.WorkerOfTask(tid); w != tid%overloadWorkers {
+			t.Fatalf("task %d on worker %d; overload soak assumes round-robin placement", tid, w)
+		}
+	}
+	return eng
+}
+
+// waitOverloadEvent polls until an event satisfying pred is logged.
+func waitOverloadEvent(t *testing.T, eng *dsps.Engine, what string, within time.Duration, pred func(obs.Event) bool) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		for _, ev := range eng.Obs().Events.Recent(0) {
+			if pred(ev) {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s not observed within %v", what, within)
+}
+
+// has reports whether task saw id.
+func (r *deliveryRecord) has(task int32, id int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen[task][id]
+}
+
+// runOverloadShed executes one best-effort overload run: worker 3 is slowed
+// mid-stream, then restored while emission continues.
+func runOverloadShed(t *testing.T) overloadOutcome {
+	t.Helper()
+
+	// Zero fault probabilities: the only disturbance is the slow consumer,
+	// so the overload event sequence is reproducible run to run.
+	net := chaos.Wrap(transport.NewInprocNetwork(0), chaos.Config{Seed: 11})
+	rec := newDeliveryRecord()
+	eng := startOverload(t, net, &pacedSpout{n: overloadTuples, interval: time.Millisecond}, rec, dsps.Config{
+		CreditWindow: 4, LinkQueueCap: 8,
+		ShedPolicy: dsps.ShedNewest,
+		PauseAfter: 100 * time.Millisecond, DegradedAfter: 150 * time.Millisecond,
+		CreditTimeout:     5 * time.Second,
+		HeartbeatInterval: 50 * time.Millisecond, SuspectAfter: 30 * time.Second,
+	})
+	stopped := false
+	defer func() {
+		if !stopped {
+			eng.Stop()
+		}
+	}()
+
+	// Let the control plane settle (tree installed everywhere) before the
+	// subscriber degrades; early tuples flow at full speed.
+	time.Sleep(100 * time.Millisecond)
+	net.SetSlow(slowWorker, 250*time.Millisecond)
+
+	waitOverloadEvent(t, eng, "link-paused for slow peer", 10*time.Second, func(ev obs.Event) bool {
+		return ev.Kind == obs.EventLinkPaused && ev.Peer == slowWorker
+	})
+	waitOverloadEvent(t, eng, "worker-degraded for slow peer", 10*time.Second, func(ev obs.Event) bool {
+		return ev.Kind == obs.EventWorkerDegraded && ev.Worker == slowWorker
+	})
+	if got := eng.DegradedWorkers(); !reflect.DeepEqual(got, []int32{slowWorker}) {
+		t.Fatalf("DegradedWorkers during overload = %v, want [%d]", got, slowWorker)
+	}
+	if len(eng.DeadWorkers()) != 0 {
+		t.Fatalf("overload must never fence: dead = %v", eng.DeadWorkers())
+	}
+
+	// Bounded memory: no link holds more than its queue cap plus the one
+	// popped item in flight, even at peak overload.
+	for _, ls := range eng.LinkStats() {
+		if ls.Queued > 8+1 {
+			t.Fatalf("link %d->%d queued %d items, cap 8", ls.From, ls.To, ls.Queued)
+		}
+	}
+
+	// Consumer speeds back up while the spout is still emitting: the link
+	// must drain, reopen, and clear the degraded mark.
+	net.SetSlow(slowWorker, 0)
+	waitOverloadEvent(t, eng, "link-open after recovery", 10*time.Second, func(ev obs.Event) bool {
+		return ev.Kind == obs.EventLinkOpen && ev.Peer == slowWorker
+	})
+
+	eng.WaitSpouts()
+	if !eng.Drain(10 * time.Second) {
+		t.Fatal("overload run did not drain")
+	}
+	if got := eng.DegradedWorkers(); len(got) != 0 {
+		t.Fatalf("degraded mark not cleared after recovery: %v", got)
+	}
+
+	out := overloadOutcome{ShedSome: eng.Metrics().TuplesShed.Value() > 0}
+	// Sibling isolation: the healthy subscribers' throughput stays within
+	// 10% of the lossless baseline despite the paused sibling link.
+	for _, tid := range []int32{1, 2} {
+		if miss := len(rec.missing(tid, overloadTuples)); miss <= overloadTuples/10 {
+			out.Siblings = append(out.Siblings, tid)
+		} else {
+			t.Fatalf("healthy task %d missing %d of %d tuples", tid, miss, overloadTuples)
+		}
+	}
+	// Recovery: the tail of the stream — emitted well after the consumer
+	// sped up — reaches the once-slow subscriber in full.
+	out.SlowOK = true
+	for id := int64(overloadTuples - 50); id < overloadTuples; id++ {
+		if !rec.has(slowWorker, id) {
+			t.Fatalf("recovered task %d never saw post-recovery id %d", slowWorker, id)
+		}
+	}
+	// The slow peer's overload lifecycle, in order. Filtering to the slow
+	// peer keeps the trace free of incidental startup noise.
+	for _, ev := range eng.Obs().Events.Recent(0) {
+		switch ev.Kind {
+		case obs.EventLinkPaused, obs.EventLinkOpen:
+			if ev.Peer == slowWorker {
+				out.Events = append(out.Events, fmt.Sprintf("%s/p%d", ev.Kind, ev.Peer))
+			}
+		case obs.EventWorkerDegraded:
+			if ev.Worker == slowWorker {
+				out.Events = append(out.Events, fmt.Sprintf("%s/w%d", ev.Kind, ev.Worker))
+			}
+		}
+	}
+	stopped = true
+	eng.Stop()
+	return out
+}
+
+// runOverloadAcked executes one acked overload run: the same slow subscriber
+// under a shedding policy, where tracked tuples must block instead of shed.
+func runOverloadAcked(t *testing.T) (acked int, shed int64, missing map[int32]int) {
+	t.Helper()
+
+	const total = 40
+	net := chaos.Wrap(transport.NewInprocNetwork(0), chaos.Config{Seed: 11})
+	rec := newDeliveryRecord()
+	spout := &replaySpout{total: total}
+	eng := startOverload(t, net, spout, rec, dsps.Config{
+		CreditWindow: 4, LinkQueueCap: 8,
+		ShedPolicy: dsps.ShedNewest, // acked flows must override this
+		PauseAfter: 250 * time.Millisecond,
+		AckEnabled: true, Ackers: 1, AckTimeout: 10 * time.Second,
+		MaxSpoutPending:   16,
+		HeartbeatInterval: 50 * time.Millisecond, SuspectAfter: 30 * time.Second,
+	})
+	defer eng.Stop()
+
+	net.SetSlow(slowWorker, 40*time.Millisecond)
+	eng.WaitSpouts()
+	if !eng.Drain(20 * time.Second) {
+		t.Fatal("acked overload run did not drain")
+	}
+	net.SetSlow(slowWorker, 0)
+
+	missing = map[int32]int{}
+	for _, tid := range eng.TasksOf("fan") {
+		missing[tid] = len(rec.missing(tid, total))
+	}
+	// Any pause must have been for the slow peer; nothing else was faulted.
+	for _, ev := range eng.Obs().Events.Recent(0) {
+		if ev.Kind == obs.EventLinkPaused && ev.Peer != slowWorker {
+			t.Fatalf("unexpected pause for healthy peer %d", ev.Peer)
+		}
+	}
+	return spout.ackedCount(), eng.Metrics().TuplesShed.Value(), missing
+}
+
+func TestOverloadSoak(t *testing.T) {
+	// --- Scenario 1: best-effort + ShedNewest, run twice. ---
+	run1 := runOverloadShed(t)
+
+	want := []string{
+		obs.EventLinkPaused + fmt.Sprintf("/p%d", slowWorker),
+		obs.EventWorkerDegraded + fmt.Sprintf("/w%d", slowWorker),
+		obs.EventLinkOpen + fmt.Sprintf("/p%d", slowWorker),
+	}
+	if !reflect.DeepEqual(run1.Events, want) {
+		t.Fatalf("overload event sequence:\n got %v\nwant %v", run1.Events, want)
+	}
+	if !run1.ShedSome {
+		t.Fatal("slow consumer shed nothing: the soak exercised no overload")
+	}
+
+	run2 := runOverloadShed(t)
+	if !reflect.DeepEqual(run1, run2) {
+		t.Fatalf("identical overload runs, different outcomes:\nrun1 %+v\nrun2 %+v", run1, run2)
+	}
+
+	// --- Scenario 2: acked flow under the same pressure, run twice. ---
+	const total = 40
+	for run := 1; run <= 2; run++ {
+		acked, shed, missing := runOverloadAcked(t)
+		if acked != total {
+			t.Fatalf("acked run %d: acked %d of %d", run, acked, total)
+		}
+		if shed != 0 {
+			t.Fatalf("acked run %d: %d tracked tuples shed", run, shed)
+		}
+		for tid, n := range missing {
+			if n != 0 {
+				t.Fatalf("acked run %d: task %d missing %d ids", run, tid, n)
+			}
+		}
+	}
+}

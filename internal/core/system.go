@@ -138,6 +138,33 @@ type Options struct {
 	// SendRetryBase is the first retry backoff (default 200µs).
 	SendRetryBase time.Duration
 
+	// CreditWindow is the per-link credit window in delivery units
+	// (default 256; negative disables credit flow control).
+	CreditWindow int
+	// LinkQueueCap bounds each flow-controlled link's send queue
+	// (default 256).
+	LinkQueueCap int
+	// HighWaterline / LowWaterline are the link-depth percentages driving
+	// the open→throttled→open transitions (defaults 80 / 30).
+	HighWaterline int
+	LowWaterline  int
+	// ShedPolicy picks what a full link does with best-effort tuples:
+	// block (default), shed newest, or shed oldest. Acked tuples always
+	// block.
+	ShedPolicy dsps.ShedPolicy
+	// PauseAfter marks a link paused after one continuous credit wait of
+	// this length (default 150ms).
+	PauseAfter time.Duration
+	// DegradedAfter reports a subscriber degraded once its link stays
+	// paused this long (default 4×PauseAfter).
+	DegradedAfter time.Duration
+	// CreditTimeout bounds one credit wait before lost grants are forgiven
+	// (default 1s).
+	CreditTimeout time.Duration
+	// DrainTimeout bounds the quiescence drain inside Shutdown
+	// (default 2s).
+	DrainTimeout time.Duration
+
 	// ObsAddr, when non-empty, serves the observability endpoints
 	// (/metrics, /debug/whale, /debug/events, /debug/pprof) on that
 	// address (e.g. "127.0.0.1:9090"; ":0" picks a free port).
@@ -289,6 +316,15 @@ func (s System) EngineConfig(o Options) (dsps.Config, error) {
 		ConfirmAfter:      o.ConfirmAfter,
 		SendRetries:       o.SendRetries,
 		SendRetryBase:     o.SendRetryBase,
+		CreditWindow:      o.CreditWindow,
+		LinkQueueCap:      o.LinkQueueCap,
+		HighWaterline:     o.HighWaterline,
+		LowWaterline:      o.LowWaterline,
+		ShedPolicy:        o.ShedPolicy,
+		PauseAfter:        o.PauseAfter,
+		DegradedAfter:     o.DegradedAfter,
+		CreditTimeout:     o.CreditTimeout,
+		DrainTimeout:      o.DrainTimeout,
 		Obs:               scope,
 	}
 	switch s {

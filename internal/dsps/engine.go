@@ -116,6 +116,44 @@ type Config struct {
 	// jitter (default 200µs).
 	SendRetryBase time.Duration
 
+	// CreditWindow is the per-link credit window in delivery units: the
+	// maximum units a sender may have outstanding (charged but not granted
+	// back) toward one destination worker (default 4096; negative disables
+	// flow control entirely). The default is deliberately several times the
+	// per-hop buffering of the uncontrolled transport: the window must
+	// cover the grant round-trip at full rate, including scheduling delay
+	// on loaded hosts, or the credit protocol itself becomes the
+	// bottleneck.
+	CreditWindow int
+	// LinkQueueCap bounds each flow-controlled link's send queue
+	// (default 4096).
+	LinkQueueCap int
+	// HighWaterline is the link depth percentage (queue occupancy or
+	// transport pressure) at which an open link becomes throttled
+	// (default 80).
+	HighWaterline int
+	// LowWaterline is the depth percentage at or below which a throttled
+	// or paused link reopens, given available credit (default 30; clamped
+	// below HighWaterline).
+	LowWaterline int
+	// ShedPolicy selects what a full link does with best-effort tuples:
+	// block the producer (default), shed the newest, or shed the oldest.
+	// Acked-stream tuples always block and are never shed.
+	ShedPolicy ShedPolicy
+	// PauseAfter marks a link paused once one continuous credit wait lasts
+	// this long — the receiver is effectively not draining (default 150ms).
+	PauseAfter time.Duration
+	// DegradedAfter reports a subscriber as degraded through the failure
+	// detector path once its link stays paused this long
+	// (default 4×PauseAfter).
+	DegradedAfter time.Duration
+	// CreditTimeout bounds one credit wait: on expiry the sender forgives
+	// outstanding debt (assuming grants were lost) and proceeds
+	// (default 1s).
+	CreditTimeout time.Duration
+	// DrainTimeout bounds the quiescence drain inside Stop (default 2s).
+	DrainTimeout time.Duration
+
 	// Obs is the observability scope every subsystem registers into. When
 	// nil the engine creates a private scope with tracing disabled, so
 	// instrumentation call sites never need nil checks.
@@ -164,6 +202,36 @@ func (c Config) withDefaults() Config {
 	if c.SendRetryBase <= 0 {
 		c.SendRetryBase = 200 * time.Microsecond
 	}
+	switch {
+	case c.CreditWindow == 0:
+		c.CreditWindow = 4096
+	case c.CreditWindow < 0:
+		c.CreditWindow = 0
+	}
+	if c.LinkQueueCap <= 0 {
+		c.LinkQueueCap = 4096
+	}
+	if c.HighWaterline <= 0 || c.HighWaterline > 100 {
+		c.HighWaterline = 80
+	}
+	if c.LowWaterline <= 0 {
+		c.LowWaterline = 30
+	}
+	if c.LowWaterline >= c.HighWaterline {
+		c.LowWaterline = c.HighWaterline / 2
+	}
+	if c.PauseAfter <= 0 {
+		c.PauseAfter = 150 * time.Millisecond
+	}
+	if c.DegradedAfter <= 0 {
+		c.DegradedAfter = 4 * c.PauseAfter
+	}
+	if c.CreditTimeout <= 0 {
+		c.CreditTimeout = time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 2 * time.Second
+	}
 	return c
 }
 
@@ -184,6 +252,13 @@ type Metrics struct {
 	SerializationNS metrics.Counter
 	Switches        metrics.Counter
 	SkippedSwitches metrics.Counter // scale-ups rejected by the Theorem 5 guard
+	CreditsWaited   metrics.Counter // sends that blocked on an exhausted credit window
+	CreditWaitNS    metrics.Counter // total time spent blocked on credits
+	CreditTimeouts  metrics.Counter // credit waits resolved by forgiving lost grants
+	CreditGrants    metrics.Counter // CtrlCredit messages sent
+	TuplesShed      metrics.Counter // best-effort tuples dropped by the shed policy
+	LinkPauses      metrics.Counter // link transitions into the paused state
+	DrainTimeouts   metrics.Counter // Stop drains that hit DrainTimeout
 
 	ProcessingLatency metrics.Histogram // spout -> sink, ns
 	MulticastLatency  metrics.Histogram // emit -> worker arrival, ns
@@ -247,6 +322,7 @@ type Engine struct {
 	stopSpoutsOnce sync.Once
 	stopSpouts     chan struct{}
 	spoutWG        sync.WaitGroup
+	stopping       chan struct{} // closed first in Stop: aborts backoffs and credit waits
 	stopTick       chan struct{}
 	auxWG          sync.WaitGroup // managers, ack ticker, user tickers
 	stopped        bool
@@ -282,6 +358,7 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 		remoteBy:   map[string]map[int32]map[int32][]int32{},
 		opStats:    map[string][]*opMetrics{},
 		stopSpouts: make(chan struct{}),
+		stopping:   make(chan struct{}),
 		stopTick:   make(chan struct{}),
 		dead:       make([]atomic.Bool, cfg.Workers),
 	}
@@ -356,9 +433,17 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 				w.wg.Add(1)
 				go ex.runBolt()
 			}
+			if w.fc != nil {
+				w.wg.Add(1)
+				go ex.feed()
+			}
 		}
 		w.sendWG.Add(1)
 		go w.sendLoop()
+		if w.fc != nil {
+			w.wg.Add(1)
+			go w.deliverLoop()
+		}
 	}
 	for _, mgr := range eng.managers {
 		if !mgr.adaptive {
@@ -381,6 +466,10 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 	if cfg.AckEnabled {
 		eng.auxWG.Add(1)
 		go eng.ackTicker()
+	}
+	if cfg.CreditWindow > 0 && cfg.Workers > 1 {
+		eng.auxWG.Add(1)
+		go eng.creditTicker()
 	}
 	for _, id := range topo.Order {
 		if iv := topo.Operators[id].TickInterval; iv > 0 && !topo.Operators[id].IsSpout {
@@ -625,6 +714,13 @@ func (e *Engine) registerObs() {
 	r.CounterFunc("dsps.decode_errors", m.DecodeErrors.Value)
 	r.CounterFunc("dsps.serializations", m.Serializations.Value)
 	r.CounterFunc("dsps.serialization_ns", m.SerializationNS.Value)
+	r.CounterFunc("dsps.credits_waited", m.CreditsWaited.Value)
+	r.CounterFunc("dsps.credit_wait_ns", m.CreditWaitNS.Value)
+	r.CounterFunc("dsps.credit_timeouts", m.CreditTimeouts.Value)
+	r.CounterFunc("dsps.credit_grants", m.CreditGrants.Value)
+	r.CounterFunc("dsps.tuples_shed", m.TuplesShed.Value)
+	r.CounterFunc("dsps.link_paused", m.LinkPauses.Value)
+	r.CounterFunc("dsps.drain_timeouts", m.DrainTimeouts.Value)
 	r.CounterFunc("multicast.switches", m.Switches.Value)
 	r.CounterFunc("multicast.switches_skipped", m.SkippedSwitches.Value)
 	r.HistogramFunc("dsps.processing_latency_ns", m.ProcessingLatency.Snapshot)
@@ -735,8 +831,16 @@ func (e *Engine) Drain(timeout time.Duration) bool {
 				empty = false
 				break
 			}
+			if w.fc != nil && w.fc.queued() > 0 {
+				empty = false
+				break
+			}
+			if w.stagedLen() > 0 {
+				empty = false
+				break
+			}
 			for _, ex := range w.executors {
-				if len(ex.in) > 0 {
+				if len(ex.in) > 0 || ex.overflowLen() > 0 {
 					empty = false
 					break
 				}
@@ -757,8 +861,12 @@ func (e *Engine) Drain(timeout time.Duration) bool {
 	return false
 }
 
-// Stop shuts the engine down: spouts first, then a drain, then bolts,
-// managers and the network.
+// Stop shuts the engine down: spouts first, then a bounded drain, then
+// bolts, managers, flow links and the network. Closing e.stopping first
+// bounds shutdown latency: send-retry backoffs and credit waits abort
+// instead of running out their schedules, so the drain flushes what it can
+// within DrainTimeout and a drain that still misses is reported rather
+// than silently ignored.
 func (e *Engine) Stop() {
 	e.mu.Lock()
 	if e.stopped {
@@ -768,8 +876,15 @@ func (e *Engine) Stop() {
 	e.stopped = true
 	e.mu.Unlock()
 
+	close(e.stopping)
 	e.StopSpouts()
-	e.Drain(2 * time.Second)
+	if !e.Drain(e.cfg.DrainTimeout) {
+		e.metrics.DrainTimeouts.Inc()
+		e.obs.Events.Append(obs.Event{
+			Kind:   obs.EventDrainTimeout,
+			Detail: fmt.Sprintf("engine stopped before quiescing within %v; in-flight tuples may be lost", e.cfg.DrainTimeout),
+		})
+	}
 	close(e.stopTick)
 	for _, mgr := range e.managers {
 		close(mgr.done)
@@ -781,6 +896,13 @@ func (e *Engine) Stop() {
 	for _, w := range e.workers {
 		w.wg.Wait()
 		w.sendWG.Wait()
+	}
+	// Flow links drain after the send loops stop feeding them; credit
+	// waits were already released by e.stopping.
+	for _, w := range e.workers {
+		if w.fc != nil {
+			w.fc.close()
+		}
 	}
 	// Best-effort teardown: workers are already joined, so a close error
 	// here has no one left to act on it.
@@ -809,7 +931,7 @@ func (e *Engine) userTicker(op string, interval time.Duration) {
 				if !ok {
 					continue
 				}
-				tick := tuple.AddressedTuple{TaskID: tid,
+				tick := tuple.AddressedTuple{TaskID: tid, Src: tuple.LocalSrc,
 					Data: &tuple.Tuple{Stream: StreamTick, RootEmitNS: now}}
 				select {
 				case ex.in <- tick:
@@ -841,7 +963,8 @@ func (e *Engine) ackTicker() {
 				if !ok {
 					continue
 				}
-				tick := tuple.AddressedTuple{TaskID: tid, Data: &tuple.Tuple{Stream: streamAckTick}}
+				tick := tuple.AddressedTuple{TaskID: tid, Src: tuple.LocalSrc,
+					Data: &tuple.Tuple{Stream: streamAckTick}}
 				select {
 				case ex.in <- tick:
 				case <-e.stopTick:

@@ -2,6 +2,7 @@ package dsps
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"whale/internal/obs"
@@ -95,6 +96,17 @@ type executor struct {
 
 	ops *opMetrics
 
+	// Admission overflow (flow-controlled mode only): remote tuples that
+	// found the input queue full are parked here and moved into `in` by the
+	// feeder goroutine, so the worker's delivery loop never blocks on one
+	// slow executor — a stalled task stops its own senders (grants are
+	// issued only when a tuple wins a queue seat), not its siblings'.
+	// Occupancy is bounded by the credit protocol: once grants stall, every
+	// upstream sender stops within its window.
+	ovMu     sync.Mutex
+	overflow []tuple.AddressedTuple
+	ovKick   chan struct{}
+
 	// Reliability state.
 	rng          *rand.Rand
 	pendingRoots map[int64]int64 // rootID -> spout msgID
@@ -117,6 +129,9 @@ func newExecutor(w *worker, ctx TaskContext, spec *OperatorSpec, rt *router, isS
 		ops:    ops,
 		rng:    rand.New(rand.NewSource(int64(ctx.TaskID)*7919 + 1)),
 	}
+	if w.fc != nil {
+		ex.ovKick = make(chan struct{}, 1)
+	}
 	ex.col = &Collector{ex: ex}
 	if spec.IsSpout {
 		ex.spout = spec.SpoutFn()
@@ -125,6 +140,45 @@ func newExecutor(w *worker, ctx TaskContext, spec *OperatorSpec, rt *router, isS
 		ex.bolt = spec.BoltFn()
 	}
 	return ex
+}
+
+// feed drains the admission overflow into the executor's input queue in
+// arrival order, granting each tuple's delivery unit once it wins a seat.
+// Runs only in flow-controlled mode.
+func (ex *executor) feed() {
+	defer ex.w.wg.Done()
+	for {
+		ex.ovMu.Lock()
+		if len(ex.overflow) > 0 {
+			at := ex.overflow[0]
+			ex.overflow[0] = tuple.AddressedTuple{}
+			ex.overflow = ex.overflow[1:]
+			ex.ovMu.Unlock()
+			select {
+			case ex.in <- at:
+				ex.w.grantData(at.Src, 1)
+			case <-ex.w.done:
+				return
+			}
+			continue
+		}
+		ex.ovMu.Unlock()
+		select {
+		case <-ex.ovKick:
+		case <-ex.w.done:
+			return
+		}
+	}
+}
+
+// overflowLen reports the admission overflow depth (drain accounting).
+func (ex *executor) overflowLen() int {
+	if ex.ovKick == nil {
+		return 0
+	}
+	ex.ovMu.Lock()
+	defer ex.ovMu.Unlock()
+	return len(ex.overflow)
 }
 
 // emit routes one tuple to all subscribers. It is the hot path: local

@@ -40,6 +40,10 @@ type failureDetector struct {
 	monitor  int32
 	lastSeen []atomic.Int64
 	state    []atomic.Int32
+	// degraded is the overload path's advisory marks: a subscriber paused
+	// past DegradedAfter is degraded — slow, not dead. It never feeds the
+	// fencing state machine above.
+	degraded []atomic.Bool
 }
 
 func newFailureDetector(e *Engine) *failureDetector {
@@ -48,6 +52,7 @@ func newFailureDetector(e *Engine) *failureDetector {
 		monitor:  0,
 		lastSeen: make([]atomic.Int64, e.cfg.Workers),
 		state:    make([]atomic.Int32, e.cfg.Workers),
+		degraded: make([]atomic.Bool, e.cfg.Workers),
 	}
 	now := time.Now().UnixNano()
 	for i := range fd.lastSeen {
@@ -63,6 +68,20 @@ func (fd *failureDetector) observe(from int32) {
 		return
 	}
 	fd.lastSeen[from].Store(time.Now().UnixNano())
+}
+
+// markDegraded flags a worker as degraded (slow-consumer overload path).
+func (fd *failureDetector) markDegraded(w int32) {
+	if w >= 0 && int(w) < len(fd.degraded) {
+		fd.degraded[w].Store(true)
+	}
+}
+
+// clearDegraded withdraws the degraded mark once the worker's link reopens.
+func (fd *failureDetector) clearDegraded(w int32) {
+	if w >= 0 && int(w) < len(fd.degraded) {
+		fd.degraded[w].Store(false)
+	}
 }
 
 // sweep advances the alive → suspect → dead state machine once.

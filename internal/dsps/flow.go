@@ -1,0 +1,688 @@
+package dsps
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whale/internal/obs"
+	"whale/internal/transport"
+	"whale/internal/tuple"
+)
+
+// This file implements the credit-based flow-control and overload-control
+// subsystem. Every directed data link (sender worker -> destination worker)
+// owns a credit window: the sender charges each outbound data message a cost
+// in delivery units, and the receiver grants units back as its executors
+// drain the corresponding tuples. Grants travel on the existing control
+// path as CtrlCredit messages carrying the receiver's *cumulative* drained
+// count, so they are idempotent and self-healing under loss, duplication
+// and reordering. On top of credits, a waterline state machine classifies
+// each link open -> throttled -> paused from queue depth and transport
+// pressure, and a pluggable shed policy decides what happens to besteffort
+// traffic when a link's queue is full; acked (tracked) tuples always block,
+// never shed.
+
+// ShedPolicy selects what a full flow-controlled link does with newly
+// arriving best-effort tuples. Tracked (acked) tuples are never shed
+// regardless of policy: reliability trees must observe every loss as a
+// timeout, not a silent disappearance.
+type ShedPolicy int
+
+const (
+	// ShedBlock blocks the producer until queue space frees (default).
+	ShedBlock ShedPolicy = iota
+	// ShedNewest drops the arriving tuple when the link queue is full.
+	ShedNewest
+	// ShedOldest evicts the oldest queued best-effort tuple to make room;
+	// if everything queued is tracked it falls back to blocking.
+	ShedOldest
+)
+
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedNewest:
+		return "shed-newest"
+	case ShedOldest:
+		return "shed-oldest"
+	}
+	return "block"
+}
+
+// Link states for the waterline machine.
+const (
+	linkStateOpen int32 = iota
+	linkStateThrottled
+	linkStatePaused
+)
+
+func linkStateName(s int32) string {
+	switch s {
+	case linkStateThrottled:
+		return "throttled"
+	case linkStatePaused:
+		return "paused"
+	}
+	return "open"
+}
+
+const (
+	// flowPoll bounds how long a credit-starved sender sleeps between
+	// re-checks when no kick arrives (lost kicks are impossible, but grants
+	// merged while the sender was deciding to sleep are not).
+	flowPoll = 5 * time.Millisecond
+	// creditRefreshInterval is the engine-wide cadence at which receivers
+	// rebroadcast their cumulative drained counters. Cumulative grants make
+	// the rebroadcast idempotent; it exists to heal grants lost in transit.
+	creditRefreshInterval = 50 * time.Millisecond
+)
+
+// flowItem is one encoded message queued on a flow link.
+type flowItem struct {
+	raw []byte
+	// cost is the delivery units the receiver will grant back for this
+	// message; sender and receiver compute it by the same rule.
+	cost int64
+	// tuples is how many user tuples shedding this item loses (accounted in
+	// dsps.tuples_shed).
+	tuples int64
+	// tracked marks messages carrying acked-stream tuples: never shed.
+	tracked bool
+}
+
+// flowControl is one worker's half of the credit protocol: the outbound
+// per-destination links (sender side) and the inbound per-source grant
+// accumulators (receiver side).
+type flowControl struct {
+	w *worker
+
+	window        int64
+	queueCap      int
+	policy        ShedPolicy
+	high, low     int
+	pauseAfter    time.Duration
+	degradedAfter time.Duration
+	creditTimeout time.Duration
+	grantEvery    int64
+
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	links map[int32]*flowLink
+	in    map[int32]*inboundCredit
+	wg    sync.WaitGroup
+}
+
+// inboundCredit accumulates delivery units owed to one upstream sender.
+type inboundCredit struct {
+	mu          sync.Mutex
+	drained     int64 // cumulative units drained; the value grants carry
+	sinceGrant  int64 // units accumulated since the last grant was sent
+	rebroadcast int64 // cumulative value carried by the last ticker rebroadcast
+}
+
+// flowLink is the sender side of one directed link: a bounded FIFO drained
+// by a dedicated goroutine that spends credits before each send. One slow
+// destination therefore stalls only its own link; siblings keep draining.
+type flowLink struct {
+	fc  *flowControl
+	dst int32
+
+	mu      sync.Mutex
+	queue   []flowItem
+	sent    int64 // cumulative units charged for delivered-to-transport sends
+	granted int64 // cumulative units granted back by the receiver
+	shed    int64 // tuples shed on this link
+
+	kick  chan struct{} // cap 1: new work or new credit
+	space chan struct{} // cap 1: a queue slot freed
+
+	state       atomic.Int32
+	busy        atomic.Int32 // 1 while an item is popped but not yet sent
+	pausedSince time.Time    // guarded by mu; zero when not paused
+	degraded    bool         // guarded by mu
+}
+
+// signal makes ch readable without blocking (cap-1 edge-triggered signal).
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+func newFlowControl(w *worker) *flowControl {
+	cfg := w.eng.cfg
+	fc := &flowControl{
+		w:             w,
+		window:        int64(cfg.CreditWindow),
+		queueCap:      cfg.LinkQueueCap,
+		policy:        cfg.ShedPolicy,
+		high:          cfg.HighWaterline,
+		low:           cfg.LowWaterline,
+		pauseAfter:    cfg.PauseAfter,
+		degradedAfter: cfg.DegradedAfter,
+		creditTimeout: cfg.CreditTimeout,
+		links:         map[int32]*flowLink{},
+		in:            map[int32]*inboundCredit{},
+	}
+	fc.grantEvery = fc.window / 8
+	if fc.grantEvery < 1 {
+		fc.grantEvery = 1
+	}
+	return fc
+}
+
+// linkTo returns the flow link toward dst, creating it (and its sender
+// goroutine) on first use.
+func (fc *flowControl) linkTo(dst int32) *flowLink {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	l, ok := fc.links[dst]
+	if !ok {
+		l = &flowLink{
+			fc:    fc,
+			dst:   dst,
+			kick:  make(chan struct{}, 1),
+			space: make(chan struct{}, 1),
+		}
+		fc.links[dst] = l
+		fc.wg.Add(1)
+		go l.run()
+	}
+	return l
+}
+
+// push enqueues one encoded message toward dst, applying the shed policy
+// when the link queue is full. It blocks only under ShedBlock (or for
+// tracked items), and always returns promptly once the engine is stopping.
+// Time spent blocked on a full queue is accumulated in the worker's
+// pushBlockedNS (send-thread-local) so emit-time accounting can exclude
+// backpressure stalls.
+func (fc *flowControl) push(dst int32, it flowItem) {
+	if fc.w.eng.workerDead(dst) {
+		fc.w.eng.metrics.SendsSuppressed.Inc()
+		return
+	}
+	l := fc.linkTo(dst)
+	var blocked time.Duration
+	defer func() {
+		if blocked > 0 {
+			fc.w.pushBlockedNS += blocked.Nanoseconds()
+		}
+	}()
+	for {
+		l.mu.Lock()
+		if len(l.queue) < fc.queueCap || fc.draining.Load() {
+			l.queue = append(l.queue, it)
+			l.mu.Unlock()
+			signal(l.kick)
+			return
+		}
+		// Queue full: shed or block per policy. Tracked items always block.
+		if !it.tracked {
+			switch fc.policy {
+			case ShedNewest:
+				l.shed += it.tuples
+				l.mu.Unlock()
+				fc.w.eng.metrics.TuplesShed.Add(it.tuples)
+				return
+			case ShedOldest:
+				if i := oldestUntracked(l.queue); i >= 0 {
+					shed := l.queue[i].tuples
+					l.queue = append(l.queue[:i], l.queue[i+1:]...)
+					l.queue = append(l.queue, it)
+					l.shed += shed
+					l.mu.Unlock()
+					fc.w.eng.metrics.TuplesShed.Add(shed)
+					signal(l.kick)
+					return
+				}
+				// Everything queued is tracked: fall through to block.
+			}
+		}
+		l.mu.Unlock()
+		t0 := time.Now()
+		select {
+		case <-l.space:
+			blocked += time.Since(t0)
+		case <-fc.w.done:
+			return
+		case <-fc.w.eng.stopping:
+			// Shutdown: accept over capacity so the drain still flushes it.
+			l.mu.Lock()
+			l.queue = append(l.queue, it)
+			l.mu.Unlock()
+			signal(l.kick)
+			return
+		}
+	}
+}
+
+// oldestUntracked returns the index of the first best-effort item in q, or
+// -1 when every queued item is tracked.
+func oldestUntracked(q []flowItem) int {
+	for i := range q {
+		if !q[i].tracked {
+			return i
+		}
+	}
+	return -1
+}
+
+// run is the link's sender goroutine: pop, await credit, send, observe.
+func (l *flowLink) run() {
+	defer l.fc.wg.Done()
+	for {
+		it, ok := l.pop()
+		if !ok {
+			return
+		}
+		l.awaitCredit(it.cost)
+		if l.fc.w.send(l.dst, it.raw) {
+			l.mu.Lock()
+			l.sent += it.cost
+			l.mu.Unlock()
+		}
+		l.busy.Store(0)
+		l.observe()
+	}
+}
+
+// pop dequeues the next item, blocking until work arrives or the link
+// drains empty during shutdown.
+func (l *flowLink) pop() (flowItem, bool) {
+	for {
+		l.mu.Lock()
+		if len(l.queue) > 0 {
+			it := l.queue[0]
+			l.queue[0] = flowItem{}
+			l.queue = l.queue[1:]
+			l.busy.Store(1)
+			l.mu.Unlock()
+			signal(l.space)
+			return it, true
+		}
+		l.mu.Unlock()
+		if l.fc.draining.Load() {
+			return flowItem{}, false
+		}
+		select {
+		case <-l.kick:
+		case <-time.After(flowPoll * 10):
+			// Poll fallback covers the close() race where draining is set
+			// just after the check above but the kick was already consumed.
+		}
+	}
+}
+
+// awaitCredit blocks until the link has window room for cost units, the
+// credit timeout elapses (grant loss healing), or the engine stops. It also
+// drives the pause/degraded transitions: a pause means one *continuous*
+// credit wait exceeded pauseAfter — the receiver is effectively not
+// draining, not merely slow.
+func (l *flowLink) awaitCredit(cost int64) {
+	fc := l.fc
+	var t0 time.Time
+	defer func() {
+		if !t0.IsZero() {
+			fc.w.eng.metrics.CreditWaitNS.Add(time.Since(t0).Nanoseconds())
+		}
+	}()
+	for {
+		if fc.draining.Load() || fc.w.eng.workerDead(l.dst) {
+			return
+		}
+		l.mu.Lock()
+		out := l.sent - l.granted
+		l.mu.Unlock()
+		if out <= 0 || out+cost <= fc.window {
+			return
+		}
+		select {
+		case <-fc.w.eng.stopping:
+			return
+		default:
+		}
+		now := time.Now()
+		if t0.IsZero() {
+			t0 = now
+			fc.w.eng.metrics.CreditsWaited.Inc()
+		}
+		l.advancePause(now, now.Sub(t0))
+		if now.Sub(t0) >= fc.creditTimeout {
+			// The receiver has been silent for a full timeout: assume the
+			// grants were lost in transit and forgive the debt, otherwise a
+			// lossy control path wedges the link forever. The periodic
+			// cumulative rebroadcast re-synchronizes the true value.
+			fc.w.eng.metrics.CreditTimeouts.Inc()
+			l.mu.Lock()
+			l.granted = l.sent
+			l.mu.Unlock()
+			return
+		}
+		select {
+		case <-l.kick:
+		case <-time.After(flowPoll):
+		case <-fc.w.done:
+			return
+		case <-fc.w.eng.stopping:
+			return
+		}
+	}
+}
+
+// advancePause updates the pause/degraded state from one continuous credit
+// wait of duration starved. Called only from the link goroutine.
+func (l *flowLink) advancePause(now time.Time, starved time.Duration) {
+	fc := l.fc
+	l.mu.Lock()
+	if l.pausedSince.IsZero() {
+		if starved < fc.pauseAfter {
+			l.mu.Unlock()
+			return
+		}
+		l.pausedSince = now
+		l.degraded = false
+		l.state.Store(linkStatePaused)
+		l.mu.Unlock()
+		fc.w.eng.metrics.LinkPauses.Inc()
+		fc.w.eng.obs.Events.Append(obs.Event{
+			Kind: obs.EventLinkPaused, Worker: fc.w.id, Peer: l.dst,
+			Detail: "credit-starved past pause threshold",
+		})
+		return
+	}
+	if !l.degraded && fc.degradedAfter > 0 && now.Sub(l.pausedSince) >= fc.degradedAfter {
+		l.degraded = true
+		paused := now.Sub(l.pausedSince)
+		l.mu.Unlock()
+		fc.w.eng.reportDegraded(fc.w.id, l.dst, paused)
+		return
+	}
+	l.mu.Unlock()
+}
+
+// observe runs the waterline state machine after each send: queue depth and
+// transport pressure drive open -> throttled; drained-below-low plus
+// available credit reopens a throttled or paused link.
+func (l *flowLink) observe() {
+	fc := l.fc
+	l.mu.Lock()
+	qlen := len(l.queue)
+	out := l.sent - l.granted
+	wasDegraded := l.degraded
+	paused := !l.pausedSince.IsZero()
+	l.mu.Unlock()
+
+	depth := 0
+	if fc.queueCap > 0 {
+		depth = qlen * 100 / fc.queueCap
+	}
+	if p := fc.w.tr.Pressure(transport.WorkerID(l.dst)); p > depth {
+		depth = p
+	}
+
+	switch l.state.Load() {
+	case linkStateOpen:
+		if depth >= fc.high {
+			l.state.Store(linkStateThrottled)
+			fc.w.eng.obs.Events.Append(obs.Event{
+				Kind: obs.EventLinkThrottled, Worker: fc.w.id, Peer: l.dst,
+				QueueLen: qlen,
+			})
+		}
+	case linkStateThrottled, linkStatePaused:
+		if depth <= fc.low && out < fc.window {
+			l.state.Store(linkStateOpen)
+			l.mu.Lock()
+			l.pausedSince = time.Time{}
+			l.degraded = false
+			l.mu.Unlock()
+			if paused && wasDegraded {
+				fc.w.eng.clearDegraded(l.dst)
+			}
+			fc.w.eng.obs.Events.Append(obs.Event{
+				Kind: obs.EventLinkOpen, Worker: fc.w.id, Peer: l.dst,
+				QueueLen: qlen,
+			})
+		}
+	}
+}
+
+// grant accumulates n delivery units owed to sender src and flushes a
+// cumulative grant once enough accumulate. n <= 0 and local sources are
+// ignored by the caller (worker.grantData).
+func (fc *flowControl) grant(src int32, n int64) {
+	in := fc.inboundFor(src)
+	in.mu.Lock()
+	in.drained += n
+	in.sinceGrant += n
+	flush := in.sinceGrant >= fc.grantEvery
+	var cum int64
+	if flush {
+		in.sinceGrant = 0
+		cum = in.drained
+	}
+	in.mu.Unlock()
+	if flush {
+		fc.sendGrant(src, cum)
+	}
+}
+
+func (fc *flowControl) inboundFor(src int32) *inboundCredit {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	in, ok := fc.in[src]
+	if !ok {
+		in = &inboundCredit{}
+		fc.in[src] = in
+	}
+	return in
+}
+
+// sendGrant ships one cumulative CtrlCredit directly on the transport,
+// bypassing the transfer queue and the flow links: grants must flow even
+// when every data path is congested, and must never consume credit
+// themselves.
+func (fc *flowControl) sendGrant(to int32, cumulative int64) {
+	w := fc.w
+	if w.eng.workerDead(to) {
+		return
+	}
+	cm := tuple.ControlMessage{Type: tuple.CtrlCredit, Node: w.id, Credits: cumulative}
+	raw := tuple.AppendWorkerMessage(nil, &tuple.WorkerMessage{
+		Kind:    tuple.KindControl,
+		Payload: tuple.AppendControlMessage(nil, &cm),
+	})
+	w.eng.metrics.CreditGrants.Inc()
+	// Grant loss is tolerable: the cumulative rebroadcast and the sender's
+	// credit timeout both heal it.
+	_ = w.tr.Send(transport.WorkerID(to), raw)
+}
+
+// rebroadcast resends every non-zero cumulative drained counter. Called on
+// the engine's credit ticker; because grants are cumulative this is
+// idempotent and heals any grant lost in transit.
+func (fc *flowControl) rebroadcast() {
+	fc.mu.Lock()
+	type pending struct {
+		src int32
+		cum int64
+	}
+	out := make([]pending, 0, len(fc.in))
+	for src, in := range fc.in {
+		in.mu.Lock()
+		// Resend only counters that moved since the last rebroadcast: a
+		// steady stream of redundant grants competes with data for a slow
+		// receiver's inbound queue and can starve the very link the grants
+		// are meant to open. Each new value is still retransmitted once
+		// after the inline grant, and a sender that loses both copies heals
+		// through its credit timeout.
+		if in.drained > 0 && in.drained != in.rebroadcast {
+			out = append(out, pending{src: src, cum: in.drained})
+			in.sinceGrant = 0
+			in.rebroadcast = in.drained
+		}
+		in.mu.Unlock()
+	}
+	fc.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].src < out[j].src })
+	for _, p := range out {
+		fc.sendGrant(p.src, p.cum)
+	}
+}
+
+// onGrant merges one received cumulative grant into the link toward the
+// granting worker. Duplicates and reordering are harmless (max-merge); the
+// cumulative value is clamped to what was actually charged so a corrupt or
+// replayed grant can never inflate the window.
+func (fc *flowControl) onGrant(from int32, cumulative int64) {
+	fc.mu.Lock()
+	l, ok := fc.links[from]
+	fc.mu.Unlock()
+	if !ok {
+		return
+	}
+	l.mu.Lock()
+	if cumulative > l.sent {
+		cumulative = l.sent
+	}
+	if cumulative > l.granted {
+		l.granted = cumulative
+	}
+	l.mu.Unlock()
+	signal(l.kick)
+}
+
+// queued reports the total work not yet handed to the transport: queued
+// items plus any item popped but still waiting for credit. Drain polls it.
+func (fc *flowControl) queued() int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	n := 0
+	for _, l := range fc.links {
+		l.mu.Lock()
+		n += len(l.queue)
+		l.mu.Unlock()
+		n += int(l.busy.Load())
+	}
+	return n
+}
+
+// close flushes and joins every link goroutine. Called after the transfer
+// send loops have stopped, so no new pushes arrive; credit waits abort via
+// eng.stopping, and pop returns false once the queue empties.
+func (fc *flowControl) close() {
+	fc.draining.Store(true)
+	fc.mu.Lock()
+	links := make([]*flowLink, 0, len(fc.links))
+	for _, l := range fc.links {
+		links = append(links, l)
+	}
+	fc.mu.Unlock()
+	for _, l := range links {
+		signal(l.kick)
+		signal(l.space)
+	}
+	fc.wg.Wait()
+}
+
+// LinkStat is one flow-controlled link's public snapshot.
+type LinkStat struct {
+	From, To    int32
+	State       string
+	Queued      int
+	Outstanding int64 // delivery units charged but not yet granted back
+	Shed        int64 // tuples shed on this link
+}
+
+// LinkStats snapshots every flow-controlled link, ordered by (From, To).
+// Empty when flow control is disabled.
+func (e *Engine) LinkStats() []LinkStat {
+	var out []LinkStat
+	for _, w := range e.workers {
+		fc := w.fc
+		if fc == nil {
+			continue
+		}
+		fc.mu.Lock()
+		for dst, l := range fc.links {
+			l.mu.Lock()
+			out = append(out, LinkStat{
+				From:        w.id,
+				To:          dst,
+				State:       linkStateName(l.state.Load()),
+				Queued:      len(l.queue) + int(l.busy.Load()),
+				Outstanding: l.sent - l.granted,
+				Shed:        l.shed,
+			})
+			l.mu.Unlock()
+		}
+		fc.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// creditTicker periodically rebroadcasts cumulative grants from every
+// worker, healing grants lost to faults. Runs only when flow control is on.
+func (e *Engine) creditTicker() {
+	defer e.auxWG.Done()
+	ticker := time.NewTicker(creditRefreshInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopTick:
+			return
+		case <-ticker.C:
+			for _, w := range e.workers {
+				if w.fc != nil {
+					w.fc.rebroadcast()
+				}
+			}
+		}
+	}
+}
+
+// reportDegraded surfaces a subscriber paused past the degraded threshold:
+// an event for operators, plus an advisory degraded mark on the failure
+// detector path (never a fencing decision — the worker is slow, not dead).
+func (e *Engine) reportDegraded(from, peer int32, pausedFor time.Duration) {
+	if fd := e.detector; fd != nil {
+		fd.markDegraded(peer)
+	}
+	e.obs.Events.Append(obs.Event{
+		Kind: obs.EventWorkerDegraded, Worker: peer, Peer: from,
+		Detail: "subscriber paused for " + pausedFor.String(),
+	})
+}
+
+// clearDegraded withdraws the advisory degraded mark once the link reopens.
+func (e *Engine) clearDegraded(peer int32) {
+	if fd := e.detector; fd != nil {
+		fd.clearDegraded(peer)
+	}
+}
+
+// DegradedWorkers lists workers currently marked degraded by the overload
+// path (paused subscriber past DegradedAfter), ascending. Advisory only.
+func (e *Engine) DegradedWorkers() []int32 {
+	fd := e.detector
+	if fd == nil {
+		return nil
+	}
+	var out []int32
+	for i := range fd.degraded {
+		if fd.degraded[i].Load() {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}

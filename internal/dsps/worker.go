@@ -41,6 +41,7 @@ type sendJob struct {
 	tasksByWorker map[int32][]int32
 	dstWorkers    []int32
 	raw           []byte
+	tracked       bool // carries acked-stream tuples (jobRelay): never shed
 }
 
 // groupState is one worker's view of a multicast group: the versioned trees
@@ -90,6 +91,16 @@ func (g *groupState) activate(version int32) {
 	g.mu.Unlock()
 }
 
+// inboundData is one decoded data message staged for the delivery
+// goroutine (flow-controlled mode only). Transports hand the handler
+// ownership of the payload, so staging the decoded message (whose byte
+// fields alias the payload) is safe without a copy.
+type inboundData struct {
+	from int32
+	msg  *tuple.WorkerMessage
+	raw  []byte // the full encoded message, for relay forwarding
+}
+
 // worker hosts a set of executors, one transfer queue with a send thread,
 // and the dispatcher fed by the transport.
 type worker struct {
@@ -101,13 +112,28 @@ type worker struct {
 	groups    map[int32]*groupState
 	enc       *tuple.Encoder
 	rng       *rand.Rand // retry jitter; only touched from the send thread
-	done      chan struct{}
-	wg        sync.WaitGroup
-	sendWG    sync.WaitGroup
+	fc        *flowControl
+	// pushBlockedNS accumulates time the send thread spent blocked on a
+	// full flow link during the current job. Only touched from the send
+	// thread; recordTe subtracts it so the multicast controller's per-replica
+	// emit cost reflects serialize+transmit work, not backpressure stalls —
+	// otherwise a congested link reads as "emitting got expensive" and the
+	// controller wrongly deepens the tree.
+	pushBlockedNS int64
+	done          chan struct{}
+	wg            sync.WaitGroup
+	sendWG        sync.WaitGroup
+
+	// Staged inbound data messages (flow-controlled mode): the transport
+	// handler appends, the delivery goroutine drains. Guarded by stageMu;
+	// stageKick is the cap-1 wakeup.
+	stageMu   sync.Mutex
+	staged    []inboundData
+	stageKick chan struct{}
 }
 
 func newWorker(eng *Engine, id int32) *worker {
-	return &worker{
+	w := &worker{
 		id:        id,
 		eng:       eng,
 		executors: map[int32]*executor{},
@@ -117,6 +143,31 @@ func newWorker(eng *Engine, id int32) *worker {
 		rng:       rand.New(rand.NewSource(int64(id)*104729 + 7)),
 		done:      make(chan struct{}),
 	}
+	if eng.cfg.CreditWindow > 0 && eng.cfg.Workers > 1 {
+		w.fc = newFlowControl(w)
+		w.stageKick = make(chan struct{}, 1)
+	}
+	return w
+}
+
+// sendData routes one encoded data message to dst through flow control
+// when enabled, or straight to the retrying transport path otherwise. The
+// flow-controlled path always reports true: delivery becomes asynchronous.
+func (w *worker) sendData(dst int32, raw []byte, cost, tuples int64, tracked bool) bool {
+	if w.fc != nil {
+		w.fc.push(dst, flowItem{raw: raw, cost: cost, tuples: tuples, tracked: tracked})
+		return true
+	}
+	return w.send(dst, raw)
+}
+
+// grantData credits n delivery units back to the upstream sender src. Local
+// deliveries (src == tuple.LocalSrc) and unknown worker ids owe nothing.
+func (w *worker) grantData(src int32, n int64) {
+	if w.fc == nil || n <= 0 || src < 0 || int(src) >= len(w.eng.workers) {
+		return
+	}
+	w.fc.grant(src, n)
 }
 
 // enqueueLocal delivers a tuple to a local executor (Storm's local fast
@@ -128,9 +179,52 @@ func (w *worker) enqueueLocal(dst int32, tp *tuple.Tuple) {
 		return
 	}
 	select {
-	case ex.in <- tuple.AddressedTuple{TaskID: dst, Data: tp}:
+	case ex.in <- tuple.AddressedTuple{TaskID: dst, Src: tuple.LocalSrc, Data: tp}:
 	case <-w.done:
 	}
+}
+
+// enqueueRemote delivers a remotely received tuple to a local executor and
+// grants the delivery unit back once the tuple is seated in the executor's
+// input queue. Granting on admission — not on executor drain — matters on
+// cyclic worker graphs: an executor can block mid-Execute on its own
+// credit-starved downstream emit, and drain-time grants then let two
+// mutually-loaded workers starve each other into timeout-paced stalls.
+// In flow-controlled mode a full input queue parks the tuple on the
+// executor's admission overflow instead of blocking: the delivery loop
+// must keep moving so one slow executor only starves its own senders
+// (grants for its tuples stall at the feeder) while siblings on the same
+// worker keep receiving and granting. It reports whether the tuple entered
+// an executor queue — a missing executor means the unit must be granted
+// back by the caller instead.
+func (w *worker) enqueueRemote(from int32, dst int32, tp *tuple.Tuple) bool {
+	ex, ok := w.executors[dst]
+	if !ok {
+		w.eng.metrics.RouteErrors.Inc()
+		return false
+	}
+	at := tuple.AddressedTuple{TaskID: dst, Src: from, Data: tp}
+	if w.fc != nil {
+		ex.ovMu.Lock()
+		if len(ex.overflow) == 0 {
+			select {
+			case ex.in <- at:
+				ex.ovMu.Unlock()
+				w.grantData(from, 1)
+				return true
+			default:
+			}
+		}
+		ex.overflow = append(ex.overflow, at)
+		ex.ovMu.Unlock()
+		signal(ex.ovKick)
+		return true
+	}
+	select {
+	case ex.in <- at:
+	case <-w.done:
+	}
+	return true
 }
 
 // enqueueSend pushes a job onto the transfer queue, blocking when the queue
@@ -207,10 +301,19 @@ func (w *worker) encodeTuple(tp *tuple.Tuple) ([]byte, error) {
 	return payload, err
 }
 
+// tupleTracked reports whether tp must never be shed by a full flow link:
+// tuples anchored in a reliability tree, and the ack-plane control tuples
+// themselves — shedding an ack would strand its tree until the ack timeout
+// even though the data arrived.
+func tupleTracked(tp *tuple.Tuple) bool {
+	return tp.RootID != 0 || isAckStream(tp.Stream)
+}
+
 func (w *worker) process(j sendJob) {
 	m := w.eng.metrics
 	switch j.kind {
 	case jobPointToPoint:
+		w.pushBlockedNS = 0
 		t0 := time.Now()
 		payload, err := w.encodeTuple(j.tp)
 		if err != nil {
@@ -219,11 +322,11 @@ func (w *worker) process(j sendJob) {
 		}
 		msg := tuple.WorkerMessage{Kind: tuple.KindInstanceMessage, DstIDs: []int32{j.dstTask}, Payload: payload}
 		t1 := time.Now()
-		if !w.send(j.dstWorker, tuple.AppendWorkerMessage(nil, &msg)) {
+		if !w.sendData(j.dstWorker, tuple.AppendWorkerMessage(nil, &msg), 1, 1, tupleTracked(j.tp)) {
 			return
 		}
 		w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t1, time.Since(t1))
-		w.recordTe(j.tp.SrcTask, time.Since(t0))
+		w.recordTe(j.tp.SrcTask, time.Since(t0)-time.Duration(w.pushBlockedNS))
 
 	case jobWorkerBatch:
 		payload, err := w.encodeTuple(j.tp)
@@ -237,13 +340,19 @@ func (w *worker) process(j sendJob) {
 		}
 		sort.Slice(workers, func(i, k int) bool { return workers[i] < workers[k] })
 		for _, dw := range workers {
+			w.pushBlockedNS = 0
 			t0 := time.Now()
 			msg := tuple.WorkerMessage{Kind: tuple.KindWorkerMessage, DstIDs: j.tasksByWorker[dw], Payload: payload}
-			if !w.send(dw, tuple.AppendWorkerMessage(nil, &msg)) {
+			n := int64(len(j.tasksByWorker[dw]))
+			cost := n
+			if cost < 1 {
+				cost = 1
+			}
+			if !w.sendData(dw, tuple.AppendWorkerMessage(nil, &msg), cost, n, tupleTracked(j.tp)) {
 				continue
 			}
 			w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t0, time.Since(t0))
-			w.recordTe(j.tp.SrcTask, time.Since(t0))
+			w.recordTe(j.tp.SrcTask, time.Since(t0)-time.Duration(w.pushBlockedNS))
 		}
 
 	case jobMulticast:
@@ -269,22 +378,32 @@ func (w *worker) process(j sendJob) {
 		}
 		raw := tuple.AppendWorkerMessage(nil, &msg)
 		for _, child := range tr.Children(w.id) {
+			w.pushBlockedNS = 0
 			t0 := time.Now()
-			if !w.send(child, raw) {
+			if !w.sendData(child, raw, w.multicastCost(j.group, child), int64(len(w.eng.groupLocalTasks(j.group, child))), tupleTracked(j.tp)) {
 				continue
 			}
 			w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t0, time.Since(t0))
-			w.recordTe(j.tp.SrcTask, time.Since(t0))
+			w.recordTe(j.tp.SrcTask, time.Since(t0)-time.Duration(w.pushBlockedNS))
 		}
 
 	case jobRelay:
 		for _, dw := range j.dstWorkers {
-			w.send(dw, j.raw)
+			w.sendData(dw, j.raw, w.multicastCost(j.group, dw), int64(len(w.eng.groupLocalTasks(j.group, dw))), j.tracked)
 		}
 
 	case jobControl:
 		w.send(j.dstWorker, j.raw)
 	}
+}
+
+// multicastCost is the delivery units one multicast message costs toward
+// child: one relay-acceptance unit (granted when the child finishes
+// relay routing — the hop-by-hop backpressure signal) plus one unit per
+// subscribed task local to the child. Sender and receiver must agree on
+// this rule exactly; it deliberately does not depend on the tree version.
+func (w *worker) multicastCost(gid, child int32) int64 {
+	return 1 + int64(len(w.eng.groupLocalTasks(gid, child)))
 }
 
 // send delivers raw to worker dst from the send thread, with bounded
@@ -312,6 +431,11 @@ func (w *worker) send(dst int32, raw []byte) bool {
 		case <-w.done:
 			w.eng.metrics.SendErrors.Inc()
 			return false
+		case <-w.eng.stopping:
+			// Engine shutdown bounds the total backoff: without this, Stop
+			// could wait out the full exponential schedule per queued send.
+			w.eng.metrics.SendErrors.Inc()
+			return false
 		}
 		if w.eng.workerDead(dst) {
 			w.eng.metrics.SendsSuppressed.Inc()
@@ -330,12 +454,29 @@ func (w *worker) send(dst int32, raw []byte) bool {
 // recordTe feeds the per-replica processing time to the source task's group
 // monitor if one exists (only multicast sources adapt).
 func (w *worker) recordTe(srcTask int32, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
 	if mgr := w.eng.managerForTask(srcTask); mgr != nil {
 		mgr.qm.RecordEmit(d.Nanoseconds())
 	}
 }
 
 // dispatch is the transport inbound handler: Whale's dispatcher component.
+//
+// Without flow control it delivers data inline (the seed behavior). With
+// flow control on, data messages are staged to a worker-local queue drained
+// by a dedicated delivery goroutine while control messages keep being
+// handled inline — crucially including CtrlCredit grants. With a single
+// serial inbound handler, a grant queued behind data wedges the whole
+// worker: the delivery path can block on a full executor queue whose bolt
+// is itself blocked emitting on a credit-starved link, and the grant that
+// would reopen that link then sits unprocessed behind the data in front of
+// it — a distributed cycle broken only by the credit timeout. Handling
+// control inline makes grant processing independent of data-path progress.
+// The staged queue is unbounded but its occupancy is bounded by the credit
+// protocol itself: no sender can have more than a window of units in
+// flight, so staging holds at most the sum of the incoming links' windows.
 func (w *worker) dispatch(from transport.WorkerID, payload []byte) {
 	// Any inbound message is liveness evidence; explicit heartbeats only
 	// matter on otherwise-idle links.
@@ -347,47 +488,128 @@ func (w *worker) dispatch(from transport.WorkerID, payload []byte) {
 		w.eng.metrics.DecodeErrors.Inc()
 		return
 	}
+	if w.fc != nil {
+		if msg.Kind == tuple.KindControl {
+			cm, _, err := tuple.DecodeControlMessage(msg.Payload)
+			if err != nil {
+				w.eng.metrics.DecodeErrors.Inc()
+				return
+			}
+			w.handleControl(from, cm)
+			return
+		}
+		w.stageMu.Lock()
+		w.staged = append(w.staged, inboundData{from: int32(from), msg: msg, raw: payload})
+		w.stageMu.Unlock()
+		signal(w.stageKick)
+		return
+	}
+	w.deliverData(from, msg, payload)
+}
+
+// deliverLoop drains the staged inbound data queue in arrival order. Only
+// runs in flow-controlled mode; it may block on executor admission or a
+// full transfer queue — that blocking is the backpressure signal (grants
+// are withheld), and it never delays control-message processing.
+func (w *worker) deliverLoop() {
+	defer w.wg.Done()
+	for {
+		w.stageMu.Lock()
+		if len(w.staged) > 0 {
+			it := w.staged[0]
+			w.staged[0] = inboundData{}
+			w.staged = w.staged[1:]
+			w.stageMu.Unlock()
+			w.deliverData(transport.WorkerID(it.from), it.msg, it.raw)
+			continue
+		}
+		w.stageMu.Unlock()
+		select {
+		case <-w.stageKick:
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// stagedLen reports the number of staged inbound data messages (drain
+// accounting).
+func (w *worker) stagedLen() int {
+	if w.fc == nil {
+		return 0
+	}
+	w.stageMu.Lock()
+	defer w.stageMu.Unlock()
+	return len(w.staged)
+}
+
+// deliverData routes one decoded inbound message to local executors (and,
+// for multicast, onto the relay path). raw is the full encoded message the
+// handler received — owned by us per the transport contract — forwarded
+// verbatim by relays.
+func (w *worker) deliverData(from transport.WorkerID, msg *tuple.WorkerMessage, raw []byte) {
 	switch msg.Kind {
 	case tuple.KindInstanceMessage, tuple.KindWorkerMessage:
 		t0 := time.Now()
+		src := int32(from)
+		// The sender charged max(1, len(DstIDs)) units; every unit must be
+		// granted back — on drain for delivered tuples, immediately for the
+		// ones that can never drain (decode error, missing executor).
+		total := int64(len(msg.DstIDs))
+		if total < 1 {
+			total = 1
+		}
 		tp, _, err := tuple.DecodeTuple(msg.Payload)
 		if err != nil {
 			w.eng.metrics.DecodeErrors.Inc()
+			w.grantData(src, total)
 			return
 		}
 		if msg.Kind == tuple.KindWorkerMessage && tp.RootEmitNS > 0 {
 			w.eng.metrics.MulticastLatency.Observe(time.Now().UnixNano() - tp.RootEmitNS)
 		}
+		var delivered int64
 		for _, dst := range msg.DstIDs {
-			w.enqueueLocal(dst, tp)
+			if w.enqueueRemote(src, dst, tp) {
+				delivered++
+			}
+		}
+		if total > delivered {
+			w.grantData(src, total-delivered)
 		}
 		w.eng.obs.Tracer.Record(tp.TraceID, obs.StageDispatch, w.id, t0, time.Since(t0))
 
 	case tuple.KindMulticastMessage:
+		src := int32(from)
+		localCost := int64(len(w.eng.groupLocalTasks(msg.Group, w.id)))
 		gs, ok := w.groups[msg.Group]
 		if !ok {
 			w.eng.metrics.DecodeErrors.Inc()
+			w.grantData(src, 1+localCost)
 			return
 		}
-		// Forward first: relaying before local processing keeps the
-		// pipeline moving down the tree.
 		t0 := time.Now()
+		tp, _, err := tuple.DecodeTuple(msg.Payload)
+		if err != nil {
+			w.eng.metrics.DecodeErrors.Inc()
+			w.grantData(src, 1+localCost)
+			return
+		}
 		relayed := false
 		if tr, ok := gs.tree(msg.TreeVersion); ok {
 			if children := tr.Children(w.id); len(children) > 0 {
-				raw := make([]byte, len(payload))
-				copy(raw, payload)
-				w.enqueueSend(sendJob{kind: jobRelay, raw: raw, dstWorkers: children})
+				w.enqueueSend(sendJob{kind: jobRelay, raw: raw, dstWorkers: children,
+					group: msg.Group, tracked: tupleTracked(tp)})
 				relayed = true
 			}
 		} else {
 			w.eng.metrics.RouteErrors.Inc()
 		}
-		tp, _, err := tuple.DecodeTuple(msg.Payload)
-		if err != nil {
-			w.eng.metrics.DecodeErrors.Inc()
-			return
-		}
+		// Relay-acceptance unit: granted only once the message has a seat
+		// on the transfer queue (enqueueSend blocks when it is full), so a
+		// congested relay withholds the grant and the parent stalls —
+		// backpressure propagates up the tree hop by hop.
+		w.grantData(src, 1)
 		if relayed {
 			// The trace ID is only known after decode; the hop covers the
 			// relay copy + enqueue that preceded it.
@@ -398,7 +620,9 @@ func (w *worker) dispatch(from transport.WorkerID, payload []byte) {
 		}
 		t1 := time.Now()
 		for _, dst := range w.eng.groupLocalTasks(msg.Group, w.id) {
-			w.enqueueLocal(dst, tp)
+			if !w.enqueueRemote(src, dst, tp) {
+				w.grantData(src, 1)
+			}
 		}
 		w.eng.obs.Tracer.Record(tp.TraceID, obs.StageDispatch, w.id, t1, time.Since(t1))
 
@@ -442,6 +666,11 @@ func (w *worker) handleControl(from transport.WorkerID, cm *tuple.ControlMessage
 	case tuple.CtrlAck:
 		if mgr := w.eng.managers[cm.Group]; mgr != nil {
 			mgr.handleAck(cm.Version, cm.Node)
+		}
+
+	case tuple.CtrlCredit:
+		if w.fc != nil {
+			w.fc.onGrant(int32(from), cm.Credits)
 		}
 
 	case tuple.CtrlHeartbeat:

@@ -31,6 +31,23 @@ const (
 	// EventWorkerDead: a suspected worker stayed silent past the
 	// confirmation timeout and was declared failed; tree repair follows.
 	EventWorkerDead = "worker-dead"
+	// EventLinkThrottled: a flow-controlled link crossed the high waterline.
+	// Worker is the sender, Peer the congested destination.
+	EventLinkThrottled = "link-throttled"
+	// EventLinkPaused: a link's sender was starved of credit continuously
+	// for the configured pause threshold; the destination is effectively
+	// not draining.
+	EventLinkPaused = "link-paused"
+	// EventLinkOpen: a throttled or paused link drained below the low
+	// waterline with credit available and reopened.
+	EventLinkOpen = "link-open"
+	// EventWorkerDegraded: a link stayed paused past the degraded
+	// threshold; Peer names the slow subscriber, reported alongside the
+	// failure detector's suspect/dead states.
+	EventWorkerDegraded = "worker-degraded"
+	// EventDrainTimeout: an engine Stop gave up draining in-flight tuples
+	// after its bounded timeout; work may have been lost.
+	EventDrainTimeout = "drain-timeout"
 )
 
 // Event is one structured entry in the reconfiguration event log.
@@ -40,6 +57,7 @@ type Event struct {
 	Kind     string  `json:"kind"`
 	Group    int32   `json:"group,omitempty"`
 	Worker   int32   `json:"worker,omitempty"`
+	Peer     int32   `json:"peer,omitempty"`
 	Version  int32   `json:"version,omitempty"`
 	OldDstar int     `json:"old_dstar,omitempty"`
 	NewDstar int     `json:"new_dstar,omitempty"`

@@ -211,6 +211,22 @@ func (c *Channel) RingOccupancy() int {
 	return occ
 }
 
+// PressurePct reports the channel's ring occupancy (pending batch plus
+// published-but-unconsumed bytes) as a percentage of the ring size, clamped
+// to [0, 100]. The engine's flow controller feeds it into the waterline
+// state machine. Always 0 for the two-sided mode, which has no ring.
+func (c *Channel) PressurePct() int {
+	occ := c.RingOccupancy()
+	if occ <= 0 {
+		return 0
+	}
+	pct := occ * 100 / c.cfg.RingSize
+	if pct > 100 {
+		pct = 100
+	}
+	return pct
+}
+
 // SetHandler installs the receive callback. It must be set (by the accept
 // hook) before the sender starts sending; messages arriving with no handler
 // are dropped.

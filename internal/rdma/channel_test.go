@@ -120,6 +120,101 @@ func TestChannelMMSFlush(t *testing.T) {
 	}
 }
 
+// TestChannelWTLFlushWhileRingFull forces the WTL timer flush to fire
+// while the ring region is full: the receive handler is gated so the
+// first batch occupies the ring (its tail feedback is withheld), then the
+// next timer flush must block on ErrRingFull until the gate opens. The
+// blocked flush must neither fail nor drop data, and delivery order must
+// be preserved.
+func TestChannelWTLFlushWhileRingFull(t *testing.T) {
+	// Huge MMS so only the WTL timer flushes; a 1 KiB ring (1008-byte data
+	// area) that one 400-byte message occupies by 40%.
+	cfg := ChannelConfig{MMS: 1 << 20, WTL: 2 * time.Millisecond, RingSize: 1 << 10}
+	f := NewFabric(CostModel{})
+	ea, err := NewEndpoint(f, "a-"+t.Name(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := NewEndpoint(f, "b-"+t.Name(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var msgs []string
+	entered := make(chan struct{}) // receiver reached the first message
+	gate := make(chan struct{})    // holds the first delivery (and its tail feedback)
+	eb.OnAccept(func(_ string, ch *Channel) {
+		ch.SetHandler(func(m []byte) {
+			mu.Lock()
+			first := len(msgs) == 0
+			msgs = append(msgs, string(m))
+			mu.Unlock()
+			if first {
+				close(entered)
+				<-gate
+			}
+		})
+	})
+	send, err := ea.Dial(eb.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ea.Close(); eb.Close() })
+	recvd := func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), msgs...)
+	}
+
+	payload := func(c byte) []byte {
+		p := make([]byte, 400)
+		for i := range p {
+			p[i] = c
+		}
+		return p
+	}
+	// Message A timer-flushes into the ring; the gated handler stalls the
+	// Poll before its tail write-back, so A's 408 ring bytes stay occupied.
+	if err := send.Send(payload('a')); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	// B and C (808-byte batch, 812 on the ring) cannot fit next to A's 408
+	// in 1008 bytes: the WTL flush must block on the full ring.
+	if err := send.Send(payload('b')); err != nil {
+		t.Fatal(err)
+	}
+	if err := send.Send(payload('c')); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for send.Stats().BlockedNS == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("WTL flush never blocked on the full ring")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Release the receiver: the tail feedback frees the ring, the blocked
+	// flush completes, and every message arrives in order.
+	close(gate)
+	got := waitFor(t, 3, recvd)
+	for i, c := range []byte{'a', 'b', 'c'} {
+		if got[i] != string(payload(c)) {
+			t.Fatalf("message %d corrupted (got %q...)", i, got[i][:8])
+		}
+	}
+	st := send.Stats()
+	if st.TimerFlushes < 2 {
+		t.Fatalf("timer flushes %d, want >= 2", st.TimerFlushes)
+	}
+	if st.SizeFlushes != 0 {
+		t.Fatalf("unexpected size flush (%d)", st.SizeFlushes)
+	}
+	if err := send.Flush(); err != nil {
+		t.Fatalf("channel latched an error from the blocked flush: %v", err)
+	}
+}
+
 func TestChannelBackpressureOnFullRing(t *testing.T) {
 	// A ring smaller than the data volume forces Send/Flush to block until
 	// the receiver drains; nothing may be lost.

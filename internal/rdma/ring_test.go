@@ -117,6 +117,66 @@ func TestRingWrapAround(t *testing.T) {
 	}
 }
 
+// TestRingExactlyFullOccupancy drives the ring to precisely zero free
+// bytes with the last frame wrapping the data area, and verifies the
+// full/empty ambiguity is resolved correctly: Occupancy reports the whole
+// data area, the next append (even an empty frame) fails with ErrRingFull,
+// and the wrapped frames survive a Poll byte-identical.
+func TestRingExactlyFullOccupancy(t *testing.T) {
+	prod, cons, cq := ringPair(t, 16+128) // 128-byte data area
+	// Offset head/tail by one consumed frame so the fill below wraps.
+	first := make([]byte, 20)
+	for i := range first {
+		first[i] = 0x10 + byte(i)
+	}
+	if err := prod.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cons.Poll(cq, func([]byte) {}); err != nil || n != 1 {
+		t.Fatalf("offset poll: %d, %v", n, err)
+	}
+	// head = tail = 24. Two 60-byte frames are 2*(4+60) = 128 bytes: an
+	// exact fill, with the second frame's bytes crossing the wrap point.
+	frames := [][]byte{make([]byte, 60), make([]byte, 60)}
+	for fi, f := range frames {
+		for i := range f {
+			f[i] = byte(fi)*0x40 + byte(i)
+		}
+		if err := prod.Append(f); err != nil {
+			t.Fatalf("fill append %d: %v", fi, err)
+		}
+	}
+	free, err := prod.Free()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free != 0 {
+		t.Fatalf("free = %d at exact fill, want 0", free)
+	}
+	if occ := prod.Occupancy(); occ != prod.DataSize() {
+		t.Fatalf("occupancy = %d at exact fill, want %d", occ, prod.DataSize())
+	}
+	// head-tail == size must read as full, not empty: even a zero-byte
+	// frame (4-byte header) has no room.
+	if err := prod.Append(nil); err != ErrRingFull {
+		t.Fatalf("append at exact fill: %v, want ErrRingFull", err)
+	}
+	var got [][]byte
+	n, err := cons.Poll(cq, func(f []byte) { got = append(got, append([]byte(nil), f...)) })
+	if err != nil || n != 2 {
+		t.Fatalf("drain poll: %d, %v", n, err)
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatalf("frame %d corrupted across exact-fill wrap:\n got %x\nwant %x", i, got[i], frames[i])
+		}
+	}
+	// The tail feedback reopened the ring.
+	if err := prod.Append(first); err != nil {
+		t.Fatalf("append after drain: %v", err)
+	}
+}
+
 func TestRingOversizeFrame(t *testing.T) {
 	prod, _, _ := ringPair(t, 16+64)
 	if err := prod.Append(make([]byte, 100)); err == nil || err == ErrRingFull {

@@ -138,6 +138,16 @@ func (t *inprocTransport) Send(to WorkerID, payload []byte) error {
 // Flush implements Transport (no batching in-process).
 func (t *inprocTransport) Flush() error { return nil }
 
+// Pressure implements Transport: occupancy of the destination worker's
+// inbound queue as a percentage of its depth.
+func (t *inprocTransport) Pressure(to WorkerID) int {
+	dst, ok := t.net.lookup(to)
+	if !ok {
+		return 0
+	}
+	return len(dst.in) * 100 / cap(dst.in)
+}
+
 // Stats implements Transport.
 func (t *inprocTransport) Stats() *Stats { return &t.stats }
 

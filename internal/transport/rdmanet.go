@@ -152,6 +152,19 @@ func (t *rdmaTransport) Flush() error {
 // Stats implements Transport.
 func (t *rdmaTransport) Stats() *Stats { return &t.stats }
 
+// Pressure implements Transport: occupancy of the destination channel's ring
+// region (pending batch + published-but-unconsumed bytes) as a percentage of
+// its size. A destination that was never dialed has no ring and no pressure.
+func (t *rdmaTransport) Pressure(to WorkerID) int {
+	t.mu.Lock()
+	ch, ok := t.chans[to]
+	t.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return ch.PressurePct()
+}
+
 // ChannelStats aggregates the underlying rdma channel counters (for the
 // MMS/WTL microbenchmarks).
 func (t *rdmaTransport) ChannelStats() rdma.StatsSnapshot {

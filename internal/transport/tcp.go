@@ -185,6 +185,10 @@ func (t *tcpTransport) connTo(to WorkerID) (*tcpConn, error) {
 // Flush implements Transport (frames are flushed per send already).
 func (t *tcpTransport) Flush() error { return nil }
 
+// Pressure implements Transport. TCP buffering lives in the kernel socket
+// buffers, which this transport cannot observe, so it reports no pressure.
+func (t *tcpTransport) Pressure(WorkerID) int { return 0 }
+
 // Stats implements Transport.
 func (t *tcpTransport) Stats() *Stats { return &t.stats }
 

@@ -27,6 +27,10 @@ type WorkerID = int32
 
 // Handler consumes one inbound payload. Implementations invoke it from the
 // transport's receive goroutine; handlers must not block indefinitely.
+// Ownership of the payload slice transfers to the handler: every transport
+// delivers a private copy (Send copies before enqueueing, the stream
+// transports allocate per received frame), so the handler may retain or
+// alias it beyond the call.
 type Handler func(from WorkerID, payload []byte)
 
 // Stats counts a transport's traffic. All fields are atomic.
@@ -68,6 +72,11 @@ type Transport interface {
 	Send(to WorkerID, payload []byte) error
 	// Flush pushes out any batched data (a no-op for unbatched transports).
 	Flush() error
+	// Pressure reports the congestion toward worker to as a percentage of
+	// the link's buffering capacity in [0, 100]: 0 means idle, 100 means the
+	// outbound path (peer inbound queue, RDMA ring, ...) is full. Transports
+	// without visible buffering return 0.
+	Pressure(to WorkerID) int
 	// Stats exposes the transport's counters.
 	Stats() *Stats
 	// Close releases the transport's resources.

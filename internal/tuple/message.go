@@ -138,6 +138,12 @@ const (
 	// or data message as implicit liveness, so heartbeats only matter on
 	// otherwise-idle links.
 	CtrlHeartbeat
+	// CtrlCredit is the flow-control grant: the receiver reports, per
+	// directed link, the cumulative number of tuple deliveries it has
+	// drained from the sender identified by Node. Credits is cumulative and
+	// idempotent — receivers re-broadcast it periodically, and the sender
+	// max-merges, so lost or duplicated grants never corrupt the window.
+	CtrlCredit
 )
 
 // Switch directions carried by CtrlStatus.
@@ -162,6 +168,10 @@ type ControlMessage struct {
 	// Nodes[i]. The source has parent -1.
 	Nodes   []int32
 	Parents []int32
+
+	// For CtrlCredit: the cumulative count of tuple deliveries the sender
+	// (Node) has drained at the granting worker.
+	Credits int64
 }
 
 // AppendControlMessage appends the wire encoding of c to dst.
@@ -177,6 +187,7 @@ func AppendControlMessage(dst []byte, c *ControlMessage) []byte {
 		dst = appendU32(dst, uint32(c.Nodes[i]))
 		dst = appendU32(dst, uint32(c.Parents[i]))
 	}
+	dst = appendU64(dst, uint64(c.Credits))
 	return dst
 }
 
@@ -228,6 +239,11 @@ func DecodeControlMessage(buf []byte) (*ControlMessage, int, error) {
 		}
 		c.Parents[i] = int32(u)
 	}
+	var cr uint64
+	if cr, off, err = readU64(buf, off); err != nil {
+		return nil, 0, err
+	}
+	c.Credits = int64(cr)
 	return c, off, nil
 }
 
@@ -247,6 +263,8 @@ func (c *ControlMessage) String() string {
 		return fmt.Sprintf("Ack{group=%d v=%d node=%d}", c.Group, c.Version, c.Node)
 	case CtrlHeartbeat:
 		return fmt.Sprintf("Heartbeat{worker=%d seq=%d}", c.Node, c.Version)
+	case CtrlCredit:
+		return fmt.Sprintf("Credit{sender=%d drained=%d}", c.Node, c.Credits)
 	}
 	return fmt.Sprintf("Control{type=%d}", c.Type)
 }

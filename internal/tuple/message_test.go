@@ -77,6 +77,7 @@ func TestControlMessageRoundTrip(t *testing.T) {
 		{Type: CtrlReconnect, Group: 4, Version: 5, Node: 10, OldParent: 2, NewParent: 3},
 		{Type: CtrlAck, Group: 4, Version: 5, Node: 10},
 		{Type: CtrlHeartbeat, Node: 3, Version: 41},
+		{Type: CtrlCredit, Node: 2, Credits: 1 << 40},
 		{Type: CtrlTree, Group: 0, Version: 7,
 			Nodes: []int32{0, 1, 2, 3}, Parents: []int32{-1, 0, 0, 1}},
 	}
@@ -113,12 +114,13 @@ func TestControlMessageTruncated(t *testing.T) {
 
 func TestControlMessageBogusCount(t *testing.T) {
 	// A corrupted node count must not cause a huge allocation or panic.
+	// The count is the u32 preceding the trailing u64 credits field.
 	in := &ControlMessage{Type: CtrlTree}
 	buf := AppendControlMessage(nil, in)
-	buf[len(buf)-4] = 0xff
-	buf[len(buf)-3] = 0xff
-	buf[len(buf)-2] = 0xff
-	buf[len(buf)-1] = 0x7f
+	buf[len(buf)-12] = 0xff
+	buf[len(buf)-11] = 0xff
+	buf[len(buf)-10] = 0xff
+	buf[len(buf)-9] = 0x7f
 	if _, _, err := DecodeControlMessage(buf); err == nil {
 		t.Fatal("expected error for bogus count")
 	}

@@ -194,7 +194,16 @@ func readValue(buf []byte, off int) (Value, int, error) {
 		if off >= len(buf) {
 			return nil, off, ErrTruncated
 		}
-		return buf[off] == 1, off + 1, nil
+		// Strict: only the two bytes the encoder emits are valid. Accepting
+		// arbitrary nonzero bytes as false made corrupt frames decode
+		// silently instead of failing (found by FuzzDecodeTuple).
+		switch buf[off] {
+		case 0:
+			return false, off + 1, nil
+		case 1:
+			return true, off + 1, nil
+		}
+		return nil, off, fmt.Errorf("tuple: invalid bool encoding %d", buf[off])
 	default:
 		return nil, off, fmt.Errorf("tuple: unknown field tag %d", tag)
 	}

@@ -97,10 +97,17 @@ type BatchTuple struct {
 
 // AddressedTuple is the unit a worker-side dispatcher hands to a local
 // executor after unpacking a WorkerMessage: destination task id + data item.
+// Src records the worker the enclosing message arrived from; LocalSrc marks
+// tuples that never crossed a transport link.
 type AddressedTuple struct {
 	TaskID int32
+	Src    int32
 	Data   *Tuple
 }
+
+// LocalSrc is the AddressedTuple.Src sentinel for locally produced tuples
+// (spout emits, intra-worker emits, timer events): no credit is owed.
+const LocalSrc int32 = -1
 
 // Expand fans a BatchTuple out into one AddressedTuple per destination id.
 // The data item is shared, not copied: this is the whole point of the
@@ -108,7 +115,7 @@ type AddressedTuple struct {
 func (b *BatchTuple) Expand() []AddressedTuple {
 	out := make([]AddressedTuple, len(b.DstIDs))
 	for i, id := range b.DstIDs {
-		out[i] = AddressedTuple{TaskID: id, Data: b.Data}
+		out[i] = AddressedTuple{TaskID: id, Src: LocalSrc, Data: b.Data}
 	}
 	return out
 }

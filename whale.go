@@ -54,6 +54,22 @@ type (
 	Topology = dsps.Topology
 	// Metrics aggregates engine instrumentation.
 	Metrics = dsps.Metrics
+	// ShedPolicy selects overload behaviour for best-effort streams on a
+	// full flow-controlled link (see Options.ShedPolicy).
+	ShedPolicy = dsps.ShedPolicy
+	// LinkStat is one flow-controlled link's snapshot.
+	LinkStat = dsps.LinkStat
+)
+
+// Shed policies for Options.ShedPolicy. Acked (reliable) streams always
+// block regardless of policy — they are never shed.
+const (
+	// ShedBlock blocks producers until link queue space frees (default).
+	ShedBlock = dsps.ShedBlock
+	// ShedNewest drops the arriving best-effort tuple when the link is full.
+	ShedNewest = dsps.ShedNewest
+	// ShedOldest evicts the oldest queued best-effort tuple to make room.
+	ShedOldest = dsps.ShedOldest
 )
 
 // StreamTick is the stream of engine-generated tick tuples delivered to
@@ -168,6 +184,14 @@ func (c *Cluster) Drain(timeout time.Duration) bool { return c.eng.Drain(timeout
 // ActiveDstar reports the adaptive multicast tree's current out-degree cap
 // (0 when no adaptive group exists).
 func (c *Cluster) ActiveDstar() int { return c.eng.ActiveDstar() }
+
+// LinkStats snapshots every flow-controlled link (empty when credit flow
+// control is disabled).
+func (c *Cluster) LinkStats() []LinkStat { return c.eng.LinkStats() }
+
+// DegradedWorkers lists workers currently reported degraded by the
+// overload path (a subscriber paused past Options.DegradedAfter).
+func (c *Cluster) DegradedWorkers() []int32 { return c.eng.DegradedWorkers() }
 
 // Shutdown stops the cluster and releases the network and the
 // observability server.
