@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet whalevet build test race chaos fmt bench
+.PHONY: check vet whalevet build test race chaos fmt bench perfgate
 
 check: vet whalevet build test race chaos
 
@@ -35,3 +35,11 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Benchmark-regression gate: re-measure the curated microbenchmarks and
+# quick-mode DES experiments, compare against the committed BENCH_5.json
+# baseline, and fail on regressions beyond the thresholds (10% micro, 25%
+# DES). Refresh the baseline after an intentional perf change with:
+#   $(GO) run ./cmd/whaleperf -quick -out BENCH_5.json
+perfgate:
+	$(GO) run ./cmd/whaleperf -quick -runs 5 -baseline BENCH_5.json -out BENCH_5.new.json

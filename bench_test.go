@@ -10,9 +10,9 @@ import (
 	"testing"
 
 	"whale/internal/bench"
+	"whale/internal/microbench"
 	"whale/internal/multicast"
 	"whale/internal/queueing"
-	"whale/internal/tuple"
 )
 
 // benchExperiment runs one registered experiment per iteration.
@@ -61,50 +61,15 @@ func BenchmarkAblationSmoothing(b *testing.B)          { benchExperiment(b, "abl
 func BenchmarkAblationDstar(b *testing.B)              { benchExperiment(b, "ablation-dstar") }
 
 // --- core primitive microbenchmarks ---------------------------------------
+//
+// The bodies live in internal/microbench so cmd/whaleperf gates the exact
+// same code via testing.Benchmark.
 
-func benchTuple() *tuple.Tuple {
-	return &tuple.Tuple{
-		Stream:     "requests",
-		ID:         12345,
-		SrcTask:    3,
-		RootEmitNS: 1,
-		Values:     []tuple.Value{int64(42), "drv-001234", 30.65, 104.06, true},
-	}
-}
-
-func BenchmarkTupleSerialize(b *testing.B) {
-	enc := tuple.NewEncoder()
-	tp := benchTuple()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := enc.EncodeTuple(tp); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkTupleDeserialize(b *testing.B) {
-	buf, err := tuple.AppendTuple(nil, benchTuple())
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := tuple.DecodeTuple(buf); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkWorkerMessageEncode(b *testing.B) {
-	payload, _ := tuple.AppendTuple(nil, benchTuple())
-	msg := &tuple.WorkerMessage{Kind: tuple.KindWorkerMessage, DstIDs: []int32{1, 2, 3, 4, 5, 6, 7, 8}, Payload: payload}
-	b.ReportAllocs()
-	var buf []byte
-	for i := 0; i < b.N; i++ {
-		buf = tuple.AppendWorkerMessage(buf[:0], msg)
-	}
-}
+func BenchmarkTupleSerialize(b *testing.B)        { microbench.TupleSerialize(b) }
+func BenchmarkTupleDeserialize(b *testing.B)      { microbench.TupleDeserialize(b) }
+func BenchmarkWorkerMessageEncode(b *testing.B)   { microbench.WorkerMessageEncode(b) }
+func BenchmarkWorkerMessageDecode(b *testing.B)   { microbench.WorkerMessageDecode(b) }
+func BenchmarkControlEnvelopeEncode(b *testing.B) { microbench.ControlEnvelopeEncode(b) }
 
 func destIDs(n int) []multicast.NodeID {
 	out := make([]multicast.NodeID, n)
@@ -114,13 +79,7 @@ func destIDs(n int) []multicast.NodeID {
 	return out
 }
 
-func BenchmarkBuildNonBlockingTree480(b *testing.B) {
-	dests := destIDs(480)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		multicast.BuildNonBlocking(0, dests, 3)
-	}
-}
+func BenchmarkBuildNonBlockingTree480(b *testing.B) { microbench.TreeNonBlocking480(b) }
 
 func BenchmarkBuildBinomialTree480(b *testing.B) {
 	dests := destIDs(480)
@@ -139,14 +98,7 @@ func BenchmarkDynamicScaleDown(b *testing.B) {
 	}
 }
 
-func BenchmarkDynamicScaleUp(b *testing.B) {
-	base := multicast.BuildNonBlocking(0, destIDs(480), 2)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		tr := base.Clone()
-		multicast.ScaleUp(tr, 5)
-	}
-}
+func BenchmarkDynamicScaleUp(b *testing.B) { microbench.TreeScaleUp480(b) }
 
 func BenchmarkQueueingMaxOutDegree(b *testing.B) {
 	for i := 0; i < b.N; i++ {

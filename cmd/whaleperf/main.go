@@ -1,0 +1,156 @@
+// Command whaleperf is the benchmark-regression harness behind `make
+// perfgate` and the bench-gate CI job.
+//
+// It runs the curated internal/microbench cases plus the gated quick-mode
+// discrete-event experiments (fig13 ride throughput, fig17 multicast-tree
+// throughput) -runs times each, records per-benchmark medians and dispersion,
+// and writes a perfgate report (BENCH_*.json schema). Given -baseline it
+// compares against the committed report and exits non-zero on any regression
+// beyond the thresholds (default 10% for microbenchmarks, 25% for the
+// noisier DES rows; rows whose measured dispersion exceeds the threshold get
+// double headroom).
+//
+// Usage:
+//
+//	go run ./cmd/whaleperf -quick -runs 5 -baseline BENCH_5.json -out BENCH_5.new.json
+//
+// To refresh the committed baseline after an intentional perf change:
+//
+//	go run ./cmd/whaleperf -quick -out BENCH_5.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"whale/internal/bench"
+	"whale/internal/microbench"
+	"whale/internal/perfgate"
+)
+
+// desExperiments are the gated discrete-event rows: the paper's headline
+// throughput sweep (fig13) and the multicast-structure comparison (fig17).
+// Both are deterministic (fixed DES seed), so their medians are stable.
+var desExperiments = []string{"fig13", "fig17"}
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", true, "run DES experiments in quick mode (smaller sweeps)")
+		runs     = flag.Int("runs", 5, "repetitions per benchmark; medians are reported")
+		baseline = flag.String("baseline", "", "previous BENCH_*.json to gate against (empty: measure only)")
+		out      = flag.String("out", "", "path to write the fresh report (empty: don't write)")
+		thr      = flag.Float64("threshold", 0.10, "allowed fractional slowdown for micro/ rows")
+		desThr   = flag.Float64("des-threshold", 0.25, "allowed fractional throughput drop for des/ rows")
+	)
+	flag.Parse()
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "whaleperf: -runs must be >= 1")
+		os.Exit(2)
+	}
+
+	rep := &perfgate.Report{Schema: perfgate.Schema, Quick: *quick, Benchmarks: map[string]perfgate.Metric{}}
+
+	for _, c := range microbench.Cases() {
+		m, err := runMicro(c, *runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whaleperf: micro/%s: %v\n", c.Name, err)
+			os.Exit(1)
+		}
+		rep.Benchmarks["micro/"+c.Name] = m
+		fmt.Printf("micro/%-28s %12.1f ns/op %8.0f B/op %6.1f allocs/op  (runs=%d disp=%.1f%%)\n",
+			c.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.Runs, m.Dispersion*100)
+	}
+
+	for _, id := range desExperiments {
+		if err := runDES(rep, id, *quick, *runs); err != nil {
+			fmt.Fprintf(os.Stderr, "whaleperf: des/%s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+
+	if *out != "" {
+		if err := rep.Save(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "whaleperf: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := perfgate.Load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "whaleperf: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	regs := perfgate.Compare(base, rep, perfgate.Options{MicroThreshold: *thr, DESThreshold: *desThr})
+	if len(regs) == 0 {
+		fmt.Printf("perf gate PASS: %d benchmarks within thresholds of %s\n", len(base.Benchmarks), *baseline)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "perf gate FAIL: %d regression(s) vs %s\n", len(regs), *baseline)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
+}
+
+// runMicro benchmarks one case n times via testing.Benchmark and returns the
+// per-run medians.
+func runMicro(c microbench.Case, n int) (perfgate.Metric, error) {
+	nsPerOp := make([]float64, 0, n)
+	bytesPerOp := make([]float64, 0, n)
+	allocsPerOp := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		res := testing.Benchmark(c.Bench)
+		if res.N == 0 {
+			return perfgate.Metric{}, fmt.Errorf("benchmark did not run (failed inside testing.Benchmark)")
+		}
+		nsPerOp = append(nsPerOp, float64(res.T.Nanoseconds())/float64(res.N))
+		bytesPerOp = append(bytesPerOp, float64(res.AllocedBytesPerOp()))
+		allocsPerOp = append(allocsPerOp, float64(res.AllocsPerOp()))
+	}
+	m := perfgate.Metric{
+		NsPerOp:     perfgate.Median(nsPerOp),
+		BytesPerOp:  perfgate.Median(bytesPerOp),
+		AllocsPerOp: perfgate.Median(allocsPerOp),
+		Dispersion:  perfgate.Dispersion(nsPerOp),
+		Runs:        n,
+	}
+	if c.PerOpTuples > 0 && m.NsPerOp > 0 {
+		m.TuplesPerSec = float64(c.PerOpTuples) * 1e9 / m.NsPerOp
+	}
+	return m, nil
+}
+
+// runDES executes one registered experiment n times and records the median
+// throughput of every cell the experiment exposes via Report.Metrics.
+func runDES(rep *perfgate.Report, id string, quick bool, n int) error {
+	samples := map[string][]float64{}
+	for i := 0; i < n; i++ {
+		r, err := bench.Run(id, quick)
+		if err != nil {
+			return err
+		}
+		if len(r.Metrics) == 0 {
+			return fmt.Errorf("experiment exposes no metrics")
+		}
+		for k, v := range r.Metrics {
+			samples[k] = append(samples[k], v)
+		}
+	}
+	for k, vs := range samples {
+		name := fmt.Sprintf("des/%s/%s", id, k)
+		m := perfgate.Metric{
+			TuplesPerSec: perfgate.Median(vs),
+			Dispersion:   perfgate.Dispersion(vs),
+			Runs:         len(vs),
+		}
+		rep.Benchmarks[name] = m
+		fmt.Printf("%-34s %14.0f tuples/sec  (runs=%d disp=%.1f%%)\n", name, m.TuplesPerSec, m.Runs, m.Dispersion*100)
+	}
+	return nil
+}

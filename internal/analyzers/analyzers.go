@@ -10,8 +10,8 @@
 //	             dot-hierarchical names (the PR 1 registry convention)
 //	verberr    — no silently discarded error from internal/rdma verbs or
 //	             internal/transport calls
-//	hotalloc   — no fmt.Sprintf / time.Now / map allocation inside
-//	             functions annotated `//whale:hotpath`
+//	hotalloc   — no fmt.Sprintf / time.Now / map or []byte allocation
+//	             inside functions annotated `//whale:hotpath`
 //
 // Findings are suppressed per-site with an explanatory directive:
 //

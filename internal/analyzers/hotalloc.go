@@ -8,16 +8,18 @@ import (
 // HotAlloc guards functions annotated `//whale:hotpath` (a line in the
 // function's doc comment) against per-tuple costs that do not belong on
 // the partitioning fast path: fmt.Sprintf (allocates and reflects),
-// time.Now (a vDSO call per tuple adds up at millions of tuples/s), and
-// map allocation (make(map...) or a map composite literal). Error paths
-// are exempt by construction — fmt.Errorf is deliberately not flagged,
-// since an error exits the hot path anyway.
+// time.Now (a vDSO call per tuple adds up at millions of tuples/s),
+// map allocation (make(map...) or a map composite literal), and byte-slice
+// allocation (make([]byte, ...) — the hot path reuses pooled or
+// caller-provided buffers; a fresh slice per tuple is a copy in disguise).
+// Error paths are exempt by construction — fmt.Errorf is deliberately not
+// flagged, since an error exits the hot path anyway.
 //
 // Nested function literals inherit the annotation: a closure built inside
 // a hotpath function runs on the same path.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "flags fmt.Sprintf, time.Now, and map allocation inside //whale:hotpath functions",
+	Doc:  "flags fmt.Sprintf, time.Now, map allocation, and make([]byte, ...) inside //whale:hotpath functions",
 	Run:  runHotAlloc,
 }
 
@@ -48,6 +50,13 @@ func isHotPath(fd *ast.FuncDecl) bool {
 	return false
 }
 
+// isByteElem reports whether e names the byte element type ([]byte or its
+// alias []uint8).
+func isByteElem(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && (id.Name == "byte" || id.Name == "uint8")
+}
+
 func checkHotBody(pass *Pass, fname string, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch x := n.(type) {
@@ -60,10 +69,16 @@ func checkHotBody(pass *Pass, fname string, body *ast.BlockStmt) {
 					pass.Reportf(x.Pos(), "time.Now in hot path %s: hoist the timestamp out of the per-tuple path", fname)
 				}
 			}
-			// make(map[K]V): make is a builtin, so callee is nil.
+			// make(map[K]V) / make([]byte, ...): make is a builtin, so
+			// callee is nil.
 			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
-				if _, isMap := x.Args[0].(*ast.MapType); isMap {
+				switch t := x.Args[0].(type) {
+				case *ast.MapType:
 					pass.Reportf(x.Pos(), "map allocation in hot path %s: preallocate or use a slice", fname)
+				case *ast.ArrayType:
+					if t.Len == nil && isByteElem(t.Elt) {
+						pass.Reportf(x.Pos(), "make([]byte, ...) in hot path %s: reuse a pooled or caller-provided buffer", fname)
+					}
 				}
 			}
 		case *ast.CompositeLit:

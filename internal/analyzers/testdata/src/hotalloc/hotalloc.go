@@ -17,6 +17,18 @@ func hot(name string, n int) string {
 	return fmt.Sprintf("x-%s", name) // want `fmt\.Sprintf in hot path hot`
 }
 
+//whale:hotpath
+func hotCopy(src []byte) []byte {
+	out := make([]byte, len(src)) // want `make\(\[\]byte, \.\.\.\) in hot path hotCopy`
+	copy(out, src)
+	u := make([]uint8, 0, 16) // want `make\(\[\]byte, \.\.\.\) in hot path hotCopy`
+	_ = u
+	ids := make([]int32, 4)  // non-byte slices are allowed (header scratch)
+	arr := make([][]byte, 2) // slice-of-slices allocates headers, not payload bytes
+	_, _ = ids, arr
+	return out
+}
+
 // hotClosure: function literals inside a hotpath function run on the same
 // path and inherit the annotation.
 //

@@ -130,6 +130,9 @@ func (e *Engine) heartbeatLoop(w *worker) {
 	defer e.auxWG.Done()
 	ticker := time.NewTicker(e.cfg.HeartbeatInterval)
 	defer ticker.Stop()
+	// Heartbeats are sent synchronously, so one loop-owned encoder serves
+	// every beacon without a per-tick allocation.
+	enc := tuple.NewEncoder()
 	var seq int32
 	for {
 		select {
@@ -138,12 +141,8 @@ func (e *Engine) heartbeatLoop(w *worker) {
 		case <-ticker.C:
 			seq++
 			cm := tuple.ControlMessage{Type: tuple.CtrlHeartbeat, Node: w.id, Version: seq}
-			raw := tuple.AppendWorkerMessage(nil, &tuple.WorkerMessage{
-				Kind:    tuple.KindControl,
-				Payload: tuple.AppendControlMessage(nil, &cm),
-			})
 			// A failed heartbeat send is itself the failure signal.
-			_ = w.tr.Send(e.detector.monitor, raw)
+			_ = w.tr.Send(e.detector.monitor, enc.EncodeControlEnvelope(&cm))
 		}
 	}
 }

@@ -81,6 +81,10 @@ const (
 // flowItem is one encoded message queued on a flow link.
 type flowItem struct {
 	raw []byte
+	// buf is the pooled buffer backing raw (nil for non-pooled bytes, e.g.
+	// relayed inbound payloads). The link owns one reference per queued item
+	// and must release it on every exit: sent, suppressed, or shed.
+	buf *sendBuf
 	// cost is the delivery units the receiver will grant back for this
 	// message; sender and receiver compute it by the same rule.
 	cost int64
@@ -203,6 +207,7 @@ func (fc *flowControl) linkTo(dst int32) *flowLink {
 func (fc *flowControl) push(dst int32, it flowItem) {
 	if fc.w.eng.workerDead(dst) {
 		fc.w.eng.metrics.SendsSuppressed.Inc()
+		it.buf.release()
 		return
 	}
 	l := fc.linkTo(dst)
@@ -227,15 +232,17 @@ func (fc *flowControl) push(dst int32, it flowItem) {
 				l.shed += it.tuples
 				l.mu.Unlock()
 				fc.w.eng.metrics.TuplesShed.Add(it.tuples)
+				it.buf.release()
 				return
 			case ShedOldest:
 				if i := oldestUntracked(l.queue); i >= 0 {
-					shed := l.queue[i].tuples
+					evicted := l.queue[i]
 					l.queue = append(l.queue[:i], l.queue[i+1:]...)
 					l.queue = append(l.queue, it)
-					l.shed += shed
+					l.shed += evicted.tuples
 					l.mu.Unlock()
-					fc.w.eng.metrics.TuplesShed.Add(shed)
+					fc.w.eng.metrics.TuplesShed.Add(evicted.tuples)
+					evicted.buf.release()
 					signal(l.kick)
 					return
 				}
@@ -248,6 +255,7 @@ func (fc *flowControl) push(dst int32, it flowItem) {
 		case <-l.space:
 			blocked += time.Since(t0)
 		case <-fc.w.done:
+			it.buf.release()
 			return
 		case <-fc.w.eng.stopping:
 			// Shutdown: accept over capacity so the drain still flushes it.
@@ -285,6 +293,8 @@ func (l *flowLink) run() {
 			l.sent += it.cost
 			l.mu.Unlock()
 		}
+		// The transport has copied (or dropped) the payload: recycle.
+		it.buf.release()
 		l.busy.Store(0)
 		l.observe()
 	}
@@ -492,14 +502,15 @@ func (fc *flowControl) sendGrant(to int32, cumulative int64) {
 		return
 	}
 	cm := tuple.ControlMessage{Type: tuple.CtrlCredit, Node: w.id, Credits: cumulative}
-	raw := tuple.AppendWorkerMessage(nil, &tuple.WorkerMessage{
-		Kind:    tuple.KindControl,
-		Payload: tuple.AppendControlMessage(nil, &cm),
-	})
+	// Grants are frequent (one per window/8 deliveries per link) and sent
+	// synchronously, so a pooled encoder elides the per-grant allocations.
+	enc := tuple.AcquireEncoder()
+	raw := enc.EncodeControlEnvelope(&cm)
 	w.eng.metrics.CreditGrants.Inc()
 	// Grant loss is tolerable: the cumulative rebroadcast and the sender's
 	// credit timeout both heal it.
 	_ = w.tr.Send(transport.WorkerID(to), raw)
+	tuple.ReleaseEncoder(enc)
 }
 
 // rebroadcast resends every non-zero cumulative drained counter. Called on

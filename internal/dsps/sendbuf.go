@@ -1,0 +1,63 @@
+package dsps
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// sendBuf is a pooled, reference-counted encode buffer for the outbound data
+// path. The send thread encodes each WorkerMessage once into a sendBuf and
+// hands one reference per destination to sendData; whoever drops the last
+// reference (the flow-link goroutine after the transport send, the shed
+// policy on a dropped item, the synchronous path right after Send returns)
+// recycles the buffer. The transports' Send contract — payload copied before
+// Send returns — is what makes release-after-send safe.
+//
+// Ownership protocol (DESIGN §11):
+//   - acquireSendBuf returns a buffer holding one reference.
+//   - retain adds references before fan-out; every sendData call consumes
+//     exactly one, on every exit path (sent, suppressed, shed, errored).
+//   - b must not be read after the owner's last release: the storage is
+//     reused by the next acquirer.
+type sendBuf struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+// maxPooledSendBuf bounds the scratch capacity kept in the pool, so one
+// outsized message does not pin its storage across the run.
+const maxPooledSendBuf = 256 << 10
+
+var sendBufPool = sync.Pool{New: func() any { return new(sendBuf) }}
+
+// acquireSendBuf returns an empty buffer holding one reference. Encode with
+// sb.b = tuple.AppendWorkerMessage(sb.b[:0], ...).
+func acquireSendBuf() *sendBuf {
+	sb := sendBufPool.Get().(*sendBuf)
+	sb.refs.Store(1)
+	return sb
+}
+
+// retain adds n references (fan-out: one per additional destination).
+func (sb *sendBuf) retain(n int32) {
+	if sb != nil && n > 0 {
+		sb.refs.Add(n)
+	}
+}
+
+// release drops one reference, recycling the buffer when the last one goes.
+// Safe on a nil receiver so callers holding raw (non-pooled) bytes need no
+// branch.
+func (sb *sendBuf) release() {
+	if sb == nil {
+		return
+	}
+	if sb.refs.Add(-1) > 0 {
+		return
+	}
+	if cap(sb.b) > maxPooledSendBuf {
+		sb.b = nil
+	}
+	sb.b = sb.b[:0]
+	sendBufPool.Put(sb)
+}

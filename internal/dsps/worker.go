@@ -91,14 +91,14 @@ func (g *groupState) activate(version int32) {
 	g.mu.Unlock()
 }
 
-// inboundData is one decoded data message staged for the delivery
-// goroutine (flow-controlled mode only). Transports hand the handler
-// ownership of the payload, so staging the decoded message (whose byte
-// fields alias the payload) is safe without a copy.
+// inboundData is one raw data message staged for the delivery goroutine
+// (flow-controlled mode only). Transports hand the handler ownership of the
+// payload, so staging the raw bytes is safe without a copy; decoding is
+// deferred to the delivery goroutine, which owns a single reusable
+// WorkerMessage scratch instead of allocating one per message.
 type inboundData struct {
 	from int32
-	msg  *tuple.WorkerMessage
-	raw  []byte // the full encoded message, for relay forwarding
+	raw  []byte // the full encoded message, also forwarded verbatim by relays
 }
 
 // worker hosts a set of executors, one transfer queue with a send thread,
@@ -111,6 +111,7 @@ type worker struct {
 	transfer  chan sendJob
 	groups    map[int32]*groupState
 	enc       *tuple.Encoder
+	p2pDst    [1]int32   // DstIDs scratch for point-to-point sends (send thread only)
 	rng       *rand.Rand // retry jitter; only touched from the send thread
 	fc        *flowControl
 	// pushBlockedNS accumulates time the send thread spent blocked on a
@@ -153,12 +154,19 @@ func newWorker(eng *Engine, id int32) *worker {
 // sendData routes one encoded data message to dst through flow control
 // when enabled, or straight to the retrying transport path otherwise. The
 // flow-controlled path always reports true: delivery becomes asynchronous.
-func (w *worker) sendData(dst int32, raw []byte, cost, tuples int64, tracked bool) bool {
+//
+// sb is the pooled buffer backing raw (nil when raw is not pooled, e.g.
+// relayed inbound bytes); sendData consumes exactly one reference to it on
+// every path — synchronously here once the transport has copied the
+// payload, or downstream in the flow link once the item leaves the queue.
+func (w *worker) sendData(dst int32, raw []byte, sb *sendBuf, cost, tuples int64, tracked bool) bool {
 	if w.fc != nil {
-		w.fc.push(dst, flowItem{raw: raw, cost: cost, tuples: tuples, tracked: tracked})
+		w.fc.push(dst, flowItem{raw: raw, buf: sb, cost: cost, tuples: tuples, tracked: tracked})
 		return true
 	}
-	return w.send(dst, raw)
+	ok := w.send(dst, raw)
+	sb.release()
+	return ok
 }
 
 // grantData credits n delivery units back to the upstream sender src. Local
@@ -320,9 +328,12 @@ func (w *worker) process(j sendJob) {
 			m.RouteErrors.Inc()
 			return
 		}
-		msg := tuple.WorkerMessage{Kind: tuple.KindInstanceMessage, DstIDs: []int32{j.dstTask}, Payload: payload}
+		w.p2pDst[0] = j.dstTask
+		msg := tuple.WorkerMessage{Kind: tuple.KindInstanceMessage, DstIDs: w.p2pDst[:], Payload: payload}
 		t1 := time.Now()
-		if !w.sendData(j.dstWorker, tuple.AppendWorkerMessage(nil, &msg), 1, 1, tupleTracked(j.tp)) {
+		sb := acquireSendBuf()
+		sb.b = tuple.AppendWorkerMessage(sb.b[:0], &msg)
+		if !w.sendData(j.dstWorker, sb.b, sb, 1, 1, tupleTracked(j.tp)) {
 			return
 		}
 		w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t1, time.Since(t1))
@@ -348,7 +359,9 @@ func (w *worker) process(j sendJob) {
 			if cost < 1 {
 				cost = 1
 			}
-			if !w.sendData(dw, tuple.AppendWorkerMessage(nil, &msg), cost, n, tupleTracked(j.tp)) {
+			sb := acquireSendBuf()
+			sb.b = tuple.AppendWorkerMessage(sb.b[:0], &msg)
+			if !w.sendData(dw, sb.b, sb, cost, n, tupleTracked(j.tp)) {
 				continue
 			}
 			w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t0, time.Since(t0))
@@ -367,6 +380,10 @@ func (w *worker) process(j sendJob) {
 			m.RouteErrors.Inc()
 			return
 		}
+		children := tr.Children(w.id)
+		if len(children) == 0 {
+			return
+		}
 		payload, err := w.encodeTuple(j.tp)
 		if err != nil {
 			m.RouteErrors.Inc()
@@ -376,11 +393,14 @@ func (w *worker) process(j sendJob) {
 			Kind: tuple.KindMulticastMessage, Payload: payload,
 			Group: j.group, TreeVersion: version, SrcWorker: w.id,
 		}
-		raw := tuple.AppendWorkerMessage(nil, &msg)
-		for _, child := range tr.Children(w.id) {
+		// Serialize once, fan out one pooled-buffer reference per child.
+		sb := acquireSendBuf()
+		sb.b = tuple.AppendWorkerMessage(sb.b[:0], &msg)
+		sb.retain(int32(len(children) - 1))
+		for _, child := range children {
 			w.pushBlockedNS = 0
 			t0 := time.Now()
-			if !w.sendData(child, raw, w.multicastCost(j.group, child), int64(len(w.eng.groupLocalTasks(j.group, child))), tupleTracked(j.tp)) {
+			if !w.sendData(child, sb.b, sb, w.multicastCost(j.group, child), int64(len(w.eng.groupLocalTasks(j.group, child))), tupleTracked(j.tp)) {
 				continue
 			}
 			w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t0, time.Since(t0))
@@ -388,8 +408,10 @@ func (w *worker) process(j sendJob) {
 		}
 
 	case jobRelay:
+		// Relayed bytes are inbound-handler-owned (and aliased by the decoded
+		// tuples already delivered locally), never pooled: no sendBuf.
 		for _, dw := range j.dstWorkers {
-			w.sendData(dw, j.raw, w.multicastCost(j.group, dw), int64(len(w.eng.groupLocalTasks(j.group, dw))), j.tracked)
+			w.sendData(dw, j.raw, nil, w.multicastCost(j.group, dw), int64(len(w.eng.groupLocalTasks(j.group, dw))), j.tracked)
 		}
 
 	case jobControl:
@@ -483,13 +505,15 @@ func (w *worker) dispatch(from transport.WorkerID, payload []byte) {
 	if fd := w.eng.detector; fd != nil && w.id == fd.monitor {
 		fd.observe(from)
 	}
-	msg, _, err := tuple.DecodeWorkerMessage(payload)
-	if err != nil {
-		w.eng.metrics.DecodeErrors.Inc()
-		return
-	}
 	if w.fc != nil {
-		if msg.Kind == tuple.KindControl {
+		// Peek the kind byte instead of decoding: control stays inline, data
+		// is staged raw and decoded by the delivery goroutine's scratch.
+		if tuple.MessageKind(payload) == tuple.KindControl {
+			msg, _, err := tuple.DecodeWorkerMessage(payload)
+			if err != nil {
+				w.eng.metrics.DecodeErrors.Inc()
+				return
+			}
 			cm, _, err := tuple.DecodeControlMessage(msg.Payload)
 			if err != nil {
 				w.eng.metrics.DecodeErrors.Inc()
@@ -499,13 +523,28 @@ func (w *worker) dispatch(from transport.WorkerID, payload []byte) {
 			return
 		}
 		w.stageMu.Lock()
-		w.staged = append(w.staged, inboundData{from: int32(from), msg: msg, raw: payload})
+		w.staged = append(w.staged, inboundData{from: int32(from), raw: payload})
 		w.stageMu.Unlock()
 		signal(w.stageKick)
 		return
 	}
-	w.deliverData(from, msg, payload)
+	// Inline delivery can run concurrently (one handler invocation per
+	// inbound link), so the decode scratch comes from a pool rather than a
+	// single worker-owned struct.
+	m := wmsgPool.Get().(*tuple.WorkerMessage)
+	if _, err := tuple.DecodeWorkerMessageInto(m, payload); err != nil {
+		w.eng.metrics.DecodeErrors.Inc()
+	} else {
+		w.deliverData(from, m, payload)
+	}
+	m.Payload = nil // drop the payload reference before pooling
+	wmsgPool.Put(m)
 }
+
+// wmsgPool recycles WorkerMessage decode scratch for the inline dispatch
+// path. deliverData never retains the message struct (only the payload
+// bytes, which it does not own), so pooling after delivery is safe.
+var wmsgPool = sync.Pool{New: func() any { return new(tuple.WorkerMessage) }}
 
 // deliverLoop drains the staged inbound data queue in arrival order. Only
 // runs in flow-controlled mode; it may block on executor admission or a
@@ -513,6 +552,9 @@ func (w *worker) dispatch(from transport.WorkerID, payload []byte) {
 // are withheld), and it never delays control-message processing.
 func (w *worker) deliverLoop() {
 	defer w.wg.Done()
+	// Single-goroutine decode scratch: DstIDs capacity is reused across
+	// messages, so steady-state delivery does not allocate per message.
+	var scratch tuple.WorkerMessage
 	for {
 		w.stageMu.Lock()
 		if len(w.staged) > 0 {
@@ -520,7 +562,11 @@ func (w *worker) deliverLoop() {
 			w.staged[0] = inboundData{}
 			w.staged = w.staged[1:]
 			w.stageMu.Unlock()
-			w.deliverData(transport.WorkerID(it.from), it.msg, it.raw)
+			if _, err := tuple.DecodeWorkerMessageInto(&scratch, it.raw); err != nil {
+				w.eng.metrics.DecodeErrors.Inc()
+			} else {
+				w.deliverData(transport.WorkerID(it.from), &scratch, it.raw)
+			}
 			continue
 		}
 		w.stageMu.Unlock()

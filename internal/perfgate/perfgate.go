@@ -1,0 +1,192 @@
+// Package perfgate defines the BENCH_*.json benchmark-report schema and the
+// regression comparison used by cmd/whaleperf and the bench-gate CI job.
+//
+// A report maps stable benchmark names to median metrics over N runs plus a
+// dispersion figure ((max-min)/median of ns/op or tuples/sec) that the gate
+// uses to loosen thresholds for noisy rows. Names are namespaced:
+// "micro/<case>" for internal/microbench cases and "des/<figure>/<series>/<x>"
+// for discrete-event experiment cells.
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Schema is the report format identifier.
+const Schema = "whaleperf/v1"
+
+// Metric is one benchmark's medians over the harness runs.
+type Metric struct {
+	NsPerOp      float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp   float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp  float64 `json:"allocs_per_op,omitempty"`
+	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
+	// Dispersion is (max-min)/median of the primary metric across runs;
+	// rows noisier than the gate threshold are compared more loosely.
+	Dispersion float64 `json:"dispersion"`
+	Runs       int     `json:"runs"`
+}
+
+// Report is one whaleperf harness output.
+type Report struct {
+	Schema string `json:"schema"`
+	// Quick records whether DES experiments ran in quick mode; baselines and
+	// fresh runs must agree for DES rows to be comparable.
+	Quick      bool              `json:"quick"`
+	Benchmarks map[string]Metric `json:"benchmarks"`
+}
+
+// Load reads a report from path and checks its schema.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perfgate: parse %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("perfgate: %s has schema %q, want %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// Save writes the report as indented, key-sorted JSON (stable diffs when the
+// baseline is refreshed and committed).
+func (r *Report) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Names returns the benchmark names in sorted order.
+func (r *Report) Names() []string {
+	out := make([]string, 0, len(r.Benchmarks))
+	for k := range r.Benchmarks {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Options controls the comparison.
+type Options struct {
+	// MicroThreshold is the allowed fractional slowdown for "micro/" rows
+	// (default 0.10).
+	MicroThreshold float64
+	// DESThreshold is the allowed fractional throughput drop for "des/" rows,
+	// which model whole experiments and are noisier (default 0.25).
+	DESThreshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MicroThreshold <= 0 {
+		o.MicroThreshold = 0.10
+	}
+	if o.DESThreshold <= 0 {
+		o.DESThreshold = 0.25
+	}
+	return o
+}
+
+// Regression is one gate violation.
+type Regression struct {
+	Name   string
+	Metric string // "ns/op", "allocs/op", "B/op", "tuples/sec", "missing"
+	Old    float64
+	New    float64
+	Limit  float64 // the threshold fraction actually applied
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: present in baseline but missing from this run", r.Name)
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (limit %.0f%%)", r.Name, r.Metric, r.Old, r.New, r.Limit*100)
+}
+
+// Compare gates fresh against baseline and returns every violation.
+// Improvements never fail; rows new in fresh never fail; rows whose recorded
+// dispersion exceeds the threshold get double headroom instead of a free
+// pass, so a noisy benchmark still cannot silently halve.
+func Compare(baseline, fresh *Report, opts Options) []Regression {
+	opts = opts.withDefaults()
+	var out []Regression
+	for _, name := range baseline.Names() {
+		old := baseline.Benchmarks[name]
+		cur, ok := fresh.Benchmarks[name]
+		if !ok {
+			if strings.HasPrefix(name, "des/") && baseline.Quick != fresh.Quick {
+				continue // quick and full DES sweeps cover different cells
+			}
+			out = append(out, Regression{Name: name, Metric: "missing"})
+			continue
+		}
+		thr := opts.MicroThreshold
+		if strings.HasPrefix(name, "des/") {
+			thr = opts.DESThreshold
+		}
+		// Loosen, don't waive, for rows that measured noisy in either run.
+		if old.Dispersion > thr || cur.Dispersion > thr {
+			thr *= 2
+		}
+		if old.NsPerOp > 0 && cur.NsPerOp > old.NsPerOp*(1+thr) {
+			out = append(out, Regression{Name: name, Metric: "ns/op", Old: old.NsPerOp, New: cur.NsPerOp, Limit: thr})
+		}
+		// Allocations gate absolutely: 0 -> 1 is a regression no ratio can
+		// express, and the zero-alloc hot path is an acceptance criterion.
+		if cur.AllocsPerOp > old.AllocsPerOp+0.5 && cur.AllocsPerOp > old.AllocsPerOp*(1+thr) {
+			out = append(out, Regression{Name: name, Metric: "allocs/op", Old: old.AllocsPerOp, New: cur.AllocsPerOp, Limit: thr})
+		}
+		if cur.BytesPerOp > old.BytesPerOp+16 && cur.BytesPerOp > old.BytesPerOp*(1+thr) {
+			out = append(out, Regression{Name: name, Metric: "B/op", Old: old.BytesPerOp, New: cur.BytesPerOp, Limit: thr})
+		}
+		if old.TuplesPerSec > 0 && cur.TuplesPerSec > 0 && cur.TuplesPerSec < old.TuplesPerSec*(1-thr) {
+			out = append(out, Regression{Name: name, Metric: "tuples/sec", Old: old.TuplesPerSec, New: cur.TuplesPerSec, Limit: thr})
+		}
+	}
+	return out
+}
+
+// Median returns the middle value of vs (mean of middle two when even);
+// it sorts a copy.
+func Median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// Dispersion returns (max-min)/median for vs, 0 when degenerate.
+func Dispersion(vs []float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	med := Median(vs)
+	if med == 0 {
+		return 0
+	}
+	min, max := vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return (max - min) / med
+}

@@ -1,0 +1,109 @@
+package perfgate
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(benchmarks map[string]Metric) *Report {
+	return &Report{Schema: Schema, Quick: true, Benchmarks: benchmarks}
+}
+
+func TestCompareCleanAndImprovement(t *testing.T) {
+	base := report(map[string]Metric{
+		"micro/encode":        {NsPerOp: 100, AllocsPerOp: 0, TuplesPerSec: 1e7},
+		"des/fig13/Whale/480": {TuplesPerSec: 3e6},
+	})
+	fresh := report(map[string]Metric{
+		"micro/encode":        {NsPerOp: 90, AllocsPerOp: 0, TuplesPerSec: 1.1e7}, // faster
+		"des/fig13/Whale/480": {TuplesPerSec: 3.1e6},
+		"micro/new-row":       {NsPerOp: 5000}, // new rows never gate
+	})
+	if regs := Compare(base, fresh, Options{}); len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := report(map[string]Metric{
+		"micro/encode":        {NsPerOp: 100, AllocsPerOp: 0},
+		"micro/decode":        {NsPerOp: 100},
+		"des/fig13/Whale/480": {TuplesPerSec: 3e6},
+		"micro/gone":          {NsPerOp: 1},
+	})
+	fresh := report(map[string]Metric{
+		"micro/encode":        {NsPerOp: 105, AllocsPerOp: 2}, // alloc regression
+		"micro/decode":        {NsPerOp: 150},                 // 50% > 10%
+		"des/fig13/Whale/480": {TuplesPerSec: 2e6},            // -33% > 25%
+	})
+	regs := Compare(base, fresh, Options{})
+	want := map[string]string{
+		"micro/encode":        "allocs/op",
+		"micro/decode":        "ns/op",
+		"des/fig13/Whale/480": "tuples/sec",
+		"micro/gone":          "missing",
+	}
+	if len(regs) != len(want) {
+		t.Fatalf("got %d regressions %v, want %d", len(regs), regs, len(want))
+	}
+	for _, r := range regs {
+		if want[r.Name] != r.Metric {
+			t.Errorf("%s flagged on %s, want %s", r.Name, r.Metric, want[r.Name])
+		}
+	}
+}
+
+func TestCompareNoisyRowsGetHeadroomNotAPass(t *testing.T) {
+	base := report(map[string]Metric{"micro/jitter": {NsPerOp: 100, Dispersion: 0.3}})
+	// 15% slower: over the 10% gate but inside the doubled 20% noisy gate.
+	ok := report(map[string]Metric{"micro/jitter": {NsPerOp: 115, Dispersion: 0.3}})
+	if regs := Compare(base, ok, Options{}); len(regs) != 0 {
+		t.Fatalf("noisy row inside doubled threshold flagged: %v", regs)
+	}
+	// 2x slower: noisy or not, that fails.
+	bad := report(map[string]Metric{"micro/jitter": {NsPerOp: 200, Dispersion: 0.3}})
+	if regs := Compare(base, bad, Options{}); len(regs) != 1 {
+		t.Fatalf("noisy row halving throughput not flagged: %v", regs)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_t.json")
+	r := report(map[string]Metric{"micro/x": {NsPerOp: 42.5, Runs: 5, Dispersion: 0.01}})
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks["micro/x"].NsPerOp != 42.5 || got.Benchmarks["micro/x"].Runs != 5 || !got.Quick {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// Wrong schema must be rejected.
+	bad := &Report{Schema: "other/v9", Benchmarks: nil}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	data := []byte(`{"schema":"other/v9","benchmarks":{}}`)
+	if err := os.WriteFile(badPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(badPath); err == nil {
+		t.Fatalf("schema %q accepted", bad.Schema)
+	}
+}
+
+func TestMedianDispersion(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if d := Dispersion([]float64{90, 100, 110}); d != 0.2 {
+		t.Fatalf("dispersion = %v", d)
+	}
+	if d := Dispersion([]float64{100}); d != 0 {
+		t.Fatalf("single-sample dispersion = %v", d)
+	}
+}

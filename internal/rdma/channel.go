@@ -177,8 +177,11 @@ type remoteWriterState struct {
 	rkey     uint32
 	dataSize int
 	head     uint64
-	tail     uint64 // cached; refreshed via one-sided READ when full
-	stage    *MR    // 8-byte staging buffer for tail reads
+	tail     uint64  // cached; refreshed via one-sided READ when full
+	stage    *MR     // 8-byte staging buffer for tail reads
+	hdr      [4]byte // frame-length scratch; valid per flush (mu serialises)
+	headBuf  [8]byte // head-publish scratch; valid per flush (mu serialises)
+	wrs      []WR    // work-request scratch reused across flushes
 }
 
 // Stats returns a snapshot of the channel's counters.
@@ -328,6 +331,14 @@ func (c *Channel) flushLocked(reason FlushReason) error {
 	if err != nil && c.sendErr == nil {
 		c.sendErr = err
 	}
+	// The one-sided flushes complete synchronously (the batch is copied into
+	// a memory region before they return), so the batch buffer can back the
+	// next batch instead of being reallocated. Two-sided mode posts the batch
+	// as an Inline work request that the RNIC engine consumes asynchronously:
+	// ownership transfers with the WR and the buffer must not be reused.
+	if err == nil && c.cfg.Mode != ModeTwoSided && cap(batch) <= 2*c.cfg.MMS {
+		c.pending = batch[:0]
+	}
 	return err
 }
 
@@ -404,31 +415,40 @@ func (c *Channel) flushRemoteWrite(batch []byte) error {
 		time.Sleep(c.cfg.PollInterval)
 		c.stats.BlockedNS.Add(time.Since(t0).Nanoseconds())
 	}
-	frame := make([]byte, need)
-	binary.LittleEndian.PutUint32(frame, uint32(len(batch)))
-	copy(frame[4:], batch)
-	// Pipeline the data WRITE(s) and the head publish: RC executes work
-	// requests in order, so the head can never be visible before the data.
-	// Only the final completion is awaited.
-	var wrs []WR
+	// Post the length header and the batch as separate pipelined WRITEs
+	// instead of assembling an intermediate frame copy: pipelineOps reaps
+	// every completion before returning, so the batch (and the header/head
+	// scratch fields, reused across flushes under mu) stay valid for the
+	// WRs' whole lifetime. RC executes work requests in order, so the head
+	// can never be visible before the data.
+	binary.LittleEndian.PutUint32(st.hdr[:], uint32(len(batch)))
+	wrs := st.wrs[:0]
 	off := int(st.head % uint64(st.dataSize))
-	if off+need <= st.dataSize {
-		wrs = append(wrs, WR{Op: OpWrite, Inline: frame,
-			Remote: RemoteAddr{RKey: st.rkey, Offset: ringDataOff + off}})
-	} else {
-		first := st.dataSize - off
-		wrs = append(wrs,
-			WR{Op: OpWrite, Inline: frame[:first],
-				Remote: RemoteAddr{RKey: st.rkey, Offset: ringDataOff + off}},
-			WR{Op: OpWrite, Inline: frame[first:],
-				Remote: RemoteAddr{RKey: st.rkey, Offset: ringDataOff}})
-	}
+	wrs, off = st.appendRingWrites(wrs, off, st.hdr[:])
+	wrs, _ = st.appendRingWrites(wrs, off, batch)
 	st.head += uint64(need)
-	var hb [8]byte
-	binary.LittleEndian.PutUint64(hb[:], st.head)
-	wrs = append(wrs, WR{Op: OpWrite, Inline: hb[:],
+	binary.LittleEndian.PutUint64(st.headBuf[:], st.head)
+	wrs = append(wrs, WR{Op: OpWrite, Inline: st.headBuf[:],
 		Remote: RemoteAddr{RKey: st.rkey, Offset: ringHeadOff}})
+	st.wrs = wrs[:0]
 	return c.pipelineOps(wrs)
+}
+
+// appendRingWrites splits one logical write of p at ring offset off into the
+// WRITE work requests needed to honor the ring wrap, returning the extended
+// WR list and the offset after the write.
+func (st *remoteWriterState) appendRingWrites(wrs []WR, off int, p []byte) ([]WR, int) {
+	for len(p) > 0 {
+		n := st.dataSize - off
+		if n > len(p) {
+			n = len(p)
+		}
+		wrs = append(wrs, WR{Op: OpWrite, Inline: p[:n],
+			Remote: RemoteAddr{RKey: st.rkey, Offset: ringDataOff + off}})
+		p = p[n:]
+		off = (off + n) % st.dataSize
+	}
+	return wrs, off
 }
 
 // pipelineOps posts a sequence of work requests back to back and reaps all
@@ -502,7 +522,12 @@ func (c *Channel) Close() error {
 	return err
 }
 
-// parseBatch splits a batch into messages and delivers each.
+// parseBatch splits a batch into messages and delivers each. Messages are
+// delivered as sub-slices of batch rather than per-message copies: every
+// receive loop hands parseBatch a freshly read buffer it never touches
+// again, so ownership of the whole batch — and with it each aliased message
+// — transfers to the handler (a retained message pins its batch until the
+// handler drops it, which the GC handles).
 func (c *Channel) parseBatch(batch []byte) error {
 	off := 0
 	for off < len(batch) {
@@ -514,10 +539,8 @@ func (c *Channel) parseBatch(batch []byte) error {
 		if off+n > len(batch) {
 			return fmt.Errorf("rdma: truncated batch payload (%d > %d)", n, len(batch)-off)
 		}
-		msg := make([]byte, n)
-		copy(msg, batch[off:off+n])
+		c.deliver(batch[off : off+n : off+n])
 		off += n
-		c.deliver(msg)
 	}
 	return nil
 }

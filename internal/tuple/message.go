@@ -58,24 +58,52 @@ func AppendWorkerMessage(dst []byte, m *WorkerMessage) []byte {
 	return dst
 }
 
+// MessageKind peeks the wire kind of an encoded WorkerMessage without
+// decoding it (the kind is always byte 0). Returns 0 for an empty buffer;
+// the caller is expected to decode (and fail) anyway.
+func MessageKind(buf []byte) byte {
+	if len(buf) == 0 {
+		return 0
+	}
+	return buf[0]
+}
+
 // DecodeWorkerMessage parses one WorkerMessage from buf, returning the
 // message and bytes consumed. The returned Payload aliases buf.
 func DecodeWorkerMessage(buf []byte) (*WorkerMessage, int, error) {
-	if len(buf) < 1 {
-		return nil, 0, ErrTruncated
-	}
-	m := &WorkerMessage{Kind: buf[0]}
-	off := 1
-	ndst, off, err := readU16(buf, off)
+	m := &WorkerMessage{}
+	n, err := DecodeWorkerMessageInto(m, buf)
 	if err != nil {
 		return nil, 0, err
 	}
-	m.DstIDs = make([]int32, ndst)
+	return m, n, nil
+}
+
+// DecodeWorkerMessageInto parses one WorkerMessage from buf into m, reusing
+// m's DstIDs capacity, and returns the bytes consumed. m.Payload aliases
+// buf: the decoded message is only valid while buf is; reusing m for the
+// next decode invalidates the previous contents (single-owner scratch —
+// see DESIGN §11). On error m is left in an unspecified state.
+func DecodeWorkerMessageInto(m *WorkerMessage, buf []byte) (int, error) {
+	if len(buf) < 1 {
+		return 0, ErrTruncated
+	}
+	*m = WorkerMessage{Kind: buf[0], DstIDs: m.DstIDs[:0]}
+	off := 1
+	ndst, off, err := readU16(buf, off)
+	if err != nil {
+		return 0, err
+	}
+	if cap(m.DstIDs) < int(ndst) {
+		m.DstIDs = make([]int32, ndst)
+	} else {
+		m.DstIDs = m.DstIDs[:ndst]
+	}
 	for i := range m.DstIDs {
 		var u uint32
 		u, off, err = readU32(buf, off)
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		m.DstIDs[i] = int32(u)
 	}
@@ -83,29 +111,29 @@ func DecodeWorkerMessage(buf []byte) (*WorkerMessage, int, error) {
 		var u uint32
 		u, off, err = readU32(buf, off)
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		m.Group = int32(u)
 		u, off, err = readU32(buf, off)
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		m.TreeVersion = int32(u)
 		u, off, err = readU32(buf, off)
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		m.SrcWorker = int32(u)
 	}
 	plen, off, err := readU32(buf, off)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	if off+int(plen) > len(buf) {
-		return nil, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
 	m.Payload = buf[off : off+int(plen)]
-	return m, off + int(plen), nil
+	return off + int(plen), nil
 }
 
 // EncodedWorkerMessageSize returns the wire size of a worker message with

@@ -1,0 +1,45 @@
+package tuple
+
+import "sync"
+
+// Encoder pooling. Long-lived owners (one per worker send thread) hold their
+// own Encoder; transient encode sites — control-plane grants, heartbeats,
+// acks — borrow one here instead of encoding into a fresh slice per message.
+// The pooled scratch amortizes to zero allocations once warm.
+var encoderPool = sync.Pool{New: func() any { return NewEncoder() }}
+
+// AcquireEncoder returns a pooled encoder. Callers must pass it to
+// ReleaseEncoder once every slice obtained from it is dead or copied: the
+// encoder's buffers are recycled on release, so a retained EncodeTuple /
+// EncodeControlEnvelope result would be clobbered by the next borrower.
+func AcquireEncoder() *Encoder { return encoderPool.Get().(*Encoder) }
+
+// ReleaseEncoder returns e to the pool. e must not be used afterwards.
+func ReleaseEncoder(e *Encoder) {
+	if e == nil {
+		return
+	}
+	// Don't let one giant message pin a giant scratch in the pool forever.
+	const maxRetained = 1 << 20
+	if cap(e.buf) > maxRetained {
+		e.buf = nil
+	}
+	if cap(e.aux) > maxRetained {
+		e.aux = nil
+	}
+	encoderPool.Put(e)
+}
+
+// EncodeControlEnvelope serializes cm wrapped in a KindControl WorkerMessage,
+// using the encoder's scratch buffers. The returned slice aliases the
+// encoder's internal buffer and is only valid until the next call (or until
+// the encoder is released); the transports' Send contract — payload copied
+// before Send returns — makes send-then-release safe.
+func (e *Encoder) EncodeControlEnvelope(cm *ControlMessage) []byte {
+	e.aux = AppendControlMessage(e.aux[:0], cm)
+	e.buf = AppendWorkerMessage(e.buf[:0], &WorkerMessage{
+		Kind:    KindControl,
+		Payload: e.aux,
+	})
+	return e.buf
+}

@@ -18,10 +18,12 @@ const (
 // ErrTruncated is returned when a buffer ends before a complete value.
 var ErrTruncated = fmt.Errorf("tuple: truncated buffer")
 
-// Encoder serializes tuples into a reusable buffer. It is not safe for
-// concurrent use; each executor owns one.
+// Encoder serializes tuples and message envelopes into reusable scratch
+// buffers. It is not safe for concurrent use; each executor owns one, and
+// transient users borrow one from the pool via AcquireEncoder.
 type Encoder struct {
 	buf []byte
+	aux []byte // nested-payload scratch for EncodeControlEnvelope
 }
 
 // NewEncoder returns an encoder with an initial buffer capacity.
@@ -98,7 +100,10 @@ func appendValue(dst []byte, v Value) ([]byte, error) {
 }
 
 // DecodeTuple parses one tuple from buf, returning the tuple and the number
-// of bytes consumed.
+// of bytes consumed. []byte field values alias buf — the caller must not
+// recycle buf while the decoded tuple is live (see DESIGN §11: receive-path
+// buffers transfer to the receiver and are never reused, which makes the
+// alias free).
 //
 //whale:hotpath
 func DecodeTuple(buf []byte) (*Tuple, int, error) {
@@ -187,9 +192,11 @@ func readValue(buf []byte, off int) (Value, int, error) {
 		if off+int(n) > len(buf) {
 			return nil, off, ErrTruncated
 		}
-		out := make([]byte, n)
-		copy(out, buf[off:off+int(n)])
-		return out, off + int(n), nil
+		// Alias the input instead of copying: decode buffers are owned by the
+		// receive path (every transport delivers a private buffer) and Tuple
+		// []byte fields are immutable by convention, so the sub-slice is safe
+		// to hand out and the per-field copy is pure overhead.
+		return buf[off : off+int(n) : off+int(n)], off + int(n), nil
 	case tagBool:
 		if off >= len(buf) {
 			return nil, off, ErrTruncated
