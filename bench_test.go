@@ -70,6 +70,9 @@ func BenchmarkTupleDeserialize(b *testing.B)      { microbench.TupleDeserialize(
 func BenchmarkWorkerMessageEncode(b *testing.B)   { microbench.WorkerMessageEncode(b) }
 func BenchmarkWorkerMessageDecode(b *testing.B)   { microbench.WorkerMessageDecode(b) }
 func BenchmarkControlEnvelopeEncode(b *testing.B) { microbench.ControlEnvelopeEncode(b) }
+func BenchmarkTraceRecordOff(b *testing.B)        { microbench.TraceRecordOff(b) }
+func BenchmarkTraceRecordOn(b *testing.B)         { microbench.TraceRecordOn(b) }
+func BenchmarkBottleneckAttribution(b *testing.B) { benchExperiment(b, "bottleneck") }
 
 func destIDs(n int) []multicast.NodeID {
 	out := make([]multicast.NodeID, n)

@@ -6,6 +6,7 @@
 //
 //	whaled -app ride  -system whale -matchers 16 -workers 4 -duration 10s
 //	whaled -app stock -system storm -matchers 8
+//	whaled -app ride  -system whale -trace-out trace.json -bottleneck
 package main
 
 import (
@@ -39,7 +40,12 @@ func main() {
 	rate := flag.Float64("rate", 0, "broadcast stream rate (tuples/s, 0 = full speed)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics and /debug endpoints on this address (e.g. :9090)")
 	traceEvery := flag.Int64("trace-sample-every", 0, "trace every Nth spout tuple through the pipeline (0 = off)")
+	traceOut := flag.String("trace-out", "", "write sampled spans as Chrome trace_event JSON to this file on shutdown (implies tracing; load via chrome://tracing or Perfetto)")
+	bottleneck := flag.Bool("bottleneck", false, "print the ranked bottleneck attribution report on shutdown")
 	flag.Parse()
+	if *traceOut != "" && *traceEvery == 0 {
+		*traceEvery = 100
+	}
 
 	sys, ok := systems[*sysName]
 	if !ok {
@@ -113,6 +119,16 @@ func main() {
 	}
 	cluster.StopSources()
 	cluster.Drain(5 * time.Second)
+	if *bottleneck {
+		fmt.Print(cluster.BottleneckReport())
+	}
+	if *traceOut != "" {
+		if err := writeTrace(cluster, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		} else {
+			fmt.Printf("trace written to %s\n", *traceOut)
+		}
+	}
 	cluster.Shutdown()
 	switch *app {
 	case "ride":
@@ -120,6 +136,19 @@ func main() {
 	case "stock":
 		fmt.Printf("trades executed=%d\n", trades.Load())
 	}
+}
+
+// writeTrace dumps the tracer's retained spans as Chrome trace_event JSON.
+func writeTrace(c *whale.Cluster, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Obs().Tracer.WriteTraceEvents(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func keys() []string {

@@ -1,10 +1,13 @@
 // Command whaleperf is the benchmark-regression harness behind `make
 // perfgate` and the bench-gate CI job.
 //
-// It runs the curated internal/microbench cases plus the gated quick-mode
-// discrete-event experiments (fig13 ride throughput, fig17 multicast-tree
-// throughput) -runs times each, records per-benchmark medians and dispersion,
-// and writes a perfgate report (BENCH_*.json schema). Given -baseline it
+// It runs the curated internal/microbench cases (including the
+// trace_record_off / trace_record_on pair, which holds the tuple hot path's
+// tracing-disabled cost to zero allocations and bounds the worst-case
+// tracing-enabled overhead) plus the gated quick-mode discrete-event
+// experiments (fig13 ride throughput, fig17 multicast-tree throughput)
+// -runs times each, records per-benchmark medians and dispersion, and
+// writes a perfgate report (BENCH_*.json schema). Given -baseline it
 // compares against the committed report and exits non-zero on any regression
 // beyond the thresholds (default 10% for microbenchmarks, 25% for the
 // noisier DES rows; rows whose measured dispersion exceeds the threshold get
@@ -12,11 +15,11 @@
 //
 // Usage:
 //
-//	go run ./cmd/whaleperf -quick -runs 5 -baseline BENCH_5.json -out BENCH_5.new.json
+//	go run ./cmd/whaleperf -quick -runs 5 -baseline BENCH_6.json -out BENCH_6.new.json
 //
 // To refresh the committed baseline after an intentional perf change:
 //
-//	go run ./cmd/whaleperf -quick -out BENCH_5.json
+//	go run ./cmd/whaleperf -quick -out BENCH_6.json
 package main
 
 import (

@@ -17,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28",
 		"fig29", "fig30", "fig31", "fig32", "fig33", "fig34",
 		"ablation-waterline", "ablation-smoothing", "ablation-dstar", "ext-scale",
+		"bottleneck",
 	}
 	ids := IDs()
 	have := map[string]bool{}

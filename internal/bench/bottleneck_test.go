@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"whale/internal/cluster"
+)
+
+// TestBottleneckAttribution validates the analyzer against ground truth:
+// for each injected bottleneck the top-ranked finding must name the
+// injected component and class, and two runs with the same seed must
+// produce byte-identical reports (deterministic attribution).
+func TestBottleneckAttribution(t *testing.T) {
+	for _, sc := range bottleneckScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			first := bottleneckRun(sc, true)
+			top := first.Bottleneck.Top()
+			if top.Component != sc.component {
+				t.Fatalf("top component = %q (%s), want %q\nreport:\n%s",
+					top.Component, top.Class, sc.component, first.Bottleneck)
+			}
+			if top.Class != sc.class {
+				t.Fatalf("top class = %q, want %q", top.Class, sc.class)
+			}
+			if top.Share <= 0.5 {
+				t.Errorf("injected bottleneck holds only %.1f%% of attributed stall; expected a decisive majority", top.Share*100)
+			}
+			if top.StallNS <= 0 {
+				t.Errorf("top finding has no stall time")
+			}
+
+			second := bottleneckRun(sc, true)
+			b1, err := json.Marshal(first.Bottleneck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := json.Marshal(second.Bottleneck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(b2) {
+				t.Errorf("same seed produced different reports:\n%s\nvs\n%s", b1, b2)
+			}
+		})
+	}
+}
+
+// TestBottleneckReportClean asserts the analyzer does not invent a strong
+// bottleneck on an unperturbed, underloaded run: whatever ranks first must
+// hold only incidental stall compared to the injected scenarios.
+func TestBottleneckReportClean(t *testing.T) {
+	clean := bottleneckScenario{name: "clean", mut: func(c *cluster.Config) { c.Variant = cluster.Whale }}
+	res := bottleneckRun(clean, true)
+	injected := bottleneckRun(bottleneckScenarios()[0], true)
+	cleanTop := res.Bottleneck.Top()
+	injTop := injected.Bottleneck.Top()
+	if cleanTop.StallNS*10 > injTop.StallNS {
+		t.Errorf("clean run's top stall %.2fms is within 10x of the injected run's %.2fms — injections are not distinguishable",
+			float64(cleanTop.StallNS)/1e6, float64(injTop.StallNS)/1e6)
+	}
+}

@@ -85,6 +85,7 @@ func init() {
 	register("ablation-smoothing", "Ablation: α-weighted rate smoothing vs raw rate", runAblationSmoothing)
 	register("ablation-dstar", "Ablation: fixed d* sweep (Theorems 1-2 trade-off)", runAblationDstar)
 	register("ext-scale", "Extension: parallelism beyond core saturation", runExtScale)
+	register("bottleneck", "Injected bottlenecks vs analyzer attribution", runBottleneck)
 }
 
 func runTable2(quick bool) (*Report, error) {

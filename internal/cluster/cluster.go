@@ -22,6 +22,7 @@ import (
 	"whale/internal/metrics"
 	"whale/internal/multicast"
 	"whale/internal/netmodel"
+	"whale/internal/obs/attrib"
 	"whale/internal/queueing"
 	"whale/internal/sim"
 )
@@ -114,6 +115,25 @@ type Config struct {
 	TDownOverride float64
 	AlphaOverride float64
 
+	// Bottleneck injection (ground truth for the attribution experiment):
+	// each knob degrades one named component so the analyzer's ranked
+	// report can be validated against a known answer. Machine 0 hosts the
+	// source, so 0 disables each knob.
+
+	// SlowMachine stretches that machine's matching service time by
+	// SlowFactor (default 8) — a slow subscriber.
+	SlowMachine int
+	SlowFactor  float64
+	// HotRelayMachine stretches that machine's relay and dispatch costs by
+	// HotRelayFactor (default 8) — a hot interior relay (tree variants).
+	HotRelayMachine int
+	HotRelayFactor  float64
+	// CreditLimitMachine rate-limits the source's sends toward that
+	// machine to CreditRatePerSec grants/s (default 2000) — an undersized
+	// credit window on link 0→machine.
+	CreditLimitMachine int
+	CreditRatePerSec   float64
+
 	Seed int64
 }
 
@@ -153,6 +173,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SwitchMoveCost <= 0 {
 		c.SwitchMoveCost = 50 * time.Microsecond
+	}
+	if c.SlowMachine > 0 && c.SlowFactor <= 0 {
+		c.SlowFactor = 8
+	}
+	if c.HotRelayMachine > 0 && c.HotRelayFactor <= 0 {
+		c.HotRelayFactor = 8
+	}
+	if c.CreditLimitMachine > 0 && c.CreditRatePerSec <= 0 {
+		c.CreditRatePerSec = 2000
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -206,6 +235,12 @@ type Result struct {
 	FinalDstar int
 
 	Timeline []TimelinePoint
+
+	// Bottleneck is the analyzer's ranked attribution over the run's
+	// queueing profile (internal/obs/attrib): per-server waiting time by
+	// Little's law, the credit limiter's blocked time, and M/D/1
+	// comparisons from each server's measured λ and μ.
+	Bottleneck attrib.Report
 }
 
 // coresPerMachine is the paper testbed's core count per machine.
@@ -252,6 +287,7 @@ type runner struct {
 	machines []*machine
 	W        int         // engaged machines
 	src      *sim.Server // source instance (its queue is the transfer queue)
+	credit   *sim.Server // injected rate limiter on link 0→CreditLimitMachine
 
 	tree     *multicast.Tree // nil for star/instance variants
 	dstar    int
@@ -352,6 +388,9 @@ func (r *runner) buildMachines() {
 	// The source instance lives on machine 0; its server queue is the
 	// transfer queue with capacity Q.
 	r.src = sim.NewServer(r.eng, "source", r.cfg.Q)
+	if r.cfg.CreditLimitMachine > 0 && r.cfg.CreditLimitMachine < r.W {
+		r.credit = sim.NewServer(r.eng, "credit", 0)
+	}
 	// Background location stream on every engaged instance.
 	if r.cfg.LocationRate > 0 {
 		perInst := r.cfg.LocationRate / float64(n)
@@ -579,6 +618,20 @@ func (r *runner) transmit(id int64, st *tupleState) {
 // the dispatcher. kTasks is the local fan-out at the destination;
 // lastForWorker marks the message that completes the worker's delivery.
 func (r *runner) sendMsg(id int64, st *tupleState, from int, to *machine, size, kTasks int, lastForWorker bool) {
+	// Injected credit limit: sends from the source toward the limited
+	// machine first wait for a grant from the rate-limited credit server;
+	// the server's WaitNS is exactly the link's credit-wait stall.
+	if r.credit != nil && from == 0 && to.id == r.cfg.CreditLimitMachine {
+		grant := int64(1e9 / r.cfg.CreditRatePerSec)
+		r.credit.Submit(grant, func() {
+			r.sendMsgDirect(id, st, from, to, size, kTasks, lastForWorker)
+		})
+		return
+	}
+	r.sendMsgDirect(id, st, from, to, size, kTasks, lastForWorker)
+}
+
+func (r *runner) sendMsgDirect(id int64, st *tupleState, from int, to *machine, size, kTasks int, lastForWorker bool) {
 	bw := r.p.InfinibandBps
 	if r.cfg.Variant == Storm {
 		bw = r.p.EthernetBps
@@ -597,6 +650,9 @@ func (r *runner) sendMsg(id int64, st *tupleState, from int, to *machine, size, 
 			// Tree relay first, staggered per child post.
 			if r.cfg.Variant.tree() {
 				post := r.p.TPostOpt.Nanoseconds()
+				if r.cfg.HotRelayMachine > 0 && to.id == r.cfg.HotRelayMachine {
+					post = int64(float64(post) * r.cfg.HotRelayFactor)
+				}
 				for i, c := range r.tree.Children(multicast.NodeID(to.id)) {
 					cm := r.machines[c]
 					to.dispatcher.Submit(post, nil) // relay CPU accounting
@@ -606,6 +662,9 @@ func (r *runner) sendMsg(id int64, st *tupleState, from int, to *machine, size, 
 				}
 			}
 			dispCost := r.p.TDeserialize.Nanoseconds() + int64(kTasks)*r.p.TDispatchPerTask.Nanoseconds()
+			if r.cfg.HotRelayMachine > 0 && to.id == r.cfg.HotRelayMachine {
+				dispCost = int64(float64(dispCost) * r.cfg.HotRelayFactor)
+			}
 			to.dispatcher.Submit(dispCost, func() {
 				if lastForWorker {
 					r.workerArrived(id, st)
@@ -640,6 +699,9 @@ func (r *runner) deliverInstances(id int64, st *tupleState, m *machine) {
 	cost := r.p.MatchCost(r.cfg.Parallelism).Nanoseconds()
 	if m.localInst > coresPerMachine {
 		cost = cost * int64(m.localInst) / coresPerMachine
+	}
+	if r.cfg.SlowMachine > 0 && m.id == r.cfg.SlowMachine {
+		cost = int64(float64(cost) * r.cfg.SlowFactor)
 	}
 	k := m.localInst
 	m.instance.Submit(cost, func() {
@@ -804,5 +866,49 @@ func (r *runner) result() Result {
 	} else {
 		res.LoadFactor = res.Throughput * float64(total) / 1e9
 	}
+	res.Bottleneck = r.attribReport()
 	return res
+}
+
+// attribReport folds the run's per-server queueing into an analyzer input:
+// each server's accumulated wait is its stall, mean queue length comes from
+// Little's law (WaitNS over the window), and λ/μ from its served count and
+// busy time. The fold is pure arithmetic over the deterministic simulation,
+// so equal seeds yield byte-identical reports.
+func (r *runner) attribReport() attrib.Report {
+	now := r.eng.Now()
+	in := attrib.Input{WindowNS: now}
+	if now <= 0 {
+		return attrib.Analyze(in)
+	}
+	winSec := float64(now) / 1e9
+	if r.credit != nil {
+		in.Links = append(in.Links, attrib.LinkSample{
+			From: 0, To: int32(r.cfg.CreditLimitMachine),
+			CreditWaitNS: r.credit.WaitNS,
+			Sent:         r.credit.Served,
+			Queued:       r.credit.QueueLen(),
+		})
+	}
+	addServer := func(id int, role string, s *sim.Server) {
+		ws := attrib.WorkerSample{
+			Worker: int32(id), Role: role,
+			StallNS:  s.WaitNS,
+			BusyNS:   s.BusyNS,
+			QueueLen: float64(s.WaitNS) / float64(now), // Little's law
+		}
+		if s.Served > 0 && s.BusyNS > 0 {
+			ws.ArrivalPerSec = float64(s.Served) / winSec
+			ws.ServicePerSec = float64(s.Served) / (float64(s.BusyNS) / 1e9)
+		}
+		in.Workers = append(in.Workers, ws)
+	}
+	addServer(0, attrib.RoleSource, r.src)
+	for _, m := range r.machines {
+		addServer(m.id, attrib.RoleExecutor, m.instance)
+		if r.cfg.Variant.tree() && m.id > 0 {
+			addServer(m.id, attrib.RoleRelay, m.dispatcher)
+		}
+	}
+	return attrib.Analyze(in)
 }

@@ -259,6 +259,8 @@ type Metrics struct {
 	TuplesShed      metrics.Counter // best-effort tuples dropped by the shed policy
 	LinkPauses      metrics.Counter // link transitions into the paused state
 	DrainTimeouts   metrics.Counter // Stop drains that hit DrainTimeout
+	ReplayNS        metrics.Counter // total send retry-backoff (replay) time
+	ExecQueueWaitNS metrics.Counter // sampled executor-overflow residency of traced tuples
 
 	ProcessingLatency metrics.Histogram // spout -> sink, ns
 	MulticastLatency  metrics.Histogram // emit -> worker arrival, ns
@@ -302,9 +304,10 @@ type groupDesc struct {
 
 // Engine runs one topology.
 type Engine struct {
-	topo   *Topology
-	assign *Assignment
-	cfg    Config
+	topo    *Topology
+	assign  *Assignment
+	cfg     Config
+	startNS int64 // engine launch time; the attribution window's origin
 
 	workers    []*worker
 	metrics    *Metrics
@@ -350,6 +353,7 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 	}
 	eng := &Engine{
 		cfg:        cfg,
+		startNS:    time.Now().UnixNano(),
 		metrics:    &Metrics{},
 		obs:        scope,
 		groupIDs:   map[groupKey]int32{},
@@ -721,6 +725,8 @@ func (e *Engine) registerObs() {
 	r.CounterFunc("dsps.tuples_shed", m.TuplesShed.Value)
 	r.CounterFunc("dsps.link_paused", m.LinkPauses.Value)
 	r.CounterFunc("dsps.drain_timeouts", m.DrainTimeouts.Value)
+	r.CounterFunc("dsps.replay_ns", m.ReplayNS.Value)
+	r.CounterFunc("dsps.exec_queue_wait_ns", m.ExecQueueWaitNS.Value)
 	r.CounterFunc("multicast.switches", m.Switches.Value)
 	r.CounterFunc("multicast.switches_skipped", m.SkippedSwitches.Value)
 	r.HistogramFunc("dsps.processing_latency_ns", m.ProcessingLatency.Snapshot)
@@ -768,6 +774,11 @@ func (e *Engine) registerObs() {
 			r.CounterFunc(prefix+".rdma.work_requests", func() int64 { return cs.ChannelStats().WorkRequests })
 			r.CounterFunc(prefix+".rdma.size_flushes", func() int64 { return cs.ChannelStats().SizeFlushes })
 			r.CounterFunc(prefix+".rdma.timer_flushes", func() int64 { return cs.ChannelStats().TimerFlushes })
+			r.CounterFunc(prefix+".rdma.ring_wait_ns", func() int64 { return cs.ChannelStats().BlockedNS })
+			r.CounterFunc(prefix+".rdma.cq_poll_ns", func() int64 { return cs.ChannelStats().CQPollNS })
+			r.CounterFunc(prefix+".rdma.cq_polls", func() int64 { return cs.ChannelStats().CQPolls })
+			r.CounterFunc(prefix+".rdma.wr_depth_sum", func() int64 { return cs.ChannelStats().WRDepthSum })
+			r.CounterFunc(prefix+".rdma.wr_flushes", func() int64 { return cs.ChannelStats().WRFlushes })
 		}
 	}
 }

@@ -105,7 +105,11 @@ type executor struct {
 	// upstream sender stops within its window.
 	ovMu     sync.Mutex
 	overflow []tuple.AddressedTuple
-	ovKick   chan struct{}
+	// ovStampNS parallels overflow: the park timestamp of traced tuples
+	// (zero for untraced ones), consumed by feed to attribute overflow
+	// residency as an executor-queue-wait stall.
+	ovStampNS []int64
+	ovKick    chan struct{}
 
 	// Reliability state.
 	rng          *rand.Rand
@@ -151,12 +155,22 @@ func (ex *executor) feed() {
 		ex.ovMu.Lock()
 		if len(ex.overflow) > 0 {
 			at := ex.overflow[0]
+			stamp := ex.ovStampNS[0]
 			ex.overflow[0] = tuple.AddressedTuple{}
 			ex.overflow = ex.overflow[1:]
+			ex.ovStampNS = ex.ovStampNS[1:]
 			ex.ovMu.Unlock()
 			select {
 			case ex.in <- at:
 				ex.w.grantData(at.Src, 1)
+				if stamp != 0 {
+					// Sampled executor-queue-wait stall: park-to-seat time.
+					wait := time.Now().UnixNano() - stamp
+					ex.w.eng.metrics.ExecQueueWaitNS.Add(wait)
+					ex.w.execQueueWaitNS.Add(wait)
+					ex.w.eng.obs.Tracer.RecordHop(at.Data.TraceID, obs.StallExecQueueWait,
+						ex.w.id, at.Src, 0, 0, 0, time.Unix(0, stamp), time.Duration(wait))
+				}
 			case <-ex.w.done:
 				return
 			}

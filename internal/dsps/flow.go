@@ -93,6 +93,11 @@ type flowItem struct {
 	tuples int64
 	// tracked marks messages carrying acked-stream tuples: never shed.
 	tracked bool
+	// traceID and pushedNS implement the sampled send-queue-wait stall
+	// span: both are stamped at push time only when the payload carries a
+	// sampled trace (zero otherwise), so untraced traffic pays nothing.
+	traceID  int64
+	pushedNS int64
 }
 
 // flowControl is one worker's half of the credit protocol: the outbound
@@ -146,6 +151,16 @@ type flowLink struct {
 	busy        atomic.Int32 // 1 while an item is popped but not yet sent
 	pausedSince time.Time    // guarded by mu; zero when not paused
 	degraded    bool         // guarded by mu
+
+	// Stall accounting (guarded by mu): cumulative sender time blocked on
+	// the credit window, sampled FIFO residency of traced items, and
+	// residency in the throttled/paused waterline states. stateSince marks
+	// entry into the current non-open state (zero while open).
+	creditWaitNS int64
+	queueWaitNS  int64
+	throttledNS  int64
+	pausedNS     int64
+	stateSince   time.Time
 }
 
 // signal makes ch readable without blocking (cap-1 edge-triggered signal).
@@ -211,6 +226,15 @@ func (fc *flowControl) push(dst int32, it flowItem) {
 		return
 	}
 	l := fc.linkTo(dst)
+	// Sampled stall stamping: only a payload that carries a live trace id
+	// pays for the peek and the timestamp (the peek itself is a fixed-
+	// offset read, no decode, no allocation).
+	if fc.w.eng.obs.Tracer.Enabled() {
+		if id := tuple.PeekWorkerMessageTraceID(it.raw); id != 0 {
+			it.traceID = id
+			it.pushedNS = time.Now().UnixNano()
+		}
+	}
 	var blocked time.Duration
 	defer func() {
 		if blocked > 0 {
@@ -287,8 +311,17 @@ func (l *flowLink) run() {
 		if !ok {
 			return
 		}
-		l.awaitCredit(it.cost)
-		if l.fc.w.send(l.dst, it.raw) {
+		if it.traceID != 0 && it.pushedNS != 0 {
+			// Sampled send-queue-wait stall: residency from push to pop.
+			wait := time.Now().UnixNano() - it.pushedNS
+			l.mu.Lock()
+			l.queueWaitNS += wait
+			l.mu.Unlock()
+			l.fc.w.eng.obs.Tracer.RecordHop(it.traceID, obs.StallSendQueueWait,
+				l.fc.w.id, l.dst, 0, 0, 0, time.Unix(0, it.pushedNS), time.Duration(wait))
+		}
+		l.awaitCredit(it.cost, it.traceID)
+		if l.fc.w.sendTraced(l.dst, it.raw, it.traceID) {
 			l.mu.Lock()
 			l.sent += it.cost
 			l.mu.Unlock()
@@ -332,12 +365,18 @@ func (l *flowLink) pop() (flowItem, bool) {
 // drives the pause/degraded transitions: a pause means one *continuous*
 // credit wait exceeded pauseAfter — the receiver is effectively not
 // draining, not merely slow.
-func (l *flowLink) awaitCredit(cost int64) {
+func (l *flowLink) awaitCredit(cost int64, traceID int64) {
 	fc := l.fc
 	var t0 time.Time
 	defer func() {
 		if !t0.IsZero() {
-			fc.w.eng.metrics.CreditWaitNS.Add(time.Since(t0).Nanoseconds())
+			wait := time.Since(t0)
+			fc.w.eng.metrics.CreditWaitNS.Add(wait.Nanoseconds())
+			l.mu.Lock()
+			l.creditWaitNS += wait.Nanoseconds()
+			l.mu.Unlock()
+			fc.w.eng.obs.Tracer.RecordHop(traceID, obs.StallCreditWait,
+				fc.w.id, l.dst, 0, 0, 0, t0, wait)
 		}
 	}()
 	for {
@@ -395,6 +434,10 @@ func (l *flowLink) advancePause(now time.Time, starved time.Duration) {
 		}
 		l.pausedSince = now
 		l.degraded = false
+		if l.state.Load() == linkStateThrottled && !l.stateSince.IsZero() {
+			l.throttledNS += now.Sub(l.stateSince).Nanoseconds()
+		}
+		l.stateSince = now
 		l.state.Store(linkStatePaused)
 		l.mu.Unlock()
 		fc.w.eng.metrics.LinkPauses.Inc()
@@ -437,6 +480,9 @@ func (l *flowLink) observe() {
 	switch l.state.Load() {
 	case linkStateOpen:
 		if depth >= fc.high {
+			l.mu.Lock()
+			l.stateSince = time.Now()
+			l.mu.Unlock()
 			l.state.Store(linkStateThrottled)
 			fc.w.eng.obs.Events.Append(obs.Event{
 				Kind: obs.EventLinkThrottled, Worker: fc.w.id, Peer: l.dst,
@@ -445,8 +491,18 @@ func (l *flowLink) observe() {
 		}
 	case linkStateThrottled, linkStatePaused:
 		if depth <= fc.low && out < fc.window {
+			wasPaused := l.state.Load() == linkStatePaused
 			l.state.Store(linkStateOpen)
 			l.mu.Lock()
+			if !l.stateSince.IsZero() {
+				resid := time.Since(l.stateSince).Nanoseconds()
+				if wasPaused {
+					l.pausedNS += resid
+				} else {
+					l.throttledNS += resid
+				}
+				l.stateSince = time.Time{}
+			}
 			l.pausedSince = time.Time{}
 			l.degraded = false
 			l.mu.Unlock()
@@ -607,6 +663,15 @@ type LinkStat struct {
 	Queued      int
 	Outstanding int64 // delivery units charged but not yet granted back
 	Shed        int64 // tuples shed on this link
+	Sent        int64 // delivery units charged to the window so far
+
+	// Stall attribution (cumulative): sender time blocked on the credit
+	// window, sampled FIFO residency of traced items, and time spent in
+	// the throttled/paused waterline states (including the current stint).
+	CreditWaitNS int64
+	QueueWaitNS  int64
+	ThrottledNS  int64
+	PausedNS     int64
 }
 
 // LinkStats snapshots every flow-controlled link, ordered by (From, To).
@@ -620,16 +685,33 @@ func (e *Engine) LinkStats() []LinkStat {
 		}
 		fc.mu.Lock()
 		for dst, l := range fc.links {
+			state := l.state.Load()
 			l.mu.Lock()
-			out = append(out, LinkStat{
-				From:        w.id,
-				To:          dst,
-				State:       linkStateName(l.state.Load()),
-				Queued:      len(l.queue) + int(l.busy.Load()),
-				Outstanding: l.sent - l.granted,
-				Shed:        l.shed,
-			})
+			st := LinkStat{
+				From:         w.id,
+				To:           dst,
+				State:        linkStateName(state),
+				Queued:       len(l.queue) + int(l.busy.Load()),
+				Outstanding:  l.sent - l.granted,
+				Shed:         l.shed,
+				Sent:         l.sent,
+				CreditWaitNS: l.creditWaitNS,
+				QueueWaitNS:  l.queueWaitNS,
+				ThrottledNS:  l.throttledNS,
+				PausedNS:     l.pausedNS,
+			}
+			// Charge the current stint so a link wedged in a bad state shows
+			// its residency before it ever transitions back.
+			if !l.stateSince.IsZero() {
+				resid := time.Since(l.stateSince).Nanoseconds()
+				if state == linkStatePaused {
+					st.PausedNS += resid
+				} else if state == linkStateThrottled {
+					st.ThrottledNS += resid
+				}
+			}
 			l.mu.Unlock()
+			out = append(out, st)
 		}
 		fc.mu.Unlock()
 	}

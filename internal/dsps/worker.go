@@ -4,10 +4,12 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"whale/internal/multicast"
 	"whale/internal/obs"
+	"whale/internal/rdma"
 	"whale/internal/transport"
 	"whale/internal/tuple"
 )
@@ -125,6 +127,11 @@ type worker struct {
 	wg            sync.WaitGroup
 	sendWG        sync.WaitGroup
 
+	// Per-worker stall accumulators feeding the bottleneck analyzer:
+	// sampled executor-queue residency and retry-backoff (replay) time.
+	execQueueWaitNS atomic.Int64
+	replayNS        atomic.Int64
+
 	// Staged inbound data messages (flow-controlled mode): the transport
 	// handler appends, the delivery goroutine drains. Guarded by stageMu;
 	// stageKick is the cap-1 wakeup.
@@ -223,7 +230,15 @@ func (w *worker) enqueueRemote(from int32, dst int32, tp *tuple.Tuple) bool {
 			default:
 			}
 		}
+		// Parked: stamp traced tuples so the feeder can attribute the
+		// overflow residency as an executor-queue-wait stall (sampled —
+		// untraced tuples carry a zero stamp and pay no clock read).
+		var stamp int64
+		if tp.TraceID != 0 {
+			stamp = time.Now().UnixNano()
+		}
 		ex.overflow = append(ex.overflow, at)
+		ex.ovStampNS = append(ex.ovStampNS, stamp)
 		ex.ovMu.Unlock()
 		signal(ex.ovKick)
 		return true
@@ -403,7 +418,9 @@ func (w *worker) process(j sendJob) {
 			if !w.sendData(child, sb.b, sb, w.multicastCost(j.group, child), int64(len(w.eng.groupLocalTasks(j.group, child))), tupleTracked(j.tp)) {
 				continue
 			}
-			w.eng.obs.Tracer.Record(j.tp.TraceID, obs.StageRDMASlice, w.id, t0, time.Since(t0))
+			// Source hop: depth 0, fan-out = this worker's child count.
+			w.eng.obs.Tracer.RecordHop(j.tp.TraceID, obs.StageRDMASlice, w.id,
+				child, version, 0, int32(len(children)), t0, time.Since(t0))
 			w.recordTe(j.tp.SrcTask, time.Since(t0)-time.Duration(w.pushBlockedNS))
 		}
 
@@ -435,42 +452,86 @@ func (w *worker) multicastCost(gid, child int32) int64 {
 // handed to the transport; permanent errors and exhausted retries count in
 // dsps.send_errors.
 func (w *worker) send(dst int32, raw []byte) bool {
+	ok, _ := w.sendMeasured(dst, raw)
+	return ok
+}
+
+// sendTraced is send plus sampled stall attribution: when raw carries a
+// traced tuple, time lost to retry backoff is recorded as a replay stall
+// and transport blocking on a full ring (delta of the channel's BlockedNS
+// across the call — approximate under concurrent links, exact enough for
+// a sampled diagnostic) as a ring-wait stall.
+func (w *worker) sendTraced(dst int32, raw []byte, traceID int64) bool {
+	if traceID == 0 {
+		return w.send(dst, raw)
+	}
+	t0 := time.Now()
+	var ringBefore int64
+	cs, hasCS := w.tr.(interface{ ChannelStats() rdma.StatsSnapshot })
+	if hasCS {
+		ringBefore = cs.ChannelStats().BlockedNS
+	}
+	ok, backoff := w.sendMeasured(dst, raw)
+	if backoff > 0 {
+		w.eng.obs.Tracer.RecordHop(traceID, obs.StallReplay, w.id, dst, 0, 0, 0, t0, backoff)
+	}
+	if hasCS {
+		if d := cs.ChannelStats().BlockedNS - ringBefore; d > 0 {
+			w.eng.obs.Tracer.RecordHop(traceID, obs.StallRingWait, w.id, dst, 0, 0, 0, t0, time.Duration(d))
+		}
+	}
+	return ok
+}
+
+// sendMeasured is the retrying send; it additionally returns the time
+// spent waiting out retry backoff (zero on the first-attempt fast path),
+// which feeds the replay stall class and dsps.replay_ns.
+func (w *worker) sendMeasured(dst int32, raw []byte) (bool, time.Duration) {
 	if w.eng.workerDead(dst) {
 		w.eng.metrics.SendsSuppressed.Inc()
-		return false
+		return false, 0
 	}
 	err := w.tr.Send(dst, raw)
 	if err == nil {
-		return true
+		return true, 0
 	}
+	var waited time.Duration
+	defer func() {
+		if waited > 0 {
+			w.eng.metrics.ReplayNS.Add(waited.Nanoseconds())
+			w.replayNS.Add(waited.Nanoseconds())
+		}
+	}()
 	backoff := w.eng.cfg.SendRetryBase
 	for attempt := 0; attempt < w.eng.cfg.SendRetries && transport.IsTransient(err); attempt++ {
 		// Jitter in [backoff/2, 3*backoff/2) decorrelates retry storms
 		// across workers; the rng is only touched from this goroutine.
 		d := backoff/2 + time.Duration(w.rng.Int63n(int64(backoff)))
+		tw := time.Now()
 		select {
 		case <-time.After(d):
+			waited += time.Since(tw)
 		case <-w.done:
 			w.eng.metrics.SendErrors.Inc()
-			return false
+			return false, waited + time.Since(tw)
 		case <-w.eng.stopping:
 			// Engine shutdown bounds the total backoff: without this, Stop
 			// could wait out the full exponential schedule per queued send.
 			w.eng.metrics.SendErrors.Inc()
-			return false
+			return false, waited + time.Since(tw)
 		}
 		if w.eng.workerDead(dst) {
 			w.eng.metrics.SendsSuppressed.Inc()
-			return false
+			return false, waited
 		}
 		w.eng.metrics.SendRetries.Inc()
 		if err = w.tr.Send(dst, raw); err == nil {
-			return true
+			return true, waited
 		}
 		backoff *= 2
 	}
 	w.eng.metrics.SendErrors.Inc()
-	return false
+	return false, waited
 }
 
 // recordTe feeds the per-replica processing time to the source task's group
@@ -623,7 +684,8 @@ func (w *worker) deliverData(from transport.WorkerID, msg *tuple.WorkerMessage, 
 		if total > delivered {
 			w.grantData(src, total-delivered)
 		}
-		w.eng.obs.Tracer.Record(tp.TraceID, obs.StageDispatch, w.id, t0, time.Since(t0))
+		w.eng.obs.Tracer.RecordHop(tp.TraceID, obs.StageDispatch, w.id,
+			src, 0, 0, 0, t0, time.Since(t0))
 
 	case tuple.KindMulticastMessage:
 		src := int32(from)
@@ -642,11 +704,19 @@ func (w *worker) deliverData(from transport.WorkerID, msg *tuple.WorkerMessage, 
 			return
 		}
 		relayed := false
+		var hopDepth, hopFanout int32
 		if tr, ok := gs.tree(msg.TreeVersion); ok {
-			if children := tr.Children(w.id); len(children) > 0 {
+			children := tr.Children(w.id)
+			if len(children) > 0 {
 				w.enqueueSend(sendJob{kind: jobRelay, raw: raw, dstWorkers: children,
 					group: msg.Group, tracked: tupleTracked(tp)})
 				relayed = true
+			}
+			if tp.TraceID != 0 {
+				// Hop metadata is only derived for sampled tuples: DepthOf
+				// walks parent pointers, which untraced traffic should not pay.
+				hopDepth = int32(tr.DepthOf(w.id))
+				hopFanout = int32(len(children))
 			}
 		} else {
 			w.eng.metrics.RouteErrors.Inc()
@@ -659,7 +729,8 @@ func (w *worker) deliverData(from transport.WorkerID, msg *tuple.WorkerMessage, 
 		if relayed {
 			// The trace ID is only known after decode; the hop covers the
 			// relay copy + enqueue that preceded it.
-			w.eng.obs.Tracer.Record(tp.TraceID, obs.StageTreeHop, w.id, t0, time.Since(t0))
+			w.eng.obs.Tracer.RecordHop(tp.TraceID, obs.StageTreeHop, w.id,
+				src, msg.TreeVersion, hopDepth, hopFanout, t0, time.Since(t0))
 		}
 		if tp.RootEmitNS > 0 {
 			w.eng.metrics.MulticastLatency.Observe(time.Now().UnixNano() - tp.RootEmitNS)
@@ -670,7 +741,8 @@ func (w *worker) deliverData(from transport.WorkerID, msg *tuple.WorkerMessage, 
 				w.grantData(src, 1)
 			}
 		}
-		w.eng.obs.Tracer.Record(tp.TraceID, obs.StageDispatch, w.id, t1, time.Since(t1))
+		w.eng.obs.Tracer.RecordHop(tp.TraceID, obs.StageDispatch, w.id,
+			src, msg.TreeVersion, hopDepth, 0, t1, time.Since(t1))
 
 	case tuple.KindControl:
 		cm, _, err := tuple.DecodeControlMessage(msg.Payload)

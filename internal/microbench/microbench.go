@@ -7,8 +7,10 @@ package microbench
 
 import (
 	"testing"
+	"time"
 
 	"whale/internal/multicast"
+	"whale/internal/obs"
 	"whale/internal/tuple"
 )
 
@@ -32,6 +34,8 @@ func Cases() []Case {
 		{Name: "control_envelope_encode", Bench: ControlEnvelopeEncode},
 		{Name: "tree_nonblocking_480", Bench: TreeNonBlocking480},
 		{Name: "tree_scaleup_480", Bench: TreeScaleUp480},
+		{Name: "trace_record_off", PerOpTuples: 1, Bench: TraceRecordOff},
+		{Name: "trace_record_on", PerOpTuples: 1, Bench: TraceRecordOn},
 	}
 }
 
@@ -128,6 +132,41 @@ func TreeNonBlocking480(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		multicast.BuildNonBlocking(0, dests, 3)
+	}
+}
+
+// TraceRecordOff measures the instrumented hot path with tracing disabled:
+// serialize plus the Record/RecordHop/PeekTraceID calls every traced stage
+// makes, all of which must short-circuit to nothing (0 allocs/op). This is
+// the price every tuple pays when -trace-sample-every is 0; the perf gate
+// holds it within noise of plain tuple_serialize.
+func TraceRecordOff(b *testing.B) {
+	traceOverhead(b, obs.NewScope(obs.Config{}).Tracer)
+}
+
+// TraceRecordOn measures the same path with every tuple sampled — the
+// worst-case tracing-enabled overhead (pooled span records; bounded
+// allocations).
+func TraceRecordOn(b *testing.B) {
+	traceOverhead(b, obs.NewScope(obs.Config{TraceSampleEvery: 1}).Tracer)
+}
+
+func traceOverhead(b *testing.B, tr *obs.Tracer) {
+	enc := tuple.NewEncoder()
+	tp := Tuple()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tp.TraceID = tr.Sample()
+		t0 := time.Now()
+		buf, err := enc.EncodeTuple(tp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.Record(tp.TraceID, obs.StageSerialize, 0, t0, time.Since(t0))
+		if id := tuple.PeekTraceID(buf); id != tp.TraceID {
+			b.Fatal("trace id peek mismatch")
+		}
+		tr.RecordHop(tp.TraceID, obs.StageTreeHop, 0, 1, 1, 1, 2, t0, time.Since(t0))
 	}
 }
 

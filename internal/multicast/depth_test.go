@@ -1,0 +1,36 @@
+package multicast
+
+import "testing"
+
+// TestDepthOf checks the hop-distance lookup the tracer stamps on spans:
+// 0 for the source, parent-chain length for members, -1 for strangers.
+func TestDepthOf(t *testing.T) {
+	dests := make([]NodeID, 30)
+	for i := range dests {
+		dests[i] = NodeID(i + 1)
+	}
+	tr := BuildNonBlocking(0, dests, 3)
+	if d := tr.DepthOf(0); d != 0 {
+		t.Fatalf("DepthOf(source) = %d, want 0", d)
+	}
+	for _, c := range tr.Children(0) {
+		if d := tr.DepthOf(c); d != 1 {
+			t.Fatalf("DepthOf(direct child %d) = %d, want 1", c, d)
+		}
+		for _, gc := range tr.Children(c) {
+			if d := tr.DepthOf(gc); d != 2 {
+				t.Fatalf("DepthOf(grandchild %d) = %d, want 2", gc, d)
+			}
+		}
+	}
+	if d := tr.DepthOf(999); d != -1 {
+		t.Fatalf("DepthOf(non-member) = %d, want -1", d)
+	}
+	// Every destination has a finite depth bounded by the edge count.
+	for _, n := range dests {
+		d := tr.DepthOf(n)
+		if d < 1 || d > len(dests) {
+			t.Fatalf("DepthOf(%d) = %d out of range", n, d)
+		}
+	}
+}

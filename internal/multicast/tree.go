@@ -191,6 +191,29 @@ func (t *Tree) Depth() int {
 	return max
 }
 
+// DepthOf returns the number of tree edges between the source and n: 0
+// for the source itself, -1 when n is not in the tree. The tracer stamps
+// it on hop spans so an exported trace shows how deep in the tree each
+// relay sat.
+func (t *Tree) DepthOf(n NodeID) int {
+	if n == t.source {
+		return 0
+	}
+	d := 0
+	for n != t.source {
+		p, ok := t.parent[n]
+		if !ok || p == None {
+			return -1
+		}
+		n = p
+		d++
+		if d > len(t.parent)+1 { // cycle guard: never trust a wire-installed tree
+			return -1
+		}
+	}
+	return d
+}
+
 // MeanReceiveTime returns the average receive time over destinations, i.e.
 // the average multicast latency in time units (0 for an empty tree).
 func (t *Tree) MeanReceiveTime() float64 {

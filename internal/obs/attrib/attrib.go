@@ -1,0 +1,241 @@
+// Package attrib folds the observability layer's span and stall data into
+// a per-component utilization profile, compares it against the M/D/1
+// predictions of internal/queueing, and emits a ranked bottleneck report
+// ("link w3→w7 credit-limited, 41% of attributed stall time").
+//
+// The package is pure data-in/data-out: producers (the live dsps engine,
+// the simulated cluster) build an Input from their own counters and call
+// Analyze; nothing here touches the engine, HTTP, or the clock, which
+// keeps it trivially testable and free of import cycles.
+package attrib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"whale/internal/queueing"
+)
+
+// Input is a point-in-time capture of the stall and utilization signals
+// the analyzer folds. All durations are cumulative nanoseconds over the
+// observation window.
+type Input struct {
+	// WindowNS is the observation window the cumulative counters cover.
+	WindowNS int64
+	// Stages aggregates the tracer's per-stage latency histograms.
+	Stages []StageSample
+	// Links samples every flow-controlled (or modelled) directed link.
+	Links []LinkSample
+	// Workers samples per-worker components (executors, relays, rings).
+	Workers []WorkerSample
+}
+
+// StageSample aggregates one pipeline stage or stall class across the
+// cluster, straight from the tracer's histograms.
+type StageSample struct {
+	Stage string
+	Count int64
+	SumNS int64
+	P99NS int64
+}
+
+// LinkSample is one directed sender→receiver link's stall profile.
+type LinkSample struct {
+	From, To int32
+	// CreditWaitNS is sender time blocked on the credit window.
+	CreditWaitNS int64
+	// QueueWaitNS is sampled residency in the per-destination sender FIFO.
+	QueueWaitNS int64
+	// PausedNS / ThrottledNS are waterline-state residencies.
+	PausedNS, ThrottledNS int64
+	// Sent counts deliveries pushed over the link in the window.
+	Sent int64
+	// Queued is the current sender-FIFO depth.
+	Queued int
+}
+
+// Worker roles, used to name what kind of component saturated.
+const (
+	RoleExecutor = "executor"
+	RoleRelay    = "relay"
+	RoleRing     = "rdma-ring"
+	RoleSource   = "source"
+)
+
+// WorkerSample is one per-worker component's stall and service profile.
+type WorkerSample struct {
+	Worker int32
+	// Role classifies the component (RoleExecutor, RoleRelay, RoleRing,
+	// RoleSource).
+	Role string
+	// StallNS is waiting attributed to this component: executor-queue
+	// residency for executors, relay-queue wait for relays, ring-full
+	// blocking for rings, replay/backoff time for sources.
+	StallNS int64
+	// BusyNS is service time spent by the component in the window.
+	BusyNS int64
+	// ArrivalPerSec (λ) and ServicePerSec (μ) feed the M/D/1 comparison;
+	// zero when unknown.
+	ArrivalPerSec, ServicePerSec float64
+	// QueueLen is the measured mean or current queue length at the
+	// component, compared against the M/D/1 prediction.
+	QueueLen float64
+}
+
+// Bottleneck classes the analyzer can name.
+const (
+	ClassCreditLimited  = "credit-limited"
+	ClassSendQueue      = "send-queue-limited"
+	ClassBackpressured  = "backpressured"
+	ClassSlowSubscriber = "slow-subscriber"
+	ClassHotRelay       = "hot-relay"
+	ClassRingLimited    = "ring-limited"
+	ClassReplayLimited  = "replay-limited"
+)
+
+// Finding is one ranked bottleneck attribution.
+type Finding struct {
+	// Component names the bottlenecked element ("link w3→w7",
+	// "worker 5 executor", "worker 2 rdma-ring").
+	Component string `json:"component"`
+	// Class is the diagnosed bottleneck class (Class* constants).
+	Class string `json:"class"`
+	// StallNS is the waiting attributed to the component.
+	StallNS int64 `json:"stall_ns"`
+	// Share is StallNS over the report's total attributed stall.
+	Share float64 `json:"share"`
+	// Utilization is the component's measured (or λ/μ) utilization.
+	Utilization float64 `json:"utilization,omitempty"`
+	// PredictedQueue is the M/D/1 mean queue length for the component's
+	// λ and μ; +Inf (rendered as -1) when overloaded, 0 when unknown.
+	PredictedQueue float64 `json:"predicted_queue,omitempty"`
+	// MeasuredQueue is the observed queue length.
+	MeasuredQueue float64 `json:"measured_queue,omitempty"`
+	// Detail is a one-line human-readable diagnosis.
+	Detail string `json:"detail"`
+}
+
+// Report is the ranked bottleneck analysis.
+type Report struct {
+	WindowNS     int64     `json:"window_ns"`
+	TotalStallNS int64     `json:"total_stall_ns"`
+	Findings     []Finding `json:"findings"`
+}
+
+// Top returns the highest-ranked finding, or a zero Finding when the
+// profile shows no attributable stall.
+func (r Report) Top() Finding {
+	if len(r.Findings) == 0 {
+		return Finding{}
+	}
+	return r.Findings[0]
+}
+
+// String renders the ranked report, one finding per line.
+func (r Report) String() string {
+	if len(r.Findings) == 0 {
+		return "bottleneck: no attributable stall time"
+	}
+	var b strings.Builder
+	for i, f := range r.Findings {
+		fmt.Fprintf(&b, "#%d %s %s: %.0f%% of attributed stall (%.2fms)", i+1, f.Component, f.Class,
+			f.Share*100, float64(f.StallNS)/1e6)
+		if f.Detail != "" {
+			fmt.Fprintf(&b, " — %s", f.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Analyze folds the input into a ranked bottleneck report. For every link
+// and worker component it sums the attributable stall time, diagnoses the
+// dominant class, checks measured queueing against the M/D/1 prediction
+// for the component's λ and μ, and ranks by stall share. The analysis is
+// deterministic: equal stalls tie-break on component name.
+func Analyze(in Input) Report {
+	var fs []Finding
+
+	for _, l := range in.Links {
+		stall := l.CreditWaitNS + l.QueueWaitNS + l.PausedNS
+		if stall <= 0 {
+			continue
+		}
+		class := ClassSendQueue
+		detail := "sender FIFO residency dominates"
+		switch {
+		case l.CreditWaitNS >= l.QueueWaitNS && l.CreditWaitNS >= l.PausedNS:
+			class = ClassCreditLimited
+			detail = fmt.Sprintf("sender blocked %.2fms on the credit window", float64(l.CreditWaitNS)/1e6)
+		case l.PausedNS > l.QueueWaitNS:
+			class = ClassBackpressured
+			detail = fmt.Sprintf("link paused %.2fms by the waterline state machine", float64(l.PausedNS)/1e6)
+		}
+		fs = append(fs, Finding{
+			Component:     fmt.Sprintf("link w%d→w%d", l.From, l.To),
+			Class:         class,
+			StallNS:       stall,
+			MeasuredQueue: float64(l.Queued),
+			Detail:        detail,
+		})
+	}
+
+	for _, w := range in.Workers {
+		if w.StallNS <= 0 {
+			continue
+		}
+		f := Finding{
+			Component:     fmt.Sprintf("worker %d %s", w.Worker, w.Role),
+			StallNS:       w.StallNS,
+			MeasuredQueue: w.QueueLen,
+		}
+		switch w.Role {
+		case RoleRelay:
+			f.Class = ClassHotRelay
+		case RoleRing:
+			f.Class = ClassRingLimited
+		case RoleSource:
+			f.Class = ClassReplayLimited
+		default:
+			f.Class = ClassSlowSubscriber
+		}
+		if w.ArrivalPerSec > 0 && w.ServicePerSec > 0 {
+			f.Utilization = queueing.Utilization(w.ArrivalPerSec, w.ServicePerSec)
+			lq := queueing.MeanQueueLength(w.ArrivalPerSec, w.ServicePerSec)
+			if lq < 0 || math.IsNaN(lq) || math.IsInf(lq, 1) { // overloaded: λ ≥ μ yields +Inf
+				f.PredictedQueue = -1
+				f.Detail = fmt.Sprintf("overloaded: λ=%.0f/s ≥ μ=%.0f/s, queue grows without bound",
+					w.ArrivalPerSec, w.ServicePerSec)
+			} else {
+				f.PredictedQueue = lq
+				f.Detail = fmt.Sprintf("ρ=%.2f, M/D/1 predicts queue %.1f, measured %.1f",
+					f.Utilization, lq, w.QueueLen)
+				if lq > 0 && w.QueueLen > 2*lq+1 {
+					f.Detail += " — excess queueing beyond the M/D/1 prediction points at an external stall"
+				}
+			}
+		} else if in.WindowNS > 0 && w.BusyNS > 0 {
+			f.Utilization = float64(w.BusyNS) / float64(in.WindowNS)
+		}
+		fs = append(fs, f)
+	}
+
+	var total int64
+	for _, f := range fs {
+		total += f.StallNS
+	}
+	for i := range fs {
+		if total > 0 {
+			fs[i].Share = float64(fs[i].StallNS) / float64(total)
+		}
+	}
+	sort.SliceStable(fs, func(a, b int) bool {
+		if fs[a].StallNS != fs[b].StallNS {
+			return fs[a].StallNS > fs[b].StallNS
+		}
+		return fs[a].Component < fs[b].Component
+	})
+	return Report{WindowNS: in.WindowNS, TotalStallNS: total, Findings: fs}
+}

@@ -1,0 +1,147 @@
+package attrib
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := Analyze(Input{WindowNS: 1e9})
+	if len(rep.Findings) != 0 || rep.TotalStallNS != 0 {
+		t.Fatalf("empty input produced findings: %+v", rep)
+	}
+	if top := rep.Top(); top != (Finding{}) {
+		t.Fatalf("Top() on empty report = %+v", top)
+	}
+	if got := rep.String(); !strings.Contains(got, "no attributable stall") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestLinkClassDiagnosis(t *testing.T) {
+	cases := []struct {
+		name string
+		link LinkSample
+		want string
+	}{
+		{"credit dominates", LinkSample{From: 3, To: 7, CreditWaitNS: 100, QueueWaitNS: 10, PausedNS: 5}, ClassCreditLimited},
+		{"queue dominates", LinkSample{From: 3, To: 7, CreditWaitNS: 10, QueueWaitNS: 100, PausedNS: 5}, ClassSendQueue},
+		{"pause dominates", LinkSample{From: 3, To: 7, CreditWaitNS: 10, QueueWaitNS: 5, PausedNS: 100}, ClassBackpressured},
+		// Ties resolve toward credit-limited (the >= arms).
+		{"credit ties queue", LinkSample{From: 3, To: 7, CreditWaitNS: 50, QueueWaitNS: 50}, ClassCreditLimited},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Analyze(Input{WindowNS: 1e9, Links: []LinkSample{tc.link}})
+			top := rep.Top()
+			if top.Class != tc.want {
+				t.Fatalf("class = %q, want %q (finding %+v)", top.Class, tc.want, top)
+			}
+			if top.Component != "link w3→w7" {
+				t.Fatalf("component = %q", top.Component)
+			}
+			if top.Share != 1 {
+				t.Fatalf("single finding share = %v, want 1", top.Share)
+			}
+		})
+	}
+}
+
+func TestZeroStallComponentsSkipped(t *testing.T) {
+	rep := Analyze(Input{
+		WindowNS: 1e9,
+		Links:    []LinkSample{{From: 0, To: 1, Sent: 1000}},
+		Workers:  []WorkerSample{{Worker: 2, Role: RoleExecutor, BusyNS: 5e8}},
+	})
+	if len(rep.Findings) != 0 {
+		t.Fatalf("zero-stall components should be skipped: %+v", rep.Findings)
+	}
+}
+
+func TestWorkerRoleClasses(t *testing.T) {
+	for role, class := range map[string]string{
+		RoleExecutor: ClassSlowSubscriber,
+		RoleRelay:    ClassHotRelay,
+		RoleRing:     ClassRingLimited,
+		RoleSource:   ClassReplayLimited,
+	} {
+		rep := Analyze(Input{WindowNS: 1e9, Workers: []WorkerSample{{Worker: 4, Role: role, StallNS: 10}}})
+		if got := rep.Top().Class; got != class {
+			t.Errorf("role %s → class %q, want %q", role, got, class)
+		}
+	}
+}
+
+func TestMD1Comparison(t *testing.T) {
+	// ρ = 0.8: M/D/1 mean queue = ρ + ρ²/(2(1−ρ)) = 0.8 + 1.6 = 2.4.
+	rep := Analyze(Input{WindowNS: 1e9, Workers: []WorkerSample{{
+		Worker: 1, Role: RoleExecutor, StallNS: 100,
+		ArrivalPerSec: 800, ServicePerSec: 1000, QueueLen: 2.0,
+	}}})
+	top := rep.Top()
+	if top.Utilization != 0.8 {
+		t.Fatalf("utilization = %v", top.Utilization)
+	}
+	if top.PredictedQueue < 2.39 || top.PredictedQueue > 2.41 {
+		t.Fatalf("predicted queue = %v, want ≈2.4", top.PredictedQueue)
+	}
+	if strings.Contains(top.Detail, "excess queueing") {
+		t.Fatalf("2.0 measured vs 2.4 predicted flagged as excess: %q", top.Detail)
+	}
+
+	// Measured queue far beyond 2·Lq+1 flags external stall.
+	rep = Analyze(Input{WindowNS: 1e9, Workers: []WorkerSample{{
+		Worker: 1, Role: RoleExecutor, StallNS: 100,
+		ArrivalPerSec: 800, ServicePerSec: 1000, QueueLen: 50,
+	}}})
+	if d := rep.Top().Detail; !strings.Contains(d, "excess queueing") {
+		t.Fatalf("measured 50 vs predicted 2.4 not flagged: %q", d)
+	}
+}
+
+func TestOverloadedWorker(t *testing.T) {
+	rep := Analyze(Input{WindowNS: 1e9, Workers: []WorkerSample{{
+		Worker: 6, Role: RoleExecutor, StallNS: 100,
+		ArrivalPerSec: 1200, ServicePerSec: 1000,
+	}}})
+	top := rep.Top()
+	if top.PredictedQueue != -1 {
+		t.Fatalf("overloaded predicted queue = %v, want -1", top.PredictedQueue)
+	}
+	if !strings.Contains(top.Detail, "overloaded") {
+		t.Fatalf("detail = %q", top.Detail)
+	}
+}
+
+func TestRankingAndTieBreak(t *testing.T) {
+	in := Input{
+		WindowNS: 1e9,
+		Links: []LinkSample{
+			{From: 0, To: 2, CreditWaitNS: 300},
+			{From: 0, To: 1, CreditWaitNS: 300}, // ties w0→w2 on stall; wins on name
+		},
+		Workers: []WorkerSample{
+			{Worker: 5, Role: RoleExecutor, StallNS: 700},
+		},
+	}
+	rep := Analyze(in)
+	if rep.TotalStallNS != 1300 {
+		t.Fatalf("total stall = %d", rep.TotalStallNS)
+	}
+	want := []string{"worker 5 executor", "link w0→w1", "link w0→w2"}
+	for i, comp := range want {
+		if rep.Findings[i].Component != comp {
+			t.Fatalf("rank %d = %q, want %q (report %+v)", i+1, rep.Findings[i].Component, comp, rep.Findings)
+		}
+	}
+	var share float64
+	for _, f := range rep.Findings {
+		share += f.Share
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("shares sum to %v", share)
+	}
+	if s := rep.String(); !strings.Contains(s, "#1 worker 5 executor slow-subscriber: 54%") {
+		t.Fatalf("String() = %q", s)
+	}
+}

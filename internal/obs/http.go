@@ -15,10 +15,14 @@ import (
 //	/metrics        Prometheus text exposition of the registry
 //	/debug/whale    JSON snapshot: metrics, retained trace spans, event count
 //	/debug/events   JSON array of recent events (?n= bounds the count)
+//	/debug/trace    retained trace spans as Chrome trace_event JSON
 //	/debug/pprof/*  the standard net/http/pprof handlers
+//
+// Additional handlers (e.g. /debug/bottleneck) are attached via Handle.
 type Server struct {
 	ln    net.Listener
 	srv   *http.Server
+	mux   *http.ServeMux
 	scope *Scope
 	wg    sync.WaitGroup
 }
@@ -41,9 +45,11 @@ func Serve(addr string, scope *Scope) (*Server, error) {
 	}
 	s := &Server{ln: ln, scope: scope}
 	mux := http.NewServeMux()
+	s.mux = mux
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/whale", s.handleDebug)
 	mux.HandleFunc("/debug/events", s.handleEvents)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -61,6 +67,11 @@ func Serve(addr string, scope *Scope) (*Server, error) {
 
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Handle registers an additional handler on the server's mux (e.g. the
+// engine-backed /debug/bottleneck report, which lives above this package).
+// http.ServeMux registration is safe while the server runs.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // Close shuts the server down and waits for the serve loop to exit.
 func (s *Server) Close() error {
@@ -84,6 +95,11 @@ func (s *Server) handleDebug(w http.ResponseWriter, _ *http.Request) {
 		Traces:  s.scope.Tracer.Spans(),
 		Events:  s.scope.Events.Len(),
 	})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.scope.Tracer.WriteTraceEvents(w)
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {

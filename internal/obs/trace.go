@@ -10,10 +10,13 @@ import (
 )
 
 // Stage names one hop of a tuple's path through the system. A full trace
-// for a multicast tuple crosses all five: the source worker's send thread
-// serializes it once and posts one RDMA slice per child, each relay worker
-// forwards it down the tree and dispatches it to local executors, and every
-// subscribed executor runs it.
+// for a multicast tuple crosses all five pipeline stages: the source
+// worker's send thread serializes it once and posts one RDMA slice per
+// child, each relay worker forwards it down the tree and dispatches it to
+// local executors, and every subscribed executor runs it. Beyond the
+// pipeline stages, a traced tuple also accumulates one span per stall
+// class it hits (see the Stall* constants): time the tuple spent waiting
+// rather than being worked on.
 type Stage string
 
 const (
@@ -32,13 +35,57 @@ const (
 	StageExecute Stage = "execute"
 )
 
-// Stages lists all stages in path order.
+// Stall classes. Each names a place a traced tuple waited without being
+// processed; together with the pipeline stages they partition a trace's
+// wall time into work and attributable waiting.
+const (
+	// StallCreditWait is time a flow-link sender goroutine spent blocked
+	// on the credit window before transmitting the tuple's message.
+	StallCreditWait Stage = "credit_wait"
+	// StallSendQueueWait is residency in a per-destination sender FIFO:
+	// from push onto the flow link's queue until the sender goroutine
+	// popped it.
+	StallSendQueueWait Stage = "send_queue_wait"
+	// StallRingWait is time the transport spent blocked on a full RDMA
+	// ring memory region while flushing the batch carrying the tuple.
+	StallRingWait Stage = "ring_wait"
+	// StallExecQueueWait is time the tuple sat in an executor's admission
+	// overflow before winning a seat in the input queue.
+	StallExecQueueWait Stage = "exec_queue_wait"
+	// StallReplay is time lost to transient send failures: the backoff
+	// and retransmission delay before the tuple's message went through.
+	StallReplay Stage = "replay"
+)
+
+// Stages lists the pipeline stages in path order.
 var Stages = []Stage{StageSerialize, StageRDMASlice, StageDispatch, StageTreeHop, StageExecute}
 
-// SpanEvent is one recorded stage occurrence within a trace.
+// StallStages lists the stall classes a traced tuple can accumulate.
+var StallStages = []Stage{StallCreditWait, StallSendQueueWait, StallRingWait, StallExecQueueWait, StallReplay}
+
+// IsStall reports whether st names a stall class rather than a pipeline
+// stage.
+func IsStall(st Stage) bool {
+	switch st {
+	case StallCreditWait, StallSendQueueWait, StallRingWait, StallExecQueueWait, StallReplay:
+		return true
+	}
+	return false
+}
+
+// SpanEvent is one recorded stage or stall occurrence within a trace. The
+// hop-metadata fields are populated only where they mean something: Peer
+// is the other worker on the link (the forwarding parent for a tree hop,
+// the destination for a send-side stall), Version the multicast tree
+// version that routed the hop, Depth the hop's distance from the tree
+// source, and Fanout the number of children the tuple was forwarded to.
 type SpanEvent struct {
 	Stage   Stage `json:"stage"`
 	Worker  int32 `json:"worker"`
+	Peer    int32 `json:"peer,omitempty"`
+	Version int32 `json:"version,omitempty"`
+	Depth   int32 `json:"depth,omitempty"`
+	Fanout  int32 `json:"fanout,omitempty"`
 	StartNS int64 `json:"start_ns"`
 	DurNS   int64 `json:"dur_ns"`
 }
@@ -49,12 +96,18 @@ type TraceSpans struct {
 	Events  []SpanEvent `json:"events"`
 }
 
+// spanPool recycles evicted trace timelines so steady-state tracing stops
+// allocating once event-slice capacities have grown to the workload's
+// span count (the bounded-alloc half of the sampling/overhead contract).
+var spanPool = sync.Pool{New: func() any { return &TraceSpans{} }}
+
 // Tracer implements sampled tuple-path tracing: every Nth root tuple
 // leaving a spout is assigned a trace ID that rides the tuple's wire
 // format; instrumented stages feed per-stage latency histograms (always)
 // and a bounded set of full span timelines (most recent traces kept).
 // All methods are safe for concurrent use; with sampling disabled every
-// call is a cheap no-op.
+// call is a cheap no-op, and for an untraced tuple (trace ID 0) Record
+// and RecordHop return without locking or allocating.
 type Tracer struct {
 	sampleEvery int64
 	keep        int
@@ -83,6 +136,9 @@ func newTracer(reg *Registry, sampleEvery, keep int) *Tracer {
 	for _, st := range Stages {
 		t.hists[st] = reg.Histogram("trace.stage." + string(st) + "_ns")
 	}
+	for _, st := range StallStages {
+		t.hists[st] = reg.Histogram("trace.stall." + string(st) + "_ns")
+	}
 	return t
 }
 
@@ -99,41 +155,76 @@ func (t *Tracer) Sample() int64 {
 		return 0
 	}
 	id := t.nextID.Add(1)
+	sp := spanPool.Get().(*TraceSpans)
+	sp.TraceID = id
+	sp.Events = sp.Events[:0]
 	t.mu.Lock()
-	t.spans[id] = &TraceSpans{TraceID: id}
+	t.spans[id] = sp
 	t.order = append(t.order, id)
 	if len(t.order) > t.keep {
 		evict := t.order[0]
 		t.order = t.order[1:]
-		delete(t.spans, evict)
+		if old, ok := t.spans[evict]; ok {
+			delete(t.spans, evict)
+			spanPool.Put(old)
+		}
 	}
 	t.mu.Unlock()
 	return id
 }
 
-// Record notes one stage occurrence for the traced tuple. traceID 0 (an
-// untraced tuple) is a no-op, so call sites can record unconditionally.
+// Record notes one stage or stall occurrence for the traced tuple.
+// traceID 0 (an untraced tuple) is a no-op, so call sites can record
+// unconditionally.
+//
+//whale:hotpath
 func (t *Tracer) Record(traceID int64, stage Stage, worker int32, start time.Time, dur time.Duration) {
 	if t == nil || traceID == 0 {
 		return
 	}
-	if h, ok := t.hists[stage]; ok {
-		h.Observe(dur.Nanoseconds())
+	t.record(traceID, SpanEvent{
+		Stage:   stage,
+		Worker:  worker,
+		StartNS: start.UnixNano(),
+		DurNS:   dur.Nanoseconds(),
+	})
+}
+
+// RecordHop notes one multicast-tree hop (or hop-shaped stall) with its
+// link metadata: peer worker, routing tree version, hop depth from the
+// tree source, and downstream fan-out. traceID 0 is a no-op.
+//
+//whale:hotpath
+func (t *Tracer) RecordHop(traceID int64, stage Stage, worker, peer, version, depth, fanout int32, start time.Time, dur time.Duration) {
+	if t == nil || traceID == 0 {
+		return
+	}
+	t.record(traceID, SpanEvent{
+		Stage:   stage,
+		Worker:  worker,
+		Peer:    peer,
+		Version: version,
+		Depth:   depth,
+		Fanout:  fanout,
+		StartNS: start.UnixNano(),
+		DurNS:   dur.Nanoseconds(),
+	})
+}
+
+func (t *Tracer) record(traceID int64, ev SpanEvent) {
+	if h, ok := t.hists[ev.Stage]; ok {
+		h.Observe(ev.DurNS)
 	}
 	t.mu.Lock()
 	if sp, ok := t.spans[traceID]; ok {
-		sp.Events = append(sp.Events, SpanEvent{
-			Stage:   stage,
-			Worker:  worker,
-			StartNS: start.UnixNano(),
-			DurNS:   dur.Nanoseconds(),
-		})
+		sp.Events = append(sp.Events, ev)
 	}
 	t.mu.Unlock()
 }
 
 // Spans returns a copy of every retained trace timeline, oldest first,
-// with each timeline's events sorted by start time.
+// with each timeline's events sorted by start time. The copies are made
+// under the tracer lock so concurrent Record calls never tear an event.
 func (t *Tracer) Spans() []TraceSpans {
 	if t == nil {
 		return nil
@@ -151,4 +242,14 @@ func (t *Tracer) Spans() []TraceSpans {
 		sort.SliceStable(evs, func(a, b int) bool { return evs[a].StartNS < evs[b].StartNS })
 	}
 	return out
+}
+
+// StageHist returns the tracer's histogram for one stage or stall class
+// (nil when the tracer is nil or the stage unknown). The bottleneck
+// analyzer reads these to fold per-stage latency into its profile.
+func (t *Tracer) StageHist(st Stage) *metrics.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.hists[st]
 }

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON format
+// (catapult "Trace Event Format", "X" complete events). Each retained
+// trace becomes one process row (pid = trace id) and each worker one
+// thread row within it, so loading the export in chrome://tracing or
+// Perfetto shows every sampled tuple's tree traversal as a swimlane per
+// worker, with stall spans in their own category.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	PID  int64          `json:"pid"`
+	TID  int32          `json:"tid"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteTraceEvents writes every retained span timeline as Chrome
+// trace_event JSON. Timestamps are rebased to the earliest recorded span
+// so the viewer opens at the data.
+func (t *Tracer) WriteTraceEvents(w io.Writer) error {
+	spans := t.Spans()
+	var base int64 = 0
+	for _, sp := range spans {
+		for _, ev := range sp.Events {
+			if base == 0 || ev.StartNS < base {
+				base = ev.StartNS
+			}
+		}
+	}
+	out := chromeTrace{TraceEvents: []chromeEvent{}}
+	for _, sp := range spans {
+		for _, ev := range sp.Events {
+			cat := "stage"
+			if IsStall(ev.Stage) {
+				cat = "stall"
+			}
+			ce := chromeEvent{
+				Name: string(ev.Stage),
+				Cat:  cat,
+				Ph:   "X",
+				PID:  sp.TraceID,
+				TID:  ev.Worker,
+				TS:   float64(ev.StartNS-base) / 1e3,
+				Dur:  float64(ev.DurNS) / 1e3,
+			}
+			if ev.Peer != 0 || ev.Version != 0 || ev.Depth != 0 || ev.Fanout != 0 {
+				ce.Args = map[string]any{}
+				if ev.Peer != 0 {
+					ce.Args["peer"] = ev.Peer
+				}
+				if ev.Version != 0 {
+					ce.Args["tree_version"] = ev.Version
+				}
+				if ev.Depth != 0 {
+					ce.Args["depth"] = ev.Depth
+				}
+				if ev.Fanout != 0 {
+					ce.Args["fanout"] = ev.Fanout
+				}
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

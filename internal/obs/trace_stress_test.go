@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecordHopMetadata checks hop metadata survives into the retained
+// timeline and that stall spans land in the trace.stall.* histograms.
+func TestRecordHopMetadata(t *testing.T) {
+	reg := NewRegistry()
+	tr := newTracer(reg, 1, 8)
+	id := tr.Sample()
+	base := time.Now()
+	tr.RecordHop(id, StageTreeHop, 3, 1, 2, 1, 4, base, 5*time.Microsecond)
+	tr.RecordHop(id, StallCreditWait, 3, 7, 0, 0, 0, base.Add(time.Millisecond), 9*time.Microsecond)
+	tr.RecordHop(0, StageTreeHop, 3, 1, 2, 1, 4, base, time.Microsecond) // no-op
+
+	spans := tr.Spans()
+	if len(spans) != 1 || len(spans[0].Events) != 2 {
+		t.Fatalf("spans: %+v", spans)
+	}
+	hop := spans[0].Events[0]
+	if hop.Stage != StageTreeHop || hop.Worker != 3 || hop.Peer != 1 || hop.Version != 2 || hop.Depth != 1 || hop.Fanout != 4 {
+		t.Fatalf("hop metadata lost: %+v", hop)
+	}
+	s := reg.Snapshot()
+	if s.Histograms["trace.stall.credit_wait_ns"].Count != 1 {
+		t.Fatalf("stall histogram not fed: %+v", s.Histograms)
+	}
+	if s.Histograms["trace.stage.tree_hop_ns"].Count != 1 {
+		t.Fatalf("stage histogram counted the traceID=0 no-op: %+v", s.Histograms)
+	}
+}
+
+// TestTracerConcurrentStress hammers Sample/Record/RecordHop/Spans from
+// many goroutines with a tiny keep bound, so pooled span timelines are
+// constantly evicted and reused while readers copy them. Run under -race
+// this is the regression test for torn span-buffer reads.
+func TestTracerConcurrentStress(t *testing.T) {
+	tr := newTracer(NewRegistry(), 1, 4)
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // concurrent reader: deep-copies under the tracer lock
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, sp := range tr.Spans() {
+				for _, ev := range sp.Events {
+					if ev.Stage == "" {
+						t.Error("torn span event: empty stage")
+						return
+					}
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // concurrent exporter
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := tr.WriteTraceEvents(io.Discard); err != nil {
+				t.Errorf("export: %v", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := time.Now()
+			for i := 0; i < perWriter; i++ {
+				id := tr.Sample()
+				tr.Record(id, StageSerialize, int32(w), base, time.Microsecond)
+				tr.RecordHop(id, StageTreeHop, int32(w), 1, 1, 1, 2, base, time.Microsecond)
+				tr.RecordHop(id, StallSendQueueWait, int32(w), 1, 0, 0, 0, base, time.Microsecond)
+				// Also write into traces other goroutines own (and into
+				// evicted ids) — cross-trace appends are the contended path.
+				tr.Record(int64(i%16+1), StageExecute, int32(w), base, time.Microsecond)
+			}
+		}(w)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := len(tr.Spans()); got != 4 {
+		t.Fatalf("retained %d traces, want keep=4", got)
+	}
+}
+
+// TestRecordDisabledZeroAlloc is the tracing-off half of the overhead
+// contract: for an untraced tuple (trace ID 0) Record and RecordHop must
+// not allocate at all.
+func TestRecordDisabledZeroAlloc(t *testing.T) {
+	tr := newTracer(NewRegistry(), 0, 0)
+	base := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.Sample() != 0 {
+			t.Fatal("disabled tracer sampled")
+		}
+		tr.Record(0, StageSerialize, 0, base, time.Microsecond)
+		tr.RecordHop(0, StageTreeHop, 0, 1, 1, 1, 2, base, time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("tracing-off hot path allocated %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestRecordEnabledBoundedAlloc is the tracing-on half: recording into an
+// established trace reuses pooled span storage, so steady-state appends
+// amortize to (well) under one allocation per record.
+func TestRecordEnabledBoundedAlloc(t *testing.T) {
+	tr := newTracer(NewRegistry(), 1, 4)
+	base := time.Now()
+	// Warm the pool: cycle enough traces that evicted timelines with grown
+	// event slices are available for reuse.
+	for i := 0; i < 64; i++ {
+		id := tr.Sample()
+		for j := 0; j < 8; j++ {
+			tr.Record(id, StageExecute, 0, base, time.Microsecond)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := tr.Sample()
+		for j := 0; j < 8; j++ {
+			tr.Record(id, StageExecute, 0, base, time.Microsecond)
+		}
+	})
+	// 9 tracer calls per run; require well under one allocation per call.
+	if allocs > 2 {
+		t.Fatalf("tracing-on steady state allocated %.2f allocs per traced tuple (9 calls), want <= 2", allocs)
+	}
+}
+
+// TestWriteTraceEvents checks the Chrome trace_event export: rebased
+// microsecond timestamps, stage vs stall categories, and hop args.
+func TestWriteTraceEvents(t *testing.T) {
+	tr := newTracer(NewRegistry(), 1, 8)
+	id := tr.Sample()
+	base := time.Unix(0, 1_000_000_000)
+	tr.Record(id, StageSerialize, 0, base, 2*time.Microsecond)
+	tr.RecordHop(id, StageTreeHop, 1, 0, 3, 1, 2, base.Add(10*time.Microsecond), 4*time.Microsecond)
+	tr.RecordHop(id, StallCreditWait, 1, 2, 0, 0, 0, base.Add(20*time.Microsecond), 6*time.Microsecond)
+
+	var b strings.Builder
+	if err := tr.WriteTraceEvents(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			PID  int64          `json:"pid"`
+			TID  int32          `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(out.TraceEvents) != 3 {
+		t.Fatalf("exported %d events, want 3", len(out.TraceEvents))
+	}
+	first := out.TraceEvents[0]
+	if first.Ph != "X" || first.TS != 0 || first.Name != "serialize" || first.Cat != "stage" {
+		t.Fatalf("first event not rebased complete event: %+v", first)
+	}
+	hop := out.TraceEvents[1]
+	if hop.Cat != "stage" || hop.TS != 10 || hop.Dur != 4 {
+		t.Fatalf("hop event: %+v", hop)
+	}
+	if hop.Args["tree_version"] != float64(3) || hop.Args["fanout"] != float64(2) || hop.Args["depth"] != float64(1) {
+		t.Fatalf("hop args: %+v", hop.Args)
+	}
+	stall := out.TraceEvents[2]
+	if stall.Cat != "stall" || stall.Name != "credit_wait" || stall.Args["peer"] != float64(2) {
+		t.Fatalf("stall event: %+v", stall)
+	}
+	for _, ev := range out.TraceEvents {
+		if ev.PID != id {
+			t.Fatalf("pid %d != trace id %d", ev.PID, id)
+		}
+	}
+}
+
+// TestDebugTraceEndpoint checks /debug/trace serves the Chrome JSON.
+func TestDebugTraceEndpoint(t *testing.T) {
+	scope := NewScope(Config{TraceSampleEvery: 1})
+	id := scope.Tracer.Sample()
+	scope.Tracer.Record(id, StageExecute, 0, time.Now(), time.Microsecond)
+
+	srv, err := Serve("127.0.0.1:0", scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/trace", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TraceEvents) != 1 {
+		t.Fatalf("served %d events, want 1", len(out.TraceEvents))
+	}
+}
+
+// TestPrometheusQuantileExposition asserts the histogram summary lines
+// (p50/p95/p99 quantiles) are present and that the whole exposition parses
+// as Prometheus text format: every non-comment line is `name[{labels}]
+// value` with a float value, and every series was preceded by a # TYPE.
+func TestPrometheusQuantileExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dsps.processing_latency_ns")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+	r.Counter("dsps.tuples_emitted").Add(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, q := range []string{`quantile="0.5"`, `quantile="0.95"`, `quantile="0.99"`} {
+		if !strings.Contains(out, "whale_dsps_processing_latency_ns{"+q+"}") {
+			t.Fatalf("exposition missing %s quantile:\n%s", q, out)
+		}
+	}
+
+	typed := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[1] == "TYPE" {
+				typed[f[2]] = f[3]
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("line %q is not `series value`", line)
+		}
+		v, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			t.Fatalf("line %q: value does not parse: %v", line, err)
+		}
+		if v < 0 {
+			t.Fatalf("line %q: negative sample", line)
+		}
+		name := f[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("line %q: unterminated label set", line)
+			}
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_count", "_sum", "_max"} {
+			if strings.HasSuffix(name, suf) {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if _, ok := typed[name]; !ok {
+			if _, ok := typed[base]; !ok {
+				t.Fatalf("series %q has no preceding # TYPE", f[0])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if typed["whale_dsps_processing_latency_ns"] != "summary" {
+		t.Fatalf("histogram not typed summary: %v", typed)
+	}
+	if typed["whale_dsps_tuples_emitted_total"] != "counter" {
+		t.Fatalf("counter not typed: %v", typed)
+	}
+
+	// The quantiles themselves must be ordered and inside the observed range.
+	p50 := quantileValue(t, out, "0.5")
+	p95 := quantileValue(t, out, "0.95")
+	p99 := quantileValue(t, out, "0.99")
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotonic: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if p50 < 1000 || p99 > 1000*1000*2 {
+		t.Fatalf("quantiles outside observed range: p50=%v p99=%v", p50, p99)
+	}
+}
+
+func quantileValue(t *testing.T, exposition, q string) float64 {
+	t.Helper()
+	needle := `whale_dsps_processing_latency_ns{quantile="` + q + `"} `
+	i := strings.Index(exposition, needle)
+	if i < 0 {
+		t.Fatalf("quantile %s line missing", q)
+	}
+	rest := exposition[i+len(needle):]
+	if j := strings.IndexByte(rest, '\n'); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		t.Fatalf("quantile %s value: %v", q, err)
+	}
+	return v
+}

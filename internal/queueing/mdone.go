@@ -55,6 +55,20 @@ func MeanQueueLength(lambda, mu float64) float64 {
 // Utilization returns ρ = λ/μ.
 func Utilization(lambda, mu float64) float64 { return lambda / mu }
 
+// MeanWaitTime returns W_q = λ/(2μ(μ-λ)), the mean time a tuple waits in
+// an M/D/1 queue before service (Little's law over the queueing term of
+// Eq. 2). The bottleneck analyzer compares it against measured stall time
+// per component. It returns +Inf when the queue is unstable (λ >= μ).
+func MeanWaitTime(lambda, mu float64) float64 {
+	if lambda < 0 || mu <= 0 {
+		panic(fmt.Sprintf("queueing: invalid MeanWaitTime(λ=%g, μ=%g)", lambda, mu))
+	}
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	return lambda / (2 * mu * (mu - lambda))
+}
+
 // qFactor returns Q+1-sqrt(Q²+1), the term Eq. 3 and Eq. 5 share. It is in
 // (0, 1] for Q >= 0 and approaches 1 as Q grows.
 func qFactor(Q float64) float64 {

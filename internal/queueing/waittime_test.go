@@ -1,0 +1,45 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMeanWaitTime checks the M/D/1 mean waiting time Wq = λ/(2μ(μ−λ))
+// the bottleneck analyzer compares measured stalls against.
+func TestMeanWaitTime(t *testing.T) {
+	// λ=800/s, μ=1000/s: Wq = 800/(2·1000·200) = 2ms.
+	if w := MeanWaitTime(800, 1000); math.Abs(w-0.002) > 1e-12 {
+		t.Fatalf("MeanWaitTime(800,1000) = %v, want 0.002", w)
+	}
+	// Little's law consistency: Lq (queueing part of MeanQueueLength minus
+	// the in-service term ρ) equals λ·Wq.
+	lam, mu := 600.0, 1000.0
+	rho := lam / mu
+	lq := MeanQueueLength(lam, mu) - rho
+	if math.Abs(lq-lam*MeanWaitTime(lam, mu)) > 1e-9 {
+		t.Fatalf("Little's law violated: Lq=%v λWq=%v", lq, lam*MeanWaitTime(lam, mu))
+	}
+	// Wq grows monotonically in λ.
+	if !(MeanWaitTime(100, 1000) < MeanWaitTime(500, 1000) && MeanWaitTime(500, 1000) < MeanWaitTime(999, 1000)) {
+		t.Fatal("MeanWaitTime not monotone in λ")
+	}
+	// Saturation and overload diverge.
+	if !math.IsInf(MeanWaitTime(1000, 1000), 1) || !math.IsInf(MeanWaitTime(1500, 1000), 1) {
+		t.Fatal("λ ≥ μ must yield +Inf")
+	}
+	// Idle queue waits nothing.
+	if w := MeanWaitTime(0, 1000); w != 0 {
+		t.Fatalf("MeanWaitTime(0,1000) = %v", w)
+	}
+	for _, bad := range [][2]float64{{-1, 1000}, {100, 0}, {100, -5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MeanWaitTime(%v, %v) did not panic", bad[0], bad[1])
+				}
+			}()
+			MeanWaitTime(bad[0], bad[1])
+		}()
+	}
+}

@@ -126,6 +126,10 @@ type ChannelStats struct {
 	MsgsRecv     atomic.Int64
 	BytesRecv    atomic.Int64
 	BlockedNS    atomic.Int64 // time Send spent blocked on a full ring
+	CQPollNS     atomic.Int64 // receiver time inside CQ/ring poll calls
+	CQPolls      atomic.Int64 // receiver poll calls issued
+	WRDepthSum   atomic.Int64 // work requests per pipelined flush, summed
+	WRFlushes    atomic.Int64 // pipelined flushes (WRDepthSum / WRFlushes = mean depth)
 }
 
 // StatsSnapshot is a point-in-time copy of ChannelStats.
@@ -133,6 +137,8 @@ type StatsSnapshot struct {
 	MsgsSent, BytesSent, WorkRequests int64
 	SizeFlushes, TimerFlushes         int64
 	MsgsRecv, BytesRecv, BlockedNS    int64
+	CQPollNS, CQPolls                 int64
+	WRDepthSum, WRFlushes             int64
 }
 
 // Channel is a unidirectional, reliable, ordered message channel between
@@ -195,6 +201,10 @@ func (c *Channel) Stats() StatsSnapshot {
 		MsgsRecv:     c.stats.MsgsRecv.Load(),
 		BytesRecv:    c.stats.BytesRecv.Load(),
 		BlockedNS:    c.stats.BlockedNS.Load(),
+		CQPollNS:     c.stats.CQPollNS.Load(),
+		CQPolls:      c.stats.CQPolls.Load(),
+		WRDepthSum:   c.stats.WRDepthSum.Load(),
+		WRFlushes:    c.stats.WRFlushes.Load(),
 	}
 }
 
@@ -454,6 +464,8 @@ func (st *remoteWriterState) appendRingWrites(wrs []WR, off int, p []byte) ([]WR
 // pipelineOps posts a sequence of work requests back to back and reaps all
 // their completions, failing on the first error.
 func (c *Channel) pipelineOps(wrs []WR) error {
+	c.stats.WRDepthSum.Add(int64(len(wrs)))
+	c.stats.WRFlushes.Add(1)
 	posted := 0
 	for _, wr := range wrs {
 		if err := c.sqp.PostSend(wr); err != nil {
@@ -555,11 +567,14 @@ func (c *Channel) recvLoopRead() {
 		default:
 		}
 		var parseErr error
+		t0 := time.Now()
 		n, err := c.rring.Poll(c.rcq, func(frame []byte) {
 			if e := c.parseBatch(frame); e != nil && parseErr == nil {
 				parseErr = e
 			}
 		})
+		c.stats.CQPollNS.Add(time.Since(t0).Nanoseconds())
+		c.stats.CQPolls.Add(1)
 		if err == nil {
 			err = parseErr
 		}

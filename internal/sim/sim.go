@@ -111,6 +111,10 @@ type Server struct {
 
 	// BusyNS accumulates service time (for utilisation).
 	BusyNS int64
+	// WaitNS accumulates queueing delay: time accepted jobs spent between
+	// submission and service start (the stall the bottleneck analyzer
+	// attributes to this server).
+	WaitNS int64
 	// Served counts completed jobs.
 	Served int64
 	// Dropped counts capacity overflows.
@@ -143,6 +147,7 @@ func (s *Server) Submit(service Time, onDone func()) bool {
 	if start < s.eng.now {
 		start = s.eng.now
 	}
+	s.WaitNS += start - s.eng.now
 	done := start + service
 	s.nextFree = done
 	s.BusyNS += service

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// TestServerWaitNS checks the analytic queueing-delay accumulator the DES
+// bottleneck report feeds from: jobs arriving at a busy server are charged
+// exactly the gap between submission and service start, idle arrivals and
+// dropped jobs are charged nothing.
+func TestServerWaitNS(t *testing.T) {
+	eng := NewEngine()
+	s := NewServer(eng, "exec", 0)
+
+	s.Submit(100, nil) // starts immediately: wait 0
+	if s.WaitNS != 0 {
+		t.Fatalf("idle submit accrued wait %d", s.WaitNS)
+	}
+	s.Submit(100, nil) // queued behind job 1: waits 100
+	s.Submit(100, nil) // queued behind 1+2: waits 200
+	if s.WaitNS != 300 {
+		t.Fatalf("WaitNS = %d, want 300", s.WaitNS)
+	}
+
+	eng.RunUntil(250) // jobs 1 and 2 done; job 3 in service until 300
+	s.Submit(100, nil)
+	if s.WaitNS != 350 { // nextFree=300, now=250 → +50
+		t.Fatalf("WaitNS = %d, want 350", s.WaitNS)
+	}
+	eng.Run()
+	if s.Served != 4 || s.BusyNS != 400 {
+		t.Fatalf("served=%d busy=%d", s.Served, s.BusyNS)
+	}
+
+	// A capacity overflow is dropped before it ever queues.
+	bounded := NewServer(eng, "bounded", 2)
+	bounded.Submit(50, nil)
+	bounded.Submit(50, nil)
+	before := bounded.WaitNS
+	if bounded.Submit(50, nil) {
+		t.Fatal("over-capacity submit accepted")
+	}
+	if bounded.WaitNS != before || bounded.Dropped != 1 {
+		t.Fatalf("dropped job charged wait: wait=%d dropped=%d", bounded.WaitNS, bounded.Dropped)
+	}
+}

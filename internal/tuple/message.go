@@ -68,6 +68,34 @@ func MessageKind(buf []byte) byte {
 	return buf[0]
 }
 
+// PeekWorkerMessageTraceID reads the trace ID of the tuple payload inside
+// an encoded data-plane WorkerMessage without decoding either envelope or
+// payload. It returns 0 for control messages, truncated buffers, or an
+// untraced payload — the trace piggyback is best-effort by design.
+//
+//whale:hotpath
+func PeekWorkerMessageTraceID(buf []byte) int64 {
+	if len(buf) < 3 {
+		return 0
+	}
+	kind := buf[0]
+	switch kind {
+	case KindWorkerMessage, KindInstanceMessage, KindMulticastMessage:
+	default:
+		return 0
+	}
+	ndst := int(buf[1]) | int(buf[2])<<8
+	off := 3 + 4*ndst
+	if kind == KindMulticastMessage {
+		off += 12
+	}
+	off += 4 // payload length
+	if off > len(buf) {
+		return 0
+	}
+	return PeekTraceID(buf[off:])
+}
+
 // DecodeWorkerMessage parses one WorkerMessage from buf, returning the
 // message and bytes consumed. The returned Payload aliases buf.
 func DecodeWorkerMessage(buf []byte) (*WorkerMessage, int, error) {

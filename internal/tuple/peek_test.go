@@ -1,0 +1,79 @@
+package tuple
+
+import "testing"
+
+func tracedTuple(id int64) *Tuple {
+	return &Tuple{
+		Stream:     "requests",
+		ID:         991,
+		SrcTask:    4,
+		RootEmitNS: 7,
+		TraceID:    id,
+		Values:     []Value{int64(1), "abc", 2.5, true},
+	}
+}
+
+// TestPeekTraceID checks the fixed-offset peek agrees with a full decode
+// for traced and untraced tuples, and degrades to 0 on truncation.
+func TestPeekTraceID(t *testing.T) {
+	for _, id := range []int64{0, 1, 1 << 40} {
+		buf, err := AppendTuple(nil, tracedTuple(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := PeekTraceID(buf); got != id {
+			t.Fatalf("PeekTraceID = %d, want %d", got, id)
+		}
+		dec, _, err := DecodeTuple(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.TraceID != id {
+			t.Fatalf("decoded TraceID = %d, want %d", dec.TraceID, id)
+		}
+		// Prefixes too short to contain the id must peek as untraced (not
+		// panic or read out of bounds); prefixes that do contain it peek it.
+		idEnd := 2 + len("requests") + 8 + 4 + 8 + 8 + 8 + 8
+		for n := 0; n <= len(buf); n++ {
+			want := id
+			if n < idEnd {
+				want = 0
+			}
+			if got := PeekTraceID(buf[:n]); got != want {
+				t.Fatalf("truncated to %d bytes: peek = %d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
+// TestPeekWorkerMessageTraceID checks the envelope-level peek across the
+// message kinds: data kinds reach through to the payload's trace ID, the
+// multicast kind skips its relay header, control frames peek as untraced.
+func TestPeekWorkerMessageTraceID(t *testing.T) {
+	payload, err := AppendTuple(nil, tracedTuple(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []byte{KindWorkerMessage, KindInstanceMessage, KindMulticastMessage} {
+		m := &WorkerMessage{Kind: kind, DstIDs: []int32{1, 2, 3}, Payload: payload}
+		if kind == KindMulticastMessage {
+			m.Group, m.TreeVersion, m.SrcWorker = 2, 5, 1
+		}
+		buf := AppendWorkerMessage(nil, m)
+		if got := PeekWorkerMessageTraceID(buf); got != 777 {
+			t.Fatalf("kind %d: peek = %d, want 777", kind, got)
+		}
+		for n := 0; n < 12 && n < len(buf); n++ {
+			if got := PeekWorkerMessageTraceID(buf[:n]); got != 0 {
+				t.Fatalf("kind %d truncated to %d bytes peeked %d", kind, n, got)
+			}
+		}
+	}
+	ctrl := AppendWorkerMessage(nil, &WorkerMessage{Kind: KindControl, Payload: payload})
+	if got := PeekWorkerMessageTraceID(ctrl); got != 0 {
+		t.Fatalf("control frame peeked trace id %d", got)
+	}
+	if got := PeekWorkerMessageTraceID(nil); got != 0 {
+		t.Fatalf("nil buffer peeked %d", got)
+	}
+}

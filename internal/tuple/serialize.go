@@ -216,6 +216,25 @@ func readValue(buf []byte, off int) (Value, int, error) {
 	}
 }
 
+// PeekTraceID reads the trace ID straight out of an encoded tuple without
+// decoding it (the id sits at a fixed offset past the variable-length
+// stream name). It returns 0 — untraced — for buffers too short to hold
+// the header; the caller is expected to decode (and fail) anyway. Stall
+// instrumentation on the send path uses this to attribute queue residency
+// to sampled traces without paying a full decode per queued item.
+//
+//whale:hotpath
+func PeekTraceID(buf []byte) int64 {
+	if len(buf) < 2 {
+		return 0
+	}
+	off := 2 + int(binary.LittleEndian.Uint16(buf)) + 8 + 4 + 8 + 8 + 8
+	if off+8 > len(buf) {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(buf[off:]))
+}
+
 // EncodedSize returns the exact number of bytes AppendTuple would produce,
 // without encoding. The simulated cluster uses it to derive message sizes.
 //

@@ -22,11 +22,14 @@
 package whale
 
 import (
+	"encoding/json"
+	"net/http"
 	"time"
 
 	"whale/internal/core"
 	"whale/internal/dsps"
 	"whale/internal/obs"
+	"whale/internal/obs/attrib"
 	"whale/internal/tuple"
 )
 
@@ -131,8 +134,8 @@ type Cluster struct {
 
 // Run launches the topology under the given system preset. With
 // Options.ObsAddr set, the observability endpoints (/metrics,
-// /debug/whale, /debug/events, /debug/pprof) are served on that address
-// for the cluster's lifetime.
+// /debug/whale, /debug/events, /debug/trace, /debug/bottleneck,
+// /debug/pprof) are served on that address for the cluster's lifetime.
 func Run(topo *Topology, sys System, opts Options) (*Cluster, error) {
 	eng, err := sys.Launch(topo, opts)
 	if err != nil {
@@ -145,6 +148,16 @@ func Run(topo *Topology, sys System, opts Options) (*Cluster, error) {
 			eng.Stop()
 			return nil, err
 		}
+		srv.Handle("/debug/bottleneck", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rep := c.BottleneckReport()
+			if r.URL.Query().Get("format") == "text" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				_, _ = w.Write([]byte(rep.String()))
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(rep)
+		}))
 		c.srv = srv
 	}
 	return c, nil
@@ -188,6 +201,11 @@ func (c *Cluster) ActiveDstar() int { return c.eng.ActiveDstar() }
 // LinkStats snapshots every flow-controlled link (empty when credit flow
 // control is disabled).
 func (c *Cluster) LinkStats() []LinkStat { return c.eng.LinkStats() }
+
+// BottleneckReport folds the cluster's stall and utilization counters into
+// a ranked bottleneck attribution (see internal/obs/attrib). Also served
+// as JSON at /debug/bottleneck when Options.ObsAddr is set.
+func (c *Cluster) BottleneckReport() attrib.Report { return c.eng.BottleneckReport() }
 
 // DegradedWorkers lists workers currently reported degraded by the
 // overload path (a subscriber paused past Options.DegradedAfter).
