@@ -5,15 +5,32 @@
 
 GO ?= go
 
-.PHONY: check vet whalevet build test race chaos fmt bench perfgate
+.PHONY: check vet whalevet vet-baseline build test race chaos fmt bench perfgate
 
-check: vet whalevet build test race chaos
+check: vet whalevet vet-baseline build test race chaos
 
 vet:
 	$(GO) vet ./...
 
 whalevet:
 	$(GO) run ./cmd/whalevet ./...
+
+# Analyzer-coverage gate against the committed VET_BASELINE.txt: fails if
+# the registered analyzer count drops below the baseline (an analyzer was
+# lost or stopped registering) or the full-repo run is no longer clean.
+# Raise the baseline in VET_BASELINE.txt when a new analyzer lands.
+vet-baseline:
+	@want=$$(awk '$$1=="analyzers"{print $$2}' VET_BASELINE.txt); \
+	got=$$($(GO) run ./cmd/whalevet -list | wc -l); \
+	if [ "$$got" -lt "$$want" ]; then \
+	  echo "vet-baseline: $$got analyzers registered, baseline requires >= $$want" >&2; \
+	  exit 1; \
+	fi; \
+	if ! $(GO) run ./cmd/whalevet ./...; then \
+	  echo "vet-baseline: full-repo whalevet pass is no longer clean (baseline: $$(awk '$$1=="findings"{print $$2}' VET_BASELINE.txt) findings)" >&2; \
+	  exit 1; \
+	fi; \
+	echo "vet-baseline: ok ($$got analyzers, clean full-repo pass)"
 
 build:
 	$(GO) build ./...

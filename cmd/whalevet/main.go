@@ -20,11 +20,12 @@ import (
 
 func main() {
 	var (
-		run  = flag.String("run", "", "comma-separated analyzer subset (default: all)")
-		list = flag.Bool("list", false, "list available analyzers and exit")
+		run   = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		list  = flag.Bool("list", false, "list available analyzers and exit")
+		sarif = flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: whalevet [-run a,b] [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: whalevet [-run a,b] [-list] [-sarif file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,6 +65,12 @@ func main() {
 	}
 
 	diags := analyzers.RunAnalyzers(pkgs, as)
+	if *sarif != "" {
+		if err := writeSARIF(*sarif, wd, as, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "whalevet: writing SARIF:", err)
+			os.Exit(2)
+		}
+	}
 	for _, d := range diags {
 		fmt.Println(d)
 	}
@@ -71,4 +78,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "whalevet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// writeSARIF emits the SARIF log to path ("-" means stdout). The log is
+// written even when there are no findings: an empty results array is how
+// code scanning learns previous alerts are fixed.
+func writeSARIF(path, root string, as []*analyzers.Analyzer, diags []analyzers.Diagnostic) error {
+	if path == "-" {
+		return analyzers.WriteSARIF(os.Stdout, root, as, diags)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analyzers.WriteSARIF(f, root, as, diags); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

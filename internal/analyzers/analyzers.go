@@ -13,13 +13,30 @@
 //	hotalloc   — no fmt.Sprintf / time.Now / map or []byte allocation
 //	             inside functions annotated `//whale:hotpath`
 //
+// On top of the syntactic passes, a CFG/dataflow layer (cfg.go,
+// dataflow.go) supports four path-aware analyzers:
+//
+//	bufown        — every acquired pooled buffer/encoder reaches a
+//	                balanced release, retain, or annotated transfer on
+//	                every exit path (//whale:acquires, //whale:owns,
+//	                //whale:transfers)
+//	lockorder     — whole-repo lock-acquisition graph: cycles are
+//	                potential deadlocks, and //whale:lockrank commits a
+//	                canonical acquisition order for ranked mutexes
+//	creditbalance — every //whale:charged delivery-unit charge reaches a
+//	                //whale:grants call or a //whale:credit-terminal exit
+//	chanprotocol  — no channel send or second close on a path where the
+//	                channel was already closed
+//
 // Findings are suppressed per-site with an explanatory directive:
 //
 //	//lint:ignore <analyzer> <reason>
 //
 // placed on the flagged line (trailing) or the line directly above, or for
 // a whole file with `//lint:file-ignore <analyzer> <reason>`. A directive
-// without a reason is ignored, so every suppression documents itself.
+// without a reason is ignored, so every suppression documents itself. A
+// directive that suppresses nothing is itself reported (staledirective), so
+// suppressions cannot outlive the finding they waive.
 //
 // The suite is self-contained on the standard library (go/ast, go/types,
 // and export data resolved through `go list -export`), mirroring the shape
@@ -35,16 +52,23 @@ import (
 	"strings"
 )
 
-// Analyzer is one named check. Run inspects a single package through its
-// Pass and reports findings via Pass.Reportf.
+// Analyzer is one named check. Per-package analyzers set Run, which
+// inspects a single package through its Pass and reports findings via
+// Pass.Reportf. Whole-program analyzers (lockorder, bufown's
+// cross-package directive table) set RunProgram instead, which sees every
+// loaded package at once; RunAnalyzers invokes it once per run.
 type Analyzer struct {
 	// Name is the analyzer's identifier, used in output and in
 	// //lint:ignore directives.
 	Name string
 	// Doc is a one-line description of the enforced invariant.
 	Doc string
-	// Run executes the analyzer over one package.
+	// Run executes the analyzer over one package. Nil for whole-program
+	// analyzers.
 	Run func(*Pass)
+	// RunProgram executes the analyzer once over all loaded packages.
+	// Diagnostics still pass through per-package suppression filtering.
+	RunProgram func(pkgs []*Package, report func(Diagnostic))
 }
 
 // Diagnostic is one finding.
@@ -82,9 +106,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full whalevet suite in reporting order.
+// All returns the full whalevet suite in reporting order: the five
+// syntactic passes from PR 2 plus the four CFG/dataflow analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{LockHeld, GoSpawn, MetricName, VerbErr, HotAlloc}
+	return []*Analyzer{
+		LockHeld, GoSpawn, MetricName, VerbErr, HotAlloc,
+		BufOwn, LockOrder, CreditBalance, ChanProtocol,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list ("lockheld,verberr").
@@ -110,14 +138,52 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// StaleDirective is the name under which RunAnalyzers reports //lint:
+// directives that suppress nothing. It is a framework check, not an entry
+// in All(): it runs whenever the analyzer a directive names is part of the
+// run, so a partial `-run lockheld` invocation never flags suppressions
+// belonging to analyzers that did not execute.
+const StaleDirective = "staledirective"
+
 // RunAnalyzers applies every analyzer to every package, filters findings
-// through the packages' //lint: directives, and returns them sorted by
-// position.
+// through the packages' //lint: directives, reports directives that
+// suppressed nothing, and returns all diagnostics sorted by position.
 func RunAnalyzers(pkgs []*Package, as []*Analyzer) []Diagnostic {
 	var all []Diagnostic
-	for _, pkg := range pkgs {
-		sups := collectSuppressions(pkg.Fset, pkg.Files)
+	ranNames := map[string]bool{}
+	for _, a := range as {
+		ranNames[a.Name] = true
+	}
+
+	// Per-package suppression sets, kept so whole-program diagnostics and
+	// the stale check can consult them after all analyzers ran.
+	sups := make([]suppressionSet, len(pkgs))
+	used := make([]map[int]bool, len(pkgs)) // suppression index -> used
+	for i, pkg := range pkgs {
+		sups[i] = collectSuppressions(pkg.Fset, pkg.Files)
+		used[i] = map[int]bool{}
+	}
+	filter := func(pkgIdx int, d Diagnostic) bool {
+		if idx, ok := sups[pkgIdx].suppresses(d); ok {
+			used[pkgIdx][idx] = true
+			return false
+		}
+		return true
+	}
+	// pkgForFile maps a diagnostic's file back to its package's
+	// suppression set (whole-program analyzers report across packages).
+	pkgForFile := map[string]int{}
+	for i, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			pkgForFile[pkg.Fset.Position(f.FileStart).Filename] = i
+		}
+	}
+
+	for i, pkg := range pkgs {
 		for _, a := range as {
+			if a.Run == nil {
+				continue
+			}
 			var diags []Diagnostic
 			pass := &Pass{
 				Analyzer: a,
@@ -129,12 +195,50 @@ func RunAnalyzers(pkgs []*Package, as []*Analyzer) []Diagnostic {
 			}
 			a.Run(pass)
 			for _, d := range diags {
-				if !sups.suppresses(d) {
+				if filter(i, d) {
 					all = append(all, d)
 				}
 			}
 		}
 	}
+	for _, a := range as {
+		if a.RunProgram == nil {
+			continue
+		}
+		var diags []Diagnostic
+		a.RunProgram(pkgs, func(d Diagnostic) { diags = append(diags, d) })
+		for _, d := range diags {
+			if idx, ok := pkgForFile[d.Pos.Filename]; ok {
+				if filter(idx, d) {
+					all = append(all, d)
+				}
+			} else {
+				all = append(all, d)
+			}
+		}
+	}
+
+	// Stale-suppression check: a directive naming an analyzer that ran but
+	// matched no diagnostic is dead weight — either the code was fixed (drop
+	// it) or the directive is on the wrong line (fix it). Either way it must
+	// not linger as a silent waiver.
+	for i := range pkgs {
+		for j, sup := range sups[i] {
+			if used[i][j] || !ranNames[sup.analyzer] {
+				continue
+			}
+			d := Diagnostic{
+				Analyzer: StaleDirective,
+				Pos:      token.Position{Filename: sup.file, Line: sup.line, Column: 1},
+				Message: fmt.Sprintf("//lint:%s %s suppresses no diagnostic; remove it or fix its placement",
+					ignoreKind(sup), sup.analyzer),
+			}
+			if filter(i, d) {
+				all = append(all, d)
+			}
+		}
+	}
+
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -149,6 +253,13 @@ func RunAnalyzers(pkgs []*Package, as []*Analyzer) []Diagnostic {
 		return a.Analyzer < b.Analyzer
 	})
 	return all
+}
+
+func ignoreKind(s suppression) string {
+	if s.fileWide {
+		return "file-ignore"
+	}
+	return "ignore"
 }
 
 // --- shared type/AST helpers -----------------------------------------------

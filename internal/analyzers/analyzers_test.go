@@ -31,9 +31,15 @@ func TestByName(t *testing.T) {
 }
 
 func TestAllHaveDocs(t *testing.T) {
+	if got := len(analyzers.All()); got != 9 {
+		t.Errorf("All() returned %d analyzers, want 9", got)
+	}
 	for _, a := range analyzers.All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v is missing a name or doc", a)
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %s must set exactly one of Run and RunProgram", a.Name)
 		}
 	}
 }

@@ -1,0 +1,424 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BufOwn verifies the pooled-buffer ownership protocol from DESIGN §11:
+// every value produced by a //whale:acquires function (acquireSendBuf,
+// tuple.AcquireEncoder, the tracer's span pool) must reach a balanced
+// discharge on every exit path of the acquiring function. A discharge is:
+//
+//   - a call to a function annotated //whale:owns (or //whale:transfers)
+//     with the value in the owned parameter/receiver position — ownership
+//     moves into the callee (sendData, release, ReleaseEncoder, push);
+//   - a statement carrying a //whale:transfers <expr> line directive —
+//     ownership moves into a long-lived structure the analyzer cannot see
+//     through (a queue append, a map insert, a goroutine handoff);
+//   - for a function itself annotated //whale:acquires, returning the
+//     value — ownership moves to the caller.
+//
+// A //whale:retains function (sendBuf.retain) marks the value as
+// dynamically refcounted: the exit check relaxes from "discharged on every
+// path" to "discharged on at least one path", because the extra references
+// are balanced at runtime, not lexically.
+//
+// Inside a //whale:owns callee the named parameter arrives owned and the
+// same exit rules apply — except that a body with no discharge site at all
+// is a sink (it IS the protocol implementation: refcount decrements, pool
+// puts), which the analyzer detects as "no path discharges" and accepts.
+//
+// The analysis is a forward may-dataflow over the intraprocedural CFG
+// (cfg.go): at exit, "the owned bit survives on some path" means some exit
+// leaks the buffer. Values are keyed by expression text, like lockheld.
+var BufOwn = &Analyzer{
+	Name:       "bufown",
+	Doc:        "acquired pooled buffers/encoders reach release, retain, or an annotated transfer on every exit path",
+	RunProgram: runBufOwn,
+}
+
+// Obligation state bits shared by bufown and creditbalance.
+const (
+	bitOwned uint8 = 1 << iota // obligation may be outstanding on this path
+	bitDone                    // some path through here discharged it
+	bitMulti                   // dynamic refcount / dynamic charge count
+	bitEntry                   // obligation came in as an annotated parameter
+)
+
+// funcFacts is the whole-program directive table, keyed by
+// (*types.Func).FullName() so call sites resolved through export data and
+// declarations checked from source agree on identity.
+type funcFacts map[string]funcDirectives
+
+func collectFuncFacts(pkgs []*Package) funcFacts {
+	facts := funcFacts{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				dir := parseFuncDirectives(fd.Doc)
+				if !dir.acquires && !dir.grants && !dir.retains &&
+					len(dir.owns) == 0 && len(dir.transfers) == 0 {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					facts[obj.FullName()] = dir
+				}
+			}
+		}
+	}
+	return facts
+}
+
+func runBufOwn(pkgs []*Package, report func(Diagnostic)) {
+	facts := collectFuncFacts(pkgs)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			bc := &bufownCtx{
+				fset:   pkg.Fset,
+				info:   pkg.Info,
+				facts:  facts,
+				dirs:   newLineDirectivesFset(pkg.Fset, file),
+				report: report,
+			}
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				var own funcDirectives
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					own = facts[obj.FullName()]
+				}
+				bc.checkFunc(fd.Body, fd, own)
+				// Function literals are independent scopes: anything they
+				// acquire must balance within their own body (or be
+				// annotated //whale:transfers out).
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						bc.checkFunc(fl.Body, nil, funcDirectives{})
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+type bufownCtx struct {
+	fset   *token.FileSet
+	info   *types.Info
+	facts  funcFacts
+	dirs   map[int][]lineDirective // line -> //whale: directives in this file
+	report func(Diagnostic)
+
+	// per-function scratch, reset by checkFunc
+	acquirePos map[string]token.Pos
+	selfAcq    bool // the function under analysis is //whale:acquires
+}
+
+func (bc *bufownCtx) reportf(pos token.Pos, format string, args ...any) {
+	bc.report(Diagnostic{
+		Analyzer: "bufown",
+		Pos:      bc.fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// checkFunc runs the ownership dataflow over one function body.
+func (bc *bufownCtx) checkFunc(body *ast.BlockStmt, fd *ast.FuncDecl, own funcDirectives) {
+	entry := flowState{}
+	for _, name := range append(append([]string{}, own.owns...), own.transfers...) {
+		if fd != nil && paramOrRecvName(fd, ownsParamName(name)) {
+			entry[name] = bitOwned | bitEntry
+		}
+	}
+	bc.acquirePos = map[string]token.Pos{}
+	bc.selfAcq = own.acquires
+	g := buildCFG(body)
+	exit := forward(g, entry, bc.transfer)
+	for key, st := range exit {
+		if st&bitOwned == 0 {
+			continue
+		}
+		if st&bitEntry != 0 {
+			// Entry obligation: a body with no discharge at all is a sink
+			// (the protocol primitive itself); inconsistent discharge is
+			// the bug. Dynamic refcounts are checked at runtime.
+			if st&bitDone != 0 && st&bitMulti == 0 {
+				bc.reportf(body.Pos(), "owned parameter %s is discharged on some paths but not all", key)
+			}
+			continue
+		}
+		if st&bitMulti != 0 && st&bitDone != 0 {
+			continue // retained: lexical balance is per-path unknowable
+		}
+		pos := bc.acquirePos[key]
+		if pos == token.NoPos {
+			pos = body.Pos()
+		}
+		bc.reportf(pos, "%s may not be released, retained, or transferred on every exit path", key)
+	}
+}
+
+// ownsParamName strips a dotted //whale:owns operand ("it.buf") to the
+// parameter name it rides on ("it").
+func ownsParamName(op string) string {
+	if i := strings.IndexByte(op, '.'); i >= 0 {
+		return op[:i]
+	}
+	return op
+}
+
+// paramOrRecvName reports whether name is one of fd's parameters or its
+// receiver.
+func paramOrRecvName(fd *ast.FuncDecl, name string) bool {
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, id := range f.Names {
+				if id.Name == name {
+					return true
+				}
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, id := range f.Names {
+				if id.Name == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// transfer is the dataflow transfer function for one CFG node.
+func (bc *bufownCtx) transfer(state flowState, n ast.Node, final bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		// Binding marker only (body runs through its own blocks): the loop
+		// vars are fresh values each iteration.
+		rangeRebind(state, r)
+		return
+	}
+	// Statement-level //whale:transfers <expr>... discharges the named
+	// obligations on this path.
+	if _, isStmt := n.(ast.Stmt); isStmt {
+		line := bc.fset.Position(n.Pos()).Line
+		if op, ok := stmtDirective(bc.dirs, line, dirTransfers); ok {
+			for _, name := range strings.Fields(op) {
+				discharge(state, name)
+			}
+		}
+	}
+
+	// Acquiring calls bound by this node (assignment/declaration targets).
+	bound := map[*ast.CallExpr]bool{}
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		if len(x.Rhs) == 1 && len(x.Lhs) >= 1 {
+			if call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr); ok && bc.isAcquire(call) {
+				bound[call] = true
+				key := exprText(x.Lhs[0])
+				if key == "_" {
+					if final {
+						bc.reportf(call.Pos(), "acquired %s assigned to blank identifier leaks the buffer", selectorName(call))
+					}
+				} else {
+					state[key] = bitOwned
+					bc.acquirePos[key] = call.Pos()
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 1 || len(vs.Names) < 1 {
+					continue
+				}
+				if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok && bc.isAcquire(call) {
+					bound[call] = true
+					state[vs.Names[0].Name] = bitOwned
+					bc.acquirePos[vs.Names[0].Name] = call.Pos()
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		// A //whale:acquires function hands its result to the caller.
+		if bc.selfAcq {
+			for _, res := range x.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && bc.isAcquire(call) {
+					bound[call] = true // acquire-and-return in one step
+				}
+				discharge(state, exprText(res))
+			}
+		}
+	}
+
+	// Scan every call in the node (function literals run later — skipped)
+	// for unbound acquires, consuming calls, and retains.
+	ast.Inspect(n, func(sub ast.Node) bool {
+		switch c := sub.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			bc.applyCall(state, c, bound[c], final)
+		}
+		return true
+	})
+}
+
+// applyCall classifies one call against the directive table.
+func (bc *bufownCtx) applyCall(state flowState, call *ast.CallExpr, isBound bool, final bool) {
+	f := callee(bc.info, call)
+	if f == nil {
+		return
+	}
+	dir, ok := bc.facts[f.FullName()]
+	if !ok {
+		return
+	}
+	if dir.acquires && !isBound {
+		if final {
+			bc.reportf(call.Pos(), "result of %s is owned but discarded", selectorName(call))
+		}
+		return
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	consume := append(append([]string{}, dir.owns...), dir.transfers...)
+	for _, name := range consume {
+		for _, key := range bc.callArgKeys(call, sig, name) {
+			discharge(state, key)
+		}
+	}
+	if dir.retains {
+		// retain applies to its receiver (or first owned param).
+		target := ""
+		if sig.Recv() != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				target = exprText(sel.X)
+			}
+		} else if len(call.Args) > 0 {
+			target = exprText(call.Args[0])
+		}
+		if st, have := state[target]; have && st&bitOwned != 0 {
+			state[target] = st | bitMulti
+		}
+	}
+}
+
+// callArgKeys maps an owned parameter/receiver name on the callee to the
+// caller-side expression keys it binds at this call. A dotted operand
+// ("it.buf") names a field of the parameter: when the argument is a
+// composite literal the field's value is the owned expression itself
+// (push(dst, flowItem{buf: sb}) consumes sb); any other argument carries
+// the obligation under its own dotted name.
+func (bc *bufownCtx) callArgKeys(call *ast.CallExpr, sig *types.Signature, name string) []string {
+	base, field := name, ""
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		base, field = name[:i], name[i+1:]
+	}
+	argKey := func(arg ast.Expr) []string {
+		if field == "" {
+			return []string{exprText(arg)}
+		}
+		if cl, ok := ast.Unparen(arg).(*ast.CompositeLit); ok {
+			for _, el := range cl.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+					return []string{exprText(kv.Value)}
+				}
+			}
+			return nil
+		}
+		return []string{exprText(arg) + "." + field}
+	}
+	if recv := sig.Recv(); recv != nil && recv.Name() == base {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return argKey(sel.X)
+		}
+		return nil
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if params.At(i).Name() != base {
+			continue
+		}
+		if i < len(call.Args) {
+			return argKey(call.Args[i])
+		}
+		return nil
+	}
+	return nil
+}
+
+// discharge clears an outstanding obligation for key and any dotted
+// sub-obligation it carries (consuming "it" also consumes "it.buf").
+func discharge(state flowState, key string) {
+	for k, st := range state {
+		if k != key && !strings.HasPrefix(k, key+".") {
+			continue
+		}
+		if st&bitOwned != 0 {
+			state[k] = (st &^ bitOwned) | bitDone
+		}
+	}
+}
+
+// isAcquire reports whether call statically resolves to a //whale:acquires
+// function.
+func (bc *bufownCtx) isAcquire(call *ast.CallExpr) bool {
+	f := callee(bc.info, call)
+	if f == nil {
+		return false
+	}
+	return bc.facts[f.FullName()].acquires
+}
+
+// newLineDirectivesFset collects the file's statement-level //whale:
+// directives, marking each as trailing (code on the same line) or
+// standalone. It takes an explicit fset because whole-program analyzers
+// have no per-package Pass.
+func newLineDirectivesFset(fset *token.FileSet, file *ast.File) map[int][]lineDirective {
+	// Lines containing code: a //-comment runs to end of line, so any code
+	// on a directive's line necessarily precedes it.
+	codeLines := map[int]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if n != nil {
+			codeLines[fset.Position(n.Pos()).Line] = true
+			codeLines[fset.Position(n.End()).Line] = true
+		}
+		return true
+	})
+	out := map[int][]lineDirective{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, "//whale:") {
+				continue
+			}
+			line := fset.Position(c.End()).Line
+			out[line] = append(out[line], lineDirective{text: text, trailing: codeLines[line]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"whale/internal/analyzers"
+	"whale/internal/analyzers/analysistest"
+)
+
+func TestBufOwn(t *testing.T) {
+	analysistest.Run(t, testdata(t, "bufown"), analyzers.BufOwn)
+}
+
+func TestCreditBalance(t *testing.T) {
+	analysistest.Run(t, testdata(t, "creditbalance"), analyzers.CreditBalance)
+}
+
+func TestChanProtocol(t *testing.T) {
+	analysistest.Run(t, testdata(t, "chanprotocol"), analyzers.ChanProtocol)
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, testdata(t, "lockorder"), analyzers.LockOrder)
+}
+
+func TestStaleDirective(t *testing.T) {
+	analysistest.Run(t, testdata(t, "staledirective"), analyzers.LockHeld)
+}

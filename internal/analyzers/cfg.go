@@ -1,0 +1,464 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds intraprocedural control-flow graphs over go/ast function
+// bodies. The CFG is the substrate for the path-aware analyzers (bufown,
+// creditbalance, chanprotocol, lockorder): each function body becomes a set
+// of basic blocks whose nodes execute in order, connected by edges for
+// every branch, loop, goto, labeled break/continue, switch fallthrough, and
+// select arm. A synthetic exit block joins every normal return and the
+// fall-off-the-end path, so a forward dataflow's state at exit summarizes
+// "what is true on every way out of the function".
+//
+// Two deliberate simplifications, documented because they bound soundness:
+//
+//   - Deferred calls are collected flow-insensitively into funcCFG.defers
+//     and applied once at exit by the dataflow driver. A defer guarded by a
+//     condition is therefore assumed to have been registered — fine for the
+//     release-in-defer idiom the analyzers care about, where the defer
+//     directly follows the acquire.
+//   - A call to panic (or os.Exit / runtime.Goexit by name) terminates its
+//     block with no successor: the process (or goroutine) dies, so exit
+//     obligations are not checked on panic paths.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node  // statements and expressions in execution order
+	succs []*cfgBlock // successor edges
+}
+
+// addSucc appends an edge b -> s, dropping duplicates.
+func (b *cfgBlock) addSucc(s *cfgBlock) {
+	for _, have := range b.succs {
+		if have == s {
+			return
+		}
+	}
+	b.succs = append(b.succs, s)
+}
+
+// funcCFG is one function body's control-flow graph.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock // synthetic; no nodes, no successors
+	blocks []*cfgBlock
+	defers []*ast.DeferStmt // every defer in the body, in source order
+}
+
+// cfgBuilder holds the in-progress graph.
+type cfgBuilder struct {
+	g   *funcCFG
+	cur *cfgBlock
+
+	// Innermost enclosing loop/switch/select targets for bare break and
+	// continue, and the label registry for the labeled forms plus goto.
+	breakTarget    *cfgBlock
+	continueTarget *cfgBlock
+	labels         map[string]*labelTargets
+	gotoBlocks     map[string]*cfgBlock // label -> block the labeled stmt starts
+	pendingGotos   map[string][]*cfgBlock
+}
+
+// labelTargets records where a labeled loop/switch sends its labeled break
+// and continue.
+type labelTargets struct {
+	brk, cont *cfgBlock
+}
+
+// buildCFG constructs the CFG for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{
+		g:            &funcCFG{},
+		labels:       map[string]*labelTargets{},
+		gotoBlocks:   map[string]*cfgBlock{},
+		pendingGotos: map[string][]*cfgBlock{},
+	}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+	b.cur = b.g.entry
+	b.stmts(body.List, "")
+	if b.cur != nil {
+		b.cur.addSucc(b.g.exit)
+	}
+	// Resolve gotos that jumped forward to labels seen later.
+	for label, srcs := range b.pendingGotos {
+		if dst, ok := b.gotoBlocks[label]; ok {
+			for _, s := range srcs {
+				s.addSucc(dst)
+			}
+		}
+		// An unresolved goto targets a label outside the analyzed body
+		// (malformed source); the jump edge is simply dropped.
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// startBlock ends the current block with an edge into a fresh one.
+func (b *cfgBuilder) startBlock() *cfgBlock {
+	next := b.newBlock()
+	if b.cur != nil {
+		b.cur.addSucc(next)
+	}
+	b.cur = next
+	return next
+}
+
+// emit appends a node to the current block (no-op in dead code after a
+// terminator).
+func (b *cfgBuilder) emit(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt, label string) {
+	for i, s := range list {
+		// Fallthrough is resolved by the switch builder; a stray one in the
+		// statement walk (malformed) is ignored.
+		next := ""
+		_ = next
+		b.stmt(s, labelFor(i, list, label))
+	}
+}
+
+// labelFor threads the enclosing label only to the first statement of a
+// labeled statement's body; ordinary list positions get none.
+func labelFor(i int, list []ast.Stmt, label string) string {
+	if i == 0 {
+		return label
+	}
+	return ""
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch x := s.(type) {
+	case *ast.LabeledStmt:
+		// The labeled statement starts its own block so goto can target it.
+		blk := b.startBlock()
+		b.gotoBlocks[x.Label.Name] = blk
+		b.stmt(x.Stmt, x.Label.Name)
+
+	case *ast.BlockStmt:
+		b.stmts(x.List, "")
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			b.emit(x.Init)
+		}
+		b.emit(x.Cond)
+		if b.cur == nil {
+			return
+		}
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		cond.addSucc(then)
+		b.cur = then
+		b.stmts(x.Body.List, "")
+		if b.cur != nil {
+			b.cur.addSucc(after)
+		}
+		if x.Else != nil {
+			els := b.newBlock()
+			cond.addSucc(els)
+			b.cur = els
+			b.stmt(x.Else, "")
+			if b.cur != nil {
+				b.cur.addSucc(after)
+			}
+		} else {
+			cond.addSucc(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			b.emit(x.Init)
+		}
+		if b.cur == nil {
+			return
+		}
+		head := b.startBlock()
+		if x.Cond != nil {
+			b.emit(x.Cond)
+		}
+		after := b.newBlock()
+		if x.Cond != nil {
+			head.addSucc(after)
+		}
+		post := head
+		if x.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, x.Post)
+			post.addSucc(head)
+		}
+		body := b.newBlock()
+		head.addSucc(body)
+		b.withLoop(after, post, label, func() {
+			b.cur = body
+			b.stmts(x.Body.List, "")
+			if b.cur != nil {
+				b.cur.addSucc(post)
+			}
+		})
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.emit(x.X)
+		if b.cur == nil {
+			return
+		}
+		head := b.startBlock()
+		// The RangeStmt node at the head stands for the per-iteration
+		// key/value binding ONLY: its Body executes through its own blocks,
+		// so transfer functions must treat *ast.RangeStmt as a binding
+		// marker and never descend into it (see rangeRebind in dataflow.go).
+		head.nodes = append(head.nodes, x)
+		after := b.newBlock()
+		head.addSucc(after) // a range may iterate zero times
+		body := b.newBlock()
+		head.addSucc(body)
+		b.withLoop(after, head, label, func() {
+			b.cur = body
+			b.stmts(x.Body.List, "")
+			if b.cur != nil {
+				b.cur.addSucc(head)
+			}
+		})
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			b.emit(x.Init)
+		}
+		if x.Tag != nil {
+			b.emit(x.Tag)
+		}
+		b.switchClauses(x.Body.List, label, func(cc *ast.CaseClause, blk *cfgBlock) {
+			for _, e := range cc.List {
+				blk.nodes = append(blk.nodes, e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			b.emit(x.Init)
+		}
+		b.emit(x.Assign)
+		b.switchClauses(x.Body.List, label, nil)
+
+	case *ast.SelectStmt:
+		if b.cur == nil {
+			return
+		}
+		head := b.cur
+		after := b.newBlock()
+		any := false
+		for _, c := range x.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			any = true
+			blk := b.newBlock()
+			head.addSucc(blk)
+			if cc.Comm != nil {
+				blk.nodes = append(blk.nodes, cc.Comm)
+			}
+			b.withBreak(after, label, func() {
+				b.cur = blk
+				b.stmts(cc.Body, "")
+				if b.cur != nil {
+					b.cur.addSucc(after)
+				}
+			})
+		}
+		if !any {
+			// select{} blocks forever: no successors.
+			b.cur = nil
+			return
+		}
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.emit(x)
+		if b.cur != nil {
+			b.cur.addSucc(b.g.exit)
+		}
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch x.Tok {
+		case token.BREAK:
+			target := b.breakTarget
+			if x.Label != nil {
+				if lt, ok := b.labels[x.Label.Name]; ok {
+					target = lt.brk
+				}
+			}
+			if b.cur != nil && target != nil {
+				b.cur.addSucc(target)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			target := b.continueTarget
+			if x.Label != nil {
+				if lt, ok := b.labels[x.Label.Name]; ok {
+					target = lt.cont
+				}
+			}
+			if b.cur != nil && target != nil {
+				b.cur.addSucc(target)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if b.cur != nil && x.Label != nil {
+				if dst, ok := b.gotoBlocks[x.Label.Name]; ok {
+					b.cur.addSucc(dst)
+				} else {
+					b.pendingGotos[x.Label.Name] = append(b.pendingGotos[x.Label.Name], b.cur)
+				}
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by switchClauses; nothing to do here.
+		}
+
+	case *ast.DeferStmt:
+		b.g.defers = append(b.g.defers, x)
+		b.emit(x)
+
+	case *ast.GoStmt:
+		// The spawned body runs elsewhere; the call's arguments evaluate here.
+		b.emit(x)
+
+	case *ast.ExprStmt:
+		b.emit(x)
+		if isTerminalCall(x.X) {
+			b.cur = nil
+		}
+
+	default:
+		// Assignments, sends, inc/dec, declarations, empty statements.
+		b.emit(s)
+	}
+}
+
+// switchClauses wires the shared switch shape: every case entered from the
+// head, fallthrough chaining body-to-body, break (bare or labeled) to the
+// after block, and a default-less switch falling through to after directly.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, caseExprs func(*ast.CaseClause, *cfgBlock)) {
+	if b.cur == nil {
+		return
+	}
+	head := b.cur
+	after := b.newBlock()
+	blocks := make([]*cfgBlock, 0, len(clauses))
+	ccs := make([]*ast.CaseClause, 0, len(clauses))
+	hasDefault := false
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		head.addSucc(blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if caseExprs != nil {
+			caseExprs(cc, blk)
+		}
+		blocks = append(blocks, blk)
+		ccs = append(ccs, cc)
+	}
+	if !hasDefault {
+		head.addSucc(after)
+	}
+	for i, cc := range ccs {
+		body := cc.Body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		b.withBreak(after, label, func() {
+			b.cur = blocks[i]
+			b.stmts(body, "")
+			if b.cur != nil {
+				if fallsThrough && i+1 < len(blocks) {
+					b.cur.addSucc(blocks[i+1])
+				} else {
+					b.cur.addSucc(after)
+				}
+			}
+		})
+	}
+	b.cur = after
+}
+
+// withLoop runs fn with break/continue (and the loop's label, if any)
+// pointing at the given targets, restoring the enclosing targets after.
+func (b *cfgBuilder) withLoop(brk, cont *cfgBlock, label string, fn func()) {
+	oldB, oldC := b.breakTarget, b.continueTarget
+	b.breakTarget, b.continueTarget = brk, cont
+	if label != "" {
+		old := b.labels[label]
+		b.labels[label] = &labelTargets{brk: brk, cont: cont}
+		defer func() { restoreLabel(b, label, old) }()
+	}
+	fn()
+	b.breakTarget, b.continueTarget = oldB, oldC
+}
+
+// withBreak runs fn with only the break target replaced (switch/select).
+func (b *cfgBuilder) withBreak(brk *cfgBlock, label string, fn func()) {
+	old := b.breakTarget
+	b.breakTarget = brk
+	if label != "" {
+		oldLT := b.labels[label]
+		b.labels[label] = &labelTargets{brk: brk, cont: nil}
+		defer func() { restoreLabel(b, label, oldLT) }()
+	}
+	fn()
+	b.breakTarget = old
+}
+
+func restoreLabel(b *cfgBuilder, label string, old *labelTargets) {
+	if old == nil {
+		delete(b.labels, label)
+	} else {
+		b.labels[label] = old
+	}
+}
+
+// isTerminalCall reports whether e is a call that never returns: panic,
+// os.Exit, or runtime.Goexit (matched by name — precise enough for CFG
+// termination, and type info is not available at build time).
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			return (pkg.Name == "os" && fun.Sel.Name == "Exit") ||
+				(pkg.Name == "runtime" && fun.Sel.Name == "Goexit")
+		}
+	}
+	return false
+}

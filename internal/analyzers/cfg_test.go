@@ -1,0 +1,266 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// cfgTestSrc holds one function per CFG construction scenario.
+const cfgTestSrc = `package p
+
+func withDefer(fail bool) {
+	acquire()
+	defer cleanup()
+	if fail {
+		return
+	}
+	work()
+}
+
+func withGoto() {
+	start()
+	goto skip
+	unreachable()
+skip:
+	done()
+}
+
+func gotoBack() {
+	i := 0
+retry:
+	attempt()
+	if i < 3 {
+		i++
+		goto retry
+	}
+	done()
+}
+
+func labeledBreak() {
+outer:
+	for {
+		for {
+			break outer
+		}
+		unreachable()
+	}
+	done()
+}
+
+func labeledContinue() {
+outer:
+	for i := 0; i < 3; i++ {
+		for {
+			continue outer
+		}
+		unreachable()
+	}
+	done()
+}
+
+func fallThrough(n int) {
+	switch n {
+	case 0:
+		a()
+		fallthrough
+	case 1:
+		b()
+	case 2:
+		c()
+	}
+	done()
+}
+
+func panics(fail bool) {
+	if fail {
+		panic("boom")
+		unreachable()
+	}
+	done()
+}
+
+func selectArms(ch chan int) {
+	select {
+	case v := <-ch:
+		use(v)
+	default:
+		done()
+	}
+	after()
+}
+
+func emptySelect() {
+	start()
+	select {}
+	unreachable()
+}
+`
+
+// parseCFGFuncs parses cfgTestSrc and returns each function's CFG by name.
+func parseCFGFuncs(t *testing.T) (map[string]*funcCFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_src.go", cfgTestSrc, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*funcCFG{}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out[fd.Name.Name] = buildCFG(fd.Body)
+		}
+	}
+	return out, fset
+}
+
+// exitCalls runs the forward dataflow recording which function-call names
+// may appear on some path reaching exit (deferred calls included, since
+// forward replays them on the exit state).
+func exitCalls(g *funcCFG) map[string]bool {
+	exit := forward(g, nil, func(state flowState, n ast.Node, final bool) {
+		ast.Inspect(n, func(sub ast.Node) bool {
+			if call, ok := sub.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					state["call:"+id.Name] = 1
+				}
+			}
+			return true
+		})
+	})
+	out := map[string]bool{}
+	for k, v := range exit {
+		if v != 0 && len(k) > 5 && k[:5] == "call:" {
+			out[k[5:]] = true
+		}
+	}
+	return out
+}
+
+func wantCalls(t *testing.T, name string, got map[string]bool, want []string, absent []string) {
+	t.Helper()
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("%s: call %s should reach exit, got %v", name, w, got)
+		}
+	}
+	for _, a := range absent {
+		if got[a] {
+			t.Errorf("%s: call %s should be unreachable, got %v", name, a, got)
+		}
+	}
+}
+
+func TestCFGDefer(t *testing.T) {
+	cfgs, _ := parseCFGFuncs(t)
+	g := cfgs["withDefer"]
+	if len(g.defers) != 1 {
+		t.Fatalf("withDefer: collected %d defers, want 1", len(g.defers))
+	}
+	// The deferred cleanup applies on the early-return path too: the exit
+	// state must include it even though the body branch returns before work.
+	wantCalls(t, "withDefer", exitCalls(g), []string{"acquire", "cleanup", "work"}, nil)
+}
+
+func TestCFGGoto(t *testing.T) {
+	cfgs, _ := parseCFGFuncs(t)
+	wantCalls(t, "withGoto", exitCalls(cfgs["withGoto"]),
+		[]string{"start", "done"}, []string{"unreachable"})
+	// A backward goto forms a loop; everything stays reachable.
+	wantCalls(t, "gotoBack", exitCalls(cfgs["gotoBack"]),
+		[]string{"attempt", "done"}, nil)
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfgs, _ := parseCFGFuncs(t)
+	// break outer exits both loops: done() runs, the statement after the
+	// inner loop does not.
+	wantCalls(t, "labeledBreak", exitCalls(cfgs["labeledBreak"]),
+		[]string{"done"}, []string{"unreachable"})
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	cfgs, _ := parseCFGFuncs(t)
+	wantCalls(t, "labeledContinue", exitCalls(cfgs["labeledContinue"]),
+		[]string{"done"}, []string{"unreachable"})
+}
+
+func TestCFGFallthrough(t *testing.T) {
+	cfgs, _ := parseCFGFuncs(t)
+	g := cfgs["fallThrough"]
+	// Path-sensitivity: b must be reachable with a's state (the fallthrough
+	// edge), but c must not see a or b.
+	var sawAB, sawAC, sawBC bool
+	forward(g, nil, func(state flowState, n ast.Node, final bool) {
+		call, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		c, ok := call.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := c.Fun.(*ast.Ident)
+		if !ok {
+			return
+		}
+		switch id.Name {
+		case "a":
+			state["a"] = 1
+		case "b":
+			if state["a"] != 0 {
+				sawAB = true
+			}
+			state["b"] = 1
+		case "c":
+			if state["a"] != 0 {
+				sawAC = true
+			}
+			if state["b"] != 0 {
+				sawBC = true
+			}
+		}
+	})
+	if !sawAB {
+		t.Error("fallthrough edge missing: case 1 never sees case 0's state")
+	}
+	if sawAC || sawBC {
+		t.Errorf("non-adjacent cases leaked state: a->c=%v b->c=%v", sawAC, sawBC)
+	}
+}
+
+func TestCFGPanic(t *testing.T) {
+	cfgs, _ := parseCFGFuncs(t)
+	wantCalls(t, "panics", exitCalls(cfgs["panics"]),
+		[]string{"done"}, []string{"unreachable"})
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfgs, _ := parseCFGFuncs(t)
+	wantCalls(t, "selectArms", exitCalls(cfgs["selectArms"]),
+		[]string{"use", "done", "after"}, nil)
+	// select{} never proceeds: nothing after it reaches exit.
+	wantCalls(t, "emptySelect", exitCalls(cfgs["emptySelect"]),
+		nil, []string{"start", "unreachable"})
+}
+
+func TestCFGExitReachable(t *testing.T) {
+	cfgs, _ := parseCFGFuncs(t)
+	for name, g := range cfgs {
+		if name == "emptySelect" {
+			continue // deliberately never exits
+		}
+		preds := 0
+		for _, b := range g.blocks {
+			for _, s := range b.succs {
+				if s == g.exit {
+					preds++
+				}
+			}
+		}
+		if preds == 0 {
+			t.Errorf("%s: synthetic exit has no predecessors", name)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// ChanProtocol flags channel misuse the runtime only reports as a panic in
+// production: a send that may execute after the same channel was closed,
+// and a close that may execute twice. The analysis runs the forward
+// may-dataflow over each function's CFG with one bit per channel
+// expression (keyed textually, like lockheld): `close(ch)` sets it, an
+// assignment that rebinds the channel clears it, and a send or another
+// close while the bit may be set is reported. Paths through sync.Once.Do
+// literals are separate scopes, so the closeOnce idiom stays clean.
+var ChanProtocol = &Analyzer{
+	Name: "chanprotocol",
+	Doc:  "flags channel sends and closes reachable after the channel may already be closed",
+	Run:  runChanProtocol,
+}
+
+const bitClosed uint8 = 1
+
+func runChanProtocol(pass *Pass) {
+	for _, file := range pass.Files {
+		// Only functions that close a channel somewhere can violate the
+		// protocol intraprocedurally; skip the rest outright.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil && bodyCloses(x.Body) {
+					checkChanProtocol(pass, x.Body)
+				}
+			case *ast.FuncLit:
+				if bodyCloses(x.Body) {
+					checkChanProtocol(pass, x.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// bodyCloses reports whether body contains a close(...) call outside any
+// nested function literal.
+func bodyCloses(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isCloseCall(x) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isCloseCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "close" && len(call.Args) == 1
+}
+
+func checkChanProtocol(pass *Pass, body *ast.BlockStmt) {
+	g := buildCFG(body)
+	forward(g, nil, func(state flowState, n ast.Node, final bool) {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred close runs at exit; forward replays it there.
+			// Applying it at registration would poison every later send.
+			return
+		case *ast.GoStmt:
+			return // runs concurrently; its closes are not ordered before later sends
+		case *ast.RangeStmt:
+			// Binding marker: each iteration rebinds the loop vars, so
+			// close(mgr.done) over a slice of managers is a different
+			// channel every pass — not a double close.
+			rangeRebind(state, x)
+			return
+		case *ast.SendStmt:
+			key := exprText(x.Chan)
+			if state[key]&bitClosed != 0 && final {
+				pass.Reportf(x.Arrow, "send on %s may execute after close(%s)", key, key)
+			}
+			return
+		case *ast.AssignStmt:
+			// Rebinding a channel variable resets its protocol state.
+			for _, lhs := range x.Lhs {
+				delete(state, exprText(lhs))
+			}
+		}
+		ast.Inspect(n, func(sub ast.Node) bool {
+			switch c := sub.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if isCloseCall(c) {
+					key := exprText(c.Args[0])
+					if state[key]&bitClosed != 0 && final {
+						pass.Reportf(c.Pos(), "close(%s) may execute after a previous close", key)
+					}
+					state[key] |= bitClosed
+				}
+			}
+			return true
+		})
+	})
+}

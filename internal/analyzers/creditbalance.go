@@ -1,0 +1,140 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CreditBalance verifies the PR 4 flow-control invariant: every delivery
+// unit a receiver charges must be granted back, or the sender's credit
+// window shrinks forever and the link wedges at zero. Charge sites are
+// marked in source:
+//
+//	//whale:charged        the statement charges units that must reach a
+//	                       //whale:grants call on every path to exit
+//	//whale:charged multi  the charge count is dynamic (a per-destination
+//	                       loop); the check relaxes to at-least-one-path
+//	//whale:credit-terminal this exit intentionally drops the charge (the
+//	                       peer's account was torn down with it)
+//
+// A //whale:grants function doc directive marks the granting primitives
+// (grantData, flowControl.grant, sendGrant); any call to one discharges
+// every outstanding charge on that path. The analysis is the same forward
+// may-dataflow as bufown, keyed per charge site, so "charge escapes to
+// exit on some path" pinpoints the unbalanced return.
+var CreditBalance = &Analyzer{
+	Name: "creditbalance",
+	Doc:  "every //whale:charged delivery-unit charge is matched by a grant or an annotated terminal exit",
+	Run:  runCreditBalance,
+}
+
+const creditKeyPrefix = "credit@"
+
+func runCreditBalance(pass *Pass) {
+	// Grant facts are package-local: the granting primitives and every
+	// charge site live in the same package (internal/dsps), and fixtures
+	// declare their own.
+	facts := collectFuncFacts([]*Package{{
+		Fset:  pass.Fset,
+		Files: pass.Files,
+		Types: pass.Pkg,
+		Info:  pass.Info,
+	}})
+	for _, file := range pass.Files {
+		cc := &creditCtx{
+			pass:      pass,
+			facts:     facts,
+			dirs:      newLineDirectivesFset(pass.Fset, file),
+			chargePos: map[string]token.Pos{},
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					cc.checkFunc(x.Body)
+				}
+			case *ast.FuncLit:
+				cc.checkFunc(x.Body)
+			}
+			return true
+		})
+	}
+}
+
+type creditCtx struct {
+	pass      *Pass
+	facts     funcFacts
+	dirs      map[int][]lineDirective
+	chargePos map[string]token.Pos
+}
+
+func (cc *creditCtx) checkFunc(body *ast.BlockStmt) {
+	// Skip bodies whose files carry no charge directives at all — the
+	// fixpoint is pure overhead without a charge to track.
+	hasCharge := false
+	for _, ds := range cc.dirs {
+		for _, d := range ds {
+			if d.text == dirCharged || strings.HasPrefix(d.text, dirCharged+" ") {
+				hasCharge = true
+			}
+		}
+	}
+	if !hasCharge {
+		return
+	}
+	cc.chargePos = map[string]token.Pos{}
+	g := buildCFG(body)
+	exit := forward(g, nil, cc.transfer)
+	for key, st := range exit {
+		if st&bitOwned == 0 {
+			continue
+		}
+		if st&bitMulti != 0 && st&bitDone != 0 {
+			continue
+		}
+		cc.pass.Reportf(cc.chargePos[key],
+			"charge is not matched by a grant or //whale:credit-terminal on every exit path")
+	}
+}
+
+func (cc *creditCtx) transfer(state flowState, n ast.Node, final bool) {
+	if _, ok := n.(*ast.RangeStmt); ok {
+		return // binding marker; the body runs through its own blocks
+	}
+	if _, isStmt := n.(ast.Stmt); isStmt {
+		line := cc.pass.Fset.Position(n.Pos()).Line
+		if op, ok := stmtDirective(cc.dirs, line, dirCharged); ok {
+			key := fmt.Sprintf("%s%d", creditKeyPrefix, line)
+			bits := bitOwned
+			if op == "multi" {
+				bits |= bitMulti
+			}
+			state[key] |= bits
+			cc.chargePos[key] = n.Pos()
+		}
+		if _, ok := stmtDirective(cc.dirs, line, dirCreditTerminal); ok {
+			dischargeCredits(state)
+		}
+	}
+	ast.Inspect(n, func(sub ast.Node) bool {
+		switch c := sub.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if f := callee(cc.pass.Info, c); f != nil && cc.facts[f.FullName()].grants {
+				dischargeCredits(state)
+			}
+		}
+		return true
+	})
+}
+
+func dischargeCredits(state flowState) {
+	for k, st := range state {
+		if len(k) >= len(creditKeyPrefix) && k[:len(creditKeyPrefix)] == creditKeyPrefix && st&bitOwned != 0 {
+			state[k] = (st &^ bitOwned) | bitDone
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Generic forward dataflow over a funcCFG.
+//
+// State is a small map from string keys (analyzer-chosen: expression text,
+// lock identity, obligation tag) to a bitmask. The join at control-flow
+// merges is per-key bitwise OR, making every analysis built on this driver a
+// may-analysis: a bit is set at a point if it may be set on some path
+// reaching that point. Analyzers that need "on every path" phrase it as
+// "the absence bit may reach exit" instead.
+type flowState map[string]uint8
+
+func (s flowState) clone() flowState {
+	out := make(flowState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// join merges o into s, returning true if s changed.
+func (s flowState) join(o flowState) bool {
+	changed := false
+	for k, v := range o {
+		if s[k]|v != s[k] {
+			s[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s flowState) equal(o flowState) bool {
+	if len(s) != len(o) {
+		// Keys are only ever added with nonzero bits, but be safe.
+		for k, v := range s {
+			if o[k] != v {
+				return false
+			}
+		}
+		for k, v := range o {
+			if s[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	for k, v := range s {
+		if o[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// transferFunc mutates state in place for one CFG node. The final flag is
+// true only during the reporting pass (after fixpoint), so transfer
+// functions report diagnostics exactly once.
+//
+// Contract: a *ast.RangeStmt node is the loop-head binding marker — its
+// Body runs through its own blocks, so transfers must not descend into it.
+// Most analyzers just call rangeRebind and return.
+type transferFunc func(state flowState, n ast.Node, final bool)
+
+// rangeRebind clears state keyed on a range loop's iteration variables:
+// each iteration rebinds them to a fresh value, so protocol state tracked
+// under "mgr" or "mgr.done" in one iteration must not leak into the next
+// (or past the loop) under the same textual key.
+func rangeRebind(state flowState, r *ast.RangeStmt) {
+	for _, v := range [2]ast.Expr{r.Key, r.Value} {
+		if v == nil {
+			continue
+		}
+		key := exprText(v)
+		if key == "_" || key == "<expr>" {
+			continue
+		}
+		for k := range state {
+			if k == key || strings.HasPrefix(k, key+".") {
+				delete(state, k)
+			}
+		}
+	}
+}
+
+// forward runs a worklist fixpoint over g: in[entry] = entry state (may be
+// nil), out[b] = transfer(in[b]), in[b] = join of out[preds]. It returns
+// the state at g.exit after defers have been applied (defers are collected
+// flow-insensitively; their calls are replayed on the exit state in reverse
+// registration order, matching Go's LIFO defer execution).
+//
+// After the fixpoint, forward replays every block once more with final=true
+// so transfer functions can emit diagnostics from a converged state.
+func forward(g *funcCFG, entry flowState, transfer transferFunc) flowState {
+	in := make([]flowState, len(g.blocks))
+	preds := make([][]*cfgBlock, len(g.blocks))
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			preds[s.index] = append(preds[s.index], b)
+		}
+	}
+	if entry == nil {
+		entry = flowState{}
+	}
+	in[g.entry.index] = entry.clone()
+
+	apply := func(b *cfgBlock, st flowState, final bool) flowState {
+		out := st.clone()
+		for _, n := range b.nodes {
+			transfer(out, n, final)
+		}
+		return out
+	}
+
+	work := []*cfgBlock{g.entry}
+	onWork := make([]bool, len(g.blocks))
+	onWork[g.entry.index] = true
+	out := make([]flowState, len(g.blocks))
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		onWork[b.index] = false
+		if in[b.index] == nil {
+			in[b.index] = flowState{}
+		}
+		newOut := apply(b, in[b.index], false)
+		if out[b.index] != nil && out[b.index].equal(newOut) {
+			continue
+		}
+		out[b.index] = newOut
+		for _, s := range b.succs {
+			if in[s.index] == nil {
+				in[s.index] = flowState{}
+			}
+			if in[s.index].join(newOut) || out[s.index] == nil {
+				if !onWork[s.index] {
+					work = append(work, s)
+					onWork[s.index] = true
+				}
+			}
+		}
+	}
+
+	// Reporting pass: replay each reachable block once from its converged
+	// in-state with final=true.
+	for _, b := range g.blocks {
+		if in[b.index] == nil {
+			continue // unreachable
+		}
+		apply(b, in[b.index], true)
+	}
+
+	exit := in[g.exit.index]
+	if exit == nil {
+		exit = flowState{} // no path reaches exit (infinite loop / all panic)
+	} else {
+		exit = exit.clone()
+	}
+	// Replay deferred calls on the exit state, last-registered first.
+	for i := len(g.defers) - 1; i >= 0; i-- {
+		transfer(exit, g.defers[i].Call, false)
+	}
+	return exit
+}

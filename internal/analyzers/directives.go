@@ -1,0 +1,146 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// //whale: directives are machine-checked annotations attached to function
+// doc comments (and, for lockrank, to struct-field doc/line comments). They
+// are the vocabulary the dataflow analyzers use to cross function
+// boundaries without becoming interprocedural:
+//
+//	//whale:acquires [field]    function returns an owned resource the
+//	                            caller must balance (bufown). The optional
+//	                            field names which result/field carries it.
+//	//whale:owns <expr> ...     dual purpose: inside the annotated function
+//	                            the named parameter/receiver arrives owned
+//	                            (an obligation on entry); at call sites the
+//	                            matching argument's obligation is consumed
+//	                            (ownership moves into the callee).
+//	//whale:transfers <expr>    the statement (or the annotated function's
+//	                            call sites) moves ownership of <expr> into a
+//	                            long-lived structure (queue, map); bufown
+//	                            discharges the obligation without requiring
+//	                            a release on this path.
+//	//whale:grants              the function performs a credit grant; a call
+//	                            discharges outstanding charge obligations
+//	                            (creditbalance).
+//	//whale:charged [multi]     the enclosing statement charges delivery
+//	                            units that must be granted back on every
+//	                            exit path; "multi" relaxes the check to
+//	                            at-least-one-path (dynamic counts/loops).
+//	//whale:credit-terminal     this exit path intentionally drops the
+//	                            charge (e.g. the peer died and its account
+//	                            was torn down); creditbalance accepts it.
+//	//whale:lockrank <n>        canonical acquisition rank for a mutex
+//	                            field; lockorder requires ranks to be
+//	                            acquired in strictly increasing order.
+//	//whale:hotpath             (pre-existing) hotalloc's allocation-free
+//	                            marker.
+//
+// Directives live in comments, so they survive gofmt and appear in godoc —
+// DESIGN §11 treats them as the normative ownership spec.
+const (
+	dirAcquires       = "//whale:acquires"
+	dirOwns           = "//whale:owns"
+	dirTransfers      = "//whale:transfers"
+	dirRetains        = "//whale:retains"
+	dirGrants         = "//whale:grants"
+	dirCharged        = "//whale:charged"
+	dirCreditTerminal = "//whale:credit-terminal"
+	dirLockRank       = "//whale:lockrank"
+)
+
+// funcDirectives is the parsed directive set from one function's doc
+// comment.
+type funcDirectives struct {
+	acquires  bool
+	owns      []string // parameter/receiver names arriving owned
+	transfers []string // expressions whose ownership the callee takes
+	retains   bool     // receiver/first arg gains dynamic references
+	grants    bool
+}
+
+// parseFuncDirectives scans a function's doc comment.
+func parseFuncDirectives(doc *ast.CommentGroup) funcDirectives {
+	var d funcDirectives
+	if doc == nil {
+		return d
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		switch {
+		case strings.HasPrefix(text, dirAcquires):
+			d.acquires = true
+		case strings.HasPrefix(text, dirOwns):
+			d.owns = append(d.owns, strings.Fields(strings.TrimPrefix(text, dirOwns))...)
+		case strings.HasPrefix(text, dirTransfers):
+			d.transfers = append(d.transfers, strings.Fields(strings.TrimPrefix(text, dirTransfers))...)
+		case strings.HasPrefix(text, dirRetains):
+			d.retains = true
+		case strings.HasPrefix(text, dirGrants):
+			d.grants = true
+		}
+	}
+	return d
+}
+
+// lineDirective is one //whale: comment keyed by its source line. A
+// trailing directive shares the line with code and binds to that statement
+// only; a standalone one binds to the statement on the line below. Without
+// the distinction, a directive trailing statement N would also bind to
+// statement N+1 through the line-above rule and (for //whale:charged)
+// manufacture a phantom obligation.
+type lineDirective struct {
+	text     string
+	trailing bool
+}
+
+// stmtDirective returns the first directive with the given prefix attached
+// to the statement at line (same line, or a standalone comment on the line
+// above), plus its operand.
+func stmtDirective(dirs map[int][]lineDirective, line int, prefix string) (string, bool) {
+	match := func(d lineDirective) (string, bool) {
+		if d.text == prefix || strings.HasPrefix(d.text, prefix+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(d.text, prefix)), true
+		}
+		return "", false
+	}
+	for _, d := range dirs[line] {
+		if op, ok := match(d); ok {
+			return op, ok
+		}
+	}
+	for _, d := range dirs[line-1] {
+		if d.trailing {
+			continue
+		}
+		if op, ok := match(d); ok {
+			return op, ok
+		}
+	}
+	return "", false
+}
+
+// parseLockRank extracts //whale:lockrank from a field's doc or line
+// comment. Returns -1 when absent.
+func parseLockRank(field *ast.Field) int {
+	for _, cg := range [2]*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, dirLockRank) {
+				continue
+			}
+			op := strings.TrimSpace(strings.TrimPrefix(text, dirLockRank))
+			if n, err := strconv.Atoi(strings.Fields(op + " x")[0]); err == nil {
+				return n
+			}
+		}
+	}
+	return -1
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -159,7 +160,11 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 }
 
 // LoadDir loads the single package rooted at dir (used for analysistest
-// testdata packages, which `go list` ignores). Test files are skipped.
+// testdata packages, which `go list` ignores). Test files are skipped, and
+// files excluded by build constraints — //go:build lines or GOOS/GOARCH
+// filename suffixes — are filtered exactly as the go tool would filter
+// them for the current platform, so a fixture carrying a `//go:build
+// ignore`-style file cannot poison the type-check.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -169,6 +174,13 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("checking build constraints of %s: %v", name, err)
+		}
+		if !match {
 			continue
 		}
 		files = append(files, filepath.Join(dir, name))

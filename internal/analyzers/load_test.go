@@ -1,0 +1,62 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"whale/internal/analyzers"
+)
+
+// moduleRoot resolves the repository root from the package directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestLoadDirBuildConstraints proves LoadDir filters files the go tool
+// would exclude: the loadtags fixture only type-checks when both the
+// //go:build-tagged file and the _plan9 filename-suffix file are dropped
+// (each declares a conflicting Sentinel), and it contains generic
+// functions so instantiation runs through the export-data importer too.
+func TestLoadDirBuildConstraints(t *testing.T) {
+	dir := testdata(t, "loadtags")
+	pkg, err := analyzers.NewLoader(dir).LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("LoadDir kept %d files, want 1 (constrained siblings filtered)", len(pkg.Files))
+	}
+	name := pkg.Fset.Position(pkg.Files[0].FileStart).Filename
+	if !strings.HasSuffix(name, "loadtags.go") {
+		t.Fatalf("LoadDir kept %s, want loadtags.go", name)
+	}
+	// Generic declarations survived type-checking.
+	scope := pkg.Types.Scope()
+	for _, sym := range []string{"Clamp", "Window", "UseClamp", "Sentinel"} {
+		if scope.Lookup(sym) == nil {
+			t.Errorf("symbol %s missing from type-checked package", sym)
+		}
+	}
+}
+
+// TestLoadRepo loads the real module root and checks a package with
+// generics-era code type-checks through the export-data pipeline.
+func TestLoadRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	loader := analyzers.NewLoader(moduleRoot(t))
+	pkgs, err := loader.Load("./internal/analyzers/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+}

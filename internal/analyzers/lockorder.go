@@ -1,0 +1,420 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the whole-repo lock-acquisition graph: an edge A→B
+// means some function acquires mutex B while holding mutex A (directly, or
+// through a statically resolved callee whose transitive lock summary
+// includes B). Two checks run over the graph:
+//
+//   - cycle detection — a cycle A→B→A means two call paths can acquire
+//     the same pair of locks in opposite orders, the classic ABBA
+//     deadlock; every distinct cycle is reported once, at the edge that
+//     closes it;
+//   - rank ordering — mutex struct fields annotated `//whale:lockrank N`
+//     commit a canonical acquisition order (see DESIGN §8): acquiring a
+//     rank-N lock while holding rank-M with M ≥ N is reported even when
+//     no reverse edge exists yet, so ordering violations are caught
+//     before the second half of the deadlock is written.
+//
+// Lock identity is pkgpath.Type.field for struct-field mutexes and
+// pkgpath.var for package-level ones; local mutexes are scoped to their
+// function and cannot form cross-function edges.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "whole-repo lock-acquisition graph: cycles and //whale:lockrank order violations are potential deadlocks",
+	RunProgram: runLockOrder,
+}
+
+type lockEdge struct {
+	pos token.Pos   // acquisition site creating the edge
+	via *types.Func // non-nil when the edge goes through a callee's summary
+}
+
+type lockOrderCtx struct {
+	report func(Diagnostic)
+	fset   *token.FileSet
+
+	ranks map[string]int // lock identity -> //whale:lockrank
+	decls map[string]*lockFuncInfo
+
+	edges map[string]map[string]lockEdge // from -> to -> first witness
+
+	rankReported map[string]bool
+}
+
+type lockFuncInfo struct {
+	pkg     *Package
+	decl    *ast.FuncDecl
+	summary map[string]token.Pos // locks this function (transitively) may acquire
+}
+
+func runLockOrder(pkgs []*Package, report func(Diagnostic)) {
+	if len(pkgs) == 0 {
+		return
+	}
+	ctx := &lockOrderCtx{
+		report:       report,
+		fset:         pkgs[0].Fset,
+		ranks:        map[string]int{},
+		decls:        map[string]*lockFuncInfo{},
+		edges:        map[string]map[string]lockEdge{},
+		rankReported: map[string]bool{},
+	}
+	for _, pkg := range pkgs {
+		ctx.collectRanks(pkg)
+		ctx.collectDecls(pkg)
+	}
+	ctx.computeSummaries()
+	// Deterministic scan order keeps edge witness positions (and therefore
+	// report sites) stable across runs.
+	names := make([]string, 0, len(ctx.decls))
+	for name := range ctx.decls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ctx.scanFunc(ctx.decls[name])
+	}
+	ctx.reportCycles()
+}
+
+// collectRanks walks struct declarations for //whale:lockrank fields.
+func (ctx *lockOrderCtx) collectRanks(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				rank := parseLockRank(field)
+				if rank < 0 {
+					continue
+				}
+				for _, name := range field.Names {
+					id := pkg.Types.Path() + "." + ts.Name.Name + "." + name.Name
+					ctx.ranks[id] = rank
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (ctx *lockOrderCtx) collectDecls(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				ctx.decls[obj.FullName()] = &lockFuncInfo{pkg: pkg, decl: fd}
+			}
+		}
+	}
+}
+
+// computeSummaries derives each function's transitive may-acquire lock
+// set: direct Lock/RLock sites in the body (outside goroutines and
+// function literals, which do not run under the caller's stack), widened
+// through statically resolved callees to a fixpoint.
+func (ctx *lockOrderCtx) computeSummaries() {
+	calls := map[string][]string{} // caller FullName -> callee FullNames
+	for name, info := range ctx.decls {
+		info.summary = map[string]token.Pos{}
+		pkg := info.pkg
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if id, method, ok := lockIdentity(pkg, x); ok {
+					if method == "Lock" || method == "RLock" {
+						if _, have := info.summary[id]; !have {
+							info.summary[id] = x.Pos()
+						}
+					}
+					return true
+				}
+				if f := callee(pkg.Info, x); f != nil {
+					calls[name] = append(calls[name], f.FullName())
+				}
+			}
+			return true
+		})
+	}
+	// Fixpoint over the call graph.
+	for changed := true; changed; {
+		changed = false
+		for name, info := range ctx.decls {
+			for _, calleeName := range calls[name] {
+				ci, ok := ctx.decls[calleeName]
+				if !ok {
+					continue
+				}
+				for id, pos := range ci.summary {
+					if _, have := info.summary[id]; !have {
+						info.summary[id] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockIdentity classifies call as Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex/RWMutex and resolves the receiver to a stable identity.
+func lockIdentity(pkg *Package, call *ast.CallExpr) (id, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	s, found := pkg.Info.Selections[sel]
+	if !found {
+		return "", "", false
+	}
+	recv := s.Recv()
+	if !isNamed(recv, "sync", "Mutex") && !isNamed(recv, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return lockExprIdentity(pkg, sel.X), sel.Sel.Name, true
+}
+
+// lockExprIdentity maps the mutex expression to a whole-program identity.
+func lockExprIdentity(pkg *Package, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		// Struct field: identity is the declaring type's field, so c.mu and
+		// other.mu on the same type are the same lock class.
+		if s, ok := pkg.Info.Selections[x]; ok {
+			if n := derefNamed(s.Recv()); n != nil && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + s.Obj().Name()
+			}
+		}
+		// Qualified package-level var (pkg.mu).
+		if obj, ok := pkg.Info.Uses[x.Sel]; ok && obj.Pkg() != nil {
+			if v, isVar := obj.(*types.Var); isVar && !v.IsField() && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[x]; ok {
+			if v, isVar := obj.(*types.Var); isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+		}
+		// Function-local mutex: scope it to the package + textual name so
+		// it never unifies across functions.
+		return pkg.Types.Path() + ".local." + x.Name
+	}
+	return pkg.Types.Path() + ".expr." + exprText(e)
+}
+
+// scanFunc runs the held-set dataflow over one function and feeds the
+// edge graph plus rank checks.
+func (ctx *lockOrderCtx) scanFunc(info *lockFuncInfo) {
+	pkg := info.pkg
+	g := buildCFG(info.decl.Body)
+	forward(g, nil, func(state flowState, n ast.Node, final bool) {
+		switch n.(type) {
+		case *ast.DeferStmt:
+			// Deferred unlocks run at exit, not at registration: ignoring
+			// the statement keeps the lock held for the rest of the scan
+			// (forward replays the deferred call on the exit state).
+			return
+		case *ast.GoStmt:
+			return // a spawned goroutine does not inherit the caller's locks
+		case *ast.RangeStmt:
+			return // binding marker; the body runs through its own blocks
+		}
+		ast.Inspect(n, func(sub ast.Node) bool {
+			switch x := sub.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if id, method, ok := lockIdentity(pkg, x); ok {
+					switch method {
+					case "Lock", "RLock":
+						for held := range state {
+							if state[held]&bitOwned == 0 {
+								continue
+							}
+							ctx.addEdge(held, id, x.Pos(), nil, final)
+						}
+						state[id] |= bitOwned
+					case "Unlock", "RUnlock":
+						delete(state, id)
+					}
+					return false
+				}
+				if f := callee(pkg.Info, x); f != nil {
+					if ci, ok := ctx.decls[f.FullName()]; ok && len(ci.summary) > 0 {
+						for held := range state {
+							if state[held]&bitOwned == 0 {
+								continue
+							}
+							for id := range ci.summary {
+								ctx.addEdge(held, id, x.Pos(), f, final)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// addEdge records held→acquired and runs the rank check. Reporting only
+// happens on the final (converged) pass so each witness fires once.
+func (ctx *lockOrderCtx) addEdge(from, to string, pos token.Pos, via *types.Func, final bool) {
+	if from == to {
+		// Self-edges through a callee summary are usually re-entrant helper
+		// calls lockheld already polices; direct self-lock is deadlock.
+		if via == nil && final && !ctx.rankReported["self:"+from+posKey(ctx.fset, pos)] {
+			ctx.rankReported["self:"+from+posKey(ctx.fset, pos)] = true
+			ctx.reportf(pos, "%s acquired while already held (self-deadlock)", shortLock(from))
+		}
+		return
+	}
+	if ctx.edges[from] == nil {
+		ctx.edges[from] = map[string]lockEdge{}
+	}
+	if _, have := ctx.edges[from][to]; !have {
+		ctx.edges[from][to] = lockEdge{pos: pos, via: via}
+	}
+	if !final {
+		return
+	}
+	rf, okF := ctx.ranks[from]
+	rt, okT := ctx.ranks[to]
+	if okF && okT && rf >= rt {
+		key := "rank:" + from + "->" + to
+		if !ctx.rankReported[key] {
+			ctx.rankReported[key] = true
+			how := ""
+			if via != nil {
+				how = fmt.Sprintf(" (via call to %s)", via.Name())
+			}
+			ctx.reportf(pos, "lock rank violation: %s (rank %d) acquired%s while %s (rank %d) is held; //whale:lockrank order requires strictly increasing ranks",
+				shortLock(to), rt, how, shortLock(from), rf)
+		}
+	}
+}
+
+// reportCycles enumerates distinct cycles in the edge graph.
+func (ctx *lockOrderCtx) reportCycles() {
+	nodes := make([]string, 0, len(ctx.edges))
+	for n := range ctx.edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	seen := map[string]bool{}
+	var stack []string
+	onStack := map[string]bool{}
+	var dfs func(n string)
+	dfs = func(n string) {
+		stack = append(stack, n)
+		onStack[n] = true
+		tos := make([]string, 0, len(ctx.edges[n]))
+		for to := range ctx.edges[n] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if onStack[to] {
+				// stack suffix from `to` is a cycle.
+				i := len(stack) - 1
+				for i >= 0 && stack[i] != to {
+					i--
+				}
+				cycle := append([]string{}, stack[i:]...)
+				key := canonicalCycle(cycle)
+				if !seen[key] {
+					seen[key] = true
+					edge := ctx.edges[n][to]
+					how := ""
+					if edge.via != nil {
+						how = fmt.Sprintf(" (via call to %s)", edge.via.Name())
+					}
+					ctx.reportf(edge.pos, "lock-order cycle %s%s: opposite acquisition orders can deadlock",
+						cycleString(cycle), how)
+				}
+				continue
+			}
+			if !seen["v:"+n+"->"+to] {
+				seen["v:"+n+"->"+to] = true
+				dfs(to)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		onStack[n] = false
+	}
+	for _, n := range nodes {
+		dfs(n)
+	}
+}
+
+// canonicalCycle rotates the cycle to start at its smallest element so the
+// same cycle discovered from different entry points dedups.
+func canonicalCycle(c []string) string {
+	min := 0
+	for i := range c {
+		if c[i] < c[min] {
+			min = i
+		}
+	}
+	out := make([]string, 0, len(c))
+	for i := range c {
+		out = append(out, c[(min+i)%len(c)])
+	}
+	return strings.Join(out, "->")
+}
+
+func cycleString(c []string) string {
+	parts := make([]string, 0, len(c)+1)
+	for _, n := range c {
+		parts = append(parts, shortLock(n))
+	}
+	parts = append(parts, shortLock(c[0]))
+	return strings.Join(parts, " -> ")
+}
+
+// shortLock trims the module path prefix for readable messages.
+func shortLock(id string) string {
+	return strings.TrimPrefix(id, "whale/internal/")
+}
+
+func posKey(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("@%s:%d", p.Filename, p.Line)
+}
+
+func (ctx *lockOrderCtx) reportf(pos token.Pos, format string, args ...any) {
+	ctx.report(Diagnostic{
+		Analyzer: "lockorder",
+		Pos:      ctx.fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}

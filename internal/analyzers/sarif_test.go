@@ -1,0 +1,93 @@
+package analyzers_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"whale/internal/analyzers"
+)
+
+func TestWriteSARIF(t *testing.T) {
+	diags := []analyzers.Diagnostic{{
+		Analyzer: "bufown",
+		Pos:      token.Position{Filename: "/repo/internal/dsps/flow.go", Line: 42, Column: 7},
+		Message:  "sb may not be released on every exit path",
+	}}
+	var buf bytes.Buffer
+	if err := analyzers.WriteSARIF(&buf, "/repo", analyzers.All(), diags); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 / 1", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "whalevet" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	// One rule per analyzer plus the staledirective framework check.
+	if want := len(analyzers.All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rules %d, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results %d, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	loc := res.Locations[0].PhysicalLocation
+	if res.RuleID != "bufown" || loc.Region.StartLine != 42 {
+		t.Errorf("result %+v", res)
+	}
+	if got := loc.ArtifactLocation.URI; got != "internal/dsps/flow.go" {
+		t.Errorf("URI %q, want repo-relative internal/dsps/flow.go", got)
+	}
+	if strings.Contains(buf.String(), "\\\\") {
+		t.Error("SARIF URIs must use forward slashes")
+	}
+}
+
+// TestWriteSARIFEmpty: a clean run still produces a well-formed log with
+// an empty results array (how code scanning clears old alerts).
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analyzers.WriteSARIF(&buf, "/repo", analyzers.All(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Error("empty run must serialize results as [], not null")
+	}
+}

@@ -56,18 +56,20 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionSet 
 
 // suppresses reports whether d is covered by a directive: a file-wide
 // directive for its analyzer, or a line directive on the same line
-// (trailing comment) or the line directly above.
-func (s suppressionSet) suppresses(d Diagnostic) bool {
-	for _, sup := range s {
+// (trailing comment) or the line directly above. The matched directive's
+// index is returned so callers can track which directives earned their
+// keep (the stale-suppression check).
+func (s suppressionSet) suppresses(d Diagnostic) (int, bool) {
+	for i, sup := range s {
 		if sup.file != d.Pos.Filename || sup.analyzer != d.Analyzer {
 			continue
 		}
 		if sup.fileWide {
-			return true
+			return i, true
 		}
 		if sup.line == d.Pos.Line || sup.line == d.Pos.Line-1 {
-			return true
+			return i, true
 		}
 	}
-	return false
+	return -1, false
 }

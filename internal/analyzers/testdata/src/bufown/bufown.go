@@ -1,0 +1,158 @@
+// Package bufown exercises the bufown analyzer: every acquired buffer
+// reaches a release, retain, or annotated transfer on every exit path.
+package bufown
+
+import "sync"
+
+type buf struct {
+	refs int
+	b    []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// acquire returns an owned buffer the caller must balance.
+//
+//whale:acquires
+func acquire() *buf {
+	b := pool.Get().(*buf)
+	b.refs = 1
+	return b
+}
+
+// release drops one reference. It is a protocol sink: it has no tracked
+// discharge in its own body, so bufown does not impose exit obligations.
+//
+//whale:owns b
+func release(b *buf) {
+	if b == nil {
+		return
+	}
+	b.refs--
+	if b.refs == 0 {
+		pool.Put(b)
+	}
+}
+
+// retain adds n references balanced elsewhere at runtime.
+//
+//whale:retains
+func retain(b *buf, n int) {
+	b.refs += n
+}
+
+type item struct {
+	payload *buf
+}
+
+type q struct {
+	items []item
+}
+
+// enqueue takes ownership of it.payload.
+//
+//whale:owns it.payload
+func (w *q) enqueue(it item) {
+	//whale:transfers it.payload
+	w.items = append(w.items, it)
+}
+
+// leakOnError forgets the buffer on the error path.
+func leakOnError(fail bool) error {
+	b := acquire() // want `b may not be released, retained, or transferred on every exit path`
+	if fail {
+		return errFail // leak: no release before this return
+	}
+	release(b)
+	return nil
+}
+
+// balanced releases on every path.
+func balanced(fail bool) error {
+	b := acquire()
+	if fail {
+		release(b)
+		return errFail
+	}
+	release(b)
+	return nil
+}
+
+// deferred releases through a defer.
+func deferred(fail bool) error {
+	b := acquire()
+	defer release(b)
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// discarded drops the acquired value on the floor.
+func discarded() {
+	acquire() // want `result of acquire is owned but discarded`
+}
+
+// fanout retains for a dynamic recipient count; releasing on at least one
+// path satisfies the relaxed refcount rule.
+func fanout(dsts [][]byte) {
+	b := acquire()
+	retain(b, len(dsts)-1)
+	for range dsts {
+		// per-destination references are released by the receivers
+	}
+	release(b)
+}
+
+// handoff moves ownership into the queue; the enqueue callee owns the
+// item's payload field.
+func handoff(w *q) {
+	b := acquire()
+	//whale:transfers b
+	w.items = append(w.items, item{payload: b})
+}
+
+// calleeOwned passes ownership to enqueue via the owned parameter.
+func calleeOwned(w *q) {
+	it := item{payload: acquire()} // want `result of acquire is owned but discarded`
+	w.enqueue(it)
+}
+
+// calleeOwnedAnnotated is the accepted form of calleeOwned: the buffer is
+// acquired straight into the item's field, and enqueue (which owns
+// it.payload) consumes the whole item.
+func calleeOwnedAnnotated(w *q) {
+	var it item
+	it.payload = acquire()
+	w.enqueue(it)
+}
+
+// literalHandoff consumes b through the owned field of a composite-literal
+// argument: enqueue owns it.payload and the literal binds payload: b.
+func literalHandoff(w *q) {
+	b := acquire()
+	w.enqueue(item{payload: b})
+}
+
+// partialOwner discharges its owned parameter on one path only.
+//
+//whale:owns b
+func partialOwner(fail bool, b *buf) { // want `owned parameter b is discharged on some paths but not all`
+	if fail {
+		return // leak: b neither released nor transferred here
+	}
+	release(b)
+}
+
+// suppressed documents an intentional leak (process shutdown).
+func suppressed() {
+	//lint:ignore bufown torn down with the process at shutdown
+	b := acquire()
+	_ = b
+}
+
+var errFail = errBuf("fail")
+
+type errBuf string
+
+func (e errBuf) Error() string { return string(e) }

@@ -1,0 +1,65 @@
+// Package chanprotocol exercises the chanprotocol analyzer: no send after
+// close, no double close, on any path through the CFG.
+package chanprotocol
+
+import "sync"
+
+type worker struct {
+	out  chan int
+	done chan struct{}
+	once sync.Once
+}
+
+// sendAfterClose is the classic shutdown bug: the error path closes the
+// channel, then the fall-through path sends on it.
+func (w *worker) sendAfterClose(fail bool) {
+	if fail {
+		close(w.out)
+	}
+	w.out <- 1 // want `send on w\.out may execute after close\(w\.out\)`
+}
+
+// doubleClose closes on an error path and again at the end.
+func (w *worker) doubleClose(fail bool) {
+	if fail {
+		close(w.done)
+	}
+	close(w.done) // want `close\(w\.done\) may execute after a previous close`
+}
+
+// sendThenClose is the correct order: all sends happen before the close.
+func (w *worker) sendThenClose() {
+	w.out <- 1
+	w.out <- 2
+	close(w.out)
+}
+
+// closeOnce is the idiomatic guard: sync.Once makes the second call a
+// no-op, and the closure is its own scope.
+func (w *worker) closeOnce() {
+	w.once.Do(func() { close(w.done) })
+	w.once.Do(func() { close(w.done) })
+}
+
+// reopened rebinds the channel between the close and the send, which
+// resets the protocol state.
+func (w *worker) reopened() {
+	close(w.out)
+	w.out = make(chan int, 1)
+	w.out <- 1
+}
+
+// deferredClose registers the close up front; sends before exit are fine.
+func (w *worker) deferredClose() {
+	defer close(w.out)
+	w.out <- 1
+}
+
+// suppressed documents a deliberate close-race guard that lives elsewhere.
+func (w *worker) suppressed(fail bool) {
+	if fail {
+		close(w.done)
+	}
+	//lint:ignore chanprotocol callers serialize shutdown through the engine mutex
+	close(w.done)
+}

@@ -1,0 +1,78 @@
+// Package creditbalance exercises the creditbalance analyzer: every
+// //whale:charged delivery-unit charge reaches a //whale:grants call or an
+// annotated terminal exit on every path.
+package creditbalance
+
+type acct struct {
+	outstanding int
+	granted     uint64
+}
+
+// grantBack returns units to the sender's window.
+//
+//whale:grants
+func (a *acct) grantBack(n int) {
+	a.granted += uint64(n)
+}
+
+// deliverLeaky charges on admission but forgets the grant when decode
+// fails.
+func (a *acct) deliverLeaky(payload []byte) {
+	//whale:charged
+	a.outstanding++ // want `charge is not matched by a grant or //whale:credit-terminal on every exit path`
+	if len(payload) == 0 {
+		return // leak: the charge is never granted back
+	}
+	a.grantBack(1)
+}
+
+// deliverBalanced grants on both the error and the success path.
+func (a *acct) deliverBalanced(payload []byte) {
+	//whale:charged
+	a.outstanding++
+	if len(payload) == 0 {
+		a.grantBack(1)
+		return
+	}
+	a.grantBack(1)
+}
+
+// deliverTerminal documents the path that intentionally drops the charge:
+// the peer died and its account was torn down with the charge inside.
+func (a *acct) deliverTerminal(payload []byte, peerDead bool) {
+	//whale:charged
+	a.outstanding++
+	if peerDead {
+		//whale:credit-terminal
+		return
+	}
+	a.grantBack(1)
+}
+
+// deliverMulti charges a dynamic per-destination count inside a loop; the
+// relaxed rule only requires a grant to be reachable at all.
+func (a *acct) deliverMulti(dsts [][]byte) {
+	for range dsts {
+		//whale:charged multi
+		a.outstanding++
+	}
+	if len(dsts) > 0 {
+		a.grantBack(len(dsts))
+	}
+}
+
+// deliverSuppressed waives the finding with a documented reason (the
+// charge directive rides the statement line so the suppression sits
+// directly above it).
+func (a *acct) deliverSuppressed() {
+	//lint:ignore creditbalance reconciled by the periodic anti-entropy sweep
+	a.outstanding++ //whale:charged
+}
+
+// deliverTrailing charges and grants on one line. The trailing directive
+// binds to its own line only: the statement below must not inherit a
+// phantom charge through the line-above rule.
+func (a *acct) deliverTrailing() {
+	a.grantBack(1) //whale:charged
+	a.outstanding--
+}

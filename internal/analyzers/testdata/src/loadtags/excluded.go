@@ -1,0 +1,8 @@
+//go:build loadtags_excluded_tag
+
+// This file must be dropped by LoadDir's build-constraint filtering; if it
+// is parsed, the package has two conflicting declarations of Sentinel and
+// type-checking fails.
+package loadtags
+
+const Sentinel = "from excluded.go"

@@ -1,0 +1,41 @@
+// Package loadtags exercises the loader: build-constrained siblings must
+// be filtered out, and generic functions must type-check.
+package loadtags
+
+// Sentinel collides with the declarations in the build-excluded siblings:
+// the package only type-checks if those files were filtered out.
+const Sentinel = "from loadtags.go"
+
+// Clamp is generic so the loader proves instantiation survives the
+// self-contained type-checking pipeline.
+func Clamp[T int | int64 | float64](v, lo, hi T) T {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Window is a generic type with a method, the other shape PR 4/5 code
+// uses for typed ring buffers.
+type Window[T any] struct {
+	buf []T
+}
+
+// Push appends keeping the last cap elements.
+func (w *Window[T]) Push(v T, max int) {
+	w.buf = append(w.buf, v)
+	if len(w.buf) > max {
+		w.buf = w.buf[1:]
+	}
+}
+
+// UseClamp instantiates both so the fixture fails loudly if inference
+// breaks.
+func UseClamp() int {
+	var w Window[int]
+	w.Push(3, 4)
+	return Clamp(5, 0, 10)
+}

@@ -1,0 +1,5 @@
+// Filename-suffix constraint: only built on plan9, where the analyzer
+// tests never run. A duplicate Sentinel proves filtering by suffix.
+package loadtags
+
+const Sentinel = "from loadtags_plan9.go"

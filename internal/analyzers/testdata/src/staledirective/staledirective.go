@@ -1,0 +1,38 @@
+// Package staledirective exercises the framework's stale-suppression
+// check: a //lint: directive that suppresses nothing is itself reported.
+package staledirective
+
+import (
+	"sync"
+	"time"
+)
+
+type s struct{ mu sync.Mutex }
+
+// fixedLongAgo once slept under the lock; the sleep is gone but the
+// suppression lingered.
+func fixedLongAgo(x *s) {
+	x.mu.Lock()
+	//lint:ignore lockheld the flush needs the batch timestamp // want `//lint:ignore lockheld suppresses no diagnostic`
+	x.mu.Unlock()
+}
+
+// stillBlocking legitimately waives a real finding: the directive is used,
+// so it is not stale.
+func stillBlocking(x *s) {
+	x.mu.Lock()
+	//lint:ignore lockheld single-writer startup path, nothing contends yet
+	time.Sleep(time.Millisecond)
+	x.mu.Unlock()
+}
+
+// misplaced has a real finding two lines below the directive — out of the
+// same-line-or-line-above window, so the finding stands AND the directive
+// is reported stale: exactly the failure mode that silently un-waives a
+// suppression when code is inserted between them.
+func misplaced(x *s) {
+	//lint:ignore lockheld drifted away from its finding // want `//lint:ignore lockheld suppresses no diagnostic`
+	x.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while mutex x\.mu is held`
+	x.mu.Unlock()
+}

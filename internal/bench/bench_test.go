@@ -146,18 +146,26 @@ func TestFig12WTLShape(t *testing.T) {
 	if raceEnabled {
 		t.Skip("timing-sensitive microbenchmark; race detector slowdown distorts pacing")
 	}
-	rep, err := Run("fig12", true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	firstLat := cell(t, rep.Rows[0][2])
-	lastLat := cell(t, rep.Rows[len(rep.Rows)-1][2])
 	// The shape (growth) is what matters; scheduler jitter on loaded
-	// machines makes a fixed multiple flaky, so require a clear but
-	// modest margin.
-	if !(lastLat > 1.3*firstLat) {
-		t.Fatalf("latency did not grow with WTL: %v -> %v", firstLat, lastLat)
+	// machines makes a fixed multiple flaky (CPU contention from sibling
+	// test packages can invert millisecond-scale rows entirely), so
+	// require a clear but modest margin and allow a couple of re-runs. A
+	// real semantic regression — WTL not delaying the flush — fails every
+	// attempt deterministically.
+	var firstLat, lastLat float64
+	for attempt := 0; attempt < 3; attempt++ {
+		rep, err := Run("fig12", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		firstLat = cell(t, rep.Rows[0][2])
+		lastLat = cell(t, rep.Rows[len(rep.Rows)-1][2])
+		if lastLat > 1.3*firstLat {
+			return
+		}
+		t.Logf("attempt %d: latency did not grow with WTL: %v -> %v", attempt+1, firstLat, lastLat)
 	}
+	t.Fatalf("latency did not grow with WTL in 3 attempts: %v -> %v", firstLat, lastLat)
 }
 
 // TestFig29VerbsOrdering: one-sided READ sustains at least two-sided's

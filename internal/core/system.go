@@ -230,8 +230,9 @@ func optimizedRDMAConfig(o Options) rdma.ChannelConfig {
 // reason (rdma.flushes_mms / _wtl / _explicit, plus rdma.flush_bytes) and
 // logs an event whenever the dominant flush reason changes — the MMS↔WTL
 // transitions that show which side of the slicing trade-off the run is on.
-// The returned func runs under the channel's send lock: counter bumps and
-// an occasional ring append only.
+// The returned func is invoked serially per channel (one flush in flight
+// at a time) with no channel lock held, but it still stays cheap: counter
+// bumps and an occasional ring append only.
 func flushHook(scope *obs.Scope) func(rdma.FlushReason, int) {
 	mms := scope.Reg.Counter("rdma.flushes_mms")
 	wtl := scope.Reg.Counter("rdma.flushes_wtl")

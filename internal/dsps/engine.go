@@ -329,7 +329,7 @@ type Engine struct {
 	stopTick       chan struct{}
 	auxWG          sync.WaitGroup // managers, ack ticker, user tickers
 	stopped        bool
-	mu             sync.Mutex
+	mu             sync.Mutex //whale:lockrank 10
 }
 
 // Start builds and launches the topology on the configured network.
@@ -1001,8 +1001,8 @@ type mcManager struct {
 
 	// mu guards the mutable switch/membership state; the repair path
 	// (failure-detector goroutine) runs concurrently with the control loop.
-	mu             sync.Mutex
-	members        []int32 // live membership; starts as desc.members, shrinks on failure
+	mu             sync.Mutex //whale:lockrank 15
+	members        []int32    // live membership; starts as desc.members, shrinks on failure
 	pendingVersion int32
 	pendingAcks    map[int32]bool
 	switchStart    time.Time

@@ -117,7 +117,7 @@ type flowControl struct {
 
 	draining atomic.Bool
 
-	mu    sync.Mutex
+	mu    sync.Mutex //whale:lockrank 20
 	links map[int32]*flowLink
 	in    map[int32]*inboundCredit
 	wg    sync.WaitGroup
@@ -125,10 +125,10 @@ type flowControl struct {
 
 // inboundCredit accumulates delivery units owed to one upstream sender.
 type inboundCredit struct {
-	mu          sync.Mutex
-	drained     int64 // cumulative units drained; the value grants carry
-	sinceGrant  int64 // units accumulated since the last grant was sent
-	rebroadcast int64 // cumulative value carried by the last ticker rebroadcast
+	mu          sync.Mutex //whale:lockrank 40
+	drained     int64      // cumulative units drained; the value grants carry
+	sinceGrant  int64      // units accumulated since the last grant was sent
+	rebroadcast int64      // cumulative value carried by the last ticker rebroadcast
 }
 
 // flowLink is the sender side of one directed link: a bounded FIFO drained
@@ -138,7 +138,7 @@ type flowLink struct {
 	fc  *flowControl
 	dst int32
 
-	mu      sync.Mutex
+	mu      sync.Mutex //whale:lockrank 30
 	queue   []flowItem
 	sent    int64 // cumulative units charged for delivered-to-transport sends
 	granted int64 // cumulative units granted back by the receiver
@@ -219,6 +219,8 @@ func (fc *flowControl) linkTo(dst int32) *flowLink {
 // Time spent blocked on a full queue is accumulated in the worker's
 // pushBlockedNS (send-thread-local) so emit-time accounting can exclude
 // backpressure stalls.
+//
+//whale:owns it.buf
 func (fc *flowControl) push(dst int32, it flowItem) {
 	if fc.w.eng.workerDead(dst) {
 		fc.w.eng.metrics.SendsSuppressed.Inc()
@@ -244,7 +246,7 @@ func (fc *flowControl) push(dst int32, it flowItem) {
 	for {
 		l.mu.Lock()
 		if len(l.queue) < fc.queueCap || fc.draining.Load() {
-			l.queue = append(l.queue, it)
+			l.queue = append(l.queue, it) //whale:transfers it.buf
 			l.mu.Unlock()
 			signal(l.kick)
 			return
@@ -262,7 +264,7 @@ func (fc *flowControl) push(dst int32, it flowItem) {
 				if i := oldestUntracked(l.queue); i >= 0 {
 					evicted := l.queue[i]
 					l.queue = append(l.queue[:i], l.queue[i+1:]...)
-					l.queue = append(l.queue, it)
+					l.queue = append(l.queue, it) //whale:transfers it.buf
 					l.shed += evicted.tuples
 					l.mu.Unlock()
 					fc.w.eng.metrics.TuplesShed.Add(evicted.tuples)
@@ -284,7 +286,7 @@ func (fc *flowControl) push(dst int32, it flowItem) {
 		case <-fc.w.eng.stopping:
 			// Shutdown: accept over capacity so the drain still flushes it.
 			l.mu.Lock()
-			l.queue = append(l.queue, it)
+			l.queue = append(l.queue, it) //whale:transfers it.buf
 			l.mu.Unlock()
 			signal(l.kick)
 			return
@@ -519,11 +521,14 @@ func (l *flowLink) observe() {
 
 // grant accumulates n delivery units owed to sender src and flushes a
 // cumulative grant once enough accumulate. n <= 0 and local sources are
-// ignored by the caller (worker.grantData).
+// ignored by the caller (worker.grantData). The charge below is dynamic
+// (batched): most calls bank the units and exit; the flush path ships them.
+//
+//whale:grants
 func (fc *flowControl) grant(src int32, n int64) {
 	in := fc.inboundFor(src)
 	in.mu.Lock()
-	in.drained += n
+	in.drained += n //whale:charged multi
 	in.sinceGrant += n
 	flush := in.sinceGrant >= fc.grantEvery
 	var cum int64
@@ -552,6 +557,8 @@ func (fc *flowControl) inboundFor(src int32) *inboundCredit {
 // bypassing the transfer queue and the flow links: grants must flow even
 // when every data path is congested, and must never consume credit
 // themselves.
+//
+//whale:grants
 func (fc *flowControl) sendGrant(to int32, cumulative int64) {
 	w := fc.w
 	if w.eng.workerDead(to) {

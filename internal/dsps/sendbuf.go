@@ -32,6 +32,8 @@ var sendBufPool = sync.Pool{New: func() any { return new(sendBuf) }}
 
 // acquireSendBuf returns an empty buffer holding one reference. Encode with
 // sb.b = tuple.AppendWorkerMessage(sb.b[:0], ...).
+//
+//whale:acquires
 func acquireSendBuf() *sendBuf {
 	sb := sendBufPool.Get().(*sendBuf)
 	sb.refs.Store(1)
@@ -39,6 +41,8 @@ func acquireSendBuf() *sendBuf {
 }
 
 // retain adds n references (fan-out: one per additional destination).
+//
+//whale:retains
 func (sb *sendBuf) retain(n int32) {
 	if sb != nil && n > 0 {
 		sb.refs.Add(n)
@@ -48,6 +52,8 @@ func (sb *sendBuf) retain(n int32) {
 // release drops one reference, recycling the buffer when the last one goes.
 // Safe on a nil receiver so callers holding raw (non-pooled) bytes need no
 // branch.
+//
+//whale:owns sb
 func (sb *sendBuf) release() {
 	if sb == nil {
 		return

@@ -166,6 +166,8 @@ func newWorker(eng *Engine, id int32) *worker {
 // relayed inbound bytes); sendData consumes exactly one reference to it on
 // every path — synchronously here once the transport has copied the
 // payload, or downstream in the flow link once the item leaves the queue.
+//
+//whale:owns sb
 func (w *worker) sendData(dst int32, raw []byte, sb *sendBuf, cost, tuples int64, tracked bool) bool {
 	if w.fc != nil {
 		w.fc.push(dst, flowItem{raw: raw, buf: sb, cost: cost, tuples: tuples, tracked: tracked})
@@ -178,6 +180,8 @@ func (w *worker) sendData(dst int32, raw []byte, sb *sendBuf, cost, tuples int64
 
 // grantData credits n delivery units back to the upstream sender src. Local
 // deliveries (src == tuple.LocalSrc) and unknown worker ids owe nothing.
+//
+//whale:grants
 func (w *worker) grantData(src int32, n int64) {
 	if w.fc == nil || n <= 0 || src < 0 || int(src) >= len(w.eng.workers) {
 		return
@@ -212,6 +216,8 @@ func (w *worker) enqueueLocal(dst int32, tp *tuple.Tuple) {
 // worker keep receiving and granting. It reports whether the tuple entered
 // an executor queue — a missing executor means the unit must be granted
 // back by the caller instead.
+//
+//whale:grants
 func (w *worker) enqueueRemote(from int32, dst int32, tp *tuple.Tuple) bool {
 	ex, ok := w.executors[dst]
 	if !ok {
@@ -662,7 +668,7 @@ func (w *worker) deliverData(from transport.WorkerID, msg *tuple.WorkerMessage, 
 		// The sender charged max(1, len(DstIDs)) units; every unit must be
 		// granted back — on drain for delivered tuples, immediately for the
 		// ones that can never drain (decode error, missing executor).
-		total := int64(len(msg.DstIDs))
+		total := int64(len(msg.DstIDs)) //whale:charged multi
 		if total < 1 {
 			total = 1
 		}
@@ -689,7 +695,7 @@ func (w *worker) deliverData(from transport.WorkerID, msg *tuple.WorkerMessage, 
 
 	case tuple.KindMulticastMessage:
 		src := int32(from)
-		localCost := int64(len(w.eng.groupLocalTasks(msg.Group, w.id)))
+		localCost := int64(len(w.eng.groupLocalTasks(msg.Group, w.id))) //whale:charged multi
 		gs, ok := w.groups[msg.Group]
 		if !ok {
 			w.eng.metrics.DecodeErrors.Inc()

@@ -101,6 +101,24 @@ type TraceSpans struct {
 // span count (the bounded-alloc half of the sampling/overhead contract).
 var spanPool = sync.Pool{New: func() any { return &TraceSpans{} }}
 
+// acquireSpans returns a pooled timeline reset for trace id. The timeline
+// is owned by the caller until it is parked in the tracer's retention map;
+// eviction hands it back to recycleSpans.
+//
+//whale:acquires
+func acquireSpans(id int64) *TraceSpans {
+	sp := spanPool.Get().(*TraceSpans)
+	sp.TraceID = id
+	sp.Events = sp.Events[:0]
+	return sp
+}
+
+// recycleSpans returns an evicted timeline to the pool. sp must not be
+// touched afterwards: the next acquireSpans call reuses its storage.
+//
+//whale:owns sp
+func recycleSpans(sp *TraceSpans) { spanPool.Put(sp) }
+
 // Tracer implements sampled tuple-path tracing: every Nth root tuple
 // leaving a spout is assigned a trace ID that rides the tuple's wire
 // format; instrumented stages feed per-stage latency histograms (always)
@@ -116,7 +134,7 @@ type Tracer struct {
 	seen   atomic.Int64
 	nextID atomic.Int64
 
-	mu    sync.Mutex
+	mu    sync.Mutex //whale:lockrank 50
 	spans map[int64]*TraceSpans
 	order []int64 // trace ids in admission order, oldest first
 	hists map[Stage]*metrics.Histogram
@@ -155,18 +173,16 @@ func (t *Tracer) Sample() int64 {
 		return 0
 	}
 	id := t.nextID.Add(1)
-	sp := spanPool.Get().(*TraceSpans)
-	sp.TraceID = id
-	sp.Events = sp.Events[:0]
+	sp := acquireSpans(id)
 	t.mu.Lock()
-	t.spans[id] = sp
+	t.spans[id] = sp //whale:transfers sp
 	t.order = append(t.order, id)
 	if len(t.order) > t.keep {
 		evict := t.order[0]
 		t.order = t.order[1:]
 		if old, ok := t.spans[evict]; ok {
 			delete(t.spans, evict)
-			spanPool.Put(old)
+			recycleSpans(old)
 		}
 	}
 	t.mu.Unlock()

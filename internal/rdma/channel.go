@@ -86,9 +86,11 @@ type ChannelConfig struct {
 	// BlockTimeout bounds how long Send blocks on a full ring before
 	// failing (default 10 s).
 	BlockTimeout time.Duration
-	// OnFlush, if set, is invoked (with the channel's send lock held, so it
-	// must be fast and must not call back into the channel) after every
-	// batch flush with the trigger and the batch size in bytes. The
+	// OnFlush, if set, is invoked after every batch flush with the trigger
+	// and the batch size in bytes. Calls are serialised — one flush is in
+	// flight at a time, in batch order — but no channel lock is held; the
+	// callback must still be fast and must not call back into the channel
+	// (a re-entrant flush would deadlock on the flush semaphore). The
 	// observability layer uses it to count MMS vs WTL flushes and log
 	// flush-reason transitions.
 	OnFlush func(reason FlushReason, batchBytes int)
@@ -150,15 +152,22 @@ type Channel struct {
 	remote string
 	stats  ChannelStats
 
-	// Sender state.
+	// Sender state. mu guards the pending batch and the closed/error
+	// latches and is never held across a blocking operation. flushSem
+	// (cap 1) serialises flushers instead: the batch is detached under mu,
+	// but the potentially long waits — full ring, exhausted send window —
+	// happen with no mutex held, so waiting there is backpressure, not
+	// lock contention.
 	mu         sync.Mutex
 	pending    []byte
+	spare      []byte // recycled batch buffer (one-sided modes)
 	batchOpen  time.Time
 	timer      *time.Timer
 	sendErr    error
 	closed     bool
-	ring       *Ring // one-sided-read: local; one-sided-write: nil
-	sqp        *QP   // sender QP (two-sided and one-sided-write)
+	flushSem   chan struct{} // cap 1: holder is the flushing goroutine
+	ring       *Ring         // one-sided-read: local; one-sided-write: nil
+	sqp        *QP           // sender QP (two-sided and one-sided-write)
 	scq        *CQ
 	inflight   chan struct{} // two-sided flow control
 	remoteRing remoteWriterState
@@ -178,16 +187,18 @@ type Channel struct {
 }
 
 // remoteWriterState is the sender-side bookkeeping for one-sided-write
-// mode: a cursor into the receiver's ring region.
+// mode: a cursor into the receiver's ring region. Only the flushing
+// goroutine (serialised by flushSem) mutates it; head and tail are atomic
+// so RingOccupancy can read the cursor without joining that serialisation.
 type remoteWriterState struct {
 	rkey     uint32
 	dataSize int
-	head     uint64
-	tail     uint64  // cached; refreshed via one-sided READ when full
-	stage    *MR     // 8-byte staging buffer for tail reads
-	hdr      [4]byte // frame-length scratch; valid per flush (mu serialises)
-	headBuf  [8]byte // head-publish scratch; valid per flush (mu serialises)
-	wrs      []WR    // work-request scratch reused across flushes
+	head     atomic.Uint64
+	tail     atomic.Uint64 // cached; refreshed via one-sided READ when full
+	stage    *MR           // 8-byte staging buffer for tail reads
+	hdr      [4]byte       // frame-length scratch; valid per flush (flushSem serialises)
+	headBuf  [8]byte       // head-publish scratch; valid per flush (flushSem serialises)
+	wrs      []WR          // work-request scratch reused across flushes
 }
 
 // Stats returns a snapshot of the channel's counters.
@@ -219,7 +230,7 @@ func (c *Channel) RingOccupancy() int {
 	case c.ring != nil:
 		occ += c.ring.Occupancy()
 	case c.cfg.Mode == ModeOneSidedWrite:
-		occ += int(c.remoteRing.head - c.remoteRing.tail)
+		occ += int(c.remoteRing.head.Load() - c.remoteRing.tail.Load())
 	}
 	return occ
 }
@@ -260,14 +271,19 @@ func (c *Channel) deliver(msg []byte) {
 //whale:hotpath
 func (c *Channel) Send(msg []byte) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return fmt.Errorf("rdma: channel %s->%s closed", c.local, c.remote)
 	}
-	if c.sendErr != nil {
-		return c.sendErr
+	if err := c.sendErr; err != nil {
+		c.mu.Unlock()
+		return err
 	}
 	if len(c.pending) == 0 {
+		// Reuse the batch buffer recycled by the previous flush, if any.
+		if c.spare != nil {
+			c.pending, c.spare = c.spare, nil
+		}
 		// WTL accounting needs the batch-open timestamp; taken once per
 		// batch, not per message.
 		//lint:ignore hotalloc one time.Now per batch, required by WTL batching
@@ -280,23 +296,17 @@ func (c *Channel) Send(msg []byte) error {
 	c.pending = append(c.pending, msg...)
 	c.stats.MsgsSent.Add(1)
 	c.stats.BytesSent.Add(int64(len(msg)))
-	if len(c.pending) >= c.cfg.MMS {
-		c.stats.SizeFlushes.Add(1)
-		//lint:ignore lockheld the send path intentionally serialises the flush under mu; blocking is backpressure, bounded by BlockTimeout
-		return c.flushLocked(FlushMMS)
+	full := len(c.pending) >= c.cfg.MMS
+	c.mu.Unlock()
+	if full {
+		return c.flush(FlushMMS)
 	}
 	return nil
 }
 
 // Flush forces the pending batch out.
 func (c *Channel) Flush() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.pending) == 0 {
-		return c.sendErr
-	}
-	//lint:ignore lockheld explicit flush serialises with senders by design; blocking is backpressure, bounded by BlockTimeout
-	return c.flushLocked(FlushExplicit)
+	return c.flush(FlushExplicit)
 }
 
 func (c *Channel) armTimer() {
@@ -306,30 +316,46 @@ func (c *Channel) armTimer() {
 	}
 	c.timer = time.AfterFunc(c.cfg.WTL, func() {
 		c.mu.Lock()
-		defer c.mu.Unlock()
-		if c.closed || len(c.pending) == 0 {
+		stale := c.closed || len(c.pending) == 0
+		c.mu.Unlock()
+		if stale {
 			return
 		}
-		c.stats.TimerFlushes.Add(1)
-		//lint:ignore lockheld the WTL timer flush serialises with senders by design; blocking is backpressure, bounded by BlockTimeout
-		if err := c.flushLocked(FlushWTL); err != nil && c.sendErr == nil {
-			c.sendErr = err
-		}
+		// flush latches its error into sendErr; nobody consumes the timer's
+		// return value.
+		_ = c.flush(FlushWTL)
 	})
 }
 
-// flushLocked ships the pending batch as one work request. Callers hold mu.
-func (c *Channel) flushLocked(reason FlushReason) error {
+// flush detaches the pending batch under mu and ships it as one work
+// request with no mutex held. flushSem (capacity 1) serialises flushers,
+// so a second flusher waits on a channel — backpressure — rather than
+// holding mu across the ring-full and send-window waits. Returns the
+// latched send error when there is nothing to flush.
+func (c *Channel) flush(reason FlushReason) error {
+	c.flushSem <- struct{}{}
+	defer func() { <-c.flushSem }()
+	c.mu.Lock()
 	batch := c.pending
 	c.pending = nil
 	if c.timer != nil {
 		c.timer.Stop()
 	}
+	err := c.sendErr
+	c.mu.Unlock()
+	if len(batch) == 0 || err != nil {
+		return err
+	}
+	switch reason {
+	case FlushMMS:
+		c.stats.SizeFlushes.Add(1)
+	case FlushWTL:
+		c.stats.TimerFlushes.Add(1)
+	}
 	c.stats.WorkRequests.Add(1)
 	if c.cfg.OnFlush != nil {
 		c.cfg.OnFlush(reason, len(batch))
 	}
-	var err error
 	switch c.cfg.Mode {
 	case ModeOneSidedRead:
 		err = c.flushRing(batch)
@@ -338,6 +364,7 @@ func (c *Channel) flushLocked(reason FlushReason) error {
 	case ModeOneSidedWrite:
 		err = c.flushRemoteWrite(batch)
 	}
+	c.mu.Lock()
 	if err != nil && c.sendErr == nil {
 		c.sendErr = err
 	}
@@ -346,9 +373,10 @@ func (c *Channel) flushLocked(reason FlushReason) error {
 	// next batch instead of being reallocated. Two-sided mode posts the batch
 	// as an Inline work request that the RNIC engine consumes asynchronously:
 	// ownership transfers with the WR and the buffer must not be reused.
-	if err == nil && c.cfg.Mode != ModeTwoSided && cap(batch) <= 2*c.cfg.MMS {
-		c.pending = batch[:0]
+	if err == nil && c.cfg.Mode != ModeTwoSided && c.spare == nil && cap(batch) <= 2*c.cfg.MMS {
+		c.spare = batch[:0]
 	}
+	c.mu.Unlock()
 	return err
 }
 
@@ -403,8 +431,9 @@ func (c *Channel) flushRemoteWrite(batch []byte) error {
 	if need > st.dataSize {
 		return fmt.Errorf("rdma: batch of %d bytes exceeds remote ring size %d", len(batch), st.dataSize)
 	}
+	head := st.head.Load()
 	deadline := time.Now().Add(c.cfg.BlockTimeout)
-	for st.dataSize-int(st.head-st.tail) < need {
+	for st.dataSize-int(head-st.tail.Load()) < need {
 		// Refresh the cached tail with a one-sided READ.
 		if err := c.syncOp(WR{Op: OpRead, Local: SGE{MR: st.stage, Offset: 0, Length: 8},
 			Remote: RemoteAddr{RKey: st.rkey, Offset: ringTailOff}}); err != nil {
@@ -414,8 +443,9 @@ func (c *Channel) flushRemoteWrite(batch []byte) error {
 		if err := st.stage.ReadAt(tb[:], 0); err != nil {
 			return err
 		}
-		st.tail = binary.LittleEndian.Uint64(tb[:])
-		if st.dataSize-int(st.head-st.tail) >= need {
+		tail := binary.LittleEndian.Uint64(tb[:])
+		st.tail.Store(tail)
+		if st.dataSize-int(head-tail) >= need {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -428,16 +458,17 @@ func (c *Channel) flushRemoteWrite(batch []byte) error {
 	// Post the length header and the batch as separate pipelined WRITEs
 	// instead of assembling an intermediate frame copy: pipelineOps reaps
 	// every completion before returning, so the batch (and the header/head
-	// scratch fields, reused across flushes under mu) stay valid for the
-	// WRs' whole lifetime. RC executes work requests in order, so the head
-	// can never be visible before the data.
+	// scratch fields, reused across flushes under flushSem) stay valid for
+	// the WRs' whole lifetime. RC executes work requests in order, so the
+	// head can never be visible before the data.
 	binary.LittleEndian.PutUint32(st.hdr[:], uint32(len(batch)))
 	wrs := st.wrs[:0]
-	off := int(st.head % uint64(st.dataSize))
+	off := int(head % uint64(st.dataSize))
 	wrs, off = st.appendRingWrites(wrs, off, st.hdr[:])
 	wrs, _ = st.appendRingWrites(wrs, off, batch)
-	st.head += uint64(need)
-	binary.LittleEndian.PutUint64(st.headBuf[:], st.head)
+	head += uint64(need)
+	binary.LittleEndian.PutUint64(st.headBuf[:], head)
+	st.head.Store(head)
 	wrs = append(wrs, WR{Op: OpWrite, Inline: st.headBuf[:],
 		Remote: RemoteAddr{RKey: st.rkey, Offset: ringHeadOff}})
 	st.wrs = wrs[:0]
@@ -511,15 +542,17 @@ func (c *Channel) Close() error {
 	var err error
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
-		if len(c.pending) > 0 {
-			//lint:ignore lockheld final flush on close; no senders can race once closed is set below
-			err = c.flushLocked(FlushExplicit)
-		}
 		c.closed = true
 		if c.timer != nil {
 			c.timer.Stop()
 		}
+		hadPending := len(c.pending) > 0
 		c.mu.Unlock()
+		if hadPending {
+			// Final flush: closed is already set, so no sender can reopen
+			// the batch behind it.
+			err = c.flush(FlushExplicit)
+		}
 		// Let the receiver drain what was just flushed.
 		time.Sleep(2 * c.cfg.PollInterval)
 		close(c.done)

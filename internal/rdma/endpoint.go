@@ -89,8 +89,10 @@ func (e *Endpoint) Dial(remote string) (*Channel, error) {
 	}
 
 	cfg := e.cfg
-	send := &Channel{cfg: cfg, local: e.Name(), remote: remote, done: make(chan struct{})}
-	recv := &Channel{cfg: cfg, local: remote, remote: e.Name(), done: make(chan struct{})}
+	send := &Channel{cfg: cfg, local: e.Name(), remote: remote,
+		done: make(chan struct{}), flushSem: make(chan struct{}, 1)}
+	recv := &Channel{cfg: cfg, local: remote, remote: e.Name(),
+		done: make(chan struct{}), flushSem: make(chan struct{}, 1)}
 
 	switch cfg.Mode {
 	case ModeOneSidedRead:
@@ -177,9 +179,11 @@ func (e *Endpoint) Dial(remote string) (*Channel, error) {
 			return nil, err
 		}
 		send.sqp, send.scq = sqp, scq
-		send.remoteRing = remoteWriterState{
-			rkey: ringMR.RKey(), dataSize: ring.DataSize(), stage: stage,
-		}
+		// Field-wise init: the head/tail cursors are atomics, so the struct
+		// must not be copied wholesale.
+		send.remoteRing.rkey = ringMR.RKey()
+		send.remoteRing.dataSize = ring.DataSize()
+		send.remoteRing.stage = stage
 		recv.rqp = rqp
 		recv.localRing = ring
 		acceptFn(e.Name(), recv)

@@ -226,11 +226,20 @@ func (q *QP) Num() uint32 { return q.num }
 // emulating the out-of-band (e.g. TCP or CM) QP exchange. It starts both
 // RNIC engines.
 func ConnectPair(a, b *QP) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	// Acquire the two instance locks in QP-number order: two concurrent
+	// ConnectPair calls with swapped arguments would otherwise deadlock on
+	// the a/b pair (the classic two-account problem). lockorder cannot see
+	// instance identity, so the ordered second acquisition is waived below.
+	first, second := a, b
+	if second.num < first.num {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
 	if a != b {
-		b.mu.Lock()
-		defer b.mu.Unlock()
+		//lint:ignore lockorder same lock class on two instances, ordered by QP number above
+		second.mu.Lock()
+		defer second.mu.Unlock()
 	}
 	if a.remote != nil || b.remote != nil {
 		return fmt.Errorf("rdma: QP already connected")

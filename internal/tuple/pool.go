@@ -12,9 +12,13 @@ var encoderPool = sync.Pool{New: func() any { return NewEncoder() }}
 // ReleaseEncoder once every slice obtained from it is dead or copied: the
 // encoder's buffers are recycled on release, so a retained EncodeTuple /
 // EncodeControlEnvelope result would be clobbered by the next borrower.
+//
+//whale:acquires
 func AcquireEncoder() *Encoder { return encoderPool.Get().(*Encoder) }
 
 // ReleaseEncoder returns e to the pool. e must not be used afterwards.
+//
+//whale:owns e
 func ReleaseEncoder(e *Encoder) {
 	if e == nil {
 		return
