@@ -54,10 +54,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Benchmark-regression gate: re-measure the curated microbenchmarks
-# (including the trace_record_off/on tracing-overhead rows) and quick-mode
-# DES experiments, compare against the committed BENCH_6.json baseline, and
-# fail on regressions beyond the thresholds (10% micro, 25% DES). Refresh
-# the baseline after an intentional perf change with:
-#   $(GO) run ./cmd/whaleperf -quick -out BENCH_6.json
+# (including the engine_pipeline_ckpt_off/1s checkpoint-overhead rows) and
+# quick-mode DES experiments, compare against the committed BENCH_8.json
+# baseline, and fail on regressions beyond the thresholds (10% micro, 25%
+# DES). Refresh the baseline after an intentional perf change with:
+#   $(GO) run ./cmd/whaleperf -quick -out BENCH_8.json
 perfgate:
-	$(GO) run ./cmd/whaleperf -quick -runs 5 -baseline BENCH_6.json -out BENCH_6.new.json
+	$(GO) run ./cmd/whaleperf -quick -runs 5 -baseline BENCH_8.json -out BENCH_8.new.json

@@ -42,6 +42,7 @@ func main() {
 	traceEvery := flag.Int64("trace-sample-every", 0, "trace every Nth spout tuple through the pipeline (0 = off)")
 	traceOut := flag.String("trace-out", "", "write sampled spans as Chrome trace_event JSON to this file on shutdown (implies tracing; load via chrome://tracing or Perfetto)")
 	bottleneck := flag.Bool("bottleneck", false, "print the ranked bottleneck attribution report on shutdown")
+	checkpoint := flag.Duration("checkpoint", 0, "aligned snapshot checkpoint interval (0 = off; see DESIGN.md §13)")
 	flag.Parse()
 	if *traceOut != "" && *traceEvery == 0 {
 		*traceEvery = 100
@@ -84,9 +85,10 @@ func main() {
 	}
 
 	cluster, err := whale.Run(topo, sys, whale.Options{
-		Workers:          *workers,
-		ObsAddr:          *obsAddr,
-		TraceSampleEvery: *traceEvery,
+		Workers:            *workers,
+		ObsAddr:            *obsAddr,
+		TraceSampleEvery:   *traceEvery,
+		CheckpointInterval: *checkpoint,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -119,6 +121,12 @@ func main() {
 	}
 	cluster.StopSources()
 	cluster.Drain(5 * time.Second)
+	if *checkpoint > 0 {
+		s := cluster.Obs().Reg.Snapshot()
+		fmt.Printf("checkpoints: epochs_completed=%d epochs_aborted=%d align_buffered=%d\n",
+			s.Counters["snapshot.epochs_completed"], s.Counters["snapshot.epochs_aborted"],
+			s.Counters["snapshot.align_buffered"])
+	}
 	if *bottleneck {
 		fmt.Print(cluster.BottleneckReport())
 	}

@@ -303,7 +303,8 @@ func (st *lockHeldState) calleeBlocks(call *ast.CallExpr, depth int, seen map[*t
 	seen[f] = true
 	var kind string
 	var pos token.Pos
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
 		if kind != "" {
 			return false
 		}
@@ -325,6 +326,16 @@ func (st *lockHeldState) calleeBlocks(call *ast.CallExpr, depth int, seen map[*t
 				kind, pos = "blocking select", x.Pos()
 				return false
 			}
+			// With a default the comm clauses are non-blocking attempts;
+			// descend only into the clause bodies (mirrors scanStmt).
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, b := range cc.Body {
+						ast.Inspect(b, visit)
+					}
+				}
+			}
+			return false
 		case *ast.CallExpr:
 			if k, ok := st.blockingCall(x); ok {
 				kind, pos = k, x.Pos()
@@ -336,7 +347,8 @@ func (st *lockHeldState) calleeBlocks(call *ast.CallExpr, depth int, seen map[*t
 			}
 		}
 		return true
-	})
+	}
+	ast.Inspect(fd.Body, visit)
 	return kind, pos, kind != ""
 }
 

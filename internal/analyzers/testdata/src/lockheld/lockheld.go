@@ -80,6 +80,41 @@ func (s *S) okSelectDefault() {
 	}
 }
 
+// tryOffer's send is a comm clause of a select with a default: a
+// non-blocking attempt, not a blocking send.
+func (s *S) tryOffer(v int) bool {
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// okTransitiveSelectDefault: expanding into tryOffer must not misread its
+// non-blocking comm-clause send as a blocking one.
+func (s *S) okTransitiveSelectDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tryOffer(1)
+}
+
+// badBodyInSelectDefault: a blocking operation in a comm-clause *body* is
+// still blocking even under a select with a default.
+func (s *S) sendThenSleep() {
+	select {
+	case s.ch <- 1:
+		time.Sleep(time.Millisecond)
+	default:
+	}
+}
+
+func (s *S) badBodyInSelectDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sendThenSleep() // want `call reaches time\.Sleep \(lockheld\.go:\d+\) while mutex s\.mu is held`
+}
+
 // okGoroutine: the spawned goroutine does not run under the caller's lock.
 func (s *S) okGoroutine(wg *sync.WaitGroup) {
 	s.mu.Lock()

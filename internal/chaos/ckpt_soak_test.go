@@ -1,0 +1,399 @@
+package chaos_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"whale/internal/chaos"
+	"whale/internal/dsps"
+	"whale/internal/kafkalite"
+	"whale/internal/obs"
+	"whale/internal/snapshot"
+	"whale/internal/transport"
+	"whale/internal/tuple"
+	"whale/internal/window"
+)
+
+// Checkpoint soak (`make chaos`): exactly-once windowed aggregation through
+// an interior-relay crash. A kafkalite topic feeds event-timed records
+// through an all-grouping multicast tree into windowed-sum sinks whose
+// emission log is part of their own checkpointed state (the transactional-
+// sink trick). Mid-stream, the relay parent of half the sinks is crashed
+// while epochs are in flight; recovery must abort the wedged epoch, restore
+// every survivor from the last committed snapshot, rewind the source to the
+// matching offsets, and replay — after which every surviving sink's fired-
+// window log must be byte-identical to a failure-free run: no window lost,
+// no contribution duplicated, deterministically across same-seed runs.
+
+const (
+	ckptSoakRecords = 360
+	ckptSoakPhase1  = 120 // records produced before the crash window
+	ckptSoakTickNS  = int64(time.Millisecond)
+	ckptSoakWidth   = 20 * time.Millisecond
+	ckptSentinelTS  = int64(1) << 40 // flushes every open window
+)
+
+// ckptRecordTS/ckptRecordVal derive a record's event time and value from
+// its index, so the topic content is a pure function of the index sequence.
+func ckptRecordTS(i int64) int64  { return i * ckptSoakTickNS }
+func ckptRecordVal(i int64) int64 { return i%7 + 1 }
+
+// ckptWindowBolt is a windowed-sum sink. Everything that defines its output
+// — the open-window buffer AND the log of already-fired windows — lives in
+// the snapshotted state, so a rollback rewinds its emissions too and replay
+// rebuilds exactly the suffix.
+type ckptWindowBolt struct {
+	reg *ckptRegistry
+
+	mu      sync.Mutex
+	buf     *window.Buffer[int64]
+	emitted [][2]int64 // (window start, sum) in fire order
+}
+
+func (b *ckptWindowBolt) Prepare(ctx *dsps.TaskContext) {
+	b.buf = window.NewBuffer[int64](window.Tumbling{Width: ckptSoakWidth}, 0)
+	b.reg.register(ctx.TaskID, b)
+}
+
+func (b *ckptWindowBolt) Execute(tp *tuple.Tuple, _ *dsps.Collector) {
+	ts, val := tp.Int(0), tp.Int(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ts != ckptSentinelTS {
+		b.buf.Add(ts, val)
+	}
+	// Single topic partition + per-link FIFO: ts is monotone, so it is the
+	// watermark.
+	for _, f := range b.buf.Advance(ts) {
+		var sum int64
+		for _, v := range f.Items {
+			sum += v
+		}
+		b.emitted = append(b.emitted, [2]int64{f.Start, sum})
+	}
+}
+
+func (b *ckptWindowBolt) Cleanup() {}
+
+// SnapshotState implements snapshot.Snapshotter.
+func (b *ckptWindowBolt) SnapshotState() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	buf := b.buf.AppendSnapshot(nil, appendI64)
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(buf)))
+	out = append(out, buf...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.emitted)))
+	for _, e := range b.emitted {
+		out = appendI64(out, e[0])
+		out = appendI64(out, e[1])
+	}
+	return out, nil
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (b *ckptWindowBolt) RestoreState(data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if data == nil {
+		b.emitted = nil
+		return b.buf.RestoreSnapshot(nil, decodeI64)
+	}
+	if len(data) < 4 {
+		return fmt.Errorf("ckpt soak: truncated bolt snapshot")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) < n+4 {
+		return fmt.Errorf("ckpt soak: truncated bolt snapshot")
+	}
+	if err := b.buf.RestoreSnapshot(data[:n], decodeI64); err != nil {
+		return err
+	}
+	data = data[n:]
+	ne := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) != 16*ne {
+		return fmt.Errorf("ckpt soak: bolt snapshot emitted-log length %d, want %d", len(data), 16*ne)
+	}
+	b.emitted = make([][2]int64, ne)
+	for i := range b.emitted {
+		b.emitted[i][0] = int64(binary.LittleEndian.Uint64(data[16*i:]))
+		b.emitted[i][1] = int64(binary.LittleEndian.Uint64(data[16*i+8:]))
+	}
+	return nil
+}
+
+// windows returns a copy of the fired-window log.
+func (b *ckptWindowBolt) windows() [][2]int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([][2]int64(nil), b.emitted...)
+}
+
+func appendI64(dst []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+
+func decodeI64(buf []byte) (int64, int, error) {
+	if len(buf) < 8 {
+		return 0, 0, fmt.Errorf("ckpt soak: truncated element")
+	}
+	return int64(binary.LittleEndian.Uint64(buf)), 8, nil
+}
+
+// ckptRegistry maps task ids to live bolt instances for post-run readout.
+type ckptRegistry struct {
+	mu    sync.Mutex
+	bolts map[int32]*ckptWindowBolt
+}
+
+func (r *ckptRegistry) register(task int32, b *ckptWindowBolt) {
+	r.mu.Lock()
+	r.bolts[task] = b
+	r.mu.Unlock()
+}
+
+func (r *ckptRegistry) get(task int32) *ckptWindowBolt {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bolts[task]
+}
+
+// ckptSoakOutcome is what a run must reproduce exactly under the same seed.
+type ckptSoakOutcome struct {
+	Windows  map[int32][][2]int64 // surviving sink task -> fired windows
+	Dead     []int32
+	Aborted  bool // >=1 epoch aborted
+	Restored bool // >=1 cluster restore completed
+}
+
+// ckptReferenceWindows computes the failure-free fired-window log every
+// sink must converge to, using the same window.Buffer semantics.
+func ckptReferenceWindows() [][2]int64 {
+	buf := window.NewBuffer[int64](window.Tumbling{Width: ckptSoakWidth}, 0)
+	var out [][2]int64
+	fire := func(watermark int64) {
+		for _, f := range buf.Advance(watermark) {
+			var sum int64
+			for _, v := range f.Items {
+				sum += v
+			}
+			out = append(out, [2]int64{f.Start, sum})
+		}
+	}
+	for i := int64(0); i < ckptSoakRecords; i++ {
+		buf.Add(ckptRecordTS(i), ckptRecordVal(i))
+		fire(ckptRecordTS(i))
+	}
+	fire(ckptSentinelTS)
+	return out
+}
+
+// ckptProduce appends records [from, to) of the deterministic sequence.
+func ckptProduce(t *testing.T, broker *kafkalite.Broker, from, to int64) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if _, err := broker.ProduceTo("trades", 0, nil, appendI64(nil, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runCkptSoak executes one checkpointed windowed run, optionally crashing
+// the interior relay (worker 1) mid-stream with epochs in flight.
+func runCkptSoak(t *testing.T, seed int64, crash bool) ckptSoakOutcome {
+	t.Helper()
+
+	broker := kafkalite.NewBroker()
+	if err := broker.CreateTopic("trades", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	ckptProduce(t, broker, 0, ckptSoakPhase1)
+
+	reg := &ckptRegistry{bolts: map[int32]*ckptWindowBolt{}}
+	decode := func(rec kafkalite.Record) []tuple.Value {
+		i := int64(binary.LittleEndian.Uint64(rec.Value))
+		if i >= ckptSoakRecords {
+			return []tuple.Value{ckptSentinelTS, int64(0)}
+		}
+		return []tuple.Value{ckptRecordTS(i), ckptRecordVal(i)}
+	}
+	b := dsps.NewTopologyBuilder()
+	b.Spout("src", func() dsps.Spout {
+		return &kafkalite.Spout{Broker: broker, Topic: "trades", Group: "soak", Decode: decode, MaxPoll: 8}
+	}, 1)
+	b.Bolt("win", func() dsps.Bolt { return &ckptWindowBolt{reg: reg} }, soakWorkers-1).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := chaos.Wrap(transport.NewInprocNetwork(0), chaos.Config{Seed: seed})
+	eng, err := dsps.Start(topo, dsps.Config{
+		Workers: soakWorkers, Network: net,
+		Comm: dsps.WorkerOriented, Multicast: dsps.MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+		HeartbeatInterval:  10 * time.Millisecond,
+		SuspectAfter:       60 * time.Millisecond,
+		ConfirmAfter:       200 * time.Millisecond,
+		CheckpointInterval: 3 * time.Millisecond,
+		CheckpointTimeout:  30 * time.Millisecond,
+		CheckpointStore:    snapshot.NewMemStore(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped := false
+	defer func() {
+		if !stopped {
+			eng.Stop()
+		}
+	}()
+
+	// The crash schedule assumes round-robin placement: the spout (and the
+	// checkpoint coordinator's home) on the never-crashed monitor worker 0,
+	// sinks on 1..4, worker 1 the d*=2 tree's interior relay.
+	if w := eng.WorkerOfTask(eng.TasksOf("src")[0]); w != 0 {
+		t.Fatalf("spout on worker %d; soak assumes worker 0", w)
+	}
+	sinks := eng.TasksOf("win")
+	for _, tid := range sinks {
+		if w := eng.WorkerOfTask(tid); w != tid%soakWorkers {
+			t.Fatalf("task %d on worker %d; soak assumes round-robin placement", tid, w)
+		}
+	}
+
+	waitEvent := func(kind string, worker int32, within time.Duration) {
+		t.Helper()
+		deadline := time.Now().Add(within)
+		for time.Now().Before(deadline) {
+			for _, ev := range eng.Obs().Events.Recent(0) {
+				if ev.Kind == kind && ev.Worker == worker {
+					return
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("event %s(worker %d) not observed within %v", kind, worker, within)
+	}
+
+	// Phase A — steady state: first batch flows, epochs commit.
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Metrics().EpochsCompleted.Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if eng.Metrics().EpochsCompleted.Value() < 2 {
+		t.Fatal("no epochs committed before crash window")
+	}
+
+	// Phase B — crash the interior relay with an epoch almost certainly in
+	// flight (3ms interval): the wedged epoch must abort, trees repair, and
+	// the cluster restore from the last committed epoch with source rewind.
+	if crash {
+		net.Crash(1)
+		waitEvent(obs.EventWorkerDead, 1, 10*time.Second)
+		waitEvent(obs.EventSnapshotRestored, 0, 15*time.Second)
+	}
+
+	// Phase C — the rest of the stream plus the watermark sentinel.
+	ckptProduce(t, broker, ckptSoakPhase1, ckptSoakRecords+1)
+
+	// Run until every surviving sink fired the final window.
+	ref := ckptReferenceWindows()
+	last := ref[len(ref)-1]
+	surviving := func() []int32 {
+		dead := map[int32]bool{}
+		for _, w := range eng.DeadWorkers() {
+			dead[w] = true
+		}
+		var out []int32
+		for _, tid := range sinks {
+			if !dead[eng.WorkerOfTask(tid)] {
+				out = append(out, tid)
+			}
+		}
+		return out
+	}
+	done := func() bool {
+		for _, tid := range surviving() {
+			bl := reg.get(tid)
+			if bl == nil {
+				return false
+			}
+			w := bl.windows()
+			if len(w) == 0 || w[len(w)-1] != last {
+				return false
+			}
+		}
+		return true
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for !done() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	out := ckptSoakOutcome{
+		Windows:  map[int32][][2]int64{},
+		Dead:     eng.DeadWorkers(),
+		Aborted:  eng.Metrics().EpochsAborted.Value() > 0,
+		Restored: eng.Metrics().Restores.Value() > 0,
+	}
+	for _, tid := range surviving() {
+		if bl := reg.get(tid); bl != nil {
+			out.Windows[tid] = bl.windows()
+		}
+	}
+	eng.Stop()
+	stopped = true
+	return out
+}
+
+// TestChaosCheckpointSoak asserts the exactly-once recovery story: crashed
+// runs emit byte-identical window logs to the failure-free run on every
+// surviving sink, and same-seed crashed runs reproduce each other exactly.
+func TestChaosCheckpointSoak(t *testing.T) {
+	ref := ckptReferenceWindows()
+
+	clean := runCkptSoak(t, 11, false)
+	if len(clean.Dead) != 0 || clean.Restored {
+		t.Fatalf("clean run saw failures: dead=%v restored=%v", clean.Dead, clean.Restored)
+	}
+	for tid, w := range clean.Windows {
+		if !reflect.DeepEqual(w, ref) {
+			t.Fatalf("clean run task %d windows diverge from reference:\n got %v\nwant %v", tid, w, ref)
+		}
+	}
+
+	run1 := runCkptSoak(t, 11, true)
+	if !reflect.DeepEqual(run1.Dead, []int32{1}) {
+		t.Fatalf("dead workers = %v, want [1]", run1.Dead)
+	}
+	if !run1.Aborted {
+		t.Fatal("crash run aborted no epoch; crash missed the in-flight window")
+	}
+	if !run1.Restored {
+		t.Fatal("crash run completed no restore")
+	}
+	// Exactly-once: despite the crash, abort, rollback and replay, every
+	// surviving sink's full emission log equals the failure-free one — no
+	// window lost to the dead relay, none double-counted by the rewind.
+	if len(run1.Windows) != soakWorkers-2 {
+		t.Fatalf("surviving sinks = %d, want %d", len(run1.Windows), soakWorkers-2)
+	}
+	for tid, w := range run1.Windows {
+		if !reflect.DeepEqual(w, ref) {
+			t.Fatalf("crash run task %d windows diverge from reference:\n got %v\nwant %v", tid, w, ref)
+		}
+	}
+
+	// Determinism: a second crashed run under the same seed reproduces the
+	// outcome exactly.
+	run2 := runCkptSoak(t, 11, true)
+	if !reflect.DeepEqual(run1, run2) {
+		t.Fatalf("same-seed crash runs diverge:\nrun1 %+v\nrun2 %+v", run1, run2)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"whale/internal/dsps"
 	"whale/internal/obs"
 	"whale/internal/rdma"
+	"whale/internal/snapshot"
 	"whale/internal/transport"
 )
 
@@ -132,6 +133,17 @@ type Options struct {
 	// ConfirmAfter is the silence before a suspected worker is confirmed
 	// dead and multicast trees repair around it (default 3×SuspectAfter).
 	ConfirmAfter time.Duration
+	// CheckpointInterval enables aligned snapshot checkpointing (DESIGN
+	// §13): epoch barriers at this period, operator state into
+	// CheckpointStore, restore + source rewind after a confirmed failure
+	// (0 disables).
+	CheckpointInterval time.Duration
+	// CheckpointTimeout aborts an epoch whose barriers have not fully
+	// propagated (default 10×CheckpointInterval).
+	CheckpointTimeout time.Duration
+	// CheckpointStore persists per-epoch task snapshots (default:
+	// in-memory; use snapshot.NewFileStore for a durable directory).
+	CheckpointStore snapshot.Store
 	// SendRetries bounds per-send retries on transient transport errors
 	// (default 3; negative disables retrying).
 	SendRetries int
@@ -301,32 +313,35 @@ func (s System) EngineConfig(o Options) (dsps.Config, error) {
 		return dsps.Config{}, err
 	}
 	cfg := dsps.Config{
-		Workers:           o.Workers,
-		Network:           net,
-		TransferQueueCap:  o.TransferQueueCap,
-		Control:           o.Control,
-		MonitorInterval:   o.MonitorInterval,
-		InitialDstar:      o.InitialDstar,
-		FixedDstar:        o.FixedDstar,
-		AckEnabled:        o.AckEnabled,
-		Ackers:            o.Ackers,
-		AckTimeout:        o.AckTimeout,
-		MaxSpoutPending:   o.MaxSpoutPending,
-		HeartbeatInterval: o.HeartbeatInterval,
-		SuspectAfter:      o.SuspectAfter,
-		ConfirmAfter:      o.ConfirmAfter,
-		SendRetries:       o.SendRetries,
-		SendRetryBase:     o.SendRetryBase,
-		CreditWindow:      o.CreditWindow,
-		LinkQueueCap:      o.LinkQueueCap,
-		HighWaterline:     o.HighWaterline,
-		LowWaterline:      o.LowWaterline,
-		ShedPolicy:        o.ShedPolicy,
-		PauseAfter:        o.PauseAfter,
-		DegradedAfter:     o.DegradedAfter,
-		CreditTimeout:     o.CreditTimeout,
-		DrainTimeout:      o.DrainTimeout,
-		Obs:               scope,
+		Workers:            o.Workers,
+		Network:            net,
+		TransferQueueCap:   o.TransferQueueCap,
+		Control:            o.Control,
+		MonitorInterval:    o.MonitorInterval,
+		InitialDstar:       o.InitialDstar,
+		FixedDstar:         o.FixedDstar,
+		AckEnabled:         o.AckEnabled,
+		Ackers:             o.Ackers,
+		AckTimeout:         o.AckTimeout,
+		MaxSpoutPending:    o.MaxSpoutPending,
+		HeartbeatInterval:  o.HeartbeatInterval,
+		SuspectAfter:       o.SuspectAfter,
+		ConfirmAfter:       o.ConfirmAfter,
+		CheckpointInterval: o.CheckpointInterval,
+		CheckpointTimeout:  o.CheckpointTimeout,
+		CheckpointStore:    o.CheckpointStore,
+		SendRetries:        o.SendRetries,
+		SendRetryBase:      o.SendRetryBase,
+		CreditWindow:       o.CreditWindow,
+		LinkQueueCap:       o.LinkQueueCap,
+		HighWaterline:      o.HighWaterline,
+		LowWaterline:       o.LowWaterline,
+		ShedPolicy:         o.ShedPolicy,
+		PauseAfter:         o.PauseAfter,
+		DegradedAfter:      o.DegradedAfter,
+		CreditTimeout:      o.CreditTimeout,
+		DrainTimeout:       o.DrainTimeout,
+		Obs:                scope,
 	}
 	switch s {
 	case Storm, RDMAStorm:

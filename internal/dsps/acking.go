@@ -238,7 +238,15 @@ func (ex *executor) drainSpoutEvents(block bool) {
 }
 
 func (ex *executor) handleSpoutEvent(tp *tuple.Tuple) {
-	if tp.Stream != streamAckEvent {
+	switch tp.Stream {
+	case streamCkptTrigger:
+		ex.onTrigger(tp)
+		return
+	case streamCkptRestore:
+		ex.onRestore(tp)
+		return
+	case streamAckEvent:
+	default:
 		return
 	}
 	root := tp.Int(0)

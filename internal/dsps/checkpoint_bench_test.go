@@ -1,0 +1,62 @@
+package dsps
+
+import (
+	"testing"
+)
+
+// Consume-path cost of the checkpoint machinery (DESIGN §13). The off row
+// is the branch every tuple pays when checkpointing is disabled (one field
+// check; must stay 0 allocs/op — TestConsumeZeroAllocWhenCheckpointingDisabled
+// gates the alloc half, this row shows the time half). The on row adds the
+// fence/alignment field checks of an armed but barrier-free steady state.
+// The align-cycle row is one full two-input epoch: two barriers, one parked
+// tuple, snapshot, replay.
+
+// benchSink returns a quiesced engine's two-input sink executor with the
+// journal detached, so the measured path is consume itself.
+func benchSink(b *testing.B) (*Engine, *executor) {
+	b.Helper()
+	j := newCkptJournal()
+	eng, sink := idleCheckpointEngine(b, j)
+	sink.bolt.(*countingBolt).j = nil
+	return eng, sink
+}
+
+func BenchmarkConsumeCkptOff(b *testing.B) {
+	eng, sink := benchSink(b)
+	defer eng.Stop()
+	sink.epochStamp = 0 // the disabled-configuration steady state
+	at := dataTuple(sink.upstream[0], 1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.consume(at)
+	}
+}
+
+func BenchmarkConsumeCkptOn(b *testing.B) {
+	eng, sink := benchSink(b)
+	defer eng.Stop()
+	at := dataTuple(sink.upstream[0], 1, sink.epochStamp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at.Data.Epoch = sink.epochStamp
+		sink.consume(at)
+	}
+}
+
+func BenchmarkBarrierAlignCycle(b *testing.B) {
+	eng, sink := benchSink(b)
+	defer eng.Stop()
+	parked := dataTuple(sink.upstream[0], 1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sink.epochStamp
+		sink.consume(barrier(sink.upstream[0], e))
+		parked.Data.Epoch = e + 1
+		sink.consume(parked)                       // lands in the alignment buffer
+		sink.consume(barrier(sink.upstream[1], e)) // aligns: snapshot + replay
+	}
+}

@@ -1,0 +1,410 @@
+package dsps
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"whale/internal/chaos"
+	"whale/internal/obs"
+	"whale/internal/snapshot"
+	"whale/internal/transport"
+	"whale/internal/tuple"
+)
+
+// countingBolt counts executed tuples and checkpoints the count; a shared
+// journal records execution order and restore calls for assertions.
+type countingBolt struct {
+	j     *ckptJournal
+	ctx   *TaskContext
+	count int64
+}
+
+type ckptJournal struct {
+	mu       sync.Mutex
+	prepared int             // Prepare calls seen (startup sync for direct-drive tests)
+	order    []int64         // tuple seqs in execution order (unit tests, one task)
+	restores map[int32]int64 // task -> restored count (-1 for reset)
+}
+
+func newCkptJournal() *ckptJournal { return &ckptJournal{restores: map[int32]int64{}} }
+
+func (b *countingBolt) Prepare(ctx *TaskContext) {
+	b.ctx = ctx
+	if b.j != nil {
+		b.j.mu.Lock()
+		b.j.prepared++
+		b.j.mu.Unlock()
+	}
+}
+func (b *countingBolt) Execute(tp *tuple.Tuple, _ *Collector) {
+	b.count++
+	if b.j != nil {
+		b.j.mu.Lock()
+		b.j.order = append(b.j.order, tp.Int(0))
+		b.j.mu.Unlock()
+	}
+}
+func (b *countingBolt) Cleanup() {}
+
+func (b *countingBolt) SnapshotState() ([]byte, error) {
+	return binary.LittleEndian.AppendUint64(nil, uint64(b.count)), nil
+}
+
+func (b *countingBolt) RestoreState(data []byte) error {
+	if data == nil {
+		b.count = 0
+	} else {
+		b.count = int64(binary.LittleEndian.Uint64(data))
+	}
+	if b.j != nil {
+		b.j.mu.Lock()
+		restored := b.count
+		if data == nil {
+			restored = -1
+		}
+		b.j.restores[b.ctx.TaskID] = restored
+		b.j.mu.Unlock()
+	}
+	return nil
+}
+
+// idleCheckpointEngine starts a one-worker engine whose spout exits
+// immediately and whose coordinator never ticks, so the test goroutine can
+// drive a bolt executor's consume path deterministically.
+func idleCheckpointEngine(t testing.TB, j *ckptJournal) (*Engine, *executor) {
+	t.Helper()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: 0, keys: 1} }, 1)
+	b.Bolt("a", func() Bolt { return forwardBolt{} }, 1).Shuffle("src")
+	b.Bolt("b", func() Bolt { return forwardBolt{} }, 1).Shuffle("src")
+	b.Bolt("sink", func() Bolt { return &countingBolt{j: j} }, 1).Shuffle("a").Shuffle("b")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Start(topo, Config{
+		Workers: 1, Network: transport.NewInprocNetwork(0),
+		CheckpointInterval: time.Hour, // coordinator exists but never fires
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.WaitSpouts()
+	// Wait for the sink bolt's Prepare before driving consume directly: the
+	// runBolt goroutine touches the bolt at startup.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		j.mu.Lock()
+		ready := j.prepared >= 1
+		j.mu.Unlock()
+		if ready {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var sink *executor
+	for _, tid := range eng.assign.TasksOf["sink"] {
+		sink = eng.workers[0].executors[tid]
+	}
+	if sink == nil {
+		t.Fatal("sink executor not found")
+	}
+	return eng, sink
+}
+
+func dataTuple(src int32, seq, epoch int64) tuple.AddressedTuple {
+	return tuple.AddressedTuple{TaskID: 0, Src: tuple.LocalSrc, Data: &tuple.Tuple{
+		Stream: "a", Values: []tuple.Value{seq}, SrcTask: src, Epoch: epoch, RootEmitNS: 1,
+	}}
+}
+
+func barrier(src int32, epoch int64) tuple.AddressedTuple {
+	return tuple.AddressedTuple{TaskID: 0, Src: tuple.LocalSrc, Data: &tuple.Tuple{
+		Stream: StreamBarrier, SrcTask: src, Epoch: epoch,
+	}}
+}
+
+// TestBarrierAlignmentParksAndReplays drives the alignment state machine
+// directly: a two-input bolt must park post-barrier tuples from the
+// barriered link, keep executing the other link, and replay in order once
+// aligned.
+func TestBarrierAlignmentParksAndReplays(t *testing.T) {
+	j := newCkptJournal()
+	eng, sink := idleCheckpointEngine(t, j)
+	defer eng.Stop()
+	a := eng.assign.TasksOf["a"][0]
+	bb := eng.assign.TasksOf["b"][0]
+	if len(sink.upstream) != 2 {
+		t.Fatalf("sink upstream = %v, want 2 tasks", sink.upstream)
+	}
+
+	sink.consume(dataTuple(a, 1, 1))
+	sink.consume(barrier(a, 1))
+	if sink.aligning == nil || sink.aligning.epoch != 1 {
+		t.Fatal("barrier did not open alignment")
+	}
+	sink.consume(dataTuple(a, 2, 2))  // post-barrier on a: must park
+	sink.consume(dataTuple(bb, 3, 1)) // pre-barrier on b: must execute
+	if got := eng.metrics.AlignBuffered.Value(); got != 1 {
+		t.Fatalf("AlignBuffered = %d, want 1", got)
+	}
+	sink.consume(barrier(bb, 1)) // aligned: snapshot, advance, replay
+	if sink.aligning != nil {
+		t.Fatal("alignment not released")
+	}
+	if sink.epochStamp != 2 {
+		t.Fatalf("epochStamp = %d, want 2", sink.epochStamp)
+	}
+	j.mu.Lock()
+	order := append([]int64(nil), j.order...)
+	j.mu.Unlock()
+	if len(order) != 3 || order[0] != 1 || order[1] != 3 || order[2] != 2 {
+		t.Fatalf("execution order = %v, want [1 3 2]", order)
+	}
+	if sink.alignParkedLen() != 0 {
+		t.Fatal("parked accounting leaked")
+	}
+
+	// A duplicate barrier for the completed epoch is ignored.
+	sink.consume(barrier(a, 1))
+	if sink.aligning != nil {
+		t.Fatal("stale barrier reopened alignment")
+	}
+}
+
+// TestBarrierSupersedeReleasesAbortedEpoch checks the abort path: an
+// executor stuck aligning an epoch whose other barriers were lost is
+// released by the next epoch's first barrier, replaying its parked tuples.
+func TestBarrierSupersedeReleasesAbortedEpoch(t *testing.T) {
+	j := newCkptJournal()
+	eng, sink := idleCheckpointEngine(t, j)
+	defer eng.Stop()
+	a := eng.assign.TasksOf["a"][0]
+	bb := eng.assign.TasksOf["b"][0]
+
+	sink.consume(barrier(a, 1))
+	sink.consume(dataTuple(a, 10, 2)) // parked behind epoch-1 alignment
+	// Epoch 1 aborted upstream; epoch 2's barrier arrives on b first.
+	sink.consume(barrier(bb, 2))
+	if sink.aligning == nil || sink.aligning.epoch != 2 {
+		t.Fatalf("alignment not superseded (aligning=%+v)", sink.aligning)
+	}
+	j.mu.Lock()
+	replayed := len(j.order) == 1 && j.order[0] == 10
+	j.mu.Unlock()
+	if !replayed {
+		t.Fatalf("superseded epoch's parked tuples not replayed: %v", j.order)
+	}
+	sink.consume(barrier(a, 2))
+	if sink.aligning != nil || sink.epochStamp != 3 {
+		t.Fatalf("epoch 2 did not complete (stamp=%d)", sink.epochStamp)
+	}
+}
+
+// TestRestoreFencesReplayedTuples checks the restore marker path: state is
+// reinstalled, the fence discards older-stamped tuples, and unstamped
+// (engine tick) tuples pass.
+func TestRestoreFencesReplayedTuples(t *testing.T) {
+	j := newCkptJournal()
+	eng, sink := idleCheckpointEngine(t, j)
+	defer eng.Stop()
+	a := eng.assign.TasksOf["a"][0]
+
+	restore := tuple.AddressedTuple{TaskID: 0, Src: tuple.LocalSrc, Data: &tuple.Tuple{
+		Stream: streamCkptRestore, Epoch: 10, Values: []tuple.Value{int64(0)},
+	}}
+	sink.consume(restore)
+	if sink.fenceEpoch != 10 || sink.epochStamp != 10 {
+		t.Fatalf("fence=%d stamp=%d, want 10,10", sink.fenceEpoch, sink.epochStamp)
+	}
+	j.mu.Lock()
+	restored, ok := j.restores[sink.ctx.TaskID]
+	j.mu.Unlock()
+	if !ok || restored != -1 {
+		t.Fatalf("RestoreState(nil) not applied (restored=%d ok=%v)", restored, ok)
+	}
+
+	sink.consume(dataTuple(a, 1, 5)) // pre-fence replay: discarded
+	sink.consume(dataTuple(a, 2, 10))
+	sink.consume(dataTuple(a, 3, 0)) // unstamped (tick-like): passes
+	j.mu.Lock()
+	order := append([]int64(nil), j.order...)
+	j.mu.Unlock()
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Fatalf("post-restore execution = %v, want [2 3]", order)
+	}
+	if got := eng.metrics.TuplesFenced.Value(); got != 1 {
+		t.Fatalf("TuplesFenced = %d, want 1", got)
+	}
+}
+
+// TestCheckpointEpochsCommit runs a live multi-worker tree topology with
+// checkpointing on and verifies epochs commit into the store with every
+// stateful task's snapshot present.
+func TestCheckpointEpochsCommit(t *testing.T) {
+	store := snapshot.NewMemStore()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &steadySpout{} }, 1)
+	b.Bolt("fan", func() Bolt { return &countingBolt{} }, 3).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Start(topo, Config{
+		Workers: 4, Network: transport.NewInprocNetwork(0),
+		Comm: WorkerOriented, Multicast: MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+		CheckpointInterval: 3 * time.Millisecond,
+		CheckpointStore:    store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Metrics().EpochsCompleted.Value() < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	eng.Stop()
+	completed := eng.Metrics().EpochsCompleted.Value()
+	if completed < 3 {
+		t.Fatalf("EpochsCompleted = %d, want >= 3", completed)
+	}
+	epoch, ok, err := store.Latest()
+	if err != nil || !ok {
+		t.Fatalf("store.Latest: ok=%v err=%v", ok, err)
+	}
+	for _, tid := range eng.assign.TasksOf["fan"] {
+		data, found, err := store.Get(epoch, taskKey(tid))
+		if err != nil || !found {
+			t.Fatalf("epoch %d missing snapshot for task %d (err=%v)", epoch, tid, err)
+		}
+		if len(data) != 8 {
+			t.Fatalf("task %d snapshot is %d bytes", tid, len(data))
+		}
+	}
+	if eng.Metrics().EpochLatency.Count() != completed {
+		t.Fatalf("EpochLatency samples = %d, want %d", eng.Metrics().EpochLatency.Count(), completed)
+	}
+	if eng.Metrics().TuplesFenced.Value() != 0 {
+		t.Fatal("tuples fenced without any restore")
+	}
+}
+
+// TestCheckpointRecoveryAfterCrash crashes a worker mid-stream and verifies
+// the coordinator aborts the wedged epoch, restores every survivor from the
+// last committed snapshot after the tree repair, and resumes committing.
+func TestCheckpointRecoveryAfterCrash(t *testing.T) {
+	store := snapshot.NewMemStore()
+	j := newCkptJournal()
+	net := chaos.Wrap(transport.NewInprocNetwork(0), chaos.Config{Seed: 1})
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &steadySpout{} }, 1)
+	b.Bolt("fan", func() Bolt { return &countingBolt{j: j} }, 3).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Start(topo, Config{
+		Workers: 4, Network: net,
+		Comm: WorkerOriented, Multicast: MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+		HeartbeatInterval:  10 * time.Millisecond,
+		SuspectAfter:       60 * time.Millisecond,
+		ConfirmAfter:       200 * time.Millisecond,
+		CheckpointInterval: 3 * time.Millisecond,
+		CheckpointTimeout:  30 * time.Millisecond,
+		CheckpointStore:    store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Metrics().EpochsCompleted.Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if eng.Metrics().EpochsCompleted.Value() < 2 {
+		t.Fatal("no epochs committed before the crash")
+	}
+
+	// Worker 1 is an interior tree node (0:[1,2], 1:[3] at d*=2): its death
+	// both orphans a subtree and wedges the in-flight epoch.
+	net.Crash(1)
+	waitForEvent(t, eng, obs.EventWorkerDead, 1, 10*time.Second)
+	waitForEvent(t, eng, obs.EventSnapshotRestored, 0, 10*time.Second)
+
+	if eng.Metrics().EpochsAborted.Value() == 0 {
+		t.Fatal("crash mid-epoch aborted nothing")
+	}
+	if eng.Metrics().Restores.Value() == 0 {
+		t.Fatal("no restore completed")
+	}
+	// Every surviving stateful task restored from a committed snapshot, not
+	// a reset.
+	j.mu.Lock()
+	restores := make(map[int32]int64, len(j.restores))
+	for k, v := range j.restores {
+		restores[k] = v
+	}
+	j.mu.Unlock()
+	survivors := 0
+	for _, tid := range eng.assign.TasksOf["fan"] {
+		if eng.assign.WorkerOf[tid] == 1 {
+			continue
+		}
+		survivors++
+		v, ok := restores[tid]
+		if !ok {
+			t.Fatalf("surviving task %d was not restored (restores=%v)", tid, restores)
+		}
+		if v < 0 {
+			t.Fatalf("task %d reset instead of restoring committed state", tid)
+		}
+	}
+	if survivors == 0 {
+		t.Fatal("test lost every stateful task")
+	}
+
+	// The system keeps checkpointing after recovery.
+	base := eng.Metrics().EpochsCompleted.Value()
+	deadline = time.Now().Add(10 * time.Second)
+	for eng.Metrics().EpochsCompleted.Value() <= base && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if eng.Metrics().EpochsCompleted.Value() <= base {
+		t.Fatal("no epochs committed after recovery")
+	}
+}
+
+// TestConsumeZeroAllocWhenCheckpointingDisabled is the steady-state cost
+// gate: with checkpointing off, the consume gate in front of every bolt
+// must add zero allocations to the execute path.
+func TestConsumeZeroAllocWhenCheckpointingDisabled(t *testing.T) {
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: 0, keys: 1} }, 1)
+	b.Bolt("sink", func() Bolt { return sinkAckBolt{} }, 1).Shuffle("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Start(topo, Config{Workers: 1, Network: transport.NewInprocNetwork(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	eng.WaitSpouts()
+	sink := eng.workers[0].executors[eng.assign.TasksOf["sink"][0]]
+	if sink.epochStamp != 0 {
+		t.Fatalf("epochStamp = %d with checkpointing disabled", sink.epochStamp)
+	}
+	at := tuple.AddressedTuple{Src: tuple.LocalSrc, Data: &tuple.Tuple{
+		Stream: "src", Values: []tuple.Value{int64(1)}, SrcTask: 0,
+	}}
+	allocs := testing.AllocsPerRun(200, func() { sink.consume(at) })
+	if allocs != 0 {
+		t.Fatalf("consume allocates %.1f per tuple with checkpointing disabled", allocs)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"whale/internal/obs"
 	"whale/internal/queueing"
 	"whale/internal/rdma"
+	"whale/internal/snapshot"
 	"whale/internal/transport"
 	"whale/internal/tuple"
 )
@@ -154,6 +155,21 @@ type Config struct {
 	// DrainTimeout bounds the quiescence drain inside Stop (default 2s).
 	DrainTimeout time.Duration
 
+	// CheckpointInterval enables aligned snapshot checkpointing (see
+	// checkpoint.go): every interval the coordinator opens an epoch,
+	// injects barriers at the sources and commits once every task has
+	// snapshotted. Zero (default) disables checkpointing entirely — the
+	// data path then carries only an epoch-stamp field write.
+	CheckpointInterval time.Duration
+	// CheckpointTimeout aborts an epoch whose barriers have not fully
+	// propagated — a tree repair pruned them, or a task stalled (default
+	// 10×CheckpointInterval). The next epoch supersedes the aborted one.
+	CheckpointTimeout time.Duration
+	// CheckpointStore persists task snapshots and source offsets per epoch
+	// (default: an in-memory store; use snapshot.NewFileStore to survive
+	// process restarts).
+	CheckpointStore snapshot.Store
+
 	// Obs is the observability scope every subsystem registers into. When
 	// nil the engine creates a private scope with tracing disabled, so
 	// instrumentation call sites never need nil checks.
@@ -232,6 +248,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 2 * time.Second
 	}
+	if c.CheckpointInterval > 0 && c.CheckpointTimeout <= 0 {
+		c.CheckpointTimeout = 10 * c.CheckpointInterval
+	}
 	return c
 }
 
@@ -262,10 +281,19 @@ type Metrics struct {
 	ReplayNS        metrics.Counter // total send retry-backoff (replay) time
 	ExecQueueWaitNS metrics.Counter // sampled executor-overflow residency of traced tuples
 
+	EpochsCompleted metrics.Counter // snapshot epochs committed
+	EpochsAborted   metrics.Counter // snapshot epochs discarded (timeout/failure)
+	TuplesFenced    metrics.Counter // replayed tuples discarded below the fence
+	AlignBuffered   metrics.Counter // tuples parked during barrier alignment
+	AlignWaitNS     metrics.Counter // total alignment-buffer residency
+	Restores        metrics.Counter // completed recoveries
+	SnapshotErrors  metrics.Counter // task-level snapshot/restore/commit errors
+
 	ProcessingLatency metrics.Histogram // spout -> sink, ns
 	MulticastLatency  metrics.Histogram // emit -> worker arrival, ns
 	SwitchLatency     metrics.Histogram // switch trigger -> all ACKs, ns
 	CompleteLatency   metrics.Histogram // reliable emit -> tree complete, ns
+	EpochLatency      metrics.Histogram // epoch open -> all tasks acked, ns
 }
 
 // opMetrics is one executor's share of an operator's instrumentation.
@@ -319,8 +347,9 @@ type Engine struct {
 	opStats    map[string][]*opMetrics                // per-executor shares, merged on read
 	remoteBy   map[string]map[int32]map[int32][]int32 // op -> srcWorker -> dstWorker -> tasks
 
-	detector *failureDetector // nil unless HeartbeatInterval > 0
-	dead     []atomic.Bool    // confirmed-dead flags, read on the route/send hot paths
+	detector *failureDetector       // nil unless HeartbeatInterval > 0
+	dead     []atomic.Bool          // confirmed-dead flags, read on the route/send hot paths
+	ckpt     *checkpointCoordinator // nil unless CheckpointInterval > 0
 
 	stopSpoutsOnce sync.Once
 	stopSpouts     chan struct{}
@@ -428,6 +457,9 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if cfg.CheckpointInterval > 0 {
+		eng.ckpt = newCheckpointCoordinator(eng)
+	}
 	eng.registerObs()
 
 	// Launch: bolts, send threads, managers, then spouts.
@@ -474,6 +506,10 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 	if cfg.CreditWindow > 0 && cfg.Workers > 1 {
 		eng.auxWG.Add(1)
 		go eng.creditTicker()
+	}
+	if eng.ckpt != nil {
+		eng.auxWG.Add(1)
+		go eng.ckpt.run()
 	}
 	for _, id := range topo.Order {
 		if iv := topo.Operators[id].TickInterval; iv > 0 && !topo.Operators[id].IsSpout {
@@ -727,10 +763,18 @@ func (e *Engine) registerObs() {
 	r.CounterFunc("dsps.drain_timeouts", m.DrainTimeouts.Value)
 	r.CounterFunc("dsps.replay_ns", m.ReplayNS.Value)
 	r.CounterFunc("dsps.exec_queue_wait_ns", m.ExecQueueWaitNS.Value)
+	r.CounterFunc("snapshot.epochs_completed", m.EpochsCompleted.Value)
+	r.CounterFunc("snapshot.epochs_aborted", m.EpochsAborted.Value)
+	r.CounterFunc("snapshot.tuples_fenced", m.TuplesFenced.Value)
+	r.CounterFunc("snapshot.align_buffered", m.AlignBuffered.Value)
+	r.CounterFunc("snapshot.align_wait_ns", m.AlignWaitNS.Value)
+	r.CounterFunc("snapshot.restores", m.Restores.Value)
+	r.CounterFunc("snapshot.errors", m.SnapshotErrors.Value)
 	r.CounterFunc("multicast.switches", m.Switches.Value)
 	r.CounterFunc("multicast.switches_skipped", m.SkippedSwitches.Value)
 	r.HistogramFunc("dsps.processing_latency_ns", m.ProcessingLatency.Snapshot)
 	r.HistogramFunc("dsps.complete_latency_ns", m.CompleteLatency.Snapshot)
+	r.HistogramFunc("snapshot.epoch_latency_ns", m.EpochLatency.Snapshot)
 	r.HistogramFunc("multicast.latency_ns", m.MulticastLatency.Snapshot)
 	r.HistogramFunc("multicast.switch_latency_ns", m.SwitchLatency.Snapshot)
 	r.GaugeFunc("multicast.groups", func() int64 { return int64(len(e.groupDescs)) })
@@ -851,7 +895,7 @@ func (e *Engine) Drain(timeout time.Duration) bool {
 				break
 			}
 			for _, ex := range w.executors {
-				if len(ex.in) > 0 || ex.overflowLen() > 0 {
+				if len(ex.in) > 0 || ex.overflowLen() > 0 || ex.alignParkedLen() > 0 {
 					empty = false
 					break
 				}

@@ -2,7 +2,9 @@ package dsps
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"whale/internal/obs"
@@ -119,6 +121,18 @@ type executor struct {
 	xorAcc       int64
 	suppressAck  bool
 	failCurrent  bool
+
+	// Checkpoint state (see checkpoint.go). epochStamp is the epoch
+	// interval currently being emitted, stamped on every outgoing tuple;
+	// fenceEpoch discards replayed in-flight tuples older than the last
+	// restore. Both are 0 with checkpointing disabled. All fields below are
+	// touched only on this executor's goroutine, except alignParked (drain
+	// accounting).
+	epochStamp  int64
+	fenceEpoch  int64
+	aligning    *alignState
+	upstream    []int32 // every task of every subscribed-to operator
+	alignParked atomic.Int64
 }
 
 func newExecutor(w *worker, ctx TaskContext, spec *OperatorSpec, rt *router, isSink bool, queueDepth int) *executor {
@@ -142,6 +156,22 @@ func newExecutor(w *worker, ctx TaskContext, spec *OperatorSpec, rt *router, isS
 		ex.pendingRoots = map[int64]int64{}
 	} else {
 		ex.bolt = spec.BoltFn()
+		// Barrier alignment waits on every task of every subscribed-to
+		// operator (deduplicated across streams: alignment is per task, not
+		// per edge).
+		seen := map[int32]bool{}
+		for _, sub := range spec.Subs {
+			for _, tid := range w.eng.assign.TasksOf[sub.SrcOperator] {
+				if !seen[tid] {
+					seen[tid] = true
+					ex.upstream = append(ex.upstream, tid)
+				}
+			}
+		}
+		sort.Slice(ex.upstream, func(i, j int) bool { return ex.upstream[i] < ex.upstream[j] })
+	}
+	if w.eng.cfg.CheckpointInterval > 0 {
+		ex.epochStamp = 1 // emitting into the first epoch interval
 	}
 	return ex
 }
@@ -208,6 +238,7 @@ func (ex *executor) emit(stream string, values []tuple.Value) {
 		ID:         ex.nextID,
 		SrcTask:    ex.ctx.TaskID,
 		RootEmitNS: ex.curRoot,
+		Epoch:      ex.epochStamp,
 	}
 	if tp.RootEmitNS == 0 {
 		tp.RootEmitNS = time.Now().UnixNano()
@@ -247,6 +278,7 @@ func (ex *executor) emitReliable(stream string, msgID int64, values []tuple.Valu
 		RootID:     root,
 		AckVal:     nonzeroRand(ex.rng),
 		TraceID:    ex.w.eng.obs.Tracer.Sample(),
+		Epoch:      ex.epochStamp,
 	}
 	ex.curTrace = tp.TraceID
 	ex.pendingRoots[root] = msgID
@@ -268,6 +300,7 @@ func (ex *executor) emitUnanchored(stream string, values []tuple.Value, emitNS i
 		ID:         ex.nextID,
 		SrcTask:    ex.ctx.TaskID,
 		RootEmitNS: emitNS,
+		Epoch:      ex.epochStamp,
 	}
 	ex.route(tp)
 }
@@ -340,6 +373,9 @@ func (ex *executor) runSpout() {
 	defer ex.w.wg.Done()
 	ex.spout.Open(&ex.ctx)
 	defer ex.spout.Close()
+	if cc := ex.w.eng.ckpt; cc != nil {
+		defer cc.noteSpoutExit(ex)
+	}
 	maxPending := ex.w.eng.cfg.MaxSpoutPending
 	for {
 		select {
@@ -392,13 +428,13 @@ func (ex *executor) runBolt() {
 	for {
 		select {
 		case at := <-ex.in:
-			ex.execute(at)
+			ex.consume(at)
 		case <-ex.w.done:
 			// Drain remaining input before exiting.
 			for {
 				select {
 				case at := <-ex.in:
-					ex.execute(at)
+					ex.consume(at)
 				default:
 					return
 				}

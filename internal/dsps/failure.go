@@ -176,6 +176,11 @@ func (e *Engine) onWorkerDead(dead int32) {
 	for _, gid := range gids {
 		e.managers[gid].handleWorkerFailure(dead)
 	}
+	// Checkpointing: the in-flight epoch can no longer complete; restore
+	// begins once the repairs just distributed have activated.
+	if e.ckpt != nil {
+		e.ckpt.onWorkerDead(dead)
+	}
 }
 
 // workerDead reports whether w has been confirmed dead. Hot path: one

@@ -335,7 +335,9 @@ func (w *worker) encodeTuple(tp *tuple.Tuple) ([]byte, error) {
 // themselves — shedding an ack would strand its tree until the ack timeout
 // even though the data arrived.
 func tupleTracked(tp *tuple.Tuple) bool {
-	return tp.RootID != 0 || isAckStream(tp.Stream)
+	// Barriers are never shed: losing one stalls its epoch's alignment
+	// until the coordinator times the epoch out.
+	return tp.RootID != 0 || isAckStream(tp.Stream) || tp.Stream == StreamBarrier
 }
 
 func (w *worker) process(j sendJob) {
@@ -795,6 +797,11 @@ func (w *worker) handleControl(from transport.WorkerID, cm *tuple.ControlMessage
 	case tuple.CtrlCredit:
 		if w.fc != nil {
 			w.fc.onGrant(int32(from), cm.Credits)
+		}
+
+	case tuple.CtrlSnapAck:
+		if cc := w.eng.ckpt; cc != nil {
+			cc.handleAck(cm.Direction, cm.Node, cm.Epoch)
 		}
 
 	case tuple.CtrlHeartbeat:

@@ -10,12 +10,19 @@
 package kafkalite
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"whale/internal/metrics"
 )
+
+// ErrOffsetOutOfRange is returned by SeekCommitted when the requested
+// offset is outside the partition's valid range [log start, end]: below it
+// the records have been trimmed by retention, above it they don't exist
+// yet.
+var ErrOffsetOutOfRange = errors.New("kafkalite: offset out of range")
 
 // Record is one log entry.
 type Record struct {
@@ -184,6 +191,64 @@ func (b *Broker) Fetch(topicName string, partitionIdx int, offset int64, max int
 		b.fam.Counter("records_fetched").Add(int64(len(recs)))
 	}
 	return recs, next, err
+}
+
+// LogStartOffset returns the oldest offset still held by the partition
+// (> 0 once retention has trimmed the log head).
+func (b *Broker) LogStartOffset(topicName string, partitionIdx int) (int64, error) {
+	t, err := b.topicOf(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return 0, fmt.Errorf("kafkalite: partition %d of %q out of range", partitionIdx, topicName)
+	}
+	p := t.parts[partitionIdx]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.base, nil
+}
+
+// SeekCommitted rewinds (or fast-forwards) a group's committed offset for
+// one partition to an arbitrary position — the first-class seek API behind
+// checkpoint recovery (a snapshot records the offsets of epoch N; restore
+// seeks back to them so replay re-reads exactly the post-snapshot suffix).
+// Unlike CommitOffset, which only ever advances, SeekCommitted sets the
+// committed offset unconditionally — after validating it against the
+// partition's live range: offsets below the log start (trimmed by
+// retention) or above the end (not yet produced) are rejected with
+// ErrOffsetOutOfRange, so a corrupt snapshot can never silently pin a
+// consumer to records that don't exist. Seeking exactly to the end offset
+// is valid: it means "resume at live head".
+func (b *Broker) SeekCommitted(groupID, topicName string, partitionIdx int, offset int64) error {
+	t, err := b.topicOf(topicName)
+	if err != nil {
+		return err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return fmt.Errorf("kafkalite: partition %d of %q out of range", partitionIdx, topicName)
+	}
+	p := t.parts[partitionIdx]
+	p.mu.Lock()
+	base, end := p.base, p.base+int64(len(p.records))
+	p.mu.Unlock()
+	if offset < base || offset > end {
+		return fmt.Errorf("%w: %d outside [%d, %d] of %s/%d", ErrOffsetOutOfRange, offset, base, end, topicName, partitionIdx)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g, ok := b.groups[groupID]
+	if !ok {
+		return fmt.Errorf("kafkalite: unknown group %q", groupID)
+	}
+	tc, ok := g.commits[topicName]
+	if !ok {
+		tc = map[int]int64{}
+		g.commits[topicName] = tc
+	}
+	tc[partitionIdx] = offset
+	b.fam.Counter("offsets_committed").Inc()
+	return nil
 }
 
 // EndOffset returns the next offset that would be written.

@@ -1,0 +1,198 @@
+package kafkalite
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// seekFixture builds a topic with one partition retaining the last retain
+// records, produces n records, and joins a group.
+func seekFixture(t *testing.T, n, retain int) *Broker {
+	t.Helper()
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1, retain); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := b.ProduceTo("t", 0, nil, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := b.JoinGroup("g", "m", "t"); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSeekCommittedRewinds(t *testing.T) {
+	b := seekFixture(t, 10, 0)
+	if err := b.CommitOffset("g", "t", 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	// CommitOffset is forward-only; SeekCommitted is not.
+	if err := b.CommitOffset("g", "t", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.CommittedOffset("g", "t", 0); got != 8 {
+		t.Fatalf("CommitOffset rewound: %d", got)
+	}
+	if err := b.SeekCommitted("g", "t", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.CommittedOffset("g", "t", 0); got != 3 {
+		t.Fatalf("SeekCommitted = %d, want 3", got)
+	}
+	recs, _, err := b.Fetch("t", 0, b.CommittedOffset("g", "t", 0), 100)
+	if err != nil || len(recs) != 7 || recs[0].Offset != 3 {
+		t.Fatalf("fetch after seek: %d recs err=%v", len(recs), err)
+	}
+}
+
+func TestSeekCommittedPastRetention(t *testing.T) {
+	// retain=4 over 10 records: log start is 6.
+	b := seekFixture(t, 10, 4)
+	start, err := b.LogStartOffset("t", 0)
+	if err != nil || start != 6 {
+		t.Fatalf("LogStartOffset = %d, %v", start, err)
+	}
+	if err := b.SeekCommitted("g", "t", 0, 5); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Fatalf("seek below log start: err=%v, want ErrOffsetOutOfRange", err)
+	}
+	// Exactly the log start is the oldest valid rewind.
+	if err := b.SeekCommitted("g", "t", 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.CommittedOffset("g", "t", 0); got != 6 {
+		t.Fatalf("committed = %d", got)
+	}
+}
+
+func TestSeekCommittedToLiveHead(t *testing.T) {
+	b := seekFixture(t, 10, 0)
+	end, err := b.EndOffset("t", 0)
+	if err != nil || end != 10 {
+		t.Fatalf("EndOffset = %d, %v", end, err)
+	}
+	// Seeking exactly to the end is "resume at live head" and is valid.
+	if err := b.SeekCommitted("g", "t", 0, end); err != nil {
+		t.Fatal(err)
+	}
+	recs, next, err := b.Fetch("t", 0, end, 100)
+	if err != nil || len(recs) != 0 || next != end {
+		t.Fatalf("fetch at head: %d recs next=%d err=%v", len(recs), next, err)
+	}
+	// One past the end does not exist yet.
+	if err := b.SeekCommitted("g", "t", 0, end+1); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Fatalf("seek past end: err=%v, want ErrOffsetOutOfRange", err)
+	}
+	// After more production the same offset becomes valid.
+	if _, err := b.ProduceTo("t", 0, nil, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SeekCommitted("g", "t", 0, end+1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeekCommittedValidation(t *testing.T) {
+	b := seekFixture(t, 3, 0)
+	if err := b.SeekCommitted("nope", "t", 0, 0); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+	if err := b.SeekCommitted("g", "nope", 0, 0); err == nil {
+		t.Fatal("unknown topic accepted")
+	}
+	if err := b.SeekCommitted("g", "t", 7, 0); err == nil {
+		t.Fatal("bad partition accepted")
+	}
+	if err := b.SeekCommitted("g", "t", 0, -1); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Fatalf("negative offset: err=%v", err)
+	}
+}
+
+func TestSpoutSnapshotRestore(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for part := 0; part < 2; part++ {
+			if _, err := b.ProduceTo("t", part, nil, []byte{byte(10*part + i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s := &Spout{Broker: b, Topic: "t", Group: "g", MaxPoll: 2,
+		Decode: func(rec Record) []interface{} { return []interface{}{rec.Value} }}
+	s.memberID = "m"
+	assigned, gen, err := b.JoinGroup("g", "m", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.inflight = map[int64]pending{}
+	s.adoptAssignment(assigned, gen)
+	if !s.poll() {
+		t.Fatal("poll buffered nothing")
+	}
+	// Cursor has advanced past the fetched batch, but nothing was emitted:
+	// the snapshot must point at the buffered records' smallest offsets.
+	snap, err := s.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic encoding.
+	snap2, _ := s.SnapshotState()
+	if !bytes.Equal(snap, snap2) {
+		t.Fatal("snapshot not deterministic")
+	}
+	// Drain the buffer (simulating emission), then restore: the cursors
+	// must rewind to the snapshot's resume points and replay everything
+	// that was buffered at snapshot time.
+	nBuffered := len(s.buffered)
+	s.buffered = nil
+	if err := s.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !s.poll() {
+		t.Fatal("poll after restore buffered nothing")
+	}
+	if len(s.buffered) != nBuffered {
+		t.Fatalf("replayed %d records, want %d", len(s.buffered), nBuffered)
+	}
+	for _, p := range s.buffered {
+		if p.rec.Offset != 0 && p.rec.Offset != 1 {
+			t.Fatalf("unexpected replay offset %d on partition %d", p.rec.Offset, p.part)
+		}
+	}
+	// A nil snapshot resets to committed offsets.
+	if err := s.RestoreState(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.buffered) != 0 || len(s.inflight) != 0 {
+		t.Fatal("nil restore left residue")
+	}
+	// A snapshot pointing below retention is rejected, not silently
+	// clamped: effectively-once can't be faked over missing records.
+	if err := b.CreateTopic("small", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := b.ProduceTo("small", 0, nil, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := &Spout{Broker: b, Topic: "small", Group: "g2",
+		Decode: func(rec Record) []interface{} { return []interface{}{rec.Value} }}
+	s2.memberID = "m2"
+	a2, g2, err := b.JoinGroup("g2", "m2", "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.inflight = map[int64]pending{}
+	s2.adoptAssignment(a2, g2)
+	stale := []byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0} // part 0 -> offset 1, trimmed
+	if err := s2.RestoreState(stale); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Fatalf("restore below retention: err=%v", err)
+	}
+}

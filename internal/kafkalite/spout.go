@@ -1,7 +1,9 @@
 package kafkalite
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"whale/internal/dsps"
@@ -149,4 +151,85 @@ func (s *Spout) Close() {
 	if s.Broker != nil && s.memberID != "" {
 		s.Broker.LeaveGroup(s.Group, s.memberID)
 	}
+}
+
+// SnapshotState implements snapshot.Snapshotter: it records, per assigned
+// partition, the offset of the first record NOT yet emitted — the resume
+// point. Records sitting in the local buffer (fetched but unemitted) and
+// in-flight reliable emissions count as unemitted: their smallest offset
+// wins, so replay after restore re-delivers exactly the suffix the
+// downstream state hasn't absorbed. The encoding is sorted by partition,
+// hence deterministic.
+func (s *Spout) SnapshotState() ([]byte, error) {
+	resume := map[int]int64{}
+	for _, part := range s.assigned {
+		resume[part] = s.cursor[part]
+	}
+	lower := func(p pending) {
+		if cur, ok := resume[p.part]; !ok || p.rec.Offset < cur {
+			resume[p.part] = p.rec.Offset
+		}
+	}
+	for _, p := range s.buffered {
+		lower(p)
+	}
+	for _, p := range s.inflight {
+		lower(p)
+	}
+	parts := make([]int, 0, len(resume))
+	for part := range resume {
+		parts = append(parts, part)
+	}
+	sort.Ints(parts)
+	out := make([]byte, 0, 4+12*len(parts))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(parts)))
+	for _, part := range parts {
+		out = binary.LittleEndian.AppendUint32(out, uint32(part))
+		out = binary.LittleEndian.AppendUint64(out, uint64(resume[part]))
+	}
+	return out, nil
+}
+
+// RestoreState implements snapshot.Snapshotter: it seeks the group's
+// committed offsets back to the snapshot's resume points (SeekCommitted,
+// bounds-checked against retention and the live head) and resets the
+// consume cursors there, dropping any buffered or in-flight records — they
+// are all at or past the resume point and will be re-fetched. A nil
+// snapshot resets to the group's committed offsets (initial state).
+func (s *Spout) RestoreState(data []byte) error {
+	s.buffered = nil
+	s.inflight = map[int64]pending{}
+	if data == nil {
+		s.adoptAssignment(s.assigned, s.gen)
+		return nil
+	}
+	if len(data) < 4 {
+		return fmt.Errorf("kafkalite: truncated spout snapshot")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if len(data) != 4+12*int(n) {
+		return fmt.Errorf("kafkalite: spout snapshot length %d, want %d", len(data), 4+12*int(n))
+	}
+	off := 4
+	resume := map[int]int64{}
+	for i := 0; i < int(n); i++ {
+		part := int(int32(binary.LittleEndian.Uint32(data[off:])))
+		resume[part] = int64(binary.LittleEndian.Uint64(data[off+4:]))
+		off += 12
+	}
+	s.cursor = map[int]int64{}
+	for _, part := range s.assigned {
+		pos, ok := resume[part]
+		if !ok {
+			// Partition not in the snapshot (assignment changed since):
+			// resume from the committed offset.
+			s.cursor[part] = s.Broker.CommittedOffset(s.Group, s.Topic, part)
+			continue
+		}
+		if err := s.Broker.SeekCommitted(s.Group, s.Topic, part, pos); err != nil {
+			return fmt.Errorf("kafkalite: rewind %s/%d to %d: %w", s.Topic, part, pos, err)
+		}
+		s.cursor[part] = pos
+	}
+	return nil
 }

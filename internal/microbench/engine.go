@@ -1,0 +1,116 @@
+package microbench
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whale/internal/dsps"
+	"whale/internal/snapshot"
+	"whale/internal/transport"
+	"whale/internal/tuple"
+)
+
+// Engine-pipeline rows for the checkpointing overhead budget (DESIGN §13):
+// the same two-spout → one-sink pipeline timed end to end with
+// checkpointing off, at a 1s interval (epoch stamps and barrier handling
+// armed but essentially never firing — the price every deployment pays for
+// having the feature available), and at a 5ms interval (barriers
+// continuously crossing the two-input alignment, so the row bounds
+// alignment-buffer residency cost). The gate holding off ≈ 1s is the
+// "checkpointing disabled costs nothing" claim in benchmark form.
+
+// benchQuotaSpout emits its quota of two-field tuples, then idles until the
+// sink reports done. It must not exit early: an exited source stops
+// servicing checkpoint triggers, and a barrier alignment waiting on it
+// would hold the tail of the stream parked until the epoch times out.
+type benchQuotaSpout struct {
+	quota int
+	done  chan struct{}
+	i     int
+}
+
+func (s *benchQuotaSpout) Open(*dsps.TaskContext) {}
+func (s *benchQuotaSpout) Next(c *dsps.Collector) bool {
+	if s.i >= s.quota {
+		select {
+		case <-s.done:
+			return false
+		default:
+			time.Sleep(100 * time.Microsecond)
+			return true
+		}
+	}
+	c.Emit(int64(s.i), int64(1))
+	s.i++
+	return true
+}
+func (s *benchQuotaSpout) Close() {}
+
+// benchCountBolt counts deliveries and trips done at the target.
+type benchCountBolt struct {
+	seen   *atomic.Int64
+	target int64
+	done   chan struct{}
+}
+
+func (b *benchCountBolt) Prepare(*dsps.TaskContext) {}
+func (b *benchCountBolt) Execute(*tuple.Tuple, *dsps.Collector) {
+	if b.seen.Add(1) == b.target {
+		close(b.done)
+	}
+}
+func (b *benchCountBolt) Cleanup() {}
+
+// enginePipeline runs b.N tuples through a single-worker two-spout →
+// one-sink pipeline under the given checkpoint interval (0 = disabled) and
+// reports the end-to-end per-tuple cost.
+func enginePipeline(b *testing.B, interval time.Duration) {
+	const spouts = 2
+	quota := (b.N + spouts - 1) / spouts
+	total := int64(quota * spouts)
+	var seen atomic.Int64
+	done := make(chan struct{})
+
+	tb := dsps.NewTopologyBuilder()
+	tb.Spout("src", func() dsps.Spout { return &benchQuotaSpout{quota: quota, done: done} }, spouts)
+	tb.Bolt("sink", func() dsps.Bolt {
+		return &benchCountBolt{seen: &seen, target: total, done: done}
+	}, 1).Shuffle("src")
+	topo, err := tb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	cfg := dsps.Config{Workers: 1, Network: transport.NewInprocNetwork(0)}
+	if interval > 0 {
+		cfg.CheckpointInterval = interval
+		cfg.CheckpointStore = snapshot.NewMemStore()
+	}
+	eng, err := dsps.Start(topo, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		b.Fatalf("pipeline stalled at %d/%d tuples", seen.Load(), total)
+	}
+	eng.Stop()
+}
+
+// EnginePipelineCkptOff is the end-to-end baseline: checkpointing disabled.
+func EnginePipelineCkptOff(b *testing.B) { enginePipeline(b, 0) }
+
+// EnginePipelineCkpt1s arms checkpointing at a 1s interval: the steady-state
+// consume path runs its barrier checks on every tuple but epochs almost
+// never fire. The gate holds this within noise of EnginePipelineCkptOff.
+func EnginePipelineCkpt1s(b *testing.B) { enginePipeline(b, time.Second) }
+
+// EngineAlign5ms fires epochs continuously through the sink's two-input
+// alignment, bounding barrier-injection and alignment-buffer residency cost.
+// Not in Cases(): how long tuples sit parked between the two barriers of an
+// epoch is scheduler-dependent, so run-to-run dispersion is far beyond what
+// the gate's noise headroom can absorb. BenchmarkBarrierAlignCycle in
+// internal/dsps measures the deterministic per-cycle alignment cost instead.
+func EngineAlign5ms(b *testing.B) { enginePipeline(b, 5*time.Millisecond) }

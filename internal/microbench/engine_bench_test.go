@@ -1,0 +1,9 @@
+package microbench
+
+import "testing"
+
+// Standard-benchmark shims so `make bench` exercises the gated engine rows.
+
+func BenchmarkEnginePipelineCkptOff(b *testing.B) { EnginePipelineCkptOff(b) }
+func BenchmarkEnginePipelineCkpt1s(b *testing.B)  { EnginePipelineCkpt1s(b) }
+func BenchmarkEngineAlign5ms(b *testing.B)        { EngineAlign5ms(b) }

@@ -36,6 +36,8 @@ func Cases() []Case {
 		{Name: "tree_scaleup_480", Bench: TreeScaleUp480},
 		{Name: "trace_record_off", PerOpTuples: 1, Bench: TraceRecordOff},
 		{Name: "trace_record_on", PerOpTuples: 1, Bench: TraceRecordOn},
+		{Name: "engine_pipeline_ckpt_off", PerOpTuples: 1, Bench: EnginePipelineCkptOff},
+		{Name: "engine_pipeline_ckpt_1s", PerOpTuples: 1, Bench: EnginePipelineCkpt1s},
 	}
 }
 

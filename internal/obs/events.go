@@ -48,6 +48,19 @@ const (
 	// EventDrainTimeout: an engine Stop gave up draining in-flight tuples
 	// after its bounded timeout; work may have been lost.
 	EventDrainTimeout = "drain-timeout"
+	// EventSnapshotComplete: every task acked a snapshot epoch and it was
+	// committed to the checkpoint store. Epoch carries the epoch number.
+	EventSnapshotComplete = "snapshot-complete"
+	// EventSnapshotAbort: a snapshot epoch was discarded (timeout, worker
+	// death mid-epoch, or a task-level snapshot/restore error — see Detail).
+	EventSnapshotAbort = "snapshot-abort"
+	// EventSnapshotRestore: recovery began — restore markers distributed,
+	// rewinding every task to the committed epoch in Epoch (0 = reset to
+	// initial state).
+	EventSnapshotRestore = "snapshot-restore"
+	// EventSnapshotRestored: every surviving task acked the restore; the
+	// fence is active and sources have rewound.
+	EventSnapshotRestored = "snapshot-restored"
 )
 
 // Event is one structured entry in the reconfiguration event log.
@@ -64,6 +77,7 @@ type Event struct {
 	Lambda   float64 `json:"lambda,omitempty"`
 	Te       float64 `json:"te,omitempty"`
 	QueueLen int     `json:"queue_len,omitempty"`
+	Epoch    int64   `json:"epoch,omitempty"`
 	Detail   string  `json:"detail,omitempty"`
 }
 

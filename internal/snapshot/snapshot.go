@@ -1,0 +1,60 @@
+// Package snapshot defines the checkpoint/restore contract behind Whale's
+// exactly-once stateful processing (DESIGN §13): stateful operator
+// components implement Snapshotter, and the engine's checkpoint coordinator
+// persists their serialized state into a pluggable Store, one entry per
+// (epoch, task) pair. An epoch is only usable for recovery once Commit has
+// been called for it — a crash mid-epoch leaves the partial entries
+// uncommitted and recovery falls back to the previous committed epoch.
+//
+// The package deliberately knows nothing about the engine: dsps imports
+// snapshot, never the reverse, so alternative stores (tests use MemStore,
+// deployments FileStore) plug in without touching the runtime.
+package snapshot
+
+import "errors"
+
+// Snapshotter is implemented by stateful components whose state must
+// survive worker failure: window aggregation buffers, dedup/ack
+// bookkeeping, and source cursors (kafkalite offsets). SnapshotState is
+// called at barrier alignment, after the last pre-barrier tuple and before
+// the first post-barrier one, so the bytes capture exactly the epoch's
+// prefix of the input.
+type Snapshotter interface {
+	// SnapshotState serializes the component's current state. The returned
+	// slice is owned by the caller.
+	SnapshotState() ([]byte, error)
+	// RestoreState replaces the component's state with a previously
+	// serialized snapshot. A nil data slice means "no snapshot recorded":
+	// the component must reset to its initial (empty) state.
+	RestoreState(data []byte) error
+}
+
+// ErrNotCommitted is returned by Store implementations when asked to read
+// from an epoch that was never committed.
+var ErrNotCommitted = errors.New("snapshot: epoch not committed")
+
+// Store persists snapshot entries. Implementations must be safe for
+// concurrent use: tasks on different executors Put concurrently while the
+// coordinator Commits or Discards.
+//
+// The lifecycle of an epoch is Put* → (Commit | Discard). Get and Latest
+// only observe committed epochs, so a half-written epoch can never be
+// restored from.
+type Store interface {
+	// Put records the state of one task for an in-progress epoch.
+	Put(epoch int64, key string, data []byte) error
+	// Get returns the committed state recorded for key at epoch. ok is
+	// false when the epoch is committed but holds no entry for key (the
+	// task was stateless that epoch — restore resets it).
+	Get(epoch int64, key string) (data []byte, ok bool, err error)
+	// Commit seals an epoch, making it visible to Get/Latest, and prunes
+	// obsolete epochs (everything older than the previous committed epoch,
+	// plus any uncommitted leftovers at or below the sealed one).
+	Commit(epoch int64) error
+	// Latest reports the newest committed epoch, with ok=false when no
+	// epoch has ever committed (recovery then resets all state).
+	Latest() (epoch int64, ok bool, err error)
+	// Discard drops all entries of an uncommitted epoch (aborted barrier).
+	// Discarding a committed epoch is an error.
+	Discard(epoch int64) error
+}

@@ -1,0 +1,270 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MemStore is the in-memory Store used by tests and single-process
+// clusters. The zero value is not usable; call NewMemStore.
+type MemStore struct {
+	mu        sync.Mutex
+	epochs    map[int64]map[string][]byte
+	committed []int64 // sorted ascending
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{epochs: map[int64]map[string][]byte{}}
+}
+
+// Put records one entry for an in-progress epoch.
+func (s *MemStore) Put(epoch int64, key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.epochs[epoch]
+	if m == nil {
+		m = map[string][]byte{}
+		s.epochs[epoch] = m
+	}
+	m[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get returns the committed entry for key at epoch.
+func (s *MemStore) Get(epoch int64, key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !containsEpoch(s.committed, epoch) {
+		return nil, false, ErrNotCommitted
+	}
+	data, ok := s.epochs[epoch][key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), data...), true, nil
+}
+
+// Commit seals epoch and prunes obsolete state: uncommitted epochs at or
+// below it, and committed epochs older than the previous one (the last two
+// committed epochs are retained so a crash during Commit still has a
+// fallback).
+func (s *MemStore) Commit(epoch int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if containsEpoch(s.committed, epoch) {
+		return nil
+	}
+	if s.epochs[epoch] == nil {
+		s.epochs[epoch] = map[string][]byte{}
+	}
+	s.committed = append(s.committed, epoch)
+	sort.Slice(s.committed, func(i, j int) bool { return s.committed[i] < s.committed[j] })
+	keep := s.committed
+	if len(keep) > 2 {
+		keep = keep[len(keep)-2:]
+	}
+	for e := range s.epochs {
+		if e <= epoch && !containsEpoch(keep, e) {
+			delete(s.epochs, e)
+		}
+	}
+	s.committed = append([]int64(nil), keep...)
+	return nil
+}
+
+// Latest reports the newest committed epoch.
+func (s *MemStore) Latest() (int64, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.committed) == 0 {
+		return 0, false, nil
+	}
+	return s.committed[len(s.committed)-1], true, nil
+}
+
+// Discard drops an uncommitted epoch.
+func (s *MemStore) Discard(epoch int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if containsEpoch(s.committed, epoch) {
+		return fmt.Errorf("snapshot: discard of committed epoch %d", epoch)
+	}
+	delete(s.epochs, epoch)
+	return nil
+}
+
+func containsEpoch(sorted []int64, e int64) bool {
+	for _, v := range sorted {
+		if v == e {
+			return true
+		}
+	}
+	return false
+}
+
+// FileStore persists snapshots under a directory, one subdirectory per
+// epoch ("epoch-<N>") holding one file per key plus a COMMITTED marker
+// written via tmp+rename so a torn write can never present a half-epoch as
+// committed. Keys must be path-safe; the engine uses "task-<id>".
+type FileStore struct {
+	mu  sync.Mutex
+	dir string
+}
+
+// NewFileStore creates (if needed) and opens a file-backed store rooted at
+// dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (s *FileStore) epochDir(epoch int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("epoch-%d", epoch))
+}
+
+func (s *FileStore) keyPath(epoch int64, key string) (string, error) {
+	if key == "" || strings.ContainsAny(key, "/\\") || key == "COMMITTED" {
+		return "", fmt.Errorf("snapshot: invalid key %q", key)
+	}
+	return filepath.Join(s.epochDir(epoch), key), nil
+}
+
+// Put writes one entry (tmp+rename, so readers never see a torn file).
+func (s *FileStore) Put(epoch int64, key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path, err := s.keyPath(epoch, key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(s.epochDir(epoch), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Get reads the committed entry for key at epoch.
+func (s *FileStore) Get(epoch int64, key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.isCommitted(epoch) {
+		return nil, false, ErrNotCommitted
+	}
+	path, err := s.keyPath(epoch, key)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func (s *FileStore) isCommitted(epoch int64) bool {
+	_, err := os.Stat(filepath.Join(s.epochDir(epoch), "COMMITTED"))
+	return err == nil
+}
+
+// Commit seals epoch with the COMMITTED marker and prunes obsolete epoch
+// directories (same retention as MemStore: last two committed).
+func (s *FileStore) Commit(epoch int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(s.epochDir(epoch), 0o755); err != nil {
+		return err
+	}
+	marker := filepath.Join(s.epochDir(epoch), "COMMITTED")
+	tmp := marker + ".tmp"
+	if err := os.WriteFile(tmp, []byte("ok\n"), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, marker); err != nil {
+		return err
+	}
+	committed, uncommitted, err := s.scan()
+	if err != nil {
+		return err
+	}
+	keep := committed
+	if len(keep) > 2 {
+		keep = keep[len(keep)-2:]
+	}
+	for _, e := range committed {
+		if e <= epoch && !containsEpoch(keep, e) {
+			if err := os.RemoveAll(s.epochDir(e)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range uncommitted {
+		if e <= epoch {
+			if err := os.RemoveAll(s.epochDir(e)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Latest reports the newest committed epoch on disk.
+func (s *FileStore) Latest() (int64, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	committed, _, err := s.scan()
+	if err != nil || len(committed) == 0 {
+		return 0, false, err
+	}
+	return committed[len(committed)-1], true, nil
+}
+
+// Discard drops an uncommitted epoch directory.
+func (s *FileStore) Discard(epoch int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.isCommitted(epoch) {
+		return fmt.Errorf("snapshot: discard of committed epoch %d", epoch)
+	}
+	return os.RemoveAll(s.epochDir(epoch))
+}
+
+// scan returns the committed and uncommitted epoch numbers present on
+// disk, each sorted ascending.
+func (s *FileStore) scan() (committed, uncommitted []int64, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() || !strings.HasPrefix(ent.Name(), "epoch-") {
+			continue
+		}
+		e, err := strconv.ParseInt(strings.TrimPrefix(ent.Name(), "epoch-"), 10, 64)
+		if err != nil {
+			continue
+		}
+		if s.isCommitted(e) {
+			committed = append(committed, e)
+		} else {
+			uncommitted = append(uncommitted, e)
+		}
+	}
+	sort.Slice(committed, func(i, j int) bool { return committed[i] < committed[j] })
+	sort.Slice(uncommitted, func(i, j int) bool { return uncommitted[i] < uncommitted[j] })
+	return committed, uncommitted, nil
+}

@@ -1,0 +1,197 @@
+package snapshot
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// storeImpls runs a subtest against both Store implementations.
+func storeImpls(t *testing.T, fn func(t *testing.T, s Store)) {
+	t.Run("mem", func(t *testing.T) { fn(t, NewMemStore()) })
+	t.Run("file", func(t *testing.T) {
+		s, err := NewFileStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, s)
+	})
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		if _, ok, err := s.Latest(); err != nil || ok {
+			t.Fatalf("fresh store Latest = ok=%v err=%v", ok, err)
+		}
+		if err := s.Put(1, "task-3", []byte("alpha")); err != nil {
+			t.Fatal(err)
+		}
+		// Uncommitted epochs are invisible.
+		if _, _, err := s.Get(1, "task-3"); err != ErrNotCommitted {
+			t.Fatalf("Get before commit: err=%v, want ErrNotCommitted", err)
+		}
+		if err := s.Commit(1); err != nil {
+			t.Fatal(err)
+		}
+		e, ok, err := s.Latest()
+		if err != nil || !ok || e != 1 {
+			t.Fatalf("Latest = %d,%v,%v", e, ok, err)
+		}
+		data, ok, err := s.Get(1, "task-3")
+		if err != nil || !ok || !bytes.Equal(data, []byte("alpha")) {
+			t.Fatalf("Get = %q,%v,%v", data, ok, err)
+		}
+		// Missing key in a committed epoch: ok=false, no error.
+		if _, ok, err := s.Get(1, "task-9"); err != nil || ok {
+			t.Fatalf("missing key: ok=%v err=%v", ok, err)
+		}
+	})
+}
+
+func TestStoreDiscard(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		if err := s.Put(5, "task-1", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Discard(5); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(5); err != nil {
+			t.Fatal(err)
+		}
+		// The discarded Put must be gone even after a later commit of the
+		// same epoch number (abort then reuse is a coordinator bug, but the
+		// store must still not resurrect stale bytes).
+		if _, ok, err := s.Get(5, "task-1"); err != nil || ok {
+			t.Fatalf("discarded entry resurrected: ok=%v err=%v", ok, err)
+		}
+		if err := s.Discard(5); err == nil {
+			t.Fatal("Discard of committed epoch must error")
+		}
+	})
+}
+
+func TestStoreRetention(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		for e := int64(1); e <= 4; e++ {
+			if err := s.Put(e, "task-1", []byte{byte(e)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Commit(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Last two committed epochs retained, older pruned.
+		if _, ok, _ := s.Get(4, "task-1"); !ok {
+			t.Fatal("epoch 4 lost")
+		}
+		if _, ok, _ := s.Get(3, "task-1"); !ok {
+			t.Fatal("epoch 3 (previous committed) lost")
+		}
+		if _, _, err := s.Get(1, "task-1"); err != ErrNotCommitted {
+			t.Fatalf("epoch 1 should be pruned: err=%v", err)
+		}
+		// An abandoned uncommitted epoch below a later commit is pruned too.
+		if err := s.Put(5, "task-1", []byte("z")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(6); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(5, "task-2", nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Get(5, "task-1"); err != ErrNotCommitted {
+			t.Fatalf("uncommitted epoch 5 visible: err=%v", err)
+		}
+	})
+}
+
+func TestStorePutCopiesData(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		buf := []byte("mutable")
+		if err := s.Put(1, "task-1", buf); err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = 'X'
+		if err := s.Commit(1); err != nil {
+			t.Fatal(err)
+		}
+		data, _, err := s.Get(1, "task-1")
+		if err != nil || !bytes.Equal(data, []byte("mutable")) {
+			t.Fatalf("Put aliased caller buffer: %q err=%v", data, err)
+		}
+	})
+}
+
+func TestFileStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(2, "task-1", []byte("persist")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(3, "task-1", []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": reopen the directory. Epoch 3 never committed.
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok, err := s2.Latest()
+	if err != nil || !ok || e != 2 {
+		t.Fatalf("Latest after reopen = %d,%v,%v", e, ok, err)
+	}
+	data, ok, err := s2.Get(2, "task-1")
+	if err != nil || !ok || !bytes.Equal(data, []byte("persist")) {
+		t.Fatalf("Get after reopen = %q,%v,%v", data, ok, err)
+	}
+	if _, _, err := s2.Get(3, "task-1"); err != ErrNotCommitted {
+		t.Fatalf("uncommitted epoch visible after reopen: err=%v", err)
+	}
+}
+
+func TestFileStoreRejectsUnsafeKeys(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "a/b", `a\b`, "COMMITTED"} {
+		if err := s.Put(1, key, nil); err == nil {
+			t.Fatalf("key %q accepted", key)
+		}
+	}
+}
+
+func TestStoreConcurrentPuts(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		var wg sync.WaitGroup
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				key := "task-" + string(rune('a'+i))
+				if err := s.Put(1, key, []byte{byte(i)}); err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if err := s.Commit(1); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 16; i++ {
+			key := "task-" + string(rune('a'+i))
+			data, ok, err := s.Get(1, key)
+			if err != nil || !ok || len(data) != 1 || data[0] != byte(i) {
+				t.Fatalf("key %s: %v %v %v", key, data, ok, err)
+			}
+		}
+	})
+}

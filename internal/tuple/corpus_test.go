@@ -1,0 +1,92 @@
+package tuple
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corpusSeeds enumerates the committed fuzz seed corpus: one well-formed
+// frame per interesting shape, including the checkpoint-plane frames
+// (barrier tuples with a non-zero epoch, CtrlSnapAck in both directions).
+// TestFuzzCorpusDecodes asserts every one of them still decodes cleanly —
+// a committed seed that no longer parses means the wire format changed
+// without regenerating the corpus. Run with WHALE_REGEN_CORPUS=1 to rewrite
+// the files under testdata/fuzz/ after an intentional format change.
+func corpusSeeds(t testing.TB) map[string]map[string][]byte {
+	full, err := AppendTuple(nil, sampleTuple())
+	if err != nil {
+		t.Fatal(err)
+	}
+	barrier, err := AppendTuple(nil, &Tuple{Stream: "__barrier", SrcTask: 3, Epoch: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := AppendTuple(nil, &Tuple{Stream: "words", ID: 9, SrcTask: 1, Epoch: 4,
+		Values: []Value{int64(7), "hi"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := func(kind byte) []byte {
+		m := &WorkerMessage{Kind: kind, DstIDs: []int32{3, 17}, Payload: full}
+		if kind == KindMulticastMessage {
+			m.Group, m.TreeVersion, m.SrcWorker = 2, 9, 4
+		}
+		return AppendWorkerMessage(nil, m)
+	}
+	cm := func(c *ControlMessage) []byte { return AppendControlMessage(nil, c) }
+	return map[string]map[string][]byte{
+		"FuzzDecodeTuple": {
+			"seed-full":    full,
+			"seed-barrier": barrier,
+			"seed-epoch":   epoch,
+		},
+		"FuzzDecodeWorkerMessage": {
+			"seed-worker":    wm(KindWorkerMessage),
+			"seed-instance":  wm(KindInstanceMessage),
+			"seed-multicast": wm(KindMulticastMessage),
+		},
+		"FuzzDecodeControlMessage": {
+			"seed-status":           cm(&ControlMessage{Type: CtrlStatus, Direction: SwitchScaleUp, Group: 1, Version: 2}),
+			"seed-reconnect":        cm(&ControlMessage{Type: CtrlReconnect, Group: 4, Version: 5, Node: 10, OldParent: 2, NewParent: 3}),
+			"seed-tree":             cm(&ControlMessage{Type: CtrlTree, Version: 7, Nodes: []int32{0, 1, 2}, Parents: []int32{-1, 0, 0}}),
+			"seed-credit":           cm(&ControlMessage{Type: CtrlCredit, Node: 2, Credits: 1 << 40}),
+			"seed-snapack-snapshot": cm(&ControlMessage{Type: CtrlSnapAck, Direction: SnapAckSnapshot, Node: 7, Epoch: 12}),
+			"seed-snapack-restore":  cm(&ControlMessage{Type: CtrlSnapAck, Direction: SnapAckRestore, Node: 9, Epoch: 3}),
+		},
+	}
+}
+
+func TestFuzzCorpusDecodes(t *testing.T) {
+	if os.Getenv("WHALE_REGEN_CORPUS") != "" {
+		for fuzzName, seeds := range corpusSeeds(t) {
+			dir := filepath.Join("testdata", "fuzz", fuzzName)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			for name, enc := range seeds {
+				body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", enc)
+				if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for fuzzName, seeds := range corpusSeeds(t) {
+		for name, enc := range seeds {
+			var err error
+			switch fuzzName {
+			case "FuzzDecodeTuple":
+				_, _, err = DecodeTuple(enc)
+			case "FuzzDecodeWorkerMessage":
+				_, _, err = DecodeWorkerMessage(enc)
+			case "FuzzDecodeControlMessage":
+				_, _, err = DecodeControlMessage(enc)
+			}
+			if err != nil {
+				t.Errorf("%s/%s: committed seed no longer decodes: %v", fuzzName, name, err)
+			}
+		}
+	}
+}

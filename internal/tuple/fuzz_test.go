@@ -14,6 +14,9 @@ import (
 func FuzzDecodeTuple(f *testing.F) {
 	enc, _ := AppendTuple(nil, sampleTuple())
 	f.Add(enc)
+	// Checkpoint barrier frame: no fields, non-zero epoch.
+	barrier, _ := AppendTuple(nil, &Tuple{Stream: "__barrier", SrcTask: 3, Epoch: 12})
+	f.Add(barrier)
 	f.Add([]byte{})
 	f.Add([]byte{0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -72,6 +75,8 @@ func FuzzDecodeControlMessage(f *testing.F) {
 		{Type: CtrlTree, Version: 7, Nodes: []int32{0, 1, 2}, Parents: []int32{-1, 0, 0}},
 		{Type: CtrlHeartbeat, Node: 3, Version: 41},
 		{Type: CtrlCredit, Node: 2, Credits: 1 << 40},
+		{Type: CtrlSnapAck, Direction: SnapAckSnapshot, Node: 7, Epoch: 12},
+		{Type: CtrlSnapAck, Direction: SnapAckRestore, Node: 9, Epoch: 3},
 	} {
 		f.Add(AppendControlMessage(nil, cm))
 	}

@@ -200,6 +200,20 @@ const (
 	// idempotent — receivers re-broadcast it periodically, and the sender
 	// max-merges, so lost or duplicated grants never corrupt the window.
 	CtrlCredit
+	// CtrlSnapAck reports checkpoint progress to the coordinator on worker
+	// 0: Node carries the acking task id, Epoch the checkpoint epoch, and
+	// Direction distinguishes a snapshot ack (SnapAckSnapshot — the task
+	// aligned, serialized its state and forwarded the barrier) from a
+	// restore ack (SnapAckRestore — the task reinstalled its epoch-N state
+	// during recovery). Duplicates are harmless: the coordinator tracks
+	// acked tasks in a set per epoch.
+	CtrlSnapAck
+)
+
+// CtrlSnapAck directions.
+const (
+	SnapAckSnapshot byte = 1
+	SnapAckRestore  byte = 2
 )
 
 // Switch directions carried by CtrlStatus.
@@ -228,6 +242,9 @@ type ControlMessage struct {
 	// For CtrlCredit: the cumulative count of tuple deliveries the sender
 	// (Node) has drained at the granting worker.
 	Credits int64
+
+	// For CtrlSnapAck: the checkpoint epoch being acknowledged.
+	Epoch int64
 }
 
 // AppendControlMessage appends the wire encoding of c to dst.
@@ -244,6 +261,7 @@ func AppendControlMessage(dst []byte, c *ControlMessage) []byte {
 		dst = appendU32(dst, uint32(c.Parents[i]))
 	}
 	dst = appendU64(dst, uint64(c.Credits))
+	dst = appendU64(dst, uint64(c.Epoch))
 	return dst
 }
 
@@ -300,6 +318,10 @@ func DecodeControlMessage(buf []byte) (*ControlMessage, int, error) {
 		return nil, 0, err
 	}
 	c.Credits = int64(cr)
+	if cr, off, err = readU64(buf, off); err != nil {
+		return nil, 0, err
+	}
+	c.Epoch = int64(cr)
 	return c, off, nil
 }
 
@@ -321,6 +343,12 @@ func (c *ControlMessage) String() string {
 		return fmt.Sprintf("Heartbeat{worker=%d seq=%d}", c.Node, c.Version)
 	case CtrlCredit:
 		return fmt.Sprintf("Credit{sender=%d drained=%d}", c.Node, c.Credits)
+	case CtrlSnapAck:
+		dir := "snapshot"
+		if c.Direction == SnapAckRestore {
+			dir = "restore"
+		}
+		return fmt.Sprintf("SnapAck{%s task=%d epoch=%d}", dir, c.Node, c.Epoch)
 	}
 	return fmt.Sprintf("Control{type=%d}", c.Type)
 }

@@ -80,6 +80,8 @@ func TestControlMessageRoundTrip(t *testing.T) {
 		{Type: CtrlCredit, Node: 2, Credits: 1 << 40},
 		{Type: CtrlTree, Group: 0, Version: 7,
 			Nodes: []int32{0, 1, 2, 3}, Parents: []int32{-1, 0, 0, 1}},
+		{Type: CtrlSnapAck, Direction: SnapAckSnapshot, Node: 7, Epoch: 12},
+		{Type: CtrlSnapAck, Direction: SnapAckRestore, Node: 9, Epoch: 3},
 	}
 	for _, in := range msgs {
 		buf := AppendControlMessage(nil, in)
@@ -114,13 +116,13 @@ func TestControlMessageTruncated(t *testing.T) {
 
 func TestControlMessageBogusCount(t *testing.T) {
 	// A corrupted node count must not cause a huge allocation or panic.
-	// The count is the u32 preceding the trailing u64 credits field.
+	// The count is the u32 preceding the trailing credits + epoch u64s.
 	in := &ControlMessage{Type: CtrlTree}
 	buf := AppendControlMessage(nil, in)
-	buf[len(buf)-12] = 0xff
-	buf[len(buf)-11] = 0xff
-	buf[len(buf)-10] = 0xff
-	buf[len(buf)-9] = 0x7f
+	buf[len(buf)-20] = 0xff
+	buf[len(buf)-19] = 0xff
+	buf[len(buf)-18] = 0xff
+	buf[len(buf)-17] = 0x7f
 	if _, _, err := DecodeControlMessage(buf); err == nil {
 		t.Fatal("expected error for bogus count")
 	}

@@ -46,7 +46,7 @@ func (e *Encoder) EncodeTuple(t *Tuple) ([]byte, error) {
 //
 //	u16 len(stream) | stream bytes
 //	i64 id | i32 srcTask | i64 rootEmitNS | i64 rootID | i64 ackVal | i64 traceID
-//	u16 nfields | nfields * (tag u8, value)
+//	i64 epoch | u16 nfields | nfields * (tag u8, value)
 //
 //whale:hotpath
 func AppendTuple(dst []byte, t *Tuple) ([]byte, error) {
@@ -58,6 +58,7 @@ func AppendTuple(dst []byte, t *Tuple) ([]byte, error) {
 	dst = appendU64(dst, uint64(t.RootID))
 	dst = appendU64(dst, uint64(t.AckVal))
 	dst = appendU64(dst, uint64(t.TraceID))
+	dst = appendU64(dst, uint64(t.Epoch))
 	dst = appendU16(dst, uint16(len(t.Values)))
 	for _, v := range t.Values {
 		var err error
@@ -147,6 +148,11 @@ func DecodeTuple(buf []byte) (*Tuple, int, error) {
 		return nil, 0, err
 	}
 	t.TraceID = int64(tid)
+	ep, off, err := readU64(buf, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.Epoch = int64(ep)
 	nf, off, err := readU16(buf, off)
 	if err != nil {
 		return nil, 0, err
@@ -240,7 +246,7 @@ func PeekTraceID(buf []byte) int64 {
 //
 //whale:hotpath
 func EncodedSize(t *Tuple) int {
-	n := 2 + len(t.Stream) + 8 + 4 + 8 + 8 + 8 + 8 + 2
+	n := 2 + len(t.Stream) + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 2
 	for _, v := range t.Values {
 		switch x := v.(type) {
 		case int64, float64:

@@ -46,6 +46,14 @@ type Tuple struct {
 	// so one trace spans serialize, tree hops, RDMA slices, dispatch and
 	// execute across workers.
 	TraceID int64
+	// Epoch is the checkpoint epoch the tuple was emitted in: every tuple a
+	// task emits after processing (or injecting) the barrier for epoch N is
+	// stamped N+1. Zero means checkpointing is off (or the tuple predates
+	// the first barrier) and the tuple is never fenced. Barrier frames
+	// themselves travel as data-plane tuples on StreamBarrier with Epoch set
+	// to the epoch they conclude, keeping per-link FIFO with the data ahead
+	// of them.
+	Epoch int64
 }
 
 // Clone returns a shallow copy of t with its own Values slice. Field values

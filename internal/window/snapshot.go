@@ -1,0 +1,188 @@
+package window
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Checkpoint serialization for the windowing state (DESIGN §13). Only
+// dynamic state is encoded — assigner/lateness/skew/count are operator
+// configuration and are reconstructed by the operator itself. Element
+// encoding is delegated to the caller (operators know their element type;
+// the engine's stateful bolts use the pooled tuple encoder), keeping this
+// package dependency-free.
+//
+// Encodings are deterministic: map iteration never leaks into the bytes
+// (window starts and fired starts are sorted), so two tasks with equal
+// state produce equal snapshots — the chaos soak relies on this to compare
+// recovered runs byte-for-byte.
+
+// AppendElem encodes one element of type T onto dst.
+type AppendElem[T any] func(dst []byte, v T) []byte
+
+// DecodeElem decodes one element of type T from buf, returning the element
+// and the bytes consumed.
+type DecodeElem[T any] func(buf []byte) (T, int, error)
+
+var errSnapshotTruncated = fmt.Errorf("window: truncated snapshot")
+
+// AppendSnapshot appends the buffer's dynamic state (open windows, fired
+// set, late-drop counter) to dst using enc for elements.
+func (b *Buffer[T]) AppendSnapshot(dst []byte, enc AppendElem[T]) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(b.DroppedLate))
+	starts := make([]int64, 0, len(b.windows))
+	for start := range b.windows {
+		starts = append(starts, start)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(starts)))
+	for _, start := range starts {
+		items := b.windows[start]
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(start))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(items)))
+		for _, v := range items {
+			dst = enc(dst, v)
+		}
+	}
+	fired := make([]int64, 0, len(b.fired))
+	for start := range b.fired {
+		fired = append(fired, start)
+	}
+	sort.Slice(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(fired)))
+	for _, start := range fired {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(start))
+	}
+	return dst
+}
+
+// RestoreSnapshot replaces the buffer's dynamic state with a snapshot
+// produced by AppendSnapshot, decoding elements with dec. Configuration
+// (assigner, lateness) is left untouched. A nil/empty buf resets the
+// buffer to its initial empty state.
+func (b *Buffer[T]) RestoreSnapshot(buf []byte, dec DecodeElem[T]) error {
+	b.windows = map[int64][]T{}
+	b.fired = map[int64]bool{}
+	b.DroppedLate = 0
+	if len(buf) == 0 {
+		return nil
+	}
+	off := 0
+	dropped, off, err := snapU64(buf, off)
+	if err != nil {
+		return err
+	}
+	b.DroppedLate = int64(dropped)
+	nw, off, err := snapU32(buf, off)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(nw); i++ {
+		var start, ni uint64
+		var n32 uint32
+		start, off, err = snapU64(buf, off)
+		if err != nil {
+			return err
+		}
+		n32, off, err = snapU32(buf, off)
+		if err != nil {
+			return err
+		}
+		ni = uint64(n32)
+		items := make([]T, 0, ni)
+		for j := uint64(0); j < ni; j++ {
+			v, n, err := dec(buf[off:])
+			if err != nil {
+				return err
+			}
+			items = append(items, v)
+			off += n
+		}
+		b.windows[int64(start)] = items
+	}
+	nf, off, err := snapU32(buf, off)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(nf); i++ {
+		var start uint64
+		start, off, err = snapU64(buf, off)
+		if err != nil {
+			return err
+		}
+		b.fired[int64(start)] = true
+	}
+	if off != len(buf) {
+		return fmt.Errorf("window: %d trailing snapshot bytes", len(buf)-off)
+	}
+	return nil
+}
+
+// AppendSnapshot appends the count window's pending items to dst.
+func (b *CountBuffer[T]) AppendSnapshot(dst []byte, enc AppendElem[T]) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.items)))
+	for _, v := range b.items {
+		dst = enc(dst, v)
+	}
+	return dst
+}
+
+// RestoreSnapshot replaces the count window's pending items with a
+// snapshot produced by AppendSnapshot. A nil/empty buf empties the window.
+func (b *CountBuffer[T]) RestoreSnapshot(buf []byte, dec DecodeElem[T]) error {
+	b.items = b.items[:0]
+	if len(buf) == 0 {
+		return nil
+	}
+	n, off, err := snapU32(buf, 0)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(n); i++ {
+		v, used, err := dec(buf[off:])
+		if err != nil {
+			return err
+		}
+		b.items = append(b.items, v)
+		off += used
+	}
+	if off != len(buf) {
+		return fmt.Errorf("window: %d trailing snapshot bytes", len(buf)-off)
+	}
+	return nil
+}
+
+// AppendSnapshot appends the watermark's max-seen timestamp to dst.
+func (w *Watermark) AppendSnapshot(dst []byte) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(w.max))
+}
+
+// RestoreSnapshot restores the max-seen timestamp. A nil/empty buf resets
+// it.
+func (w *Watermark) RestoreSnapshot(buf []byte) error {
+	w.max = 0
+	if len(buf) == 0 {
+		return nil
+	}
+	v, _, err := snapU64(buf, 0)
+	if err != nil {
+		return err
+	}
+	w.max = int64(v)
+	return nil
+}
+
+func snapU64(buf []byte, off int) (uint64, int, error) {
+	if off+8 > len(buf) {
+		return 0, off, errSnapshotTruncated
+	}
+	return binary.LittleEndian.Uint64(buf[off:]), off + 8, nil
+}
+
+func snapU32(buf []byte, off int) (uint32, int, error) {
+	if off+4 > len(buf) {
+		return 0, off, errSnapshotTruncated
+	}
+	return binary.LittleEndian.Uint32(buf[off:]), off + 4, nil
+}

@@ -1,0 +1,143 @@
+package window
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+func encInt(dst []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+
+func decInt(buf []byte) (int64, int, error) {
+	if len(buf) < 8 {
+		return 0, 0, errSnapshotTruncated
+	}
+	return int64(binary.LittleEndian.Uint64(buf)), 8, nil
+}
+
+func TestBufferSnapshotRoundTrip(t *testing.T) {
+	b := NewBuffer[int64](Tumbling{Width: 10 * time.Nanosecond}, 20*time.Nanosecond)
+	for _, ts := range []int64{1, 5, 12, 15, 23, 31} {
+		b.Add(ts, ts*100)
+	}
+	fired := b.Advance(20) // fires windows [0,10) and [10,20)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d windows", len(fired))
+	}
+	b.Add(3, 42) // late, inside allowance but window fired -> dropped
+	if b.DroppedLate != 1 {
+		t.Fatalf("DroppedLate = %d", b.DroppedLate)
+	}
+
+	snap := b.AppendSnapshot(nil, encInt)
+
+	// Deterministic: an equal-state buffer snapshots to identical bytes.
+	b2 := NewBuffer[int64](Tumbling{Width: 10 * time.Nanosecond}, 20*time.Nanosecond)
+	for _, ts := range []int64{1, 5, 12, 15, 23, 31} {
+		b2.Add(ts, ts*100)
+	}
+	b2.Advance(20)
+	b2.Add(3, 42)
+	if !bytes.Equal(snap, b2.AppendSnapshot(nil, encInt)) {
+		t.Fatal("equal-state buffers produced different snapshots")
+	}
+
+	// Restore into a fresh buffer and check behavior matches.
+	r := NewBuffer[int64](Tumbling{Width: 10 * time.Nanosecond}, 20*time.Nanosecond)
+	if err := r.RestoreSnapshot(snap, decInt); err != nil {
+		t.Fatal(err)
+	}
+	if r.DroppedLate != 1 || r.Pending() != b.Pending() {
+		t.Fatalf("restored dropped=%d pending=%d, want 1,%d", r.DroppedLate, r.Pending(), b.Pending())
+	}
+	want := b.Advance(100)
+	got := r.Advance(100)
+	if len(want) != len(got) {
+		t.Fatalf("restored fired %d windows, original %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Start != got[i].Start || len(want[i].Items) != len(got[i].Items) {
+			t.Fatalf("window %d mismatch: %+v vs %+v", i, want[i], got[i])
+		}
+		for j := range want[i].Items {
+			if want[i].Items[j] != got[i].Items[j] {
+				t.Fatalf("window %d item %d: %d vs %d", i, j, want[i].Items[j], got[i].Items[j])
+			}
+		}
+	}
+	// The fired set survived: the same late element is still late.
+	r2 := NewBuffer[int64](Tumbling{Width: 10 * time.Nanosecond}, 20*time.Nanosecond)
+	if err := r2.RestoreSnapshot(snap, decInt); err != nil {
+		t.Fatal(err)
+	}
+	r2.Add(3, 42)
+	if r2.DroppedLate != 2 {
+		t.Fatalf("fired set lost in snapshot: DroppedLate = %d", r2.DroppedLate)
+	}
+}
+
+func TestBufferSnapshotResetAndErrors(t *testing.T) {
+	b := NewBuffer[int64](Tumbling{Width: 10 * time.Nanosecond}, 0)
+	b.Add(1, 7)
+	if err := b.RestoreSnapshot(nil, decInt); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pending() != 0 || b.DroppedLate != 0 {
+		t.Fatal("nil snapshot must reset state")
+	}
+	b.Add(1, 7)
+	snap := b.AppendSnapshot(nil, encInt)
+	for cut := 1; cut < len(snap); cut++ {
+		if err := b.RestoreSnapshot(snap[:cut], decInt); err == nil {
+			t.Fatalf("restore of %d/%d bytes succeeded", cut, len(snap))
+		}
+	}
+	if err := b.RestoreSnapshot(append(snap, 0), decInt); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestCountBufferSnapshotRoundTrip(t *testing.T) {
+	b := NewCountBuffer[int64](5)
+	b.Add(1)
+	b.Add(2)
+	snap := b.AppendSnapshot(nil, encInt)
+	r := NewCountBuffer[int64](5)
+	if err := r.RestoreSnapshot(snap, decInt); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("restored fill %d", r.Len())
+	}
+	r.Add(3)
+	r.Add(4)
+	if out := r.Add(5); len(out) != 5 || out[0] != 1 || out[4] != 5 {
+		t.Fatalf("restored window fired %v", out)
+	}
+	if err := r.RestoreSnapshot(nil, decInt); err != nil || r.Len() != 0 {
+		t.Fatalf("reset: len=%d err=%v", r.Len(), err)
+	}
+}
+
+func TestWatermarkSnapshotRoundTrip(t *testing.T) {
+	w := NewWatermark(5 * time.Nanosecond)
+	w.Observe(100)
+	snap := w.AppendSnapshot(nil)
+	r := NewWatermark(5 * time.Nanosecond)
+	if err := r.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if r.Current() != 95 {
+		t.Fatalf("restored watermark %d", r.Current())
+	}
+	// An older event after restore does not regress the watermark.
+	if r.Observe(50) != 95 {
+		t.Fatal("watermark regressed after restore")
+	}
+	if err := r.RestoreSnapshot(nil); err != nil || r.Current() != 0 {
+		t.Fatalf("reset: current=%d err=%v", r.Current(), err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"whale/internal/dsps"
 	"whale/internal/obs"
 	"whale/internal/obs/attrib"
+	"whale/internal/snapshot"
 	"whale/internal/tuple"
 )
 
@@ -62,7 +63,22 @@ type (
 	ShedPolicy = dsps.ShedPolicy
 	// LinkStat is one flow-controlled link's snapshot.
 	LinkStat = dsps.LinkStat
+	// Snapshotter marks a stateful operator that participates in
+	// checkpointing (enabled by Options.CheckpointInterval): its state is
+	// captured per epoch and reinstalled on recovery.
+	Snapshotter = snapshot.Snapshotter
+	// SnapshotStore persists per-epoch operator snapshots
+	// (Options.CheckpointStore).
+	SnapshotStore = snapshot.Store
 )
+
+// NewMemSnapshotStore returns the in-memory snapshot store (the default
+// when checkpointing is enabled; state survives worker failures within the
+// process but not a process restart).
+func NewMemSnapshotStore() SnapshotStore { return snapshot.NewMemStore() }
+
+// NewFileSnapshotStore returns a durable directory-backed snapshot store.
+func NewFileSnapshotStore(dir string) (SnapshotStore, error) { return snapshot.NewFileStore(dir) }
 
 // Shed policies for Options.ShedPolicy. Acked (reliable) streams always
 // block regardless of policy — they are never shed.
