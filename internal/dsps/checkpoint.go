@@ -79,12 +79,13 @@ type checkpointCoordinator struct {
 	acked     map[int32]bool
 	injected  map[int32]bool // tasks whose marker won a queue seat this attempt
 
-	sourceGone     bool  // a source executor exited; no further epochs
-	recoverPending bool  // a worker died; restore once tree repairs settle
-	restoring      bool  // restore markers out; expected/acked track restore acks
-	restoreWave    int   // 1: bolts fencing+restoring, 2: sources rewinding
-	restoreFrom    int64 // committed epoch being reinstalled (0 = reset)
-	fence          int64 // discard data-plane tuples stamped below this
+	sourceGone     bool           // a source executor exited; no further epochs
+	exited         map[int32]bool // spout tasks whose executor loop ended
+	recoverPending bool           // a worker died; restore once tree repairs settle
+	restoring      bool           // restore markers out; expected/acked track restore acks
+	restoreWave    int            // 1: bolts fencing+restoring, 2: sources rewinding
+	restoreFrom    int64          // committed epoch being reinstalled (0 = reset)
+	fence          int64          // discard data-plane tuples stamped below this
 }
 
 func newCheckpointCoordinator(e *Engine) *checkpointCoordinator {
@@ -94,6 +95,7 @@ func newCheckpointCoordinator(e *Engine) *checkpointCoordinator {
 		home:      0,
 		nextEpoch: 1,
 		spoutSet:  map[int32]bool{},
+		exited:    map[int32]bool{},
 	}
 	if c.store == nil {
 		c.store = snapshot.NewMemStore()
@@ -131,11 +133,9 @@ func (c *checkpointCoordinator) tick() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch {
-	case c.sourceGone:
-		// Bounded run winding down: an epoch could never complete without
-		// its sources, so the coordinator goes quiet instead of wedging
-		// Drain with markers nobody will consume.
-		return
+	// Recovery outranks sourceGone: a bounded source having drained stops
+	// new epochs (below), but a worker death afterwards must still restore
+	// the surviving stateful tasks from the last committed snapshot.
 	case c.recoverPending:
 		// Restore must observe the repaired trees: a restore marker racing
 		// a half-distributed repair could rewind sources whose barriers
@@ -152,6 +152,11 @@ func (c *checkpointCoordinator) tick() {
 			c.injected = map[int32]bool{}
 		}
 		c.injectLocked(c.restoreTargetsLocked(), c.restoreMarker())
+	case c.sourceGone:
+		// Bounded run winding down: an epoch could never complete without
+		// its sources, so the coordinator goes quiet instead of wedging
+		// Drain with markers nobody will consume.
+		return
 	case c.epoch != 0:
 		if time.Since(c.started) > c.eng.cfg.CheckpointTimeout {
 			c.abortEpochLocked("epoch timed out")
@@ -172,7 +177,7 @@ func (c *checkpointCoordinator) beginEpochLocked() {
 	c.acked = map[int32]bool{}
 	c.injected = map[int32]bool{}
 	for _, tid := range c.tasks {
-		if !c.eng.workerDead(c.eng.assign.WorkerOf[tid]) {
+		if !c.exited[tid] && !c.eng.workerDead(c.eng.assign.WorkerOf[tid]) {
 			c.expected[tid] = true
 		}
 	}
@@ -275,22 +280,29 @@ func (c *checkpointCoordinator) handleAck(direction byte, task int32, epoch int6
 			return
 		}
 		c.acked[task] = true
-		if !c.allAckedLocked() {
-			return
-		}
-		// Bolts first, sources second: a source that rewound before every
-		// downstream task installed its fence would re-emit records into
-		// pre-rollback state, and the rollback would silently eat them.
-		if c.restoreWave == 1 && c.startRestoreWaveLocked(2) {
-			return
-		}
-		c.finishRestoreLocked()
+		c.advanceRestoreLocked()
 	}
+}
+
+// advanceRestoreLocked moves the restore forward when the current wave has
+// fully acked. Bolts first, sources second: a source that rewound before
+// every downstream task installed its fence would re-emit records into
+// pre-rollback state, and the rollback would silently eat them.
+func (c *checkpointCoordinator) advanceRestoreLocked() {
+	if !c.restoring || !c.allAckedLocked() {
+		return
+	}
+	if c.restoreWave == 1 && c.startRestoreWaveLocked(2) {
+		return
+	}
+	c.finishRestoreLocked()
 }
 
 // startRestoreWaveLocked opens one restore wave (1 = non-spout tasks, 2 =
 // spout tasks) and injects its markers. Returns false when the wave has no
-// live member so the caller can skip ahead.
+// live member so the caller can skip ahead. Exited spout tasks are excluded
+// — their executor loop is gone, so a marker queued to them would never be
+// consumed or acked and the restore would wedge against its timeout.
 func (c *checkpointCoordinator) startRestoreWaveLocked(wave int) bool {
 	c.restoreWave = wave
 	c.started = time.Now()
@@ -301,7 +313,7 @@ func (c *checkpointCoordinator) startRestoreWaveLocked(wave int) bool {
 		if c.spoutSet[tid] != (wave == 2) {
 			continue
 		}
-		if !c.eng.workerDead(c.eng.assign.WorkerOf[tid]) {
+		if !c.exited[tid] && !c.eng.workerDead(c.eng.assign.WorkerOf[tid]) {
 			c.expected[tid] = true
 		}
 	}
@@ -342,6 +354,11 @@ func (c *checkpointCoordinator) noteSpoutExit(ex *executor) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sourceGone = true
+	c.exited[ex.ctx.TaskID] = true
+	// An in-flight restore can no longer wait on this task; drop it from
+	// the expected set and complete the wave if it was the last holdout.
+	delete(c.expected, ex.ctx.TaskID)
+	c.advanceRestoreLocked()
 	if c.epoch != 0 {
 		c.abortEpochLocked(fmt.Sprintf("source task %d exited mid-epoch", ex.ctx.TaskID))
 	}
@@ -372,12 +389,20 @@ func (c *checkpointCoordinator) onWorkerDead(dead int32) {
 // epoch, fence everything stamped before the crash, and distribute restore
 // markers to the surviving tasks.
 func (c *checkpointCoordinator) beginRestoreLocked() {
-	c.recoverPending = false
 	from, ok, err := c.store.Latest()
 	if err != nil {
+		// A transient store error (FileStore ReadDir hiccup) must not be
+		// read as "nothing committed" — resetting here would silently
+		// discard a durable epoch. Stay in recoverPending and retry on the
+		// next tick; only a definitive ok=false falls back to reset.
 		c.eng.metrics.SnapshotErrors.Inc()
-		from, ok = 0, false
+		c.eng.obs.Events.Append(obs.Event{
+			Kind: obs.EventSnapshotAbort, Worker: c.home,
+			Detail: fmt.Sprintf("restore deferred: store.Latest: %v", err),
+		})
+		return
 	}
+	c.recoverPending = false
 	if !ok {
 		from = 0 // nothing committed: reset every task to initial state
 	}

@@ -2,6 +2,8 @@ package dsps
 
 import (
 	"encoding/binary"
+	"errors"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -406,5 +408,462 @@ func TestConsumeZeroAllocWhenCheckpointingDisabled(t *testing.T) {
 	allocs := testing.AllocsPerRun(200, func() { sink.consume(at) })
 	if allocs != 0 {
 		t.Fatalf("consume allocates %.1f per tuple with checkpointing disabled", allocs)
+	}
+}
+
+// replaySpout is a rewindable reliable source over the fixed sequence
+// 1..total — kafkalite semantics in miniature (fetch cursor, Fail-requeue
+// buffer, in-flight set) so reliable delivery and checkpointing can be
+// exercised together without importing kafkalite (cycle).
+type replaySpout struct {
+	total    int64
+	pace     time.Duration
+	cursor   int64           // last fetched seq
+	buffered []int64         // requeued by Fail, not yet re-emitted
+	inflight map[int64]int64 // msgID -> seq
+	nextMsg  int64
+}
+
+func (s *replaySpout) Open(*TaskContext) { s.inflight = map[int64]int64{} }
+func (s *replaySpout) Close()            {}
+
+func (s *replaySpout) Next(c *Collector) bool {
+	var seq int64
+	switch {
+	case len(s.buffered) > 0:
+		seq = s.buffered[0]
+		s.buffered = s.buffered[1:]
+	case s.cursor < s.total:
+		s.cursor++
+		seq = s.cursor
+	default:
+		time.Sleep(200 * time.Microsecond)
+		return true // stay alive so the coordinator keeps cutting epochs
+	}
+	s.nextMsg++
+	s.inflight[s.nextMsg] = seq
+	c.EmitReliable(s.nextMsg, seq)
+	if s.pace > 0 {
+		time.Sleep(s.pace)
+	}
+	return true
+}
+
+func (s *replaySpout) Ack(msgID int64) { delete(s.inflight, msgID) }
+func (s *replaySpout) Fail(msgID int64) {
+	if seq, ok := s.inflight[msgID]; ok {
+		delete(s.inflight, msgID)
+		s.buffered = append(s.buffered, seq)
+	}
+}
+
+// SnapshotState mirrors the kafkalite spout's resume-point rule: requeued
+// records lower the resume point, in-flight emissions do not (they precede
+// the barrier and are already inside the epoch's downstream snapshots).
+func (s *replaySpout) SnapshotState() ([]byte, error) {
+	resume := s.cursor + 1
+	for _, seq := range s.buffered {
+		if seq < resume {
+			resume = seq
+		}
+	}
+	return binary.LittleEndian.AppendUint64(nil, uint64(resume)), nil
+}
+
+func (s *replaySpout) RestoreState(data []byte) error {
+	s.buffered = nil
+	s.inflight = map[int64]int64{}
+	if data == nil {
+		s.cursor = 0
+		return nil
+	}
+	s.cursor = int64(binary.LittleEndian.Uint64(data)) - 1
+	return nil
+}
+
+// seqSetBolt's state is the multiset of absorbed seqs, checkpointed in
+// full: after a recovery the counts expose both loss (missing seq) and
+// double-counting (count > 1) directly.
+type seqSetBolt struct {
+	mu   sync.Mutex
+	task int32
+	seen map[int64]int64
+}
+
+func (b *seqSetBolt) Prepare(ctx *TaskContext) {
+	b.mu.Lock()
+	b.task = ctx.TaskID
+	if b.seen == nil {
+		b.seen = map[int64]int64{}
+	}
+	b.mu.Unlock()
+}
+func (b *seqSetBolt) Cleanup() {}
+func (b *seqSetBolt) Execute(tp *tuple.Tuple, _ *Collector) {
+	b.mu.Lock()
+	b.seen[tp.Int(0)]++
+	b.mu.Unlock()
+}
+
+func (b *seqSetBolt) SnapshotState() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seqs := make([]int64, 0, len(b.seen))
+	for seq := range b.seen {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := binary.LittleEndian.AppendUint64(nil, uint64(len(seqs)))
+	for _, seq := range seqs {
+		out = binary.LittleEndian.AppendUint64(out, uint64(seq))
+		out = binary.LittleEndian.AppendUint64(out, uint64(b.seen[seq]))
+	}
+	return out, nil
+}
+
+func (b *seqSetBolt) RestoreState(data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seen = map[int64]int64{}
+	if data == nil {
+		return nil
+	}
+	n := binary.LittleEndian.Uint64(data)
+	off := 8
+	for i := uint64(0); i < n; i++ {
+		seq := int64(binary.LittleEndian.Uint64(data[off:]))
+		b.seen[seq] = int64(binary.LittleEndian.Uint64(data[off+8:]))
+		off += 16
+	}
+	return nil
+}
+
+func (b *seqSetBolt) snapshotSeen() (int32, map[int64]int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[int64]int64, len(b.seen))
+	for k, v := range b.seen {
+		out[k] = v
+	}
+	return b.task, out
+}
+
+// TestReliableCheckpointRecoveryExactlyOnce is the reliable-mode recovery
+// gate: acking AND checkpointing on, a worker crashed mid-stream. Records
+// in flight (emitted but unacked) at snapshot time are part of the epoch's
+// absorbed prefix; the restored run must deliver every seq to every
+// surviving subscriber exactly once — a resume point lowered to the
+// in-flight offsets would re-emit them past the fence and double-count.
+func TestReliableCheckpointRecoveryExactlyOnce(t *testing.T) {
+	const total = 1500
+	store := snapshot.NewMemStore()
+	net := chaos.Wrap(transport.NewInprocNetwork(0), chaos.Config{Seed: 1})
+	var mu sync.Mutex
+	var bolts []*seqSetBolt
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &replaySpout{total: total, pace: 100 * time.Microsecond} }, 1)
+	b.Bolt("fan", func() Bolt {
+		sb := &seqSetBolt{}
+		mu.Lock()
+		bolts = append(bolts, sb)
+		mu.Unlock()
+		return sb
+	}, 3).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Start(topo, Config{
+		Workers: 4, Network: net,
+		Comm: WorkerOriented, Multicast: MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+		AckEnabled: true, AckTimeout: 2 * time.Second, MaxSpoutPending: 16,
+		HeartbeatInterval:  10 * time.Millisecond,
+		SuspectAfter:       60 * time.Millisecond,
+		ConfirmAfter:       200 * time.Millisecond,
+		CheckpointInterval: 3 * time.Millisecond,
+		CheckpointTimeout:  30 * time.Millisecond,
+		CheckpointStore:    store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Metrics().EpochsCompleted.Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if eng.Metrics().EpochsCompleted.Value() < 2 {
+		t.Fatal("no epochs committed before the crash")
+	}
+
+	// Crash a worker hosting a fan task but neither the spout nor the
+	// coordinator home (worker 0).
+	spoutWorker := eng.assign.WorkerOf[eng.assign.TasksOf["src"][0]]
+	var crash int32 = -1
+	for _, tid := range eng.assign.TasksOf["fan"] {
+		if w := eng.assign.WorkerOf[tid]; w != 0 && w != spoutWorker {
+			crash = w
+			break
+		}
+	}
+	if crash < 0 {
+		t.Fatal("no crashable fan worker")
+	}
+	net.Crash(crash)
+	waitForEvent(t, eng, obs.EventWorkerDead, crash, 10*time.Second)
+	waitForEvent(t, eng, obs.EventSnapshotRestored, 0, 10*time.Second)
+
+	// Every surviving fan must converge to exactly {1..total}, once each.
+	survivors := func() []*seqSetBolt {
+		mu.Lock()
+		defer mu.Unlock()
+		var out []*seqSetBolt
+		for _, sb := range bolts {
+			task, _ := sb.snapshotSeen()
+			if eng.assign.WorkerOf[task] != crash {
+				out = append(out, sb)
+			}
+		}
+		return out
+	}()
+	if len(survivors) == 0 {
+		t.Fatal("test lost every fan task")
+	}
+	complete := func(sb *seqSetBolt) bool {
+		_, seen := sb.snapshotSeen()
+		if len(seen) < total {
+			return false
+		}
+		for seq := int64(1); seq <= total; seq++ {
+			if seen[seq] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		done := 0
+		for _, sb := range survivors {
+			if complete(sb) {
+				done++
+			}
+		}
+		if done == len(survivors) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Settle, then assert exactness: no seq lost, none absorbed twice.
+	time.Sleep(50 * time.Millisecond)
+	for _, sb := range survivors {
+		task, seen := sb.snapshotSeen()
+		for seq := int64(1); seq <= total; seq++ {
+			switch n := seen[seq]; {
+			case n == 0:
+				t.Fatalf("task %d lost seq %d after recovery", task, seq)
+			case n > 1:
+				t.Fatalf("task %d absorbed seq %d %d times (double-counted across restore)", task, seq, n)
+			}
+		}
+		if len(seen) != total {
+			t.Fatalf("task %d absorbed %d distinct seqs, want %d", task, len(seen), total)
+		}
+	}
+}
+
+// flakyLatestStore fails its first N Latest calls — a transient recovery-
+// time IO error on an otherwise healthy store.
+type flakyLatestStore struct {
+	snapshot.Store
+	mu       sync.Mutex
+	failures int
+	calls    int
+}
+
+func (s *flakyLatestStore) Latest() (int64, bool, error) {
+	s.mu.Lock()
+	s.calls++
+	fail := s.failures > 0
+	if fail {
+		s.failures--
+	}
+	s.mu.Unlock()
+	if fail {
+		return 0, false, errors.New("transient read error")
+	}
+	return s.Store.Latest()
+}
+
+// TestRestoreRetriesTransientStoreError: a store.Latest error during
+// recovery must defer the restore to the next tick, not silently reset
+// every operator as if nothing had ever committed.
+func TestRestoreRetriesTransientStoreError(t *testing.T) {
+	store := &flakyLatestStore{Store: snapshot.NewMemStore(), failures: 3}
+	j := newCkptJournal()
+	net := chaos.Wrap(transport.NewInprocNetwork(0), chaos.Config{Seed: 1})
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &steadySpout{} }, 1)
+	b.Bolt("fan", func() Bolt { return &countingBolt{j: j} }, 3).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Start(topo, Config{
+		Workers: 4, Network: net,
+		Comm: WorkerOriented, Multicast: MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+		HeartbeatInterval:  10 * time.Millisecond,
+		SuspectAfter:       60 * time.Millisecond,
+		ConfirmAfter:       200 * time.Millisecond,
+		CheckpointInterval: 3 * time.Millisecond,
+		CheckpointTimeout:  30 * time.Millisecond,
+		CheckpointStore:    store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Metrics().EpochsCompleted.Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if eng.Metrics().EpochsCompleted.Value() < 2 {
+		t.Fatal("no epochs committed before the crash")
+	}
+	// Arm the failures now so steady-state ticks haven't consumed them.
+	store.mu.Lock()
+	store.failures = 3
+	store.mu.Unlock()
+
+	net.Crash(1)
+	waitForEvent(t, eng, obs.EventWorkerDead, 1, 10*time.Second)
+	waitForEvent(t, eng, obs.EventSnapshotRestored, 0, 10*time.Second)
+
+	// The restore must have come from the committed epoch, not a reset.
+	j.mu.Lock()
+	restores := make(map[int32]int64, len(j.restores))
+	for k, v := range j.restores {
+		restores[k] = v
+	}
+	j.mu.Unlock()
+	checked := 0
+	for _, tid := range eng.assign.TasksOf["fan"] {
+		if eng.assign.WorkerOf[tid] == 1 {
+			continue
+		}
+		checked++
+		v, ok := restores[tid]
+		if !ok {
+			t.Fatalf("surviving task %d was not restored (restores=%v)", tid, restores)
+		}
+		if v < 0 {
+			t.Fatalf("task %d reset to initial state: transient Latest error treated as empty store", tid)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("test lost every stateful task")
+	}
+	store.mu.Lock()
+	calls, remaining := store.calls, store.failures
+	store.mu.Unlock()
+	if remaining != 0 || calls < 4 {
+		t.Fatalf("restore did not retry through the failures (calls=%d, unconsumed=%d)", calls, remaining)
+	}
+}
+
+// pacedSpout emits 0..n-1 unreliably with a fixed pace, then exits.
+type pacedSpout struct {
+	n    int
+	pace time.Duration
+	i    int
+}
+
+func (s *pacedSpout) Open(*TaskContext) {}
+func (s *pacedSpout) Close()            {}
+func (s *pacedSpout) Next(c *Collector) bool {
+	if s.i >= s.n {
+		return false
+	}
+	c.Emit(int64(s.i))
+	s.i++
+	if s.pace > 0 {
+		time.Sleep(s.pace)
+	}
+	return true
+}
+
+// TestRestoreAfterSourceExhausted: a bounded source draining stops new
+// epochs (sourceGone), but a worker death afterwards must still restore the
+// surviving stateful tasks from the last committed snapshot — recovery
+// outranks the bounded-run wind-down, and the exited spout task is excused
+// from the restore's expected set instead of wedging it.
+func TestRestoreAfterSourceExhausted(t *testing.T) {
+	store := snapshot.NewMemStore()
+	j := newCkptJournal()
+	net := chaos.Wrap(transport.NewInprocNetwork(0), chaos.Config{Seed: 1})
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &pacedSpout{n: 4000, pace: 50 * time.Microsecond} }, 1)
+	b.Bolt("fan", func() Bolt { return &countingBolt{j: j} }, 3).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Start(topo, Config{
+		Workers: 4, Network: net,
+		Comm: WorkerOriented, Multicast: MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+		HeartbeatInterval:  10 * time.Millisecond,
+		SuspectAfter:       60 * time.Millisecond,
+		ConfirmAfter:       200 * time.Millisecond,
+		CheckpointInterval: 2 * time.Millisecond,
+		CheckpointTimeout:  20 * time.Millisecond,
+		CheckpointStore:    store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Metrics().EpochsCompleted.Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if eng.Metrics().EpochsCompleted.Value() < 2 {
+		t.Fatal("no epochs committed while the source was live")
+	}
+	eng.WaitSpouts() // bounded source drains; coordinator goes sourceGone
+
+	net.Crash(1)
+	waitForEvent(t, eng, obs.EventWorkerDead, 1, 10*time.Second)
+	waitForEvent(t, eng, obs.EventSnapshotRestored, 0, 10*time.Second)
+	if eng.Metrics().Restores.Value() == 0 {
+		t.Fatal("no restore after source exit")
+	}
+	j.mu.Lock()
+	restores := make(map[int32]int64, len(j.restores))
+	for k, v := range j.restores {
+		restores[k] = v
+	}
+	j.mu.Unlock()
+	checked := 0
+	for _, tid := range eng.assign.TasksOf["fan"] {
+		if eng.assign.WorkerOf[tid] == 1 {
+			continue
+		}
+		checked++
+		v, ok := restores[tid]
+		if !ok {
+			t.Fatalf("surviving task %d was not restored (restores=%v)", tid, restores)
+		}
+		if v < 0 {
+			t.Fatalf("task %d reset instead of restoring committed state", tid)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("test lost every stateful task")
 	}
 }

@@ -1,7 +1,6 @@
 package dsps
 
 import (
-	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -113,9 +112,12 @@ type worker struct {
 	transfer  chan sendJob
 	groups    map[int32]*groupState
 	enc       *tuple.Encoder
-	p2pDst    [1]int32   // DstIDs scratch for point-to-point sends (send thread only)
-	rng       *rand.Rand // retry jitter; only touched from the send thread
-	fc        *flowControl
+	p2pDst    [1]int32 // DstIDs scratch for point-to-point sends (send thread only)
+	// rngState seeds retry jitter. Lock-free (splitmix64 over an atomic
+	// counter) because retries run concurrently on the send thread and on
+	// the per-destination flow-control link goroutines.
+	rngState atomic.Uint64
+	fc       *flowControl
 	// pushBlockedNS accumulates time the send thread spent blocked on a
 	// full flow link during the current job. Only touched from the send
 	// thread; recordTe subtracts it so the multicast controller's per-replica
@@ -148,9 +150,9 @@ func newWorker(eng *Engine, id int32) *worker {
 		transfer:  make(chan sendJob, eng.cfg.TransferQueueCap),
 		groups:    map[int32]*groupState{},
 		enc:       tuple.NewEncoder(),
-		rng:       rand.New(rand.NewSource(int64(id)*104729 + 7)),
 		done:      make(chan struct{}),
 	}
+	w.rngState.Store(uint64(id)*104729 + 7)
 	if eng.cfg.CreditWindow > 0 && eng.cfg.Workers > 1 {
 		w.fc = newFlowControl(w)
 		w.stageKick = make(chan struct{}, 1)
@@ -513,8 +515,8 @@ func (w *worker) sendMeasured(dst int32, raw []byte) (bool, time.Duration) {
 	backoff := w.eng.cfg.SendRetryBase
 	for attempt := 0; attempt < w.eng.cfg.SendRetries && transport.IsTransient(err); attempt++ {
 		// Jitter in [backoff/2, 3*backoff/2) decorrelates retry storms
-		// across workers; the rng is only touched from this goroutine.
-		d := backoff/2 + time.Duration(w.rng.Int63n(int64(backoff)))
+		// across workers and across this worker's concurrent senders.
+		d := backoff/2 + time.Duration(w.jitter(int64(backoff)))
 		tw := time.Now()
 		select {
 		case <-time.After(d):
@@ -811,4 +813,15 @@ func (w *worker) handleControl(from transport.WorkerID, cm *tuple.ControlMessage
 		// CtrlStatus and CtrlReconnect are informational in this
 		// implementation (CtrlTree carries the full structure).
 	}
+}
+
+// jitter returns a pseudo-random value in [0, n): one splitmix64 step over
+// an atomic counter, so concurrent callers (send thread, flow-link
+// goroutines) never contend on a lock or race on shared rng state.
+func (w *worker) jitter(n int64) int64 {
+	x := w.rngState.Add(0x9E3779B97F4A7C15)
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x % uint64(n))
 }

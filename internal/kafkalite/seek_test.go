@@ -2,6 +2,7 @@ package kafkalite
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"testing"
 )
@@ -165,7 +166,7 @@ func TestSpoutSnapshotRestore(t *testing.T) {
 			t.Fatalf("unexpected replay offset %d on partition %d", p.rec.Offset, p.part)
 		}
 	}
-	// A nil snapshot resets to committed offsets.
+	// A nil snapshot resets to the first-adopted (initial) offsets.
 	if err := s.RestoreState(nil); err != nil {
 		t.Fatal(err)
 	}
@@ -194,5 +195,165 @@ func TestSpoutSnapshotRestore(t *testing.T) {
 	stale := []byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0} // part 0 -> offset 1, trimmed
 	if err := s2.RestoreState(stale); !errors.Is(err, ErrOffsetOutOfRange) {
 		t.Fatalf("restore below retention: err=%v", err)
+	}
+}
+
+// TestSpoutSnapshotExcludesInflight: records emitted reliably but not yet
+// acked were emitted before the snapshot's barrier, so per-link FIFO has
+// already carried them into the downstream epoch state — the resume point
+// must not rewind to them (re-emitting them after a restore would carry
+// fresh post-fence epoch stamps and double-count into restored state).
+// Fail-requeued and still-buffered records, by contrast, have not been
+// absorbed and must lower the resume point.
+func TestSpoutSnapshotExcludesInflight(t *testing.T) {
+	b := seekFixture(t, 10, 0)
+	s := &Spout{Broker: b, Topic: "t", Group: "g", MaxPoll: 4,
+		Decode: func(rec Record) []interface{} { return []interface{}{rec.Value} }}
+	s.memberID = "m"
+	s.inflight = map[int64]pending{}
+	assigned, gen, err := b.Assignment("g", "m", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.adoptAssignment(assigned, gen)
+	if !s.poll() {
+		t.Fatal("poll buffered nothing")
+	}
+	// Simulate reliable emission of the first two records (what Next does
+	// minus the Collector): they move from buffered to inflight.
+	for i := 0; i < 2; i++ {
+		p := s.buffered[0]
+		s.buffered = s.buffered[1:]
+		s.nextMsg++
+		s.inflight[s.nextMsg] = p
+	}
+	// Decode the resume point without restoring (RestoreState would clear
+	// the in-flight set the next step depends on). Layout: uint32 count,
+	// then (uint32 partition, uint64 offset) pairs.
+	resumeOf := func(snap []byte) int64 {
+		t.Helper()
+		if n := binary.LittleEndian.Uint32(snap); n != 1 {
+			t.Fatalf("snapshot has %d partitions, want 1", n)
+		}
+		return int64(binary.LittleEndian.Uint64(snap[8:]))
+	}
+	snap, err := s.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resume point is the first unemitted record (offset 2), not the
+	// in-flight records' offsets 0..1.
+	if got := resumeOf(snap); got != 2 {
+		t.Fatalf("resume point = %d, want 2 (inflight must not lower it)", got)
+	}
+
+	// A Fail-requeued record re-enters the buffer and DOES lower the
+	// resume point: its delivery never completed, so it is not part of the
+	// absorbed prefix.
+	s.Fail(1) // requeues offset 0
+	if len(s.buffered) == 0 || s.buffered[len(s.buffered)-1].rec.Offset != 0 {
+		t.Fatalf("Fail did not requeue offset 0: %+v", s.buffered)
+	}
+	snap, err = s.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumeOf(snap); got != 0 {
+		t.Fatalf("resume point = %d, want 0 (requeued record must lower it)", got)
+	}
+	if err := s.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.cursor[0]; got != 0 {
+		t.Fatalf("restored cursor = %d, want 0", got)
+	}
+	if got := b.CommittedOffset("g", "t", 0); got != 0 {
+		t.Fatalf("committed after restore = %d, want 0", got)
+	}
+	if len(s.inflight) != 0 || len(s.buffered) != 0 {
+		t.Fatal("restore left buffered/inflight residue")
+	}
+}
+
+// TestSpoutNilRestoreRewindsToInitial: a reset-to-initial-state restore
+// (no epoch ever committed) must rewind to the offsets the partitions were
+// first adopted at — the group's committed offsets have been advanced by
+// eager (unreliable) or ack-time (reliable) commits for records whose
+// effects the reset just erased downstream.
+func TestSpoutNilRestoreRewindsToInitial(t *testing.T) {
+	b := seekFixture(t, 10, 0)
+	s := &Spout{Broker: b, Topic: "t", Group: "g", MaxPoll: 10,
+		Decode: func(rec Record) []interface{} { return []interface{}{rec.Value} }}
+	s.memberID = "m"
+	s.inflight = map[int64]pending{}
+	assigned, gen, err := b.Assignment("g", "m", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.adoptAssignment(assigned, gen)
+	if !s.poll() {
+		t.Fatal("poll buffered nothing")
+	}
+	// Simulate unreliable emission of 5 records: eager per-record commits.
+	for i := 0; i < 5; i++ {
+		p := s.buffered[0]
+		s.buffered = s.buffered[1:]
+		if err := b.CommitOffset("g", "t", p.part, p.rec.Offset+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.CommittedOffset("g", "t", 0); got != 5 {
+		t.Fatalf("eager commits = %d, want 5", got)
+	}
+	if err := s.RestoreState(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.cursor[0]; got != 0 {
+		t.Fatalf("nil restore cursor = %d, want initial offset 0", got)
+	}
+	if got := b.CommittedOffset("g", "t", 0); got != 0 {
+		t.Fatalf("nil restore committed = %d, want 0", got)
+	}
+	// Replay re-fetches from the initial offset.
+	if !s.poll() {
+		t.Fatal("poll after nil restore buffered nothing")
+	}
+	if s.buffered[0].rec.Offset != 0 {
+		t.Fatalf("first replayed offset = %d, want 0", s.buffered[0].rec.Offset)
+	}
+
+	// When retention has trimmed past the initial position, the rewind
+	// clamps forward to the retained log start instead of failing.
+	if err := b.CreateTopic("trim", 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.ProduceTo("trim", 0, nil, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := &Spout{Broker: b, Topic: "trim", Group: "g2", MaxPoll: 10,
+		Decode: func(rec Record) []interface{} { return []interface{}{rec.Value} }}
+	s2.memberID = "m2"
+	s2.inflight = map[int64]pending{}
+	a2, g2, err := b.JoinGroup("g2", "m2", "trim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.adoptAssignment(a2, g2) // initial offset 0
+	for i := 3; i < 10; i++ {  // retention trims the head to offset 6
+		if _, err := b.ProduceTo("trim", 0, nil, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start, err := b.LogStartOffset("trim", 0)
+	if err != nil || start != 6 {
+		t.Fatalf("LogStartOffset = %d, %v", start, err)
+	}
+	if err := s2.RestoreState(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.cursor[0]; got != 6 {
+		t.Fatalf("trimmed nil restore cursor = %d, want log start 6", got)
 	}
 }

@@ -37,6 +37,7 @@ type Spout struct {
 	assigned []int
 	gen      int64
 	cursor   map[int]int64
+	initial  map[int]int64 // first-adoption offsets: the nil-restore rewind points
 	buffered []pending
 	inflight map[int64]pending // msgID -> record position
 	nextMsg  int64
@@ -69,12 +70,21 @@ func (s *Spout) Open(ctx *dsps.TaskContext) {
 }
 
 // adoptAssignment installs a (re)assignment, resuming each partition from
-// the group's committed offset.
+// the group's committed offset. The offset at which a partition is first
+// adopted is retained as its initial position: a reset-to-initial-state
+// restore (nil snapshot) rewinds there, not to the committed offset, which
+// keeps advancing with emission/acks and would lose pre-crash records.
 func (s *Spout) adoptAssignment(assigned []int, gen int64) {
 	s.assigned, s.gen = assigned, gen
 	s.cursor = map[int]int64{}
+	if s.initial == nil {
+		s.initial = map[int]int64{}
+	}
 	for _, p := range assigned {
 		s.cursor[p] = s.Broker.CommittedOffset(s.Group, s.Topic, p)
+		if _, ok := s.initial[p]; !ok {
+			s.initial[p] = s.cursor[p]
+		}
 	}
 }
 
@@ -155,26 +165,25 @@ func (s *Spout) Close() {
 
 // SnapshotState implements snapshot.Snapshotter: it records, per assigned
 // partition, the offset of the first record NOT yet emitted — the resume
-// point. Records sitting in the local buffer (fetched but unemitted) and
-// in-flight reliable emissions count as unemitted: their smallest offset
-// wins, so replay after restore re-delivers exactly the suffix the
-// downstream state hasn't absorbed. The encoding is sorted by partition,
-// hence deterministic.
+// point. Records sitting in the local buffer (fetched but unemitted, or
+// requeued by Fail) count as unemitted: their smallest offset wins, so
+// replay after restore re-delivers exactly the suffix the downstream state
+// hasn't absorbed. In-flight reliable emissions (emitted but unacked) are
+// deliberately NOT counted: they were emitted before this snapshot's
+// barrier, so per-link FIFO puts them ahead of the barrier on every path
+// and their effects are already inside the surviving tasks' epoch-N
+// snapshots — rewinding to them would re-emit them with post-fence stamps
+// that fencing cannot retire, double-counting them into restored state.
+// The encoding is sorted by partition, hence deterministic.
 func (s *Spout) SnapshotState() ([]byte, error) {
 	resume := map[int]int64{}
 	for _, part := range s.assigned {
 		resume[part] = s.cursor[part]
 	}
-	lower := func(p pending) {
+	for _, p := range s.buffered {
 		if cur, ok := resume[p.part]; !ok || p.rec.Offset < cur {
 			resume[p.part] = p.rec.Offset
 		}
-	}
-	for _, p := range s.buffered {
-		lower(p)
-	}
-	for _, p := range s.inflight {
-		lower(p)
 	}
 	parts := make([]int, 0, len(resume))
 	for part := range resume {
@@ -195,12 +204,29 @@ func (s *Spout) SnapshotState() ([]byte, error) {
 // bounds-checked against retention and the live head) and resets the
 // consume cursors there, dropping any buffered or in-flight records — they
 // are all at or past the resume point and will be re-fetched. A nil
-// snapshot resets to the group's committed offsets (initial state).
+// snapshot resets to initial state: each partition rewinds to the offset
+// it was first adopted at (clamped forward to the retained log start),
+// NOT to the group's committed offset — commits advance eagerly at
+// emission (unreliable) or on ack (reliable), so they reflect progress
+// the reset has just erased from every bolt.
 func (s *Spout) RestoreState(data []byte) error {
 	s.buffered = nil
 	s.inflight = map[int64]pending{}
 	if data == nil {
-		s.adoptAssignment(s.assigned, s.gen)
+		s.cursor = map[int]int64{}
+		for _, part := range s.assigned {
+			pos, ok := s.initial[part]
+			if !ok {
+				pos = s.Broker.CommittedOffset(s.Group, s.Topic, part)
+			}
+			if base, err := s.Broker.LogStartOffset(s.Topic, part); err == nil && pos < base {
+				pos = base // retention trimmed past the initial position
+			}
+			if err := s.Broker.SeekCommitted(s.Group, s.Topic, part, pos); err != nil {
+				return fmt.Errorf("kafkalite: reset %s/%d to %d: %w", s.Topic, part, pos, err)
+			}
+			s.cursor[part] = pos
+		}
 		return nil
 	}
 	if len(data) < 4 {
