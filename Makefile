@@ -55,9 +55,13 @@ bench:
 
 # Benchmark-regression gate: re-measure the curated microbenchmarks
 # (including the engine_pipeline_ckpt_off/1s checkpoint-overhead rows) and
-# quick-mode DES experiments, compare against the committed BENCH_8.json
+# quick-mode DES experiments, compare against the committed BENCH_9.json
 # baseline, and fail on regressions beyond the thresholds (10% micro, 25%
 # DES). Refresh the baseline after an intentional perf change with:
-#   $(GO) run ./cmd/whaleperf -quick -out BENCH_8.json
+#   $(GO) run ./cmd/whaleperf -quick -out BENCH_9.json
+# On hosts whose throughput swings between runs (shared/virtualized CPUs),
+# fold the worst observed median per row from a few extra gate runs into the
+# baseline (max ns/op, min tuples/sec, max dispersion) so the gate anchors at
+# the slow mode; real regressions still trip the 10-20% headroom above it.
 perfgate:
-	$(GO) run ./cmd/whaleperf -quick -runs 5 -baseline BENCH_8.json -out BENCH_8.new.json
+	$(GO) run ./cmd/whaleperf -quick -runs 5 -baseline BENCH_9.json -out BENCH_9.new.json

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync/atomic"
@@ -35,6 +37,7 @@ func main() {
 	app := flag.String("app", "ride", "application: ride | stock")
 	sysName := flag.String("system", "whale", "system: "+strings.Join(keys(), " | "))
 	workers := flag.Int("workers", 4, "worker processes")
+	maxWorkers := flag.Int("max-workers", 0, "elastic worker-slot cap; slots beyond -workers start dormant (0 = no headroom)")
 	matchers := flag.Int("matchers", 16, "matching operator parallelism")
 	duration := flag.Duration("duration", 10*time.Second, "run duration")
 	rate := flag.Float64("rate", 0, "broadcast stream rate (tuples/s, 0 = full speed)")
@@ -43,6 +46,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write sampled spans as Chrome trace_event JSON to this file on shutdown (implies tracing; load via chrome://tracing or Perfetto)")
 	bottleneck := flag.Bool("bottleneck", false, "print the ranked bottleneck attribution report on shutdown")
 	checkpoint := flag.Duration("checkpoint", 0, "aligned snapshot checkpoint interval (0 = off; see DESIGN.md §13)")
+	membership := flag.Bool("membership", false, "print the cluster membership report as JSON on shutdown (also served at /debug/membership with -obs-addr)")
 	flag.Parse()
 	if *traceOut != "" && *traceEvery == 0 {
 		*traceEvery = 100
@@ -86,6 +90,7 @@ func main() {
 
 	cluster, err := whale.Run(topo, sys, whale.Options{
 		Workers:            *workers,
+		MaxWorkers:         *maxWorkers,
 		ObsAddr:            *obsAddr,
 		TraceSampleEvery:   *traceEvery,
 		CheckpointInterval: *checkpoint,
@@ -137,6 +142,11 @@ func main() {
 			fmt.Printf("trace written to %s\n", *traceOut)
 		}
 	}
+	if *membership {
+		if err := writeMembership(cluster, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
 	cluster.Shutdown()
 	switch *app {
 	case "ride":
@@ -144,6 +154,14 @@ func main() {
 	case "stock":
 		fmt.Printf("trades executed=%d\n", trades.Load())
 	}
+}
+
+// writeMembership dumps the cluster membership report as indented JSON —
+// the same document /debug/membership serves.
+func writeMembership(c *whale.Cluster, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Membership())
 }
 
 // writeTrace dumps the tracer's retained spans as Chrome trace_event JSON.

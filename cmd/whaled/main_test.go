@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"whale"
+)
+
+type noopSpout struct{}
+
+func (noopSpout) Open(*whale.TaskContext)    {}
+func (noopSpout) Next(*whale.Collector) bool { return false }
+func (noopSpout) Close()                     {}
+
+type noopBolt struct{}
+
+func (noopBolt) Prepare(*whale.TaskContext)             {}
+func (noopBolt) Execute(*whale.Tuple, *whale.Collector) {}
+func (noopBolt) Cleanup()                               {}
+
+// TestMembershipDumpParses: the -membership dump and the /debug/membership
+// endpoint serve the same parseable JSON document, with the elastic slots
+// beyond -workers reported dormant.
+func TestMembershipDumpParses(t *testing.T) {
+	b := whale.NewTopologyBuilder()
+	b.Spout("src", func() whale.Spout { return noopSpout{} }, 1)
+	b.Bolt("sink", func() whale.Bolt { return noopBolt{} }, 2).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := whale.Run(topo, whale.SystemWhale, whale.Options{
+		Workers: 2, MaxWorkers: 4,
+		Transport: whale.TransportInproc,
+		ObsAddr:   "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	var buf bytes.Buffer
+	if err := writeMembership(cluster, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep whale.MembershipReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("parse -membership dump %s: %v", buf.Bytes(), err)
+	}
+	if rep.MaxWorkers != 4 || len(rep.Workers) != 4 {
+		t.Fatalf("dump sizing %+v", rep)
+	}
+	states := map[string]int{}
+	for _, ws := range rep.Workers {
+		states[ws.State]++
+	}
+	if states["alive"] != 2 || states["dormant"] != 2 {
+		t.Fatalf("dump states %v", states)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/membership", cluster.ObsAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served whale.MembershipReport
+	if err := json.Unmarshal(body, &served); err != nil {
+		t.Fatalf("parse /debug/membership %s: %v", body, err)
+	}
+	if served.MaxWorkers != rep.MaxWorkers || len(served.Workers) != len(rep.Workers) {
+		t.Fatalf("endpoint and dump disagree: %+v vs %+v", served, rep)
+	}
+}

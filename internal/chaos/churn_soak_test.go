@@ -1,0 +1,520 @@
+package chaos_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"whale/internal/chaos"
+	"whale/internal/dsps"
+	"whale/internal/kafkalite"
+	"whale/internal/obs"
+	"whale/internal/snapshot"
+	"whale/internal/transport"
+	"whale/internal/tuple"
+)
+
+// Churn soak (`make chaos`): elastic membership under fire. A keyed running
+// sum flows through a fields-grouped aggregator while the cluster churns —
+// a dormant worker joins, two operators grow onto it through rescale-aligned
+// checkpoints, a worker is crashed with a shrink pending (which must roll
+// back, never half-apply), the shrinks are re-issued after recovery, and the
+// joined worker finally leaves once it hosts nothing. At the end the merged
+// aggregator state must equal the static reference exactly — every record
+// counted once across every split, merge, rollback and replay — and the
+// membership event sequence must reproduce bit-for-bit under the same seed.
+
+const (
+	churnWorkers    = 4
+	churnMaxWorkers = 5
+	churnRecords    = 360
+	churnPhase1     = 120 // records before the churn window
+	churnPhase2     = 240 // records before the crash window
+	churnKeys       = 16
+)
+
+func churnKey(i int64) string { return fmt.Sprintf("k-%d", i%churnKeys) }
+func churnVal(i int64) int64  { return i%7 + 1 }
+
+// churnReference computes the per-key sums a failure-free run converges to.
+func churnReference() map[string]int64 {
+	out := map[string]int64{}
+	for i := int64(0); i < churnRecords; i++ {
+		out[churnKey(i)] += churnVal(i)
+	}
+	return out
+}
+
+// shardAggBolt keeps per-key running sums. It implements snapshot.Sharder:
+// the cut is keyed by grouping slot, so a rescale can split its state across
+// more instances or merge it back — each restored instance keeps exactly the
+// slots it owns under the new width.
+type shardAggBolt struct {
+	reg *churnRegistry
+
+	mu   sync.Mutex
+	sums map[string]int64
+}
+
+func (b *shardAggBolt) Prepare(ctx *dsps.TaskContext) {
+	b.sums = map[string]int64{}
+	b.reg.register(ctx.TaskID, b)
+}
+
+func (b *shardAggBolt) Execute(tp *tuple.Tuple, _ *dsps.Collector) {
+	key, val := tp.StringAt(1), tp.Int(2)
+	b.mu.Lock()
+	b.sums[key] += val
+	b.mu.Unlock()
+}
+
+func (b *shardAggBolt) Cleanup() {}
+
+// encodeSums serializes key->sum pairs sorted by key (deterministic).
+func encodeSums(sums map[string]int64) []byte {
+	keys := make([]string, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(keys)))
+	for _, k := range keys {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(k)))
+		out = append(out, k...)
+		out = binary.LittleEndian.AppendUint64(out, uint64(sums[k]))
+	}
+	return out
+}
+
+func decodeSums(data []byte, into map[string]int64) error {
+	if len(data) < 4 {
+		return fmt.Errorf("churn soak: truncated sums")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	for i := 0; i < n; i++ {
+		if len(data) < 4 {
+			return fmt.Errorf("churn soak: truncated key length")
+		}
+		kl := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if len(data) < kl+8 {
+			return fmt.Errorf("churn soak: truncated entry")
+		}
+		into[string(data[:kl])] = int64(binary.LittleEndian.Uint64(data[kl:]))
+		data = data[kl+8:]
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("churn soak: %d trailing bytes", len(data))
+	}
+	return nil
+}
+
+// SnapshotState implements snapshot.Snapshotter.
+func (b *shardAggBolt) SnapshotState() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return encodeSums(b.sums), nil
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (b *shardAggBolt) RestoreState(data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sums = map[string]int64{}
+	if data == nil {
+		return nil
+	}
+	return decodeSums(data, b.sums)
+}
+
+// ShardSnapshot implements snapshot.Sharder: one shard per grouping slot
+// that currently holds keys.
+func (b *shardAggBolt) ShardSnapshot() (map[int32][]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bySlot := map[int32]map[string]int64{}
+	for k, v := range b.sums {
+		s := dsps.SlotOf(k)
+		if bySlot[s] == nil {
+			bySlot[s] = map[string]int64{}
+		}
+		bySlot[s][k] = v
+	}
+	out := make(map[int32][]byte, len(bySlot))
+	for s, m := range bySlot {
+		out[s] = encodeSums(m)
+	}
+	return out, nil
+}
+
+// RestoreShards implements snapshot.Sharder: the union of the handed shards
+// replaces the state wholesale.
+func (b *shardAggBolt) RestoreShards(shards map[int32][]byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sums = map[string]int64{}
+	for _, d := range shards {
+		if err := decodeSums(d, b.sums); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshot returns a copy of the current sums.
+func (b *shardAggBolt) snapshot() map[string]int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int64, len(b.sums))
+	for k, v := range b.sums {
+		out[k] = v
+	}
+	return out
+}
+
+// churnSpyBolt is a stateless all-grouping subscriber: its only job is to
+// keep a multicast tree under the membership churn so joins and rescales
+// exercise the versioned tree switch.
+type churnSpyBolt struct{}
+
+func (churnSpyBolt) Prepare(*dsps.TaskContext)             {}
+func (churnSpyBolt) Execute(*tuple.Tuple, *dsps.Collector) {}
+func (churnSpyBolt) Cleanup()                              {}
+
+// churnRegistry maps task ids to live aggregator instances for readout.
+type churnRegistry struct {
+	mu    sync.Mutex
+	bolts map[int32]*shardAggBolt
+}
+
+func (r *churnRegistry) register(task int32, b *shardAggBolt) {
+	r.mu.Lock()
+	r.bolts[task] = b
+	r.mu.Unlock()
+}
+
+func (r *churnRegistry) get(task int32) *shardAggBolt {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bolts[task]
+}
+
+// churnOutcome is what a run must reproduce exactly under the same seed.
+type churnOutcome struct {
+	Events []string           // membership/rescale event kinds, in order
+	Sums   map[string]int64   // merged per-key sums across live agg tasks
+	Owners map[string][]int32 // key -> live tasks holding it (must be 1)
+	Dead   []int32
+}
+
+// churnEventKinds is the filter for the deterministic event trace.
+var churnEventKinds = map[string]bool{
+	obs.EventWorkerJoined:     true,
+	obs.EventWorkerLeft:       true,
+	obs.EventWorkerDead:       true,
+	obs.EventRescaleStarted:   true,
+	obs.EventRescaleCommitted: true,
+	obs.EventRescaleAborted:   true,
+}
+
+// churnProduce appends records [from, to) of the deterministic sequence.
+func churnProduce(t *testing.T, broker *kafkalite.Broker, from, to int64) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(i))
+		if _, err := broker.ProduceTo("orders", 0, nil, b[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runChurnSoak executes one run; with churn it drives the full membership
+// schedule: join -> grow x2 -> crash with a shrink pending (rollback) ->
+// recover -> shrink x2 -> leave.
+func runChurnSoak(t *testing.T, seed int64, churn bool) churnOutcome {
+	t.Helper()
+
+	broker := kafkalite.NewBroker()
+	if err := broker.CreateTopic("orders", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	churnProduce(t, broker, 0, churnPhase1)
+
+	reg := &churnRegistry{bolts: map[int32]*shardAggBolt{}}
+	decode := func(rec kafkalite.Record) []tuple.Value {
+		i := int64(binary.LittleEndian.Uint64(rec.Value))
+		return []tuple.Value{i, churnKey(i), churnVal(i)}
+	}
+	b := dsps.NewTopologyBuilder()
+	b.Spout("src", func() dsps.Spout {
+		return &kafkalite.Spout{Broker: broker, Topic: "orders", Group: "churn", Decode: decode, MaxPoll: 8}
+	}, 1)
+	b.Bolt("agg", func() dsps.Bolt { return &shardAggBolt{reg: reg} }, 2).Fields("src", 1)
+	b.Bolt("spy", func() dsps.Bolt { return churnSpyBolt{} }, 2).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := chaos.Wrap(transport.NewInprocNetwork(0), chaos.Config{Seed: seed})
+	eng, err := dsps.Start(topo, dsps.Config{
+		Workers: churnWorkers, MaxWorkers: churnMaxWorkers, Network: net,
+		Comm: dsps.WorkerOriented, Multicast: dsps.MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+		HeartbeatInterval:  10 * time.Millisecond,
+		SuspectAfter:       60 * time.Millisecond,
+		ConfirmAfter:       200 * time.Millisecond,
+		CheckpointInterval: 3 * time.Millisecond,
+		CheckpointTimeout:  30 * time.Millisecond,
+		CheckpointStore:    snapshot.NewMemStore(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped := false
+	defer func() {
+		if !stopped {
+			eng.Stop()
+		}
+	}()
+
+	// The schedule assumes round-robin placement: spout (and coordinator) on
+	// the never-crashed monitor worker 0, agg on 1/2, spy on 3/0.
+	if w := eng.WorkerOfTask(eng.TasksOf("src")[0]); w != 0 {
+		t.Fatalf("spout on worker %d; soak assumes worker 0", w)
+	}
+	for _, tid := range append(eng.TasksOf("agg"), eng.TasksOf("spy")...) {
+		if w := eng.WorkerOfTask(tid); w != tid%churnWorkers {
+			t.Fatalf("task %d on worker %d; soak assumes round-robin placement", tid, w)
+		}
+	}
+
+	// Collect the membership/rescale event trace through a subscription: the
+	// ring log evicts under 3ms epochs, a subscriber does not miss.
+	evCh, cancel := eng.Obs().Events.Subscribe(4096)
+	defer cancel()
+	var evMu sync.Mutex
+	var events []string
+	go func() {
+		for ev := range evCh {
+			if churnEventKinds[ev.Kind] {
+				evMu.Lock()
+				events = append(events, ev.Kind)
+				evMu.Unlock()
+			}
+		}
+	}()
+	countTrace := func(kind string) int {
+		evMu.Lock()
+		defer evMu.Unlock()
+		n := 0
+		for _, k := range events {
+			if k == kind {
+				n++
+			}
+		}
+		return n
+	}
+	waitTrace := func(kind string, n int, within time.Duration) {
+		t.Helper()
+		deadline := time.Now().Add(within)
+		for time.Now().Before(deadline) {
+			if countTrace(kind) >= n {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("event %s #%d not observed within %v (trace so far: %v)", kind, n, within, events)
+	}
+
+	// Phase A — steady state: epochs commit under the initial membership.
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Metrics().EpochsCompleted.Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if eng.Metrics().EpochsCompleted.Value() < 2 {
+		t.Fatal("no epochs committed before churn window")
+	}
+
+	if churn {
+		// Join: worker 4 handshakes in through the monitor.
+		if err := eng.JoinWorker(4); err != nil {
+			t.Fatal(err)
+		}
+		waitTrace(obs.EventWorkerJoined, 1, 10*time.Second)
+
+		// Grow both operators onto the joined worker, one aligned cut each.
+		// spy growth adds worker 4 to the multicast tree; agg growth splits
+		// the keyed state 2 -> 3 ways by slot ownership.
+		if err := eng.Rescale("spy", 3, 4); err != nil {
+			t.Fatal(err)
+		}
+		waitTrace(obs.EventRescaleCommitted, 1, 15*time.Second)
+		if err := eng.Rescale("agg", 3, 4); err != nil {
+			t.Fatal(err)
+		}
+		waitTrace(obs.EventRescaleCommitted, 2, 15*time.Second)
+
+		// More records flow through the 3-wide aggregator so its split state
+		// is live (and checkpointed) before the crash.
+		churnProduce(t, broker, churnPhase1, churnPhase2)
+		ec := eng.Metrics().EpochsCompleted.Value()
+		deadline = time.Now().Add(10 * time.Second)
+		for eng.Metrics().EpochsCompleted.Value() < ec+2 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+
+		// Crash worker 3 (hosts a spy task) and immediately request an agg
+		// shrink: the aligned epoch can never complete — worker 3's barrier
+		// acks died with it — so the plan must roll back deterministically
+		// when the death confirms, never half-apply.
+		net.Crash(3)
+		if err := eng.Rescale("agg", 2); err != nil {
+			t.Fatalf("shrink request right after crash: %v", err)
+		}
+		waitTrace(obs.EventWorkerDead, 1, 10*time.Second)
+		waitTrace(obs.EventRescaleAborted, 1, 10*time.Second)
+		deadline = time.Now().Add(15 * time.Second)
+		for eng.Metrics().Restores.Value() < 1 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if eng.Metrics().Restores.Value() < 1 {
+			t.Fatal("no restore completed after the crash")
+		}
+
+		// Re-issue the shrink after recovery (retries while the recovery
+		// window still rejects it), then undo the spy growth and let the
+		// now-empty worker leave.
+		deadline = time.Now().Add(10 * time.Second)
+		for {
+			if err := eng.Rescale("agg", 2); err == nil {
+				break
+			} else if time.Now().After(deadline) {
+				t.Fatalf("agg shrink never accepted after recovery: %v", err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		waitTrace(obs.EventRescaleCommitted, 3, 15*time.Second)
+		if err := eng.Rescale("spy", 2); err != nil {
+			t.Fatal(err)
+		}
+		waitTrace(obs.EventRescaleCommitted, 4, 15*time.Second)
+		if err := eng.LeaveWorker(4); err != nil {
+			t.Fatal(err)
+		}
+		waitTrace(obs.EventWorkerLeft, 1, 10*time.Second)
+	}
+
+	// Final phase — the rest of the stream; the merged aggregator state must
+	// converge to the static reference.
+	start := int64(churnPhase1)
+	if churn {
+		start = churnPhase2
+	}
+	churnProduce(t, broker, start, churnRecords)
+
+	ref := churnReference()
+	merged := func() map[string]int64 {
+		out := map[string]int64{}
+		for _, tid := range eng.TasksOf("agg") {
+			bl := reg.get(tid)
+			if bl == nil {
+				return nil
+			}
+			for k, v := range bl.snapshot() {
+				out[k] += v
+			}
+		}
+		return out
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for !reflect.DeepEqual(merged(), ref) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	out := churnOutcome{
+		Sums:   merged(),
+		Owners: map[string][]int32{},
+		Dead:   eng.DeadWorkers(),
+	}
+	for _, tid := range eng.TasksOf("agg") {
+		if bl := reg.get(tid); bl != nil {
+			for k := range bl.snapshot() {
+				out.Owners[k] = append(out.Owners[k], tid)
+			}
+		}
+	}
+	for _, owners := range out.Owners {
+		sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	}
+	eng.Stop()
+	stopped = true
+	// The subscription closes with the engine; snapshot the trace after the
+	// drain goroutine has consumed everything.
+	cancel()
+	time.Sleep(10 * time.Millisecond)
+	evMu.Lock()
+	out.Events = append([]string(nil), events...)
+	evMu.Unlock()
+	return out
+}
+
+// TestChaosChurnSoak asserts the elastic-membership story: the full churn
+// schedule preserves exactly-once keyed state against the static reference,
+// key ownership stays disjoint across every split and merge, the mid-crash
+// shrink rolls back instead of half-applying, and the same seed reproduces
+// the identical membership event sequence and final state.
+func TestChaosChurnSoak(t *testing.T) {
+	ref := churnReference()
+
+	static := runChurnSoak(t, 23, false)
+	if len(static.Events) != 0 || len(static.Dead) != 0 {
+		t.Fatalf("static run saw churn: events=%v dead=%v", static.Events, static.Dead)
+	}
+	if !reflect.DeepEqual(static.Sums, ref) {
+		t.Fatalf("static run sums diverge:\n got %v\nwant %v", static.Sums, ref)
+	}
+
+	run1 := runChurnSoak(t, 23, true)
+	want := []string{
+		obs.EventWorkerJoined,
+		obs.EventRescaleStarted, obs.EventRescaleCommitted, // spy 2 -> 3
+		obs.EventRescaleStarted, obs.EventRescaleCommitted, // agg 2 -> 3
+		obs.EventRescaleStarted,                            // agg 3 -> 2, doomed
+		obs.EventWorkerDead,                                // worker 3 confirmed dead
+		obs.EventRescaleAborted,                            // the pending shrink rolls back
+		obs.EventRescaleStarted, obs.EventRescaleCommitted, // agg 3 -> 2 re-issued
+		obs.EventRescaleStarted, obs.EventRescaleCommitted, // spy 3 -> 2
+		obs.EventWorkerLeft, // worker 4 departs empty
+	}
+	if !reflect.DeepEqual(run1.Events, want) {
+		t.Fatalf("churn event trace:\n got %v\nwant %v", run1.Events, want)
+	}
+	if !reflect.DeepEqual(run1.Dead, []int32{3}) {
+		t.Fatalf("dead workers = %v, want [3]", run1.Dead)
+	}
+	// Exactly-once across the churn: every record counted once despite two
+	// splits, a rollback, a crash restore and two merges.
+	if !reflect.DeepEqual(run1.Sums, ref) {
+		t.Fatalf("churn run sums diverge:\n got %v\nwant %v", run1.Sums, ref)
+	}
+	// Slot ownership is a partition: no key is held by two live instances.
+	for k, owners := range run1.Owners {
+		if len(owners) != 1 {
+			t.Fatalf("key %s held by tasks %v after the merge back", k, owners)
+		}
+	}
+
+	// Determinism: a second churn run under the same seed reproduces the
+	// event sequence and final state exactly.
+	run2 := runChurnSoak(t, 23, true)
+	if !reflect.DeepEqual(run1, run2) {
+		t.Fatalf("same-seed churn runs diverge:\nrun1 %+v\nrun2 %+v", run1, run2)
+	}
+}

@@ -93,6 +93,10 @@ const (
 type Options struct {
 	// Workers is the worker-process count (default 4).
 	Workers int
+	// MaxWorkers caps the cluster's elastic size: workers in
+	// [Workers, MaxWorkers) start dormant and can be admitted later with
+	// Cluster.JoinWorker (default: Workers — no elastic headroom).
+	MaxWorkers int
 	// Transport overrides the system's canonical wire.
 	Transport TransportKind
 	// MMS and WTL tune Whale's stream slicing (defaults 256 KiB / 1 ms —
@@ -314,6 +318,7 @@ func (s System) EngineConfig(o Options) (dsps.Config, error) {
 	}
 	cfg := dsps.Config{
 		Workers:            o.Workers,
+		MaxWorkers:         o.MaxWorkers,
 		Network:            net,
 		TransferQueueCap:   o.TransferQueueCap,
 		Control:            o.Control,

@@ -173,7 +173,7 @@ func withAcking(t *Topology, eng *Engine, ackers int, timeout time.Duration) *To
 // sendDirect routes a tuple to one explicit task, bypassing groupings
 // (used by the acker to reach the owning spout task).
 func (ex *executor) sendDirect(dst int32, tp *tuple.Tuple) {
-	dw := ex.w.eng.assign.WorkerOf[dst]
+	dw := ex.w.eng.tv().assign.WorkerOf[dst]
 	if dw == ex.w.id {
 		ex.w.enqueueLocal(dst, tp)
 		return

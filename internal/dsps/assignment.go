@@ -23,6 +23,15 @@ type Assignment struct {
 	Workers int
 }
 
+// retiredWorker marks a task retired by a shrink rescale in WorkerOf: the
+// task id stays allocated (ids are dense indices into Tasks/WorkerOf and
+// must stay stable across rescales) but no routing, barrier, checkpoint or
+// membership computation considers it.
+const retiredWorker int32 = -1
+
+// retired reports whether tid was retired by a shrink rescale.
+func (a *Assignment) retired(tid int32) bool { return a.WorkerOf[tid] == retiredWorker }
+
 // Assign places tasks round-robin across workers, mirroring Storm's default
 // even spreading: task k of the global dense ordering goes to worker
 // k mod workers. With parallelism >= workers this co-locates multiple
@@ -52,6 +61,63 @@ func Assign(t *Topology, workers int) (*Assignment, error) {
 		}
 	}
 	return a, nil
+}
+
+// Rescaled derives a new assignment with op's parallelism changed to
+// newPar, leaving the receiver untouched. Task ids stay stable: the first
+// min(old, new) ids keep their identity; growth appends fresh ids at the
+// global tail hosted on placeOn (one worker per new task, chosen by the
+// caller); shrinkage retires the tail ids (WorkerOf = retiredWorker)
+// instead of compacting, so no surviving task id ever changes meaning.
+// TaskIndex/Parallelism of the op's live tasks are rewritten for the new
+// width; retired task contexts keep their final pre-retirement values.
+func (a *Assignment) Rescaled(op string, newPar int, placeOn []int32) (*Assignment, error) {
+	old := a.TasksOf[op]
+	if len(old) == 0 {
+		return nil, fmt.Errorf("dsps: rescale of unknown operator %q", op)
+	}
+	if newPar < 1 {
+		return nil, fmt.Errorf("dsps: rescale %q to parallelism %d", op, newPar)
+	}
+	if newPar == len(old) {
+		return nil, fmt.Errorf("dsps: %q already at parallelism %d", op, newPar)
+	}
+	n := &Assignment{
+		Tasks:    append([]TaskContext(nil), a.Tasks...),
+		TasksOf:  make(map[string][]int32, len(a.TasksOf)),
+		WorkerOf: append([]int32(nil), a.WorkerOf...),
+		Workers:  a.Workers,
+	}
+	for id, tids := range a.TasksOf {
+		n.TasksOf[id] = append([]int32(nil), tids...)
+	}
+	keep := newPar
+	if len(old) < keep {
+		keep = len(old)
+	}
+	tids := append([]int32(nil), old[:keep]...)
+	if newPar > len(old) {
+		if len(placeOn) != newPar-len(old) {
+			return nil, fmt.Errorf("dsps: rescale %q to %d needs %d placements, got %d", op, newPar, newPar-len(old), len(placeOn))
+		}
+		for _, w := range placeOn {
+			tid := int32(len(n.Tasks))
+			n.Tasks = append(n.Tasks, TaskContext{TaskID: tid, OperatorID: op, Worker: w})
+			n.WorkerOf = append(n.WorkerOf, w)
+			tids = append(tids, tid)
+		}
+	} else {
+		for _, tid := range old[keep:] {
+			n.WorkerOf[tid] = retiredWorker
+		}
+	}
+	for i, tid := range tids {
+		n.Tasks[tid].TaskIndex = i
+		n.Tasks[tid].Parallelism = newPar
+		n.Tasks[tid].Worker = n.WorkerOf[tid]
+	}
+	n.TasksOf[op] = tids
+	return n, nil
 }
 
 // LocalTasks returns the task ids hosted on worker w, ascending.
@@ -156,7 +222,7 @@ func (r *router) destinations(stream string, tp *tuple.Tuple) ([]destination, er
 			if rt.sub.FieldIdx >= len(tp.Values) {
 				return nil, fmt.Errorf("dsps: fields grouping on field %d of %d-field tuple", rt.sub.FieldIdx, len(tp.Values))
 			}
-			i := int(hashValue(tp.Values[rt.sub.FieldIdx]) % uint64(len(rt.dstTasks)))
+			i := int(SlotOf(tp.Values[rt.sub.FieldIdx])) % len(rt.dstTasks)
 			out = append(out, destination{dstOp: rt.dstOp, tasks: rt.dstTasks[i : i+1]})
 		case AllGrouping:
 			out = append(out, destination{dstOp: rt.dstOp, all: true, tasks: rt.dstTasks})
@@ -180,6 +246,18 @@ func (r *router) destinations(stream string, tp *tuple.Tuple) ([]destination, er
 // hasSubscribers reports whether the stream has any outgoing edge (a tuple
 // emitted on a sink operator's stream goes nowhere).
 func (r *router) hasSubscribers(stream string) bool { return len(r.routes[stream]) > 0 }
+
+// NumSlots is the fixed key-space width for fields grouping. A key maps to
+// a slot (stable across parallelism changes) and the slot maps to a task by
+// slot mod parallelism. State sharded by slot id (snapshot.Sharder) can
+// therefore be split and merged exactly during a rescale: the slot a key
+// lives in never moves, only the task owning the slot does.
+const NumSlots = 64
+
+// SlotOf returns the key-grouping slot for one field value, in [0, NumSlots).
+func SlotOf(v tuple.Value) int32 {
+	return int32(hashValue(v) % NumSlots)
+}
 
 // hashValue hashes one field value for key grouping.
 func hashValue(v tuple.Value) uint64 {

@@ -41,7 +41,7 @@ func (e *Engine) AttribInput() attrib.Input {
 	for _, w := range e.workers {
 		var busyNS, executed int64
 		var qlen int
-		for _, ex := range w.executors {
+		for _, ex := range w.execMap() {
 			s := ex.ops.execNS.Snapshot()
 			busyNS += s.Sum
 			executed += ex.ops.executed.Value()

@@ -86,6 +86,26 @@ type checkpointCoordinator struct {
 	restoreWave    int            // 1: bolts fencing+restoring, 2: sources rewinding
 	restoreFrom    int64          // committed epoch being reinstalled (0 = reset)
 	fence          int64          // discard data-plane tuples stamped below this
+
+	// Live rescale (DESIGN §14). A requested plan arms at the next epoch
+	// and applies only when an epoch >= armAfter commits — that commit is
+	// the rescale-aligned cut. The applied plan rides the fenced restore
+	// machinery (state split/merge, source rewind) and is discharged at
+	// finishRestoreLocked. A worker death with a plan still pending aborts
+	// it deterministically: the pre-rescale assignment stays active.
+	pendingRescale *rescalePlan
+	appliedRescale *rescalePlan
+}
+
+// rescalePlan is one requested parallelism change, carried from request
+// through apply to the committed event.
+type rescalePlan struct {
+	op        string
+	newPar    int
+	newAssign *Assignment
+	oldTasks  []int32 // op's task ids under the pre-rescale placement
+	armAfter  int64   // first epoch whose commit applies the plan
+	epoch     int64   // the aligned epoch actually committed (set at apply)
 }
 
 func newCheckpointCoordinator(e *Engine) *checkpointCoordinator {
@@ -176,8 +196,9 @@ func (c *checkpointCoordinator) beginEpochLocked() {
 	c.expected = map[int32]bool{}
 	c.acked = map[int32]bool{}
 	c.injected = map[int32]bool{}
+	tv := c.eng.tv()
 	for _, tid := range c.tasks {
-		if !c.exited[tid] && !c.eng.workerDead(c.eng.assign.WorkerOf[tid]) {
+		if !c.exited[tid] && !c.eng.workerDead(tv.assign.WorkerOf[tid]) {
 			c.expected[tid] = true
 		}
 	}
@@ -214,12 +235,13 @@ func (c *checkpointCoordinator) restoreMarker() *tuple.Tuple {
 // received one this attempt. Injection is non-blocking — a full executor
 // queue is retried on the next tick rather than wedging the coordinator.
 func (c *checkpointCoordinator) injectLocked(targets []int32, tp *tuple.Tuple) {
+	tv := c.eng.tv()
 	for _, tid := range targets {
 		if c.injected[tid] || c.acked[tid] {
 			continue
 		}
-		w := c.eng.workers[c.eng.assign.WorkerOf[tid]]
-		ex, ok := w.executors[tid]
+		w := c.eng.workers[tv.assign.WorkerOf[tid]]
+		ex, ok := w.execMap()[tid]
 		if !ok {
 			continue
 		}
@@ -249,16 +271,25 @@ func (c *checkpointCoordinator) abortEpochLocked(reason string) {
 // handleAck records one task's snapshot or restore acknowledgement. Called
 // from the control plane (CtrlSnapAck) or directly by local executors.
 func (c *checkpointCoordinator) handleAck(direction byte, task int32, epoch int64) {
+	if plan := c.handleAckInner(direction, task, epoch); plan != nil {
+		c.applyRescaleMembership(plan)
+	}
+}
+
+// handleAckInner is handleAck under the coordinator lock; it returns the
+// rescale plan applied by this ack's epoch commit, if any, so the caller
+// can distribute the multicast membership change lock-free.
+func (c *checkpointCoordinator) handleAckInner(direction byte, task int32, epoch int64) *rescalePlan {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch direction {
 	case tuple.SnapAckSnapshot:
 		if c.restoring || epoch == 0 || epoch != c.epoch || !c.expected[task] || c.acked[task] {
-			return
+			return nil
 		}
 		c.acked[task] = true
 		if !c.allAckedLocked() {
-			return
+			return nil
 		}
 		c.epoch = 0
 		if err := c.store.Commit(epoch); err != nil {
@@ -267,7 +298,7 @@ func (c *checkpointCoordinator) handleAck(direction byte, task int32, epoch int6
 				Kind: obs.EventSnapshotAbort, Worker: c.home, Epoch: epoch,
 				Detail: fmt.Sprintf("commit failed: %v", err),
 			})
-			return
+			return nil
 		}
 		c.eng.metrics.EpochsCompleted.Inc()
 		c.eng.metrics.EpochLatency.Observe(time.Since(c.started).Nanoseconds())
@@ -275,13 +306,18 @@ func (c *checkpointCoordinator) handleAck(direction byte, task int32, epoch int6
 			Kind: obs.EventSnapshotComplete, Worker: c.home, Epoch: epoch,
 			Detail: fmt.Sprintf("%d tasks acked", len(c.acked)),
 		})
+		if p := c.pendingRescale; p != nil && epoch >= p.armAfter {
+			c.applyRescaleLocked(epoch)
+			return c.appliedRescale
+		}
 	case tuple.SnapAckRestore:
 		if !c.restoring || epoch != c.fence || !c.expected[task] || c.acked[task] {
-			return
+			return nil
 		}
 		c.acked[task] = true
 		c.advanceRestoreLocked()
 	}
+	return nil
 }
 
 // advanceRestoreLocked moves the restore forward when the current wave has
@@ -309,11 +345,12 @@ func (c *checkpointCoordinator) startRestoreWaveLocked(wave int) bool {
 	c.expected = map[int32]bool{}
 	c.acked = map[int32]bool{}
 	c.injected = map[int32]bool{}
+	tv := c.eng.tv()
 	for _, tid := range c.tasks {
 		if c.spoutSet[tid] != (wave == 2) {
 			continue
 		}
-		if !c.exited[tid] && !c.eng.workerDead(c.eng.assign.WorkerOf[tid]) {
+		if !c.exited[tid] && !c.eng.workerDead(tv.assign.WorkerOf[tid]) {
 			c.expected[tid] = true
 		}
 	}
@@ -333,6 +370,13 @@ func (c *checkpointCoordinator) finishRestoreLocked() {
 		Kind: obs.EventSnapshotRestored, Worker: c.home, Epoch: c.restoreFrom,
 		Detail: fmt.Sprintf("restored from epoch %d; fence %d", c.restoreFrom, c.fence),
 	})
+	if p := c.appliedRescale; p != nil {
+		c.appliedRescale = nil
+		c.eng.obs.Events.Append(obs.Event{
+			Kind: obs.EventRescaleCommitted, Worker: c.home, Epoch: p.epoch,
+			Detail: fmt.Sprintf("%s -> %d tasks, cut at epoch %d", p.op, p.newPar, p.epoch),
+		})
+	}
 }
 
 func (c *checkpointCoordinator) allAckedLocked() bool {
@@ -380,9 +424,135 @@ func (c *checkpointCoordinator) onWorkerDead(dead int32) {
 	if c.epoch != 0 {
 		c.abortEpochLocked(fmt.Sprintf("worker %d confirmed dead mid-epoch", dead))
 	}
+	// A plan that has not applied yet can never apply now: the aligned
+	// epoch's barriers died with the worker. Abort it deterministically —
+	// the pre-rescale assignment stays active, never a half-repartitioned
+	// topology. An already-applied plan is durable (its cut committed) and
+	// rides the restore that follows.
+	if p := c.pendingRescale; p != nil {
+		c.pendingRescale = nil
+		c.eng.obs.Events.Append(obs.Event{
+			Kind: obs.EventRescaleAborted, Worker: c.home,
+			Detail: fmt.Sprintf("%s -> %d: worker %d died before the aligned epoch committed", p.op, p.newPar, dead),
+		})
+	}
 	c.restoring = false
 	c.restoreWave = 0
 	c.recoverPending = true
+}
+
+// requestRescale arms a live parallelism change. The plan applies at the
+// commit of the first epoch >= armAfter — epochs already in flight commit
+// (or abort) under the old placement, so the cut is always a full aligned
+// snapshot of the pre-rescale topology.
+func (c *checkpointCoordinator) requestRescale(op string, newPar int, next *Assignment) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pendingRescale != nil || c.appliedRescale != nil {
+		return fmt.Errorf("dsps: a rescale is already in progress")
+	}
+	if c.restoring || c.recoverPending {
+		return fmt.Errorf("dsps: rescale rejected: recovery in progress")
+	}
+	if c.sourceGone {
+		return fmt.Errorf("dsps: rescale rejected: sources exhausted, no further epochs will commit")
+	}
+	old := c.eng.tv().assign.TasksOf[op]
+	plan := &rescalePlan{
+		op:        op,
+		newPar:    newPar,
+		newAssign: next,
+		oldTasks:  append([]int32(nil), old...),
+		armAfter:  c.nextEpoch,
+	}
+	c.pendingRescale = plan
+	c.eng.obs.Events.Append(obs.Event{
+		Kind: obs.EventRescaleStarted, Worker: c.home, Epoch: plan.armAfter,
+		Detail: fmt.Sprintf("%s: %d -> %d tasks, arming at epoch %d", op, len(old), newPar, plan.armAfter),
+	})
+	return nil
+}
+
+// rescalePending reports whether a rescale is requested or applied but not
+// yet committed (its restore still running).
+func (c *checkpointCoordinator) rescalePending() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pendingRescale != nil || c.appliedRescale != nil
+}
+
+// applyRescaleLocked installs the armed plan at its aligned cut: new
+// executors spin up, the placement view swaps, and the coordinator's task
+// universe is rebuilt under the new assignment. Multicast membership and
+// the recovery arm move to applyRescaleMembership, which the caller runs
+// after releasing c.mu — tree distribution can block on the transfer
+// queue. State movement itself is deferred to the fenced restore the
+// membership step schedules (recoverPending): wave 1 re-derives every
+// task's routing and reinstalls state — the rescaled operator's shards
+// split or merged by slot ownership — and wave 2 rewinds sources to the
+// cut. Retired executors are left running inert: the restore never targets
+// them, rebuilt upstream routers no longer name them, and everything they
+// emit stays stamped below the fence.
+func (c *checkpointCoordinator) applyRescaleLocked(epoch int64) {
+	plan := c.pendingRescale
+	c.pendingRescale = nil
+	plan.epoch = epoch
+	e := c.eng
+	na := plan.newAssign
+	old := make(map[int32]bool, len(plan.oldTasks))
+	for _, tid := range plan.oldTasks {
+		old[tid] = true
+	}
+	// New executors before the view swap: the moment peers observe the new
+	// placement they route to the new tasks, whose queues must exist.
+	spec := e.topo.Operators[plan.op]
+	sink := e.opIsSink(plan.op)
+	for _, tid := range na.TasksOf[plan.op] {
+		if old[tid] {
+			continue
+		}
+		w := e.workers[na.WorkerOf[tid]]
+		rt := newRouter(e.topo, na, plan.op, w.id)
+		ex := newExecutor(w, na.Tasks[tid], spec, na, rt, sink, e.cfg.ExecutorQueueCap)
+		w.addExecutor(ex)
+		w.wg.Add(1)
+		go ex.runBolt()
+		if w.fc != nil {
+			w.wg.Add(1)
+			go ex.feed()
+		}
+	}
+	e.view.Store(&topoView{assign: na, remoteBy: buildRemote(e.topo, na, e.cfg.MaxWorkers)})
+	c.tasks = c.tasks[:0]
+	for _, tc := range na.Tasks {
+		if tc.OperatorID == ackerOperatorID || na.retired(tc.TaskID) {
+			continue
+		}
+		c.tasks = append(c.tasks, tc.TaskID)
+	}
+	sort.Slice(c.tasks, func(i, j int) bool { return c.tasks[i] < c.tasks[j] })
+	c.appliedRescale = plan
+}
+
+// applyRescaleMembership distributes every multicast group's post-rescale
+// membership (tree growth/prune over the §3.4 versioned switch) and only
+// then arms the restore — mirroring the failure path's repair-then-recover
+// ordering, so treesQuiet gates the restore markers behind the switches
+// just started. Runs with no coordinator lock held: CtrlTree distribution
+// blocks on the transfer queue when it is full.
+func (c *checkpointCoordinator) applyRescaleMembership(plan *rescalePlan) {
+	e := c.eng
+	for _, desc := range e.groupDescs {
+		mgr, ok := e.managers[desc.id]
+		if !ok {
+			continue
+		}
+		local, members := e.groupMembership(desc, plan.newAssign)
+		mgr.applyMembership(local, members)
+	}
+	c.mu.Lock()
+	c.recoverPending = true
+	c.mu.Unlock()
 }
 
 // beginRestoreLocked opens the restore phase: pick the latest committed
@@ -447,7 +617,19 @@ func (m *mcManager) switchPending() bool {
 // It reports whether the task may advance its epoch and forward barriers.
 func (c *checkpointCoordinator) snapshotTask(ex *executor, epoch int64) bool {
 	if sn, ok := ex.snapshotter(); ok {
-		data, err := sn.SnapshotState()
+		var data []byte
+		var err error
+		if sh, sharded := sn.(snapshot.Sharder); sharded {
+			// Slot-sharded state always snapshots in shard encoding, so any
+			// later epoch can be split or merged across a parallelism change
+			// without re-interpreting opaque task blobs.
+			var shards map[int32][]byte
+			if shards, err = sh.ShardSnapshot(); err == nil {
+				data = snapshot.EncodeShards(shards)
+			}
+		} else {
+			data, err = sn.SnapshotState()
+		}
 		if err == nil {
 			err = c.store.Put(epoch, taskKey(ex.ctx.TaskID), data)
 		}
@@ -466,22 +648,72 @@ func (c *checkpointCoordinator) snapshotTask(ex *executor, epoch int64) bool {
 
 // restoreTask reinstalls a task's epoch-N state (nil resets when the task
 // has no entry or no epoch ever committed). Runs on the executor goroutine.
+// Slot-sharded state under a just-applied rescale of this operator is
+// repartitioned here: every pre-rescale task's shards are fetched, merged,
+// and filtered down to the slots this task owns under its new width — an
+// MxN split/merge with no coordination beyond the committed store.
 func (c *checkpointCoordinator) restoreTask(ex *executor, from int64) error {
 	sn, ok := ex.snapshotter()
 	if !ok {
 		return nil
 	}
-	var data []byte
-	if from > 0 {
-		d, found, err := c.store.Get(from, taskKey(ex.ctx.TaskID))
+	sh, sharded := sn.(snapshot.Sharder)
+	if !sharded {
+		var data []byte
+		if from > 0 {
+			d, found, err := c.store.Get(from, taskKey(ex.ctx.TaskID))
+			if err != nil {
+				return err
+			}
+			if found {
+				data = d
+			}
+		}
+		return sn.RestoreState(data)
+	}
+	c.mu.Lock()
+	plan := c.appliedRescale
+	c.mu.Unlock()
+	rescaled := plan != nil && plan.op == ex.ctx.OperatorID
+	source := []int32{ex.ctx.TaskID}
+	if rescaled {
+		source = plan.oldTasks
+	}
+	if from == 0 {
+		return sh.RestoreShards(nil)
+	}
+	parts := make([]map[int32][]byte, 0, len(source))
+	for _, tid := range source {
+		d, found, err := c.store.Get(from, taskKey(tid))
 		if err != nil {
 			return err
 		}
-		if found {
-			data = d
+		if !found {
+			continue
 		}
+		shards, err := snapshot.DecodeShards(d)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, shards)
 	}
-	return sn.RestoreState(data)
+	union, err := snapshot.MergeShards(parts...)
+	if err != nil {
+		return err
+	}
+	if rescaled {
+		// Keep only the slots this task owns under the new parallelism —
+		// rebuildRouting already refreshed TaskIndex/Parallelism, and the
+		// fields-grouping router sends slot s to task index s mod par.
+		own := make(map[int32][]byte, len(union))
+		for slot, d := range union {
+			if int(slot)%ex.ctx.Parallelism == ex.ctx.TaskIndex {
+				own[slot] = d
+			}
+		}
+		union = own
+	}
+	return sh.RestoreShards(union)
 }
 
 // --- executor side ---------------------------------------------------------
@@ -577,8 +809,9 @@ func (ex *executor) onBarrier(tp *tuple.Tuple) {
 // parking forever between death and the next epoch.
 func (ex *executor) alignmentDone(a *alignState) bool {
 	eng := ex.w.eng
+	assign := eng.tv().assign
 	for _, tid := range ex.upstream {
-		if a.seen[tid] || eng.workerDead(eng.assign.WorkerOf[tid]) {
+		if a.seen[tid] || eng.workerDead(assign.WorkerOf[tid]) {
 			continue
 		}
 		return false
@@ -675,6 +908,11 @@ func (ex *executor) onRestore(tp *tuple.Tuple) {
 	if ex.spout != nil && len(ex.pendingRoots) > 0 {
 		ex.pendingRoots = map[int64]int64{}
 	}
+	// Adopt the current placement view before state reinstalls: after a
+	// rescale this re-derives the router, upstream set and task width the
+	// restored state is filtered by; after a plain crash it is a no-op
+	// refresh of the same assignment.
+	ex.rebuildRouting()
 	if err := cc.restoreTask(ex, tp.Int(0)); err != nil {
 		ex.w.eng.metrics.SnapshotErrors.Inc()
 		ex.w.eng.obs.Events.Append(obs.Event{
@@ -718,6 +956,7 @@ func (ex *executor) ackCheckpoint(direction byte, epoch int64) {
 // are idempotent).
 func (ex *executor) routeBarrier(epoch int64) {
 	eng := ex.w.eng
+	assign := eng.tv().assign
 	ex.nextID++
 	tp := &tuple.Tuple{
 		Stream:     StreamBarrier,
@@ -740,7 +979,7 @@ func (ex *executor) routeBarrier(epoch int64) {
 			tree := rt.sub.Type == AllGrouping &&
 				eng.cfg.Comm == WorkerOriented && eng.cfg.Multicast != MulticastStar
 			for _, dst := range rt.dstTasks {
-				dw := eng.assign.WorkerOf[dst]
+				dw := assign.WorkerOf[dst]
 				if dw == ex.w.id {
 					ex.w.enqueueLocal(dst, tp)
 				} else if !tree && !eng.workerDead(dw) {

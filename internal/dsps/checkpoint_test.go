@@ -108,7 +108,7 @@ func idleCheckpointEngine(t testing.TB, j *ckptJournal) (*Engine, *executor) {
 	}
 	var sink *executor
 	for _, tid := range eng.assign.TasksOf["sink"] {
-		sink = eng.workers[0].executors[tid]
+		sink = eng.workers[0].execMap()[tid]
 	}
 	if sink == nil {
 		t.Fatal("sink executor not found")
@@ -398,7 +398,7 @@ func TestConsumeZeroAllocWhenCheckpointingDisabled(t *testing.T) {
 	}
 	defer eng.Stop()
 	eng.WaitSpouts()
-	sink := eng.workers[0].executors[eng.assign.TasksOf["sink"][0]]
+	sink := eng.workers[0].execMap()[eng.assign.TasksOf["sink"][0]]
 	if sink.epochStamp != 0 {
 		t.Fatalf("epochStamp = %d with checkpointing disabled", sink.epochStamp)
 	}

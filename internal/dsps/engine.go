@@ -66,6 +66,12 @@ func (m MulticastMode) String() string {
 type Config struct {
 	// Workers is the worker (process) count; tasks spread round-robin.
 	Workers int
+	// MaxWorkers caps the cluster's elastic size: workers Workers..
+	// MaxWorkers-1 start dormant (registered on the network, hosting no
+	// tasks, excluded from failure detection and assignment) and can be
+	// admitted later through JoinWorker's CtrlJoin/CtrlWelcome handshake.
+	// Defaults to Workers — a fixed-size cluster.
+	MaxWorkers int
 	// Network provides worker transports. Required.
 	Network transport.Network
 	// Comm selects instance- vs worker-oriented communication.
@@ -179,6 +185,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 1
+	}
+	if c.MaxWorkers < c.Workers {
+		c.MaxWorkers = c.Workers
 	}
 	if c.TransferQueueCap <= 0 {
 		c.TransferQueueCap = 1024
@@ -322,20 +331,42 @@ type groupKey struct {
 	worker int32
 }
 
-// groupDesc is the static description of a multicast group.
+// groupDesc describes a multicast group. The group's identity (source
+// operator/stream/worker) is fixed at build time; membership and the
+// per-worker subscribed-task lists change when an operator rescales, so
+// they live behind an atomic pointer read on the relay/delivery hot paths.
 type groupDesc struct {
-	id         int32
-	key        groupKey
-	members    []int32           // destination workers (tree leaves/relays)
-	localTasks map[int32][]int32 // worker -> locally subscribed tasks
+	id      int32
+	key     groupKey
+	dstOps  []string // subscriber operators (all-grouping), for recomputation
+	members []int32  // initial destination workers (tree leaves/relays)
+	// lt is the live worker -> locally-subscribed-tasks map.
+	lt atomic.Pointer[map[int32][]int32]
+}
+
+// topoView is the engine's live task-placement view: the current assignment
+// plus the derived worker-oriented remote index. It is immutable once
+// published; a rescale installs a fresh view atomically so hot-path readers
+// (routing, barrier fan-out, delivery) see either the old or the new
+// placement, never a mix.
+type topoView struct {
+	assign   *Assignment
+	remoteBy map[string]map[int32]map[int32][]int32 // op -> srcWorker -> dstWorker -> tasks
 }
 
 // Engine runs one topology.
 type Engine struct {
-	topo    *Topology
+	topo *Topology
+	// assign is the assignment the engine launched with. It is frozen —
+	// rescales publish new assignments through view — and kept for
+	// introspection of the initial placement.
 	assign  *Assignment
 	cfg     Config
 	startNS int64 // engine launch time; the attribution window's origin
+
+	// view is the live placement (assignment + remote index). All routing,
+	// barrier and delivery paths read it through tv(); rescales swap it.
+	view atomic.Pointer[topoView]
 
 	workers    []*worker
 	metrics    *Metrics
@@ -344,12 +375,15 @@ type Engine struct {
 	groupIDs   map[groupKey]int32
 	managers   map[int32]*mcManager
 	taskMgr    map[int32]*mcManager
-	opStats    map[string][]*opMetrics                // per-executor shares, merged on read
-	remoteBy   map[string]map[int32]map[int32][]int32 // op -> srcWorker -> dstWorker -> tasks
+	opStatsMu  sync.Mutex              //whale:lockrank 13
+	opStats    map[string][]*opMetrics // per-executor shares, merged on read
 
-	detector *failureDetector       // nil unless HeartbeatInterval > 0
-	dead     []atomic.Bool          // confirmed-dead flags, read on the route/send hot paths
-	ckpt     *checkpointCoordinator // nil unless CheckpointInterval > 0
+	detector *failureDetector        // nil unless HeartbeatInterval > 0
+	dead     []atomic.Bool           // confirmed-dead flags, read on the route/send hot paths
+	joined   []atomic.Bool           // membership flags; dormant workers are unjoined
+	hbStops  map[int32]chan struct{} // per-join heartbeat stop channels (guarded by mu)
+	welcomes map[int32]chan struct{} // joiner-side CtrlWelcome wait channels (guarded by mu)
+	ckpt     *checkpointCoordinator  // nil unless CheckpointInterval > 0
 
 	stopSpoutsOnce sync.Once
 	stopSpouts     chan struct{}
@@ -360,6 +394,9 @@ type Engine struct {
 	stopped        bool
 	mu             sync.Mutex //whale:lockrank 10
 }
+
+// tv returns the engine's live topology view. Hot path: one atomic load.
+func (e *Engine) tv() *topoView { return e.view.Load() }
 
 // Start builds and launches the topology on the configured network.
 func Start(topo *Topology, cfg Config) (*Engine, error) {
@@ -388,14 +425,19 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 		groupIDs:   map[groupKey]int32{},
 		managers:   map[int32]*mcManager{},
 		taskMgr:    map[int32]*mcManager{},
-		remoteBy:   map[string]map[int32]map[int32][]int32{},
 		opStats:    map[string][]*opMetrics{},
 		stopSpouts: make(chan struct{}),
 		stopping:   make(chan struct{}),
 		stopTick:   make(chan struct{}),
-		dead:       make([]atomic.Bool, cfg.Workers),
+		dead:       make([]atomic.Bool, cfg.MaxWorkers),
+		joined:     make([]atomic.Bool, cfg.MaxWorkers),
+		hbStops:    map[int32]chan struct{}{},
+		welcomes:   map[int32]chan struct{}{},
 	}
-	if cfg.HeartbeatInterval > 0 && cfg.Workers > 1 {
+	for wid := 0; wid < cfg.Workers; wid++ {
+		eng.joined[wid].Store(true)
+	}
+	if cfg.HeartbeatInterval > 0 && cfg.MaxWorkers > 1 {
 		eng.detector = newFailureDetector(eng)
 	}
 	if cfg.AckEnabled {
@@ -406,10 +448,12 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	eng.topo, eng.assign = topo, assign
-	eng.buildRemoteIndex()
+	eng.view.Store(&topoView{assign: assign, remoteBy: buildRemote(topo, assign, cfg.MaxWorkers)})
 
-	// Workers and transports.
-	for wid := 0; wid < cfg.Workers; wid++ {
+	// Workers and transports — all MaxWorkers of them: dormant workers run
+	// their send/delivery loops from the start so admission is purely a
+	// control-plane event, never a data-plane hot swap.
+	for wid := 0; wid < cfg.MaxWorkers; wid++ {
 		w := newWorker(eng, int32(wid))
 		eng.workers = append(eng.workers, w)
 	}
@@ -447,8 +491,8 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 		spec := topo.Operators[tc.OperatorID]
 		w := eng.workers[tc.Worker]
 		rt := newRouter(topo, assign, tc.OperatorID, tc.Worker)
-		ex := newExecutor(w, tc, spec, rt, isSink[tc.OperatorID], cfg.ExecutorQueueCap)
-		w.executors[tc.TaskID] = ex
+		ex := newExecutor(w, tc, spec, assign, rt, isSink[tc.OperatorID], cfg.ExecutorQueueCap)
+		w.addExecutor(ex)
 	}
 
 	// Multicast groups (tree modes only).
@@ -464,7 +508,7 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 
 	// Launch: bolts, send threads, managers, then spouts.
 	for _, w := range eng.workers {
-		for _, ex := range w.executors {
+		for _, ex := range w.execMap() {
 			if ex.bolt != nil {
 				w.wg.Add(1)
 				go ex.runBolt()
@@ -490,11 +534,10 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 	}
 	if eng.detector != nil {
 		for _, w := range eng.workers {
-			if w.id == eng.detector.monitor {
-				continue // the monitor observes; it does not beacon to itself
+			if w.id == eng.detector.monitor || !eng.joined[w.id].Load() {
+				continue // the monitor observes; dormant workers beacon on join
 			}
-			eng.auxWG.Add(1)
-			go eng.heartbeatLoop(w)
+			eng.startHeartbeat(w)
 		}
 		eng.auxWG.Add(1)
 		go eng.detectorLoop()
@@ -503,7 +546,7 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 		eng.auxWG.Add(1)
 		go eng.ackTicker()
 	}
-	if cfg.CreditWindow > 0 && cfg.Workers > 1 {
+	if cfg.CreditWindow > 0 && cfg.MaxWorkers > 1 {
 		eng.auxWG.Add(1)
 		go eng.creditTicker()
 	}
@@ -518,7 +561,7 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 		}
 	}
 	for _, w := range eng.workers {
-		for _, ex := range w.executors {
+		for _, ex := range w.execMap() {
 			if ex.spout != nil {
 				w.wg.Add(1)
 				eng.spoutWG.Add(1)
@@ -533,30 +576,27 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 	return eng, nil
 }
 
-// buildRemoteIndex precomputes, for every operator and source worker, the
+// buildRemote precomputes, for every operator and source worker, the
 // destination tasks grouped by remote worker (the worker-oriented batch
-// map).
-func (e *Engine) buildRemoteIndex() {
-	for _, id := range e.topo.Order {
+// map). Pure: it derives entirely from the assignment, so a rescale builds
+// a fresh index for its new view without touching the live one.
+func buildRemote(topo *Topology, a *Assignment, maxWorkers int) map[string]map[int32]map[int32][]int32 {
+	out := map[string]map[int32]map[int32][]int32{}
+	for _, id := range topo.Order {
 		perSrc := map[int32]map[int32][]int32{}
-		for src := int32(0); src < int32(e.cfg.Workers); src++ {
+		for src := int32(0); src < int32(maxWorkers); src++ {
 			byWorker := map[int32][]int32{}
-			for _, tid := range e.assign.TasksOf[id] {
-				dw := e.assign.WorkerOf[tid]
+			for _, tid := range a.TasksOf[id] {
+				dw := a.WorkerOf[tid]
 				if dw != src {
 					byWorker[dw] = append(byWorker[dw], tid)
 				}
 			}
 			perSrc[src] = byWorker
 		}
-		e.remoteBy[id] = perSrc
+		out[id] = perSrc
 	}
-}
-
-// remoteTasksByWorker returns dstOp's tasks grouped by worker, excluding
-// the source worker. The returned map is shared and read-only.
-func (e *Engine) remoteTasksByWorker(dstOp string, src int32) map[int32][]int32 {
-	return e.remoteBy[dstOp][src]
+	return out
 }
 
 // buildGroups enumerates multicast groups — one per (source operator,
@@ -612,15 +652,19 @@ func (e *Engine) buildGroups() error {
 			}
 			gid := int32(len(e.groupDescs))
 			desc := &groupDesc{
-				id:         gid,
-				key:        groupKey{op: k.op, stream: k.stream, worker: srcWorker},
-				members:    members,
-				localTasks: localTasks,
+				id:      gid,
+				key:     groupKey{op: k.op, stream: k.stream, worker: srcWorker},
+				dstOps:  append([]string(nil), dstOps...),
+				members: members,
 			}
+			desc.lt.Store(&localTasks)
 			e.groupDescs = append(e.groupDescs, desc)
 			e.groupIDs[desc.key] = gid
 
-			// Build and install the initial tree.
+			// Build and install the initial tree — on every worker, dormant
+			// ones included: a later join extends the tree to a worker that
+			// already knows the group, so membership growth is just another
+			// CtrlTree version, never a missing-group decode error.
 			dstar := e.initialDstar(len(members))
 			var tr *multicast.Tree
 			if e.cfg.Multicast == MulticastBinomial {
@@ -628,9 +672,9 @@ func (e *Engine) buildGroups() error {
 			} else {
 				tr = multicast.BuildNonBlocking(srcWorker, members, dstar)
 			}
-			for _, w := range append([]int32{srcWorker}, members...) {
+			for _, w := range e.workers {
 				gs := &groupState{trees: map[int32]*multicast.Tree{1: tr}, active: 1}
-				e.workers[w].groups[gid] = gs
+				w.groups[gid] = gs
 			}
 			e.obs.Events.Append(obs.Event{
 				Kind: obs.EventTreeRebuild, Group: gid, Worker: srcWorker,
@@ -689,12 +733,13 @@ func (e *Engine) groupOf(op, stream string, worker int32) (int32, bool) {
 	return gid, ok
 }
 
-// groupLocalTasks returns the subscribed tasks of group gid on worker w.
+// groupLocalTasks returns the subscribed tasks of group gid on worker w
+// under the group's live membership view.
 func (e *Engine) groupLocalTasks(gid int32, w int32) []int32 {
 	if int(gid) >= len(e.groupDescs) {
 		return nil
 	}
-	return e.groupDescs[gid].localTasks[w]
+	return (*e.groupDescs[gid].lt.Load())[w]
 }
 
 // managerForTask returns the adaptive manager fed by the given source task.
@@ -719,12 +764,33 @@ func mergedOpStats(shares []*opMetrics) OperatorStats {
 	return out
 }
 
+// addOpShare registers one executor's metrics share. Called at Start and
+// when a rescale creates executors, concurrently with stats readers.
+func (e *Engine) addOpShare(op string, m *opMetrics) {
+	e.opStatsMu.Lock()
+	e.opStats[op] = append(e.opStats[op], m)
+	e.opStatsMu.Unlock()
+}
+
+// opShares snapshots one operator's share list for lock-free iteration.
+func (e *Engine) opShares(op string) []*opMetrics {
+	e.opStatsMu.Lock()
+	defer e.opStatsMu.Unlock()
+	return e.opStats[op]
+}
+
 // OperatorStats snapshots per-operator counters (user operators only; the
 // internal acker is excluded). Each executor keeps its own share; the
 // snapshot merges them.
 func (e *Engine) OperatorStats() map[string]OperatorStats {
-	out := make(map[string]OperatorStats, len(e.opStats))
+	e.opStatsMu.Lock()
+	ops := make(map[string][]*opMetrics, len(e.opStats))
 	for id, shares := range e.opStats {
+		ops[id] = shares
+	}
+	e.opStatsMu.Unlock()
+	out := make(map[string]OperatorStats, len(ops))
+	for id, shares := range ops {
 		if id == ackerOperatorID {
 			continue
 		}
@@ -780,27 +846,29 @@ func (e *Engine) registerObs() {
 	r.GaugeFunc("multicast.groups", func() int64 { return int64(len(e.groupDescs)) })
 	r.GaugeFunc("multicast.active_dstar", func() int64 { return int64(e.ActiveDstar()) })
 
-	for id, shares := range e.opStats {
+	for id := range e.opStats {
 		if id == ackerOperatorID {
 			continue
 		}
-		shares := shares
+		// Re-read the share list per sample: a rescale appends shares for
+		// the executors it creates, and the series must keep counting them.
+		id := id
 		r.CounterFunc(fmt.Sprintf("op.%s.executed", id), func() int64 {
 			var n int64
-			for _, s := range shares {
+			for _, s := range e.opShares(id) {
 				n += s.executed.Value()
 			}
 			return n
 		})
 		r.CounterFunc(fmt.Sprintf("op.%s.emitted", id), func() int64 {
 			var n int64
-			for _, s := range shares {
+			for _, s := range e.opShares(id) {
 				n += s.emitted.Value()
 			}
 			return n
 		})
 		r.HistogramFunc(fmt.Sprintf("op.%s.exec_latency_ns", id), func() metrics.Snapshot {
-			return mergedOpStats(shares).ExecLatency
+			return mergedOpStats(e.opShares(id)).ExecLatency
 		})
 	}
 
@@ -894,7 +962,7 @@ func (e *Engine) Drain(timeout time.Duration) bool {
 				empty = false
 				break
 			}
-			for _, ex := range w.executors {
+			for _, ex := range w.execMap() {
 				if len(ex.in) > 0 || ex.overflowLen() > 0 || ex.alignParkedLen() > 0 {
 					empty = false
 					break
@@ -980,9 +1048,10 @@ func (e *Engine) userTicker(op string, interval time.Duration) {
 			return
 		case <-ticker.C:
 			now := time.Now().UnixNano()
-			for _, tid := range e.assign.TasksOf[op] {
-				w := e.workers[e.assign.WorkerOf[tid]]
-				ex, ok := w.executors[tid]
+			tv := e.tv()
+			for _, tid := range tv.assign.TasksOf[op] {
+				w := e.workers[tv.assign.WorkerOf[tid]]
+				ex, ok := w.execMap()[tid]
 				if !ok {
 					continue
 				}
@@ -1012,9 +1081,10 @@ func (e *Engine) ackTicker() {
 		case <-e.stopTick:
 			return
 		case <-ticker.C:
-			for _, tid := range e.assign.TasksOf[ackerOperatorID] {
-				w := e.workers[e.assign.WorkerOf[tid]]
-				ex, ok := w.executors[tid]
+			tv := e.tv()
+			for _, tid := range tv.assign.TasksOf[ackerOperatorID] {
+				w := e.workers[tv.assign.WorkerOf[tid]]
+				ex, ok := w.execMap()[tid]
 				if !ok {
 					continue
 				}
@@ -1210,4 +1280,118 @@ func (m *mcManager) handleAck(version int32, node int32) {
 	})
 	m.pendingVersion = 0
 	m.pendingTree = nil
+	// Drop the ack ledger with the switch. Leaving it behind is a latent
+	// leak with a sharp edge under churn: a member that leaves and later
+	// rejoins under the same NodeID could ack a long-dead version and be
+	// double-counted against a stale ledger.
+	m.pendingAcks = nil
+}
+
+// applyMembership installs a new membership for the group: the live
+// worker->tasks map is swapped, the active tree is extended (AddNode,
+// BFS-shallowest under the current d* cap) and/or pruned (RemoveNode) to
+// the new member set, and the result is distributed as a fresh tree version
+// over the ordinary §3.4 CtrlTree/ack switch. Runs during a rescale commit
+// with no coordinator lock held (distribution may block on the transfer
+// queue). Dead workers are excluded from the target set — they can never
+// ack.
+func (m *mcManager) applyMembership(newLocal map[int32][]int32, newMembers []int32) {
+	live := make([]int32, 0, len(newMembers))
+	for _, w := range newMembers {
+		if !m.eng.workerDead(w) {
+			live = append(live, w)
+		}
+	}
+	m.desc.lt.Store(&newLocal)
+
+	m.mu.Lock()
+	same := len(live) == len(m.members)
+	if same {
+		for i, w := range m.members {
+			if live[i] != w {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		m.mu.Unlock()
+		return
+	}
+	old := append([]int32(nil), m.members...)
+	m.members = append([]int32(nil), live...)
+	// Cancel any in-flight switch: its ledger was built against the old
+	// membership and a departing member would wedge it forever.
+	m.pendingVersion = 0
+	m.pendingTree = nil
+	m.pendingAcks = nil
+	dstar := m.curDstar
+	m.mu.Unlock()
+
+	gs := m.w.groups[m.desc.id]
+	cur, ok := gs.tree(gs.activeVersion())
+	if !ok {
+		return
+	}
+	next := cur.Clone()
+	oldSet := map[int32]bool{}
+	for _, w := range old {
+		oldSet[w] = true
+	}
+	liveSet := map[int32]bool{}
+	for _, w := range live {
+		liveSet[w] = true
+	}
+	for _, w := range old {
+		if !liveSet[w] && next.Contains(w) {
+			if err := next.RemoveNode(w, dstar); err != nil {
+				return // source removal: cannot happen for members
+			}
+		}
+	}
+	for _, w := range live {
+		if !oldSet[w] && !next.Contains(w) {
+			if err := next.AddNode(w, dstar); err != nil {
+				return
+			}
+		}
+	}
+
+	m.mu.Lock()
+	version := m.nextVersion
+	m.nextVersion++
+	if len(live) > 0 {
+		m.pendingVersion = version
+		m.pendingTree = next
+		m.pendingAcks = make(map[int32]bool, len(live))
+		for _, w := range live {
+			m.pendingAcks[w] = false
+		}
+		m.switchStart = time.Now()
+	}
+	m.mu.Unlock()
+
+	m.eng.obs.Events.Append(obs.Event{
+		Kind: obs.EventTreeRebuild, Group: m.desc.id, Worker: m.w.id,
+		Version: version, NewDstar: dstar,
+		Detail: fmt.Sprintf("membership change: %d -> %d members, version %d", len(old), len(live), version),
+	})
+	if len(live) == 0 {
+		gs.install(version, next)
+		gs.activate(version)
+		return
+	}
+	nodes, parents := next.Flatten()
+	cm := tuple.ControlMessage{
+		Type: tuple.CtrlTree, Direction: tuple.SwitchScaleUp,
+		Group: m.desc.id, Version: version,
+		Nodes: nodes, Parents: parents,
+	}
+	raw := tuple.AppendWorkerMessage(nil, &tuple.WorkerMessage{
+		Kind:    tuple.KindControl,
+		Payload: tuple.AppendControlMessage(nil, &cm),
+	})
+	for _, dst := range live {
+		m.w.enqueueSend(sendJob{kind: jobControl, dstWorker: dst, raw: raw})
+	}
 }

@@ -87,6 +87,7 @@ type executor struct {
 	ctx      TaskContext
 	w        *worker
 	rt       *router
+	spec     *OperatorSpec // kept for routing rebuilds after a rescale
 	isSink   bool
 	spout    Spout
 	bolt     Bolt
@@ -135,13 +136,14 @@ type executor struct {
 	alignParked atomic.Int64
 }
 
-func newExecutor(w *worker, ctx TaskContext, spec *OperatorSpec, rt *router, isSink bool, queueDepth int) *executor {
+func newExecutor(w *worker, ctx TaskContext, spec *OperatorSpec, assign *Assignment, rt *router, isSink bool, queueDepth int) *executor {
 	ops := &opMetrics{} // this executor's private share, merged on read
-	w.eng.opStats[ctx.OperatorID] = append(w.eng.opStats[ctx.OperatorID], ops)
+	w.eng.addOpShare(ctx.OperatorID, ops)
 	ex := &executor{
 		ctx:    ctx,
 		w:      w,
 		rt:     rt,
+		spec:   spec,
 		isSink: isSink,
 		in:     make(chan tuple.AddressedTuple, queueDepth),
 		ops:    ops,
@@ -156,24 +158,49 @@ func newExecutor(w *worker, ctx TaskContext, spec *OperatorSpec, rt *router, isS
 		ex.pendingRoots = map[int64]int64{}
 	} else {
 		ex.bolt = spec.BoltFn()
-		// Barrier alignment waits on every task of every subscribed-to
-		// operator (deduplicated across streams: alignment is per task, not
-		// per edge).
-		seen := map[int32]bool{}
-		for _, sub := range spec.Subs {
-			for _, tid := range w.eng.assign.TasksOf[sub.SrcOperator] {
-				if !seen[tid] {
-					seen[tid] = true
-					ex.upstream = append(ex.upstream, tid)
-				}
-			}
-		}
-		sort.Slice(ex.upstream, func(i, j int) bool { return ex.upstream[i] < ex.upstream[j] })
+		ex.upstream = upstreamTasks(spec, assign)
 	}
 	if w.eng.cfg.CheckpointInterval > 0 {
 		ex.epochStamp = 1 // emitting into the first epoch interval
 	}
 	return ex
+}
+
+// upstreamTasks lists every task of every subscribed-to operator under
+// assignment a — the set barrier alignment waits on (deduplicated across
+// streams: alignment is per task, not per edge).
+func upstreamTasks(spec *OperatorSpec, a *Assignment) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, sub := range spec.Subs {
+		for _, tid := range a.TasksOf[sub.SrcOperator] {
+			if !seen[tid] {
+				seen[tid] = true
+				out = append(out, tid)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rebuildRouting re-derives this executor's router, upstream set and task
+// context from the engine's current placement view. Called on the
+// executor's own goroutine at restore-marker time, so it never races
+// Execute: emissions before the rebuild are pre-fence (discarded
+// downstream), emissions after it route over the post-rescale placement.
+func (ex *executor) rebuildRouting() {
+	tv := ex.w.eng.tv()
+	ex.rt = newRouter(ex.w.eng.topo, tv.assign, ex.ctx.OperatorID, ex.w.id)
+	if ex.bolt != nil {
+		ex.upstream = upstreamTasks(ex.spec, tv.assign)
+	}
+	if int(ex.ctx.TaskID) < len(tv.assign.Tasks) {
+		tc := tv.assign.Tasks[ex.ctx.TaskID]
+		if !tv.assign.retired(ex.ctx.TaskID) {
+			ex.ctx.TaskIndex, ex.ctx.Parallelism = tc.TaskIndex, tc.Parallelism
+		}
+	}
 }
 
 // feed drains the admission overflow into the executor's input queue in
@@ -317,6 +344,7 @@ func (ex *executor) emitUnanchored(stream string, values []tuple.Value, emitNS i
 //whale:hotpath
 func (ex *executor) route(tp *tuple.Tuple) int64 {
 	eng := ex.w.eng
+	assign := eng.tv().assign
 	dests, err := ex.rt.destinations(tp.Stream, tp)
 	if err != nil {
 		eng.metrics.RouteErrors.Inc()
@@ -332,7 +360,7 @@ func (ex *executor) route(tp *tuple.Tuple) int64 {
 		if d.all {
 			if tracked {
 				for _, dst := range d.tasks {
-					if !eng.workerDead(eng.assign.WorkerOf[dst]) {
+					if !eng.workerDead(assign.WorkerOf[dst]) {
 						contrib ^= ackContrib(tp.AckVal, dst)
 					}
 				}
@@ -342,7 +370,7 @@ func (ex *executor) route(tp *tuple.Tuple) int64 {
 		}
 		// Point-to-point edges: local fast path or per-destination job.
 		for _, dst := range d.tasks {
-			dw := eng.assign.WorkerOf[dst]
+			dw := assign.WorkerOf[dst]
 			if eng.workerDead(dw) {
 				continue
 			}

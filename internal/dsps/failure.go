@@ -50,9 +50,9 @@ func newFailureDetector(e *Engine) *failureDetector {
 	fd := &failureDetector{
 		eng:      e,
 		monitor:  0,
-		lastSeen: make([]atomic.Int64, e.cfg.Workers),
-		state:    make([]atomic.Int32, e.cfg.Workers),
-		degraded: make([]atomic.Bool, e.cfg.Workers),
+		lastSeen: make([]atomic.Int64, e.cfg.MaxWorkers),
+		state:    make([]atomic.Int32, e.cfg.MaxWorkers),
+		degraded: make([]atomic.Bool, e.cfg.MaxWorkers),
 	}
 	now := time.Now().UnixNano()
 	for i := range fd.lastSeen {
@@ -90,7 +90,9 @@ func (fd *failureDetector) sweep(now time.Time) {
 	suspectNS := fd.eng.cfg.SuspectAfter.Nanoseconds()
 	confirmNS := fd.eng.cfg.ConfirmAfter.Nanoseconds()
 	for w := range fd.state {
-		if int32(w) == fd.monitor {
+		if int32(w) == fd.monitor || !fd.eng.joinedWorker(int32(w)) {
+			// Dormant and gracefully-departed workers do not beacon; their
+			// silence is membership state, not a failure.
 			continue
 		}
 		silence := nowNS - fd.lastSeen[w].Load()
@@ -125,8 +127,9 @@ func (fd *failureDetector) sweep(now time.Time) {
 
 // heartbeatLoop beacons one worker's liveness to the monitor. Heartbeats
 // are fire-and-forget and bypass the transfer queue: a blocked send thread
-// must not look like a dead worker.
-func (e *Engine) heartbeatLoop(w *worker) {
+// must not look like a dead worker. stop is the per-join stop channel — a
+// graceful leave closes it without touching engine shutdown.
+func (e *Engine) heartbeatLoop(w *worker, stop chan struct{}) {
 	defer e.auxWG.Done()
 	ticker := time.NewTicker(e.cfg.HeartbeatInterval)
 	defer ticker.Stop()
@@ -137,6 +140,8 @@ func (e *Engine) heartbeatLoop(w *worker) {
 	for {
 		select {
 		case <-e.stopTick:
+			return
+		case <-stop:
 			return
 		case <-ticker.C:
 			seq++
@@ -183,10 +188,13 @@ func (e *Engine) onWorkerDead(dead int32) {
 	}
 }
 
-// workerDead reports whether w has been confirmed dead. Hot path: one
-// atomic load.
+// workerDead reports whether w has been confirmed dead. Hot path: bounds
+// compares plus one atomic load. Out-of-range ids — notably retiredWorker
+// tombstones left by a shrink rescale — read as dead, so stale routing
+// state that still names a retired task suppresses the send instead of
+// faulting.
 func (e *Engine) workerDead(w int32) bool {
-	return e.dead[w].Load()
+	return w < 0 || int(w) >= len(e.dead) || e.dead[w].Load()
 }
 
 // DeadWorkers returns the ids of workers confirmed dead by the failure
@@ -219,13 +227,14 @@ func (e *Engine) ActiveTree(gid int32) (*multicast.Tree, int32, bool) {
 	return tr.Clone(), v, true
 }
 
-// TasksOf returns operator op's task ids.
+// TasksOf returns operator op's live task ids under the current placement.
 func (e *Engine) TasksOf(op string) []int32 {
-	return append([]int32(nil), e.assign.TasksOf[op]...)
+	return append([]int32(nil), e.tv().assign.TasksOf[op]...)
 }
 
-// WorkerOfTask returns the worker hosting task tid.
-func (e *Engine) WorkerOfTask(tid int32) int32 { return e.assign.WorkerOf[tid] }
+// WorkerOfTask returns the worker hosting task tid under the current
+// placement (retiredWorker for tasks retired by a shrink rescale).
+func (e *Engine) WorkerOfTask(tid int32) int32 { return e.tv().assign.WorkerOf[tid] }
 
 // handleWorkerFailure repairs this group's tree after a confirmed worker
 // failure: the dead worker leaves the membership, any in-flight switch is
@@ -249,6 +258,10 @@ func (m *mcManager) handleWorkerFailure(dead int32) {
 	}
 	m.pendingVersion = 0
 	m.pendingTree = nil
+	// Clear the ack ledger too: a cancelled switch that leaves stale
+	// pendingAcks behind would mis-account a later switch's acks if the
+	// same version number pairing ever recurs after a leave/rejoin cycle.
+	m.pendingAcks = nil
 	dstar := m.curDstar
 	survivors := append([]int32(nil), m.members...)
 	m.mu.Unlock()

@@ -1,0 +1,327 @@
+package dsps
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"whale/internal/obs"
+	"whale/internal/transport"
+)
+
+// foreverSpout emits an unbounded sequence; live-rescale tests need sources
+// that outlast every membership change.
+type foreverSpout struct{ seq int64 }
+
+func (s *foreverSpout) Open(*TaskContext) {}
+func (s *foreverSpout) Next(c *Collector) bool {
+	s.seq++
+	c.Emit(s.seq, "k")
+	return true
+}
+func (s *foreverSpout) Close() {}
+
+// waitEventCount polls the engine's event log until at least n events of
+// kind have appeared.
+func waitEventCount(t *testing.T, e *Engine, kind string, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if countEvents(e, kind) >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d %q events (have %d)", n, kind, countEvents(e, kind))
+}
+
+func countEvents(e *Engine, kind string) int {
+	n := 0
+	for _, ev := range e.obs.Events.Recent(0) {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRescaledAssignment: task ids stay stable across grow and shrink, new
+// ids append at the global tail, shrink tombstones instead of compacting,
+// and the receiver is never mutated.
+func TestRescaledAssignment(t *testing.T) {
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{} }, 1)
+	b.Bolt("fan", func() Bolt { return forwardBolt{} }, 2).Shuffle("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assign(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grown, err := a.Rescaled("fan", 4, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grown.TasksOf["fan"]; len(got) != 4 || got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 4 {
+		t.Fatalf("grown TasksOf[fan] = %v", got)
+	}
+	if grown.WorkerOf[3] != 0 || grown.WorkerOf[4] != 1 {
+		t.Fatalf("new task placement %v", grown.WorkerOf)
+	}
+	for i, tid := range grown.TasksOf["fan"] {
+		tc := grown.Tasks[tid]
+		if tc.TaskIndex != i || tc.Parallelism != 4 {
+			t.Fatalf("task %d context %+v, want index %d width 4", tid, tc, i)
+		}
+	}
+	// The receiver is untouched: the live view swaps atomically elsewhere.
+	if len(a.TasksOf["fan"]) != 2 || a.Tasks[1].Parallelism != 2 || len(a.WorkerOf) != 3 {
+		t.Fatalf("receiver mutated: %+v", a)
+	}
+
+	shrunk, err := a.Rescaled("fan", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shrunk.TasksOf["fan"]; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("shrunk TasksOf[fan] = %v", got)
+	}
+	if !shrunk.retired(2) || shrunk.WorkerOf[2] != retiredWorker {
+		t.Fatalf("task 2 not tombstoned: WorkerOf=%v", shrunk.WorkerOf)
+	}
+	if shrunk.Tasks[1].TaskIndex != 0 || shrunk.Tasks[1].Parallelism != 1 {
+		t.Fatalf("survivor context %+v", shrunk.Tasks[1])
+	}
+	for _, tid := range shrunk.LocalTasks(0) {
+		if tid == 2 {
+			t.Fatal("retired task still listed as local")
+		}
+	}
+
+	for _, bad := range []struct {
+		op      string
+		par     int
+		placeOn []int32
+	}{
+		{"nope", 2, nil},       // unknown operator
+		{"fan", 2, nil},        // unchanged parallelism
+		{"fan", 0, nil},        // nonsense width
+		{"fan", 4, []int32{0}}, // wrong placement count
+	} {
+		if _, err := a.Rescaled(bad.op, bad.par, bad.placeOn); err == nil {
+			t.Fatalf("Rescaled(%q, %d, %v) accepted", bad.op, bad.par, bad.placeOn)
+		}
+	}
+}
+
+func membershipEngine(t *testing.T) *Engine {
+	t.Helper()
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &countSpout{n: 0, keys: 1} }, 1)
+	b.Bolt("sink", func() Bolt { return forwardBolt{} }, 1).Shuffle("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Start(topo, Config{
+		Workers: 2, MaxWorkers: 4,
+		Network:           transport.NewInprocNetwork(0),
+		HeartbeatInterval: 2 * time.Millisecond,
+		SuspectAfter:      2 * time.Second, // never suspect under test load
+		ConfirmAfter:      5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestJoinLeaveRejoin drives the graceful membership lifecycle: dormant
+// workers admit through the CtrlJoin/CtrlWelcome handshake, duplicates and
+// invalid ids are rejected, a task-hosting worker cannot leave, a departed
+// worker can rejoin, and a confirmed-dead worker never can.
+func TestJoinLeaveRejoin(t *testing.T) {
+	eng := membershipEngine(t)
+	defer eng.Stop()
+
+	if err := eng.JoinWorker(2); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.joinedWorker(2) {
+		t.Fatal("worker 2 not joined after JoinWorker")
+	}
+	waitEventCount(t, eng, obs.EventWorkerJoined, 1, 5*time.Second)
+
+	if err := eng.JoinWorker(2); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+	if err := eng.JoinWorker(99); err == nil {
+		t.Fatal("out-of-range join accepted")
+	}
+	if err := eng.JoinWorker(-1); err == nil {
+		t.Fatal("negative join accepted")
+	}
+
+	rep := eng.Membership()
+	if rep.MaxWorkers != 4 || len(rep.Workers) != 4 {
+		t.Fatalf("report sizing %+v", rep)
+	}
+	if rep.Workers[2].State != "alive" || !rep.Workers[2].Joined {
+		t.Fatalf("joined worker state %+v", rep.Workers[2])
+	}
+	if rep.Workers[3].State != "dormant" || rep.Workers[3].Joined {
+		t.Fatalf("dormant worker state %+v", rep.Workers[3])
+	}
+
+	if err := eng.LeaveWorker(3); err == nil {
+		t.Fatal("unjoined worker allowed to leave")
+	}
+	if err := eng.LeaveWorker(0); err == nil {
+		t.Fatal("monitor/coordinator worker allowed to leave")
+	}
+	if err := eng.LeaveWorker(1); err == nil {
+		t.Fatal("task-hosting worker allowed to leave")
+	}
+
+	if err := eng.LeaveWorker(2); err != nil {
+		t.Fatal(err)
+	}
+	if eng.joinedWorker(2) {
+		t.Fatal("worker 2 still joined after leave")
+	}
+	waitEventCount(t, eng, obs.EventWorkerLeft, 1, 5*time.Second)
+	if err := eng.LeaveWorker(2); err == nil {
+		t.Fatal("double leave accepted")
+	}
+
+	// Leave is not terminal: the same worker rejoins cleanly.
+	if err := eng.JoinWorker(2); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+
+	// Death is: a fenced id can never rejoin.
+	eng.dead[3].Store(true)
+	if err := eng.JoinWorker(3); err == nil {
+		t.Fatal("dead worker allowed to join")
+	}
+}
+
+// TestMembershipReportJSON: the report serves /debug/membership and the
+// whaled -membership dump; it must survive a JSON round trip losslessly
+// enough for external tooling to parse worker states and placements.
+func TestMembershipReportJSON(t *testing.T) {
+	eng := membershipEngine(t)
+	defer eng.Stop()
+	raw, err := json.Marshal(eng.Membership())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed MembershipReport
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("parse %s: %v", raw, err)
+	}
+	if parsed.MaxWorkers != 4 || len(parsed.Workers) != 4 {
+		t.Fatalf("parsed sizing %+v", parsed)
+	}
+	states := map[string]int{}
+	for _, ws := range parsed.Workers {
+		states[ws.State]++
+	}
+	if states["alive"] != 2 || states["dormant"] != 2 {
+		t.Fatalf("parsed states %v", states)
+	}
+	if len(parsed.Operators) != 2 {
+		t.Fatalf("parsed operators %+v", parsed.Operators)
+	}
+	for _, op := range parsed.Operators {
+		if op.Parallelism != 1 || len(op.Tasks) != 1 || len(op.Workers) != 1 {
+			t.Fatalf("placement row %+v", op)
+		}
+	}
+	if parsed.RescalePending {
+		t.Fatal("idle cluster reports a pending rescale")
+	}
+}
+
+// TestBarrierAlignmentAcrossJoinGrowth is the elastic twin of the repair
+// interaction tests: a worker joins mid-run and an all-grouping subscriber
+// grows onto it, so the group's tree gains a node through the versioned
+// ack'd switch while epoch barriers are continuously in flight. Barriers
+// must never half-propagate across the growth: epochs keep committing
+// after the rescale, and the active tree ends up containing the new member
+// within the d* discipline.
+func TestBarrierAlignmentAcrossJoinGrowth(t *testing.T) {
+	b := NewTopologyBuilder()
+	b.Spout("src", func() Spout { return &foreverSpout{} }, 1)
+	b.Bolt("spy", func() Bolt { return forwardBolt{} }, 2).All("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Start(topo, Config{
+		Workers: 3, MaxWorkers: 4,
+		Network:            transport.NewInprocNetwork(0),
+		Comm:               WorkerOriented,
+		Multicast:          MulticastNonBlocking,
+		FixedDstar:         true,
+		InitialDstar:       2,
+		HeartbeatInterval:  2 * time.Millisecond,
+		SuspectAfter:       2 * time.Second,
+		ConfirmAfter:       5 * time.Second,
+		CheckpointInterval: 2 * time.Millisecond,
+		CheckpointTimeout:  500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	// Steady state: epochs committing through the 3-worker tree.
+	waitEventCount(t, eng, obs.EventSnapshotComplete, 2, 10*time.Second)
+
+	if err := eng.JoinWorker(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Rescale("spy", 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	waitEventCount(t, eng, obs.EventRescaleCommitted, 1, 15*time.Second)
+	if n := countEvents(eng, obs.EventRescaleAborted); n != 0 {
+		t.Fatalf("%d rescale aborts during a healthy join growth", n)
+	}
+
+	// Barriers must fully propagate across the grown tree: at least two
+	// fresh epochs commit after the rescale (each needs every task's ack,
+	// the new worker's included — a half-propagated barrier would time out).
+	after := countEvents(eng, obs.EventSnapshotComplete)
+	waitEventCount(t, eng, obs.EventSnapshotComplete, after+2, 15*time.Second)
+
+	// The group's active tree adopted the new member under the d* cap.
+	found := false
+	for gid := range eng.managers {
+		tr, _, ok := eng.ActiveTree(gid)
+		if !ok {
+			t.Fatalf("group %d has no active tree", gid)
+		}
+		if tr.Contains(3) {
+			found = true
+			if err := tr.Validate(2); err != nil {
+				t.Fatalf("grown tree invalid: %v", err)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no active tree contains the joined worker")
+	}
+
+	// The live placement reflects the growth.
+	rep := eng.Membership()
+	for _, op := range rep.Operators {
+		if op.Operator == "spy" && op.Parallelism != 3 {
+			t.Fatalf("spy placement %+v after rescale", op)
+		}
+	}
+}

@@ -105,14 +105,18 @@ type inboundData struct {
 // worker hosts a set of executors, one transfer queue with a send thread,
 // and the dispatcher fed by the transport.
 type worker struct {
-	id        int32
-	eng       *Engine
-	tr        transport.Transport
-	executors map[int32]*executor
-	transfer  chan sendJob
-	groups    map[int32]*groupState
-	enc       *tuple.Encoder
-	p2pDst    [1]int32 // DstIDs scratch for point-to-point sends (send thread only)
+	id  int32
+	eng *Engine
+	tr  transport.Transport
+	// execs is the task->executor map behind an atomic pointer: read on
+	// every local delivery, written only at Start (single-threaded) and
+	// under the checkpoint coordinator's lock when a rescale adds
+	// executors — clone-on-write, so readers never see a partial map.
+	execs    atomic.Pointer[map[int32]*executor]
+	transfer chan sendJob
+	groups   map[int32]*groupState
+	enc      *tuple.Encoder
+	p2pDst   [1]int32 // DstIDs scratch for point-to-point sends (send thread only)
 	// rngState seeds retry jitter. Lock-free (splitmix64 over an atomic
 	// counter) because retries run concurrently on the send thread and on
 	// the per-destination flow-control link goroutines.
@@ -144,20 +148,36 @@ type worker struct {
 
 func newWorker(eng *Engine, id int32) *worker {
 	w := &worker{
-		id:        id,
-		eng:       eng,
-		executors: map[int32]*executor{},
-		transfer:  make(chan sendJob, eng.cfg.TransferQueueCap),
-		groups:    map[int32]*groupState{},
-		enc:       tuple.NewEncoder(),
-		done:      make(chan struct{}),
+		id:       id,
+		eng:      eng,
+		transfer: make(chan sendJob, eng.cfg.TransferQueueCap),
+		groups:   map[int32]*groupState{},
+		enc:      tuple.NewEncoder(),
+		done:     make(chan struct{}),
 	}
+	w.execs.Store(&map[int32]*executor{})
 	w.rngState.Store(uint64(id)*104729 + 7)
-	if eng.cfg.CreditWindow > 0 && eng.cfg.Workers > 1 {
+	if eng.cfg.CreditWindow > 0 && eng.cfg.MaxWorkers > 1 {
 		w.fc = newFlowControl(w)
 		w.stageKick = make(chan struct{}, 1)
 	}
 	return w
+}
+
+// execMap returns the worker's live task->executor map. Hot path: one
+// atomic load; the map itself is immutable once published.
+func (w *worker) execMap() map[int32]*executor { return *w.execs.Load() }
+
+// addExecutor publishes ex via clone-on-write. Only called from Start and
+// from the rescale apply (serialized by the coordinator lock).
+func (w *worker) addExecutor(ex *executor) {
+	old := *w.execs.Load()
+	next := make(map[int32]*executor, len(old)+1)
+	for tid, e := range old {
+		next[tid] = e
+	}
+	next[ex.ctx.TaskID] = ex
+	w.execs.Store(&next)
 }
 
 // sendData routes one encoded data message to dst through flow control
@@ -194,7 +214,7 @@ func (w *worker) grantData(src int32, n int64) {
 // enqueueLocal delivers a tuple to a local executor (Storm's local fast
 // path — no serialization).
 func (w *worker) enqueueLocal(dst int32, tp *tuple.Tuple) {
-	ex, ok := w.executors[dst]
+	ex, ok := w.execMap()[dst]
 	if !ok {
 		w.eng.metrics.RouteErrors.Inc()
 		return
@@ -221,7 +241,7 @@ func (w *worker) enqueueLocal(dst int32, tp *tuple.Tuple) {
 //
 //whale:grants
 func (w *worker) enqueueRemote(from int32, dst int32, tp *tuple.Tuple) bool {
-	ex, ok := w.executors[dst]
+	ex, ok := w.execMap()[dst]
 	if !ok {
 		w.eng.metrics.RouteErrors.Inc()
 		return false
@@ -269,21 +289,22 @@ func (w *worker) enqueueSend(j sendJob) {
 
 // emitAll implements the one-to-many edge per the engine's configuration.
 func (w *worker) emitAll(ex *executor, tp *tuple.Tuple, d destination) {
+	tv := w.eng.tv()
 	// Local destinations always take the fast path.
 	for _, dst := range d.tasks {
-		if w.eng.assign.WorkerOf[dst] == w.id {
+		if tv.assign.WorkerOf[dst] == w.id {
 			w.enqueueLocal(dst, tp)
 		}
 	}
 	switch {
 	case w.eng.cfg.Comm == InstanceOriented:
 		for _, dst := range d.tasks {
-			if dw := w.eng.assign.WorkerOf[dst]; dw != w.id {
+			if dw := tv.assign.WorkerOf[dst]; dw != w.id {
 				w.enqueueSend(sendJob{kind: jobPointToPoint, tp: tp, dstTask: dst, dstWorker: dw})
 			}
 		}
 	case w.eng.cfg.Multicast == MulticastStar:
-		byWorker := w.eng.remoteTasksByWorker(d.dstOp, w.id)
+		byWorker := tv.remoteBy[d.dstOp][w.id]
 		if len(byWorker) > 0 {
 			w.enqueueSend(sendJob{kind: jobWorkerBatch, tp: tp, tasksByWorker: byWorker})
 		}
@@ -805,6 +826,23 @@ func (w *worker) handleControl(from transport.WorkerID, cm *tuple.ControlMessage
 		if cc := w.eng.ckpt; cc != nil {
 			cc.handleAck(cm.Direction, cm.Node, cm.Epoch)
 		}
+
+	case tuple.CtrlJoin:
+		// Monitor-side admission. Idempotent: admission flips the membership
+		// bit at most once, but every CtrlJoin re-replies CtrlWelcome so a
+		// lost or reordered welcome is healed by the joiner's next retry.
+		if fd := w.eng.detector; fd != nil && w.id == fd.monitor {
+			w.eng.admitWorker(cm.Node)
+			welcome := tuple.ControlMessage{Type: tuple.CtrlWelcome, Node: cm.Node, Version: cm.Version}
+			enc := tuple.AcquireEncoder()
+			raw := append([]byte(nil), enc.EncodeControlEnvelope(&welcome)...)
+			tuple.ReleaseEncoder(enc)
+			w.enqueueSend(sendJob{kind: jobControl, dstWorker: cm.Node, raw: raw})
+		}
+
+	case tuple.CtrlWelcome:
+		// Joiner-side handshake completion; duplicates are no-ops.
+		w.eng.completeJoin(cm.Node)
 
 	case tuple.CtrlHeartbeat:
 		// Liveness was recorded in dispatch; the beacon carries no payload.

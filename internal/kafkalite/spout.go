@@ -176,15 +176,7 @@ func (s *Spout) Close() {
 // that fencing cannot retire, double-counting them into restored state.
 // The encoding is sorted by partition, hence deterministic.
 func (s *Spout) SnapshotState() ([]byte, error) {
-	resume := map[int]int64{}
-	for _, part := range s.assigned {
-		resume[part] = s.cursor[part]
-	}
-	for _, p := range s.buffered {
-		if cur, ok := resume[p.part]; !ok || p.rec.Offset < cur {
-			resume[p.part] = p.rec.Offset
-		}
-	}
+	resume := s.resumePoints()
 	parts := make([]int, 0, len(resume))
 	for part := range resume {
 		parts = append(parts, part)
@@ -197,6 +189,56 @@ func (s *Spout) SnapshotState() ([]byte, error) {
 		out = binary.LittleEndian.AppendUint64(out, uint64(resume[part]))
 	}
 	return out, nil
+}
+
+// resumePoints computes, per assigned partition, the offset of the first
+// record not yet emitted (see SnapshotState for the reasoning).
+func (s *Spout) resumePoints() map[int]int64 {
+	resume := map[int]int64{}
+	for _, part := range s.assigned {
+		resume[part] = s.cursor[part]
+	}
+	for _, p := range s.buffered {
+		if cur, ok := resume[p.part]; !ok || p.rec.Offset < cur {
+			resume[p.part] = p.rec.Offset
+		}
+	}
+	return resume
+}
+
+// ShardSnapshot implements snapshot.Sharder: one shard per assigned
+// partition — the shard id is the partition id, the payload its 8-byte
+// little-endian resume offset. Keying the cut by partition rather than by
+// task means a later restore can hand any instance exactly the partitions
+// it owns, even when the instance count changed in between.
+func (s *Spout) ShardSnapshot() (map[int32][]byte, error) {
+	resume := s.resumePoints()
+	out := make(map[int32][]byte, len(resume))
+	for part, pos := range resume {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(pos))
+		out[int32(part)] = b[:]
+	}
+	return out, nil
+}
+
+// RestoreShards implements snapshot.Sharder: rewind to the resume offsets
+// of the partitions present in shards, ignoring partitions this instance
+// no longer owns (nil resets to initial state, like RestoreState).
+func (s *Spout) RestoreShards(shards map[int32][]byte) error {
+	if shards == nil {
+		return s.RestoreState(nil)
+	}
+	resume := make(map[int]int64, len(shards))
+	for part, d := range shards {
+		if len(d) != 8 {
+			return fmt.Errorf("kafkalite: partition %d shard length %d, want 8", part, len(d))
+		}
+		resume[int(part)] = int64(binary.LittleEndian.Uint64(d))
+	}
+	s.buffered = nil
+	s.inflight = map[int64]pending{}
+	return s.restoreResume(resume)
 }
 
 // RestoreState implements snapshot.Snapshotter: it seeks the group's
@@ -243,12 +285,17 @@ func (s *Spout) RestoreState(data []byte) error {
 		resume[part] = int64(binary.LittleEndian.Uint64(data[off+4:]))
 		off += 12
 	}
+	return s.restoreResume(resume)
+}
+
+// restoreResume rewinds each assigned partition to its resume offset; a
+// partition absent from resume (the assignment changed since the snapshot)
+// falls back to the group's committed offset.
+func (s *Spout) restoreResume(resume map[int]int64) error {
 	s.cursor = map[int]int64{}
 	for _, part := range s.assigned {
 		pos, ok := resume[part]
 		if !ok {
-			// Partition not in the snapshot (assignment changed since):
-			// resume from the committed offset.
 			s.cursor[part] = s.Broker.CommittedOffset(s.Group, s.Topic, part)
 			continue
 		}

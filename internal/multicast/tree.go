@@ -374,6 +374,24 @@ func (t *Tree) RemoveNode(n NodeID, dstar int) error {
 	return nil
 }
 
+// AddNode inserts a new destination into the tree in place, attaching it
+// under the first BFS-order node with out-degree < dstar — the same
+// breadth-first-shallowest placement rule as Algorithm 1's attachment scan
+// and RemoveNode's orphan repair, so an extended tree keeps the
+// non-blocking d* cap and grows as little in depth as possible. Adding a
+// node that is already present (including one whose id was previously
+// removed and is being reused) is an error, never a silent relink: the
+// caller must have fully detached the old identity first, and RemoveNode
+// guarantees no stale parent/children/attached entries survive to be
+// resurrected here.
+func (t *Tree) AddNode(n NodeID, dstar int) error {
+	if t.Contains(n) {
+		return fmt.Errorf("multicast: node %d already in tree", n)
+	}
+	t.attach(n, t.findSpare(dstar))
+	return nil
+}
+
 // findSpare returns the first node in BFS order with out-degree < dstar
 // (any node when dstar <= 0).
 func (t *Tree) findSpare(dstar int) NodeID {

@@ -1,0 +1,123 @@
+package multicast
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAddNodePlacement: AddNode attaches under the BFS-shallowest node with
+// spare capacity and preserves the d* cap — the growth dual of RemoveNode's
+// orphan repair.
+func TestAddNodePlacement(t *testing.T) {
+	tr := BuildNonBlocking(0, seq(7), 2)
+	if err := tr.AddNode(8, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Contains(8) {
+		t.Fatal("added node missing")
+	}
+	// With d*=2 the 7-node Fig. 6 tree has its first spare slot below the
+	// source's subtree, never at the source (already at cap).
+	if tr.Parent(8) == 0 && tr.OutDegree(0) > 2 {
+		t.Fatalf("source over cap after AddNode: %d", tr.OutDegree(0))
+	}
+	// Growing one node at a time up to 31 keeps the cap at every step.
+	for n := NodeID(9); n <= 31; n++ {
+		if err := tr.AddNode(n, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(2); err != nil {
+			t.Fatalf("after adding %d: %v", n, err)
+		}
+	}
+}
+
+func TestAddNodeDuplicateRejected(t *testing.T) {
+	tr := BuildNonBlocking(0, seq(4), 2)
+	if err := tr.AddNode(3, 2); err == nil {
+		t.Fatal("AddNode accepted a node already in the tree")
+	}
+	if err := tr.AddNode(0, 2); err == nil {
+		t.Fatal("AddNode accepted the source")
+	}
+	if err := tr.Validate(2); err != nil {
+		t.Fatalf("failed AddNode mutated the tree: %v", err)
+	}
+}
+
+// TestRemoveThenReaddIdentityReuse is the detach-then-reattach regression
+// test: removing a node (leaf or interior) and re-adding the same NodeID
+// must produce a fully consistent tree — no stale children list, no
+// duplicate attached entry, no resurrected subtree links from the node's
+// previous life.
+func TestRemoveThenReaddIdentityReuse(t *testing.T) {
+	for _, victim := range []NodeID{1, 2, 7} { // interior (1,2) and leaf (7)
+		tr := BuildNonBlocking(0, seq(7), 2)
+		hadChildren := append([]NodeID(nil), tr.Children(victim)...)
+		if err := tr.RemoveNode(victim, 2); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Contains(victim) {
+			t.Fatalf("node %d still present after RemoveNode", victim)
+		}
+		if err := tr.Validate(2); err != nil {
+			t.Fatalf("after removing %d: %v", victim, err)
+		}
+		if err := tr.AddNode(victim, 2); err != nil {
+			t.Fatalf("re-adding %d: %v", victim, err)
+		}
+		if err := tr.Validate(2); err != nil {
+			t.Fatalf("after re-adding %d: %v", victim, err)
+		}
+		// The re-added identity must come back as a fresh leaf: its former
+		// children were re-parented by the removal and must not snap back.
+		if got := tr.Children(victim); len(got) != 0 {
+			t.Fatalf("re-added node %d resurrected children %v (had %v)", victim, got, hadChildren)
+		}
+		// Exactly one attached entry for the reused id.
+		count := 0
+		for _, d := range tr.attached {
+			if d == victim {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("node %d has %d attached entries after re-add, want 1", victim, count)
+		}
+		// A flatten/rebuild round-trip (what the ack'd switch distributes)
+		// must survive the identity reuse.
+		nodes, parents := tr.Flatten()
+		rt, err := FromFlat(nodes, parents)
+		if err != nil {
+			t.Fatalf("FromFlat after identity reuse: %v", err)
+		}
+		if !reflect.DeepEqual(rt.ReceiveTimes(), tr.ReceiveTimes()) {
+			t.Fatal("round-tripped tree diverges after identity reuse")
+		}
+	}
+}
+
+// TestRemoveReaddChurn soaks repeated remove/re-add cycles of rotating
+// victims: any stale parent/children/attached entry left by one cycle
+// would trip Validate (or panic attach) in a later one.
+func TestRemoveReaddChurn(t *testing.T) {
+	tr := BuildNonBlocking(0, seq(10), 3)
+	for i := 0; i < 50; i++ {
+		victim := NodeID(i%10 + 1)
+		if err := tr.RemoveNode(victim, 3); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := tr.AddNode(victim, 3); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := tr.Validate(3); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	if tr.Size() != 10 {
+		t.Fatalf("size %d after churn, want 10", tr.Size())
+	}
+}

@@ -61,6 +61,25 @@ const (
 	// EventSnapshotRestored: every surviving task acked the restore; the
 	// fence is active and sources have rewound.
 	EventSnapshotRestored = "snapshot-restored"
+	// EventWorkerJoined: the monitor admitted a new worker into the live
+	// membership (CtrlJoin/CtrlWelcome handshake). Worker is the joiner.
+	EventWorkerJoined = "worker-joined"
+	// EventWorkerLeft: a worker left the membership gracefully (no tasks
+	// hosted, heartbeats stopped); unlike worker-dead it may rejoin later.
+	EventWorkerLeft = "worker-left"
+	// EventRescaleStarted: a live operator rescale was requested; Detail
+	// names the operator and the old->new parallelism. The rescale applies
+	// at the commit of the next rescale-aligned checkpoint epoch.
+	EventRescaleStarted = "rescale-started"
+	// EventRescaleCommitted: the rescale-aligned checkpoint committed, the
+	// new assignment/tree versions were applied, and every task (old and
+	// new) acked the post-rescale restore. Epoch carries the aligned epoch.
+	EventRescaleCommitted = "rescale-committed"
+	// EventRescaleAborted: a pending rescale was rolled back before it ever
+	// applied (worker death while the aligned checkpoint was in flight);
+	// the pre-rescale assignment stays active — never a half-repartitioned
+	// topology. Detail carries the reason.
+	EventRescaleAborted = "rescale-aborted"
 )
 
 // Event is one structured entry in the reconfiguration event log.

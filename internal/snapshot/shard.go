@@ -1,0 +1,96 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Sharder is a Snapshotter whose state is additionally partitioned into
+// disjoint shards keyed by an int32 shard id — key-grouping slots for a
+// fields-grouped bolt, topic partitions for a source. During a live
+// operator rescale the engine snapshots every pre-rescale task through
+// ShardSnapshot, merges the (disjoint) shard maps of all old tasks, and
+// hands the union to every post-rescale task's RestoreShards: each
+// implementation keeps exactly the shards it now owns (a bolt: the slots
+// its new TaskIndex covers; a source: its newly assigned partitions) and
+// ignores the rest. That makes MxN repartitioning a pure data-plane
+// reshuffle — no coordinator knowledge of operator state layouts.
+type Sharder interface {
+	Snapshotter
+	// ShardSnapshot serializes the component's state split by shard id.
+	// Shard ids must be stable across parallelism changes and the maps of
+	// co-tasks of one operator must be disjoint.
+	ShardSnapshot() (map[int32][]byte, error)
+	// RestoreShards replaces the component's state from the merged shard
+	// union of every pre-rescale task. Implementations filter to the
+	// shards they own under the new assignment.
+	RestoreShards(shards map[int32][]byte) error
+}
+
+// EncodeShards serializes a shard map deterministically (sorted by shard
+// id): u32 count, then per shard u32 id, u32 length, bytes.
+func EncodeShards(shards map[int32][]byte) []byte {
+	ids := make([]int32, 0, len(shards))
+	size := 4
+	for id, b := range shards {
+		ids = append(ids, id)
+		size += 8 + len(b)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]byte, 0, size)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(ids)))
+	for _, id := range ids {
+		out = binary.LittleEndian.AppendUint32(out, uint32(id))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(shards[id])))
+		out = append(out, shards[id]...)
+	}
+	return out
+}
+
+// DecodeShards parses an EncodeShards payload. The returned byte slices
+// alias data.
+func DecodeShards(data []byte) (map[int32][]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("snapshot: truncated shard map")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	out := make(map[int32][]byte, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 8 {
+			return nil, fmt.Errorf("snapshot: truncated shard header %d/%d", i, n)
+		}
+		id := int32(binary.LittleEndian.Uint32(data))
+		ln := int(binary.LittleEndian.Uint32(data[4:]))
+		data = data[8:]
+		if len(data) < ln {
+			return nil, fmt.Errorf("snapshot: shard %d truncated: %d of %d bytes", id, len(data), ln)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("snapshot: duplicate shard %d", id)
+		}
+		out[id] = data[:ln:ln]
+		data = data[ln:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after shard map", len(data))
+	}
+	return out, nil
+}
+
+// MergeShards unions per-task shard maps into one. Shard ownership is
+// disjoint by contract; a shard appearing in two maps means the snapshot
+// was cut across inconsistent assignments and is rejected.
+func MergeShards(maps ...map[int32][]byte) (map[int32][]byte, error) {
+	out := map[int32][]byte{}
+	for _, m := range maps {
+		for id, b := range m {
+			if _, dup := out[id]; dup {
+				return nil, fmt.Errorf("snapshot: shard %d owned by two tasks", id)
+			}
+			out[id] = b
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package snapshot
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestShardCodecRoundTrip(t *testing.T) {
+	in := map[int32][]byte{
+		0:  []byte("zero"),
+		7:  nil,
+		63: []byte{1, 2, 3},
+		5:  {},
+	}
+	got, err := DecodeShards(EncodeShards(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("decoded %d shards, want %d", len(got), len(in))
+	}
+	for id, b := range in {
+		if string(got[id]) != string(b) {
+			t.Fatalf("shard %d: %q != %q", id, got[id], b)
+		}
+	}
+	// Deterministic: same map encodes to identical bytes.
+	if !reflect.DeepEqual(EncodeShards(in), EncodeShards(in)) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestShardCodecRejectsCorrupt(t *testing.T) {
+	good := EncodeShards(map[int32][]byte{1: []byte("abc")})
+	for _, bad := range [][]byte{
+		nil,
+		good[:3],
+		good[:len(good)-1],
+		append(append([]byte{}, good...), 0),
+	} {
+		if _, err := DecodeShards(bad); err == nil {
+			t.Fatalf("corrupt payload %v accepted", bad)
+		}
+	}
+}
+
+func TestMergeShardsDisjoint(t *testing.T) {
+	a := map[int32][]byte{0: []byte("a"), 2: []byte("c")}
+	b := map[int32][]byte{1: []byte("b")}
+	m, err := MergeShards(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("merged %d shards, want 3", len(m))
+	}
+	if _, err := MergeShards(a, map[int32][]byte{2: []byte("dup")}); err == nil {
+		t.Fatal("overlapping shard maps accepted")
+	}
+}

@@ -208,6 +208,17 @@ const (
 	// during recovery). Duplicates are harmless: the coordinator tracks
 	// acked tasks in a set per epoch.
 	CtrlSnapAck
+	// CtrlJoin asks the monitor (worker 0) to admit the sending worker into
+	// the live membership: Node carries the joiner's worker id, Version a
+	// per-attempt sequence number. The joiner retries with bounded backoff
+	// until a CtrlWelcome arrives; duplicates are idempotent at the monitor
+	// (admission happens once, the welcome is simply re-sent).
+	CtrlJoin
+	// CtrlWelcome is the monitor's admission reply: Node echoes the admitted
+	// worker id, Version the CtrlJoin attempt it answers. Duplicated or
+	// reordered welcomes are harmless — the joiner completes its handshake
+	// exactly once.
+	CtrlWelcome
 )
 
 // CtrlSnapAck directions.
@@ -349,6 +360,10 @@ func (c *ControlMessage) String() string {
 			dir = "restore"
 		}
 		return fmt.Sprintf("SnapAck{%s task=%d epoch=%d}", dir, c.Node, c.Epoch)
+	case CtrlJoin:
+		return fmt.Sprintf("Join{worker=%d attempt=%d}", c.Node, c.Version)
+	case CtrlWelcome:
+		return fmt.Sprintf("Welcome{worker=%d attempt=%d}", c.Node, c.Version)
 	}
 	return fmt.Sprintf("Control{type=%d}", c.Type)
 }

@@ -70,6 +70,14 @@ type (
 	// SnapshotStore persists per-epoch operator snapshots
 	// (Options.CheckpointStore).
 	SnapshotStore = snapshot.Store
+	// Sharder marks a Snapshotter whose state additionally splits into
+	// key-range shards, letting a live rescale (Cluster.Rescale) split or
+	// merge it across a changed instance count.
+	Sharder = snapshot.Sharder
+	// MembershipReport snapshots the elastic cluster: per-worker liveness,
+	// operator placements, and multicast group membership. Served at
+	// /debug/membership and returned by Cluster.Membership.
+	MembershipReport = dsps.MembershipReport
 )
 
 // NewMemSnapshotStore returns the in-memory snapshot store (the default
@@ -151,7 +159,8 @@ type Cluster struct {
 // Run launches the topology under the given system preset. With
 // Options.ObsAddr set, the observability endpoints (/metrics,
 // /debug/whale, /debug/events, /debug/trace, /debug/bottleneck,
-// /debug/pprof) are served on that address for the cluster's lifetime.
+// /debug/membership, /debug/pprof) are served on that address for the
+// cluster's lifetime.
 func Run(topo *Topology, sys System, opts Options) (*Cluster, error) {
 	eng, err := sys.Launch(topo, opts)
 	if err != nil {
@@ -173,6 +182,10 @@ func Run(topo *Topology, sys System, opts Options) (*Cluster, error) {
 			}
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(rep)
+		}))
+		srv.Handle("/debug/membership", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(c.Membership())
 		}))
 		c.srv = srv
 	}
@@ -226,6 +239,34 @@ func (c *Cluster) BottleneckReport() attrib.Report { return c.eng.BottleneckRepo
 // DegradedWorkers lists workers currently reported degraded by the
 // overload path (a subscriber paused past Options.DegradedAfter).
 func (c *Cluster) DegradedWorkers() []int32 { return c.eng.DegradedWorkers() }
+
+// JoinWorker admits a dormant worker id in [Options.Workers,
+// Options.MaxWorkers) into the live membership through the
+// CtrlJoin/CtrlWelcome handshake with the monitor. Once joined, the worker
+// heartbeats, relays multicast traffic, and is a valid Rescale placement
+// target.
+func (c *Cluster) JoinWorker(id int32) error { return c.eng.JoinWorker(id) }
+
+// LeaveWorker gracefully retires a joined worker that hosts no tasks
+// (shrink its operators away first with Rescale). Unlike a confirmed
+// failure, leaving is not terminal: the same id may rejoin later.
+func (c *Cluster) LeaveWorker(id int32) error { return c.eng.LeaveWorker(id) }
+
+// Rescale changes a live operator's parallelism through a rescale-aligned
+// checkpoint (requires Options.CheckpointInterval): state splits or merges
+// across the new instance set — by key-range shard for Sharder operators —
+// sources rewind to the cut, and exactly-once holds across the transition.
+// Optional placements pin each added task to a joined worker; by default
+// the least-loaded joined workers are picked. A failure mid-rescale rolls
+// the plan back to the pre-rescale topology.
+func (c *Cluster) Rescale(op string, newPar int, on ...int32) error {
+	return c.eng.Rescale(op, newPar, on...)
+}
+
+// Membership reports the elastic cluster state: every worker slot's
+// liveness, operator placements, and per-group multicast membership. Also
+// served as JSON at /debug/membership when Options.ObsAddr is set.
+func (c *Cluster) Membership() MembershipReport { return c.eng.Membership() }
 
 // Shutdown stops the cluster and releases the network and the
 // observability server.
