@@ -252,6 +252,10 @@ func (r *router) hasSubscribers(stream string) bool { return len(r.routes[stream
 // slot mod parallelism. State sharded by slot id (snapshot.Sharder) can
 // therefore be split and merged exactly during a rescale: the slot a key
 // lives in never moves, only the task owning the slot does.
+//
+// The width is also a hard parallelism bound for fields-grouped operators:
+// with fewer slots than tasks, task indices >= NumSlots would never be
+// selected. Topology build and Rescale both reject such widths.
 const NumSlots = 64
 
 // SlotOf returns the key-grouping slot for one field value, in [0, NumSlots).

@@ -90,8 +90,12 @@ type checkpointCoordinator struct {
 	// Live rescale (DESIGN §14). A requested plan arms at the next epoch
 	// and applies only when an epoch >= armAfter commits — that commit is
 	// the rescale-aligned cut. The applied plan rides the fenced restore
-	// machinery (state split/merge, source rewind) and is discharged at
-	// finishRestoreLocked. A worker death with a plan still pending aborts
+	// machinery (state split/merge, source rewind) and is retained past the
+	// restore: until the first post-rescale epoch commits, the latest
+	// committed cut still stores the rescaled operator's shards under the
+	// pre-rescale task ids, so a crash in that window must re-source them
+	// from plan.oldTasks. The plan is discharged only when an epoch newer
+	// than the cut commits. A worker death with a plan still pending aborts
 	// it deterministically: the pre-rescale assignment stays active.
 	pendingRescale *rescalePlan
 	appliedRescale *rescalePlan
@@ -106,6 +110,7 @@ type rescalePlan struct {
 	oldTasks  []int32 // op's task ids under the pre-rescale placement
 	armAfter  int64   // first epoch whose commit applies the plan
 	epoch     int64   // the aligned epoch actually committed (set at apply)
+	committed bool    // rescale restore finished; EventRescaleCommitted emitted
 }
 
 func newCheckpointCoordinator(e *Engine) *checkpointCoordinator {
@@ -306,6 +311,12 @@ func (c *checkpointCoordinator) handleAckInner(direction byte, task int32, epoch
 			Kind: obs.EventSnapshotComplete, Worker: c.home, Epoch: epoch,
 			Detail: fmt.Sprintf("%d tasks acked", len(c.acked)),
 		})
+		// First post-rescale cut: the rescaled operator's shards now live in
+		// the store under the new task ids, so the old-layout plan is no
+		// longer needed to source a crash restore.
+		if p := c.appliedRescale; p != nil && epoch > p.epoch {
+			c.appliedRescale = nil
+		}
 		if p := c.pendingRescale; p != nil && epoch >= p.armAfter {
 			c.applyRescaleLocked(epoch)
 			return c.appliedRescale
@@ -370,8 +381,13 @@ func (c *checkpointCoordinator) finishRestoreLocked() {
 		Kind: obs.EventSnapshotRestored, Worker: c.home, Epoch: c.restoreFrom,
 		Detail: fmt.Sprintf("restored from epoch %d; fence %d", c.restoreFrom, c.fence),
 	})
-	if p := c.appliedRescale; p != nil {
-		c.appliedRescale = nil
+	// The applied plan is NOT discharged here: the latest committed cut still
+	// holds the rescaled operator's shards under the pre-rescale task ids, so
+	// a crash before the first post-rescale epoch commits must restore through
+	// the plan again. handleAckInner drops it at that commit. The committed
+	// flag keeps a window-crash re-restore from re-emitting the event.
+	if p := c.appliedRescale; p != nil && !p.committed {
+		p.committed = true
 		c.eng.obs.Events.Append(obs.Event{
 			Kind: obs.EventRescaleCommitted, Worker: c.home, Epoch: p.epoch,
 			Detail: fmt.Sprintf("%s -> %d tasks, cut at epoch %d", p.op, p.newPar, p.epoch),
@@ -448,7 +464,11 @@ func (c *checkpointCoordinator) onWorkerDead(dead int32) {
 func (c *checkpointCoordinator) requestRescale(op string, newPar int, next *Assignment) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.pendingRescale != nil || c.appliedRescale != nil {
+	// An applied plan whose restore already finished (committed) only lingers
+	// to source a crash-window restore from the old task layout; it does not
+	// block the next request — that plan arms at a strictly newer epoch, whose
+	// commit discharges the lingering one before applying the new one.
+	if c.pendingRescale != nil || (c.appliedRescale != nil && !c.appliedRescale.committed) {
 		return fmt.Errorf("dsps: a rescale is already in progress")
 	}
 	if c.restoring || c.recoverPending {
@@ -474,11 +494,23 @@ func (c *checkpointCoordinator) requestRescale(op string, newPar int, next *Assi
 }
 
 // rescalePending reports whether a rescale is requested or applied but not
-// yet committed (its restore still running).
+// yet committed (its restore still running). A committed plan lingering only
+// for crash-window restore sourcing does not count.
 func (c *checkpointCoordinator) rescalePending() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.pendingRescale != nil || c.appliedRescale != nil
+	return c.pendingRescale != nil || (c.appliedRescale != nil && !c.appliedRescale.committed)
+}
+
+// planTargets reports whether a requested-but-unapplied rescale plan places
+// tasks on worker w. LeaveWorker rejects such a worker: the plan applies at
+// a later epoch commit, and a host that left in between would carry the new
+// tasks while unjoined — invisible to the failure sweep.
+func (c *checkpointCoordinator) planTargets(w int32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.pendingRescale
+	return p != nil && len(p.newAssign.LocalTasks(w)) > 0
 }
 
 // applyRescaleLocked installs the armed plan at its aligned cut: new
@@ -502,6 +534,24 @@ func (c *checkpointCoordinator) applyRescaleLocked(epoch int64) {
 	old := make(map[int32]bool, len(plan.oldTasks))
 	for _, tid := range plan.oldTasks {
 		old[tid] = true
+	}
+	// Re-validate placement at the cut: pickPlacement checked the targets at
+	// request time, but the plan applies at this later epoch commit and a
+	// target may have gracefully left in between (LeaveWorker rejects named
+	// targets, this is the backstop for the remaining race). Applying onto an
+	// unjoined worker would host tasks the failure sweep never watches; abort
+	// the plan instead — the pre-rescale assignment stays active.
+	for _, tid := range na.TasksOf[plan.op] {
+		if old[tid] {
+			continue
+		}
+		if w := na.WorkerOf[tid]; !e.joinedWorker(w) || e.workerDead(w) {
+			c.eng.obs.Events.Append(obs.Event{
+				Kind: obs.EventRescaleAborted, Worker: c.home, Epoch: epoch,
+				Detail: fmt.Sprintf("%s -> %d: placement target %d no longer joined at the aligned cut", plan.op, plan.newPar, w),
+			})
+			return
+		}
 	}
 	// New executors before the view swap: the moment peers observe the new
 	// placement they route to the new tasks, whose queues must exist.
@@ -674,7 +724,11 @@ func (c *checkpointCoordinator) restoreTask(ex *executor, from int64) error {
 	c.mu.Lock()
 	plan := c.appliedRescale
 	c.mu.Unlock()
-	rescaled := plan != nil && plan.op == ex.ctx.OperatorID
+	// The plan sources only restores at or before its aligned cut — epochs
+	// up to plan.epoch store the operator's shards under the pre-rescale
+	// task ids (the plan is discharged once a newer epoch commits, so this
+	// guard is defense in depth against a stale read).
+	rescaled := plan != nil && plan.op == ex.ctx.OperatorID && from <= plan.epoch
 	source := []int32{ex.ctx.TaskID}
 	if rescaled {
 		source = plan.oldTasks
@@ -690,6 +744,11 @@ func (c *checkpointCoordinator) restoreTask(ex *executor, from int64) error {
 		}
 		if !found {
 			continue
+		}
+		if !rescaled && !snapshot.IsShardEncoded(d) {
+			// Legacy durable checkpoint written before shard encoding: the
+			// blob is a plain SnapshotState payload for this very task.
+			return sn.RestoreState(d)
 		}
 		shards, err := snapshot.DecodeShards(d)
 		if err != nil {

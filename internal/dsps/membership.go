@@ -14,7 +14,10 @@ import (
 // epoch-aligned apply). Workers Workers..MaxWorkers-1 start dormant; a join
 // admits one through the monitor with a CtrlJoin/CtrlWelcome handshake that
 // is idempotent under duplicated or reordered frames: every CtrlJoin
-// re-replies CtrlWelcome, admission itself happens at most once.
+// re-replies CtrlWelcome, but admission is gated on the joiner still
+// awaiting its welcome — a stale retry processed after the handshake
+// completed (and possibly after an intervening LeaveWorker) must not
+// re-admit the worker.
 
 // joinAttempts bounds the CtrlJoin retries before JoinWorker gives up.
 const joinAttempts = 10
@@ -132,9 +135,33 @@ func (e *Engine) admitWorker(id int32) {
 	}
 }
 
+// admitPendingWorker admits id only while a JoinWorker call still awaits
+// its CtrlWelcome. The check and the admission run atomically with
+// completeJoin's resolution of that wait (both under e.mu), so once the
+// handshake has completed not a single stale CtrlJoin retry can re-admit
+// the worker — in particular not after an intervening LeaveWorker, whose
+// heartbeats are stopped and whose re-admission the sweep would therefore
+// confirm dead.
+func (e *Engine) admitPendingWorker(id int32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.welcomes[id]; !ok {
+		return
+	}
+	e.admitWorker(id)
+}
+
 // completeJoin resolves the joiner-side wait when its CtrlWelcome arrives.
 // Duplicate welcomes (the monitor re-replies per CtrlJoin) are no-ops.
 func (e *Engine) completeJoin(id int32) {
+	// Resolve only once the admission is visible: the monitor admits before
+	// it replies, so a welcome observed while the worker is still unjoined
+	// is a stale frame from an earlier handshake (this join's own CtrlJoin
+	// has not been processed yet) — resolving on it would delete the wait
+	// entry admitPendingWorker gates on and strand the join unadmitted.
+	if !e.joinedWorker(id) {
+		return
+	}
 	e.mu.Lock()
 	welcome, ok := e.welcomes[id]
 	if ok {
@@ -166,6 +193,9 @@ func (e *Engine) LeaveWorker(id int32) error {
 	}
 	if tasks := e.tv().assign.LocalTasks(id); len(tasks) > 0 {
 		return fmt.Errorf("dsps: worker %d still hosts %d tasks", id, len(tasks))
+	}
+	if e.ckpt != nil && e.ckpt.planTargets(id) {
+		return fmt.Errorf("dsps: worker %d is a placement target of a pending rescale", id)
 	}
 	e.stopHeartbeat(id)
 	e.joined[id].Store(false)
@@ -297,6 +327,12 @@ func (e *Engine) Rescale(op string, newPar int, on ...int32) error {
 	}
 	if spec.IsSpout {
 		return fmt.Errorf("dsps: spout %q cannot be rescaled live (source parallelism is bound to its partitions)", op)
+	}
+	if newPar > NumSlots && e.topo.fieldsGrouped(op) {
+		// Key routing sends slot s to task index s mod parallelism over a
+		// NumSlots-wide slot space: task indices >= NumSlots would never be
+		// selected, silently starving them.
+		return fmt.Errorf("dsps: fields-grouped operator %q cannot exceed parallelism %d (NumSlots)", op, NumSlots)
 	}
 	tv := e.tv()
 	oldPar := len(tv.assign.TasksOf[op])

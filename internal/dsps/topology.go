@@ -214,6 +214,12 @@ func (b *TopologyBuilder) Build() (*Topology, error) {
 			if _, ok := b.ops[s.SrcOperator]; !ok {
 				return nil, fmt.Errorf("dsps: bolt %q subscribes to unknown operator %q", id, s.SrcOperator)
 			}
+			// Fields grouping routes over the fixed NumSlots key space (slot
+			// mod parallelism picks the task index), so a wider operator
+			// would leave task indices >= NumSlots silently starved.
+			if s.Type == FieldsGrouping && op.Parallelism > NumSlots {
+				return nil, fmt.Errorf("dsps: fields-grouped bolt %q parallelism %d exceeds the %d-slot key space", id, op.Parallelism, NumSlots)
+			}
 		}
 	}
 	// Cycle check by DFS over operator edges.
@@ -276,6 +282,21 @@ func (t *Topology) Subscribers(srcOp, stream string) []struct {
 		}
 	}
 	return out
+}
+
+// fieldsGrouped reports whether op consumes any stream with fields grouping
+// — key-slot routing then bounds its parallelism by NumSlots.
+func (t *Topology) fieldsGrouped(op string) bool {
+	spec, ok := t.Operators[op]
+	if !ok {
+		return false
+	}
+	for _, s := range spec.Subs {
+		if s.Type == FieldsGrouping {
+			return true
+		}
+	}
+	return false
 }
 
 // Spout produces tuples. Open is called once on the executor goroutine

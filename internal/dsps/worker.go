@@ -832,7 +832,11 @@ func (w *worker) handleControl(from transport.WorkerID, cm *tuple.ControlMessage
 		// bit at most once, but every CtrlJoin re-replies CtrlWelcome so a
 		// lost or reordered welcome is healed by the joiner's next retry.
 		if fd := w.eng.detector; fd != nil && w.id == fd.monitor {
-			w.eng.admitWorker(cm.Node)
+			// Admit only while the joiner still awaits its welcome: a stale
+			// retry processed after the handshake completed must not
+			// re-admit a worker that meanwhile left — its heartbeats are
+			// stopped, so the sweep would confirm the "member" dead.
+			w.eng.admitPendingWorker(cm.Node)
 			welcome := tuple.ControlMessage{Type: tuple.CtrlWelcome, Node: cm.Node, Version: cm.Version}
 			enc := tuple.AcquireEncoder()
 			raw := append([]byte(nil), enc.EncodeControlEnvelope(&welcome)...)

@@ -28,17 +28,30 @@ type Sharder interface {
 	RestoreShards(shards map[int32][]byte) error
 }
 
+// shardMagic tags every EncodeShards payload so a restore can tell a
+// shard-encoded blob from a legacy plain SnapshotState payload written by a
+// pre-Sharder release (the first byte is deliberately invalid UTF-8). Bump
+// the trailing digit on any incompatible layout change.
+var shardMagic = [4]byte{0xF5, 'W', 'S', '1'}
+
+// IsShardEncoded reports whether data carries the EncodeShards framing.
+func IsShardEncoded(data []byte) bool {
+	return len(data) >= len(shardMagic) && string(data[:len(shardMagic)]) == string(shardMagic[:])
+}
+
 // EncodeShards serializes a shard map deterministically (sorted by shard
-// id): u32 count, then per shard u32 id, u32 length, bytes.
+// id): the shardMagic tag, u32 count, then per shard u32 id, u32 length,
+// bytes.
 func EncodeShards(shards map[int32][]byte) []byte {
 	ids := make([]int32, 0, len(shards))
-	size := 4
+	size := len(shardMagic) + 4
 	for id, b := range shards {
 		ids = append(ids, id)
 		size += 8 + len(b)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	out := make([]byte, 0, size)
+	out = append(out, shardMagic[:]...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(ids)))
 	for _, id := range ids {
 		out = binary.LittleEndian.AppendUint32(out, uint32(id))
@@ -51,12 +64,23 @@ func EncodeShards(shards map[int32][]byte) []byte {
 // DecodeShards parses an EncodeShards payload. The returned byte slices
 // alias data.
 func DecodeShards(data []byte) (map[int32][]byte, error) {
+	if !IsShardEncoded(data) {
+		return nil, fmt.Errorf("snapshot: payload is not shard-encoded (missing magic)")
+	}
+	data = data[len(shardMagic):]
 	if len(data) < 4 {
 		return nil, fmt.Errorf("snapshot: truncated shard map")
 	}
 	n := int(binary.LittleEndian.Uint32(data))
 	data = data[4:]
-	out := make(map[int32][]byte, n)
+	// Clamp the pre-allocation hint: a corrupt count must not drive a large
+	// allocation before the per-shard truncation checks reject it. Every
+	// shard needs at least its 8 header bytes.
+	hint := n
+	if max := len(data) / 8; hint > max {
+		hint = max
+	}
+	out := make(map[int32][]byte, hint)
 	for i := 0; i < n; i++ {
 		if len(data) < 8 {
 			return nil, fmt.Errorf("snapshot: truncated shard header %d/%d", i, n)

@@ -32,14 +32,38 @@ func TestShardCodecRoundTrip(t *testing.T) {
 
 func TestShardCodecRejectsCorrupt(t *testing.T) {
 	good := EncodeShards(map[int32][]byte{1: []byte("abc")})
+	// A huge declared count with no backing bytes must be rejected without
+	// pre-allocating for it (the hint is clamped by the remaining length).
+	hugeCount := append(append([]byte{}, good[:4]...), 0xFF, 0xFF, 0xFF, 0xFF)
 	for _, bad := range [][]byte{
 		nil,
 		good[:3],
 		good[:len(good)-1],
 		append(append([]byte{}, good...), 0),
+		hugeCount,
 	} {
 		if _, err := DecodeShards(bad); err == nil {
 			t.Fatalf("corrupt payload %v accepted", bad)
+		}
+	}
+}
+
+// TestShardMagicDistinguishesLegacy: shard-encoded payloads carry the magic
+// tag; arbitrary legacy SnapshotState blobs (including empty and text ones)
+// do not, so restore paths can fall back instead of misdecoding them.
+func TestShardMagicDistinguishesLegacy(t *testing.T) {
+	if !IsShardEncoded(EncodeShards(nil)) {
+		t.Fatal("empty shard map not tagged")
+	}
+	if !IsShardEncoded(EncodeShards(map[int32][]byte{3: []byte("x")})) {
+		t.Fatal("shard map not tagged")
+	}
+	for _, legacy := range [][]byte{nil, {}, []byte("plain state"), {0, 0, 0, 0}, {1, 0, 0, 0, 9, 9}} {
+		if IsShardEncoded(legacy) {
+			t.Fatalf("legacy payload %v claimed as shard-encoded", legacy)
+		}
+		if _, err := DecodeShards(legacy); err == nil {
+			t.Fatalf("legacy payload %v decoded as shards", legacy)
 		}
 	}
 }
