@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet whalevet vet-baseline build test race chaos fmt bench perfgate
+.PHONY: check vet whalevet vet-baseline build test race chaos fmt bench perfgate cover cover-gate
 
 check: vet whalevet vet-baseline build test race chaos
 
@@ -63,5 +63,28 @@ bench:
 # fold the worst observed median per row from a few extra gate runs into the
 # baseline (max ns/op, min tuples/sec, max dispersion) so the gate anchors at
 # the slow mode; real regressions still trip the 10-20% headroom above it.
+# Set PERFGATE_SUMMARY=<file> to also append the before/after comparison as
+# a markdown table (the bench-gate job points it at $GITHUB_STEP_SUMMARY).
 perfgate:
-	$(GO) run ./cmd/whaleperf -quick -runs 5 -baseline BENCH_9.json -out BENCH_9.new.json
+	$(GO) run ./cmd/whaleperf -quick -runs 5 -baseline BENCH_9.json -out BENCH_9.new.json $(if $(PERFGATE_SUMMARY),-summary "$(PERFGATE_SUMMARY)")
+
+# Statement coverage over the tier-1 sweep (the same `go test ./...` the
+# test job runs), written to coverage.out.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+
+# Coverage floor gate against the committed COVERAGE_FLOOR.txt: fails when
+# the total statement coverage drops below the floor. Raise the floor when
+# coverage durably improves; never lower it to admit a regression.
+cover-gate: cover
+	@floor=$$(awk '$$1=="total"{print $$2}' COVERAGE_FLOOR.txt); \
+	total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/{sub(/%/,"",$$3); print $$3}'); \
+	if [ -z "$$total" ]; then \
+	  echo "cover-gate: could not read total coverage from coverage.out" >&2; \
+	  exit 1; \
+	fi; \
+	if awk -v t="$$total" -v f="$$floor" 'BEGIN{exit !(t < f)}'; then \
+	  echo "cover-gate: total coverage $$total% is below the committed floor $$floor%" >&2; \
+	  exit 1; \
+	fi; \
+	echo "cover-gate: ok ($$total% >= floor $$floor%)"

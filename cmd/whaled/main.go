@@ -47,6 +47,11 @@ func main() {
 	bottleneck := flag.Bool("bottleneck", false, "print the ranked bottleneck attribution report on shutdown")
 	checkpoint := flag.Duration("checkpoint", 0, "aligned snapshot checkpoint interval (0 = off; see DESIGN.md §13)")
 	membership := flag.Bool("membership", false, "print the cluster membership report as JSON on shutdown (also served at /debug/membership with -obs-addr)")
+	autoscale := flag.Duration("autoscale", 0, "M/D/1 autoscale controller interval (0 = off; requires -checkpoint; see DESIGN.md §15)")
+	asRhoHigh := flag.Float64("autoscale-rho-high", 0, "utilization above which an operator scales up (default 0.8)")
+	asRhoLow := flag.Float64("autoscale-rho-low", 0, "utilization below which an operator scales down (default 0.3)")
+	asCooldown := flag.Duration("autoscale-cooldown", 0, "minimum time between autoscale actions per operator (default 10x interval)")
+	asMaxStep := flag.Int("autoscale-max-step", 0, "max parallelism change per autoscale decision (default 4)")
 	flag.Parse()
 	if *traceOut != "" && *traceEvery == 0 {
 		*traceEvery = 100
@@ -94,6 +99,13 @@ func main() {
 		ObsAddr:            *obsAddr,
 		TraceSampleEvery:   *traceEvery,
 		CheckpointInterval: *checkpoint,
+		Autoscale: whale.AutoscaleConfig{
+			Interval: *autoscale,
+			RhoHigh:  *asRhoHigh,
+			RhoLow:   *asRhoLow,
+			Cooldown: *asCooldown,
+			MaxStep:  *asMaxStep,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -134,6 +146,20 @@ func main() {
 	}
 	if *bottleneck {
 		fmt.Print(cluster.BottleneckReport())
+	}
+	if *autoscale > 0 {
+		rep := cluster.AutoscaleReport()
+		s := cluster.Obs().Reg.Snapshot()
+		fmt.Printf("autoscale: evals=%d ups=%d downs=%d rejected=%d\n",
+			s.Counters["autoscale.evals"], s.Counters["autoscale.scale_ups"],
+			s.Counters["autoscale.scale_downs"], s.Counters["autoscale.rejected"])
+		for _, d := range rep.Decisions {
+			if d.Action != whale.AutoscaleHold {
+				fmt.Printf("  %s %s %d -> %d (lambda=%.0f/s te=%s rho=%.2f): %s\n",
+					d.Operator, d.Action, d.From, d.To,
+					d.Lambda, time.Duration(d.Te*1e9), d.Rho, d.Reason)
+			}
+		}
 	}
 	if *traceOut != "" {
 		if err := writeTrace(cluster, *traceOut); err != nil {

@@ -46,6 +46,7 @@ func main() {
 		out      = flag.String("out", "", "path to write the fresh report (empty: don't write)")
 		thr      = flag.Float64("threshold", 0.10, "allowed fractional slowdown for micro/ rows")
 		desThr   = flag.Float64("des-threshold", 0.25, "allowed fractional throughput drop for des/ rows")
+		summary  = flag.String("summary", "", "append the before/after comparison as a markdown table to this file (requires -baseline; CI points it at $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
 	if *runs < 1 {
@@ -89,7 +90,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "whaleperf: baseline: %v\n", err)
 		os.Exit(1)
 	}
-	regs := perfgate.Compare(base, rep, perfgate.Options{MicroThreshold: *thr, DESThreshold: *desThr})
+	opts := perfgate.Options{MicroThreshold: *thr, DESThreshold: *desThr}
+	if *summary != "" {
+		if err := writeSummary(*summary, base, rep, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "whaleperf: summary: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	regs := perfgate.Compare(base, rep, opts)
 	if len(regs) == 0 {
 		fmt.Printf("perf gate PASS: %d benchmarks within thresholds of %s\n", len(base.Benchmarks), *baseline)
 		return
@@ -99,6 +107,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  %s\n", r)
 	}
 	os.Exit(1)
+}
+
+// writeSummary appends the before/after markdown table to path (append, not
+// truncate: $GITHUB_STEP_SUMMARY accumulates across steps).
+func writeSummary(path string, base, fresh *perfgate.Report, opts perfgate.Options) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := perfgate.WriteSummary(f, base, fresh, opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runMicro benchmarks one case n times via testing.Benchmark and returns the

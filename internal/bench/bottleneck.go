@@ -76,7 +76,7 @@ func runBottleneck(quick bool) (*Report, error) {
 		ID:    "bottleneck",
 		Title: "Injected bottlenecks vs analyzer attribution (M/D/1 stall profile)",
 		Columns: []string{
-			"injected", "top-ranked component", "class", "stall share", "stall ms", "named?",
+			"injected", "top-ranked component / model", "class / action", "stall share", "detail", "ok?",
 		},
 	}
 	for _, sc := range bottleneckScenarios() {
@@ -88,7 +88,7 @@ func runBottleneck(quick bool) (*Report, error) {
 		}
 		rep.Rows = append(rep.Rows, []string{
 			sc.name, top.Component, top.Class,
-			pct(top.Share), ms(float64(top.StallNS)), hit,
+			pct(top.Share), ms(float64(top.StallNS)) + " stalled", hit,
 		})
 		rep.setMetric(sc.name+"/top_share", top.Share)
 		if hit != "yes" {
@@ -97,5 +97,45 @@ func runBottleneck(quick bool) (*Report, error) {
 				sc.name, sc.component, sc.class, top.Component, top.Class))
 		}
 	}
+	appendHotOperatorRow(rep, quick)
 	return rep, nil
+}
+
+// appendHotOperatorRow runs the closed-loop autoscale validation: an
+// operator-wide hot spot (every matching instance's service time stretched)
+// must drive the measured utilization over the band and make the modeled
+// M/D/1 controller size the pool to exactly the analytic prediction
+// (cluster.PredictedAutoscaleTarget) — the same sizing arithmetic the live
+// dsps autoscaler runs on the rescale plane.
+func appendHotOperatorRow(rep *Report, quick bool) {
+	cfg := cluster.Config{
+		Variant:           cluster.Whale,
+		Parallelism:       480,
+		InputRate:         3000,
+		MaxTuples:         tuples(quick),
+		Seed:              7,
+		HotOperatorFactor: 14,
+	}
+	res := cluster.Run(cfg)
+	want := cluster.PredictedAutoscaleTarget(cfg)
+	hit := "MISS"
+	if res.AutoscaleAction == "scale-up" && res.AutoscaleTarget == want {
+		hit = "yes"
+	}
+	rep.Rows = append(rep.Rows, []string{
+		fmt.Sprintf("hot-operator (te x%g)", cfg.HotOperatorFactor),
+		fmt.Sprintf("matching pool, measured rho %.2f", res.MatchRho),
+		res.AutoscaleAction,
+		pct(res.MatchRho),
+		fmt.Sprintf("target %d machines, predicted %d", res.AutoscaleTarget, want),
+		hit,
+	})
+	rep.setMetric("hot-operator/rho", res.MatchRho)
+	rep.setMetric("hot-operator/target", float64(res.AutoscaleTarget))
+	rep.setMetric("hot-operator/predicted", float64(want))
+	if hit != "yes" {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"hot-operator: expected scale-up to %d, model said %s to %d",
+			want, res.AutoscaleAction, res.AutoscaleTarget))
+	}
 }

@@ -1,0 +1,228 @@
+package chaos_test
+
+import (
+	"encoding/binary"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whale/internal/chaos"
+	"whale/internal/dsps"
+	"whale/internal/kafkalite"
+	"whale/internal/obs"
+	"whale/internal/snapshot"
+	"whale/internal/transport"
+	"whale/internal/tuple"
+)
+
+// Autoscale soak (`make chaos`): the closed loop end to end. A CPU-heavy
+// bolt starts at parallelism 1 under a record burst that saturates it; the
+// M/D/1 controller must confirm the overload, issue a scale-up through the
+// rescale plane (aligned cut, state handoff, tree switch), the backlog must
+// then drain, and once the load drops the controller must shrink the
+// operator back. The [1, 2] clamp with MaxStep 1 pins the trajectory to
+// exactly one scale-up and one scale-down regardless of timing jitter, so
+// the filtered event trace is deterministic and must reproduce exactly
+// under the same chaos seed.
+
+const (
+	asRecords = 1200
+	asBurnNS  = 200_000 // per-tuple busy time: te = 200µs
+)
+
+// burnBolt spends asBurnNS of CPU per tuple — a deterministic service time
+// the controller's te estimate converges to.
+type burnBolt struct {
+	executed *atomic.Int64
+}
+
+func (b *burnBolt) Prepare(*dsps.TaskContext) {}
+
+func (b *burnBolt) Execute(*tuple.Tuple, *dsps.Collector) {
+	start := time.Now()
+	for time.Since(start) < asBurnNS*time.Nanosecond {
+	}
+	b.executed.Add(1)
+}
+
+func (b *burnBolt) Cleanup() {}
+
+// asEventKinds filters the trace to the closed loop's observable actions.
+// autoscale-rejected is deliberately excluded: the clamps make the decision
+// trajectory deterministic, but a rejection's exact tick would depend on
+// scheduler timing.
+var asEventKinds = map[string]bool{
+	obs.EventAutoscaleUp:      true,
+	obs.EventAutoscaleDown:    true,
+	obs.EventRescaleStarted:   true,
+	obs.EventRescaleCommitted: true,
+	obs.EventRescaleAborted:   true,
+}
+
+// asOutcome is what a run must reproduce exactly under the same seed.
+type asOutcome struct {
+	Events   []string
+	FinalPar int
+}
+
+func runAutoscaleSoak(t *testing.T, seed int64) asOutcome {
+	t.Helper()
+
+	broker := kafkalite.NewBroker()
+	if err := broker.CreateTopic("load", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var executed atomic.Int64
+	decode := func(rec kafkalite.Record) []tuple.Value {
+		return []tuple.Value{int64(binary.LittleEndian.Uint64(rec.Value))}
+	}
+	b := dsps.NewTopologyBuilder()
+	b.Spout("src", func() dsps.Spout {
+		return &kafkalite.Spout{Broker: broker, Topic: "load", Group: "as", Decode: decode, MaxPoll: 64}
+	}, 1)
+	b.Bolt("work", func() dsps.Bolt { return &burnBolt{executed: &executed} }, 1).Shuffle("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := chaos.Wrap(transport.NewInprocNetwork(0), chaos.Config{Seed: seed})
+	eng, err := dsps.Start(topo, dsps.Config{
+		Workers: 2, Network: net,
+		Comm: dsps.WorkerOriented, Multicast: dsps.MulticastNonBlocking,
+		FixedDstar: true, InitialDstar: 2,
+		HeartbeatInterval:  10 * time.Millisecond,
+		SuspectAfter:       60 * time.Millisecond,
+		ConfirmAfter:       200 * time.Millisecond,
+		CheckpointInterval: 10 * time.Millisecond,
+		CheckpointTimeout:  2 * time.Second,
+		CheckpointStore:    snapshot.NewMemStore(),
+		Autoscale: dsps.AutoscaleConfig{
+			Interval: 20 * time.Millisecond,
+			RhoHigh:  0.8,
+			RhoLow:   0.3,
+			// Cooldown must outlast a worst-case plan commit (the aligned
+			// barrier traverses the whole backlog) so the controller never
+			// self-rejects by re-issuing into its own armed plan.
+			Cooldown: 600 * time.Millisecond,
+			MaxStep:  1,
+			// The [1, 2] clamp pins the run to one up and one down.
+			MinParallelism: 1,
+			MaxParallelism: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped := false
+	defer func() {
+		if !stopped {
+			eng.Stop()
+		}
+	}()
+
+	evCh, cancel := eng.Obs().Events.Subscribe(4096)
+	defer cancel()
+	var evMu sync.Mutex
+	var events []string
+	go func() {
+		for ev := range evCh {
+			if asEventKinds[ev.Kind] {
+				evMu.Lock()
+				events = append(events, ev.Kind)
+				evMu.Unlock()
+			}
+		}
+	}()
+	countTrace := func(kind string) int {
+		evMu.Lock()
+		defer evMu.Unlock()
+		n := 0
+		for _, k := range events {
+			if k == kind {
+				n++
+			}
+		}
+		return n
+	}
+	waitTrace := func(kind string, n int, within time.Duration) {
+		t.Helper()
+		deadline := time.Now().Add(within)
+		for time.Now().Before(deadline) {
+			if countTrace(kind) >= n {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("event %s #%d not observed within %v (trace so far: %v)", kind, n, within, events)
+	}
+
+	// Load step: a burst worth ~240ms of single-instance CPU. The bolt
+	// saturates (ρ ≈ 1 > 0.8), the controller confirms over two intervals
+	// and issues the scale-up through an aligned cut.
+	for i := int64(0); i < asRecords; i++ {
+		var rec [8]byte
+		binary.LittleEndian.PutUint64(rec[:], uint64(i))
+		if _, err := broker.ProduceTo("load", 0, nil, rec[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitTrace(obs.EventAutoscaleUp, 1, 20*time.Second)
+	waitTrace(obs.EventRescaleCommitted, 1, 30*time.Second)
+	if par := len(eng.TasksOf("work")); par != 2 {
+		t.Fatalf("parallelism after scale-up commit = %d, want 2", par)
+	}
+
+	// Backlog recovery: every produced record executes.
+	deadline := time.Now().Add(30 * time.Second)
+	for executed.Load() < asRecords && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := executed.Load(); got < asRecords {
+		t.Fatalf("backlog never drained: %d/%d executed", got, asRecords)
+	}
+
+	// Load drop: no further records. Sustained ρ = 0 (sized with the
+	// remembered service time) confirms below the band once the cooldown
+	// from the scale-up expires, and the operator shrinks back.
+	waitTrace(obs.EventAutoscaleDown, 1, 30*time.Second)
+	waitTrace(obs.EventRescaleCommitted, 2, 30*time.Second)
+
+	out := asOutcome{FinalPar: len(eng.TasksOf("work"))}
+	eng.Stop()
+	stopped = true
+	cancel()
+	time.Sleep(10 * time.Millisecond)
+	evMu.Lock()
+	out.Events = append([]string(nil), events...)
+	evMu.Unlock()
+	return out
+}
+
+// TestChaosAutoscaleSoak asserts the closed-loop story: a load step drives
+// exactly one controller scale-up through the rescale plane, the backlog
+// recovers, the load drop drives exactly one scale-down, and the same seed
+// reproduces the identical filtered event trace.
+func TestChaosAutoscaleSoak(t *testing.T) {
+	run1 := runAutoscaleSoak(t, 31)
+	// Engine.Rescale logs rescale-started before the controller records its
+	// own action event, so the pair order is (started, autoscale-*).
+	want := []string{
+		obs.EventRescaleStarted, obs.EventAutoscaleUp, obs.EventRescaleCommitted,
+		obs.EventRescaleStarted, obs.EventAutoscaleDown, obs.EventRescaleCommitted,
+	}
+	if !reflect.DeepEqual(run1.Events, want) {
+		t.Fatalf("autoscale event trace:\n got %v\nwant %v", run1.Events, want)
+	}
+	if run1.FinalPar != 1 {
+		t.Fatalf("final parallelism = %d, want 1 after the scale-down", run1.FinalPar)
+	}
+
+	run2 := runAutoscaleSoak(t, 31)
+	if !reflect.DeepEqual(run1, run2) {
+		t.Fatalf("same-seed autoscale runs diverge:\nrun1 %+v\nrun2 %+v", run1, run2)
+	}
+}

@@ -134,6 +134,18 @@ type Config struct {
 	CreditLimitMachine int
 	CreditRatePerSec   float64
 
+	// HotOperatorFactor (> 1) stretches every matching instance's service
+	// time — the whole operator runs hot, in contrast to SlowMachine's
+	// single slow subscriber. The autoscale validation experiment injects
+	// it and checks that the modeled M/D/1 controller sizes the matching
+	// pool to exactly the analytic prediction (DESIGN §15).
+	HotOperatorFactor float64
+	// AutoscaleRhoHigh / AutoscaleRhoLow are the modeled controller's
+	// utilization band (defaults 0.8 / 0.3, matching the live
+	// dsps.AutoscaleConfig defaults); sizing targets the band middle.
+	AutoscaleRhoHigh float64
+	AutoscaleRhoLow  float64
+
 	Seed int64
 }
 
@@ -182,6 +194,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CreditLimitMachine > 0 && c.CreditRatePerSec <= 0 {
 		c.CreditRatePerSec = 2000
+	}
+	if c.AutoscaleRhoHigh <= 0 || c.AutoscaleRhoHigh >= 1 {
+		c.AutoscaleRhoHigh = 0.8
+	}
+	if c.AutoscaleRhoLow <= 0 || c.AutoscaleRhoLow >= c.AutoscaleRhoHigh {
+		c.AutoscaleRhoLow = 0.3
+		if c.AutoscaleRhoLow >= c.AutoscaleRhoHigh {
+			c.AutoscaleRhoLow = c.AutoscaleRhoHigh / 2
+		}
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -241,6 +262,22 @@ type Result struct {
 	// Little's law, the credit limiter's blocked time, and M/D/1
 	// comparisons from each server's measured λ and μ.
 	Bottleneck attrib.Report
+
+	// Autoscale validation (DESIGN §15): the run's measured matching load
+	// folded through the live controller's M/D/1 sizing arithmetic.
+	// MatchTe is the measured matching service seconds per tuple (busy
+	// time over served count, summed across engaged machines); MatchRho
+	// the measured mean per-machine matching utilization. AutoscaleTarget
+	// is the machine-granularity size queueing.InstancesForRho picks for
+	// the matching pool at the offered rate and measured service time —
+	// the count a shuffle-split pool of M/D/1 servers would need to sit at
+	// the band middle. AutoscaleAction classifies MatchRho against the
+	// band exactly as the live controller would: "scale-up" above
+	// AutoscaleRhoHigh, "scale-down" below AutoscaleRhoLow, else "hold".
+	MatchTe         float64
+	MatchRho        float64
+	AutoscaleTarget int
+	AutoscaleAction string
 }
 
 // coresPerMachine is the paper testbed's core count per machine.
@@ -700,6 +737,9 @@ func (r *runner) deliverInstances(id int64, st *tupleState, m *machine) {
 	if m.localInst > coresPerMachine {
 		cost = cost * int64(m.localInst) / coresPerMachine
 	}
+	if r.cfg.HotOperatorFactor > 1 {
+		cost = int64(float64(cost) * r.cfg.HotOperatorFactor)
+	}
 	if r.cfg.SlowMachine > 0 && m.id == r.cfg.SlowMachine {
 		cost = int64(float64(cost) * r.cfg.SlowFactor)
 	}
@@ -867,7 +907,77 @@ func (r *runner) result() Result {
 		res.LoadFactor = res.Throughput * float64(total) / 1e9
 	}
 	res.Bottleneck = r.attribReport()
+	r.modelAutoscale(&res)
 	return res
+}
+
+// modelAutoscale folds the run's matching measurements through the live
+// autoscale controller's sizing model (internal/dsps/autoscale.go): the
+// pool's total execution rate λ and measured per-tuple service time te size
+// the operator at ceil(λ·te/ρ_target) servers. The DES validates the loop's
+// arithmetic — a deterministic injected hot operator must produce exactly
+// the analytically predicted target (PredictedAutoscaleTarget).
+func (r *runner) modelAutoscale(res *Result) {
+	now := r.eng.Now()
+	var served, busyNS int64
+	engaged := 0
+	for _, m := range r.machines {
+		if m.localInst == 0 {
+			continue
+		}
+		engaged++
+		served += m.instance.Served
+		busyNS += m.instance.BusyNS
+	}
+	if now <= 0 || served == 0 || busyNS == 0 || engaged == 0 {
+		return
+	}
+	res.MatchTe = float64(busyNS) / float64(served) / 1e9
+	res.MatchRho = float64(busyNS) / float64(engaged) / float64(now)
+	// Total execution rate across the pool: every engaged machine handles
+	// the full broadcast stream, at the nominal rate when one is configured
+	// (the controller sizes for offered load) or the measured throughput on
+	// closed-loop runs.
+	rate := res.Throughput
+	if r.cfg.InputRate > 0 {
+		rate = r.cfg.InputRate
+	}
+	if rate <= 0 {
+		return
+	}
+	rhoT := (r.cfg.AutoscaleRhoHigh + r.cfg.AutoscaleRhoLow) / 2
+	res.AutoscaleTarget = queueing.InstancesForRho(rate*float64(engaged), res.MatchTe, rhoT)
+	switch {
+	case res.MatchRho > r.cfg.AutoscaleRhoHigh && res.AutoscaleTarget > engaged:
+		res.AutoscaleAction = "scale-up"
+	case res.MatchRho < r.cfg.AutoscaleRhoLow && res.AutoscaleTarget < engaged:
+		res.AutoscaleAction = "scale-down"
+	default:
+		res.AutoscaleAction = "hold"
+	}
+}
+
+// PredictedAutoscaleTarget returns the analytic machine-count the modeled
+// autoscale controller must pick for cfg's matching pool: engaged machines
+// times the offered rate gives the pool's execution rate, the netmodel's
+// (optionally hot-stretched) match cost the deterministic service time, and
+// queueing.InstancesForRho the band-middle sizing. Zero when cfg has no
+// nominal input rate (closed-loop runs have no a-priori λ). The bottleneck
+// experiment compares a hot-operator run's modeled target against this.
+func PredictedAutoscaleTarget(cfg Config) int {
+	c := cfg.withDefaults()
+	if c.InputRate <= 0 {
+		return 0
+	}
+	engaged := machinesFor(c.Parallelism, c.Machines)
+	// Mirror the runner's integer cost arithmetic exactly so the predicted
+	// te is bit-identical to the measured one.
+	costNS := c.Params.MatchCost(c.Parallelism).Nanoseconds()
+	if c.HotOperatorFactor > 1 {
+		costNS = int64(float64(costNS) * c.HotOperatorFactor)
+	}
+	rhoT := (c.AutoscaleRhoHigh + c.AutoscaleRhoLow) / 2
+	return queueing.InstancesForRho(c.InputRate*float64(engaged), float64(costNS)/1e9, rhoT)
 }
 
 // attribReport folds the run's per-server queueing into an analyzer input:

@@ -325,3 +325,40 @@ func TestContributionSplit(t *testing.T) {
 		t.Fatalf("contributions: woc=%.2f opt=%.2f tree=%.2f; all must be positive", cWOC, cOpt, cTree)
 	}
 }
+
+// TestHotOperatorAutoscale validates the closed loop's arithmetic on the
+// DES: an operator-wide hot spot (HotOperatorFactor) must push the matching
+// pool's measured utilization over the band and make the modeled controller
+// size it to exactly the analytic M/D/1 prediction, while the unperturbed
+// run sits far under the band and sizes down.
+func TestHotOperatorAutoscale(t *testing.T) {
+	base := Config{Variant: Whale, Parallelism: 480, InputRate: 3000, MaxTuples: 800, Seed: 7}
+	hot := base
+	hot.HotOperatorFactor = 14
+
+	b := Run(base)
+	if b.AutoscaleAction != "scale-down" {
+		t.Fatalf("unperturbed run: action %q (rho %.3f, target %d), want scale-down",
+			b.AutoscaleAction, b.MatchRho, b.AutoscaleTarget)
+	}
+
+	h := Run(hot)
+	if h.AutoscaleAction != "scale-up" {
+		t.Fatalf("hot operator: action %q (rho %.3f, target %d), want scale-up",
+			h.AutoscaleAction, h.MatchRho, h.AutoscaleTarget)
+	}
+	want := PredictedAutoscaleTarget(hot)
+	if h.AutoscaleTarget != want {
+		t.Fatalf("hot operator: modeled target %d, analytic prediction %d (rho %.3f, te %gs)",
+			h.AutoscaleTarget, want, h.MatchRho, h.MatchTe)
+	}
+	if h.AutoscaleTarget <= b.AutoscaleTarget {
+		t.Fatalf("hot target %d not above base target %d", h.AutoscaleTarget, b.AutoscaleTarget)
+	}
+	// Determinism: equal seeds reproduce the decision byte-for-byte.
+	h2 := Run(hot)
+	if h2.AutoscaleTarget != h.AutoscaleTarget || h2.MatchTe != h.MatchTe || h2.AutoscaleAction != h.AutoscaleAction {
+		t.Fatalf("non-deterministic autoscale model: %v/%v/%v vs %v/%v/%v",
+			h.AutoscaleTarget, h.MatchTe, h.AutoscaleAction, h2.AutoscaleTarget, h2.MatchTe, h2.AutoscaleAction)
+	}
+}

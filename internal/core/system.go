@@ -148,6 +148,11 @@ type Options struct {
 	// CheckpointStore persists per-epoch task snapshots (default:
 	// in-memory; use snapshot.NewFileStore for a durable directory).
 	CheckpointStore snapshot.Store
+	// Autoscale enables the M/D/1-driven parallelism controller
+	// (DESIGN §15): per-operator utilization-band decisions actuated
+	// through Rescale. Requires CheckpointInterval > 0; the zero value
+	// disables it.
+	Autoscale dsps.AutoscaleConfig
 	// SendRetries bounds per-send retries on transient transport errors
 	// (default 3; negative disables retrying).
 	SendRetries int
@@ -335,6 +340,7 @@ func (s System) EngineConfig(o Options) (dsps.Config, error) {
 		CheckpointInterval: o.CheckpointInterval,
 		CheckpointTimeout:  o.CheckpointTimeout,
 		CheckpointStore:    o.CheckpointStore,
+		Autoscale:          o.Autoscale,
 		SendRetries:        o.SendRetries,
 		SendRetryBase:      o.SendRetryBase,
 		CreditWindow:       o.CreditWindow,

@@ -176,6 +176,13 @@ type Config struct {
 	// process restarts).
 	CheckpointStore snapshot.Store
 
+	// Autoscale enables the M/D/1-driven parallelism controller (see
+	// autoscale.go): per-operator load estimates from the obs counters,
+	// utilization-band decisions, actuation through Rescale. Requires
+	// CheckpointInterval > 0. The zero value disables it — the engine then
+	// carries no controller goroutine or state at all.
+	Autoscale AutoscaleConfig
+
 	// Obs is the observability scope every subsystem registers into. When
 	// nil the engine creates a private scope with tracing disabled, so
 	// instrumentation call sites never need nil checks.
@@ -260,6 +267,7 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointInterval > 0 && c.CheckpointTimeout <= 0 {
 		c.CheckpointTimeout = 10 * c.CheckpointInterval
 	}
+	c.Autoscale = c.Autoscale.withDefaults()
 	return c
 }
 
@@ -384,6 +392,7 @@ type Engine struct {
 	hbStops  map[int32]chan struct{} // per-join heartbeat stop channels (guarded by mu)
 	welcomes map[int32]chan struct{} // joiner-side CtrlWelcome wait channels (guarded by mu)
 	ckpt     *checkpointCoordinator  // nil unless CheckpointInterval > 0
+	scaler   *autoscaler             // nil unless Autoscale.Interval > 0
 
 	stopSpoutsOnce sync.Once
 	stopSpouts     chan struct{}
@@ -504,6 +513,12 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 	if cfg.CheckpointInterval > 0 {
 		eng.ckpt = newCheckpointCoordinator(eng)
 	}
+	if cfg.Autoscale.Interval > 0 {
+		if eng.ckpt == nil {
+			return nil, fmt.Errorf("dsps: Autoscale requires checkpointing (Config.CheckpointInterval): rescale rides aligned cuts")
+		}
+		eng.scaler = newAutoscaler(eng)
+	}
 	eng.registerObs()
 
 	// Launch: bolts, send threads, managers, then spouts.
@@ -553,6 +568,10 @@ func Start(topo *Topology, cfg Config) (*Engine, error) {
 	if eng.ckpt != nil {
 		eng.auxWG.Add(1)
 		go eng.ckpt.run()
+	}
+	if eng.scaler != nil {
+		eng.auxWG.Add(1)
+		go eng.scaler.run()
 	}
 	for _, id := range topo.Order {
 		if iv := topo.Operators[id].TickInterval; iv > 0 && !topo.Operators[id].IsSpout {
@@ -845,6 +864,9 @@ func (e *Engine) registerObs() {
 	r.HistogramFunc("multicast.switch_latency_ns", m.SwitchLatency.Snapshot)
 	r.GaugeFunc("multicast.groups", func() int64 { return int64(len(e.groupDescs)) })
 	r.GaugeFunc("multicast.active_dstar", func() int64 { return int64(e.ActiveDstar()) })
+	if e.scaler != nil {
+		e.scaler.registerObs()
+	}
 
 	for id := range e.opStats {
 		if id == ackerOperatorID {

@@ -80,6 +80,15 @@ const (
 	// the pre-rescale assignment stays active — never a half-repartitioned
 	// topology. Detail carries the reason.
 	EventRescaleAborted = "rescale-aborted"
+	// EventAutoscaleUp / EventAutoscaleDown: the M/D/1 autoscale
+	// controller issued an operator rescale. Lambda/Te/QueueLen carry the
+	// model inputs; Detail the operator, old->new parallelism and ρ.
+	EventAutoscaleUp   = "autoscale-up"
+	EventAutoscaleDown = "autoscale-down"
+	// EventAutoscaleRejected: the controller decided to act but the
+	// rescale plane refused the plan (one already in flight, recovery in
+	// progress, ...); the operator enters backoff before retrying.
+	EventAutoscaleRejected = "autoscale-rejected"
 )
 
 // Event is one structured entry in the reconfiguration event log.

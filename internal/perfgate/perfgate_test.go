@@ -3,6 +3,7 @@ package perfgate
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -105,5 +106,53 @@ func TestMedianDispersion(t *testing.T) {
 	}
 	if d := Dispersion([]float64{100}); d != 0 {
 		t.Fatalf("single-sample dispersion = %v", d)
+	}
+}
+
+func TestWriteSummaryTable(t *testing.T) {
+	base := report(map[string]Metric{
+		"micro/encode":        {NsPerOp: 100, AllocsPerOp: 0},
+		"micro/decode":        {NsPerOp: 200, AllocsPerOp: 2},
+		"des/fig13/Whale/480": {TuplesPerSec: 3e6},
+	})
+	fresh := report(map[string]Metric{
+		"micro/encode":        {NsPerOp: 90, AllocsPerOp: 0},  // improved: ok
+		"micro/decode":        {NsPerOp: 260, AllocsPerOp: 2}, // 30% slower: regression
+		"des/fig13/Whale/480": {TuplesPerSec: 2.9e6},          // within DES threshold
+		"micro/new-row":       {NsPerOp: 50},                  // new: listed, not gated
+	})
+	var sb strings.Builder
+	if err := WriteSummary(&sb, base, fresh, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// One verdict per baseline row plus the new-row line, and the verdicts
+	// must mirror Compare exactly.
+	for _, want := range []string{
+		"| row | baseline median | observed median | verdict |",
+		"| micro/encode | 100.0 ns/op | 90.0 ns/op | ✅ ok |",
+		"| des/fig13/Whale/480 | 3000000 tuples/sec | 2900000 tuples/sec | ✅ ok |",
+		"ns/op 200 → 260 (limit 10%)",
+		"| micro/new-row | — | 50.0 ns/op | new (not gated) |",
+		"1 regression(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "❌") != 1 {
+		t.Fatalf("want exactly one failing row:\n%s", out)
+	}
+}
+
+func TestWriteSummaryMissingRow(t *testing.T) {
+	base := report(map[string]Metric{"micro/gone": {NsPerOp: 100}})
+	fresh := report(map[string]Metric{})
+	var sb strings.Builder
+	if err := WriteSummary(&sb, base, fresh, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "missing from this run") {
+		t.Fatalf("missing-row verdict absent:\n%s", sb.String())
 	}
 }

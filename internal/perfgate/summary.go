@@ -1,0 +1,79 @@
+package perfgate
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteSummary renders the before/after comparison as a GitHub-flavored
+// markdown table — one row per benchmark with the baseline median, the
+// observed median and the gate verdict — for the bench-gate job to append
+// to $GITHUB_STEP_SUMMARY alongside the JSON artifact. The verdict column
+// reproduces Compare's decisions exactly: a row regresses here if and only
+// if the gate fails on it.
+func WriteSummary(w io.Writer, baseline, fresh *Report, opts Options) error {
+	regs := map[string][]Regression{}
+	for _, r := range Compare(baseline, fresh, opts) {
+		regs[r.Name] = append(regs[r.Name], r)
+	}
+	if _, err := fmt.Fprintf(w, "### perf gate: %d baseline rows, %d regression(s)\n\n", len(baseline.Benchmarks), len(regs)); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "| row | baseline median | observed median | verdict |\n|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, name := range baseline.Names() {
+		old := baseline.Benchmarks[name]
+		cur, ok := fresh.Benchmarks[name]
+		var observed, verdict string
+		switch {
+		case !ok && len(regs[name]) == 0:
+			// Compare skipped it (quick/full DES sweeps cover different cells).
+			observed, verdict = "—", "skipped (quick/full mismatch)"
+		case !ok:
+			observed, verdict = "—", "❌ missing from this run"
+		case len(regs[name]) > 0:
+			observed = metricCell(cur)
+			parts := make([]string, 0, len(regs[name]))
+			for _, r := range regs[name] {
+				parts = append(parts, fmt.Sprintf("%s %.4g → %.4g (limit %.0f%%)", r.Metric, r.Old, r.New, r.Limit*100))
+			}
+			verdict = "❌ " + strings.Join(parts, "; ")
+		default:
+			observed = metricCell(cur)
+			verdict = "✅ ok"
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s |\n", name, metricCell(old), observed, verdict); err != nil {
+			return err
+		}
+	}
+	// Rows new in fresh never gate, but surface them so a rename that
+	// orphans its baseline row is visible.
+	var news []string
+	for _, name := range fresh.Names() {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			news = append(news, name)
+		}
+	}
+	for _, name := range news {
+		if _, err := fmt.Fprintf(w, "| %s | — | %s | new (not gated) |\n", name, metricCell(fresh.Benchmarks[name])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// metricCell formats a metric's primary figure: ns/op (with allocs when
+// nonzero) for microbenchmark rows, tuples/sec for DES rows.
+func metricCell(m Metric) string {
+	switch {
+	case m.NsPerOp > 0 && m.AllocsPerOp > 0:
+		return fmt.Sprintf("%.1f ns/op, %.0f allocs/op", m.NsPerOp, m.AllocsPerOp)
+	case m.NsPerOp > 0:
+		return fmt.Sprintf("%.1f ns/op", m.NsPerOp)
+	case m.TuplesPerSec > 0:
+		return fmt.Sprintf("%.0f tuples/sec", m.TuplesPerSec)
+	}
+	return "—"
+}

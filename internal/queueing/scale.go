@@ -1,0 +1,59 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Operator-parallelism sizing for the autoscale controller
+// (internal/dsps/autoscale.go). An operator with n instances behind a
+// shuffle/fields split is modelled as n parallel M/D/1 servers fed λ/n
+// each, every server deterministic at te seconds per tuple, so the
+// per-instance utilization is
+//
+//	ρ(n) = (λ/n)·te = λ·te/n
+//
+// and the smallest instance count holding utilization at or below a target
+// band point ρt is ceil(λ·te/ρt).
+
+// UtilizationN returns ρ(n) = λ·te/n, the per-instance utilization of an
+// operator with n instances sharing arrival rate λ (tuples/s) when one
+// tuple costs te seconds to execute. It panics if n < 1 or te < 0 or
+// λ < 0; callers validate measurements at the boundary.
+func UtilizationN(lambda, te float64, n int) float64 {
+	if n < 1 || te < 0 || lambda < 0 {
+		panic(fmt.Sprintf("queueing: invalid UtilizationN(λ=%g, te=%g, n=%d)", lambda, te, n))
+	}
+	return lambda * te / float64(n)
+}
+
+// InstancesForRho returns the smallest instance count n >= 1 for which
+// ρ(n) = λ·te/n <= rho, i.e. ceil(λ·te/rho). rho must be in (0, 1): at
+// rho >= 1 the per-instance queue is unstable by the M/D/1 stability
+// condition, so no meaningful sizing exists there. λ = 0 (an idle
+// operator) sizes to the minimum of one instance.
+func InstancesForRho(lambda, te float64, rho float64) int {
+	if lambda < 0 || te < 0 || rho <= 0 || rho >= 1 {
+		panic(fmt.Sprintf("queueing: invalid InstancesForRho(λ=%g, te=%g, ρ=%g)", lambda, te, rho))
+	}
+	n := math.Ceil(lambda * te / rho)
+	if n < 1 {
+		return 1
+	}
+	if n >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(n)
+}
+
+// QueueLengthN returns the predicted mean M/D/1 queue length at one of n
+// instances sharing arrival rate λ with deterministic service time te
+// (+Inf when the per-instance queue is unstable). The autoscale decision
+// log records it next to the measured queue depth so a decision can be
+// audited against the model after the fact.
+func QueueLengthN(lambda, te float64, n int) float64 {
+	if n < 1 || te <= 0 || lambda < 0 {
+		panic(fmt.Sprintf("queueing: invalid QueueLengthN(λ=%g, te=%g, n=%d)", lambda, te, n))
+	}
+	return MeanQueueLength(lambda/float64(n), 1/te)
+}

@@ -1,0 +1,118 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUtilizationN(t *testing.T) {
+	cases := []struct {
+		lambda, te float64
+		n          int
+		want       float64
+	}{
+		{1000, 0.001, 1, 1.0},
+		{1000, 0.001, 2, 0.5},
+		{1000, 0.001, 4, 0.25},
+		{0, 0.001, 3, 0},
+		{500, 0, 2, 0}, // instantaneous service: no utilization
+	}
+	for _, tc := range cases {
+		if got := UtilizationN(tc.lambda, tc.te, tc.n); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("UtilizationN(%g, %g, %d) = %g, want %g", tc.lambda, tc.te, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestUtilizationNPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { UtilizationN(1000, 0.001, 0) },
+		func() { UtilizationN(-1, 0.001, 1) },
+		func() { UtilizationN(1000, -0.001, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid UtilizationN input did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInstancesForRho(t *testing.T) {
+	cases := []struct {
+		lambda, te, rho float64
+		want            int
+	}{
+		{2000, 0.001, 0.55, 4}, // ceil(2/0.55) = 4
+		{2000, 0.001, 0.5, 4},  // exact division: 2/0.5 = 4
+		{2001, 0.001, 0.5, 5},  // just past exact: ceil rounds up
+		{0, 0.001, 0.5, 1},     // idle sizes to the floor of one
+		{100, 0.001, 0.8, 1},
+		{64000, 0.001, 0.5, 128},
+	}
+	for _, tc := range cases {
+		if got := InstancesForRho(tc.lambda, tc.te, tc.rho); got != tc.want {
+			t.Errorf("InstancesForRho(%g, %g, %g) = %d, want %d", tc.lambda, tc.te, tc.rho, got, tc.want)
+		}
+	}
+	// The returned count always satisfies the band: ρ(n) <= rho < ρ(n-1)
+	// checks the "smallest such n" claim across a sweep.
+	for lambda := 100.0; lambda <= 100000; lambda *= 3 {
+		n := InstancesForRho(lambda, 0.0007, 0.6)
+		if rho := UtilizationN(lambda, 0.0007, n); rho > 0.6+1e-9 {
+			t.Errorf("λ=%g: ρ(%d) = %g exceeds the target band", lambda, n, rho)
+		}
+		if n > 1 {
+			if rho := UtilizationN(lambda, 0.0007, n-1); rho <= 0.6 {
+				t.Errorf("λ=%g: n=%d is not minimal, ρ(%d) = %g already fits", lambda, n, n-1, rho)
+			}
+		}
+	}
+}
+
+func TestInstancesForRhoPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { InstancesForRho(1000, 0.001, 0) },
+		func() { InstancesForRho(1000, 0.001, 1) },
+		func() { InstancesForRho(-1, 0.001, 0.5) },
+		func() { InstancesForRho(1000, -1, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid InstancesForRho input did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQueueLengthN(t *testing.T) {
+	// One instance at λ=500, te=0.001 is an M/D/1 queue at λ=500, μ=1000.
+	want := MeanQueueLength(500, 1000)
+	if got := QueueLengthN(500, 0.001, 1); got != want {
+		t.Errorf("QueueLengthN(500, 0.001, 1) = %g, want %g", got, want)
+	}
+	// Splitting the same load over two instances halves the per-server λ.
+	want = MeanQueueLength(250, 1000)
+	if got := QueueLengthN(500, 0.001, 2); got != want {
+		t.Errorf("QueueLengthN(500, 0.001, 2) = %g, want %g", got, want)
+	}
+	// Unstable per-server load predicts an unbounded queue.
+	if got := QueueLengthN(3000, 0.001, 2); !math.IsInf(got, 1) {
+		t.Errorf("QueueLengthN(3000, 0.001, 2) = %g, want +Inf", got)
+	}
+	// Adding instances never lengthens the per-server queue.
+	prev := math.Inf(1)
+	for n := 1; n <= 8; n++ {
+		q := QueueLengthN(900, 0.001, n)
+		if q > prev {
+			t.Errorf("QueueLengthN not monotone: n=%d gives %g after %g", n, q, prev)
+		}
+		prev = q
+	}
+}

@@ -78,6 +78,16 @@ type (
 	// operator placements, and multicast group membership. Served at
 	// /debug/membership and returned by Cluster.Membership.
 	MembershipReport = dsps.MembershipReport
+	// AutoscaleConfig tunes the M/D/1-driven parallelism controller
+	// (Options.Autoscale): utilization band, hysteresis, step and
+	// parallelism clamps. Requires Options.CheckpointInterval.
+	AutoscaleConfig = dsps.AutoscaleConfig
+	// AutoscaleReport is the controller's introspection document: its
+	// configuration plus the retained decisions with their model inputs.
+	// Served at /debug/autoscale and returned by Cluster.AutoscaleReport.
+	AutoscaleReport = dsps.AutoscaleReport
+	// AutoscaleDecision is one controller evaluation of one operator.
+	AutoscaleDecision = dsps.AutoscaleDecision
 )
 
 // NewMemSnapshotStore returns the in-memory snapshot store (the default
@@ -103,6 +113,18 @@ const (
 // bolts declared with TickEvery (used by windowed operators to fire on
 // time without traffic).
 const StreamTick = dsps.StreamTick
+
+// Autoscale decision actions (AutoscaleDecision.Action).
+const (
+	// AutoscaleHold: no action (in band, unconfirmed, clamped, cooling
+	// down or backing off — the decision's Reason says which).
+	AutoscaleHold = dsps.AutoscaleHold
+	// AutoscaleUp / AutoscaleDown: a rescale was issued.
+	AutoscaleUp   = dsps.AutoscaleUp
+	AutoscaleDown = dsps.AutoscaleDown
+	// AutoscaleRejected: the rescale plane refused the decision's plan.
+	AutoscaleRejected = dsps.AutoscaleRejected
+)
 
 // NewTopologyBuilder returns an empty topology builder.
 func NewTopologyBuilder() *TopologyBuilder { return dsps.NewTopologyBuilder() }
@@ -187,6 +209,10 @@ func Run(topo *Topology, sys System, opts Options) (*Cluster, error) {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(c.Membership())
 		}))
+		srv.Handle("/debug/autoscale", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(c.AutoscaleReport())
+		}))
 		c.srv = srv
 	}
 	return c, nil
@@ -267,6 +293,12 @@ func (c *Cluster) Rescale(op string, newPar int, on ...int32) error {
 // liveness, operator placements, and per-group multicast membership. Also
 // served as JSON at /debug/membership when Options.ObsAddr is set.
 func (c *Cluster) Membership() MembershipReport { return c.eng.Membership() }
+
+// AutoscaleReport snapshots the autoscale controller: its configuration
+// and the last decisions with the model inputs (λ, t_e, ρ, queue depths)
+// that drove them. Empty with Options.Autoscale disabled. Also served as
+// JSON at /debug/autoscale when Options.ObsAddr is set.
+func (c *Cluster) AutoscaleReport() AutoscaleReport { return c.eng.AutoscaleReport() }
 
 // Shutdown stops the cluster and releases the network and the
 // observability server.
